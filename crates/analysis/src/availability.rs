@@ -1,0 +1,169 @@
+//! Troupe availability: the birth–death model (§6.4.2, Figure 6.3).
+//!
+//! A troupe of n members, each failing at rate λ and being replaced at
+//! rate µ, is an M/M/n/n queue. With pₖ the equilibrium probability of k
+//! failed members,
+//!
+//! A = 1 − pₙ = 1 − (λ/(λ+µ))ⁿ              (Equation 6.1)
+//!
+//! and, solving for the replacement time needed to reach availability A,
+//!
+//! 1/µ = (1/λ)·(1−A)^(1/n) / (1 − (1−A)^(1/n))   (Equation 6.2)
+
+/// Equilibrium probability that exactly `k` of `n` members are down
+/// (Kleinrock's M/M/n/n result as used in §6.4.2).
+pub fn p_failed(n: u32, k: u32, lambda: f64, mu: f64) -> f64 {
+    assert!(k <= n);
+    let rho = lambda / mu;
+    let binom = binomial(n, k);
+    let p = rho / (1.0 + rho); // Probability one member is down.
+    binom * p.powi(k as i32) * (1.0 - p).powi((n - k) as i32)
+}
+
+fn binomial(n: u32, k: u32) -> f64 {
+    let mut r = 1.0;
+    for i in 0..k {
+        r *= (n - i) as f64 / (i + 1) as f64;
+    }
+    r
+}
+
+/// Equation 6.1: the availability of an n-member troupe.
+pub fn availability(n: u32, lambda: f64, mu: f64) -> f64 {
+    1.0 - (lambda / (lambda + mu)).powi(n as i32)
+}
+
+/// Equation 6.2: the longest mean replacement time (1/µ) that still
+/// achieves availability `a`, given member lifetime `1/lambda`, as a
+/// multiple of the same time unit.
+pub fn required_repair_time(n: u32, lambda: f64, a: f64) -> f64 {
+    let root = (1.0 - a).powf(1.0 / n as f64);
+    (1.0 / lambda) * root / (1.0 - root)
+}
+
+/// Monte-Carlo availability: simulate the birth–death process for
+/// `horizon` time units and measure the fraction of time at least one
+/// member is up.
+pub fn availability_simulated(n: u32, lambda: f64, mu: f64, horizon: f64, seed: u64) -> f64 {
+    let mut rng = Lcg::new(seed);
+    let mut failed = 0u32;
+    let mut t = 0.0;
+    let mut down_time = 0.0;
+    while t < horizon {
+        let up = n - failed;
+        // Competing exponential clocks: next failure at rate up·λ, next
+        // repair at rate failed·µ.
+        let fail_rate = up as f64 * lambda;
+        let repair_rate = failed as f64 * mu;
+        let total = fail_rate + repair_rate;
+        let dt = rng.exponential(1.0 / total);
+        let dt = dt.min(horizon - t);
+        if failed == n {
+            down_time += dt;
+        }
+        t += dt;
+        if t >= horizon {
+            break;
+        }
+        if rng.uniform() < fail_rate / total {
+            failed += 1;
+        } else {
+            failed -= 1;
+        }
+    }
+    1.0 - down_time / horizon
+}
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Lcg {
+        Lcg(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1))
+    }
+
+    fn uniform(&mut self) -> f64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn exponential(&mut self, mean: f64) -> f64 {
+        -mean * (1.0 - self.uniform()).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_three_members() {
+        // §6.4.2: A = 0.999 with n = 3 ⇒ replacement time at most 1/9 of
+        // the lifetime.
+        let ratio = required_repair_time(3, 1.0, 0.999);
+        assert!((ratio - 1.0 / 9.0).abs() < 1e-9, "got {ratio}");
+    }
+
+    #[test]
+    fn paper_example_five_members() {
+        // With n = 5 the replacement time may be 1/3 of the lifetime...
+        // (1-A)^(1/5) for A=0.999 is ~0.251; the paper's "20 minutes
+        // (1/3 of the average lifetime)" rounds 0.251/0.749 = 0.335.
+        let ratio = required_repair_time(5, 1.0, 0.999);
+        assert!((ratio - 0.335).abs() < 0.01, "got {ratio}");
+    }
+
+    #[test]
+    fn availability_increases_with_replication() {
+        let lambda = 1.0;
+        let mu = 9.0;
+        let mut prev = 0.0;
+        for n in 1..=6 {
+            let a = availability(n, lambda, mu);
+            assert!(a > prev);
+            prev = a;
+        }
+        // n=3 with repair 9x faster than failure: 1 - (0.1)^3.
+        assert!((availability(3, lambda, mu) - 0.999).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p_failed_sums_to_one() {
+        let (n, lambda, mu) = (5, 1.0, 4.0);
+        let total: f64 = (0..=n).map(|k| p_failed(n, k, lambda, mu)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn availability_equals_one_minus_pn() {
+        let (n, lambda, mu) = (4, 2.0, 5.0);
+        let a = availability(n, lambda, mu);
+        let pn = p_failed(n, n, lambda, mu);
+        assert!((a - (1.0 - pn)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equations_are_inverses() {
+        // Feeding Eq 6.2's repair time back into Eq 6.1 recovers A.
+        for n in [2u32, 3, 5] {
+            for a in [0.9, 0.99, 0.999] {
+                let repair = required_repair_time(n, 1.0, a);
+                let back = availability(n, 1.0, 1.0 / repair);
+                assert!((back - a).abs() < 1e-9, "n={n} a={a}: got {back}");
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_matches_formula() {
+        let (n, lambda, mu) = (3, 1.0, 5.0);
+        let analytic = availability(n, lambda, mu);
+        let simulated = availability_simulated(n, lambda, mu, 200_000.0, 7);
+        assert!(
+            (analytic - simulated).abs() < 0.002,
+            "analytic {analytic}, simulated {simulated}"
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! The troupe commit protocol's deadlock probability (§5.3.1, Eq 5.1).
+//!
+//! With `k` conflicting transactions and `n` troupe members each
+//! independently choosing one of the k! serialization orders uniformly,
+//! the protocol is deadlock-free only if all members agree:
+//!
+//! `P[deadlock] = 1 − (1/k!)^(n−1)`
+//!
+//! "The probability of deadlock rapidly approaches certainty when the
+//! optimistic assumption of few conflicting transactions fails to hold."
+
+/// k! as f64 (saturating well before overflow matters for the formula).
+fn factorial(k: u32) -> f64 {
+    (1..=k).map(|i| i as f64).product()
+}
+
+/// Equation 5.1: the probability that `n` members independently choosing
+/// among the serialization orders of `k` conflicting transactions fail
+/// to agree.
+pub fn deadlock_probability(k: u32, n: u32) -> f64 {
+    if k <= 1 || n <= 1 {
+        return 0.0;
+    }
+    1.0 - (1.0 / factorial(k)).powi(n as i32 - 1)
+}
+
+/// Monte-Carlo estimate of the same probability: draw `trials`
+/// experiments, each sampling `n` independent uniform permutations of
+/// `k` transactions and checking whether they all agree.
+pub fn deadlock_probability_simulated(k: u32, n: u32, trials: u32, seed: u64) -> f64 {
+    if k <= 1 || n <= 1 {
+        return 0.0;
+    }
+    let mut rng = Xor64::new(seed);
+    let mut deadlocks = 0u32;
+    for _ in 0..trials {
+        let reference = permutation(&mut rng, k);
+        let all_same = (1..n).all(|_| permutation(&mut rng, k) == reference);
+        if !all_same {
+            deadlocks += 1;
+        }
+    }
+    deadlocks as f64 / trials as f64
+}
+
+/// Minimal xorshift so this crate needs no simulator dependency.
+struct Xor64(u64);
+
+impl Xor64 {
+    fn new(seed: u64) -> Xor64 {
+        Xor64(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        // Rejection-free is fine for these tiny bounds.
+        self.next() % bound
+    }
+}
+
+fn permutation(rng: &mut Xor64, k: u32) -> Vec<u32> {
+    let mut v: Vec<u32> = (0..k).collect();
+    for i in (1..k as usize).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        v.swap(i, j);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_cases_are_safe() {
+        assert_eq!(deadlock_probability(1, 5), 0.0);
+        assert_eq!(deadlock_probability(5, 1), 0.0);
+        assert_eq!(deadlock_probability(0, 0), 0.0);
+    }
+
+    #[test]
+    fn two_txns_two_members() {
+        // 1 - (1/2)^1 = 0.5.
+        assert!((deadlock_probability(2, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_txns_three_members() {
+        // 1 - (1/6)^2 = 35/36.
+        assert!((deadlock_probability(3, 3) - 35.0 / 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn approaches_certainty() {
+        assert!(deadlock_probability(5, 3) > 0.999);
+        assert!(deadlock_probability(10, 5) > 0.999_999);
+    }
+
+    #[test]
+    fn monotone_in_both_arguments() {
+        for k in 2..6 {
+            for n in 2..6 {
+                assert!(deadlock_probability(k + 1, n) >= deadlock_probability(k, n));
+                assert!(deadlock_probability(k, n + 1) >= deadlock_probability(k, n));
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_matches_formula() {
+        for (k, n) in [(2u32, 2u32), (2, 3), (3, 2), (3, 3), (4, 2)] {
+            let analytic = deadlock_probability(k, n);
+            let simulated = deadlock_probability_simulated(k, n, 40_000, 42);
+            assert!(
+                (analytic - simulated).abs() < 0.02,
+                "k={k} n={n}: analytic {analytic}, simulated {simulated}"
+            );
+        }
+    }
+}

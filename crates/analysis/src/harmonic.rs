@@ -1,0 +1,71 @@
+//! Harmonic numbers and the expected maximum of exponentials (§4.4.2).
+//!
+//! Theorem 4.3: if X₁…Xₙ are independent exponentials with mean 1/µ,
+//! then `E[max]` = Hₙ/µ. Hence a multicast-based replicated call with
+//! exponentially distributed round trips of mean r completes in expected
+//! time Hₙ·r = r·ln n + O(r): "the expected time per call increases only
+//! logarithmically with the size of the troupe."
+
+/// The nth harmonic number Hₙ = 1 + 1/2 + … + 1/n (Definition 4.1).
+pub fn harmonic(n: u32) -> f64 {
+    (1..=n).map(|k| 1.0 / k as f64).sum()
+}
+
+/// Expected value of the maximum of `n` independent exponential random
+/// variables with the given mean (Theorem 4.3).
+pub fn expected_max_exponential(n: u32, mean: f64) -> f64 {
+    harmonic(n) * mean
+}
+
+/// The asymptotic form Hₙ ≈ ln n + γ (used to show the logarithmic
+/// growth claim).
+pub fn harmonic_asymptotic(n: u32) -> f64 {
+    const EULER_MASCHERONI: f64 = 0.577_215_664_901_532_9;
+    (n as f64).ln() + EULER_MASCHERONI
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_exact() {
+        assert_eq!(harmonic(1), 1.0);
+        assert!((harmonic(2) - 1.5).abs() < 1e-12);
+        assert!((harmonic(3) - 11.0 / 6.0).abs() < 1e-12);
+        assert!((harmonic(4) - 25.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_is_empty_sum() {
+        assert_eq!(harmonic(0), 0.0);
+    }
+
+    #[test]
+    fn asymptotic_close_for_large_n() {
+        for n in [10u32, 100, 1000] {
+            let exact = harmonic(n);
+            let approx = harmonic_asymptotic(n);
+            assert!(
+                (exact - approx).abs() < 0.05,
+                "H_{n}: exact {exact}, approx {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn expected_max_scales_with_mean() {
+        let e = expected_max_exponential(5, 10.0);
+        assert!((e - harmonic(5) * 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_n() {
+        let mut prev = 0.0;
+        for n in 1..100 {
+            let h = harmonic(n);
+            assert!(h > prev);
+            prev = h;
+        }
+    }
+}

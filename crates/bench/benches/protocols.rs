@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks of the protocol substrates: segment
+//! codec, wire externalization, paired-message exchanges, collation
+//! decisions, the lock manager, and the configuration solver.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pairedmsg::{Config, Endpoint, MsgType, Segment};
+use simnet::Time;
+
+fn bench_segment_codec(c: &mut Criterion) {
+    let seg = Segment::data(MsgType::Call, 42, 4, 2, true, vec![7u8; 512]);
+    let bytes = seg.encode();
+    c.bench_function("segment_encode_512B", |b| {
+        b.iter(|| black_box(&seg).encode())
+    });
+    c.bench_function("segment_decode_512B", |b| {
+        b.iter(|| Segment::decode(black_box(&bytes)).unwrap())
+    });
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let value = (
+        42u64,
+        String::from("the ringmaster binding agent"),
+        vec![1u32, 2, 3, 4, 5, 6, 7, 8],
+    );
+    let bytes = wire::to_bytes(&value);
+    c.bench_function("wire_externalize", |b| {
+        b.iter(|| wire::to_bytes(black_box(&value)))
+    });
+    c.bench_function("wire_internalize", |b| {
+        b.iter(|| wire::from_bytes::<(u64, String, Vec<u32>)>(black_box(&bytes)).unwrap())
+    });
+}
+
+fn bench_paired_message_exchange(c: &mut Criterion) {
+    // A full call/return exchange between two endpoints (no loss).
+    c.bench_function("pairedmsg_exchange", |b| {
+        b.iter(|| {
+            let mut client = Endpoint::new(Config::default());
+            let mut server = Endpoint::new(Config::default());
+            let now = Time::ZERO;
+            client.send(now, MsgType::Call, 1, b"args").unwrap();
+            while let Some(bytes) = client.poll_transmit() {
+                server.on_datagram(now, &bytes).unwrap();
+            }
+            let _call = server.poll_event().unwrap();
+            server.send(now, MsgType::Return, 1, b"results").unwrap();
+            while let Some(bytes) = server.poll_transmit() {
+                client.on_datagram(now, &bytes).unwrap();
+            }
+            black_box(client.poll_event().unwrap())
+        })
+    });
+}
+
+fn bench_collation(c: &mut Criterion) {
+    use circus::{Collation, CollationPolicy};
+    let mut group = c.benchmark_group("collation_unanimous");
+    for n in [3usize, 5, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut coll = Collation::new(CollationPolicy::Unanimous, n);
+                for i in 0..n {
+                    coll.add_vote(i, vec![9; 32]);
+                }
+                black_box(coll.decide())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lock_manager(c: &mut Criterion) {
+    use transactions::{LockManager, Mode, ObjId, TxnId};
+    c.bench_function("lock_acquire_release_100", |b| {
+        b.iter(|| {
+            let mut lm = LockManager::new();
+            for i in 0..100u64 {
+                lm.acquire(TxnId(i % 4), ObjId(i), Mode::Exclusive);
+            }
+            for t in 0..4u64 {
+                black_box(lm.release_all(TxnId(t)));
+            }
+        })
+    });
+}
+
+fn bench_config_solver(c: &mut Criterion) {
+    use configlang::{extend_troupe, parse, Machine, Universe, Value};
+    let spec = parse(
+        "troupe(x, y, z) where x.memory >= 8 and y.memory >= 8 and z.memory >= 8 and z.has-fpu",
+    )
+    .unwrap();
+    let mut u = Universe::new();
+    for i in 0..12u32 {
+        u = u.with(
+            Machine::named(i, &format!("vax-{i}"))
+                .with("memory", Value::Num(4 + i as i64))
+                .with("has-fpu", Value::Bool(i % 3 == 0)),
+        );
+    }
+    c.bench_function("config_solver_12_machines", |b| {
+        b.iter(|| black_box(extend_troupe(&spec, &u, &[2, 5])))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_segment_codec,
+    bench_wire,
+    bench_paired_message_exchange,
+    bench_collation,
+    bench_lock_manager,
+    bench_config_solver
+);
+criterion_main!(benches);

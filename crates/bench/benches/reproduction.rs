@@ -1,0 +1,94 @@
+//! Criterion benches, one per table/figure of the paper's evaluation:
+//! each measures the kernel that regenerates the corresponding result
+//! (small iteration counts — the `repro` binary prints the full tables).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Table 4.1 rows: one simulated echo call per transport.
+fn bench_table_4_1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4.1");
+    group.sample_size(20);
+    group.bench_function("udp_echo_x20", |b| {
+        b.iter(|| black_box(bench::run_udp_echo(20)))
+    });
+    group.bench_function("tcp_echo_x20", |b| {
+        b.iter(|| black_box(bench::run_tcp_echo(20)))
+    });
+    for n in [1usize, 3, 5] {
+        group.bench_with_input(
+            BenchmarkId::new("circus_echo_x20", n),
+            &n,
+            |b, &n| b.iter(|| black_box(bench::run_circus_echo(n, 20))),
+        );
+    }
+    group.finish();
+}
+
+/// Table 4.3 / Figure 4.8 reuse the Circus rig; bench its scaling knee.
+fn bench_fig_4_8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4.8");
+    group.sample_size(10);
+    group.bench_function("circus_sweep_n1to5_x10calls", |b| {
+        b.iter(|| {
+            for n in 1..=5usize {
+                black_box(bench::run_circus_echo(n, 10));
+            }
+        })
+    });
+    group.finish();
+}
+
+/// §4.4.2: the multicast rig.
+fn bench_multicast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multicast_theory");
+    group.sample_size(20);
+    for n in [4usize, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(bench::run_multicast_call(n, 50, 20.0, 3)))
+        });
+    }
+    group.finish();
+}
+
+/// Eq 5.1: the Monte-Carlo deadlock estimator.
+fn bench_eq_5_1(c: &mut Criterion) {
+    c.bench_function("eq5.1_montecarlo_10k", |b| {
+        b.iter(|| black_box(analysis::deadlock_probability_simulated(3, 3, 10_000, 7)))
+    });
+}
+
+/// Fig 6.3: the birth–death availability simulation.
+fn bench_fig_6_3(c: &mut Criterion) {
+    c.bench_function("fig6.3_birthdeath_10k", |b| {
+        b.iter(|| black_box(analysis::availability_simulated(3, 1.0, 9.0, 10_000.0, 7)))
+    });
+}
+
+/// Tables 7.x: the stub compiler end to end on Figure 7.2's interface.
+fn bench_stubgen(c: &mut Criterion) {
+    let src = include_str!("../../stubgen/idl/name_server.courier");
+    c.bench_function("table7.1_stubgen_compile", |b| {
+        b.iter(|| {
+            black_box(
+                stubgen::compile(
+                    black_box(src),
+                    stubgen::Options {
+                        explicit_replication: true,
+                    },
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_table_4_1,
+    bench_fig_4_8,
+    bench_multicast,
+    bench_eq_5_1,
+    bench_fig_6_3,
+    bench_stubgen
+);
+criterion_main!(benches);

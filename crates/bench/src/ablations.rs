@@ -1,0 +1,439 @@
+//! Ablation experiments for the design choices the paper discusses but
+//! does not quantify:
+//!
+//! - **waiting policies** (§4.3.4): unanimous vs first-come vs majority
+//!   when one troupe member runs on a loaded machine — "the execution
+//!   time of the replicated program as a whole is determined by the
+//!   slowest member of each troupe" (unanimous) versus "the fastest"
+//!   (first-come);
+//! - **synchronization schemes** (§5.5): the optimistic troupe commit
+//!   protocol against the starvation-free ordered broadcast as the
+//!   number of conflicting clients grows — the trade-off that motivates
+//!   choosing "on a module-by-module basis".
+
+use circus::{
+    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig,
+    NodeCtx, Service, ServiceCtx, Step, Troupe, TroupeId,
+};
+use simnet::{Ctx, Duration, HostId, Process, SockAddr, Syscall, Time, TimerId, World};
+use transactions::{
+    Broadcaster, CommitVoterService, ObjId, Op, OrderedApply, OrderedBroadcastService,
+    TroupeStoreService, TxnClient,
+};
+use wire::{from_bytes, to_bytes};
+
+const MODULE: u16 = 1;
+
+/// A background process that keeps its host's CPU busy with a duty
+/// cycle, simulating a loaded 1985 timesharing machine: everything else
+/// on the host (including a troupe member) is delayed by CPU
+/// serialization.
+struct LoadGenerator {
+    busy: Duration,
+    period: Duration,
+}
+
+impl Process for LoadGenerator {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.period, 0);
+    }
+
+    fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _from: SockAddr, _data: Vec<u8>) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: TimerId, _tag: u64) {
+        ctx.charge_dur(Syscall::Compute, self.busy);
+        ctx.set_timer(self.period, 0);
+    }
+}
+
+struct EchoService;
+
+impl Service for EchoService {
+    fn dispatch(&mut self, _ctx: &mut ServiceCtx, _proc: u16, args: &[u8]) -> Step {
+        Step::Reply(args.to_vec())
+    }
+}
+
+struct PolicyClient {
+    troupe: Troupe,
+    policy: CollationPolicy,
+    remaining: u32,
+    started: Time,
+    pub durations: Vec<Duration>,
+}
+
+impl Agent for PolicyClient {
+    fn on_poke(&mut self, nc: &mut NodeCtx<'_, '_, '_>, _tag: u64) {
+        self.started = nc.now();
+        let thread = nc.fresh_thread();
+        let troupe = self.troupe.clone();
+        nc.call(thread, &troupe, MODULE, 0, vec![0u8; 32], self.policy.clone());
+    }
+
+    fn on_call_done(
+        &mut self,
+        nc: &mut NodeCtx<'_, '_, '_>,
+        _h: CallHandle,
+        _r: Result<Vec<u8>, CallError>,
+    ) {
+        self.durations.push(nc.now().since(self.started));
+        self.remaining -= 1;
+        if self.remaining > 0 {
+            self.started = nc.now();
+            let thread = nc.fresh_thread();
+            let troupe = self.troupe.clone();
+            nc.call(thread, &troupe, MODULE, 0, vec![0u8; 32], self.policy.clone());
+        }
+    }
+}
+
+/// Mean latency (ms/call) of a replicated echo to a 3-member troupe with
+/// one member on a machine kept ~75% busy, under the given waiting
+/// policy.
+pub fn run_waiting_policy(policy: CollationPolicy, calls: u32) -> f64 {
+    let mut w = World::new(1985);
+    let id = TroupeId(3);
+    let mut members = Vec::new();
+    for h in 1..=3u32 {
+        let a = SockAddr::new(HostId(h), 70);
+        let p = CircusProcess::new(a, NodeConfig::default())
+            .with_service(MODULE, Box::new(EchoService))
+            .with_troupe_id(id);
+        w.spawn(a, Box::new(p));
+        members.push(ModuleAddr::new(a, MODULE));
+    }
+    // Load down member 3's machine: 60 ms of competing CPU per 80 ms.
+    w.spawn(
+        SockAddr::new(HostId(3), 9),
+        Box::new(LoadGenerator {
+            busy: Duration::from_millis(60),
+            period: Duration::from_millis(80),
+        }),
+    );
+    let troupe = Troupe::new(id, members);
+    let client = SockAddr::new(HostId(10), 50);
+    let p = CircusProcess::new(client, NodeConfig::default()).with_agent(Box::new(PolicyClient {
+        troupe,
+        policy,
+        remaining: calls,
+        started: Time::ZERO,
+        durations: Vec::new(),
+    }));
+    w.spawn(client, Box::new(p));
+    w.poke(client, 0);
+    w.run_until_pred(Time::from_secs(36_000), |w| {
+        w.with_proc(client, |p: &CircusProcess| {
+            p.agent_as::<PolicyClient>().unwrap().remaining == 0
+        })
+        .unwrap_or(false)
+    });
+    let durations = w
+        .with_proc(client, |p: &CircusProcess| {
+            p.agent_as::<PolicyClient>().unwrap().durations.clone()
+        })
+        .unwrap();
+    durations.iter().map(|d| d.as_millis_f64()).sum::<f64>() / durations.len() as f64
+}
+
+/// Outcome of one synchronization-scheme run.
+#[derive(Clone, Copy, Debug)]
+pub struct SyncOutcome {
+    /// Committed transactions per second of simulated time.
+    pub throughput: f64,
+    /// Aborts observed (the optimistic protocol's starvation signal).
+    pub aborts: u32,
+    /// Seconds of simulated time to finish the workload.
+    pub elapsed_s: f64,
+}
+
+const STORE_MODULE: u16 = 1;
+const COMMIT_MODULE: u16 = 2;
+const TXNS_PER_CLIENT: usize = 6;
+
+/// Runs `clients` concurrent clients, each committing 6 conflicting
+/// increments through the **troupe commit protocol** against a 3-member
+/// store troupe.
+pub fn run_commit_protocol(clients: u32) -> SyncOutcome {
+    let mut w = World::new(42 + clients as u64);
+    let config = NodeConfig {
+        assembly_timeout: Duration::from_millis(1200),
+        ..NodeConfig::default()
+    };
+    let id = TroupeId(7);
+    let mut members = Vec::new();
+    for h in 1..=3u32 {
+        let a = SockAddr::new(HostId(h), 70);
+        let p = CircusProcess::new(a, config.clone())
+            .with_service(STORE_MODULE, Box::new(TroupeStoreService::new(COMMIT_MODULE)))
+            .with_troupe_id(id);
+        w.spawn(a, Box::new(p));
+        members.push(ModuleAddr::new(a, STORE_MODULE));
+    }
+    let troupe = Troupe::new(id, members);
+    let client_addrs: Vec<SockAddr> =
+        (0..clients).map(|i| SockAddr::new(HostId(10 + i), 50)).collect();
+    for &a in &client_addrs {
+        // Everyone increments the same object: maximal conflict.
+        let script = vec![vec![Op::Add(ObjId(1), 1)]; TXNS_PER_CLIENT];
+        let p = CircusProcess::new(a, config.clone())
+            .with_agent(Box::new(TxnClient::new(troupe.clone(), STORE_MODULE, script)))
+            .with_service(COMMIT_MODULE, Box::new(CommitVoterService));
+        w.spawn(a, Box::new(p));
+    }
+    for &a in &client_addrs {
+        w.poke(a, 0);
+    }
+    let deadline = Time::from_secs(3600);
+    w.run_until_pred(deadline, |w| {
+        client_addrs.iter().all(|&a| {
+            w.with_proc(a, |p: &CircusProcess| {
+                p.agent_as::<TxnClient>().unwrap().finished()
+            })
+            .unwrap_or(true)
+        })
+    });
+    let elapsed_s = w.now().as_secs_f64();
+    let mut committed = 0u32;
+    let mut aborts = 0u32;
+    for &a in &client_addrs {
+        let (c, ab) = w
+            .with_proc(a, |p: &CircusProcess| {
+                let t = p.agent_as::<TxnClient>().unwrap();
+                (t.committed.len() as u32, t.aborts)
+            })
+            .unwrap();
+        committed += c;
+        aborts += ab;
+    }
+    SyncOutcome {
+        throughput: committed as f64 / elapsed_s,
+        aborts,
+        elapsed_s,
+    }
+}
+
+/// The same workload through the **ordered broadcast** protocol
+/// (starvation-free, §5.4).
+pub fn run_ordered_broadcast(clients: u32) -> SyncOutcome {
+    struct AddApply {
+        total: i64,
+        applied: u32,
+    }
+    impl OrderedApply for AddApply {
+        fn apply(&mut self, payload: &[u8]) -> Vec<u8> {
+            let delta: i64 = from_bytes(payload).unwrap_or(0);
+            self.total += delta;
+            self.applied += 1;
+            to_bytes(&self.total)
+        }
+    }
+
+    let mut w = World::new(42 + clients as u64);
+    let id = TroupeId(7);
+    let mut members = Vec::new();
+    for h in 1..=3u32 {
+        let a = SockAddr::new(HostId(h), 70);
+        let p = CircusProcess::new(a, NodeConfig::default())
+            .with_service(
+                STORE_MODULE,
+                Box::new(OrderedBroadcastService::new(AddApply { total: 0, applied: 0 })),
+            )
+            .with_troupe_id(id);
+        w.spawn(a, Box::new(p));
+        members.push(ModuleAddr::new(a, STORE_MODULE));
+    }
+    let troupe = Troupe::new(id, members);
+    let client_addrs: Vec<SockAddr> =
+        (0..clients).map(|i| SockAddr::new(HostId(10 + i), 50)).collect();
+    for (i, &a) in client_addrs.iter().enumerate() {
+        let msgs = vec![to_bytes(&1i64); TXNS_PER_CLIENT];
+        let p = CircusProcess::new(a, NodeConfig::default()).with_agent(Box::new(
+            Broadcaster::new(troupe.clone(), STORE_MODULE, (i as u64 + 1) * 1_000_000, msgs),
+        ));
+        w.spawn(a, Box::new(p));
+    }
+    for &a in &client_addrs {
+        w.poke(a, 0);
+    }
+    let deadline = Time::from_secs(3600);
+    w.run_until_pred(deadline, |w| {
+        client_addrs.iter().all(|&a| {
+            w.with_proc(a, |p: &CircusProcess| {
+                p.agent_as::<Broadcaster>().unwrap().finished()
+            })
+            .unwrap_or(true)
+        })
+    });
+    let elapsed_s = w.now().as_secs_f64();
+    let done: usize = client_addrs
+        .iter()
+        .map(|&a| {
+            w.with_proc(a, |p: &CircusProcess| {
+                p.agent_as::<Broadcaster>().unwrap().results.len()
+            })
+            .unwrap_or(0)
+        })
+        .sum();
+    SyncOutcome {
+        throughput: done as f64 / elapsed_s,
+        aborts: 0, // Starvation-free: no aborts by construction (§5.4).
+        elapsed_s,
+    }
+}
+
+/// Formats the waiting-policy ablation.
+pub fn ablation_waiting(calls: u32) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Ablation (Sec 4.3.4): waiting policy vs latency, 3-member troupe,\n\
+         one member on a ~75%-loaded machine (ms/call)"
+    );
+    for (name, policy) in [
+        ("unanimous", CollationPolicy::Unanimous),
+        ("majority", CollationPolicy::Majority),
+        ("first-come", CollationPolicy::FirstCome),
+    ] {
+        let ms = run_waiting_policy(policy, calls);
+        let _ = writeln!(out, "{name:<11} {ms:>8.1}");
+    }
+    let _ = writeln!(
+        out,
+        "Shape check: unanimous is bound by the slowest member, first-come by\n\
+         the fastest, majority by the second-fastest."
+    );
+    out
+}
+
+/// Formats the synchronization-scheme ablation.
+pub fn ablation_sync() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Ablation (Sec 5.5): optimistic troupe commit vs ordered broadcast\n\
+         under rising conflict (3-member troupe, 6 conflicting txns/client)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} | {:>12} {:>8} | {:>12} {:>8}",
+        "clients", "commit tx/s", "aborts", "bcast tx/s", "aborts"
+    );
+    for clients in [1u32, 2, 4, 6] {
+        let commit = run_commit_protocol(clients);
+        let bcast = run_ordered_broadcast(clients);
+        let _ = writeln!(
+            out,
+            "{clients:<8} | {:>12.2} {:>8} | {:>12.2} {:>8}",
+            commit.throughput, commit.aborts, bcast.throughput, bcast.aborts
+        );
+    }
+    let _ = writeln!(
+        out,
+        "Shape check: the optimistic protocol aborts more as conflict rises\n\
+         (Eq 5.1's starvation); ordered broadcast never aborts — the paper's\n\
+         case for choosing the scheme per module (Sec 5.5)."
+    );
+    out
+}
+
+/// One-way transfer of an S-segment message, counting datagrams each way
+/// and the receiver's peak out-of-order buffering (§4.2.5's comparison
+/// of the Circus and Xerox PARC disciplines).
+fn transfer_stats(config: pairedmsg::Config, segments: usize) -> (u64, u64, usize) {
+    use pairedmsg::{Endpoint, Event as PmEvent, MsgType};
+    let seg = 32usize;
+    let mut tx = Endpoint::new(config.clone());
+    let mut rx = Endpoint::new(config);
+    let payload = vec![7u8; seg * segments];
+    let now = Time::ZERO;
+    tx.send(now, MsgType::Call, 1, &payload).unwrap();
+    loop {
+        let mut moved = false;
+        while let Some(bytes) = tx.poll_transmit() {
+            moved = true;
+            rx.on_datagram(now, &bytes).unwrap();
+        }
+        while let Some(bytes) = rx.poll_transmit() {
+            moved = true;
+            tx.on_datagram(now, &bytes).unwrap();
+        }
+        if let Some(PmEvent::Message { .. }) = rx.poll_event() {
+            break;
+        }
+        assert!(moved, "transfer stalled");
+    }
+    (
+        tx.stats().segments_sent,
+        rx.stats().segments_sent,
+        rx.stats().max_recv_buffered,
+    )
+}
+
+/// Formats the §4.2.5 protocol-discipline ablation.
+pub fn ablation_protocol() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Ablation (Sec 4.2.5): Circus vs Xerox PARC multi-segment discipline\n\
+         (lossless wire; datagrams to deliver one S-segment message)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} | {:>10} {:>10} | {:>10} {:>10}",
+        "segments", "circus out", "acks back", "parc out", "acks back"
+    );
+    for segments in [4usize, 16, 64] {
+        let seg32 = |mode: pairedmsg::ProtocolMode| pairedmsg::Config {
+            max_segment_data: 32,
+            mode,
+            ..pairedmsg::Config::default()
+        };
+        let (c_fwd, c_back, _) = transfer_stats(seg32(pairedmsg::ProtocolMode::Circus), segments);
+        let (p_fwd, p_back, p_buf) = transfer_stats(seg32(pairedmsg::ProtocolMode::Parc), segments);
+        assert!(p_buf <= 1);
+        let _ = writeln!(
+            out,
+            "{segments:<10} | {c_fwd:>10} {c_back:>10} | {p_fwd:>10} {p_back:>10}"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "Shape check: PARC nearly doubles the datagram count ('this doubles the\n\
+         number of segments sent') but bounds receiver buffering to one segment;\n\
+         Circus sends the minimum at the cost of unbounded buffering (Sec 4.2.5)."
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waiting_policies_order_correctly() {
+        let unanimous = run_waiting_policy(CollationPolicy::Unanimous, 30);
+        let first = run_waiting_policy(CollationPolicy::FirstCome, 30);
+        let majority = run_waiting_policy(CollationPolicy::Majority, 30);
+        assert!(
+            first < majority && majority <= unanimous,
+            "first {first:.1} majority {majority:.1} unanimous {unanimous:.1}"
+        );
+    }
+
+    #[test]
+    fn broadcast_never_aborts_commit_does_under_conflict() {
+        let commit = run_commit_protocol(4);
+        let bcast = run_ordered_broadcast(4);
+        assert_eq!(bcast.aborts, 0);
+        assert!(
+            commit.aborts > 0,
+            "4 clients on one object should conflict at least once"
+        );
+        // Both complete the workload.
+        assert!(commit.throughput > 0.0 && bcast.throughput > 0.0);
+    }
+}
+

@@ -1,0 +1,90 @@
+//! `repro`: regenerates every table and figure in the paper's evaluation.
+//!
+//! ```text
+//! repro [--quick] [EXPERIMENT...]
+//! ```
+//!
+//! Experiments: `table4.1 table4.2 table4.3 fig4.8 multicast eq5.1
+//! fig6.3 table7.1 ablation.waiting ablation.sync ablation.protocol` (default: all).
+//! `--quick` uses fewer calls/trials.
+
+use std::process::ExitCode;
+
+/// Prints a block, exiting quietly if the reader closed the pipe
+/// (e.g. `repro | head`).
+fn emit(block: String) {
+    use std::io::Write;
+    if writeln!(std::io::stdout(), "{block}").is_err() {
+        std::process::exit(0);
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let all = wanted.is_empty();
+    let want = |name: &str| all || wanted.contains(&name);
+
+    let calls = if quick { 50 } else { 500 };
+    let mc_calls = if quick { 200 } else { 1000 };
+    let trials = if quick { 5_000 } else { 100_000 };
+
+    let mut known = false;
+    if want("table4.1") {
+        known = true;
+        emit(bench::tables::table_4_1(calls));
+    }
+    if want("table4.2") {
+        known = true;
+        emit(bench::tables::table_4_2());
+    }
+    if want("table4.3") {
+        known = true;
+        emit(bench::tables::table_4_3(calls));
+    }
+    if want("fig4.8") {
+        known = true;
+        emit(bench::tables::fig_4_8(calls));
+    }
+    if want("multicast") || want("fig4.9-theory") {
+        known = true;
+        emit(bench::tables::fig_multicast_theory(mc_calls));
+    }
+    if want("eq5.1") {
+        known = true;
+        emit(bench::tables::eq_5_1(trials));
+    }
+    if want("fig6.3") {
+        known = true;
+        emit(bench::tables::fig_6_3());
+    }
+    if want("table7.1") {
+        known = true;
+        emit(bench::tables::table_7_1());
+    }
+    if want("ablation.waiting") {
+        known = true;
+        emit(bench::ablations::ablation_waiting(calls.min(100)));
+    }
+    if want("ablation.sync") {
+        known = true;
+        emit(bench::ablations::ablation_sync());
+    }
+    if want("ablation.protocol") {
+        known = true;
+        emit(bench::ablations::ablation_protocol());
+    }
+    if !known {
+        eprintln!(
+            "unknown experiment(s) {wanted:?}; known: table4.1 table4.2 table4.3 \
+             fig4.8 multicast eq5.1 fig6.3 table7.1 ablation.waiting ablation.sync ablation.protocol"
+        );
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}

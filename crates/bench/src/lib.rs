@@ -1,0 +1,20 @@
+//! # bench: the reproduction harness
+//!
+//! Regenerates every table and figure in the evaluation of Cooper's
+//! *Replicated Distributed Programs*: the echo testbeds of §4.4.1
+//! ([`testbed`]), the table/figure formatters ([`tables`]), and the
+//! `repro` binary that prints paper-vs-measured comparisons.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod tables;
+pub mod testbed;
+
+pub use ablations::{
+    ablation_protocol, ablation_sync, ablation_waiting, run_commit_protocol,
+    run_ordered_broadcast, run_waiting_policy, SyncOutcome,
+};
+pub use testbed::{
+    run_circus_echo, run_multicast_call, run_tcp_echo, run_udp_echo, EchoResult,
+};

@@ -1,0 +1,147 @@
+//! Abstract syntax of the troupe configuration language (§7.5.2).
+//!
+//! "The troupe configuration language is an extension of propositional
+//! logic with variables that range over the machines in the distributed
+//! system." A troupe specification is `troupe(x1,…,xn) where φ(x1,…,xn)`;
+//! atoms compare machine attributes to literals or test Boolean
+//! properties (Figure 7.12).
+
+use std::fmt;
+
+/// Comparison operators over attribute values.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `/=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "/=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Literal values in formulas.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Literal {
+    /// A quoted string, e.g. `"UCB-Monet"`.
+    Str(String),
+    /// A number, e.g. `10`.
+    Num(i64),
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Str(s) => write!(f, "{s:?}"),
+            Literal::Num(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// A formula of the configuration language.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Formula {
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+    /// Negation.
+    Not(Box<Formula>),
+    /// `x.attr op literal`.
+    Cmp {
+        /// The machine variable.
+        var: String,
+        /// The attribute name.
+        attr: String,
+        /// The comparison.
+        op: CmpOp,
+        /// The right-hand literal.
+        literal: Literal,
+    },
+    /// `x.property` — "a Boolean-valued attribute such as
+    /// 'has-floating-point' is called a property" (§7.5.2).
+    Prop {
+        /// The machine variable.
+        var: String,
+        /// The property name.
+        attr: String,
+    },
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::And(a, b) => write!(f, "({a} and {b})"),
+            Formula::Or(a, b) => write!(f, "({a} or {b})"),
+            Formula::Not(a) => write!(f, "not {a}"),
+            Formula::Cmp {
+                var,
+                attr,
+                op,
+                literal,
+            } => write!(f, "{var}.{attr} {op} {literal}"),
+            Formula::Prop { var, attr } => write!(f, "{var}.{attr}"),
+        }
+    }
+}
+
+/// A troupe specification: `troupe(x1,…,xn) where φ`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TroupeSpec {
+    /// The machine variables; the troupe's size is fixed by their count
+    /// ("it is impossible to specify a troupe of variable size", §7.5.2).
+    pub vars: Vec<String>,
+    /// The constraint; members must additionally be distinct machines.
+    pub formula: Formula,
+}
+
+impl TroupeSpec {
+    /// The required degree of replication.
+    pub fn degree(&self) -> usize {
+        self.vars.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round() {
+        let f = Formula::And(
+            Box::new(Formula::Cmp {
+                var: "x".into(),
+                attr: "memory".into(),
+                op: CmpOp::Ge,
+                literal: Literal::Num(10),
+            }),
+            Box::new(Formula::Prop {
+                var: "x".into(),
+                attr: "has-floating-point".into(),
+            }),
+        );
+        assert_eq!(
+            format!("{f}"),
+            "(x.memory >= 10 and x.has-floating-point)"
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Evaluating formulas against an assignment of machines to variables.
+
+use crate::ast::{CmpOp, Formula, Literal};
+use crate::machine::{Machine, Value};
+use std::collections::BTreeMap;
+
+/// An assignment of machine references to variable names.
+pub type Assignment<'a> = BTreeMap<&'a str, &'a Machine>;
+
+fn compare(op: CmpOp, value: &Value, literal: &Literal) -> bool {
+    match (value, literal) {
+        (Value::Num(a), Literal::Num(b)) => match op {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        },
+        (Value::Str(a), Literal::Str(b)) => match op {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        },
+        // Type mismatches are simply false (an absent or wrongly-typed
+        // attribute cannot satisfy a comparison).
+        _ => false,
+    }
+}
+
+/// Evaluates `formula` under `assignment`. Unassigned variables and
+/// missing attributes make their atoms false.
+pub fn eval(formula: &Formula, assignment: &Assignment<'_>) -> bool {
+    match formula {
+        Formula::And(a, b) => eval(a, assignment) && eval(b, assignment),
+        Formula::Or(a, b) => eval(a, assignment) || eval(b, assignment),
+        Formula::Not(a) => !eval(a, assignment),
+        Formula::Cmp {
+            var,
+            attr,
+            op,
+            literal,
+        } => assignment
+            .get(var.as_str())
+            .and_then(|m| m.get(attr))
+            .map(|v| compare(*op, v, literal))
+            .unwrap_or(false),
+        Formula::Prop { var, attr } => assignment
+            .get(var.as_str())
+            .and_then(|m| m.get(attr))
+            .map(|v| matches!(v, Value::Bool(true)))
+            .unwrap_or(false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn monet() -> Machine {
+        Machine::named(1, "UCB-Monet")
+            .with("memory", Value::Num(10))
+            .with("has-floating-point", Value::Bool(true))
+    }
+
+    fn eval_spec(src: &str, m: &Machine) -> bool {
+        let spec = parse(src).unwrap();
+        let mut a = Assignment::new();
+        a.insert(spec.vars[0].as_str(), m);
+        eval(&spec.formula, &a)
+    }
+
+    #[test]
+    fn paper_example_satisfied() {
+        let m = monet();
+        assert!(eval_spec(
+            r#"troupe(x) where x.name = "UCB-Monet" and x.memory = 10 and x.has-floating-point"#,
+            &m
+        ));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let m = monet();
+        assert!(eval_spec("troupe(x) where x.memory >= 10", &m));
+        assert!(eval_spec("troupe(x) where x.memory > 5", &m));
+        assert!(!eval_spec("troupe(x) where x.memory < 10", &m));
+        assert!(eval_spec("troupe(x) where x.memory /= 11", &m));
+        assert!(eval_spec(r#"troupe(x) where x.name /= "Other""#, &m));
+    }
+
+    #[test]
+    fn missing_attribute_is_false() {
+        let m = monet();
+        assert!(!eval_spec("troupe(x) where x.disk >= 1", &m));
+        assert!(!eval_spec("troupe(x) where x.is-fast", &m));
+        // But its negation is true.
+        assert!(eval_spec("troupe(x) where not x.is-fast", &m));
+    }
+
+    #[test]
+    fn type_mismatch_is_false() {
+        let m = monet();
+        assert!(!eval_spec(r#"troupe(x) where x.memory = "10""#, &m));
+        assert!(!eval_spec("troupe(x) where x.name = 10", &m));
+    }
+
+    #[test]
+    fn boolean_false_property() {
+        let m = monet().with("is-slow", Value::Bool(false));
+        assert!(!eval_spec("troupe(x) where x.is-slow", &m));
+        assert!(eval_spec("troupe(x) where not x.is-slow", &m));
+    }
+
+    #[test]
+    fn or_and_not_combine() {
+        let m = monet();
+        assert!(eval_spec(
+            "troupe(x) where x.memory = 99 or x.has-floating-point",
+            &m
+        ));
+        assert!(!eval_spec(
+            "troupe(x) where x.memory = 99 and x.has-floating-point",
+            &m
+        ));
+    }
+}

@@ -1,0 +1,243 @@
+//! Lexer for the troupe configuration language.
+
+use std::fmt;
+
+/// Lexical tokens.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Token {
+    /// `troupe`
+    Troupe,
+    /// `where`
+    Where,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `not`
+    Not,
+    /// An identifier (variable or attribute; may contain `-`).
+    Ident(String),
+    /// A quoted string literal.
+    Str(String),
+    /// A numeric literal.
+    Num(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `/=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A lexical error with byte position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub at: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a specification source.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '/' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        at: i,
+                        message: "expected '=' after '/'".into(),
+                    });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(LexError {
+                        at: i,
+                        message: "unterminated string".into(),
+                    });
+                }
+                out.push(Token::Str(src[start..j].to_string()));
+                i = j + 1;
+            }
+            '0'..='9' | '-' => {
+                let start = i;
+                let mut j = i;
+                if bytes[j] == b'-' {
+                    j += 1;
+                }
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let text = &src[start..j];
+                let n: i64 = text.parse().map_err(|_| LexError {
+                    at: start,
+                    message: format!("bad number {text:?}"),
+                })?;
+                out.push(Token::Num(n));
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() {
+                    let b = bytes[j] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' || b == '-' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &src[start..j];
+                out.push(match word {
+                    "troupe" => Token::Troupe,
+                    "where" => Token::Where,
+                    "and" => Token::And,
+                    "or" => Token::Or,
+                    "not" => Token::Not,
+                    _ => Token::Ident(word.to_string()),
+                });
+                i = j;
+            }
+            other => {
+                return Err(LexError {
+                    at: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_and_symbols() {
+        let toks = lex("troupe (x, y) where x.a >= 10 and not y.b /= \"s\"").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Troupe,
+                Token::LParen,
+                Token::Ident("x".into()),
+                Token::Comma,
+                Token::Ident("y".into()),
+                Token::RParen,
+                Token::Where,
+                Token::Ident("x".into()),
+                Token::Dot,
+                Token::Ident("a".into()),
+                Token::Ge,
+                Token::Num(10),
+                Token::And,
+                Token::Not,
+                Token::Ident("y".into()),
+                Token::Dot,
+                Token::Ident("b".into()),
+                Token::Ne,
+                Token::Str("s".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn hyphenated_attribute_names() {
+        let toks = lex("x.has-floating-point").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("x".into()),
+                Token::Dot,
+                Token::Ident("has-floating-point".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_numbers() {
+        assert_eq!(lex("-42").unwrap(), vec![Token::Num(-42)]);
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(lex("x & y").is_err());
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("a / b").is_err());
+    }
+}

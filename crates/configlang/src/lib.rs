@@ -1,0 +1,39 @@
+//! # configlang: the troupe configuration language and manager
+//!
+//! §7.5 of Cooper's dissertation: programming-in-the-large tools for
+//! replicated distributed programs. A configuration maps troupes to sets
+//! of machines; the language lets a programmer specify the *acceptable*
+//! configurations ("troupe(x1,…,xn) where φ", Figure 7.12) in terms of
+//! machine attributes, without touching module source code, and the
+//! configuration manager solves the troupe extension problem (§7.5.3) to
+//! instantiate and reconfigure troupes.
+//!
+//! ```
+//! use configlang::{parse, extend_troupe, Machine, Universe, Value};
+//!
+//! let spec = parse("troupe(x, y) where x.memory >= 10 and y.memory >= 10").unwrap();
+//! let universe = Universe::new()
+//!     .with(Machine::named(1, "vax-a").with("memory", Value::Num(4)))
+//!     .with(Machine::named(2, "vax-b").with("memory", Value::Num(16)))
+//!     .with(Machine::named(3, "vax-c").with("memory", Value::Num(16)));
+//! let members = extend_troupe(&spec, &universe, &[]).unwrap();
+//! assert_eq!(members, vec![2, 3]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod eval;
+pub mod lexer;
+pub mod machine;
+pub mod manager;
+pub mod parser;
+pub mod solve;
+
+pub use ast::{CmpOp, Formula, Literal, TroupeSpec};
+pub use eval::{eval, Assignment};
+pub use lexer::{lex, LexError, Token};
+pub use machine::{Machine, Universe, Value};
+pub use manager::{ConfigError, ConfigManager, ManagedTroupe, Placement};
+pub use parser::{parse, ParseError};
+pub use solve::extend_troupe;

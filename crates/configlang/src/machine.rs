@@ -1,0 +1,103 @@
+//! Machines and their attribute lists (§7.5.2).
+//!
+//! "Each machine possesses an extensible list of attributes, which are
+//! simply pairs of names and values. Values may be strings, numbers, or
+//! truth values." The machine's name is just another attribute.
+
+use std::collections::BTreeMap;
+
+/// An attribute value.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Value {
+    /// A string, e.g. a machine name.
+    Str(String),
+    /// A number, e.g. megabytes of memory.
+    Num(i64),
+    /// A truth value (a *property*).
+    Bool(bool),
+}
+
+/// A machine: an identifier (used by the configuration manager to place
+/// processes) plus its attributes.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Machine {
+    /// Stable identifier within the universe (e.g. a simulator host id).
+    pub id: u32,
+    /// Attribute list.
+    pub attrs: BTreeMap<String, Value>,
+}
+
+impl Machine {
+    /// A machine with the conventional `name` attribute set.
+    pub fn named(id: u32, name: &str) -> Machine {
+        let mut m = Machine {
+            id,
+            attrs: BTreeMap::new(),
+        };
+        m.attrs
+            .insert("name".to_string(), Value::Str(name.to_string()));
+        m
+    }
+
+    /// Builder: adds an attribute.
+    pub fn with(mut self, key: &str, value: Value) -> Machine {
+        self.attrs.insert(key.to_string(), value);
+        self
+    }
+
+    /// Reads an attribute.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.attrs.get(key)
+    }
+}
+
+/// The set of machines available for configuration.
+#[derive(Clone, Debug, Default)]
+pub struct Universe {
+    /// All machines, in a stable order.
+    pub machines: Vec<Machine>,
+}
+
+impl Universe {
+    /// An empty universe.
+    pub fn new() -> Universe {
+        Universe::default()
+    }
+
+    /// Builder: adds a machine.
+    pub fn with(mut self, m: Machine) -> Universe {
+        self.machines.push(m);
+        self
+    }
+
+    /// Finds a machine by id.
+    pub fn by_id(&self, id: u32) -> Option<&Machine> {
+        self.machines.iter().find(|m| m.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_machine() {
+        // (name, "UCB-Monet"), (memory, 10), (has-floating-point, true).
+        let m = Machine::named(1, "UCB-Monet")
+            .with("memory", Value::Num(10))
+            .with("has-floating-point", Value::Bool(true));
+        assert_eq!(m.get("name"), Some(&Value::Str("UCB-Monet".into())));
+        assert_eq!(m.get("memory"), Some(&Value::Num(10)));
+        assert_eq!(m.get("has-floating-point"), Some(&Value::Bool(true)));
+        assert_eq!(m.get("missing"), None);
+    }
+
+    #[test]
+    fn universe_lookup() {
+        let u = Universe::new()
+            .with(Machine::named(1, "a"))
+            .with(Machine::named(5, "b"));
+        assert_eq!(u.by_id(5).unwrap().get("name"), Some(&Value::Str("b".into())));
+        assert!(u.by_id(9).is_none());
+    }
+}

@@ -1,0 +1,269 @@
+//! Recursive-descent parser for the grammar of Figure 7.12:
+//!
+//! ```text
+//! spec    := 'troupe' '(' var { ',' var } ')' 'where' expr
+//! expr    := term { 'or' term }
+//! term    := factor { 'and' factor }
+//! factor  := 'not' factor | '(' expr ')' | atom
+//! atom    := var '.' attr [ cmpop literal ]
+//! literal := string | number
+//! ```
+
+use crate::ast::{CmpOp, Formula, Literal, TroupeSpec};
+use crate::lexer::{lex, LexError, Token};
+use std::fmt;
+
+/// A parse error.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ParseError {
+    /// Tokenization failed.
+    Lex(LexError),
+    /// Unexpected token (or end of input).
+    Unexpected {
+        /// What was found, if anything.
+        found: Option<Token>,
+        /// What was expected.
+        expected: String,
+    },
+    /// A variable in the formula is not bound by the troupe header.
+    UnboundVariable(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Unexpected { found, expected } => match found {
+                Some(t) => write!(f, "unexpected {t:?}, expected {expected}"),
+                None => write!(f, "unexpected end of input, expected {expected}"),
+            },
+            ParseError::UnboundVariable(v) => write!(f, "variable {v:?} not bound by troupe(...)"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError::Lex(e)
+    }
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Token, what: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if t == *want => Ok(()),
+            found => Err(ParseError::Unexpected {
+                found,
+                expected: what.to_string(),
+            }),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            found => Err(ParseError::Unexpected {
+                found,
+                expected: what.to_string(),
+            }),
+        }
+    }
+
+    fn spec(&mut self) -> Result<TroupeSpec, ParseError> {
+        self.expect(&Token::Troupe, "'troupe'")?;
+        self.expect(&Token::LParen, "'('")?;
+        let mut vars = vec![self.ident("variable name")?];
+        while self.peek() == Some(&Token::Comma) {
+            self.next();
+            vars.push(self.ident("variable name")?);
+        }
+        self.expect(&Token::RParen, "')'")?;
+        self.expect(&Token::Where, "'where'")?;
+        let formula = self.expr()?;
+        if let Some(found) = self.next() {
+            return Err(ParseError::Unexpected {
+                found: Some(found),
+                expected: "end of specification".into(),
+            });
+        }
+        Ok(TroupeSpec { vars, formula })
+    }
+
+    fn expr(&mut self) -> Result<Formula, ParseError> {
+        let mut left = self.term()?;
+        while self.peek() == Some(&Token::Or) {
+            self.next();
+            let right = self.term()?;
+            left = Formula::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn term(&mut self) -> Result<Formula, ParseError> {
+        let mut left = self.factor()?;
+        while self.peek() == Some(&Token::And) {
+            self.next();
+            let right = self.factor()?;
+            left = Formula::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn factor(&mut self) -> Result<Formula, ParseError> {
+        match self.peek() {
+            Some(Token::Not) => {
+                self.next();
+                Ok(Formula::Not(Box::new(self.factor()?)))
+            }
+            Some(Token::LParen) => {
+                self.next();
+                let inner = self.expr()?;
+                self.expect(&Token::RParen, "')'")?;
+                Ok(inner)
+            }
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Formula, ParseError> {
+        let var = self.ident("machine variable")?;
+        self.expect(&Token::Dot, "'.'")?;
+        let attr = self.ident("attribute name")?;
+        let op = match self.peek() {
+            Some(Token::Eq) => CmpOp::Eq,
+            Some(Token::Ne) => CmpOp::Ne,
+            Some(Token::Lt) => CmpOp::Lt,
+            Some(Token::Le) => CmpOp::Le,
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::Ge) => CmpOp::Ge,
+            // No comparator: a Boolean property test.
+            _ => return Ok(Formula::Prop { var, attr }),
+        };
+        self.next();
+        let literal = match self.next() {
+            Some(Token::Str(s)) => Literal::Str(s),
+            Some(Token::Num(n)) => Literal::Num(n),
+            found => {
+                return Err(ParseError::Unexpected {
+                    found,
+                    expected: "string or number literal".into(),
+                })
+            }
+        };
+        Ok(Formula::Cmp {
+            var,
+            attr,
+            op,
+            literal,
+        })
+    }
+}
+
+fn check_bound(f: &Formula, vars: &[String]) -> Result<(), ParseError> {
+    match f {
+        Formula::And(a, b) | Formula::Or(a, b) => {
+            check_bound(a, vars)?;
+            check_bound(b, vars)
+        }
+        Formula::Not(a) => check_bound(a, vars),
+        Formula::Cmp { var, .. } | Formula::Prop { var, .. } => {
+            if vars.contains(var) {
+                Ok(())
+            } else {
+                Err(ParseError::UnboundVariable(var.clone()))
+            }
+        }
+    }
+}
+
+/// Parses a troupe specification.
+pub fn parse(src: &str) -> Result<TroupeSpec, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let spec = p.spec()?;
+    check_bound(&spec.formula, &spec.vars)?;
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_example() {
+        // §7.5.2's example formula.
+        let spec = parse(
+            r#"troupe(x) where x.name = "UCB-Monet" and x.memory = 10 and x.has-floating-point"#,
+        )
+        .unwrap();
+        assert_eq!(spec.degree(), 1);
+        assert_eq!(
+            format!("{}", spec.formula),
+            r#"((x.name = "UCB-Monet" and x.memory = 10) and x.has-floating-point)"#
+        );
+    }
+
+    #[test]
+    fn parses_multi_variable() {
+        let spec = parse("troupe(x, y, z) where x.memory >= 8 and y.memory >= 8 and z.memory >= 8")
+            .unwrap();
+        assert_eq!(spec.degree(), 3);
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        let spec = parse("troupe(x) where x.a or x.b and x.c").unwrap();
+        assert_eq!(format!("{}", spec.formula), "(x.a or (x.b and x.c))");
+    }
+
+    #[test]
+    fn parentheses_override() {
+        let spec = parse("troupe(x) where (x.a or x.b) and x.c").unwrap();
+        assert_eq!(format!("{}", spec.formula), "((x.a or x.b) and x.c)");
+    }
+
+    #[test]
+    fn not_and_nested() {
+        let spec = parse("troupe(x) where not (x.a and not x.b)").unwrap();
+        assert_eq!(format!("{}", spec.formula), "not (x.a and not x.b)");
+    }
+
+    #[test]
+    fn rejects_unbound_variable() {
+        assert_eq!(
+            parse("troupe(x) where y.a"),
+            Err(ParseError::UnboundVariable("y".into()))
+        );
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("troupe(x) where x.a x.b").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_parts() {
+        assert!(parse("troupe() where x.a").is_err());
+        assert!(parse("troupe(x)").is_err());
+        assert!(parse("where x.a").is_err());
+    }
+}

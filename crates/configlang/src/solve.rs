@@ -1,0 +1,174 @@
+//! The troupe extension problem (§7.5.3).
+//!
+//! "Given a troupe specification φ(x₁,…,xₙ), a universe U of machines and
+//! their attributes, and a particular set of machines M ⊆ U, find a new
+//! set M′ = {m₁,…,mₙ} ⊆ U that satisfies φ and is as close to M as
+//! possible" — closeness measured by the symmetric set difference.
+//! Instantiation is the case M = ∅.
+//!
+//! The solver uses backtracking to enumerate satisfying assignments of
+//! *distinct* machines ("the troupe members are required to be distinct")
+//! and keeps the one minimizing |M′ ⊕ M|, tie-broken by machine-id order
+//! for determinism. "The exponential-time complexity of this procedure is
+//! acceptable given the small number of variables in most troupe
+//! specifications."
+
+use crate::ast::TroupeSpec;
+use crate::eval::{eval, Assignment};
+use crate::machine::Universe;
+use std::collections::BTreeSet;
+
+/// Solves the troupe extension problem; returns the machine ids of the
+/// chosen members (in variable order), or `None` if no assignment
+/// satisfies the specification.
+pub fn extend_troupe(spec: &TroupeSpec, universe: &Universe, old: &[u32]) -> Option<Vec<u32>> {
+    let n = spec.degree();
+    let old_set: BTreeSet<u32> = old.iter().copied().collect();
+    let mut chosen: Vec<usize> = Vec::with_capacity(n);
+    let mut best: Option<(usize, Vec<u32>)> = None; // (distance, ids)
+
+    search(spec, universe, &old_set, &mut chosen, &mut best);
+    best.map(|(_, ids)| ids)
+}
+
+fn search(
+    spec: &TroupeSpec,
+    universe: &Universe,
+    old: &BTreeSet<u32>,
+    chosen: &mut Vec<usize>,
+    best: &mut Option<(usize, Vec<u32>)>,
+) {
+    let n = spec.degree();
+    if chosen.len() == n {
+        // Build the assignment and test the formula once, at the leaf.
+        let mut a = Assignment::new();
+        for (var, &idx) in spec.vars.iter().zip(chosen.iter()) {
+            a.insert(var.as_str(), &universe.machines[idx]);
+        }
+        if !eval(&spec.formula, &a) {
+            return;
+        }
+        let ids: BTreeSet<u32> = chosen.iter().map(|&i| universe.machines[i].id).collect();
+        if ids.len() != n {
+            return; // Members must be distinct machines.
+        }
+        let distance = ids.symmetric_difference(old).count();
+        let candidate: Vec<u32> = chosen.iter().map(|&i| universe.machines[i].id).collect();
+        let better = match best {
+            None => true,
+            Some((d, ids_best)) => distance < *d || (distance == *d && candidate < *ids_best),
+        };
+        if better {
+            *best = Some((distance, candidate));
+        }
+        return;
+    }
+    for idx in 0..universe.machines.len() {
+        if chosen.contains(&idx) {
+            continue;
+        }
+        chosen.push(idx);
+        search(spec, universe, old, chosen, best);
+        chosen.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Machine, Value};
+    use crate::parser::parse;
+
+    fn universe() -> Universe {
+        Universe::new()
+            .with(Machine::named(1, "vax-a").with("memory", Value::Num(4)))
+            .with(
+                Machine::named(2, "vax-b")
+                    .with("memory", Value::Num(10))
+                    .with("has-floating-point", Value::Bool(true)),
+            )
+            .with(Machine::named(3, "vax-c").with("memory", Value::Num(10)))
+            .with(
+                Machine::named(4, "vax-d")
+                    .with("memory", Value::Num(16))
+                    .with("has-floating-point", Value::Bool(true)),
+            )
+    }
+
+    #[test]
+    fn instantiation_picks_satisfying_machines() {
+        let spec = parse("troupe(x, y) where x.memory >= 10 and y.memory >= 10").unwrap();
+        let ids = extend_troupe(&spec, &universe(), &[]).unwrap();
+        assert_eq!(ids.len(), 2);
+        for id in &ids {
+            assert!(*id != 1, "vax-a has too little memory");
+        }
+    }
+
+    #[test]
+    fn members_are_distinct() {
+        let spec = parse("troupe(x, y) where x.memory >= 4 and y.memory >= 4").unwrap();
+        let ids = extend_troupe(&spec, &universe(), &[]).unwrap();
+        assert_ne!(ids[0], ids[1]);
+    }
+
+    #[test]
+    fn unsatisfiable_returns_none() {
+        let spec = parse("troupe(x) where x.memory >= 100").unwrap();
+        assert_eq!(extend_troupe(&spec, &universe(), &[]), None);
+    }
+
+    #[test]
+    fn too_few_machines_returns_none() {
+        let spec = parse(
+            "troupe(a, b, c) where a.has-floating-point and b.has-floating-point and c.has-floating-point",
+        )
+        .unwrap();
+        // Only two machines have floating point.
+        assert_eq!(extend_troupe(&spec, &universe(), &[]), None);
+    }
+
+    #[test]
+    fn extension_prefers_old_members() {
+        let spec = parse("troupe(x, y) where x.memory >= 10 and y.memory >= 10").unwrap();
+        // Machines 2, 3, 4 qualify; prefer keeping 3 and 4.
+        let ids = extend_troupe(&spec, &universe(), &[3, 4]).unwrap();
+        let set: BTreeSet<u32> = ids.into_iter().collect();
+        assert_eq!(set, BTreeSet::from([3, 4]));
+    }
+
+    #[test]
+    fn replacement_keeps_survivors() {
+        let spec = parse("troupe(x, y) where x.memory >= 10 and y.memory >= 10").unwrap();
+        // Old troupe was {2, 99}; machine 99 is gone from the universe,
+        // so the solver must keep 2 and pick one replacement.
+        let ids = extend_troupe(&spec, &universe(), &[2, 99]).unwrap();
+        let set: BTreeSet<u32> = ids.into_iter().collect();
+        assert!(set.contains(&2), "surviving member must be kept: {set:?}");
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let spec = parse("troupe(x) where x.memory >= 10").unwrap();
+        // Machines 2, 3, 4 all satisfy with equal distance from ∅ = 1;
+        // the lexicographically smallest id wins.
+        let a = extend_troupe(&spec, &universe(), &[]).unwrap();
+        let b = extend_troupe(&spec, &universe(), &[]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, vec![2]);
+    }
+
+    #[test]
+    fn cross_variable_constraints() {
+        // Different variables may have different requirements.
+        let spec =
+            parse("troupe(x, y) where x.has-floating-point and y.memory >= 16").unwrap();
+        let ids = extend_troupe(&spec, &universe(), &[]).unwrap();
+        let u = universe();
+        let x = u.by_id(ids[0]).unwrap();
+        let y = u.by_id(ids[1]).unwrap();
+        assert_eq!(x.get("has-floating-point"), Some(&Value::Bool(true)));
+        assert_eq!(y.get("memory"), Some(&Value::Num(16)));
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests: the solver only returns satisfying, distinct
+//! placements, and prefers the old member set.
+
+use configlang::{eval, extend_troupe, parse, Assignment, Machine, TroupeSpec, Universe, Value};
+use proptest::prelude::*;
+
+fn universe_strategy() -> impl Strategy<Value = Universe> {
+    proptest::collection::vec((1i64..20, any::<bool>()), 1..8).prop_map(|ms| {
+        let mut u = Universe::new();
+        for (i, (mem, fpu)) in ms.into_iter().enumerate() {
+            u = u.with(
+                Machine::named(i as u32 + 1, &format!("m{i}"))
+                    .with("memory", Value::Num(mem))
+                    .with("has-fpu", Value::Bool(fpu)),
+            );
+        }
+        u
+    })
+}
+
+fn spec(n: usize, min_mem: i64) -> TroupeSpec {
+    let vars: Vec<String> = (0..n).map(|i| format!("x{i}")).collect();
+    let formula = vars
+        .iter()
+        .map(|v| format!("{v}.memory >= {min_mem}"))
+        .collect::<Vec<_>>()
+        .join(" and ");
+    parse(&format!("troupe({}) where {}", vars.join(", "), formula)).unwrap()
+}
+
+proptest! {
+    /// Any returned placement satisfies the formula with distinct
+    /// machines; `None` is returned only when no placement can exist.
+    #[test]
+    fn solver_is_sound_and_complete(
+        u in universe_strategy(),
+        n in 1usize..4,
+        min_mem in 1i64..20,
+    ) {
+        let s = spec(n, min_mem);
+        let qualifying = u
+            .machines
+            .iter()
+            .filter(|m| matches!(m.get("memory"), Some(Value::Num(v)) if *v >= min_mem))
+            .count();
+        match extend_troupe(&s, &u, &[]) {
+            Some(ids) => {
+                prop_assert_eq!(ids.len(), n);
+                // Distinct.
+                let mut sorted = ids.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                prop_assert_eq!(sorted.len(), n);
+                // Satisfying.
+                let mut a = Assignment::new();
+                for (var, id) in s.vars.iter().zip(&ids) {
+                    a.insert(var.as_str(), u.by_id(*id).expect("machine exists"));
+                }
+                prop_assert!(eval(&s.formula, &a));
+            }
+            None => prop_assert!(
+                qualifying < n,
+                "solver failed though {qualifying} machines qualify for n={n}"
+            ),
+        }
+    }
+
+    /// The solver keeps every old member that still qualifies (minimal
+    /// symmetric difference).
+    #[test]
+    fn solver_prefers_survivors(
+        u in universe_strategy(),
+        n in 1usize..4,
+    ) {
+        let s = spec(n, 1); // Everyone qualifies.
+        prop_assume!(u.machines.len() >= n);
+        let old: Vec<u32> = u.machines.iter().take(n).map(|m| m.id).collect();
+        let ids = extend_troupe(&s, &u, &old).expect("satisfiable");
+        let kept = ids.iter().filter(|i| old.contains(i)).count();
+        prop_assert_eq!(kept, n, "changed members without need: {:?} vs {:?}", ids, old);
+    }
+
+    /// Parser round-trip through Display: the printed formula reparses to
+    /// an equivalent structure (same Display output).
+    #[test]
+    fn formula_display_reparses(n in 1usize..3, min_mem in 0i64..99) {
+        let s = spec(n, min_mem);
+        let printed = format!(
+            "troupe({}) where {}",
+            s.vars.join(", "),
+            s.formula
+        );
+        let reparsed = parse(&printed).unwrap();
+        prop_assert_eq!(format!("{}", reparsed.formula), format!("{}", s.formula));
+    }
+}

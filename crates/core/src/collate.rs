@@ -1,0 +1,480 @@
+//! Collators: reducing a set of messages from a troupe to a single value
+//! (§4.3.6).
+//!
+//! "A collator is a function that maps a set of messages into a single
+//! result. To improve performance, it is desirable for computation to
+//! proceed as soon as enough messages have arrived for the collator to
+//! make a decision." Three collators are supported at the protocol level
+//! — unanimous, majority, and first-come — plus application-specific
+//! collators (§7.4's generators appear here as the [`Collate`] trait over
+//! the current vote slots).
+
+use std::fmt;
+use std::rc::Rc;
+
+/// The state of one troupe member's contribution to a replicated call.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VoteSlot {
+    /// No message from this member yet.
+    Pending,
+    /// This member's process has been declared dead (§4.2.3); no message
+    /// will come.
+    Dead,
+    /// The member's message.
+    Vote(Vec<u8>),
+}
+
+impl VoteSlot {
+    fn vote(&self) -> Option<&[u8]> {
+        match self {
+            VoteSlot::Vote(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A collator's verdict over the current votes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Decision {
+    /// Not enough messages yet; keep waiting.
+    Wait,
+    /// Computation may proceed with this value.
+    Ready(Vec<u8>),
+    /// The call fails.
+    Fail(CollateError),
+}
+
+/// Why a collation failed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CollateError {
+    /// Unanimous collation saw two differing messages — a determinism
+    /// violation was detected (§4.3.4's "error detection").
+    Disagreement,
+    /// Every member died before enough messages arrived.
+    AllDead,
+    /// No value can reach a majority of the expected set (§4.3.5).
+    NoMajority,
+    /// An application-specific collator rejected the votes.
+    Rejected(String),
+}
+
+impl fmt::Display for CollateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollateError::Disagreement => write!(f, "troupe members disagreed"),
+            CollateError::AllDead => write!(f, "every troupe member crashed"),
+            CollateError::NoMajority => write!(f, "no majority among troupe members"),
+            CollateError::Rejected(why) => write!(f, "collator rejected votes: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CollateError {}
+
+/// An application-specific collator (§4.3.6, §7.4).
+pub trait Collate {
+    /// Examines the votes so far and decides.
+    fn decide(&self, slots: &[VoteSlot]) -> Decision;
+}
+
+/// Which collation to apply to a set of messages.
+#[derive(Clone)]
+pub enum CollationPolicy {
+    /// Require all (surviving) messages to be identical; any disagreement
+    /// raises an exception. The Circus default (§4.3.4).
+    Unanimous,
+    /// Proceed with the first message to arrive, forfeiting error
+    /// detection (§4.3.4).
+    FirstCome,
+    /// Proceed with the first message, but keep watching: late messages
+    /// are compared against it, and any inconsistency raises a
+    /// determinism alarm — the *watchdog scheme* of §4.3.4 ("computation
+    /// proceeds with the first message, but another thread of control
+    /// waits for the remaining messages and compares them").
+    FirstComeWatchdog,
+    /// Proceed once a value has a majority of the *expected* set; also
+    /// prevents divergence under network partitions (§4.3.5).
+    Majority,
+    /// An application-specific collator (§7.4).
+    Custom(Rc<dyn Collate>),
+}
+
+impl fmt::Debug for CollationPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollationPolicy::Unanimous => write!(f, "Unanimous"),
+            CollationPolicy::FirstCome => write!(f, "FirstCome"),
+            CollationPolicy::FirstComeWatchdog => write!(f, "FirstComeWatchdog"),
+            CollationPolicy::Majority => write!(f, "Majority"),
+            CollationPolicy::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+/// Collects the messages of one replicated call (or of one many-to-one
+/// argument set) and applies a collation policy.
+#[derive(Debug)]
+pub struct Collation {
+    policy: CollationPolicy,
+    slots: Vec<VoteSlot>,
+}
+
+impl Collation {
+    /// A collation over `n` expected messages.
+    pub fn new(policy: CollationPolicy, n: usize) -> Collation {
+        Collation {
+            policy,
+            slots: vec![VoteSlot::Pending; n],
+        }
+    }
+
+    /// Number of expected messages (the troupe's degree at call time).
+    pub fn expected(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records member `i`'s message. Late or duplicate votes for a slot
+    /// are ignored (the paired message layer already filtered duplicates;
+    /// this guards against a member resurrecting).
+    pub fn add_vote(&mut self, i: usize, data: Vec<u8>) {
+        if let Some(slot @ VoteSlot::Pending) = self.slots.get_mut(i) {
+            *slot = VoteSlot::Vote(data);
+        }
+    }
+
+    /// Records that member `i` has crashed.
+    pub fn mark_dead(&mut self, i: usize) {
+        if let Some(slot @ VoteSlot::Pending) = self.slots.get_mut(i) {
+            *slot = VoteSlot::Dead;
+        }
+    }
+
+    /// Returns `true` if member `i` has already voted.
+    pub fn has_vote(&self, i: usize) -> bool {
+        matches!(self.slots.get(i), Some(VoteSlot::Vote(_)))
+    }
+
+    /// `true` if this collation runs the watchdog scheme (§4.3.4).
+    pub fn is_watchdog(&self) -> bool {
+        matches!(self.policy, CollationPolicy::FirstComeWatchdog)
+    }
+
+    /// `true` while some member has neither voted nor died.
+    pub fn awaiting_votes(&self) -> bool {
+        self.slots.iter().any(|s| matches!(s, VoteSlot::Pending))
+    }
+
+    /// `true` if every received vote is identical (dead/pending slots
+    /// ignored) — what the watchdog checks as stragglers arrive.
+    pub fn votes_agree(&self) -> bool {
+        let mut first: Option<&[u8]> = None;
+        for s in &self.slots {
+            if let VoteSlot::Vote(v) = s {
+                match first {
+                    None => first = Some(v),
+                    Some(f) if f != v.as_slice() => return false,
+                    Some(_) => {}
+                }
+            }
+        }
+        true
+    }
+
+    /// The current verdict.
+    pub fn decide(&self) -> Decision {
+        match &self.policy {
+            CollationPolicy::Unanimous => self.decide_unanimous(),
+            CollationPolicy::FirstCome | CollationPolicy::FirstComeWatchdog => {
+                self.decide_first_come()
+            }
+            CollationPolicy::Majority => self.decide_majority(),
+            CollationPolicy::Custom(c) => c.decide(&self.slots),
+        }
+    }
+
+    fn decide_unanimous(&self) -> Decision {
+        let mut first: Option<&[u8]> = None;
+        let mut pending = 0usize;
+        for s in &self.slots {
+            match s {
+                VoteSlot::Pending => pending += 1,
+                VoteSlot::Dead => {}
+                VoteSlot::Vote(v) => match first {
+                    None => first = Some(v),
+                    Some(f) if f != v.as_slice() => {
+                        return Decision::Fail(CollateError::Disagreement)
+                    }
+                    Some(_) => {}
+                },
+            }
+        }
+        match (pending, first) {
+            (0, Some(v)) => Decision::Ready(v.to_vec()),
+            (0, None) => Decision::Fail(CollateError::AllDead),
+            _ => Decision::Wait,
+        }
+    }
+
+    fn decide_first_come(&self) -> Decision {
+        for s in &self.slots {
+            if let Some(v) = s.vote() {
+                return Decision::Ready(v.to_vec());
+            }
+        }
+        if self.slots.iter().all(|s| matches!(s, VoteSlot::Dead)) {
+            Decision::Fail(CollateError::AllDead)
+        } else {
+            Decision::Wait
+        }
+    }
+
+    fn decide_majority(&self) -> Decision {
+        let n = self.slots.len();
+        let quorum = n / 2 + 1;
+        // Count identical votes.
+        let votes: Vec<&[u8]> = self.slots.iter().filter_map(|s| s.vote()).collect();
+        let mut best = 0usize;
+        for v in &votes {
+            let count = votes.iter().filter(|w| *w == v).count();
+            if count >= quorum {
+                return Decision::Ready(v.to_vec());
+            }
+            best = best.max(count);
+        }
+        let pending = self
+            .slots
+            .iter()
+            .filter(|s| matches!(s, VoteSlot::Pending))
+            .count();
+        if best + pending < quorum {
+            Decision::Fail(CollateError::NoMajority)
+        } else {
+            Decision::Wait
+        }
+    }
+}
+
+/// A collator for **explicit replication** (§7.4): wait for every live
+/// member, then deliver the whole response set — each member's raw reply
+/// or `None` for crashed members — as one externalized
+/// `Vec<Option<wire::Bytes>>`. Client code iterates the decoded vector,
+/// which is the Rust rendering of the paper's result *generator*
+/// (Figure 7.6: "pages() generates the set of responses").
+pub struct GatherAll;
+
+impl Collate for GatherAll {
+    fn decide(&self, slots: &[VoteSlot]) -> Decision {
+        let mut gathered: Vec<Option<wire::Bytes>> = Vec::with_capacity(slots.len());
+        for s in slots {
+            match s {
+                VoteSlot::Pending => return Decision::Wait,
+                VoteSlot::Dead => gathered.push(None),
+                VoteSlot::Vote(v) => gathered.push(Some(wire::Bytes(v.clone()))),
+            }
+        }
+        if gathered.iter().all(|g| g.is_none()) {
+            return Decision::Fail(CollateError::AllDead);
+        }
+        Decision::Ready(crate::message::wrap_reply_vote(wire::to_bytes(&gathered)))
+    }
+}
+
+/// The collation policy for explicit replication (§7.4).
+pub fn gather_all_collation() -> CollationPolicy {
+    CollationPolicy::Custom(Rc::new(GatherAll))
+}
+
+/// Decodes the value produced by [`GatherAll`] back into the per-member
+/// reply set: `None` entries are crashed members; `Some(bytes)` are raw
+/// return messages (unwrap with
+/// [`unwrap_reply_vote`](crate::message::unwrap_reply_vote)).
+pub fn decode_gathered(payload: &[u8]) -> Result<Vec<Option<Vec<u8>>>, wire::WireError> {
+    let v: Vec<Option<wire::Bytes>> = wire::from_bytes(payload)?;
+    Ok(v.into_iter().map(|o| o.map(|b| b.0)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytes(b: u8) -> Vec<u8> {
+        vec![b]
+    }
+
+    #[test]
+    fn unanimous_waits_for_all() {
+        let mut c = Collation::new(CollationPolicy::Unanimous, 3);
+        c.add_vote(0, bytes(1));
+        assert_eq!(c.decide(), Decision::Wait);
+        c.add_vote(1, bytes(1));
+        assert_eq!(c.decide(), Decision::Wait);
+        c.add_vote(2, bytes(1));
+        assert_eq!(c.decide(), Decision::Ready(bytes(1)));
+    }
+
+    #[test]
+    fn unanimous_detects_disagreement_early() {
+        let mut c = Collation::new(CollationPolicy::Unanimous, 3);
+        c.add_vote(0, bytes(1));
+        c.add_vote(1, bytes(2));
+        assert_eq!(c.decide(), Decision::Fail(CollateError::Disagreement));
+    }
+
+    #[test]
+    fn unanimous_proceeds_past_dead_members() {
+        let mut c = Collation::new(CollationPolicy::Unanimous, 3);
+        c.add_vote(0, bytes(1));
+        c.mark_dead(1);
+        assert_eq!(c.decide(), Decision::Wait);
+        c.add_vote(2, bytes(1));
+        assert_eq!(c.decide(), Decision::Ready(bytes(1)));
+    }
+
+    #[test]
+    fn unanimous_all_dead_fails() {
+        let mut c = Collation::new(CollationPolicy::Unanimous, 2);
+        c.mark_dead(0);
+        c.mark_dead(1);
+        assert_eq!(c.decide(), Decision::Fail(CollateError::AllDead));
+    }
+
+    #[test]
+    fn first_come_takes_first() {
+        let mut c = Collation::new(CollationPolicy::FirstCome, 3);
+        assert_eq!(c.decide(), Decision::Wait);
+        c.add_vote(2, bytes(9));
+        assert_eq!(c.decide(), Decision::Ready(bytes(9)));
+    }
+
+    #[test]
+    fn first_come_all_dead_fails() {
+        let mut c = Collation::new(CollationPolicy::FirstCome, 2);
+        c.mark_dead(0);
+        assert_eq!(c.decide(), Decision::Wait);
+        c.mark_dead(1);
+        assert_eq!(c.decide(), Decision::Fail(CollateError::AllDead));
+    }
+
+    #[test]
+    fn majority_needs_quorum_of_expected() {
+        let mut c = Collation::new(CollationPolicy::Majority, 5);
+        c.add_vote(0, bytes(7));
+        c.add_vote(1, bytes(7));
+        assert_eq!(c.decide(), Decision::Wait);
+        c.add_vote(2, bytes(7));
+        assert_eq!(c.decide(), Decision::Ready(bytes(7)));
+    }
+
+    #[test]
+    fn majority_fails_when_impossible() {
+        let mut c = Collation::new(CollationPolicy::Majority, 3);
+        c.add_vote(0, bytes(1));
+        c.add_vote(1, bytes(2));
+        c.add_vote(2, bytes(3));
+        assert_eq!(c.decide(), Decision::Fail(CollateError::NoMajority));
+    }
+
+    #[test]
+    fn majority_fails_with_too_many_dead() {
+        // 2 of 5 dead; the 3 live must all agree, else no quorum. If two
+        // more die, quorum is unreachable.
+        let mut c = Collation::new(CollationPolicy::Majority, 5);
+        c.mark_dead(0);
+        c.mark_dead(1);
+        c.mark_dead(2);
+        assert_eq!(c.decide(), Decision::Fail(CollateError::NoMajority));
+    }
+
+    #[test]
+    fn majority_masks_minority_disagreement() {
+        // Unlike unanimous, majority voting masks a single bad value.
+        let mut c = Collation::new(CollationPolicy::Majority, 3);
+        c.add_vote(0, bytes(7));
+        c.add_vote(1, bytes(8));
+        assert_eq!(c.decide(), Decision::Wait);
+        c.add_vote(2, bytes(7));
+        assert_eq!(c.decide(), Decision::Ready(bytes(7)));
+    }
+
+    #[test]
+    fn custom_collator_averaging() {
+        /// Averages little-endian u32 votes once all arrived — the
+        /// temperature-averaging server of Figure 7.7.
+        struct Average;
+        impl Collate for Average {
+            fn decide(&self, slots: &[VoteSlot]) -> Decision {
+                let mut sum = 0u64;
+                let mut n = 0u64;
+                for s in slots {
+                    match s {
+                        VoteSlot::Pending => return Decision::Wait,
+                        VoteSlot::Dead => {}
+                        VoteSlot::Vote(v) => {
+                            let mut a = [0u8; 4];
+                            a.copy_from_slice(v);
+                            sum += u32::from_le_bytes(a) as u64;
+                            n += 1;
+                        }
+                    }
+                }
+                if n == 0 {
+                    return Decision::Fail(CollateError::AllDead);
+                }
+                Decision::Ready(((sum / n) as u32).to_le_bytes().to_vec())
+            }
+        }
+        let mut c = Collation::new(CollationPolicy::Custom(Rc::new(Average)), 3);
+        c.add_vote(0, 10u32.to_le_bytes().to_vec());
+        c.add_vote(1, 20u32.to_le_bytes().to_vec());
+        assert_eq!(c.decide(), Decision::Wait);
+        c.add_vote(2, 30u32.to_le_bytes().to_vec());
+        assert_eq!(c.decide(), Decision::Ready(20u32.to_le_bytes().to_vec()));
+    }
+
+    #[test]
+    fn duplicate_and_out_of_range_votes_ignored() {
+        let mut c = Collation::new(CollationPolicy::Unanimous, 2);
+        c.add_vote(0, bytes(1));
+        c.add_vote(0, bytes(2)); // Ignored: slot already voted.
+        c.add_vote(9, bytes(3)); // Ignored: out of range.
+        c.add_vote(1, bytes(1));
+        assert_eq!(c.decide(), Decision::Ready(bytes(1)));
+    }
+
+    #[test]
+    fn gather_all_waits_then_collects() {
+        let mut c = Collation::new(gather_all_collation(), 3);
+        c.add_vote(0, crate::message::wrap_reply_vote(vec![1]));
+        c.mark_dead(1);
+        assert_eq!(c.decide(), Decision::Wait);
+        c.add_vote(2, crate::message::wrap_reply_vote(vec![3]));
+        match c.decide() {
+            Decision::Ready(out) => {
+                let payload = crate::message::unwrap_reply_vote(&out).unwrap();
+                let set = decode_gathered(&payload).unwrap();
+                assert_eq!(set.len(), 3);
+                assert!(set[0].is_some());
+                assert!(set[1].is_none());
+                assert!(set[2].is_some());
+            }
+            other => panic!("expected ready, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gather_all_all_dead_fails() {
+        let mut c = Collation::new(gather_all_collation(), 2);
+        c.mark_dead(0);
+        c.mark_dead(1);
+        assert_eq!(c.decide(), Decision::Fail(CollateError::AllDead));
+    }
+
+    #[test]
+    fn dead_after_vote_keeps_vote() {
+        let mut c = Collation::new(CollationPolicy::Unanimous, 2);
+        c.add_vote(0, bytes(1));
+        c.mark_dead(0); // The vote already arrived; death is irrelevant.
+        c.add_vote(1, bytes(1));
+        assert_eq!(c.decide(), Decision::Ready(bytes(1)));
+    }
+}

@@ -1,0 +1,52 @@
+//! # circus: troupes and replicated procedure call
+//!
+//! The primary contribution of Cooper's *Replicated Distributed Programs*
+//! (Berkeley, 1985): a software architecture in which each module of a
+//! distributed program is replicated as a **troupe** whose members run on
+//! machines with independent failure modes, never communicate with one
+//! another, and are unaware of one another's existence (§3.5.1). Control
+//! transfers between troupes by **replicated procedure call**, whose
+//! semantics are *exactly-once execution at all troupe members* (§4.1).
+//!
+//! The crate provides:
+//!
+//! - [`Troupe`], [`ModuleAddr`], [`TroupeId`] — the representation handed
+//!   out by the binding agent (§4.3, §6.3);
+//! - [`ThreadId`] and the thread-ID propagation algorithm (§3.4.1);
+//! - [`CallMessage`]/[`ReturnMessage`] — call/return contents (§4.3);
+//! - [`Collation`] and collators: unanimous, first-come, majority, and
+//!   application-specific (§4.3.4–§4.3.6, §7.4);
+//! - [`Service`] — module implementations as resumable state machines
+//!   able to make nested replicated calls;
+//! - [`Node`] — the per-process runtime implementing the one-to-many and
+//!   many-to-one halves of the general many-to-many call (§4.3.1–§4.3.3);
+//! - [`model`] — Chapter 3's formal semantics (event sequences, balanced
+//!   intervals, Theorems 3.4 and 3.7), executable and property-tested;
+//! - [`runtime::CircusProcess`] — the `simnet` driver and the [`runtime::Agent`]
+//!   trait for application code.
+//!
+//! When every troupe has one member, the system degenerates to a
+//! conventional remote procedure call facility (§4.1).
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod binding;
+pub mod collate;
+pub mod message;
+pub mod model;
+pub mod node;
+pub mod runtime;
+pub mod service;
+pub mod thread;
+
+pub use addr::{ModuleAddr, Troupe, TroupeId};
+pub use collate::{
+    decode_gathered, gather_all_collation, Collate, CollateError, Collation, CollationPolicy,
+    Decision, GatherAll, VoteSlot,
+};
+pub use message::{unwrap_reply_vote, wrap_reply_vote, CallMessage, ReturnMessage};
+pub use node::{AppEvent, CallHandle, NetIo, Node, NodeConfig};
+pub use runtime::{Agent, CircusProcess, NodeCtx};
+pub use service::{CallError, NodeEffect, OutCall, Service, ServiceCtx, Step, TroupeTarget};
+pub use thread::{ThreadId, ThreadIdGen};

@@ -1,0 +1,191 @@
+//! Call and return message contents (§4.3).
+//!
+//! A call message carries "the thread ID of the caller, the module number
+//! and procedure number of the procedure to be called, and the parameters"
+//! plus the client troupe ID (for many-to-one collection, §4.3.2), the
+//! destination troupe ID (incarnation check, §6.2), and a per-thread call
+//! sequence number that groups the members' messages into one replicated
+//! call.
+//!
+//! A return message carries "a 16-bit header (used to distinguish between
+//! normal and error results) and the results" (§4.3).
+
+use crate::addr::TroupeId;
+use crate::thread::ThreadId;
+use wire::{Externalize, Internalize, Reader, WireError, Writer};
+
+/// The contents of a call message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CallMessage {
+    /// The distributed thread on whose behalf the call is made (§3.4.1).
+    pub thread: ThreadId,
+    /// Groups this message with its siblings from other members of the
+    /// client troupe: messages with equal `(thread, call_seq)` are parts
+    /// of the same replicated call (§4.3.2).
+    pub call_seq: u32,
+    /// The calling troupe, so the server can learn how many call messages
+    /// to expect (§4.3.2). `TroupeId::UNREGISTERED` for plain clients.
+    pub client_troupe: TroupeId,
+    /// The incarnation of the server troupe the caller believes it is
+    /// calling; mismatches are rejected to invalidate stale bindings
+    /// (§6.2).
+    pub server_troupe: TroupeId,
+    /// Index of the target module within the server process.
+    pub module: u16,
+    /// Index of the procedure within the module interface, assigned by
+    /// the stub compiler (§4.3).
+    pub proc: u16,
+    /// Externalized parameters.
+    pub args: Vec<u8>,
+}
+
+impl Externalize for CallMessage {
+    fn externalize(&self, w: &mut Writer) {
+        self.thread.externalize(w);
+        w.put_u32(self.call_seq);
+        self.client_troupe.externalize(w);
+        self.server_troupe.externalize(w);
+        w.put_u16(self.module);
+        w.put_u16(self.proc);
+        w.put_bytes(&self.args);
+    }
+}
+
+impl Internalize for CallMessage {
+    fn internalize(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(CallMessage {
+            thread: ThreadId::internalize(r)?,
+            call_seq: r.get_u32()?,
+            client_troupe: TroupeId::internalize(r)?,
+            server_troupe: TroupeId::internalize(r)?,
+            module: r.get_u16()?,
+            proc: r.get_u16()?,
+            args: r.get_bytes()?,
+        })
+    }
+}
+
+/// The contents of a return message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ReturnMessage {
+    /// Normal completion with externalized results.
+    Normal(Vec<u8>),
+    /// The remote procedure raised an error/exception.
+    Error(String),
+    /// The call named a troupe incarnation this server no longer belongs
+    /// to; the caller's binding is stale and it must rebind (§6.2). The
+    /// member's current incarnation is included as a hint.
+    WrongTroupe(TroupeId),
+    /// The call named a module or procedure the server does not export
+    /// (stale binding case 2, §6.1).
+    NoSuchProcedure,
+}
+
+const ST_NORMAL: u16 = 0;
+const ST_ERROR: u16 = 1;
+const ST_WRONG_TROUPE: u16 = 2;
+const ST_NO_SUCH_PROC: u16 = 3;
+
+impl Externalize for ReturnMessage {
+    fn externalize(&self, w: &mut Writer) {
+        match self {
+            ReturnMessage::Normal(data) => {
+                w.put_u16(ST_NORMAL);
+                w.put_bytes(data);
+            }
+            ReturnMessage::Error(msg) => {
+                w.put_u16(ST_ERROR);
+                w.put_string(msg);
+            }
+            ReturnMessage::WrongTroupe(id) => {
+                w.put_u16(ST_WRONG_TROUPE);
+                id.externalize(w);
+            }
+            ReturnMessage::NoSuchProcedure => {
+                w.put_u16(ST_NO_SUCH_PROC);
+            }
+        }
+    }
+}
+
+impl Internalize for ReturnMessage {
+    fn internalize(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u16()? {
+            ST_NORMAL => Ok(ReturnMessage::Normal(r.get_bytes()?)),
+            ST_ERROR => Ok(ReturnMessage::Error(r.get_string()?)),
+            ST_WRONG_TROUPE => Ok(ReturnMessage::WrongTroupe(TroupeId::internalize(r)?)),
+            ST_NO_SUCH_PROC => Ok(ReturnMessage::NoSuchProcedure),
+            other => Err(WireError::BadChoice(other)),
+        }
+    }
+}
+
+/// Unwraps one *reply vote* as seen by a custom reply collator: votes
+/// are raw [`ReturnMessage`] bytes; this extracts the payload of a
+/// normal return (`None` for errors and binding rejections).
+pub fn unwrap_reply_vote(vote: &[u8]) -> Option<Vec<u8>> {
+    match wire::from_bytes::<ReturnMessage>(vote) {
+        Ok(ReturnMessage::Normal(data)) => Some(data),
+        _ => None,
+    }
+}
+
+/// Wraps a custom reply collator's decision as the raw normal-return
+/// bytes the call machinery expects.
+pub fn wrap_reply_vote(payload: Vec<u8>) -> Vec<u8> {
+    wire::to_bytes(&ReturnMessage::Normal(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{HostId, SockAddr};
+    use wire::{from_bytes, to_bytes};
+
+    fn thread() -> ThreadId {
+        ThreadId {
+            origin: SockAddr::new(HostId(1), 50),
+            serial: 3,
+        }
+    }
+
+    #[test]
+    fn call_message_round_trips() {
+        let m = CallMessage {
+            thread: thread(),
+            call_seq: 7,
+            client_troupe: TroupeId(11),
+            server_troupe: TroupeId(22),
+            module: 1,
+            proc: 4,
+            args: vec![1, 2, 3],
+        };
+        assert_eq!(from_bytes::<CallMessage>(&to_bytes(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn return_variants_round_trip() {
+        for m in [
+            ReturnMessage::Normal(vec![9, 9]),
+            ReturnMessage::Error("boom".into()),
+            ReturnMessage::WrongTroupe(TroupeId(5)),
+            ReturnMessage::NoSuchProcedure,
+        ] {
+            assert_eq!(from_bytes::<ReturnMessage>(&to_bytes(&m)).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn vote_helpers() {
+        let raw = wrap_reply_vote(vec![1, 2, 3]);
+        assert_eq!(unwrap_reply_vote(&raw), Some(vec![1, 2, 3]));
+        let err = to_bytes(&ReturnMessage::Error("x".into()));
+        assert_eq!(unwrap_reply_vote(&err), None);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(from_bytes::<CallMessage>(&[1, 2, 3]).is_err());
+        assert!(from_bytes::<ReturnMessage>(&[0, 9]).is_err());
+    }
+}

@@ -1,0 +1,508 @@
+//! The formal model of modules and threads (Chapter 3).
+//!
+//! Chapter 3 defines program semantics in terms of *event sequences*: an
+//! event is a call or return with procedure, values, and a unique id;
+//! a *thread execution history* is an event sequence in which every
+//! return matches a unique call and finite histories are balanced
+//! (Definitions 3.1–3.2). This module implements that model executably:
+//! balanced-interval recognition, call stacks (Definition 3.3), the
+//! unique decomposition of Theorem 3.4, replaying histories against
+//! deterministic modules, and the checkable content of Theorem 3.7 —
+//! the initial call and initial state of a globally deterministic
+//! program determine the entire history, which is the formal basis of
+//! replication transparency (§3.5.2).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A module name in the model.
+pub type ModuleName = String;
+
+/// The operation of an event (§3.3.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EventOp {
+    /// A call to a procedure.
+    Call,
+    /// A return from a procedure.
+    Return,
+}
+
+/// An event: `(op, proc, val, id)` (§3.3.1). The module of the event is
+/// the module exporting its procedure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Event {
+    /// Call or return.
+    pub op: EventOp,
+    /// The module exporting the procedure.
+    pub module: ModuleName,
+    /// The procedure name.
+    pub proc: String,
+    /// Values passed or returned.
+    pub val: Vec<i64>,
+    /// Unique event identifier.
+    pub id: u64,
+}
+
+impl Event {
+    /// A call event.
+    pub fn call(module: &str, proc: &str, val: Vec<i64>, id: u64) -> Event {
+        Event {
+            op: EventOp::Call,
+            module: module.to_string(),
+            proc: proc.to_string(),
+            val,
+            id,
+        }
+    }
+
+    /// A return event.
+    pub fn ret(module: &str, proc: &str, val: Vec<i64>, id: u64) -> Event {
+        Event {
+            op: EventOp::Return,
+            module: module.to_string(),
+            proc: proc.to_string(),
+            val,
+            id,
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let arrow = match self.op {
+            EventOp::Call => "call",
+            EventOp::Return => "ret ",
+        };
+        write!(f, "{arrow} {}.{}{:?}", self.module, self.proc, self.val)
+    }
+}
+
+/// Checks Definition 3.1: an interval is *balanced* if it begins with a
+/// call, ends with the matching return, and decomposes into balanced
+/// sub-intervals. Equivalently (and as implemented): same-procedure
+/// call/return at the ends, and the call-depth never dips to zero before
+/// the final event, where it reaches exactly zero.
+pub fn is_balanced(events: &[Event]) -> bool {
+    if events.len() < 2 {
+        return false;
+    }
+    let first = &events[0];
+    let last = &events[events.len() - 1];
+    if first.op != EventOp::Call || last.op != EventOp::Return || first.proc != last.proc {
+        return false;
+    }
+    let mut depth = 0i64;
+    for (i, e) in events.iter().enumerate() {
+        match e.op {
+            EventOp::Call => depth += 1,
+            EventOp::Return => depth -= 1,
+        }
+        if depth <= 0 && i != events.len() - 1 {
+            return false;
+        }
+    }
+    depth == 0
+}
+
+/// A thread execution history (Definition 3.2): checked on construction.
+#[derive(Clone, Debug)]
+pub struct History {
+    events: Vec<Event>,
+}
+
+/// Why an event sequence is not a valid history.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum HistoryError {
+    /// The initial event must be a call (a consequence of Def. 3.2).
+    DoesNotStartWithCall,
+    /// A return had no matching open call.
+    UnmatchedReturn(u64),
+    /// A return closed a different procedure than the open call.
+    MismatchedReturn(u64),
+    /// Event ids repeat (events must be distinct).
+    DuplicateId(u64),
+    /// The history is finite but not balanced (calls never returned).
+    NotBalanced,
+}
+
+impl History {
+    /// Validates and wraps a complete (finite) history; finite histories
+    /// must be balanced (Definition 3.2, condition 2).
+    pub fn complete(events: Vec<Event>) -> Result<History, HistoryError> {
+        let h = History::prefix(events)?;
+        if !h.call_stack().is_empty() {
+            return Err(HistoryError::NotBalanced);
+        }
+        Ok(h)
+    }
+
+    /// Validates a (possibly unfinished) prefix of a history: every
+    /// return must match, but calls may remain open.
+    pub fn prefix(events: Vec<Event>) -> Result<History, HistoryError> {
+        if events.first().map(|e| e.op) != Some(EventOp::Call) && !events.is_empty() {
+            return Err(HistoryError::DoesNotStartWithCall);
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        let mut stack: Vec<&Event> = Vec::new();
+        for e in &events {
+            if !seen.insert(e.id) {
+                return Err(HistoryError::DuplicateId(e.id));
+            }
+            match e.op {
+                EventOp::Call => stack.push(e),
+                EventOp::Return => match stack.pop() {
+                    None => return Err(HistoryError::UnmatchedReturn(e.id)),
+                    Some(c) if c.proc != e.proc || c.module != e.module => {
+                        return Err(HistoryError::MismatchedReturn(e.id))
+                    }
+                    Some(_) => {}
+                },
+            }
+        }
+        Ok(History { events })
+    }
+
+    /// The events.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The call stack after the final event (Definition 3.3): all calls
+    /// that have not yet returned, outermost first.
+    pub fn call_stack(&self) -> Vec<&Event> {
+        let mut stack = Vec::new();
+        for e in &self.events {
+            match e.op {
+                EventOp::Call => stack.push(e),
+                EventOp::Return => {
+                    stack.pop();
+                }
+            }
+        }
+        stack
+    }
+
+    /// The depth of the call at index `i` (Definition 3.3).
+    pub fn depth_at(&self, i: usize) -> usize {
+        let mut depth = 0usize;
+        for e in &self.events[..=i] {
+            match e.op {
+                EventOp::Call => depth += 1,
+                EventOp::Return => depth -= 1,
+            }
+        }
+        depth
+    }
+
+    /// The restriction H^M of the history to module `m` (§3.3.1).
+    pub fn restrict(&self, m: &str) -> Vec<&Event> {
+        self.events.iter().filter(|e| e.module == m).collect()
+    }
+
+    /// Theorem 3.4's decomposition of the prefix ending at index `last`:
+    /// returns `(call_stack_prefix, balanced_intervals)` where the
+    /// history up to `last` is the stack of open calls interleaved with
+    /// uniquely-determined balanced intervals. Verified by reassembly in
+    /// the tests.
+    pub fn decompose(&self, last: usize) -> (Vec<usize>, Vec<(usize, usize)>) {
+        let mut open: Vec<usize> = Vec::new();
+        let mut balanced: Vec<(usize, usize)> = Vec::new();
+        for (i, e) in self.events[..=last].iter().enumerate() {
+            match e.op {
+                EventOp::Call => open.push(i),
+                EventOp::Return => {
+                    let start = open.pop().expect("validated history");
+                    // Absorb any balanced intervals nested inside.
+                    balanced.retain(|&(s, _)| s < start);
+                    balanced.push((start, i));
+                }
+            }
+        }
+        (open, balanced)
+    }
+}
+
+/// A deterministic module for replay (Definition 3.6): a state plus a
+/// transition function from (state, procedure, arguments) to (new state,
+/// result). Global determinism means every module of the program is one
+/// of these.
+pub trait DeterministicModule {
+    /// Executes a call against the module state, returning the result.
+    fn execute(&mut self, proc: &str, args: &[i64]) -> Vec<i64>;
+
+    /// A snapshot of the state (for Theorem 3.7 comparisons).
+    fn state(&self) -> Vec<i64>;
+}
+
+/// A program: named deterministic modules (§3.3.2's program state σ
+/// assigns a value to each module's state variable).
+#[derive(Default)]
+pub struct Program {
+    modules: BTreeMap<ModuleName, Box<dyn DeterministicModule>>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Adds a module.
+    pub fn with_module(
+        mut self,
+        name: &str,
+        module: Box<dyn DeterministicModule>,
+    ) -> Program {
+        self.modules.insert(name.to_string(), module);
+        self
+    }
+
+    /// The program state σ: each module's state variable (§3.3.2).
+    pub fn state(&self) -> BTreeMap<ModuleName, Vec<i64>> {
+        self.modules
+            .iter()
+            .map(|(k, v)| (k.clone(), v.state()))
+            .collect()
+    }
+
+    /// Replays a history's top-level calls against the program,
+    /// checking that each recorded return matches what the deterministic
+    /// modules produce. This is the checkable content of Theorem 3.7
+    /// (and of its corollary, §3.5.2: identical initial states plus an
+    /// identical call stream keep replicas consistent). Returns the
+    /// index of the first mismatching return, if any.
+    pub fn replay(&mut self, h: &History) -> Option<usize> {
+        // Only depth-1 call/return pairs drive the modules here: nested
+        // structure is the callee's business and is exercised via its
+        // own events.
+        let mut depth = 0usize;
+        let mut pending: Vec<(usize, String, String, Vec<i64>)> = Vec::new();
+        for (i, e) in h.events().iter().enumerate() {
+            match e.op {
+                EventOp::Call => {
+                    depth += 1;
+                    if depth == 1 {
+                        pending.push((i, e.module.clone(), e.proc.clone(), e.val.clone()));
+                    }
+                }
+                EventOp::Return => {
+                    if depth == 1 {
+                        let (_, module, proc, args) = pending.pop().expect("balanced");
+                        let result = self
+                            .modules
+                            .get_mut(&module)
+                            .map(|m| m.execute(&proc, &args))
+                            .unwrap_or_default();
+                        if result != e.val {
+                            return Some(i);
+                        }
+                    }
+                    depth -= 1;
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(module: &str, proc: &str, id: u64) -> Event {
+        Event::call(module, proc, vec![], id)
+    }
+
+    fn r(module: &str, proc: &str, id: u64) -> Event {
+        Event::ret(module, proc, vec![], id)
+    }
+
+    #[test]
+    fn trivial_balanced_interval() {
+        assert!(is_balanced(&[c("M", "p", 1), r("M", "p", 2)]));
+    }
+
+    #[test]
+    fn nested_balanced_interval() {
+        // <c B1 B2 r> with balanced B1, B2 (Definition 3.1).
+        let events = vec![
+            c("M", "p", 1),
+            c("N", "q", 2),
+            r("N", "q", 3),
+            c("N", "s", 4),
+            r("N", "s", 5),
+            r("M", "p", 6),
+        ];
+        assert!(is_balanced(&events));
+    }
+
+    #[test]
+    fn unbalanced_rejected() {
+        assert!(!is_balanced(&[c("M", "p", 1)]));
+        assert!(!is_balanced(&[c("M", "p", 1), r("M", "q", 2)]));
+        assert!(!is_balanced(&[r("M", "p", 1), c("M", "p", 2)]));
+        // Depth touches zero early: <c r> <c r> is two intervals, not one.
+        assert!(!is_balanced(&[
+            c("M", "p", 1),
+            r("M", "p", 2),
+            c("M", "p", 3),
+            r("M", "p", 4),
+        ]));
+    }
+
+    #[test]
+    fn history_validation() {
+        assert!(History::complete(vec![c("M", "p", 1), r("M", "p", 2)]).is_ok());
+        assert_eq!(
+            History::complete(vec![c("M", "p", 1)]).unwrap_err(),
+            HistoryError::NotBalanced
+        );
+        assert_eq!(
+            History::complete(vec![r("M", "p", 1)]).unwrap_err(),
+            HistoryError::DoesNotStartWithCall
+        );
+        assert_eq!(
+            History::complete(vec![c("M", "p", 1), r("M", "p", 1)]).unwrap_err(),
+            HistoryError::DuplicateId(1)
+        );
+        assert_eq!(
+            History::complete(vec![c("M", "p", 1), r("M", "q", 2)]).unwrap_err(),
+            HistoryError::MismatchedReturn(2)
+        );
+    }
+
+    #[test]
+    fn call_stack_tracks_open_calls() {
+        let h = History::prefix(vec![c("M", "p", 1), c("N", "q", 2), r("N", "q", 3), c("N", "s", 4)])
+            .unwrap();
+        let stack = h.call_stack();
+        assert_eq!(stack.len(), 2);
+        assert_eq!(stack[0].proc, "p");
+        assert_eq!(stack[1].proc, "s");
+        assert_eq!(h.depth_at(1), 2);
+        assert_eq!(h.depth_at(2), 1);
+    }
+
+    #[test]
+    fn restriction_selects_module_events() {
+        let h = History::prefix(vec![c("M", "p", 1), c("N", "q", 2), r("N", "q", 3)]).unwrap();
+        let m_events = h.restrict("N");
+        assert_eq!(m_events.len(), 2);
+        assert!(m_events.iter().all(|e| e.module == "N"));
+    }
+
+    #[test]
+    fn theorem_3_4_decomposition() {
+        // H = <c0 <c1 r1> <c2 <c3 r3> r2> c4>: after the last event the
+        // open-call prefix is [c0, c4] and the balanced intervals at the
+        // top level under c0 are (1,2) and (3,6).
+        let events = vec![
+            c("A", "p0", 0),
+            c("B", "p1", 1),
+            r("B", "p1", 2),
+            c("B", "p2", 3),
+            c("C", "p3", 4),
+            r("C", "p3", 5),
+            r("B", "p2", 6),
+            c("C", "p4", 7),
+        ];
+        let h = History::prefix(events).unwrap();
+        let (open, balanced) = h.decompose(7);
+        assert_eq!(open, vec![0, 7]);
+        assert_eq!(balanced, vec![(1, 2), (3, 6)]);
+        // Each reported interval is genuinely balanced.
+        for (s, e) in balanced {
+            assert!(is_balanced(&h.events()[s..=e]));
+        }
+    }
+
+    /// A counter module: deterministic by construction.
+    struct Counter {
+        value: i64,
+    }
+
+    impl DeterministicModule for Counter {
+        fn execute(&mut self, proc: &str, args: &[i64]) -> Vec<i64> {
+            match proc {
+                "add" => {
+                    self.value += args.first().copied().unwrap_or(0);
+                    vec![self.value]
+                }
+                "get" => vec![self.value],
+                _ => vec![],
+            }
+        }
+
+        fn state(&self) -> Vec<i64> {
+            vec![self.value]
+        }
+    }
+
+    fn counter_program() -> Program {
+        Program::new().with_module("counter", Box::new(Counter { value: 0 }))
+    }
+
+    fn counter_history(deltas: &[i64]) -> History {
+        let mut events = Vec::new();
+        let mut id = 0;
+        let mut total = 0;
+        for d in deltas {
+            total += d;
+            events.push(Event::call("counter", "add", vec![*d], id));
+            events.push(Event::ret("counter", "add", vec![total], id + 1));
+            id += 2;
+        }
+        History::complete(events).unwrap()
+    }
+
+    #[test]
+    fn replay_accepts_consistent_history() {
+        let mut p = counter_program();
+        let h = counter_history(&[5, -2, 10]);
+        assert_eq!(p.replay(&h), None);
+        assert_eq!(p.state()["counter"], vec![13]);
+    }
+
+    #[test]
+    fn replay_detects_divergence() {
+        let mut p = counter_program();
+        let mut events: Vec<Event> = counter_history(&[5, 5]).events().to_vec();
+        // Corrupt the second return value.
+        events[3].val = vec![99];
+        let h = History::complete(events).unwrap();
+        assert_eq!(p.replay(&h), Some(3));
+    }
+
+    #[test]
+    fn theorem_3_7_same_start_same_history() {
+        // Two replicas (same initial state) fed the same call stream
+        // produce identical histories and identical final states — the
+        // formal basis of troupe consistency (§3.5.2).
+        let mut a = counter_program();
+        let mut b = counter_program();
+        let h = counter_history(&[1, 2, 3, -4]);
+        assert_eq!(a.replay(&h), None);
+        assert_eq!(b.replay(&h), None);
+        assert_eq!(a.state(), b.state());
+    }
+
+    #[test]
+    fn theorem_3_7_checkpoint_equals_log_replay() {
+        // "Theorem 3.7 can be viewed as a formal statement ... of the
+        // equivalence of the two crash recovery mechanisms: restoring a
+        // consistent state from a checkpoint, or replaying events from a
+        // log" (§3.3.2).
+        let mut full = counter_program();
+        full.replay(&counter_history(&[3, 4, 5])).unwrap_or_default();
+        // Recovery path: start from the checkpoint after [3, 4]...
+        let mut recovered = Program::new().with_module("counter", Box::new(Counter { value: 7 }));
+        // ...and replay the tail of the log.
+        let tail = History::complete(vec![
+            Event::call("counter", "add", vec![5], 100),
+            Event::ret("counter", "add", vec![12], 101),
+        ])
+        .unwrap();
+        assert_eq!(recovered.replay(&tail), None);
+        assert_eq!(full.state(), recovered.state());
+    }
+}

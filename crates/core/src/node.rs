@@ -1,0 +1,1468 @@
+//! The replicated procedure call runtime of one process.
+//!
+//! A [`Node`] bundles everything §4.3 describes as "the run-time system
+//! that is linked with each user's programs":
+//!
+//! - a table of paired-message connections, one per peer process;
+//! - the **one-to-many** client algorithm (§4.3.1): send the same call
+//!   message to every server troupe member, collate the returns;
+//! - the **many-to-one** server algorithm (§4.3.2): group call messages
+//!   by `(client troupe, thread, call sequence)`, collate the argument
+//!   sets, execute the procedure exactly once, return the results to
+//!   every client troupe member;
+//! - thread-ID propagation (§3.4.1) and per-thread call sequence numbers;
+//! - troupe-ID (incarnation) checking for cache invalidation (§6.2);
+//! - buffering of return messages for slow client troupe members
+//!   (first-come collation, §4.3.4);
+//! - a directory of client troupe memberships, consulted "by a local
+//!   cache or by contacting the binding agent" (§4.3.2).
+//!
+//! The general many-to-many call needs no further machinery: "the general
+//! case therefore factors into the two special cases already described"
+//! (§4.3.3).
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use crate::addr::{ModuleAddr, Troupe, TroupeId};
+use crate::binding::{self, reserved_procs};
+use crate::collate::{Collation, CollationPolicy, Decision};
+use crate::message::{CallMessage, ReturnMessage};
+use crate::service::{CallError, NodeEffect, OutCall, Service, ServiceCtx, Step, TroupeTarget};
+use crate::thread::{ThreadId, ThreadIdGen};
+use pairedmsg::{Endpoint, Event as PmEvent, MsgType};
+use simnet::{Duration, SockAddr, Syscall, Time};
+use wire::{from_bytes, to_bytes};
+
+/// Abstraction over the I/O facilities a node needs; implemented for the
+/// simulator's [`simnet::Ctx`] and by test mocks.
+pub trait NetIo {
+    /// Current time.
+    fn now(&self) -> Time;
+    /// This process's address.
+    fn me(&self) -> SockAddr;
+    /// Transmits a datagram (charging one `sendmsg`).
+    fn send(&mut self, to: SockAddr, bytes: Vec<u8>);
+    /// Arms a timer.
+    fn set_timer(&mut self, delay: Duration, tag: u64);
+    /// Charges a syscall to this process's CPU account.
+    fn charge(&mut self, sys: Syscall);
+    /// Charges user-mode computation.
+    fn charge_compute(&mut self, d: Duration);
+}
+
+impl NetIo for simnet::Ctx<'_> {
+    fn now(&self) -> Time {
+        simnet::Ctx::now(self)
+    }
+    fn me(&self) -> SockAddr {
+        simnet::Ctx::me(self)
+    }
+    fn send(&mut self, to: SockAddr, bytes: Vec<u8>) {
+        simnet::Ctx::send(self, to, bytes);
+    }
+    fn set_timer(&mut self, delay: Duration, tag: u64) {
+        simnet::Ctx::set_timer(self, delay, tag);
+    }
+    fn charge(&mut self, sys: Syscall) {
+        simnet::Ctx::charge(self, sys);
+    }
+    fn charge_compute(&mut self, d: Duration) {
+        simnet::Ctx::charge_dur(self, Syscall::Compute, d);
+    }
+}
+
+/// Timer tag kinds (the node multiplexes one tag space).
+const TAG_KIND_SHIFT: u64 = 56;
+/// Connection (paired message protocol) timer; low bits = connection id.
+pub const TAG_CONN: u64 = 0;
+/// Many-to-one assembly timeout; low bits = pending-call serial.
+pub const TAG_PENDING: u64 = 1;
+/// Application timer; low bits = the application's own tag.
+pub const TAG_APP: u64 = 2;
+
+fn make_tag(kind: u64, low: u64) -> u64 {
+    (kind << TAG_KIND_SHIFT) | (low & ((1 << TAG_KIND_SHIFT) - 1))
+}
+
+/// Splits a timer tag into (kind, low bits).
+pub fn split_tag(tag: u64) -> (u64, u64) {
+    (tag >> TAG_KIND_SHIFT, tag & ((1 << TAG_KIND_SHIFT) - 1))
+}
+
+/// Handle identifying an in-progress replicated call made by this node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CallHandle(pub u64);
+
+/// Completion notifications for the application layer.
+#[derive(Debug)]
+pub enum AppEvent {
+    /// A replicated call made via [`Node::begin_call`] finished.
+    CallDone {
+        /// The handle returned by `begin_call`.
+        handle: CallHandle,
+        /// Collated results or failure.
+        result: Result<Vec<u8>, CallError>,
+    },
+    /// A peer process was declared dead by the paired message layer
+    /// (§4.2.3); binding-level software may want to rebind (§6.4).
+    MemberDead {
+        /// The dead peer.
+        addr: SockAddr,
+    },
+    /// The watchdog (§4.3.4) saw a late reply disagree with the value
+    /// the computation already proceeded with: a determinism violation.
+    /// The paper's remedy is to abort the enclosing transaction.
+    DeterminismViolation {
+        /// The first-come call whose response set is inconsistent.
+        handle: CallHandle,
+    },
+}
+
+/// Node configuration.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// Paired message protocol parameters.
+    pub pm: pairedmsg::Config,
+    /// Charge the protocol-overhead syscalls the 1985 implementation
+    /// performed (select, sigblock, setitimer, gettimeofday) so that the
+    /// performance tables reproduce. Disable for pure-logic tests.
+    pub charge_overhead: bool,
+    /// User-mode CPU charged per message externalized or internalized
+    /// (stub marshaling cost).
+    pub compute_per_msg: Duration,
+    /// How long a server waits for the remaining call messages of a
+    /// many-to-one call before treating silent client members as dead.
+    pub assembly_timeout: Duration,
+    /// How long completed replies are buffered for slow client members
+    /// (§4.3.4).
+    pub done_ttl: Duration,
+}
+
+impl Default for NodeConfig {
+    fn default() -> NodeConfig {
+        NodeConfig {
+            pm: pairedmsg::Config::default(),
+            charge_overhead: true,
+            compute_per_msg: Duration::from_millis_f64(3.0),
+            assembly_timeout: Duration::from_secs(10),
+            done_ttl: Duration::from_secs(60),
+        }
+    }
+}
+
+impl NodeConfig {
+    /// A configuration with all CPU charging disabled, for logic tests.
+    pub fn uncharged() -> NodeConfig {
+        NodeConfig {
+            charge_overhead: false,
+            compute_per_msg: Duration::ZERO,
+            ..NodeConfig::default()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client engine types (one-to-many calls, §4.3.1).
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+enum CallPurpose {
+    /// Initiated by the application; completion goes to `AppEvent`.
+    App,
+    /// A nested call made by a service handling `key`; completion resumes
+    /// the service (§3.4's distributed threads).
+    Nested { key: CallKey },
+    /// An internal `lookup_troupe_by_id` to the binding agent (§4.3.2).
+    DirLookup { troupe: TroupeId },
+}
+
+struct OutstandingCall {
+    collation: Collation,
+    purpose: CallPurpose,
+    done: bool,
+}
+
+// ---------------------------------------------------------------------
+// Server engine types (many-to-one calls, §4.3.2).
+// ---------------------------------------------------------------------
+
+/// Groups the call messages of one replicated call: "two or more call
+/// messages arriving at a server bear the same thread ID and call
+/// sequence number if and only if they are part of the same replicated
+/// call" (§4.3.2), scoped by the client troupe ID.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct CallKey {
+    client_troupe: TroupeId,
+    thread: ThreadId,
+    call_seq: u32,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum PendState {
+    /// Collecting call messages from client troupe members.
+    Collecting,
+    /// The service is blocked on a nested call.
+    AwaitingNested,
+    /// The service suspended the invocation (waiting on a lock or other
+    /// internal condition); it will be advanced by `NodeEffect::StepFor`.
+    Suspended,
+}
+
+struct Pending {
+    serial: u64,
+    module: u16,
+    proc: u16,
+    /// Client troupe members (process addresses).
+    client_members: Vec<SockAddr>,
+    /// Per member: the paired-message call number to reply on, once its
+    /// call message has arrived.
+    responders: Vec<Option<u32>>,
+    args: Collation,
+    state: PendState,
+    deadline: Time,
+    /// Invocation id allocated when the service first executed; reused on
+    /// every resume so services can key per-invocation state.
+    invocation: u64,
+}
+
+struct DoneCall {
+    /// Encoded `ReturnMessage`, buffered for client members whose call
+    /// messages arrive after execution ("execution of the procedure thus
+    /// appears instantaneous to the slow client troupe members", §4.3.4).
+    reply: Vec<u8>,
+    at: Time,
+}
+
+/// A call message parked until the client troupe's membership is known.
+struct Parked {
+    from: SockAddr,
+    pm_cn: u32,
+    msg: CallMessage,
+}
+
+struct Conn {
+    id: u64,
+    endpoint: Endpoint,
+    next_cn: u32,
+    armed: Option<Time>,
+    /// Generation of the most recent timer armed for this connection;
+    /// firings of superseded timers are ignored, so re-arming an earlier
+    /// deadline does not leave a trail of live duplicate timers.
+    arm_gen: u64,
+}
+
+/// The per-process replicated procedure call runtime.
+pub struct Node {
+    me: SockAddr,
+    config: NodeConfig,
+    /// This process's troupe incarnation; `UNREGISTERED` until exported
+    /// through the binding agent.
+    my_troupe: TroupeId,
+    threads: ThreadIdGen,
+
+    conns: BTreeMap<SockAddr, Conn>,
+    conn_addrs: Vec<SockAddr>,
+
+    // Client engine.
+    outstanding: HashMap<u64, OutstandingCall>,
+    route: HashMap<(SockAddr, u32), (u64, usize)>,
+    seq_by_thread: HashMap<ThreadId, u32>,
+    next_handle: u64,
+
+    // Server engine.
+    services: BTreeMap<u16, Box<dyn Service>>,
+    pending: HashMap<CallKey, Pending>,
+    pending_by_serial: HashMap<u64, CallKey>,
+    pending_by_invocation: HashMap<u64, CallKey>,
+    next_pending_serial: u64,
+    next_invocation: u64,
+    done: HashMap<CallKey, DoneCall>,
+
+    // Directory of client troupe memberships (§4.3.2).
+    directory: HashMap<TroupeId, Vec<SockAddr>>,
+    parked: HashMap<TroupeId, Vec<Parked>>,
+    lookups_in_flight: HashMap<TroupeId, u64>,
+    binder: Option<Troupe>,
+
+    events: VecDeque<AppEvent>,
+}
+
+impl Node {
+    /// Creates a node for the process at `me`.
+    pub fn new(me: SockAddr, config: NodeConfig) -> Node {
+        Node {
+            me,
+            config,
+            my_troupe: TroupeId::UNREGISTERED,
+            threads: ThreadIdGen::new(me),
+            conns: BTreeMap::new(),
+            conn_addrs: Vec::new(),
+            outstanding: HashMap::new(),
+            route: HashMap::new(),
+            seq_by_thread: HashMap::new(),
+            next_handle: 1,
+            services: BTreeMap::new(),
+            pending: HashMap::new(),
+            pending_by_serial: HashMap::new(),
+            pending_by_invocation: HashMap::new(),
+            next_pending_serial: 1,
+            next_invocation: 1,
+            done: HashMap::new(),
+            directory: HashMap::new(),
+            parked: HashMap::new(),
+            lookups_in_flight: HashMap::new(),
+            binder: None,
+            events: VecDeque::new(),
+        }
+    }
+
+    /// This process's address.
+    pub fn me(&self) -> SockAddr {
+        self.me
+    }
+
+    /// The current troupe incarnation of this member.
+    pub fn troupe_id(&self) -> TroupeId {
+        self.my_troupe
+    }
+
+    /// Installs a troupe incarnation (normally done remotely through the
+    /// reserved `set_troupe_id` procedure, §6.2).
+    pub fn set_troupe_id(&mut self, id: TroupeId) {
+        self.my_troupe = id;
+    }
+
+    /// Exports a service as module number `module`.
+    pub fn export(&mut self, module: u16, service: Box<dyn Service>) {
+        self.services.insert(module, service);
+    }
+
+    /// Read access to an exported service, downcast to its concrete type
+    /// (for tests and examples).
+    pub fn service_as<S: Service>(&self, module: u16) -> Option<&S> {
+        let s = self.services.get(&module)?;
+        let any: &dyn std::any::Any = s.as_ref();
+        any.downcast_ref::<S>()
+    }
+
+    /// Mutable access to an exported service, downcast to its concrete
+    /// type (for tests and examples).
+    pub fn service_as_mut<S: Service>(&mut self, module: u16) -> Option<&mut S> {
+        let s = self.services.get_mut(&module)?;
+        let any: &mut dyn std::any::Any = s.as_mut();
+        any.downcast_mut::<S>()
+    }
+
+    /// Installs transferred state into an exported service (the joining
+    /// member's half of §6.4.1's state transfer).
+    pub fn set_service_state(&mut self, module: u16, state: &[u8]) {
+        if let Some(svc) = self.services.get_mut(&module) {
+            svc.set_state(state);
+        }
+    }
+
+    /// Configures the binding agent troupe used for directory lookups.
+    pub fn set_binder(&mut self, binder: Troupe) {
+        self.binder = Some(binder);
+    }
+
+    /// Pre-populates the client-troupe directory (a third party such as
+    /// the configuration manager may register whole troupes, §6.2).
+    pub fn preload_directory(&mut self, id: TroupeId, members: Vec<SockAddr>) {
+        self.directory.insert(id, members);
+    }
+
+    /// Creates a fresh distributed thread based at this process.
+    pub fn fresh_thread(&mut self) -> ThreadId {
+        self.threads.fresh()
+    }
+
+    /// Drains the next application event.
+    pub fn poll_event(&mut self) -> Option<AppEvent> {
+        self.events.pop_front()
+    }
+
+    // -----------------------------------------------------------------
+    // One-to-many calls (§4.3.1).
+    // -----------------------------------------------------------------
+
+    /// Begins a replicated procedure call on behalf of `thread`.
+    ///
+    /// The same call message is sent to each server troupe member with
+    /// the same call sequence number; the returns are collated under
+    /// `collation`. Completion is reported via [`AppEvent::CallDone`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn begin_call(
+        &mut self,
+        io: &mut dyn NetIo,
+        thread: ThreadId,
+        troupe: &Troupe,
+        module: u16,
+        proc: u16,
+        args: Vec<u8>,
+        collation: CollationPolicy,
+    ) -> CallHandle {
+        let handle = self.begin_call_inner(io, thread, troupe, module, proc, args, collation, CallPurpose::App);
+        self.flush_all(io);
+        CallHandle(handle)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn begin_call_inner(
+        &mut self,
+        io: &mut dyn NetIo,
+        thread: ThreadId,
+        troupe: &Troupe,
+        module: u16,
+        proc: u16,
+        args: Vec<u8>,
+        collation: CollationPolicy,
+        purpose: CallPurpose,
+    ) -> u64 {
+        let handle = self.next_handle;
+        self.next_handle += 1;
+
+        let seq = self.seq_by_thread.entry(thread).or_insert(0);
+        *seq += 1;
+        let call_seq = *seq;
+
+        let msg = CallMessage {
+            thread,
+            call_seq,
+            client_troupe: self.my_troupe,
+            server_troupe: troupe.id,
+            module,
+            proc,
+            args,
+        };
+        io.charge_compute(self.config.compute_per_msg); // Externalize once.
+        if self.config.charge_overhead {
+            // The timer package reads the clock and arms the interval
+            // timer for the exchange (§4.2.4), inside a critical region.
+            io.charge(Syscall::GetTimeOfDay);
+            io.charge(Syscall::SetITimer);
+            io.charge(Syscall::SigBlock);
+        }
+        let bytes = to_bytes(&msg);
+
+        let call = OutstandingCall {
+            collation: Collation::new(collation, troupe.members.len()),
+            purpose,
+            done: false,
+        };
+        self.outstanding.insert(handle, call);
+
+        // The caller just bound to this troupe, so it knows the
+        // membership; record it so call-backs *from* that troupe (the
+        // ready_to_commit pattern, §5.3) can be grouped without a
+        // binding-agent round trip.
+        if troupe.id != TroupeId::UNREGISTERED {
+            self.directory
+                .insert(troupe.id, troupe.members.iter().map(|m| m.addr).collect());
+        }
+
+        let members = troupe.members.clone();
+        for (i, member) in members.iter().enumerate() {
+            let now = io.now();
+            let conn = self.conn_mut(member.addr);
+            let cn = conn.next_cn;
+            conn.next_cn += 1;
+            // The send can only fail for oversize messages, which the
+            // stub layer prevents; treat failure as an instantly dead
+            // member.
+            if conn.endpoint.send(now, MsgType::Call, cn, &bytes).is_err() {
+                self.call_mut(handle).collation.mark_dead(i);
+                continue;
+            }
+            self.route.insert((member.addr, cn), (handle, i));
+        }
+        self.check_decision(io, handle);
+        handle
+    }
+
+    fn call_mut(&mut self, handle: u64) -> &mut OutstandingCall {
+        self.outstanding.get_mut(&handle).expect("call exists")
+    }
+
+    /// Applies the collation decision for an outstanding call.
+    fn check_decision(&mut self, io: &mut dyn NetIo, handle: u64) {
+        let Some(call) = self.outstanding.get(&handle) else {
+            return;
+        };
+        if !call.done {
+            match call.collation.decide() {
+                Decision::Wait => {}
+                Decision::Ready(bytes) => {
+                    self.call_mut(handle).done = true;
+                    let result = match from_bytes::<ReturnMessage>(&bytes) {
+                        Ok(ReturnMessage::Normal(data)) => Ok(data),
+                        Ok(ReturnMessage::Error(e)) => Err(CallError::Remote(e)),
+                        Ok(ReturnMessage::WrongTroupe(hint)) => {
+                            Err(CallError::StaleBinding(Some(hint)))
+                        }
+                        Ok(ReturnMessage::NoSuchProcedure) => Err(CallError::NoSuchProcedure),
+                        Err(_) => Err(CallError::Garbled),
+                    };
+                    self.complete_call(io, handle, result);
+                }
+                Decision::Fail(e) => {
+                    self.call_mut(handle).done = true;
+                    self.complete_call(io, handle, Err(e.into()));
+                }
+            }
+        }
+        self.gc_call(handle);
+    }
+
+    /// Fails a call immediately (stale binding and similar fatal replies).
+    fn fail_call(&mut self, io: &mut dyn NetIo, handle: u64, err: CallError) {
+        let Some(call) = self.outstanding.get_mut(&handle) else {
+            return;
+        };
+        if call.done {
+            self.gc_call(handle);
+            return;
+        }
+        call.done = true;
+        self.complete_call(io, handle, Err(err));
+        self.gc_call(handle);
+    }
+
+    /// Removes bookkeeping once a finished call has heard from (or given
+    /// up on) every member. In unanimous mode this *is* the paper's
+    /// synchronization point: "the return from a replicated procedure
+    /// call is thus a synchronization point" (§4.3.1); in first-come mode
+    /// the call lingers, absorbing and discarding late returns by their
+    /// call numbers (§4.3.4).
+    fn gc_call(&mut self, handle: u64) {
+        let Some(call) = self.outstanding.get(&handle) else {
+            return;
+        };
+        if !call.done {
+            return;
+        }
+        // Route entries are removed as returns arrive or peers die; any
+        // remaining entry means a member has yet to be heard from.
+        let unresolved = self.route.values().any(|(h, _)| *h == handle);
+        if !unresolved {
+            self.outstanding.remove(&handle);
+        }
+    }
+
+    /// Routes a finished call's result according to its purpose.
+    fn complete_call(&mut self, io: &mut dyn NetIo, handle: u64, result: Result<Vec<u8>, CallError>) {
+        let purpose = std::mem::replace(
+            &mut self.call_mut(handle).purpose,
+            CallPurpose::App,
+        );
+        match purpose {
+            CallPurpose::App => self.events.push_back(AppEvent::CallDone {
+                handle: CallHandle(handle),
+                result,
+            }),
+            CallPurpose::Nested { key } => self.resume_service(io, key, result),
+            CallPurpose::DirLookup { troupe } => self.finish_lookup(io, troupe, result),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Datagram and timer entry points.
+    // -----------------------------------------------------------------
+
+    /// Feeds an incoming datagram (call this from `Process::on_datagram`).
+    pub fn on_datagram(&mut self, io: &mut dyn NetIo, from: SockAddr, bytes: &[u8]) {
+        if self.config.charge_overhead {
+            // SIGIO delivery: check readiness and enter the critical
+            // region (§4.2.4). `recvmsg` itself is charged by the world.
+            io.charge(Syscall::Select);
+            io.charge(Syscall::SigBlock);
+        }
+        let now = io.now();
+        let conn = self.conn_mut(from);
+        if conn.endpoint.on_datagram(now, bytes).is_err() {
+            return; // Garbled segment: treated as lost (§2.2).
+        }
+        let mut events = Vec::new();
+        while let Some(ev) = conn.endpoint.poll_event() {
+            events.push(ev);
+        }
+        for ev in events {
+            self.on_pm_event(io, from, ev);
+        }
+        self.flush_all(io);
+    }
+
+    /// Feeds a timer expiry (call this from `Process::on_timer`). Returns
+    /// the application tag if the timer belonged to the application.
+    pub fn on_timer(&mut self, io: &mut dyn NetIo, tag: u64) -> Option<u64> {
+        let (kind, low) = split_tag(tag);
+        match kind {
+            TAG_CONN => {
+                let conn_id = low & 0xFFFF_FFFF;
+                let gen = low >> 32; // 24 bits of generation survive the tag.
+                let addr = self.conn_addrs.get(conn_id as usize).copied();
+                if let Some(addr) = addr {
+                    let now = io.now();
+                    let mut events = Vec::new();
+                    let mut live = false;
+                    if let Some(conn) = self.conns.get_mut(&addr) {
+                        if conn.arm_gen & 0x00FF_FFFF != gen {
+                            // A superseded timer; the newer one governs.
+                            return None;
+                        }
+                        live = true;
+                        conn.armed = None;
+                        conn.endpoint.on_timer(now);
+                        while let Some(ev) = conn.endpoint.poll_event() {
+                            events.push(ev);
+                        }
+                    }
+                    for ev in events {
+                        self.on_pm_event(io, addr, ev);
+                    }
+                    if live {
+                        self.flush_all(io);
+                    }
+                }
+                None
+            }
+            TAG_PENDING => {
+                if let Some(key) = self.pending_by_serial.get(&low).copied() {
+                    self.assembly_timeout(io, key);
+                    self.flush_all(io);
+                }
+                None
+            }
+            TAG_APP => Some(low),
+            _ => None,
+        }
+    }
+
+    /// Arms an application-level timer; it comes back from
+    /// [`Node::on_timer`] with the given tag.
+    pub fn set_app_timer(&mut self, io: &mut dyn NetIo, delay: Duration, tag: u64) {
+        io.set_timer(delay, make_tag(TAG_APP, tag));
+    }
+
+    fn on_pm_event(&mut self, io: &mut dyn NetIo, from: SockAddr, ev: PmEvent) {
+        match ev {
+            PmEvent::Message {
+                msg_type: MsgType::Return,
+                call_number,
+                data,
+            } => self.on_return_message(io, from, call_number, &data),
+            PmEvent::Message {
+                msg_type: MsgType::Call,
+                call_number,
+                data,
+            } => self.on_call_message(io, from, call_number, &data),
+            PmEvent::PeerDead => self.on_peer_dead(io, from),
+        }
+    }
+
+    /// Handles a return message arriving from a server troupe member.
+    fn on_return_message(&mut self, io: &mut dyn NetIo, from: SockAddr, cn: u32, data: &[u8]) {
+        let Some((handle, member_idx)) = self.route.remove(&(from, cn)) else {
+            return; // Late return for a call already cleaned up (§4.3.4).
+        };
+        // Each member's return message is internalized by the stubs
+        // (user-mode time grows with the degree of replication,
+        // Table 4.1).
+        io.charge_compute(self.config.compute_per_msg);
+        // Fatal binding replies bypass collation: the server troupe's
+        // incarnation no longer matches, so no member executed (§6.2).
+        match from_bytes::<ReturnMessage>(data) {
+            Ok(ReturnMessage::WrongTroupe(hint)) => {
+                self.fail_call(io, handle, CallError::StaleBinding(Some(hint)));
+                return;
+            }
+            Ok(ReturnMessage::NoSuchProcedure) => {
+                self.fail_call(io, handle, CallError::NoSuchProcedure);
+                return;
+            }
+            Ok(_) => {}
+            Err(_) => {
+                self.fail_call(io, handle, CallError::Garbled);
+                return;
+            }
+        }
+        if let Some(call) = self.outstanding.get_mut(&handle) {
+            call.collation.add_vote(member_idx, data.to_vec());
+            // The watchdog compares stragglers against the value already
+            // delivered (§4.3.4).
+            if call.done && call.collation.is_watchdog() && !call.collation.votes_agree() {
+                self.events
+                    .push_back(AppEvent::DeterminismViolation { handle: CallHandle(handle) });
+            }
+            self.check_decision(io, handle);
+        }
+    }
+
+    /// Handles the death of a peer process (§4.2.3): every outstanding
+    /// call with a member there proceeds without it, and pending
+    /// many-to-one calls stop expecting its call message.
+    fn on_peer_dead(&mut self, io: &mut dyn NetIo, addr: SockAddr) {
+        // Client side: mark the member dead in every outstanding call.
+        let affected: Vec<(u64, usize)> = self
+            .route
+            .iter()
+            .filter(|((a, _), _)| *a == addr)
+            .map(|(_, v)| *v)
+            .collect();
+        self.route.retain(|(a, _), _| *a != addr);
+        for (handle, idx) in affected {
+            if let Some(call) = self.outstanding.get_mut(&handle) {
+                call.collation.mark_dead(idx);
+            }
+        }
+        let handles: Vec<u64> = self.outstanding.keys().copied().collect();
+        for h in handles {
+            self.check_decision(io, h);
+        }
+        // Server side: stop waiting for its call messages.
+        let keys: Vec<CallKey> = self.pending.keys().copied().collect();
+        for key in keys {
+            let executed = {
+                let p = self.pending.get_mut(&key).expect("key");
+                if p.state != PendState::Collecting {
+                    continue;
+                }
+                if let Some(i) = p.client_members.iter().position(|m| *m == addr) {
+                    p.args.mark_dead(i);
+                    true
+                } else {
+                    false
+                }
+            };
+            if executed {
+                self.try_execute(io, key);
+            }
+        }
+        // Drop the connection; a new one is made if the address is
+        // reused by a replacement member.
+        if let Some(conn) = self.conns.remove(&addr) {
+            if let Some(slot) = self.conn_addrs.get_mut(conn.id as usize) {
+                // Keep the id slot but point it nowhere.
+                *slot = SockAddr::new(simnet::HostId(u32::MAX), 0);
+            }
+        }
+        self.events.push_back(AppEvent::MemberDead { addr });
+    }
+
+    // -----------------------------------------------------------------
+    // Many-to-one calls (§4.3.2).
+    // -----------------------------------------------------------------
+
+    /// Handles a call message arriving from a client troupe member.
+    fn on_call_message(&mut self, io: &mut dyn NetIo, from: SockAddr, pm_cn: u32, data: &[u8]) {
+        io.charge_compute(self.config.compute_per_msg); // Internalize.
+        let Ok(msg) = from_bytes::<CallMessage>(data) else {
+            return; // Garbled call; the client will time out and retry.
+        };
+        self.purge_done(io.now());
+
+        // Incarnation check (§6.2): a call bearing the wrong server
+        // troupe ID must be rejected so stale client caches are detected.
+        if msg.server_troupe != self.my_troupe && msg.server_troupe != TroupeId::UNREGISTERED {
+            let reply = to_bytes(&ReturnMessage::WrongTroupe(self.my_troupe));
+            self.send_return(io, from, pm_cn, reply);
+            return;
+        }
+
+        let key = CallKey {
+            client_troupe: msg.client_troupe,
+            thread: msg.thread,
+            call_seq: msg.call_seq,
+        };
+
+        // A slow member of an already-answered call: its return message
+        // is ready and waiting (§4.3.4).
+        if let Some(done) = self.done.get(&key) {
+            let reply = done.reply.clone();
+            self.send_return(io, from, pm_cn, reply);
+            return;
+        }
+
+        if !self.services.contains_key(&msg.module) && msg.proc < reserved_procs::RESERVED_BASE {
+            let reply = to_bytes(&ReturnMessage::NoSuchProcedure);
+            self.send_return(io, from, pm_cn, reply);
+            return;
+        }
+
+        // Determine the client troupe's membership (§4.3.2): singleton
+        // for unregistered callers, else the directory or binding agent.
+        // For an unregistered caller the source of the call message is the
+        // single "member" the return must reach.
+        let members: Vec<SockAddr> = if msg.client_troupe == TroupeId::UNREGISTERED {
+            vec![from]
+        } else {
+            match self.directory.get(&msg.client_troupe) {
+                Some(m) => m.clone(),
+                None => {
+                    self.park_and_lookup(io, from, pm_cn, msg);
+                    return;
+                }
+            }
+        };
+        self.process_call(io, from, pm_cn, msg, members, key);
+    }
+
+    fn process_call(
+        &mut self,
+        io: &mut dyn NetIo,
+        from: SockAddr,
+        pm_cn: u32,
+        msg: CallMessage,
+        members: Vec<SockAddr>,
+        key: CallKey,
+    ) {
+        if !self.pending.contains_key(&key) {
+            let policy = if msg.proc >= reserved_procs::RESERVED_BASE {
+                CollationPolicy::Unanimous
+            } else {
+                self.services
+                    .get(&msg.module)
+                    .map(|s| s.arg_collation(msg.proc))
+                    .unwrap_or(CollationPolicy::Unanimous)
+            };
+            let serial = self.next_pending_serial;
+            self.next_pending_serial += 1;
+            let deadline = io.now() + self.config.assembly_timeout;
+            let n = members.len();
+            self.pending.insert(
+                key,
+                Pending {
+                    serial,
+                    module: msg.module,
+                    proc: msg.proc,
+                    client_members: members.clone(),
+                    responders: vec![None; n],
+                    args: Collation::new(policy, n),
+                    state: PendState::Collecting,
+                    deadline,
+                    invocation: 0,
+                },
+            );
+            self.pending_by_serial.insert(serial, key);
+            if n > 1 {
+                // Only multi-member assemblies can stall on a silent
+                // member; arm the assembly timeout.
+                if self.config.charge_overhead {
+                    io.charge(Syscall::SetITimer);
+                }
+                io.set_timer(self.config.assembly_timeout, make_tag(TAG_PENDING, serial));
+            }
+        }
+        let p = self.pending.get_mut(&key).expect("just inserted");
+        match p.client_members.iter().position(|m| *m == from) {
+            Some(i) => {
+                p.responders[i] = Some(pm_cn);
+                p.args.add_vote(i, msg.args);
+            }
+            None => {
+                // A caller we do not believe is in the client troupe. An
+                // assembly for this call is already open with a definite
+                // membership, so re-fetching the directory here could
+                // loop forever (the open assembly would still not list
+                // the sender). Reject the straggler instead: either its
+                // own view is stale (it will rebind) or ours is (the
+                // next call, with no open assembly, triggers a fresh
+                // lookup through the binding agent).
+                let reply = to_bytes(&ReturnMessage::Error(
+                    "caller is not a member of the calling troupe".into(),
+                ));
+                self.directory.remove(&key.client_troupe);
+                self.send_return(io, from, pm_cn, reply);
+                return;
+            }
+        }
+        self.try_execute(io, key);
+    }
+
+    /// Executes the procedure once the argument collation is ready
+    /// (exactly-once execution, §4.1).
+    fn try_execute(&mut self, io: &mut dyn NetIo, key: CallKey) {
+        let decision = {
+            let Some(p) = self.pending.get(&key) else {
+                return;
+            };
+            if p.state != PendState::Collecting {
+                return;
+            }
+            p.args.decide()
+        };
+        match decision {
+            Decision::Wait => {}
+            Decision::Ready(args) => {
+                let invocation = self.next_invocation;
+                self.next_invocation += 1;
+                let (module, proc) = {
+                    let p = self.pending.get_mut(&key).expect("pending");
+                    p.invocation = invocation;
+                    (p.module, p.proc)
+                };
+                self.pending_by_invocation.insert(invocation, key);
+                let mut ctx = ServiceCtx {
+                    thread: key.thread,
+                    caller: key.client_troupe,
+                    invocation,
+                    now: io.now(),
+                    me: self.me,
+                    effects: Vec::new(),
+                };
+                let step = self.run_service_step(io, &mut ctx, module, proc, &args);
+                self.apply_effects(io, std::mem::take(&mut ctx.effects));
+                self.apply_step(io, key, ctx, step);
+            }
+            Decision::Fail(e) => {
+                let reply = to_bytes(&ReturnMessage::Error(format!(
+                    "argument collation failed: {e}"
+                )));
+                self.finish_pending(io, key, reply);
+            }
+        }
+    }
+
+    /// Runs the initial dispatch of a service (or a reserved procedure).
+    fn run_service_step(
+        &mut self,
+        io: &mut dyn NetIo,
+        ctx: &mut ServiceCtx,
+        module: u16,
+        proc: u16,
+        args: &[u8],
+    ) -> Step {
+        io.charge_compute(self.config.compute_per_msg); // Internalize args.
+        if proc >= reserved_procs::RESERVED_BASE {
+            return self.run_reserved(module, proc, args);
+        }
+        match self.services.get_mut(&module) {
+            Some(s) => s.dispatch(ctx, proc, args),
+            None => Step::Error("no such module".into()),
+        }
+    }
+
+    /// The runtime-provided procedures every module answers (§6.2,
+    /// §6.4.1).
+    fn run_reserved(&mut self, module: u16, proc: u16, args: &[u8]) -> Step {
+        match proc {
+            reserved_procs::NULL => Step::Reply(Vec::new()),
+            reserved_procs::GET_STATE => match self.services.get(&module) {
+                Some(s) => Step::Reply(s.get_state()),
+                None => Step::Error("no such module".into()),
+            },
+            reserved_procs::SET_TROUPE_ID => match from_bytes::<TroupeId>(args) {
+                Ok(id) => {
+                    self.my_troupe = id;
+                    Step::Reply(Vec::new())
+                }
+                Err(e) => Step::Error(format!("bad troupe id: {e}")),
+            },
+            _ => Step::Error("unknown reserved procedure".into()),
+        }
+    }
+
+    /// Applies a service's step, looping through nested calls.
+    fn apply_step(&mut self, io: &mut dyn NetIo, key: CallKey, ctx: ServiceCtx, step: Step) {
+        match step {
+            Step::Reply(data) => {
+                let reply = to_bytes(&ReturnMessage::Normal(data));
+                self.finish_pending(io, key, reply);
+            }
+            Step::Error(e) => {
+                let reply = to_bytes(&ReturnMessage::Error(e));
+                self.finish_pending(io, key, reply);
+            }
+            Step::Suspend => {
+                if let Some(p) = self.pending.get_mut(&key) {
+                    p.state = PendState::Suspended;
+                }
+            }
+            Step::Call(out) => {
+                let troupe = match self.resolve_target(&key, &out) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        let reply = to_bytes(&ReturnMessage::Error(e));
+                        self.finish_pending(io, key, reply);
+                        return;
+                    }
+                };
+                if let Some(p) = self.pending.get_mut(&key) {
+                    p.state = PendState::AwaitingNested;
+                }
+                // Thread-ID propagation (§3.4.1): the nested call runs on
+                // behalf of the incoming thread.
+                self.begin_call_inner(
+                    io,
+                    ctx.thread,
+                    &troupe,
+                    out.module,
+                    out.proc,
+                    out.args,
+                    out.collation,
+                    CallPurpose::Nested { key },
+                );
+            }
+        }
+    }
+
+    /// Applies effects queued by a service handler.
+    fn apply_effects(&mut self, io: &mut dyn NetIo, effects: Vec<NodeEffect>) {
+        for e in effects {
+            match e {
+                NodeEffect::PreloadDirectory { id, members } => {
+                    self.directory.insert(id, members);
+                }
+                NodeEffect::InvalidateDirectory { id } => {
+                    self.directory.remove(&id);
+                }
+                NodeEffect::StepFor { invocation, step } => {
+                    let Some(&key) = self.pending_by_invocation.get(&invocation) else {
+                        continue;
+                    };
+                    let suspended = self
+                        .pending
+                        .get(&key)
+                        .is_some_and(|p| p.state == PendState::Suspended);
+                    if !suspended {
+                        continue;
+                    }
+                    let ctx = ServiceCtx {
+                        thread: key.thread,
+                        caller: key.client_troupe,
+                        invocation,
+                        now: io.now(),
+                        me: self.me,
+                        effects: Vec::new(),
+                    };
+                    self.apply_step(io, key, ctx, step);
+                }
+            }
+        }
+    }
+
+    fn resolve_target(&self, key: &CallKey, out: &OutCall) -> Result<Troupe, String> {
+        match &out.target {
+            TroupeTarget::Troupe(t) => Ok(t.clone()),
+            TroupeTarget::Caller => {
+                let members = if key.client_troupe == TroupeId::UNREGISTERED {
+                    self.pending
+                        .get(key)
+                        .map(|p| p.client_members.clone())
+                        .unwrap_or_default()
+                } else {
+                    self.directory
+                        .get(&key.client_troupe)
+                        .cloned()
+                        .ok_or_else(|| "caller troupe unknown".to_string())?
+                };
+                Ok(Troupe::new(
+                    key.client_troupe,
+                    members
+                        .into_iter()
+                        .map(|a| ModuleAddr::new(a, out.module))
+                        .collect(),
+                ))
+            }
+        }
+    }
+
+    /// Resumes a service blocked on a nested call.
+    fn resume_service(&mut self, io: &mut dyn NetIo, key: CallKey, result: Result<Vec<u8>, CallError>) {
+        let Some(p) = self.pending.get_mut(&key) else {
+            return;
+        };
+        if p.state != PendState::AwaitingNested {
+            return;
+        }
+        p.state = PendState::Collecting; // Transitional; re-set below.
+        let module = p.module;
+        let invocation = p.invocation;
+        let mut ctx = ServiceCtx {
+            thread: key.thread,
+            caller: key.client_troupe,
+            invocation,
+            now: io.now(),
+            me: self.me,
+            effects: Vec::new(),
+        };
+        let step = match self.services.get_mut(&module) {
+            Some(s) => s.resume(&mut ctx, result),
+            None => Step::Error("module vanished".into()),
+        };
+        self.apply_effects(io, std::mem::take(&mut ctx.effects));
+        self.apply_step(io, key, ctx, step);
+    }
+
+    /// Sends the reply to every client member heard from, and buffers it
+    /// for the rest (§4.3.4).
+    fn finish_pending(&mut self, io: &mut dyn NetIo, key: CallKey, reply: Vec<u8>) {
+        let Some(p) = self.pending.remove(&key) else {
+            return;
+        };
+        self.pending_by_serial.remove(&p.serial);
+        self.pending_by_invocation.remove(&p.invocation);
+        io.charge_compute(self.config.compute_per_msg); // Externalize reply.
+        let all_answered = p.responders.iter().all(|r| r.is_some());
+        for (i, responder) in p.responders.iter().enumerate() {
+            if let Some(cn) = responder {
+                let to = p.client_members[i];
+                self.send_return(io, to, *cn, reply.clone());
+            }
+        }
+        if !all_answered {
+            self.done.insert(
+                key,
+                DoneCall {
+                    reply,
+                    at: io.now(),
+                },
+            );
+        }
+    }
+
+    /// The assembly timeout fired: proceed without the silent members
+    /// ("the client receives notification if any server troupe member
+    /// crashes, so it can proceed with those still available", §4.3.1 —
+    /// mirrored here on the server side).
+    fn assembly_timeout(&mut self, io: &mut dyn NetIo, key: CallKey) {
+        let proceed = {
+            let Some(p) = self.pending.get_mut(&key) else {
+                return;
+            };
+            if p.state != PendState::Collecting || io.now() < p.deadline {
+                return;
+            }
+            for i in 0..p.client_members.len() {
+                if p.responders[i].is_none() {
+                    p.args.mark_dead(i);
+                }
+            }
+            true
+        };
+        if proceed {
+            self.try_execute(io, key);
+        }
+    }
+
+    fn purge_done(&mut self, now: Time) {
+        let ttl = self.config.done_ttl;
+        self.done.retain(|_, d| now.since(d.at) < ttl);
+    }
+
+    // -----------------------------------------------------------------
+    // Directory maintenance (§4.3.2).
+    // -----------------------------------------------------------------
+
+    fn park_and_lookup(&mut self, io: &mut dyn NetIo, from: SockAddr, pm_cn: u32, msg: CallMessage) {
+        let troupe = msg.client_troupe;
+        self.parked
+            .entry(troupe)
+            .or_default()
+            .push(Parked { from, pm_cn, msg });
+        if self.lookups_in_flight.contains_key(&troupe) {
+            return;
+        }
+        let Some(binder) = self.binder.clone() else {
+            // No binding agent: fail the parked calls.
+            self.fail_parked(io, troupe, "client troupe unknown and no binding agent");
+            return;
+        };
+        let thread = self.threads.fresh();
+        let handle = self.begin_call_inner(
+            io,
+            thread,
+            &binder,
+            binding::BINDING_MODULE,
+            binding::binding_procs::LOOKUP_TROUPE_BY_ID,
+            binding::encode_lookup_by_id(troupe),
+            CollationPolicy::Majority,
+            CallPurpose::DirLookup { troupe },
+        );
+        self.lookups_in_flight.insert(troupe, handle);
+    }
+
+    fn finish_lookup(&mut self, io: &mut dyn NetIo, troupe: TroupeId, result: Result<Vec<u8>, CallError>) {
+        self.lookups_in_flight.remove(&troupe);
+        let members = result
+            .ok()
+            .and_then(|bytes| binding::decode_lookup_reply(&bytes).ok())
+            .flatten();
+        match members {
+            Some(t) => {
+                let addrs: Vec<SockAddr> = t.members.iter().map(|m| m.addr).collect();
+                self.directory.insert(troupe, addrs);
+                let parked = self.parked.remove(&troupe).unwrap_or_default();
+                for pk in parked {
+                    let key = CallKey {
+                        client_troupe: pk.msg.client_troupe,
+                        thread: pk.msg.thread,
+                        call_seq: pk.msg.call_seq,
+                    };
+                    let members = self.directory.get(&troupe).cloned().unwrap_or_default();
+                    self.process_call(io, pk.from, pk.pm_cn, pk.msg, members, key);
+                }
+            }
+            None => self.fail_parked(io, troupe, "client troupe not registered"),
+        }
+    }
+
+    fn fail_parked(&mut self, io: &mut dyn NetIo, troupe: TroupeId, why: &str) {
+        let parked = self.parked.remove(&troupe).unwrap_or_default();
+        let reply = to_bytes(&ReturnMessage::Error(why.to_string()));
+        for pk in parked {
+            self.send_return(io, pk.from, pk.pm_cn, reply.clone());
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Connections.
+    // -----------------------------------------------------------------
+
+    fn conn_mut(&mut self, addr: SockAddr) -> &mut Conn {
+        if !self.conns.contains_key(&addr) {
+            let id = self.conn_addrs.len() as u64;
+            self.conn_addrs.push(addr);
+            self.conns.insert(
+                addr,
+                Conn {
+                    id,
+                    endpoint: Endpoint::new(self.config.pm.clone()),
+                    next_cn: 1,
+                    armed: None,
+                    arm_gen: 0,
+                },
+            );
+        }
+        self.conns.get_mut(&addr).expect("just inserted")
+    }
+
+    fn send_return(&mut self, io: &mut dyn NetIo, to: SockAddr, cn: u32, reply: Vec<u8>) {
+        let now = io.now();
+        let conn = self.conn_mut(to);
+        // Oversize replies cannot happen through the stub layer; ignore
+        // the error here as the client's probe machinery will surface a
+        // stuck call.
+        let _ = conn.endpoint.send(now, MsgType::Return, cn, &reply);
+    }
+
+    /// Transmits queued segments on every connection and re-arms
+    /// retransmission timers.
+    fn flush_all(&mut self, io: &mut dyn NetIo) {
+        let addrs: Vec<SockAddr> = self.conns.keys().copied().collect();
+        for addr in addrs {
+            let now = io.now();
+            let Some(conn) = self.conns.get_mut(&addr) else {
+                continue;
+            };
+            while let Some(bytes) = conn.endpoint.poll_transmit() {
+                io.send(addr, bytes);
+            }
+            // Re-arm the protocol timer if none is armed or the deadline
+            // moved earlier; the generation stamp invalidates the
+            // superseded timer.
+            let deadline = conn.endpoint.poll_timer();
+            if let Some(t) = deadline {
+                let need = match conn.armed {
+                    None => true,
+                    Some(a) => t < a,
+                };
+                if need {
+                    conn.armed = Some(t);
+                    conn.arm_gen += 1;
+                    let delay = t.since(now);
+                    let tag = make_tag(TAG_CONN, ((conn.arm_gen & 0x00FF_FFFF) << 32) | conn.id);
+                    if self.config.charge_overhead {
+                        // The timer package reads the clock to compute the
+                        // absolute deadline, masks interrupts around its
+                        // queue, and arms the interval timer (§4.2.4).
+                        io.charge(Syscall::GetTimeOfDay);
+                        io.charge(Syscall::SigBlock);
+                        io.charge(Syscall::SetITimer);
+                    }
+                    io.set_timer(delay, tag);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::HostId;
+
+    /// Minimal in-memory I/O for exercising `Node` without a world.
+    struct MockIo {
+        now: Time,
+        me: SockAddr,
+        sent: Vec<(SockAddr, Vec<u8>)>,
+        timers: Vec<(Duration, u64)>,
+    }
+
+    impl MockIo {
+        fn new() -> MockIo {
+            MockIo {
+                now: Time::ZERO,
+                me: SockAddr::new(HostId(0), 1),
+                sent: Vec::new(),
+                timers: Vec::new(),
+            }
+        }
+    }
+
+    impl NetIo for MockIo {
+        fn now(&self) -> Time {
+            self.now
+        }
+        fn me(&self) -> SockAddr {
+            self.me
+        }
+        fn send(&mut self, to: SockAddr, bytes: Vec<u8>) {
+            self.sent.push((to, bytes));
+        }
+        fn set_timer(&mut self, delay: Duration, tag: u64) {
+            self.timers.push((delay, tag));
+        }
+        fn charge(&mut self, _sys: Syscall) {}
+        fn charge_compute(&mut self, _d: Duration) {}
+    }
+
+    fn node() -> Node {
+        Node::new(SockAddr::new(HostId(0), 1), NodeConfig::uncharged())
+    }
+
+    #[test]
+    fn tag_split_round_trips() {
+        for kind in [TAG_CONN, TAG_PENDING, TAG_APP] {
+            for low in [0u64, 1, 0xFFFF, (1 << 56) - 1] {
+                let tag = make_tag(kind, low);
+                assert_eq!(split_tag(tag), (kind, low & ((1 << 56) - 1)));
+            }
+        }
+    }
+
+    #[test]
+    fn call_to_empty_troupe_fails_immediately() {
+        let mut n = node();
+        let mut io = MockIo::new();
+        let thread = n.fresh_thread();
+        let troupe = Troupe::new(TroupeId(1), Vec::new());
+        let handle = n.begin_call(
+            &mut io,
+            thread,
+            &troupe,
+            1,
+            0,
+            Vec::new(),
+            CollationPolicy::Unanimous,
+        );
+        match n.poll_event() {
+            Some(AppEvent::CallDone { handle: h, result }) => {
+                assert_eq!(h, handle);
+                assert_eq!(result, Err(CallError::AllMembersDead));
+            }
+            other => panic!("expected immediate failure, got {other:?}"),
+        }
+        assert!(io.sent.is_empty());
+    }
+
+    #[test]
+    fn call_sends_one_message_per_member() {
+        let mut n = node();
+        let mut io = MockIo::new();
+        let thread = n.fresh_thread();
+        let members: Vec<ModuleAddr> = (1..=3)
+            .map(|h| ModuleAddr::new(SockAddr::new(HostId(h), 70), 1))
+            .collect();
+        let troupe = Troupe::new(TroupeId(9), members.clone());
+        n.begin_call(
+            &mut io,
+            thread,
+            &troupe,
+            1,
+            0,
+            b"x".to_vec(),
+            CollationPolicy::Unanimous,
+        );
+        assert_eq!(io.sent.len(), 3);
+        let dests: Vec<SockAddr> = io.sent.iter().map(|(to, _)| *to).collect();
+        assert_eq!(dests, members.iter().map(|m| m.addr).collect::<Vec<_>>());
+        // A retransmission timer was armed for each connection.
+        assert!(!io.timers.is_empty());
+    }
+
+    #[test]
+    fn garbage_datagrams_ignored() {
+        let mut n = node();
+        let mut io = MockIo::new();
+        let from = SockAddr::new(HostId(5), 5);
+        n.on_datagram(&mut io, from, b"not a segment!");
+        n.on_datagram(&mut io, from, &[]);
+        assert!(n.poll_event().is_none());
+    }
+
+    #[test]
+    fn unknown_timer_tags_are_harmless() {
+        let mut n = node();
+        let mut io = MockIo::new();
+        assert_eq!(n.on_timer(&mut io, make_tag(TAG_CONN, 999)), None);
+        assert_eq!(n.on_timer(&mut io, make_tag(TAG_PENDING, 999)), None);
+        assert_eq!(n.on_timer(&mut io, make_tag(7, 1)), None);
+        // App tags come back verbatim.
+        assert_eq!(n.on_timer(&mut io, make_tag(TAG_APP, 42)), Some(42));
+    }
+
+    #[test]
+    fn directory_learned_from_outgoing_calls() {
+        let mut n = node();
+        let mut io = MockIo::new();
+        let thread = n.fresh_thread();
+        let member = ModuleAddr::new(SockAddr::new(HostId(4), 70), 1);
+        let troupe = Troupe::new(TroupeId(33), vec![member]);
+        n.begin_call(
+            &mut io,
+            thread,
+            &troupe,
+            1,
+            0,
+            Vec::new(),
+            CollationPolicy::Unanimous,
+        );
+        // Unregistered targets are NOT recorded.
+        let thread2 = n.fresh_thread();
+        let anon = Troupe::singleton(ModuleAddr::new(SockAddr::new(HostId(5), 70), 1));
+        n.begin_call(
+            &mut io,
+            thread2,
+            &anon,
+            1,
+            0,
+            Vec::new(),
+            CollationPolicy::Unanimous,
+        );
+        assert_eq!(n.directory.get(&TroupeId(33)), Some(&vec![member.addr]));
+        assert!(!n.directory.contains_key(&TroupeId::UNREGISTERED));
+    }
+
+    #[test]
+    fn set_service_state_reaches_the_service() {
+        struct Holder {
+            state: Vec<u8>,
+        }
+        impl Service for Holder {
+            fn dispatch(&mut self, _ctx: &mut ServiceCtx, _proc: u16, _args: &[u8]) -> Step {
+                Step::Reply(Vec::new())
+            }
+            fn set_state(&mut self, state: &[u8]) {
+                self.state = state.to_vec();
+            }
+        }
+        let mut n = node();
+        n.export(1, Box::new(Holder { state: Vec::new() }));
+        n.set_service_state(1, &[1, 2, 3]);
+        assert_eq!(n.service_as::<Holder>(1).unwrap().state, vec![1, 2, 3]);
+        // Unknown module: silently ignored.
+        n.set_service_state(9, &[4]);
+    }
+}

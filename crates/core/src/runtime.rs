@@ -1,0 +1,229 @@
+//! The simulator driver: binding a [`Node`] to a `simnet` process.
+//!
+//! [`CircusProcess`] plays the role of one 4.2BSD process linked with the
+//! Circus run-time system (§4.3): its datagram and timer handlers drive
+//! the protocol machinery, and an optional [`Agent`] supplies the
+//! application half (a client program, a reconfiguration manager, a test
+//! harness...). Server-only processes need no agent: exported services
+//! are dispatched by the node itself.
+
+use crate::node::{AppEvent, CallHandle, Node, NodeConfig};
+use crate::service::{CallError, Service};
+use crate::{CollationPolicy, ThreadId, Troupe, TroupeId};
+use simnet::{Ctx, Duration, Process, SockAddr, TimerId};
+
+/// What application code sees: the node plus live I/O.
+pub struct NodeCtx<'a, 'b, 'w> {
+    /// The protocol runtime (directory, troupe id, services...).
+    pub node: &'a mut Node,
+    io: &'a mut Ctx<'b>,
+    _w: std::marker::PhantomData<&'w ()>,
+}
+
+impl<'a, 'b, 'w> NodeCtx<'a, 'b, 'w> {
+    /// Current simulated time.
+    pub fn now(&self) -> simnet::Time {
+        self.io.now()
+    }
+
+    /// This process's address.
+    pub fn me(&self) -> SockAddr {
+        self.io.me()
+    }
+
+    /// Creates a fresh distributed thread based here (§3.4.1).
+    pub fn fresh_thread(&mut self) -> ThreadId {
+        self.node.fresh_thread()
+    }
+
+    /// Begins a replicated procedure call; completion arrives at
+    /// [`Agent::on_call_done`].
+    pub fn call(
+        &mut self,
+        thread: ThreadId,
+        troupe: &Troupe,
+        module: u16,
+        proc: u16,
+        args: Vec<u8>,
+        collation: CollationPolicy,
+    ) -> CallHandle {
+        self.node
+            .begin_call(self.io, thread, troupe, module, proc, args, collation)
+    }
+
+    /// Arms an application timer; it arrives at [`Agent::on_app_timer`].
+    pub fn set_app_timer(&mut self, delay: Duration, tag: u64) {
+        self.node.set_app_timer(self.io, delay, tag);
+    }
+
+    /// Direct access to the simulator context (spawning processes during
+    /// reconfiguration, fault injection in tests...).
+    pub fn sim(&mut self) -> &mut Ctx<'b> {
+        self.io
+    }
+}
+
+/// Application logic hosted by a [`CircusProcess`].
+///
+/// The `Any` supertrait allows state inspection from tests via
+/// [`CircusProcess::agent_as`].
+pub trait Agent: std::any::Any {
+    /// Runs when the process starts.
+    fn on_start(&mut self, _node: &mut NodeCtx<'_, '_, '_>) {}
+
+    /// Runs when external code pokes the process.
+    fn on_poke(&mut self, _node: &mut NodeCtx<'_, '_, '_>, _tag: u64) {}
+
+    /// A replicated call begun with [`NodeCtx::call`] completed.
+    fn on_call_done(
+        &mut self,
+        _node: &mut NodeCtx<'_, '_, '_>,
+        _handle: CallHandle,
+        _result: Result<Vec<u8>, CallError>,
+    ) {
+    }
+
+    /// A peer process was declared dead (§4.2.3).
+    fn on_member_dead(&mut self, _node: &mut NodeCtx<'_, '_, '_>, _addr: SockAddr) {}
+
+    /// The watchdog detected a determinism violation on a first-come
+    /// call this agent made (§4.3.4). Abort whatever depended on it.
+    fn on_determinism_violation(&mut self, _node: &mut NodeCtx<'_, '_, '_>, _handle: CallHandle) {}
+
+    /// An application timer armed with [`NodeCtx::set_app_timer`] fired.
+    fn on_app_timer(&mut self, _node: &mut NodeCtx<'_, '_, '_>, _tag: u64) {}
+}
+
+/// A simulated process running the Circus run-time system.
+pub struct CircusProcess {
+    node: Node,
+    agent: Option<Box<dyn Agent>>,
+}
+
+impl CircusProcess {
+    /// Creates a process at `me` with the given configuration.
+    pub fn new(me: SockAddr, config: NodeConfig) -> CircusProcess {
+        CircusProcess {
+            node: Node::new(me, config),
+            agent: None,
+        }
+    }
+
+    /// Attaches application logic. Builder-style.
+    pub fn with_agent(mut self, agent: Box<dyn Agent>) -> CircusProcess {
+        self.agent = Some(agent);
+        self
+    }
+
+    /// Exports a service as `module`. Builder-style.
+    pub fn with_service(mut self, module: u16, service: Box<dyn Service>) -> CircusProcess {
+        self.node.export(module, service);
+        self
+    }
+
+    /// Sets the member's troupe incarnation. Builder-style.
+    pub fn with_troupe_id(mut self, id: TroupeId) -> CircusProcess {
+        self.node.set_troupe_id(id);
+        self
+    }
+
+    /// Configures the binding agent troupe. Builder-style.
+    pub fn with_binder(mut self, binder: Troupe) -> CircusProcess {
+        self.node.set_binder(binder);
+        self
+    }
+
+    /// Pre-populates the client-troupe directory. Builder-style.
+    pub fn with_directory(mut self, id: TroupeId, members: Vec<SockAddr>) -> CircusProcess {
+        self.node.preload_directory(id, members);
+        self
+    }
+
+    /// The protocol runtime.
+    pub fn node(&self) -> &Node {
+        &self.node
+    }
+
+    /// Mutable access to the protocol runtime.
+    pub fn node_mut(&mut self) -> &mut Node {
+        &mut self.node
+    }
+
+    /// Downcasts the agent to its concrete type (for tests/examples).
+    pub fn agent_as<A: Agent>(&self) -> Option<&A> {
+        let a = self.agent.as_deref()?;
+        let any: &dyn std::any::Any = a;
+        any.downcast_ref::<A>()
+    }
+
+    /// Mutable agent downcast.
+    pub fn agent_as_mut<A: Agent>(&mut self) -> Option<&mut A> {
+        let a = self.agent.as_deref_mut()?;
+        let any: &mut dyn std::any::Any = a;
+        any.downcast_mut::<A>()
+    }
+
+    /// Delivers queued node events to the agent, looping until quiet
+    /// (agent callbacks may themselves complete further calls).
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        for _ in 0..10_000 {
+            let Some(ev) = self.node.poll_event() else {
+                return;
+            };
+            let Some(agent) = self.agent.as_deref_mut() else {
+                continue; // Serverside process: drop app events.
+            };
+            let mut nc = NodeCtx {
+                node: &mut self.node,
+                io: ctx,
+                _w: std::marker::PhantomData,
+            };
+            match ev {
+                AppEvent::CallDone { handle, result } => agent.on_call_done(&mut nc, handle, result),
+                AppEvent::MemberDead { addr } => agent.on_member_dead(&mut nc, addr),
+                AppEvent::DeterminismViolation { handle } => {
+                    agent.on_determinism_violation(&mut nc, handle)
+                }
+            }
+        }
+    }
+
+    fn with_agent_ctx(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        f: impl FnOnce(&mut dyn Agent, &mut NodeCtx<'_, '_, '_>),
+    ) {
+        if let Some(agent) = self.agent.as_deref_mut() {
+            let mut nc = NodeCtx {
+                node: &mut self.node,
+                io: ctx,
+                _w: std::marker::PhantomData,
+            };
+            f(agent, &mut nc);
+        }
+        self.pump(ctx);
+    }
+}
+
+impl Process for CircusProcess {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.with_agent_ctx(ctx, |agent, nc| agent.on_start(nc));
+    }
+
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: SockAddr, data: Vec<u8>) {
+        self.node.on_datagram(ctx, from, &data);
+        self.pump(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _timer: TimerId, tag: u64) {
+        if let Some(app_tag) = self.node.on_timer(ctx, tag) {
+            self.with_agent_ctx(ctx, |agent, nc| agent.on_app_timer(nc, app_tag));
+        } else {
+            self.pump(ctx);
+        }
+    }
+
+    fn on_poke(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        self.with_agent_ctx(ctx, |agent, nc| agent.on_poke(nc, tag));
+    }
+}

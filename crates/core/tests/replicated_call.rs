@@ -1,0 +1,972 @@
+//! End-to-end tests of replicated procedure calls in the simulated world:
+//! one-to-many, many-to-one, many-to-many, crashes, collators, nested
+//! calls, and binding invalidation.
+
+mod common;
+
+use circus::{
+    Agent, CallError, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig, NodeCtx,
+    OutCall, Service, ServiceCtx, Step, Troupe, TroupeId, TroupeTarget,
+};
+use common::*;
+use simnet::{Duration, HostId, World};
+use wire::{from_bytes, to_bytes};
+
+fn run(world: &mut World, d: u64) {
+    world.run_for(Duration::from_secs(d));
+}
+
+#[test]
+fn unreplicated_call_works_like_rpc() {
+    let mut w = world(1);
+    let troupe = spawn_server_troupe(&mut w, 10, 1, 1);
+    let client = spawn_client(
+        &mut w,
+        vec![Request {
+            troupe: troupe.clone(),
+            module: MODULE,
+            proc: PROC_ECHO,
+            args: b"hello".to_vec(),
+            collation: CollationPolicy::Unanimous,
+        }],
+    );
+    w.poke(client, 0);
+    run(&mut w, 5);
+    assert_eq!(client_results(&w, client), vec![Ok(b"hello".to_vec())]);
+    assert_eq!(executions(&w, troupe.members[0].addr), 1);
+}
+
+#[test]
+fn one_to_many_executes_at_every_member() {
+    let mut w = world(2);
+    let troupe = spawn_server_troupe(&mut w, 10, 1, 3);
+    let client = spawn_client(
+        &mut w,
+        vec![Request {
+            troupe: troupe.clone(),
+            module: MODULE,
+            proc: PROC_ADD,
+            args: to_bytes(&7u32),
+            collation: CollationPolicy::Unanimous,
+        }],
+    );
+    w.poke(client, 0);
+    run(&mut w, 5);
+    let results = client_results(&w, client);
+    assert_eq!(results.len(), 1);
+    assert_eq!(from_bytes::<u32>(results[0].as_ref().unwrap()).unwrap(), 7);
+    // Exactly-once at ALL replicas (§4.1).
+    for m in &troupe.members {
+        assert_eq!(executions(&w, m.addr), 1);
+    }
+}
+
+#[test]
+fn sequential_calls_have_consistent_state() {
+    let mut w = world(3);
+    let troupe = spawn_server_troupe(&mut w, 10, 1, 3);
+    let req = |n: u32| Request {
+        troupe: troupe.clone(),
+        module: MODULE,
+        proc: PROC_ADD,
+        args: to_bytes(&n),
+        collation: CollationPolicy::Unanimous,
+    };
+    let client = spawn_client(&mut w, vec![req(1), req(2), req(3)]);
+    for _ in 0..3 {
+        w.poke(client, 0);
+        run(&mut w, 5);
+    }
+    let results = client_results(&w, client);
+    let totals: Vec<u32> = results
+        .iter()
+        .map(|r| from_bytes(r.as_ref().unwrap()).unwrap())
+        .collect();
+    assert_eq!(totals, vec![1, 3, 6]);
+}
+
+#[test]
+fn deterministic_error_propagates() {
+    let mut w = world(4);
+    let troupe = spawn_server_troupe(&mut w, 10, 1, 3);
+    let client = spawn_client(
+        &mut w,
+        vec![Request {
+            troupe,
+            module: MODULE,
+            proc: PROC_FAIL,
+            args: Vec::new(),
+            collation: CollationPolicy::Unanimous,
+        }],
+    );
+    w.poke(client, 0);
+    run(&mut w, 5);
+    assert_eq!(
+        client_results(&w, client),
+        vec![Err(CallError::Remote("deterministic failure".into()))]
+    );
+}
+
+#[test]
+fn unanimous_detects_nondeterminism() {
+    let mut w = world(5);
+    let troupe = spawn_server_troupe(&mut w, 10, 1, 3);
+    let client = spawn_client(
+        &mut w,
+        vec![Request {
+            troupe,
+            module: MODULE,
+            proc: PROC_NONDET,
+            args: Vec::new(),
+            collation: CollationPolicy::Unanimous,
+        }],
+    );
+    w.poke(client, 0);
+    run(&mut w, 5);
+    assert_eq!(
+        client_results(&w, client),
+        vec![Err(CallError::Disagreement)]
+    );
+}
+
+#[test]
+fn first_come_ignores_nondeterminism() {
+    let mut w = world(6);
+    let troupe = spawn_server_troupe(&mut w, 10, 1, 3);
+    let client = spawn_client(
+        &mut w,
+        vec![Request {
+            troupe,
+            module: MODULE,
+            proc: PROC_NONDET,
+            args: Vec::new(),
+            collation: CollationPolicy::FirstCome,
+        }],
+    );
+    w.poke(client, 0);
+    run(&mut w, 5);
+    let results = client_results(&w, client);
+    assert_eq!(results.len(), 1);
+    assert!(results[0].is_ok());
+}
+
+#[test]
+fn crash_of_one_member_is_masked() {
+    let mut w = world(7);
+    let troupe = spawn_server_troupe(&mut w, 10, 1, 3);
+    // Kill member 1 before the call.
+    w.crash_host(HostId(2));
+    let client = spawn_client(
+        &mut w,
+        vec![Request {
+            troupe: troupe.clone(),
+            module: MODULE,
+            proc: PROC_ECHO,
+            args: b"still here".to_vec(),
+            collation: CollationPolicy::Unanimous,
+        }],
+    );
+    w.poke(client, 0);
+    run(&mut w, 60); // Crash detection needs probe timeouts.
+    assert_eq!(client_results(&w, client), vec![Ok(b"still here".to_vec())]);
+    // The client should have been notified of the dead member.
+    let dead = w
+        .with_proc(client, |p: &CircusProcess| {
+            p.agent_as::<TestClient>().unwrap().dead_members.clone()
+        })
+        .unwrap();
+    assert_eq!(dead, vec![addr(2, 70)]);
+}
+
+#[test]
+fn total_failure_reported() {
+    let mut w = world(8);
+    let troupe = spawn_server_troupe(&mut w, 10, 1, 3);
+    for h in 1..=3 {
+        w.crash_host(HostId(h));
+    }
+    let client = spawn_client(
+        &mut w,
+        vec![Request {
+            troupe,
+            module: MODULE,
+            proc: PROC_ECHO,
+            args: Vec::new(),
+            collation: CollationPolicy::Unanimous,
+        }],
+    );
+    w.poke(client, 0);
+    run(&mut w, 120);
+    assert_eq!(
+        client_results(&w, client),
+        vec![Err(CallError::AllMembersDead)]
+    );
+}
+
+#[test]
+fn majority_collation_masks_one_divergent_member() {
+    let mut w = world(9);
+    let troupe = spawn_server_troupe(&mut w, 10, 1, 3);
+    // PROC_NONDET replies with the host number; to give two members the
+    // same answer we instead use a troupe where two members share... we
+    // cannot: hosts differ. Use PROC_ECHO for 2 members and corrupt one
+    // member's state so PROC_ADD diverges.
+    let divergent = troupe.members[2].addr;
+    w.with_proc_mut(divergent, |p: &mut CircusProcess| {
+        p.node_mut()
+            .service_as_mut::<CountingService>(MODULE)
+            .unwrap()
+            .total = 100;
+    })
+    .unwrap();
+    let client = spawn_client(
+        &mut w,
+        vec![Request {
+            troupe,
+            module: MODULE,
+            proc: PROC_ADD,
+            args: to_bytes(&1u32),
+            collation: CollationPolicy::Majority,
+        }],
+    );
+    w.poke(client, 0);
+    run(&mut w, 5);
+    let results = client_results(&w, client);
+    assert_eq!(
+        from_bytes::<u32>(results[0].as_ref().unwrap()).unwrap(),
+        1,
+        "majority should mask the divergent member's 101"
+    );
+}
+
+#[test]
+fn stale_binding_rejected() {
+    let mut w = world(10);
+    let mut troupe = spawn_server_troupe(&mut w, 10, 1, 3);
+    // The client's cached troupe has a stale incarnation.
+    troupe.id = TroupeId(9999);
+    let client = spawn_client(
+        &mut w,
+        vec![Request {
+            troupe,
+            module: MODULE,
+            proc: PROC_ECHO,
+            args: Vec::new(),
+            collation: CollationPolicy::Unanimous,
+        }],
+    );
+    w.poke(client, 0);
+    run(&mut w, 5);
+    assert_eq!(
+        client_results(&w, client),
+        vec![Err(CallError::StaleBinding(Some(TroupeId(10))))]
+    );
+    // No member executed the call (§6.2: such calls "cannot be allowed
+    // to succeed").
+    for h in 1..=3 {
+        assert_eq!(executions(&w, addr(h, 70)), 0);
+    }
+}
+
+#[test]
+fn many_to_one_executes_once_and_answers_all() {
+    // A replicated client troupe (3 members) calls an unreplicated
+    // server: the server must execute ONCE and reply to every member
+    // (§4.3.2).
+    let mut w = world(11);
+    let server = spawn_server_troupe(&mut w, 20, 1, 1);
+    let client_troupe_id = TroupeId(30);
+    let thread = circus::ThreadId {
+        origin: addr(200, 1),
+        serial: 1,
+    };
+    let mut client_addrs = Vec::new();
+    for i in 0..3u32 {
+        let a = addr(10 + i, 50);
+        let agent = TestClient::new(vec![Request {
+            troupe: server.clone(),
+            module: MODULE,
+            proc: PROC_ADD,
+            args: to_bytes(&5u32),
+            collation: CollationPolicy::Unanimous,
+        }])
+        .with_thread(thread);
+        let p = CircusProcess::new(a, NodeConfig::default())
+            .with_agent(Box::new(agent))
+            .with_troupe_id(client_troupe_id);
+        w.spawn(a, Box::new(p));
+        client_addrs.push(a);
+    }
+    // The server must know the client troupe's membership (§4.3.2);
+    // preload its directory (the binding-agent path is tested separately).
+    w.with_proc_mut(server.members[0].addr, |p: &mut CircusProcess| {
+        p.node_mut()
+            .preload_directory(client_troupe_id, client_addrs.clone());
+    })
+    .unwrap();
+
+    for &a in &client_addrs {
+        w.poke(a, 0);
+    }
+    run(&mut w, 5);
+
+    // Exactly once at the server despite three call messages.
+    assert_eq!(executions(&w, server.members[0].addr), 1);
+    // Every client member received the result.
+    for &a in &client_addrs {
+        let results = client_results(&w, a);
+        assert_eq!(results.len(), 1, "client {a} missing result");
+        assert_eq!(from_bytes::<u32>(results[0].as_ref().unwrap()).unwrap(), 5);
+    }
+}
+
+#[test]
+fn many_to_many_call() {
+    // 2-member client troupe calls 3-member server troupe: each server
+    // member executes once; each client member gets a result (§4.3.3).
+    let mut w = world(12);
+    let server = spawn_server_troupe(&mut w, 20, 1, 3);
+    let client_troupe_id = TroupeId(30);
+    let thread = circus::ThreadId {
+        origin: addr(200, 1),
+        serial: 9,
+    };
+    let mut client_addrs = Vec::new();
+    for i in 0..2u32 {
+        let a = addr(10 + i, 50);
+        let agent = TestClient::new(vec![Request {
+            troupe: server.clone(),
+            module: MODULE,
+            proc: PROC_ADD,
+            args: to_bytes(&3u32),
+            collation: CollationPolicy::Unanimous,
+        }])
+        .with_thread(thread);
+        let p = CircusProcess::new(a, NodeConfig::default())
+            .with_agent(Box::new(agent))
+            .with_troupe_id(client_troupe_id);
+        w.spawn(a, Box::new(p));
+        client_addrs.push(a);
+    }
+    for m in &server.members {
+        let addrs = client_addrs.clone();
+        w.with_proc_mut(m.addr, |p: &mut CircusProcess| {
+            p.node_mut().preload_directory(client_troupe_id, addrs);
+        })
+        .unwrap();
+    }
+    for &a in &client_addrs {
+        w.poke(a, 0);
+    }
+    run(&mut w, 5);
+
+    for m in &server.members {
+        assert_eq!(executions(&w, m.addr), 1);
+    }
+    for &a in &client_addrs {
+        let results = client_results(&w, a);
+        assert_eq!(results.len(), 1);
+        assert_eq!(from_bytes::<u32>(results[0].as_ref().unwrap()).unwrap(), 3);
+    }
+}
+
+/// A service that forwards every echo through a second troupe, recording
+/// the thread IDs it sees (nested calls + thread propagation, §3.4.1).
+struct Forwarder {
+    downstream: Troupe,
+    pending_args: Vec<u8>,
+}
+
+impl Service for Forwarder {
+    fn dispatch(&mut self, _ctx: &mut ServiceCtx, _proc: u16, args: &[u8]) -> Step {
+        self.pending_args = args.to_vec();
+        Step::Call(OutCall {
+            target: TroupeTarget::Troupe(self.downstream.clone()),
+            module: MODULE,
+            proc: PROC_WHO,
+            args: Vec::new(),
+            collation: CollationPolicy::Unanimous,
+        })
+    }
+
+    fn resume(&mut self, _ctx: &mut ServiceCtx, reply: Result<Vec<u8>, CallError>) -> Step {
+        match reply {
+            Ok(_) => Step::Reply(self.pending_args.clone()),
+            Err(e) => Step::Error(format!("downstream failed: {e}")),
+        }
+    }
+}
+
+#[test]
+fn nested_call_propagates_thread_id() {
+    let mut w = world(13);
+    // Downstream troupe B of CountingService (records thread ids).
+    let b = spawn_server_troupe(&mut w, 40, 5, 2);
+    // Middle troupe A of Forwarders (2 members) with troupe id 41.
+    let a_id = TroupeId(41);
+    let mut a_members = Vec::new();
+    for i in 0..2u32 {
+        let addr_a = addr(1 + i, 70);
+        let p = CircusProcess::new(addr_a, NodeConfig::default())
+            .with_service(
+                MODULE,
+                Box::new(Forwarder {
+                    downstream: b.clone(),
+                    pending_args: Vec::new(),
+                }),
+            )
+            .with_troupe_id(a_id);
+        w.spawn(addr_a, Box::new(p));
+        a_members.push(ModuleAddr::new(addr_a, MODULE));
+    }
+    let a_troupe = Troupe::new(a_id, a_members.clone());
+    // B's members must know A's membership to group the nested calls.
+    for m in &b.members {
+        let addrs: Vec<_> = a_members.iter().map(|m| m.addr).collect();
+        w.with_proc_mut(m.addr, |p: &mut CircusProcess| {
+            p.node_mut().preload_directory(a_id, addrs);
+        })
+        .unwrap();
+    }
+
+    let client = spawn_client(
+        &mut w,
+        vec![Request {
+            troupe: a_troupe,
+            module: MODULE,
+            proc: PROC_ECHO,
+            args: b"via A".to_vec(),
+            collation: CollationPolicy::Unanimous,
+        }],
+    );
+    w.poke(client, 0);
+    run(&mut w, 10);
+
+    assert_eq!(client_results(&w, client), vec![Ok(b"via A".to_vec())]);
+    // Each B member executed the nested call exactly once, on behalf of
+    // the ORIGINAL thread (whose base is the client).
+    for m in &b.members {
+        let threads = w
+            .with_proc(m.addr, |p: &CircusProcess| {
+                p.node()
+                    .service_as::<CountingService>(MODULE)
+                    .unwrap()
+                    .seen_threads
+                    .clone()
+            })
+            .unwrap();
+        assert_eq!(threads.len(), 1);
+        assert_eq!(threads[0].origin, client, "thread id not propagated");
+        assert_eq!(executions(&w, m.addr), 1);
+    }
+}
+
+#[test]
+fn reserved_procedures_work() {
+    let mut w = world(14);
+    let troupe = spawn_server_troupe(&mut w, 10, 1, 1);
+    let member = troupe.members[0].addr;
+    // Prime some state.
+    let client = spawn_client(
+        &mut w,
+        vec![
+            Request {
+                troupe: troupe.clone(),
+                module: MODULE,
+                proc: PROC_ADD,
+                args: to_bytes(&9u32),
+                collation: CollationPolicy::Unanimous,
+            },
+            Request {
+                troupe: troupe.clone(),
+                module: MODULE,
+                proc: circus::binding::reserved_procs::GET_STATE,
+                args: Vec::new(),
+                collation: CollationPolicy::Unanimous,
+            },
+            Request {
+                troupe: troupe.clone(),
+                module: MODULE,
+                proc: circus::binding::reserved_procs::NULL,
+                args: Vec::new(),
+                collation: CollationPolicy::Unanimous,
+            },
+            Request {
+                troupe: troupe.clone(),
+                module: MODULE,
+                proc: circus::binding::reserved_procs::SET_TROUPE_ID,
+                args: to_bytes(&TroupeId(777)),
+                collation: CollationPolicy::Unanimous,
+            },
+        ],
+    );
+    for _ in 0..4 {
+        w.poke(client, 0);
+        run(&mut w, 5);
+    }
+    let results = client_results(&w, client);
+    assert_eq!(results.len(), 4);
+    // get_state returned the externalized (executions, total).
+    let state: (u32, u32) = from_bytes(results[1].as_ref().unwrap()).unwrap();
+    assert_eq!(state, (1, 9));
+    // null returned empty.
+    assert_eq!(results[2], Ok(Vec::new()));
+    // set_troupe_id installed the new incarnation.
+    let id = w
+        .with_proc(member, |p: &CircusProcess| p.node().troupe_id())
+        .unwrap();
+    assert_eq!(id, TroupeId(777));
+}
+
+/// A ready_to_commit-style callback service: on PROC_ECHO it calls BACK
+/// to the caller troupe's module 2, then replies with what the caller
+/// troupe answered (the call-back pattern of §5.3).
+struct CallbackServer;
+
+impl Service for CallbackServer {
+    fn dispatch(&mut self, _ctx: &mut ServiceCtx, _proc: u16, _args: &[u8]) -> Step {
+        Step::Call(OutCall {
+            target: TroupeTarget::Caller,
+            module: 2,
+            proc: 0,
+            args: b"are you ready?".to_vec(),
+            collation: CollationPolicy::Unanimous,
+        })
+    }
+
+    fn resume(&mut self, _ctx: &mut ServiceCtx, reply: Result<Vec<u8>, CallError>) -> Step {
+        match reply {
+            Ok(v) => Step::Reply(v),
+            Err(e) => Step::Error(format!("callback failed: {e}")),
+        }
+    }
+}
+
+/// The client's exported module answering callbacks.
+struct ReadyResponder;
+
+impl Service for ReadyResponder {
+    fn dispatch(&mut self, _ctx: &mut ServiceCtx, _proc: u16, _args: &[u8]) -> Step {
+        Step::Reply(b"yes".to_vec())
+    }
+}
+
+#[test]
+fn callback_to_caller_troupe() {
+    let mut w = world(15);
+    let server_addr = addr(1, 70);
+    let server_id = TroupeId(50);
+    let p = CircusProcess::new(server_addr, NodeConfig::default())
+        .with_service(MODULE, Box::new(CallbackServer))
+        .with_troupe_id(server_id);
+    w.spawn(server_addr, Box::new(p));
+    let server = Troupe::new(server_id, vec![ModuleAddr::new(server_addr, MODULE)]);
+
+    // The client exports module 2 to receive callbacks.
+    let client_addr = addr(100, 200);
+    let agent = TestClient::new(vec![Request {
+        troupe: server.clone(),
+        module: MODULE,
+        proc: PROC_ECHO,
+        args: Vec::new(),
+        collation: CollationPolicy::Unanimous,
+    }]);
+    let p = CircusProcess::new(client_addr, NodeConfig::default())
+        .with_agent(Box::new(agent))
+        .with_service(2, Box::new(ReadyResponder));
+    w.spawn(client_addr, Box::new(p));
+
+    w.poke(client_addr, 0);
+    run(&mut w, 10);
+    assert_eq!(client_results(&w, client_addr), vec![Ok(b"yes".to_vec())]);
+}
+
+#[test]
+fn exactly_once_under_heavy_loss() {
+    let mut w = World::with_config(
+        16,
+        simnet::NetConfig::lossy(0.25),
+        simnet::SyscallCosts::vax_4_2bsd(),
+    );
+    let troupe = spawn_server_troupe(&mut w, 10, 1, 3);
+    let req = |n: u32| Request {
+        troupe: troupe.clone(),
+        module: MODULE,
+        proc: PROC_ADD,
+        args: to_bytes(&n),
+        collation: CollationPolicy::Unanimous,
+    };
+    let client = spawn_client(&mut w, vec![req(1), req(1), req(1)]);
+    for _ in 0..3 {
+        w.poke(client, 0);
+        run(&mut w, 30);
+    }
+    let results = client_results(&w, client);
+    assert_eq!(results.len(), 3, "calls lost under loss: {results:?}");
+    // Each call executed exactly once at each member: totals 1,2,3.
+    let totals: Vec<u32> = results
+        .iter()
+        .map(|r| from_bytes(r.as_ref().unwrap()).unwrap())
+        .collect();
+    assert_eq!(totals, vec![1, 2, 3]);
+    for m in &troupe.members {
+        assert_eq!(executions(&w, m.addr), 3);
+    }
+}
+
+#[test]
+fn deterministic_across_seeds() {
+    // The protocol outcome (results, execution counts) is identical for
+    // different network seeds even though timings differ.
+    fn outcome(seed: u64) -> (Vec<u32>, Vec<u32>) {
+        let mut w = world(seed);
+        let troupe = spawn_server_troupe(&mut w, 10, 1, 3);
+        let req = |n: u32| Request {
+            troupe: troupe.clone(),
+            module: MODULE,
+            proc: PROC_ADD,
+            args: to_bytes(&n),
+            collation: CollationPolicy::Unanimous,
+        };
+        let client = spawn_client(&mut w, vec![req(2), req(3)]);
+        w.poke(client, 0);
+        run(&mut w, 5);
+        w.poke(client, 0);
+        run(&mut w, 5);
+        let totals = client_results(&w, client)
+            .iter()
+            .map(|r| from_bytes(r.as_ref().unwrap()).unwrap())
+            .collect();
+        let execs = troupe.members.iter().map(|m| executions(&w, m.addr)).collect();
+        (totals, execs)
+    }
+    assert_eq!(outcome(100), outcome(101));
+}
+
+#[test]
+fn watchdog_detects_late_disagreement() {
+    // The watchdog scheme (§4.3.4): computation proceeds with the first
+    // reply, but late replies are compared and inconsistency raises an
+    // alarm. PROC_NONDET replies differ per member, so the watchdog must
+    // fire; plain FirstCome (tested above) stays silent.
+    struct WatchdogClient {
+        troupe: Troupe,
+        result: Option<Vec<u8>>,
+        alarms: u32,
+    }
+    impl Agent for WatchdogClient {
+        fn on_poke(&mut self, nc: &mut NodeCtx<'_, '_, '_>, _tag: u64) {
+            let t = nc.fresh_thread();
+            let troupe = self.troupe.clone();
+            nc.call(
+                t,
+                &troupe,
+                MODULE,
+                PROC_NONDET,
+                Vec::new(),
+                CollationPolicy::FirstComeWatchdog,
+            );
+        }
+        fn on_call_done(
+            &mut self,
+            _nc: &mut NodeCtx<'_, '_, '_>,
+            _h: circus::CallHandle,
+            result: Result<Vec<u8>, CallError>,
+        ) {
+            self.result = result.ok();
+        }
+        fn on_determinism_violation(
+            &mut self,
+            _nc: &mut NodeCtx<'_, '_, '_>,
+            _h: circus::CallHandle,
+        ) {
+            self.alarms += 1;
+        }
+    }
+
+    let mut w = world(17);
+    let troupe = spawn_server_troupe(&mut w, 10, 1, 3);
+    let client = addr(100, 200);
+    let p = CircusProcess::new(client, NodeConfig::default()).with_agent(Box::new(
+        WatchdogClient {
+            troupe,
+            result: None,
+            alarms: 0,
+        },
+    ));
+    w.spawn(client, Box::new(p));
+    w.poke(client, 0);
+    run(&mut w, 10);
+
+    let (result, alarms) = w
+        .with_proc(client, |p: &CircusProcess| {
+            let c = p.agent_as::<WatchdogClient>().unwrap();
+            (c.result.clone(), c.alarms)
+        })
+        .unwrap();
+    // Computation proceeded with the first reply...
+    assert!(result.is_some(), "first-come result must be delivered");
+    // ...and the watchdog flagged the inconsistency.
+    assert!(alarms >= 1, "watchdog never fired on nondeterministic replies");
+}
+
+#[test]
+fn watchdog_silent_when_replies_agree() {
+    struct QuietClient {
+        troupe: Troupe,
+        done: bool,
+        alarms: u32,
+    }
+    impl Agent for QuietClient {
+        fn on_poke(&mut self, nc: &mut NodeCtx<'_, '_, '_>, _tag: u64) {
+            let t = nc.fresh_thread();
+            let troupe = self.troupe.clone();
+            nc.call(
+                t,
+                &troupe,
+                MODULE,
+                PROC_ECHO,
+                b"same".to_vec(),
+                CollationPolicy::FirstComeWatchdog,
+            );
+        }
+        fn on_call_done(
+            &mut self,
+            _nc: &mut NodeCtx<'_, '_, '_>,
+            _h: circus::CallHandle,
+            _r: Result<Vec<u8>, CallError>,
+        ) {
+            self.done = true;
+        }
+        fn on_determinism_violation(
+            &mut self,
+            _nc: &mut NodeCtx<'_, '_, '_>,
+            _h: circus::CallHandle,
+        ) {
+            self.alarms += 1;
+        }
+    }
+
+    let mut w = world(18);
+    let troupe = spawn_server_troupe(&mut w, 10, 1, 3);
+    let client = addr(100, 200);
+    let p = CircusProcess::new(client, NodeConfig::default()).with_agent(Box::new(QuietClient {
+        troupe,
+        done: false,
+        alarms: 0,
+    }));
+    w.spawn(client, Box::new(p));
+    w.poke(client, 0);
+    run(&mut w, 10);
+    let (done, alarms) = w
+        .with_proc(client, |p: &CircusProcess| {
+            let c = p.agent_as::<QuietClient>().unwrap();
+            (c.done, c.alarms)
+        })
+        .unwrap();
+    assert!(done);
+    assert_eq!(alarms, 0, "watchdog fired on identical replies");
+}
+
+#[test]
+fn slow_client_member_served_from_buffer() {
+    // §4.3.4's first-come argument collation: the server executes on the
+    // first call message and buffers its return for the slow members —
+    // "execution of the procedure thus appears instantaneous to the slow
+    // client troupe members".
+    struct FirstComeService {
+        executions: u32,
+    }
+    impl Service for FirstComeService {
+        fn dispatch(&mut self, _ctx: &mut ServiceCtx, _proc: u16, args: &[u8]) -> Step {
+            self.executions += 1;
+            Step::Reply(args.to_vec())
+        }
+        fn arg_collation(&self, _proc: u16) -> CollationPolicy {
+            CollationPolicy::FirstCome
+        }
+    }
+
+    let mut w = world(19);
+    let server_addr = addr(1, 70);
+    let server_id = TroupeId(60);
+    let p = CircusProcess::new(server_addr, NodeConfig::default())
+        .with_service(MODULE, Box::new(FirstComeService { executions: 0 }))
+        .with_troupe_id(server_id);
+    w.spawn(server_addr, Box::new(p));
+    let server = Troupe::new(server_id, vec![ModuleAddr::new(server_addr, MODULE)]);
+
+    // A 2-member client troupe sharing one logical thread; the second
+    // member is poked much later.
+    let client_id = TroupeId(61);
+    let thread = circus::ThreadId {
+        origin: addr(200, 1),
+        serial: 1,
+    };
+    let fast = addr(10, 50);
+    let slow = addr(11, 50);
+    for a in [fast, slow] {
+        let agent = TestClient::new(vec![Request {
+            troupe: server.clone(),
+            module: MODULE,
+            proc: PROC_ECHO,
+            args: b"hi".to_vec(),
+            collation: CollationPolicy::Unanimous,
+        }])
+        .with_thread(thread);
+        let p = CircusProcess::new(a, NodeConfig::default())
+            .with_agent(Box::new(agent))
+            .with_troupe_id(client_id);
+        w.spawn(a, Box::new(p));
+    }
+    w.with_proc_mut(server_addr, |p: &mut CircusProcess| {
+        p.node_mut().preload_directory(client_id, vec![fast, slow]);
+    })
+    .unwrap();
+
+    // Fast member calls immediately; the server (first-come args)
+    // executes at once.
+    w.poke(fast, 0);
+    run(&mut w, 5);
+    assert_eq!(client_results(&w, fast), vec![Ok(b"hi".to_vec())]);
+    let execs = w
+        .with_proc(server_addr, |p: &CircusProcess| {
+            p.node()
+                .service_as::<FirstComeService>(MODULE)
+                .unwrap()
+                .executions
+        })
+        .unwrap();
+    assert_eq!(execs, 1);
+
+    // The slow member calls 20 seconds later: the buffered return is
+    // ready and waiting; the procedure is NOT executed again.
+    run(&mut w, 20);
+    w.poke(slow, 0);
+    run(&mut w, 5);
+    assert_eq!(client_results(&w, slow), vec![Ok(b"hi".to_vec())]);
+    let execs = w
+        .with_proc(server_addr, |p: &CircusProcess| {
+            p.node()
+                .service_as::<FirstComeService>(MODULE)
+                .unwrap()
+                .executions
+        })
+        .unwrap();
+    assert_eq!(execs, 1, "exactly-once violated for the slow member");
+}
+
+#[test]
+fn partition_minority_fails_majority_succeeds() {
+    // §4.3.5: "to prevent troupe members in different partitions from
+    // diverging, one can require that each troupe member receive a
+    // majority of the expected set of messages". With majority
+    // collation, a client partitioned from 2 of 3 members cannot
+    // proceed; a client that sees a majority can.
+    let mut w = world(20);
+    let troupe = spawn_server_troupe(&mut w, 10, 1, 3);
+    let client = spawn_client(
+        &mut w,
+        vec![
+            Request {
+                troupe: troupe.clone(),
+                module: MODULE,
+                proc: PROC_ECHO,
+                args: b"q1".to_vec(),
+                collation: CollationPolicy::Majority,
+            },
+            Request {
+                troupe: troupe.clone(),
+                module: MODULE,
+                proc: PROC_ECHO,
+                args: b"q2".to_vec(),
+                collation: CollationPolicy::Majority,
+            },
+        ],
+    );
+
+    // Partition the client away from members on hosts 2 and 3: only one
+    // member (a minority) is reachable.
+    w.set_partition(simnet::Partition::groups(vec![
+        vec![HostId(100), HostId(1)],
+        vec![HostId(2), HostId(3)],
+    ]));
+    w.poke(client, 0);
+    run(&mut w, 120);
+    let results = client_results(&w, client);
+    assert_eq!(results.len(), 1);
+    assert!(
+        matches!(results[0], Err(CallError::NoMajority) | Err(CallError::AllMembersDead)),
+        "minority side must not proceed: {results:?}"
+    );
+
+    // Heal the partition; the next call reaches a majority and succeeds.
+    w.set_partition(simnet::Partition::none());
+    w.poke(client, 0);
+    run(&mut w, 60);
+    let results = client_results(&w, client);
+    assert_eq!(results.len(), 2);
+    assert_eq!(results[1], Ok(b"q2".to_vec()));
+}
+
+#[test]
+fn stale_client_membership_rejected_not_looped() {
+    // Regression: a call message from a sender that an OPEN assembly's
+    // membership does not list must be rejected with an error, not
+    // re-parked forever (the pending entry's membership cannot change,
+    // so re-looking-up the directory would loop).
+    let mut w = world(21);
+    let server = spawn_server_troupe(&mut w, 10, 1, 1);
+    let server_addr = server.members[0].addr;
+
+    let client_id = TroupeId(70);
+    let thread = circus::ThreadId {
+        origin: addr(200, 1),
+        serial: 1,
+    };
+    let known = addr(10, 50);
+    let unknown = addr(11, 50);
+    for a in [known, unknown] {
+        let agent = TestClient::new(vec![Request {
+            troupe: server.clone(),
+            module: MODULE,
+            proc: PROC_ECHO,
+            args: b"m".to_vec(),
+            collation: CollationPolicy::Unanimous,
+        }])
+        .with_thread(thread);
+        let p = CircusProcess::new(a, NodeConfig::default())
+            .with_agent(Box::new(agent))
+            .with_troupe_id(client_id);
+        w.spawn(a, Box::new(p));
+    }
+    // The server believes the troupe is ONLY the known member.
+    w.with_proc_mut(server_addr, |p: &mut CircusProcess| {
+        p.node_mut().preload_directory(client_id, vec![known]);
+    })
+    .unwrap();
+
+    // The known member opens the assembly; then the unknown one calls.
+    w.poke(known, 0);
+    run(&mut w, 2);
+    w.poke(unknown, 0);
+    run(&mut w, 30);
+
+    // The known member's call succeeded (singleton membership, unanimous
+    // over one vote).
+    assert_eq!(client_results(&w, known), vec![Ok(b"m".to_vec())]);
+    // The unknown member got a CLEAN error — no hang, no lookup loop.
+    let results = client_results(&w, unknown);
+    assert_eq!(results.len(), 1, "stale member's call must complete");
+    assert!(
+        matches!(results[0], Err(CallError::Remote(_))),
+        "expected rejection, got {results:?}"
+    );
+    // No runaway traffic: the network carried a bounded number of
+    // datagrams (a looping lookup would send hundreds).
+    assert!(
+        w.net_stats().sent < 60,
+        "suspicious traffic volume: {}",
+        w.net_stats().sent
+    );
+}

@@ -1,0 +1,97 @@
+//! Protocol tuning parameters.
+
+use simnet::Duration;
+
+/// Which multi-segment transmission discipline to use (§4.2.5).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProtocolMode {
+    /// The Circus discipline: transmit all segments eagerly, retransmit
+    /// the first unacknowledged one on timeout. Minimal datagram count,
+    /// unbounded receiver buffering.
+    Circus,
+    /// The Xerox PARC discipline: "an explicit acknowledgment of every
+    /// segment but the last. This doubles the number of segments sent,
+    /// but since there is never more than one unacknowledged segment in
+    /// transit, only one segment's worth of buffer space is required"
+    /// (§4.2.5).
+    Parc,
+}
+
+/// Tunable parameters of the paired message protocol.
+///
+/// The paper gives the structure of the protocol but not its constants
+/// (§4.2.3 discusses the timeout trade-off qualitatively). Defaults are
+/// scaled to the 1985 testbed, where a round trip took tens of
+/// milliseconds.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Maximum payload bytes per segment. With the 8-byte header this
+    /// must fit in the network MTU to avoid IP fragmentation (§4.2.4).
+    pub max_segment_data: usize,
+    /// How long to wait before retransmitting the first unacknowledged
+    /// segment (with *please ack* set).
+    pub retransmit_interval: Duration,
+    /// Retransmissions of one message before declaring the peer dead.
+    pub max_retransmits: u32,
+    /// Interval between crash-detection probes while awaiting a reply
+    /// (§4.2.3).
+    pub probe_interval: Duration,
+    /// Unanswered probes before declaring the peer dead.
+    pub max_unanswered_probes: u32,
+    /// How long a completed exchange's call number is remembered so that
+    /// delayed duplicates cannot replay it (§4.2.4).
+    pub replay_ttl: Duration,
+    /// Postpone the ack of a completed call in the hope that the return
+    /// message will serve as an implicit ack (§4.2.4).
+    pub deferred_ack: bool,
+    /// Retransmit *all* unacknowledged segments on timeout instead of
+    /// just the first; useful on unreliable networks (§4.2.4).
+    pub retransmit_all: bool,
+    /// Multi-segment transmission discipline (§4.2.5).
+    pub mode: ProtocolMode,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            max_segment_data: 1024,
+            retransmit_interval: Duration::from_millis(300),
+            max_retransmits: 8,
+            probe_interval: Duration::from_secs(2),
+            max_unanswered_probes: 3,
+            replay_ttl: Duration::from_secs(60),
+            deferred_ack: true,
+            retransmit_all: false,
+            mode: ProtocolMode::Circus,
+        }
+    }
+}
+
+impl Config {
+    /// The PARC-style stop-and-wait configuration of §4.2.5.
+    pub fn parc() -> Config {
+        Config {
+            mode: ProtocolMode::Parc,
+            ..Config::default()
+        }
+    }
+}
+
+impl Config {
+    /// Largest message this configuration can carry.
+    pub fn max_message_len(&self) -> usize {
+        self.max_segment_data * crate::segment::MAX_SEGMENTS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_limits() {
+        let c = Config::default();
+        assert_eq!(c.max_message_len(), 1024 * 255);
+        assert!(c.retransmit_interval < c.probe_interval);
+    }
+}

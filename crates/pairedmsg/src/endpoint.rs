@@ -1,0 +1,430 @@
+//! A paired-message conversation with one peer.
+//!
+//! An [`Endpoint`] manages the call/return exchanges between this process
+//! and a single remote process: segmentation and reassembly, explicit and
+//! implicit acknowledgments (§4.2.2), the deferred-ack optimization
+//! (§4.2.4), crash-detection probes while awaiting a reply (§4.2.3), and
+//! suppression of replayed call numbers (§4.2.4).
+//!
+//! The endpoint is sans-io: feed it datagrams and timer ticks, drain
+//! segments to transmit and events to deliver upward.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::config::Config;
+use crate::receiver::MsgReceiver;
+use crate::segment::{MsgType, Segment, SegmentError};
+use crate::sender::{MsgSender, SendError, SenderTick};
+use simnet::Time;
+
+/// Something the endpoint wants delivered to the layer above.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Event {
+    /// A complete message arrived.
+    Message {
+        /// Call or return.
+        msg_type: MsgType,
+        /// The exchange it belongs to.
+        call_number: u32,
+        /// The reassembled message bytes.
+        data: Vec<u8>,
+    },
+    /// Retransmissions or probes went unanswered long enough to presume
+    /// the peer has crashed (§4.2.3). The endpoint is dead afterwards.
+    PeerDead,
+}
+
+/// Record of a completed incoming message, kept for re-acknowledgment and
+/// replay suppression.
+#[derive(Debug)]
+struct CompletedRecv {
+    total: u8,
+    at: Time,
+}
+
+#[derive(Debug)]
+struct ProbeState {
+    call_number: u32,
+    next: Time,
+    unanswered: u32,
+}
+
+/// Traffic counters, used by the §4.2.5 protocol-discipline ablation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EndpointStats {
+    /// Segments handed to the network (data, acks, and probes).
+    pub segments_sent: u64,
+    /// Largest number of out-of-order segments buffered by any receiver
+    /// at once — the buffering cost the PARC discipline avoids (§4.2.5).
+    pub max_recv_buffered: usize,
+}
+
+/// State machine for all exchanges with one peer process.
+#[derive(Debug)]
+pub struct Endpoint {
+    config: Config,
+    senders: BTreeMap<(MsgType, u32), MsgSender>,
+    receivers: BTreeMap<(MsgType, u32), MsgReceiver>,
+    completed: BTreeMap<(MsgType, u32), CompletedRecv>,
+    out: VecDeque<Segment>,
+    events: VecDeque<Event>,
+    probe: Option<ProbeState>,
+    /// Calls we sent whose returns have not yet been delivered; drives
+    /// crash-detection probing.
+    awaiting_reply: BTreeSet<u32>,
+    /// Highest call number delivered upward as a complete Call message;
+    /// prevents replay of purged exchanges.
+    highest_delivered_call: Option<u32>,
+    dead: bool,
+    stats: EndpointStats,
+}
+
+impl Endpoint {
+    /// Creates an endpoint with the given configuration.
+    pub fn new(config: Config) -> Endpoint {
+        Endpoint {
+            config,
+            senders: BTreeMap::new(),
+            receivers: BTreeMap::new(),
+            completed: BTreeMap::new(),
+            out: VecDeque::new(),
+            events: VecDeque::new(),
+            probe: None,
+            awaiting_reply: BTreeSet::new(),
+            highest_delivered_call: None,
+            dead: false,
+            stats: EndpointStats::default(),
+        }
+    }
+
+    /// Traffic counters (§4.2.5 ablation).
+    pub fn stats(&self) -> EndpointStats {
+        self.stats
+    }
+
+    /// `true` once the peer has been declared dead.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// `true` when no exchange is in progress (no timers needed).
+    pub fn is_idle(&self) -> bool {
+        self.senders.is_empty() && self.probe.is_none()
+    }
+
+    /// Abandons an outstanding call (e.g. the member was dropped from the
+    /// caller's troupe view after a crash elsewhere): stops transmitting
+    /// and probing for it.
+    pub fn abandon_call(&mut self, now: Time, call_number: u32) {
+        self.senders.remove(&(MsgType::Call, call_number));
+        self.awaiting_reply.remove(&call_number);
+        if self
+            .probe
+            .as_ref()
+            .is_some_and(|p| p.call_number == call_number)
+        {
+            self.probe = None;
+            if let Some(&cn) = self.awaiting_reply.last() {
+                self.arm_probe(now, cn);
+            }
+        }
+    }
+
+    /// Starts transmitting a message. For a call the endpoint begins
+    /// crash-detection probing once the call is fully acknowledged;
+    /// sending a return cancels the deferred ack it implicitly carries.
+    pub fn send(
+        &mut self,
+        now: Time,
+        msg_type: MsgType,
+        call_number: u32,
+        data: &[u8],
+    ) -> Result<(), SendError> {
+        if self.dead {
+            // A dead endpoint transmits nothing; the caller should have
+            // replaced it after the PeerDead event.
+            return Ok(());
+        }
+        let mut sender = MsgSender::new(now, &self.config, msg_type, call_number, data)?;
+        for seg in sender.initial_segments() {
+            self.out.push_back(seg);
+        }
+        if msg_type == MsgType::Call {
+            self.awaiting_reply.insert(call_number);
+        }
+        self.senders.insert((msg_type, call_number), sender);
+        Ok(())
+    }
+
+    /// Feeds an incoming datagram.
+    pub fn on_datagram(&mut self, now: Time, bytes: &[u8]) -> Result<(), SegmentError> {
+        let seg = Segment::decode(bytes)?;
+        self.on_segment(now, seg);
+        Ok(())
+    }
+
+    /// Feeds an already-decoded segment.
+    pub fn on_segment(&mut self, now: Time, seg: Segment) {
+        if self.dead {
+            return;
+        }
+        self.purge_completed(now);
+        // Any arrival is a life sign: reset the probe clock (§4.2.3).
+        if let Some(p) = &mut self.probe {
+            p.unanswered = 0;
+            p.next = now + self.config.probe_interval;
+        }
+        let h = seg.header;
+        if h.probe {
+            if !h.ack {
+                // A probe request: answer it.
+                self.out.push_back(Segment::probe_reply(h.call_number));
+            }
+            // A probe reply needs no action beyond the life sign above.
+            return;
+        }
+        if h.ack {
+            self.on_explicit_ack(h.msg_type, h.call_number, h.number, now);
+            return;
+        }
+        self.on_data_segment(now, seg);
+    }
+
+    fn on_explicit_ack(&mut self, msg_type: MsgType, call_number: u32, number: u8, now: Time) {
+        let key = (msg_type, call_number);
+        let complete = match self.senders.get_mut(&key) {
+            Some(s) => {
+                for seg in s.on_ack(now, number) {
+                    self.out.push_back(seg);
+                }
+                s.complete()
+            }
+            None => return,
+        };
+        if complete {
+            self.senders.remove(&key);
+            if msg_type == MsgType::Call {
+                self.arm_probe(now, call_number);
+            }
+        }
+    }
+
+    fn on_data_segment(&mut self, now: Time, seg: Segment) {
+        let h = seg.header;
+        let key = (h.msg_type, h.call_number);
+
+        // Implicit acknowledgments (§4.2.2): a return segment acknowledges
+        // the call with the same call number; a call segment acknowledges
+        // any return with an earlier call number.
+        match h.msg_type {
+            MsgType::Return => {
+                if self
+                    .senders
+                    .remove(&(MsgType::Call, h.call_number))
+                    .is_some()
+                {
+                    // Our call is implicitly acknowledged; probing (if it
+                    // had started) continues until the return completes.
+                    self.arm_probe(now, h.call_number);
+                }
+            }
+            MsgType::Call => {
+                let stale: Vec<(MsgType, u32)> = self
+                    .senders
+                    .keys()
+                    .filter(|(t, cn)| *t == MsgType::Return && *cn < h.call_number)
+                    .copied()
+                    .collect();
+                for k in stale {
+                    self.senders.remove(&k);
+                }
+            }
+        }
+
+        // Duplicate of an already-delivered message: re-acknowledge if
+        // asked ("subsequent please ack segments should be acknowledged
+        // promptly", §4.2.4).
+        if let Some(info) = self.completed.get(&key) {
+            if h.please_ack {
+                self.out
+                    .push_back(Segment::ack(h.msg_type, h.call_number, info.total, info.total));
+            }
+            return;
+        }
+        // Replay of a purged exchange: ignore entirely.
+        if h.msg_type == MsgType::Call {
+            if let Some(hi) = self.highest_delivered_call {
+                if h.call_number <= hi {
+                    return;
+                }
+            }
+        }
+
+        let receiver = self
+            .receivers
+            .entry(key)
+            .or_insert_with(|| MsgReceiver::new(&seg));
+        let actions = receiver.on_segment(&seg);
+        self.stats.max_recv_buffered = self.stats.max_recv_buffered.max(receiver.buffered_out_of_order());
+        let mut want_ack = actions.send_ack;
+        if actions.completed {
+            let recv = self.receivers.remove(&key).expect("receiver exists");
+            let total = recv.total();
+            let data = recv.assemble();
+            self.completed
+                .insert(key, CompletedRecv { total, at: now });
+            match h.msg_type {
+                MsgType::Call => {
+                    self.highest_delivered_call = Some(
+                        self.highest_delivered_call
+                            .map_or(h.call_number, |hi| hi.max(h.call_number)),
+                    );
+                    // Deferred ack: hold the ack back in the hope the
+                    // return message will serve instead (§4.2.4).
+                    if self.config.deferred_ack {
+                        want_ack = false;
+                    }
+                }
+                MsgType::Return => {
+                    // Exchange over: stop probing for it, but keep watch
+                    // over any other call still awaiting its return.
+                    self.awaiting_reply.remove(&h.call_number);
+                    if self
+                        .probe
+                        .as_ref()
+                        .is_some_and(|p| p.call_number == h.call_number)
+                    {
+                        self.probe = None;
+                        if let Some(&cn) = self.awaiting_reply.last() {
+                            self.arm_probe(now, cn);
+                        }
+                    }
+                }
+            }
+            if want_ack {
+                self.out
+                    .push_back(Segment::ack(h.msg_type, h.call_number, total, total));
+            }
+            self.events.push_back(Event::Message {
+                msg_type: h.msg_type,
+                call_number: h.call_number,
+                data,
+            });
+        } else if want_ack {
+            let ack = receiver.make_ack();
+            self.out.push_back(ack);
+        }
+    }
+
+    fn arm_probe(&mut self, now: Time, call_number: u32) {
+        // Only probe for the newest outstanding call.
+        let newer = self
+            .probe
+            .as_ref()
+            .is_some_and(|p| p.call_number > call_number);
+        if newer {
+            return;
+        }
+        // Don't re-arm for a call whose return already completed.
+        if self
+            .completed
+            .contains_key(&(MsgType::Return, call_number))
+        {
+            return;
+        }
+        self.probe = Some(ProbeState {
+            call_number,
+            next: now + self.config.probe_interval,
+            unanswered: 0,
+        });
+    }
+
+    /// When the endpoint next needs a timer tick.
+    pub fn poll_timer(&self) -> Option<Time> {
+        if self.dead {
+            return None;
+        }
+        let sender_min = self.senders.values().filter_map(|s| s.deadline()).min();
+        let probe_min = self.probe.as_ref().map(|p| p.next);
+        match (sender_min, probe_min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Advances retransmission and probe clocks to `now`.
+    pub fn on_timer(&mut self, now: Time) {
+        if self.dead {
+            return;
+        }
+        let keys: Vec<(MsgType, u32)> = self.senders.keys().copied().collect();
+        for key in keys {
+            let tick = self
+                .senders
+                .get_mut(&key)
+                .map(|s| s.on_tick(now))
+                .unwrap_or(SenderTick::Idle);
+            match tick {
+                SenderTick::Idle => {}
+                SenderTick::Retransmit(segs) => {
+                    for s in segs {
+                        self.out.push_back(s);
+                    }
+                }
+                SenderTick::GiveUp => {
+                    self.declare_dead();
+                    return;
+                }
+            }
+        }
+        let probe_action = match &mut self.probe {
+            Some(p) if now >= p.next => {
+                if p.unanswered >= self.config.max_unanswered_probes {
+                    None // Dead.
+                } else {
+                    p.unanswered += 1;
+                    p.next = now + self.config.probe_interval;
+                    Some(Segment::probe(p.call_number))
+                }
+            }
+            _ => return,
+        };
+        match probe_action {
+            Some(seg) => self.out.push_back(seg),
+            None => self.declare_dead(),
+        }
+    }
+
+    fn declare_dead(&mut self) {
+        self.dead = true;
+        self.senders.clear();
+        self.receivers.clear();
+        self.probe = None;
+        self.out.clear();
+        self.events.push_back(Event::PeerDead);
+    }
+
+    fn purge_completed(&mut self, now: Time) {
+        let ttl = self.config.replay_ttl;
+        self.completed.retain(|_, c| now.since(c.at) < ttl);
+    }
+
+    /// Drains the next segment to transmit, already encoded.
+    pub fn poll_transmit(&mut self) -> Option<Vec<u8>> {
+        self.poll_transmit_segment().map(|s| s.encode())
+    }
+
+    /// Drains the next segment to transmit, in decoded form (for tests).
+    pub fn poll_transmit_segment(&mut self) -> Option<Segment> {
+        let seg = self.out.pop_front();
+        if seg.is_some() {
+            self.stats.segments_sent += 1;
+        }
+        seg
+    }
+
+    /// Drains the next upward event.
+    pub fn poll_event(&mut self) -> Option<Event> {
+        self.events.pop_front()
+    }
+}

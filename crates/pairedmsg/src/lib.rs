@@ -1,0 +1,47 @@
+//! # pairedmsg: the Circus paired message protocol
+//!
+//! A paired message protocol is "a distillation of the communication
+//! requirements of conventional remote procedure call protocols" (§4.2):
+//! it exchanges reliably delivered, variable-length call/return message
+//! pairs over unreliable datagrams, identified by call numbers.
+//!
+//! This implementation follows the Circus protocol of §4.2 exactly:
+//!
+//! - messages are carried in segments with the 8-byte header of
+//!   Figure 4.2 ([`segment`]);
+//! - senders transmit all segments eagerly, then periodically retransmit
+//!   the first unacknowledged one with *please ack* set ([`sender`]);
+//! - receivers assemble segments, track the highest-consecutive
+//!   acknowledgment number, and fast-ack on out-of-order arrivals
+//!   ([`receiver`]);
+//! - acknowledgments may be explicit (ack segments) or implicit (a return
+//!   acknowledges its call; a later call acknowledges an earlier return);
+//! - the ack of a completed call is deferred in the hope the return will
+//!   serve instead (§4.2.4);
+//! - crash detection uses probes and timeouts (§4.2.3), surfacing
+//!   [`endpoint::Event::PeerDead`];
+//! - completed call numbers are remembered to suppress replay of delayed
+//!   duplicates (§4.2.4).
+//!
+//! The state machines are sans-io: they consume time and segments and
+//! produce segments, events, and timer deadlines, so they can be driven
+//! by unit tests directly or by the `simnet` world via the `circus`
+//! runtime.
+//!
+//! Unlike the Xerox PARC protocol, which acknowledges every segment but
+//! the last, this protocol keeps multiple segments in flight and buffers
+//! at the receiver — the paper's stated trade-off (§4.2.5).
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod endpoint;
+pub mod receiver;
+pub mod segment;
+pub mod sender;
+
+pub use config::{Config, ProtocolMode};
+pub use endpoint::{Endpoint, EndpointStats, Event};
+pub use receiver::{MsgReceiver, RecvActions};
+pub use segment::{MsgType, Segment, SegmentError, SegmentHeader, HEADER_LEN, MAX_SEGMENTS};
+pub use sender::{MsgSender, SendError, SenderTick};

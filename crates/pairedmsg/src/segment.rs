@@ -1,0 +1,322 @@
+//! The segment wire format (Figure 4.2).
+//!
+//! A message is transmitted as one or more segments, each a datagram with
+//! an 8-byte header:
+//!
+//! ```text
+//! byte 0      message type (0 = call, 1 = return)
+//! byte 1      control bits (bit 0 = please ack, bit 1 = ack, bit 2 = probe)
+//! byte 2      total segments in the message (1..=255)
+//! byte 3      segment number (data: 1..=total; ack: ack number 0..=total)
+//! bytes 4..8  call number, most significant byte first
+//! ```
+//!
+//! The probe bit occupies one of the paper's six unused control bits: the
+//! paper's crash-detection probes are "special control segments" (§4.2.3)
+//! and this is their encoding.
+
+use std::fmt;
+
+/// Whether a segment belongs to a call or a return message.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum MsgType {
+    /// A call message (client to server).
+    Call,
+    /// A return message (server to client).
+    Return,
+}
+
+impl MsgType {
+    fn to_byte(self) -> u8 {
+        match self {
+            MsgType::Call => 0,
+            MsgType::Return => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<MsgType, SegmentError> {
+        match b {
+            0 => Ok(MsgType::Call),
+            1 => Ok(MsgType::Return),
+            other => Err(SegmentError::BadType(other)),
+        }
+    }
+}
+
+/// The largest number of segments one message may occupy: the total
+/// segments field is a byte and zero is reserved (§4.2.1).
+pub const MAX_SEGMENTS: usize = 255;
+
+/// Size of the fixed segment header.
+pub const HEADER_LEN: usize = 8;
+
+const PLEASE_ACK: u8 = 0b001;
+const ACK: u8 = 0b010;
+const PROBE: u8 = 0b100;
+
+/// A decoded segment header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SegmentHeader {
+    /// Call or return.
+    pub msg_type: MsgType,
+    /// Sender requests an explicit acknowledgment.
+    pub please_ack: bool,
+    /// This segment *is* an acknowledgment; its `number` field is the
+    /// acknowledgment number (all segments `<= number` received).
+    pub ack: bool,
+    /// This is a crash-detection probe (or, with `ack`, a probe response).
+    pub probe: bool,
+    /// Total number of segments in the message.
+    pub total: u8,
+    /// Segment number (data) or acknowledgment number (ack).
+    pub number: u8,
+    /// Pairs this segment's message with its partner (§4.2.1).
+    pub call_number: u32,
+}
+
+/// A whole segment: header plus (for data segments) payload bytes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Segment {
+    /// The header.
+    pub header: SegmentHeader,
+    /// Payload; empty for control segments.
+    pub data: Vec<u8>,
+}
+
+/// Errors decoding a segment from a datagram.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SegmentError {
+    /// Shorter than the fixed header.
+    Truncated,
+    /// Unknown message type byte.
+    BadType(u8),
+    /// A data segment with a zero total or number, or number > total.
+    BadPosition {
+        /// The claimed total segment count.
+        total: u8,
+        /// The claimed segment number.
+        number: u8,
+    },
+}
+
+impl fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegmentError::Truncated => write!(f, "datagram shorter than segment header"),
+            SegmentError::BadType(b) => write!(f, "unknown message type byte {b}"),
+            SegmentError::BadPosition { total, number } => {
+                write!(f, "bad segment position {number}/{total}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+impl Segment {
+    /// Builds a data segment.
+    pub fn data(
+        msg_type: MsgType,
+        call_number: u32,
+        total: u8,
+        number: u8,
+        please_ack: bool,
+        data: Vec<u8>,
+    ) -> Segment {
+        Segment {
+            header: SegmentHeader {
+                msg_type,
+                please_ack,
+                ack: false,
+                probe: false,
+                total,
+                number,
+                call_number,
+            },
+            data,
+        }
+    }
+
+    /// Builds an explicit acknowledgment for message `(msg_type,
+    /// call_number)` acknowledging all segments `<= ack_number`.
+    pub fn ack(msg_type: MsgType, call_number: u32, total: u8, ack_number: u8) -> Segment {
+        Segment {
+            header: SegmentHeader {
+                msg_type,
+                please_ack: false,
+                ack: true,
+                probe: false,
+                total,
+                number: ack_number,
+                call_number,
+            },
+            data: Vec::new(),
+        }
+    }
+
+    /// Builds a crash-detection probe (§4.2.3).
+    pub fn probe(call_number: u32) -> Segment {
+        Segment {
+            header: SegmentHeader {
+                msg_type: MsgType::Call,
+                please_ack: true,
+                ack: false,
+                probe: true,
+                total: 0,
+                number: 0,
+                call_number,
+            },
+            data: Vec::new(),
+        }
+    }
+
+    /// Builds the response to a probe.
+    pub fn probe_reply(call_number: u32) -> Segment {
+        Segment {
+            header: SegmentHeader {
+                msg_type: MsgType::Call,
+                please_ack: false,
+                ack: true,
+                probe: true,
+                total: 0,
+                number: 0,
+                call_number,
+            },
+            data: Vec::new(),
+        }
+    }
+
+    /// Encodes the segment as a datagram payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let h = &self.header;
+        let mut out = Vec::with_capacity(HEADER_LEN + self.data.len());
+        out.push(h.msg_type.to_byte());
+        let mut bits = 0u8;
+        if h.please_ack {
+            bits |= PLEASE_ACK;
+        }
+        if h.ack {
+            bits |= ACK;
+        }
+        if h.probe {
+            bits |= PROBE;
+        }
+        out.push(bits);
+        out.push(h.total);
+        out.push(h.number);
+        out.extend_from_slice(&h.call_number.to_be_bytes());
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Decodes a datagram payload into a segment.
+    pub fn decode(bytes: &[u8]) -> Result<Segment, SegmentError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(SegmentError::Truncated);
+        }
+        let msg_type = MsgType::from_byte(bytes[0])?;
+        let bits = bytes[1];
+        let total = bytes[2];
+        let number = bytes[3];
+        let call_number = u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        let header = SegmentHeader {
+            msg_type,
+            please_ack: bits & PLEASE_ACK != 0,
+            ack: bits & ACK != 0,
+            probe: bits & PROBE != 0,
+            total,
+            number,
+            call_number,
+        };
+        let is_data = !header.ack && !header.probe;
+        if is_data && (total == 0 || number == 0 || number > total) {
+            return Err(SegmentError::BadPosition { total, number });
+        }
+        if header.ack && !header.probe && number > total {
+            return Err(SegmentError::BadPosition { total, number });
+        }
+        Ok(Segment {
+            header,
+            data: bytes[HEADER_LEN..].to_vec(),
+        })
+    }
+
+    /// Returns `true` for a data segment (neither ack nor probe).
+    pub fn is_data(&self) -> bool {
+        !self.header.ack && !self.header.probe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_segment_round_trips() {
+        let s = Segment::data(MsgType::Call, 42, 3, 2, true, vec![9, 9, 9]);
+        let back = Segment::decode(&s.encode()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn ack_segment_round_trips() {
+        let s = Segment::ack(MsgType::Return, 7, 5, 3);
+        let back = Segment::decode(&s.encode()).unwrap();
+        assert_eq!(back, s);
+        assert!(back.header.ack);
+        assert!(!back.is_data());
+    }
+
+    #[test]
+    fn probe_round_trips() {
+        let p = Segment::probe(100);
+        let back = Segment::decode(&p.encode()).unwrap();
+        assert!(back.header.probe && back.header.please_ack);
+        let r = Segment::probe_reply(100);
+        let back = Segment::decode(&r.encode()).unwrap();
+        assert!(back.header.probe && back.header.ack);
+    }
+
+    #[test]
+    fn header_is_exactly_eight_bytes() {
+        let s = Segment::data(MsgType::Call, 1, 1, 1, false, Vec::new());
+        assert_eq!(s.encode().len(), HEADER_LEN);
+    }
+
+    #[test]
+    fn call_number_big_endian() {
+        let s = Segment::data(MsgType::Call, 0x0102_0304, 1, 1, false, Vec::new());
+        let bytes = s.encode();
+        assert_eq!(&bytes[4..8], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(Segment::decode(&[0; 7]), Err(SegmentError::Truncated));
+    }
+
+    #[test]
+    fn bad_type_rejected() {
+        let mut bytes = Segment::data(MsgType::Call, 1, 1, 1, false, Vec::new()).encode();
+        bytes[0] = 9;
+        assert_eq!(Segment::decode(&bytes), Err(SegmentError::BadType(9)));
+    }
+
+    #[test]
+    fn zero_total_data_rejected() {
+        let bytes = [0, 0, 0, 1, 0, 0, 0, 1];
+        assert!(matches!(
+            Segment::decode(&bytes),
+            Err(SegmentError::BadPosition { .. })
+        ));
+    }
+
+    #[test]
+    fn number_beyond_total_rejected() {
+        let bytes = [0, 0, 2, 3, 0, 0, 0, 1];
+        assert!(matches!(
+            Segment::decode(&bytes),
+            Err(SegmentError::BadPosition { .. })
+        ));
+    }
+}

@@ -1,0 +1,402 @@
+//! The sending half of a message exchange (§4.2.2).
+//!
+//! A message is divided into segments numbered from 1. The sender first
+//! transmits every segment with no control bits, then periodically
+//! retransmits the first unacknowledged segment with *please ack* set,
+//! while removing acknowledged segments from its queue. Transmission is
+//! complete when the queue is empty.
+
+use crate::config::{Config, ProtocolMode};
+use crate::segment::{MsgType, Segment, MAX_SEGMENTS};
+use simnet::{Duration, Time};
+
+/// Why a message could not be sent.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SendError {
+    /// The message needs more than 255 segments.
+    TooLong {
+        /// The message length in bytes.
+        len: usize,
+        /// The maximum this configuration can carry.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::TooLong { len, max } => {
+                write!(f, "message of {len} bytes exceeds maximum of {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// State machine transmitting one message reliably.
+#[derive(Debug)]
+pub struct MsgSender {
+    msg_type: MsgType,
+    call_number: u32,
+    /// Payloads of segments not yet acknowledged, paired with their
+    /// segment numbers (1-based). Ordered ascending.
+    unacked: Vec<(u8, Vec<u8>)>,
+    total: u8,
+    next_retransmit: Time,
+    retransmit_interval: Duration,
+    retransmit_all: bool,
+    retries: u32,
+    max_retries: u32,
+    mode: ProtocolMode,
+    /// Highest segment number handed out for transmission.
+    sent_through: u8,
+}
+
+/// The sender's reaction to a timeout tick.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SenderTick {
+    /// Nothing due yet or already complete.
+    Idle,
+    /// Retransmit these segments.
+    Retransmit(Vec<Segment>),
+    /// Too many retransmissions with no acknowledgment: the peer is
+    /// presumed to have crashed (§4.2.3).
+    GiveUp,
+}
+
+impl MsgSender {
+    /// Segments `data` and queues every segment. `initial_segments`
+    /// returns the first transmission.
+    pub fn new(
+        now: Time,
+        config: &Config,
+        msg_type: MsgType,
+        call_number: u32,
+        data: &[u8],
+    ) -> Result<MsgSender, SendError> {
+        let chunk = config.max_segment_data.max(1);
+        let n_segments = if data.is_empty() {
+            1
+        } else {
+            data.len().div_ceil(chunk)
+        };
+        if n_segments > MAX_SEGMENTS {
+            return Err(SendError::TooLong {
+                len: data.len(),
+                max: config.max_message_len(),
+            });
+        }
+        let mut unacked = Vec::with_capacity(n_segments);
+        if data.is_empty() {
+            unacked.push((1u8, Vec::new()));
+        } else {
+            for (i, piece) in data.chunks(chunk).enumerate() {
+                unacked.push((i as u8 + 1, piece.to_vec()));
+            }
+        }
+        Ok(MsgSender {
+            msg_type,
+            call_number,
+            total: n_segments as u8,
+            unacked,
+            next_retransmit: now + config.retransmit_interval,
+            retransmit_interval: config.retransmit_interval,
+            retransmit_all: config.retransmit_all,
+            retries: 0,
+            max_retries: config.max_retransmits,
+            mode: config.mode,
+            sent_through: 0,
+        })
+    }
+
+    fn make_segment(&self, number: u8, data: &[u8], please_ack: bool) -> Segment {
+        Segment::data(
+            self.msg_type,
+            self.call_number,
+            self.total,
+            number,
+            please_ack,
+            data.to_vec(),
+        )
+    }
+
+    /// In PARC mode, every segment but the last asks for an explicit ack
+    /// (§4.2.5); the last is implicitly acknowledged by the reply.
+    fn parc_please_ack(&self, number: u8) -> bool {
+        number < self.total
+    }
+
+    /// The message type being sent.
+    pub fn msg_type(&self) -> MsgType {
+        self.msg_type
+    }
+
+    /// The call number of the exchange.
+    pub fn call_number(&self) -> u32 {
+        self.call_number
+    }
+
+    /// Segments for the initial transmission. The Circus discipline sends
+    /// everything eagerly with no control bits (§4.2.2); the PARC
+    /// discipline sends only the first segment, stop-and-wait (§4.2.5).
+    pub fn initial_segments(&mut self) -> Vec<Segment> {
+        match self.mode {
+            ProtocolMode::Circus => {
+                self.sent_through = self.total;
+                self.unacked
+                    .iter()
+                    .map(|(n, d)| {
+                        Segment::data(
+                            self.msg_type,
+                            self.call_number,
+                            self.total,
+                            *n,
+                            false,
+                            d.clone(),
+                        )
+                    })
+                    .collect()
+            }
+            ProtocolMode::Parc => {
+                self.sent_through = 1;
+                let (n, d) = &self.unacked[0];
+                vec![self.make_segment(*n, d, self.parc_please_ack(*n))]
+            }
+        }
+    }
+
+    /// Processes an explicit acknowledgment number: removes every segment
+    /// numbered `<= ack_number` and resets the retry counter if progress
+    /// was made. Returns any segments to transmit next (the PARC
+    /// discipline releases the following segment on each ack).
+    pub fn on_ack(&mut self, now: Time, ack_number: u8) -> Vec<Segment> {
+        let before = self.unacked.len();
+        self.unacked.retain(|(n, _)| *n > ack_number);
+        if self.unacked.len() < before {
+            self.retries = 0;
+            self.next_retransmit = now + self.retransmit_interval;
+        }
+        if self.mode == ProtocolMode::Parc && ack_number >= self.sent_through {
+            if let Some((n, d)) = self
+                .unacked
+                .iter()
+                .find(|(n, _)| *n == self.sent_through + 1)
+            {
+                let seg = self.make_segment(*n, d, self.parc_please_ack(*n));
+                self.sent_through += 1;
+                return vec![seg];
+            }
+        }
+        Vec::new()
+    }
+
+    /// Treats the whole message as acknowledged (implicit acknowledgment
+    /// by a reply, §4.2.2).
+    pub fn ack_all(&mut self) {
+        self.unacked.clear();
+    }
+
+    /// `true` once every segment has been acknowledged.
+    pub fn complete(&self) -> bool {
+        self.unacked.is_empty()
+    }
+
+    /// When the next retransmission is due (`None` once complete).
+    pub fn deadline(&self) -> Option<Time> {
+        if self.complete() {
+            None
+        } else {
+            Some(self.next_retransmit)
+        }
+    }
+
+    /// Advances the retransmission clock.
+    pub fn on_tick(&mut self, now: Time) -> SenderTick {
+        if self.complete() || now < self.next_retransmit {
+            return SenderTick::Idle;
+        }
+        if self.retries >= self.max_retries {
+            return SenderTick::GiveUp;
+        }
+        self.retries += 1;
+        self.next_retransmit = now + self.retransmit_interval;
+        // Only retransmit segments already sent (matters for PARC mode).
+        let sent = self.sent_through;
+        let to_send: Vec<&(u8, Vec<u8>)> = if self.retransmit_all {
+            self.unacked.iter().filter(|(n, _)| *n <= sent).collect()
+        } else {
+            self.unacked
+                .iter()
+                .find(|(n, _)| *n <= sent)
+                .into_iter()
+                .collect()
+        };
+        SenderTick::Retransmit(
+            to_send
+                .into_iter()
+                .map(|(n, d)| {
+                    Segment::data(
+                        self.msg_type,
+                        self.call_number,
+                        self.total,
+                        *n,
+                        true,
+                        d.clone(),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Fast retransmission of the first unacknowledged segment, used when
+    /// an explicit ack reveals a gap (§4.2.4).
+    pub fn fast_retransmit(&mut self, now: Time) -> Option<Segment> {
+        let (n, d) = self.unacked.first()?;
+        self.next_retransmit = now + self.retransmit_interval;
+        Some(Segment::data(
+            self.msg_type,
+            self.call_number,
+            self.total,
+            *n,
+            true,
+            d.clone(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> Config {
+        Config {
+            max_segment_data: 4,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn small_message_is_one_segment() {
+        let mut s = MsgSender::new(Time::ZERO, &config(), MsgType::Call, 1, b"ab").unwrap();
+        let segs = s.initial_segments();
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].header.total, 1);
+        assert_eq!(segs[0].header.number, 1);
+        assert_eq!(segs[0].data, b"ab");
+    }
+
+    #[test]
+    fn empty_message_still_has_one_segment() {
+        let mut s = MsgSender::new(Time::ZERO, &config(), MsgType::Return, 1, b"").unwrap();
+        assert_eq!(s.initial_segments().len(), 1);
+    }
+
+    #[test]
+    fn large_message_segments_in_order() {
+        let mut s = MsgSender::new(Time::ZERO, &config(), MsgType::Call, 1, b"abcdefghij").unwrap();
+        let segs = s.initial_segments();
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0].data, b"abcd");
+        assert_eq!(segs[1].data, b"efgh");
+        assert_eq!(segs[2].data, b"ij");
+        assert!(segs.iter().all(|s| s.header.total == 3));
+    }
+
+    #[test]
+    fn oversize_message_rejected() {
+        let data = vec![0u8; 4 * 255 + 1];
+        assert!(matches!(
+            MsgSender::new(Time::ZERO, &config(), MsgType::Call, 1, &data),
+            Err(SendError::TooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn acks_remove_prefix() {
+        let mut s = MsgSender::new(Time::ZERO, &config(), MsgType::Call, 1, b"abcdefghij").unwrap();
+        s.on_ack(Time::ZERO, 2);
+        assert!(!s.complete());
+        s.on_ack(Time::ZERO, 3);
+        assert!(s.complete());
+        assert_eq!(s.deadline(), None);
+    }
+
+    #[test]
+    fn retransmit_first_unacked_with_please_ack() {
+        let cfg = config();
+        let mut s = MsgSender::new(Time::ZERO, &cfg, MsgType::Call, 1, b"abcdefghij").unwrap();
+        let _ = s.initial_segments();
+        s.on_ack(Time::ZERO, 1);
+        let due = s.deadline().unwrap();
+        match s.on_tick(due) {
+            SenderTick::Retransmit(segs) => {
+                assert_eq!(segs.len(), 1);
+                assert_eq!(segs[0].header.number, 2);
+                assert!(segs[0].header.please_ack);
+            }
+            other => panic!("expected retransmit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gives_up_after_max_retries() {
+        let cfg = Config {
+            max_retransmits: 2,
+            ..config()
+        };
+        let mut s = MsgSender::new(Time::ZERO, &cfg, MsgType::Call, 1, b"x").unwrap();
+        let _ = s.initial_segments();
+        for _ in 0..2 {
+            let now = s.deadline().unwrap();
+            assert!(matches!(s.on_tick(now), SenderTick::Retransmit(_)));
+        }
+        let now = s.deadline().unwrap();
+        assert_eq!(s.on_tick(now), SenderTick::GiveUp);
+    }
+
+    #[test]
+    fn progress_resets_retries() {
+        let cfg = Config {
+            max_retransmits: 2,
+            ..config()
+        };
+        let mut s = MsgSender::new(Time::ZERO, &cfg, MsgType::Call, 1, b"abcdefgh").unwrap();
+        let _ = s.initial_segments();
+        let now = s.deadline().unwrap();
+        assert!(matches!(s.on_tick(now), SenderTick::Retransmit(_)));
+        s.on_ack(Time::ZERO, 1); // Progress.
+        let now = s.deadline().unwrap();
+        assert!(matches!(s.on_tick(now), SenderTick::Retransmit(_)));
+        let now = s.deadline().unwrap();
+        assert!(matches!(s.on_tick(now), SenderTick::Retransmit(_)));
+    }
+
+    #[test]
+    fn implicit_ack_completes() {
+        let mut s = MsgSender::new(Time::ZERO, &config(), MsgType::Call, 1, b"abcdefgh").unwrap();
+        s.ack_all();
+        assert!(s.complete());
+    }
+
+    #[test]
+    fn tick_before_deadline_is_idle() {
+        let mut s = MsgSender::new(Time::ZERO, &config(), MsgType::Call, 1, b"x").unwrap();
+        assert_eq!(s.on_tick(Time::ZERO), SenderTick::Idle);
+    }
+
+    #[test]
+    fn retransmit_all_mode() {
+        let cfg = Config {
+            retransmit_all: true,
+            ..config()
+        };
+        let mut s = MsgSender::new(Time::ZERO, &cfg, MsgType::Call, 1, b"abcdefghij").unwrap();
+        let _ = s.initial_segments();
+        let due = s.deadline().unwrap();
+        match s.on_tick(due) {
+            SenderTick::Retransmit(segs) => assert_eq!(segs.len(), 3),
+            other => panic!("expected retransmit, got {other:?}"),
+        }
+    }
+}

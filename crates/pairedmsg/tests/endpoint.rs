@@ -1,0 +1,527 @@
+//! Integration tests driving two endpoints against each other through an
+//! in-memory "wire" with controllable loss.
+
+use pairedmsg::{Config, Endpoint, Event, MsgType};
+use simnet::Time;
+
+/// Carries every queued segment from `a` to `b`, dropping those whose
+/// index (counting across the whole test) appears in `drop_list`.
+struct Wire {
+    now: Time,
+    counter: usize,
+    drop_list: Vec<usize>,
+}
+
+impl Wire {
+    fn new() -> Wire {
+        Wire {
+            now: Time::ZERO,
+            counter: 0,
+            drop_list: Vec::new(),
+        }
+    }
+
+    fn dropping(drop_list: Vec<usize>) -> Wire {
+        Wire {
+            drop_list,
+            ..Wire::new()
+        }
+    }
+
+    /// Shuttles segments both ways until neither side has output.
+    fn settle(&mut self, a: &mut Endpoint, b: &mut Endpoint) {
+        loop {
+            let mut moved = false;
+            while let Some(bytes) = a.poll_transmit() {
+                moved = true;
+                if !self.drop_list.contains(&self.counter) {
+                    b.on_datagram(self.now, &bytes).unwrap();
+                }
+                self.counter += 1;
+            }
+            while let Some(bytes) = b.poll_transmit() {
+                moved = true;
+                if !self.drop_list.contains(&self.counter) {
+                    a.on_datagram(self.now, &bytes).unwrap();
+                }
+                self.counter += 1;
+            }
+            if !moved {
+                break;
+            }
+        }
+    }
+
+    /// Advances time to each endpoint's next deadline and ticks it, then
+    /// settles; repeats `rounds` times.
+    fn tick_round(&mut self, a: &mut Endpoint, b: &mut Endpoint) {
+        let deadline = [a.poll_timer(), b.poll_timer()]
+            .into_iter()
+            .flatten()
+            .min();
+        if let Some(t) = deadline {
+            self.now = t;
+            a.on_timer(self.now);
+            b.on_timer(self.now);
+            self.settle(a, b);
+        }
+    }
+}
+
+fn pair() -> (Endpoint, Endpoint) {
+    (Endpoint::new(Config::default()), Endpoint::new(Config::default()))
+}
+
+fn expect_message(e: &mut Endpoint, ty: MsgType, cn: u32) -> Vec<u8> {
+    match e.poll_event() {
+        Some(Event::Message {
+            msg_type,
+            call_number,
+            data,
+        }) => {
+            assert_eq!(msg_type, ty);
+            assert_eq!(call_number, cn);
+            data
+        }
+        other => panic!("expected message, got {other:?}"),
+    }
+}
+
+#[test]
+fn simple_exchange_no_loss() {
+    let (mut client, mut server) = pair();
+    let mut wire = Wire::new();
+
+    client.send(wire.now, MsgType::Call, 1, b"args").unwrap();
+    wire.settle(&mut client, &mut server);
+    let got = expect_message(&mut server, MsgType::Call, 1);
+    assert_eq!(got, b"args");
+
+    server.send(wire.now, MsgType::Return, 1, b"results").unwrap();
+    wire.settle(&mut client, &mut server);
+    let got = expect_message(&mut client, MsgType::Return, 1);
+    assert_eq!(got, b"results");
+    // The return implicitly acknowledged the call; the client's call
+    // sender is gone.
+    assert!(client.poll_event().is_none());
+}
+
+#[test]
+fn exchange_uses_minimal_packets() {
+    // Fast path: one datagram per direction (deferred ack + implicit ack),
+    // plus the idle-return explicit ack round (return retransmitted with
+    // please-ack, then acked).
+    let (mut client, mut server) = pair();
+    let mut wire = Wire::new();
+    client.send(wire.now, MsgType::Call, 1, b"x").unwrap();
+    wire.settle(&mut client, &mut server);
+    expect_message(&mut server, MsgType::Call, 1);
+    server.send(wire.now, MsgType::Return, 1, b"y").unwrap();
+    wire.settle(&mut client, &mut server);
+    expect_message(&mut client, MsgType::Return, 1);
+    // Exactly 2 datagrams so far: the call and the return.
+    assert_eq!(wire.counter, 2);
+}
+
+#[test]
+fn back_to_back_calls_implicitly_ack_returns() {
+    let (mut client, mut server) = pair();
+    let mut wire = Wire::new();
+    for cn in 1..=10u32 {
+        client.send(wire.now, MsgType::Call, cn, b"ping").unwrap();
+        wire.settle(&mut client, &mut server);
+        expect_message(&mut server, MsgType::Call, cn);
+        server.send(wire.now, MsgType::Return, cn, b"pong").unwrap();
+        wire.settle(&mut client, &mut server);
+        expect_message(&mut client, MsgType::Return, cn);
+    }
+    // 10 calls + 10 returns, no acks needed in steady state: each call
+    // implicitly acknowledges the previous return.
+    assert_eq!(wire.counter, 20);
+    // Only the final return remains unacknowledged (server will
+    // retransmit it once, then get an explicit ack).
+    wire.tick_round(&mut client, &mut server);
+    assert!(server.poll_timer().is_none() || server.is_idle());
+}
+
+#[test]
+fn multi_segment_message_reassembles() {
+    let config = Config {
+        max_segment_data: 8,
+        ..Config::default()
+    };
+    let mut client = Endpoint::new(config.clone());
+    let mut server = Endpoint::new(config);
+    let mut wire = Wire::new();
+    let big: Vec<u8> = (0..100u8).collect();
+    client.send(wire.now, MsgType::Call, 1, &big).unwrap();
+    wire.settle(&mut client, &mut server);
+    let got = expect_message(&mut server, MsgType::Call, 1);
+    assert_eq!(got, big);
+}
+
+#[test]
+fn lost_call_segment_recovered_by_retransmission() {
+    let (mut client, mut server) = pair();
+    // Drop the very first datagram (the call).
+    let mut wire = Wire::dropping(vec![0]);
+    client.send(wire.now, MsgType::Call, 1, b"args").unwrap();
+    wire.settle(&mut client, &mut server);
+    assert!(server.poll_event().is_none());
+    // Client's retransmit timer recovers it.
+    wire.tick_round(&mut client, &mut server);
+    let got = expect_message(&mut server, MsgType::Call, 1);
+    assert_eq!(got, b"args");
+}
+
+#[test]
+fn lost_middle_segment_recovered() {
+    let config = Config {
+        max_segment_data: 4,
+        ..Config::default()
+    };
+    let mut client = Endpoint::new(config.clone());
+    let mut server = Endpoint::new(config);
+    // Message of 3 segments; drop the 2nd (index 1).
+    let mut wire = Wire::dropping(vec![1]);
+    client.send(wire.now, MsgType::Call, 1, b"abcdefghij").unwrap();
+    wire.settle(&mut client, &mut server);
+    // Out-of-order arrival of segment 3 provoked an immediate ack (ack
+    // number 1) and the retransmission cycle fills the gap.
+    let mut done = false;
+    for _ in 0..5 {
+        wire.tick_round(&mut client, &mut server);
+        if let Some(Event::Message { data, .. }) = server.poll_event() {
+            assert_eq!(data, b"abcdefghij");
+            done = true;
+            break;
+        }
+    }
+    assert!(done, "message never reassembled");
+}
+
+#[test]
+fn lost_return_recovered() {
+    let (mut client, mut server) = pair();
+    let mut wire = Wire::dropping(vec![1]); // Drop the return.
+    client.send(wire.now, MsgType::Call, 1, b"q").unwrap();
+    wire.settle(&mut client, &mut server);
+    expect_message(&mut server, MsgType::Call, 1);
+    server.send(wire.now, MsgType::Return, 1, b"r").unwrap();
+    wire.settle(&mut client, &mut server);
+    assert!(client.poll_event().is_none());
+    wire.tick_round(&mut client, &mut server);
+    let got = expect_message(&mut client, MsgType::Return, 1);
+    assert_eq!(got, b"r");
+}
+
+#[test]
+fn duplicate_call_not_delivered_twice() {
+    let (mut client, mut server) = pair();
+    let wire = Wire::new();
+    client.send(wire.now, MsgType::Call, 1, b"once").unwrap();
+    // Capture and replay the call datagram.
+    let bytes = client.poll_transmit().unwrap();
+    server.on_datagram(wire.now, &bytes).unwrap();
+    expect_message(&mut server, MsgType::Call, 1);
+    server.on_datagram(wire.now, &bytes).unwrap();
+    assert!(server.poll_event().is_none(), "duplicate delivered");
+}
+
+#[test]
+fn replay_after_completion_is_reacked_not_redelivered() {
+    let (mut client, mut server) = pair();
+    let mut wire = Wire::new();
+    client.send(wire.now, MsgType::Call, 1, b"once").unwrap();
+    let call_bytes = client.poll_transmit().unwrap();
+    server.on_datagram(wire.now, &call_bytes).unwrap();
+    expect_message(&mut server, MsgType::Call, 1);
+    server.send(wire.now, MsgType::Return, 1, b"done").unwrap();
+    wire.settle(&mut client, &mut server);
+    expect_message(&mut client, MsgType::Return, 1);
+
+    // A delayed duplicate of the call arrives with please-ack: the server
+    // re-acks (so the sender stops) but does not re-deliver.
+    let mut seg = pairedmsg::Segment::decode(&call_bytes).unwrap();
+    seg.header.please_ack = true;
+    server.on_segment(wire.now, seg);
+    assert!(server.poll_event().is_none());
+    let out = server.poll_transmit_segment().unwrap();
+    assert!(out.header.ack);
+}
+
+#[test]
+fn crash_detected_by_unanswered_retransmissions() {
+    let (mut client, _server) = pair();
+    let mut now = Time::ZERO;
+    client.send(now, MsgType::Call, 1, b"void").unwrap();
+    while let Some(bytes) = client.poll_transmit() {
+        drop(bytes); // Black hole: the server is gone.
+    }
+    let mut dead = false;
+    for _ in 0..20 {
+        match client.poll_timer() {
+            Some(t) => {
+                now = t;
+                client.on_timer(now);
+                while client.poll_transmit().is_some() {}
+                if let Some(Event::PeerDead) = client.poll_event() {
+                    dead = true;
+                    break;
+                }
+            }
+            None => break,
+        }
+    }
+    assert!(dead, "peer death never detected");
+    assert!(client.is_dead());
+}
+
+#[test]
+fn crash_during_long_call_detected_by_probes() {
+    let (mut client, mut server) = pair();
+    let mut wire = Wire::new();
+    client.send(wire.now, MsgType::Call, 1, b"slow-op").unwrap();
+    wire.settle(&mut client, &mut server);
+    expect_message(&mut server, MsgType::Call, 1);
+
+    // The server acknowledges receipt explicitly (simulate a please-ack
+    // round) so the client enters the probing phase.
+    // First retransmission elicits an ack from the completed-receive cache.
+    let mut now = client.poll_timer().unwrap();
+    client.on_timer(now);
+    wire.now = now;
+    wire.settle(&mut client, &mut server);
+
+    // The server never replies (crashed mid-procedure). Probes go
+    // unanswered; the client eventually declares it dead.
+    let mut dead = false;
+    for _ in 0..20 {
+        match client.poll_timer() {
+            Some(t) => {
+                now = t;
+                client.on_timer(now);
+                // Black-hole any probe segments.
+                while client.poll_transmit().is_some() {}
+                if let Some(Event::PeerDead) = client.poll_event() {
+                    dead = true;
+                    break;
+                }
+            }
+            None => break,
+        }
+    }
+    assert!(dead, "crash during execution never detected");
+}
+
+#[test]
+fn probes_answered_keep_connection_alive() {
+    let (mut client, mut server) = pair();
+    let mut wire = Wire::new();
+    client.send(wire.now, MsgType::Call, 1, b"slow").unwrap();
+    wire.settle(&mut client, &mut server);
+    expect_message(&mut server, MsgType::Call, 1);
+
+    // Let many probe intervals pass with the server answering probes.
+    for _ in 0..10 {
+        wire.tick_round(&mut client, &mut server);
+        assert!(client.poll_event().is_none(), "client gave up too early");
+    }
+    // Finally the server replies; the exchange completes normally.
+    server.send(wire.now, MsgType::Return, 1, b"ok").unwrap();
+    wire.settle(&mut client, &mut server);
+    let got = expect_message(&mut client, MsgType::Return, 1);
+    assert_eq!(got, b"ok");
+    assert!(!client.is_dead());
+}
+
+#[test]
+fn abandon_call_stops_activity() {
+    let (mut client, _server) = pair();
+    client.send(Time::ZERO, MsgType::Call, 1, b"x").unwrap();
+    while client.poll_transmit().is_some() {}
+    client.abandon_call(Time::ZERO, 1);
+    assert!(client.is_idle());
+    assert!(client.poll_timer().is_none());
+}
+
+#[test]
+fn oversize_message_rejected_at_send() {
+    let (mut client, _server) = pair();
+    let huge = vec![0u8; 1024 * 255 + 1];
+    assert!(client.send(Time::ZERO, MsgType::Call, 1, &huge).is_err());
+}
+
+#[test]
+fn heavy_loss_eventually_delivers_with_retransmit_all() {
+    let config = Config {
+        max_segment_data: 4,
+        retransmit_all: true,
+        max_retransmits: 50,
+        ..Config::default()
+    };
+    let mut client = Endpoint::new(config.clone());
+    let mut server = Endpoint::new(config);
+    // Drop every third datagram.
+    let drop_list: Vec<usize> = (0..400).filter(|i| i % 3 == 0).collect();
+    let mut wire = Wire::dropping(drop_list);
+    client
+        .send(wire.now, MsgType::Call, 1, b"abcdefghijklmnopqrstuvwxyz")
+        .unwrap();
+    wire.settle(&mut client, &mut server);
+    let mut got = None;
+    for _ in 0..60 {
+        if let Some(Event::Message { data, .. }) = server.poll_event() {
+            got = Some(data);
+            break;
+        }
+        wire.tick_round(&mut client, &mut server);
+    }
+    assert_eq!(got.as_deref(), Some(b"abcdefghijklmnopqrstuvwxyz".as_ref()));
+}
+
+/// Counts data/ack datagrams both ways for a one-way S-segment message
+/// under a lossless wire, for the §4.2.5 protocol comparison.
+fn transfer_counting(config: Config, segments: usize) -> (usize, usize) {
+    let seg_size = 4usize;
+    let mut tx = Endpoint::new(config.clone());
+    let mut rx = Endpoint::new(config);
+    let payload = vec![7u8; seg_size * segments];
+    let mut now = Time::ZERO;
+    tx.send(now, MsgType::Call, 1, &payload).unwrap();
+    let mut forward = 0usize;
+    let mut backward = 0usize;
+    for _ in 0..10_000 {
+        let mut moved = false;
+        while let Some(bytes) = tx.poll_transmit() {
+            moved = true;
+            forward += 1;
+            rx.on_datagram(now, &bytes).unwrap();
+        }
+        while let Some(bytes) = rx.poll_transmit() {
+            moved = true;
+            backward += 1;
+            tx.on_datagram(now, &bytes).unwrap();
+        }
+        if let Some(Event::Message { data, .. }) = rx.poll_event() {
+            assert_eq!(data, payload);
+            return (forward, backward);
+        }
+        if !moved {
+            match tx.poll_timer() {
+                Some(t) => {
+                    now = t;
+                    tx.on_timer(now);
+                }
+                None => break,
+            }
+        }
+    }
+    panic!("message never delivered");
+}
+
+#[test]
+fn parc_mode_delivers_multi_segment_messages() {
+    let config = Config {
+        max_segment_data: 4,
+        ..Config::parc()
+    };
+    let (forward, backward) = transfer_counting(config, 8);
+    // Stop-and-wait: 8 data segments forward, 7 explicit acks back
+    // ("an explicit acknowledgment of every segment but the last").
+    assert_eq!(forward, 8);
+    assert_eq!(backward, 7);
+}
+
+#[test]
+fn circus_mode_sends_minimum_datagrams() {
+    let config = Config {
+        max_segment_data: 4,
+        ..Config::default()
+    };
+    let (forward, backward) = transfer_counting(config, 8);
+    // Eager send: 8 data segments, no acks needed on a lossless wire.
+    assert_eq!(forward, 8);
+    assert_eq!(backward, 0);
+}
+
+#[test]
+fn parc_mode_bounds_receiver_buffering() {
+    // PARC: at most one segment in flight, so the receiver never buffers
+    // out of order; Circus may buffer many (here the wire is in-order,
+    // so we check the sender-side property: one unacked at a time via
+    // the datagram counts above, and the receiver metric stays 0/1).
+    let config = Config {
+        max_segment_data: 4,
+        ..Config::parc()
+    };
+    let mut tx = Endpoint::new(config.clone());
+    let mut rx = Endpoint::new(config);
+    let now = Time::ZERO;
+    tx.send(now, MsgType::Call, 1, &[1u8; 4 * 6]).unwrap();
+    loop {
+        let mut moved = false;
+        while let Some(bytes) = tx.poll_transmit() {
+            moved = true;
+            rx.on_datagram(now, &bytes).unwrap();
+        }
+        while let Some(bytes) = rx.poll_transmit() {
+            moved = true;
+            tx.on_datagram(now, &bytes).unwrap();
+        }
+        if !moved {
+            break;
+        }
+    }
+    assert!(matches!(rx.poll_event(), Some(Event::Message { .. })));
+    assert!(
+        rx.stats().max_recv_buffered <= 1,
+        "PARC must bound receiver buffering, saw {}",
+        rx.stats().max_recv_buffered
+    );
+}
+
+#[test]
+fn parc_mode_recovers_from_loss() {
+    let config = Config {
+        max_segment_data: 4,
+        max_retransmits: 30,
+        ..Config::parc()
+    };
+    let mut tx = Endpoint::new(config.clone());
+    let mut rx = Endpoint::new(config);
+    let payload = vec![9u8; 4 * 5];
+    let mut now = Time::ZERO;
+    tx.send(now, MsgType::Call, 1, &payload).unwrap();
+    let mut rng_drop = 0usize;
+    for _ in 0..200 {
+        let mut moved = false;
+        while let Some(bytes) = tx.poll_transmit() {
+            moved = true;
+            rng_drop += 1;
+            if !rng_drop.is_multiple_of(3) {
+                rx.on_datagram(now, &bytes).unwrap();
+            }
+        }
+        while let Some(bytes) = rx.poll_transmit() {
+            moved = true;
+            if rng_drop % 4 != 1 {
+                tx.on_datagram(now, &bytes).unwrap();
+            }
+        }
+        if let Some(Event::Message { data, .. }) = rx.poll_event() {
+            assert_eq!(data, payload);
+            return;
+        }
+        if !moved {
+            match tx.poll_timer() {
+                Some(t) => {
+                    now = t;
+                    tx.on_timer(now);
+                }
+                None => break,
+            }
+        }
+    }
+    panic!("PARC-mode message never delivered under loss");
+}

@@ -1,0 +1,276 @@
+//! The Ringmaster binding agent service (§6.3).
+//!
+//! "The Ringmaster is the binding agent for troupes in the Circus system.
+//! It is a specialized name server that enables programs to import and
+//! export troupes by name" — and it is *itself a troupe whose procedures
+//! are invoked via replicated procedure calls*.
+//!
+//! Each registry mutation allocates a fresh troupe ID and installs it at
+//! every member of the affected troupe with a nested replicated
+//! `set_troupe_id` call, so membership and incarnation change together
+//! (Figure 6.2): this is what makes stale-cache detection sound (§6.2).
+
+use std::collections::BTreeMap;
+
+use crate::api::{AddTroupeMember, Rebind, RegisterTroupe, RemoveTroupeMember};
+use circus::binding::{binding_procs, reserved_procs};
+use circus::{
+    CallError, CollationPolicy, ModuleAddr, NodeEffect, OutCall, Service, ServiceCtx, Step,
+    Troupe, TroupeId, TroupeTarget,
+};
+use wire::{from_bytes, to_bytes, Externalize, Internalize, Reader, WireError, Writer};
+
+/// Deterministic troupe-ID allocation.
+///
+/// Every member of the (replicated) Ringmaster troupe must allocate the
+/// *same* ID for the same mutation, without communicating (§3.5.1). IDs
+/// are derived from the troupe name and a per-name generation counter;
+/// since all members serialize the same mutations in the same order (the
+/// concurrency-control machinery of Chapter 5 guarantees this under
+/// contention), the counters — and hence the IDs — agree.
+fn make_id(name: &str, generation: u64) -> TroupeId {
+    // FNV-1a over the name, mixed with the generation.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^= generation.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    // Avoid the reserved UNREGISTERED value.
+    TroupeId(h.max(1))
+}
+
+/// One registry entry.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct Entry {
+    troupe: Troupe,
+    generation: u64,
+}
+
+impl Externalize for Entry {
+    fn externalize(&self, w: &mut Writer) {
+        self.troupe.externalize(w);
+        w.put_u64(self.generation);
+    }
+}
+
+impl Internalize for Entry {
+    fn internalize(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Entry {
+            troupe: Troupe::internalize(r)?,
+            generation: r.get_u64()?,
+        })
+    }
+}
+
+/// The binding agent's module state.
+pub struct RingmasterService {
+    registry: BTreeMap<String, Entry>,
+    /// In-flight mutations awaiting their `set_troupe_id` round, keyed by
+    /// invocation.
+    in_flight: BTreeMap<u64, TroupeId>,
+}
+
+impl RingmasterService {
+    /// Creates an agent that already knows its own troupe under the name
+    /// `"ringmaster"` — "the Ringmaster cannot be used to import itself"
+    /// (§6.3), so its own binding is installed out of band.
+    pub fn new(self_troupe: Troupe) -> RingmasterService {
+        let mut registry = BTreeMap::new();
+        registry.insert(
+            "ringmaster".to_string(),
+            Entry {
+                troupe: self_troupe,
+                generation: 0,
+            },
+        );
+        RingmasterService {
+            registry,
+            in_flight: BTreeMap::new(),
+        }
+    }
+
+    /// Looks up a troupe by name (for co-located helpers such as the
+    /// garbage collector).
+    pub fn lookup(&self, name: &str) -> Option<&Troupe> {
+        self.registry.get(name).map(|e| &e.troupe)
+    }
+
+    /// All registered names (for the garbage collector's enumeration,
+    /// §6.1).
+    pub fn names(&self) -> Vec<String> {
+        self.registry.keys().cloned().collect()
+    }
+
+    fn lookup_by_id(&self, id: TroupeId) -> Option<&Troupe> {
+        self.registry
+            .values()
+            .find(|e| e.troupe.id == id)
+            .map(|e| &e.troupe)
+    }
+
+    /// Applies a membership mutation: allocates the next incarnation and
+    /// prepares the `set_troupe_id` round.
+    fn mutate(
+        &mut self,
+        ctx: &mut ServiceCtx,
+        name: &str,
+        new_members: Vec<ModuleAddr>,
+    ) -> Step {
+        if new_members.is_empty() {
+            // Removing the last member deletes the binding.
+            if let Some(old) = self.registry.remove(name) {
+                ctx.push_effect(NodeEffect::InvalidateDirectory {
+                    id: old.troupe.id,
+                });
+            }
+            return Step::Reply(to_bytes(&TroupeId::UNREGISTERED));
+        }
+        let module = new_members[0].module;
+        debug_assert!(
+            new_members.iter().all(|m| m.module == module),
+            "troupe members are replicas and export the same module number"
+        );
+        let generation = self.registry.get(name).map(|e| e.generation + 1).unwrap_or(1);
+        let id = make_id(name, generation);
+        let troupe = Troupe::new(id, new_members);
+        if let Some(old) = self.registry.get(name) {
+            ctx.push_effect(NodeEffect::InvalidateDirectory {
+                id: old.troupe.id,
+            });
+        }
+        ctx.push_effect(NodeEffect::PreloadDirectory {
+            id,
+            members: troupe.members.iter().map(|m| m.addr).collect(),
+        });
+        self.registry.insert(
+            name.to_string(),
+            Entry {
+                troupe: troupe.clone(),
+                generation,
+            },
+        );
+        self.in_flight.insert(ctx.invocation, id);
+        // Install the new incarnation at every member of the new troupe
+        // (Figure 6.2). The destination troupe ID is left UNREGISTERED
+        // (unchecked): a joining member is brand new and holds no
+        // incarnation yet, and the existing members are mid-transition.
+        let target = Troupe::new(TroupeId::UNREGISTERED, troupe.members.clone());
+        Step::Call(OutCall {
+            target: TroupeTarget::Troupe(target),
+            module,
+            proc: reserved_procs::SET_TROUPE_ID,
+            args: to_bytes(&id),
+            collation: CollationPolicy::Unanimous,
+        })
+    }
+}
+
+impl Service for RingmasterService {
+    fn dispatch(&mut self, ctx: &mut ServiceCtx, proc: u16, args: &[u8]) -> Step {
+        match proc {
+            binding_procs::REGISTER_TROUPE => {
+                let Ok(req) = from_bytes::<RegisterTroupe>(args) else {
+                    return Step::Error("bad register_troupe arguments".into());
+                };
+                self.mutate(ctx, &req.name, req.members)
+            }
+            binding_procs::ADD_TROUPE_MEMBER => {
+                let Ok(req) = from_bytes::<AddTroupeMember>(args) else {
+                    return Step::Error("bad add_troupe_member arguments".into());
+                };
+                let mut members = self
+                    .registry
+                    .get(&req.name)
+                    .map(|e| e.troupe.members.clone())
+                    .unwrap_or_default();
+                // A member rejoining from the same address replaces its
+                // old registration (machine reuse after a crash).
+                members.retain(|m| m.addr != req.member.addr);
+                members.push(req.member);
+                self.mutate(ctx, &req.name, members)
+            }
+            binding_procs::REMOVE_TROUPE_MEMBER => {
+                let Ok(req) = from_bytes::<RemoveTroupeMember>(args) else {
+                    return Step::Error("bad remove_troupe_member arguments".into());
+                };
+                let Some(entry) = self.registry.get(&req.name) else {
+                    return Step::Error(format!("no troupe named {}", req.name));
+                };
+                let mut members = entry.troupe.members.clone();
+                members.retain(|m| *m != req.member);
+                self.mutate(ctx, &req.name, members)
+            }
+            binding_procs::LOOKUP_TROUPE_BY_NAME => {
+                let Ok(name) = from_bytes::<String>(args) else {
+                    return Step::Error("bad lookup_troupe_by_name arguments".into());
+                };
+                Step::Reply(to_bytes(&self.lookup(&name).cloned()))
+            }
+            binding_procs::LOOKUP_TROUPE_BY_ID => {
+                let Ok(id) = circus::binding::decode_lookup_by_id(args) else {
+                    return Step::Error("bad lookup_troupe_by_id arguments".into());
+                };
+                Step::Reply(circus::binding::encode_lookup_reply(self.lookup_by_id(id)))
+            }
+            binding_procs::REBIND => {
+                let Ok(req) = from_bytes::<Rebind>(args) else {
+                    return Step::Error("bad rebind arguments".into());
+                };
+                // The stale id is only a hint (§6.1): return whatever is
+                // current; if the registry still holds the reportedly
+                // stale binding, a garbage-collection probe will decide.
+                Step::Reply(to_bytes(&self.lookup(&req.name).cloned()))
+            }
+            _ => Step::Error(format!("ringmaster: unknown procedure {proc}")),
+        }
+    }
+
+    fn resume(&mut self, ctx: &mut ServiceCtx, reply: Result<Vec<u8>, CallError>) -> Step {
+        let Some(id) = self.in_flight.remove(&ctx.invocation) else {
+            return Step::Error("ringmaster: spurious resume".into());
+        };
+        match reply {
+            // Some members may have been dead; the survivors installed
+            // the incarnation, which is all the binding requires.
+            Ok(_) => Step::Reply(to_bytes(&id)),
+            Err(e) => Step::Error(format!("set_troupe_id failed: {e}")),
+        }
+    }
+
+    fn get_state(&self) -> Vec<u8> {
+        let entries: Vec<(String, Entry)> = self
+            .registry
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        to_bytes(&entries)
+    }
+
+    fn set_state(&mut self, state: &[u8]) {
+        if let Ok(entries) = from_bytes::<Vec<(String, Entry)>>(state) {
+            self.registry = entries.into_iter().collect();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_deterministic_and_distinct() {
+        assert_eq!(make_id("fs", 1), make_id("fs", 1));
+        assert_ne!(make_id("fs", 1), make_id("fs", 2));
+        assert_ne!(make_id("fs", 1), make_id("db", 1));
+        assert_ne!(make_id("fs", 1), TroupeId::UNREGISTERED);
+    }
+
+    #[test]
+    fn self_registration() {
+        let t = Troupe::new(TroupeId(9), Vec::new());
+        let rm = RingmasterService::new(t.clone());
+        assert_eq!(rm.lookup("ringmaster"), Some(&t));
+        assert_eq!(rm.names(), vec!["ringmaster".to_string()]);
+    }
+}

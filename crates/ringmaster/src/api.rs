@@ -1,0 +1,166 @@
+//! Wire types of the binding interface (Figure 6.1).
+//!
+//! Procedure numbers live in `circus::binding::binding_procs` (the call
+//! runtime needs `lookup_troupe_by_id` for many-to-one grouping); this
+//! module supplies the argument/result encodings for the full interface.
+
+use circus::{ModuleAddr, Troupe, TroupeId};
+use wire::{Externalize, Internalize, Reader, WireError, Writer};
+
+/// `register_troupe(troupe_name, troupe) returns (troupe_id)` — initial
+/// registration of a whole troupe by a third party such as the
+/// configuration manager (§6.2).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RegisterTroupe {
+    /// The interface name being exported.
+    pub name: String,
+    /// Module addresses of all members.
+    pub members: Vec<ModuleAddr>,
+}
+
+impl Externalize for RegisterTroupe {
+    fn externalize(&self, w: &mut Writer) {
+        w.put_string(&self.name);
+        self.members.externalize(w);
+    }
+}
+
+impl Internalize for RegisterTroupe {
+    fn internalize(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(RegisterTroupe {
+            name: r.get_string()?,
+            members: Vec::internalize(r)?,
+        })
+    }
+}
+
+/// `add_troupe_member(troupe_name, troupe_member) returns (troupe_id)` —
+/// a server exporting a module, or a replacement member joining (§6.2,
+/// Figure 6.2).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AddTroupeMember {
+    /// The interface name.
+    pub name: String,
+    /// The joining member.
+    pub member: ModuleAddr,
+}
+
+impl Externalize for AddTroupeMember {
+    fn externalize(&self, w: &mut Writer) {
+        w.put_string(&self.name);
+        self.member.externalize(w);
+    }
+}
+
+impl Internalize for AddTroupeMember {
+    fn internalize(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(AddTroupeMember {
+            name: r.get_string()?,
+            member: ModuleAddr::internalize(r)?,
+        })
+    }
+}
+
+/// `remove_troupe_member(troupe_name, troupe_member) returns (troupe_id)`
+/// — garbage collection of defunct members (§6.1, §6.4).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RemoveTroupeMember {
+    /// The interface name.
+    pub name: String,
+    /// The departing member.
+    pub member: ModuleAddr,
+}
+
+impl Externalize for RemoveTroupeMember {
+    fn externalize(&self, w: &mut Writer) {
+        w.put_string(&self.name);
+        self.member.externalize(w);
+    }
+}
+
+impl Internalize for RemoveTroupeMember {
+    fn internalize(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(RemoveTroupeMember {
+            name: r.get_string()?,
+            member: ModuleAddr::internalize(r)?,
+        })
+    }
+}
+
+/// `rebind(troupe_name, stale_id) returns (troupe)` — a client detected
+/// an invalid binding; the stale id is a hint the agent may verify and
+/// purge (§6.1: "it need not be deleted immediately, nor should it be
+/// blindly accepted as invalid in an insecure environment").
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Rebind {
+    /// The interface name to re-import.
+    pub name: String,
+    /// The binding the client found to be stale.
+    pub stale: TroupeId,
+}
+
+impl Externalize for Rebind {
+    fn externalize(&self, w: &mut Writer) {
+        w.put_string(&self.name);
+        self.stale.externalize(w);
+    }
+}
+
+impl Internalize for Rebind {
+    fn internalize(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Rebind {
+            name: r.get_string()?,
+            stale: TroupeId::internalize(r)?,
+        })
+    }
+}
+
+/// Result of lookup-style procedures: the troupe, or nothing.
+pub type LookupReply = Option<Troupe>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{HostId, SockAddr};
+    use wire::{from_bytes, to_bytes};
+
+    fn maddr(h: u32) -> ModuleAddr {
+        ModuleAddr::new(SockAddr::new(HostId(h), 70), 1)
+    }
+
+    #[test]
+    fn register_round_trips() {
+        let m = RegisterTroupe {
+            name: "fs".into(),
+            members: vec![maddr(1), maddr(2)],
+        };
+        assert_eq!(from_bytes::<RegisterTroupe>(&to_bytes(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn add_member_round_trips() {
+        let m = AddTroupeMember {
+            name: "fs".into(),
+            member: maddr(3),
+        };
+        assert_eq!(from_bytes::<AddTroupeMember>(&to_bytes(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn remove_member_round_trips() {
+        let m = RemoveTroupeMember {
+            name: "fs".into(),
+            member: maddr(3),
+        };
+        assert_eq!(from_bytes::<RemoveTroupeMember>(&to_bytes(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn rebind_round_trips() {
+        let m = Rebind {
+            name: "fs".into(),
+            stale: TroupeId(12),
+        };
+        assert_eq!(from_bytes::<Rebind>(&to_bytes(&m)).unwrap(), m);
+    }
+}

@@ -1,0 +1,69 @@
+//! # ringmaster: the binding agent for troupes
+//!
+//! Chapter 6 of Cooper's dissertation: binding and reconfiguration for
+//! replicated distributed programs.
+//!
+//! - [`RingmasterService`] — the specialized name server (§6.3),
+//!   implementing the binding interface of Figure 6.1, runnable as a
+//!   troupe invoked by replicated procedure calls; troupe IDs double as
+//!   incarnation numbers, and every membership mutation re-incarnates the
+//!   troupe via a nested replicated `set_troupe_id` (Figure 6.2);
+//! - [`ImportCache`] — the client-side cache with `rebind` support
+//!   (§6.1–§6.2's cache invalidation);
+//! - [`JoinAgent`] — adding a new troupe member: `get_state` transfer
+//!   from the survivors, then `add_troupe_member` (§6.4.1);
+//! - [`GcAgent`] — null-call probing and deletion of defunct bindings
+//!   (§6.1).
+//!
+//! The availability analysis that answers *when* to replace crashed
+//! members (§6.4.2) lives in the `analysis` crate.
+
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod api;
+pub mod cache;
+pub mod gc;
+pub mod reconfigure;
+
+pub use agent::RingmasterService;
+pub use api::{AddTroupeMember, Rebind, RegisterTroupe, RemoveTroupeMember};
+pub use cache::{BindingRequest, ImportCache};
+pub use gc::GcAgent;
+pub use reconfigure::JoinAgent;
+
+use circus::{CircusProcess, ModuleAddr, NodeConfig, Troupe, TroupeId};
+use simnet::{SockAddr, World};
+
+/// Spawns a Ringmaster troupe of `n` members at the well-known port on
+/// hosts `hosts[0..n]` and returns its troupe representation.
+///
+/// This is the "special degenerate binding mechanism" of §6.3: the
+/// Ringmaster troupe is specified by well-known ports plus a
+/// configuration-supplied machine list rather than by importing itself.
+pub fn spawn_ringmaster(world: &mut World, hosts: &[simnet::HostId], config: NodeConfig) -> Troupe {
+    let members: Vec<ModuleAddr> = hosts
+        .iter()
+        .map(|&h| {
+            ModuleAddr::new(
+                SockAddr::new(h, circus::binding::RINGMASTER_PORT),
+                circus::binding::BINDING_MODULE,
+            )
+        })
+        .collect();
+    // A deterministic, configuration-time id for the ringmaster troupe.
+    let id = TroupeId(0x0052_494E_474D_5253); // "RINGMRS"
+    let troupe = Troupe::new(id, members.clone());
+    for m in &members {
+        let proc = CircusProcess::new(m.addr, config.clone())
+            .with_service(
+                circus::binding::BINDING_MODULE,
+                Box::new(RingmasterService::new(troupe.clone())),
+            )
+            .with_troupe_id(id)
+            .with_binder(troupe.clone())
+            .with_directory(id, members.iter().map(|m| m.addr).collect());
+        world.spawn(m.addr, Box::new(proc));
+    }
+    troupe
+}

@@ -1,0 +1,166 @@
+//! Adding a new troupe member to an existing troupe (§6.4.1).
+//!
+//! Two steps: "the new member must be brought into a state consistent
+//! with that of the other members, and the new member must be registered
+//! with the binding agent". State is transferred with the reserved
+//! `get_state` procedure; registration uses `add_troupe_member`, whose
+//! `set_troupe_id` round re-incarnates the whole troupe atomically with
+//! the membership change (§6.2).
+
+use circus::binding::{binding_procs, reserved_procs};
+use circus::{
+    Agent, CallError, CallHandle, CollationPolicy, ModuleAddr, NodeCtx, Troupe, TroupeId,
+};
+use wire::{from_bytes, to_bytes};
+
+use crate::api::AddTroupeMember;
+
+/// Progress of the join protocol.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum JoinState {
+    /// Waiting to be poked.
+    Idle,
+    /// Looking the troupe up by name at the binding agent.
+    Looking,
+    /// Fetching module state from an existing member.
+    FetchingState,
+    /// Registering with `add_troupe_member`.
+    Adding,
+    /// Joined (or failed).
+    Done,
+}
+
+/// An agent that joins its process's module to a named troupe.
+///
+/// Poke it once to start. Inspect [`JoinAgent::joined`] /
+/// [`JoinAgent::failed`] to observe the outcome.
+pub struct JoinAgent {
+    binder: Troupe,
+    name: String,
+    module: u16,
+    state: JoinState,
+    /// The troupe id after a successful join.
+    pub joined: Option<TroupeId>,
+    /// Failure description, if the join failed.
+    pub failed: Option<String>,
+}
+
+impl JoinAgent {
+    /// Creates a join agent for the local module `module`, joining the
+    /// troupe registered under `name` at `binder`.
+    pub fn new(binder: Troupe, name: impl Into<String>, module: u16) -> JoinAgent {
+        JoinAgent {
+            binder,
+            name: name.into(),
+            module,
+            state: JoinState::Idle,
+            joined: None,
+            failed: None,
+        }
+    }
+
+    /// `true` once the protocol has finished, either way.
+    pub fn finished(&self) -> bool {
+        self.state == JoinState::Done
+    }
+
+    fn fail(&mut self, why: String) {
+        self.failed = Some(why);
+        self.state = JoinState::Done;
+    }
+
+    fn start_add(&mut self, nc: &mut NodeCtx<'_, '_, '_>) {
+        self.state = JoinState::Adding;
+        let thread = nc.fresh_thread();
+        let req = AddTroupeMember {
+            name: self.name.clone(),
+            member: ModuleAddr::new(nc.me(), self.module),
+        };
+        let binder = self.binder.clone();
+        nc.call(
+            thread,
+            &binder,
+            circus::binding::BINDING_MODULE,
+            binding_procs::ADD_TROUPE_MEMBER,
+            to_bytes(&req),
+            CollationPolicy::Majority,
+        );
+    }
+}
+
+impl Agent for JoinAgent {
+    fn on_poke(&mut self, nc: &mut NodeCtx<'_, '_, '_>, _tag: u64) {
+        if self.state != JoinState::Idle {
+            return;
+        }
+        self.state = JoinState::Looking;
+        let thread = nc.fresh_thread();
+        let binder = self.binder.clone();
+        nc.call(
+            thread,
+            &binder,
+            circus::binding::BINDING_MODULE,
+            binding_procs::LOOKUP_TROUPE_BY_NAME,
+            to_bytes(&self.name),
+            CollationPolicy::Majority,
+        );
+    }
+
+    fn on_call_done(
+        &mut self,
+        nc: &mut NodeCtx<'_, '_, '_>,
+        _handle: CallHandle,
+        result: Result<Vec<u8>, CallError>,
+    ) {
+        match self.state {
+            JoinState::Looking => {
+                let existing = match result {
+                    Ok(bytes) => match from_bytes::<Option<Troupe>>(&bytes) {
+                        Ok(t) => t,
+                        Err(e) => return self.fail(format!("garbled lookup reply: {e}")),
+                    },
+                    Err(e) => return self.fail(format!("lookup failed: {e}")),
+                };
+                match existing {
+                    Some(troupe) if !troupe.members.is_empty() => {
+                        // Fetch state from the existing members. "An
+                        // unreplicated call to any of the existing troupe
+                        // members would suffice" (§6.4.1): first-come.
+                        self.state = JoinState::FetchingState;
+                        let thread = nc.fresh_thread();
+                        nc.call(
+                            thread,
+                            &troupe,
+                            self.module,
+                            reserved_procs::GET_STATE,
+                            Vec::new(),
+                            CollationPolicy::FirstCome,
+                        );
+                    }
+                    _ => {
+                        // Founding member: nothing to copy.
+                        self.start_add(nc);
+                    }
+                }
+            }
+            JoinState::FetchingState => match result {
+                Ok(state) => {
+                    nc.node.set_service_state(self.module, &state);
+                    self.start_add(nc);
+                }
+                Err(e) => self.fail(format!("get_state failed: {e}")),
+            },
+            JoinState::Adding => match result {
+                Ok(bytes) => match from_bytes::<TroupeId>(&bytes) {
+                    Ok(id) => {
+                        self.joined = Some(id);
+                        self.state = JoinState::Done;
+                    }
+                    Err(e) => self.fail(format!("garbled add reply: {e}")),
+                },
+                Err(e) => self.fail(format!("add_troupe_member failed: {e}")),
+            },
+            JoinState::Idle | JoinState::Done => {}
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! # simnet: the simulated testbed
+//!
+//! A deterministic discrete-event simulator standing in for the testbed of
+//! Cooper's *Replicated Distributed Programs* (Berkeley, 1985): six
+//! VAX-11/750s running 4.2BSD on a 10 Mbit/s Ethernet.
+//!
+//! The simulator provides:
+//!
+//! - **hosts** with serial CPUs and a calibrated syscall cost model
+//!   ([`cpu::SyscallCosts::vax_4_2bsd`] reproduces Table 4.2), so protocol
+//!   CPU time accumulates exactly as `getrusage` measured it in §4.4.1;
+//! - **processes** ([`Process`]) addressed by host + port (§4.2.1),
+//!   reacting to datagram arrivals and timers, as the user-mode Circus
+//!   implementation reacted to SIGIO and interval-timer signals;
+//! - a **datagram network** with loss, duplication, delay jitter, MTU,
+//!   partitions, and true multicast (§2.2's assumptions);
+//! - **fault injection**: fail-stop process and host crashes (§3.5.1) and
+//!   network partitions (§4.3.5);
+//! - a seeded [`rng::SimRng`] so every run is exactly reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use simnet::{HostId, Process, SockAddr, World, Ctx};
+//!
+//! struct Echo;
+//! impl Process for Echo {
+//!     fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: SockAddr, data: Vec<u8>) {
+//!         ctx.send(from, data);
+//!     }
+//! }
+//!
+//! struct Client { replies: usize }
+//! impl Process for Client {
+//!     fn on_poke(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
+//!         ctx.send(SockAddr::new(HostId(1), 7), b"ping".to_vec());
+//!     }
+//!     fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _from: SockAddr, _data: Vec<u8>) {
+//!         self.replies += 1;
+//!     }
+//! }
+//!
+//! let mut world = World::new(1);
+//! let server = SockAddr::new(HostId(1), 7);
+//! let client = SockAddr::new(HostId(0), 100);
+//! world.spawn(server, Box::new(Echo));
+//! world.spawn(client, Box::new(Client { replies: 0 }));
+//! world.poke(client, 0);
+//! world.run_for(simnet::Duration::from_secs(1));
+//! assert_eq!(world.with_proc(client, |c: &Client| c.replies), Some(1));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod net;
+pub mod process;
+pub mod rng;
+pub mod time;
+pub mod world;
+
+pub use cpu::{CpuAccount, Syscall, SyscallCosts, ALL_SYSCALLS};
+pub use net::{NetConfig, NetStats, Partition};
+pub use process::{HostId, Process, SockAddr, TimerId};
+pub use rng::SimRng;
+pub use time::{Duration, Time};
+pub use world::{Ctx, World};

@@ -1,0 +1,227 @@
+//! Simulated time.
+//!
+//! The simulator measures time in microseconds from the start of the run.
+//! Microsecond resolution comfortably resolves the paper's cost model
+//! (syscall costs are fractions of milliseconds, Table 4.2) while `u64`
+//! arithmetic keeps event ordering exact.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant in simulated time, in microseconds since the start of the run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+/// A span of simulated time, in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl Time {
+    /// The start of the simulation.
+    pub const ZERO: Time = Time(0);
+
+    /// Builds a `Time` from whole microseconds.
+    pub const fn from_micros(us: u64) -> Time {
+        Time(us)
+    }
+
+    /// Builds a `Time` from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Time {
+        Time(ms * 1000)
+    }
+
+    /// Builds a `Time` from whole seconds.
+    pub const fn from_secs(s: u64) -> Time {
+        Time(s * 1_000_000)
+    }
+
+    /// Returns the instant as microseconds since the start of the run.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the instant as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Returns the instant as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Duration elapsed since `earlier`, saturating at zero.
+    pub fn since(self, earlier: Time) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Duration {
+    /// The empty duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Builds a `Duration` from whole microseconds.
+    pub const fn from_micros(us: u64) -> Duration {
+        Duration(us)
+    }
+
+    /// Builds a `Duration` from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Duration {
+        Duration(ms * 1000)
+    }
+
+    /// Builds a `Duration` from whole seconds.
+    pub const fn from_secs(s: u64) -> Duration {
+        Duration(s * 1_000_000)
+    }
+
+    /// Builds a `Duration` from fractional milliseconds, rounding to the
+    /// nearest microsecond.
+    pub fn from_millis_f64(ms: f64) -> Duration {
+        Duration((ms * 1000.0).round().max(0.0) as u64)
+    }
+
+    /// Builds a `Duration` from fractional seconds, rounding to the nearest
+    /// microsecond.
+    pub fn from_secs_f64(s: f64) -> Duration {
+        Duration((s * 1_000_000.0).round().max(0.0) as u64)
+    }
+
+    /// Returns the span as whole microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the span as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Returns the span as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Returns `true` if the span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplies the span by an integer factor, saturating on overflow.
+    pub const fn saturating_mul(self, factor: u64) -> Duration {
+        Duration(self.0.saturating_mul(factor))
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    fn add(self, rhs: Duration) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    fn sub(self, rhs: Time) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<Duration> for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<Duration> for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<Duration> for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        assert_eq!(Time::from_millis(3).as_micros(), 3000);
+        assert_eq!(Time::from_secs(2).as_micros(), 2_000_000);
+        assert_eq!(Duration::from_millis(5).as_micros(), 5000);
+        assert_eq!(Duration::from_millis_f64(8.1).as_micros(), 8100);
+        assert_eq!(Duration::from_secs_f64(0.5).as_micros(), 500_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::from_millis(10) + Duration::from_millis(5);
+        assert_eq!(t, Time::from_millis(15));
+        assert_eq!(t - Time::from_millis(10), Duration::from_millis(5));
+        // Subtraction saturates rather than wrapping.
+        assert_eq!(Time::ZERO - Time::from_millis(1), Duration::ZERO);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = Time::from_millis(2);
+        let b = Time::from_millis(7);
+        assert_eq!(b.since(a), Duration::from_millis(5));
+        assert_eq!(a.since(b), Duration::ZERO);
+    }
+
+    #[test]
+    fn display_in_millis() {
+        assert_eq!(format!("{}", Time::from_micros(26_500)), "26.500ms");
+        assert_eq!(format!("{}", Duration::from_micros(8_100)), "8.100ms");
+    }
+
+    #[test]
+    fn saturating_mul() {
+        assert_eq!(
+            Duration::from_millis(2).saturating_mul(3),
+            Duration::from_millis(6)
+        );
+        assert_eq!(
+            Duration::from_micros(u64::MAX).saturating_mul(2),
+            Duration::from_micros(u64::MAX)
+        );
+    }
+}

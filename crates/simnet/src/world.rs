@@ -1,0 +1,610 @@
+//! The simulated world: event queue, hosts, processes, and the `Ctx`
+//! handle through which processes act.
+//!
+//! The world is a deterministic discrete-event simulator. All events live
+//! in one queue ordered by `(time, insertion sequence)`; all randomness
+//! comes from one seeded [`SimRng`]. Each host has a serial CPU: handling
+//! an event begins no earlier than the host's `busy_until`, and every
+//! syscall charge advances it — so CPU costs serialize exactly as they did
+//! on the paper's uniprocessor VAXen.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashSet};
+
+use crate::cpu::{CpuAccount, Syscall, SyscallCosts};
+use crate::net::{NetConfig, NetStats, Partition};
+use crate::process::{HostId, Process, SockAddr, TimerId};
+use crate::rng::SimRng;
+use crate::time::{Duration, Time};
+
+/// An event waiting in the queue.
+struct QueuedEvent {
+    at: Time,
+    seq: u64,
+    kind: EventKind,
+}
+
+enum EventKind {
+    Datagram {
+        from: SockAddr,
+        to: SockAddr,
+        data: Vec<u8>,
+    },
+    Timer {
+        owner: SockAddr,
+        id: TimerId,
+        tag: u64,
+        epoch: u64,
+    },
+    Start {
+        at: SockAddr,
+        epoch: u64,
+    },
+    Poke {
+        at: SockAddr,
+        tag: u64,
+    },
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct HostState {
+    down: bool,
+    busy_until: Time,
+}
+
+/// Deferred world mutations requested by a running process.
+enum Pending {
+    Spawn(SockAddr, Box<dyn Process>),
+    Kill(SockAddr),
+    CrashHost(HostId),
+    RestartHost(HostId),
+}
+
+/// Everything a process handler may touch while running.
+///
+/// Obtained only inside [`Process`] handlers; all effects (sends, timers,
+/// spawns) are routed through it so the simulation stays deterministic.
+pub struct Ctx<'a> {
+    core: &'a mut Core,
+    me: SockAddr,
+    vnow: Time,
+    delta: CpuAccount,
+}
+
+/// The shared, process-independent part of the world.
+struct Core {
+    now: Time,
+    seq: u64,
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    rng: SimRng,
+    net: NetConfig,
+    costs: SyscallCosts,
+    partition: Partition,
+    stats: NetStats,
+    hosts: BTreeMap<HostId, HostState>,
+    next_timer: u64,
+    cancelled: HashSet<TimerId>,
+    pending: Vec<Pending>,
+    /// Epoch of the process whose handler is currently running; set by the
+    /// dispatcher so timers armed by the handler carry the owner's epoch
+    /// (stale timers for replaced processes are dropped at fire time).
+    epoch_hint: u64,
+}
+
+impl Core {
+    fn push(&mut self, at: Time, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent { at, seq, kind }));
+    }
+
+    fn host_up(&self, h: HostId) -> bool {
+        self.hosts.get(&h).map(|s| !s.down).unwrap_or(true)
+    }
+
+    fn busy_until(&self, h: HostId) -> Time {
+        self.hosts.get(&h).map(|s| s.busy_until).unwrap_or(Time::ZERO)
+    }
+
+    fn set_busy_until(&mut self, h: HostId, t: Time) {
+        self.hosts.entry(h).or_default().busy_until = t;
+    }
+
+    /// Schedules the delivery (with loss/duplication/jitter) of one
+    /// datagram departing `from` at time `depart`.
+    fn transmit(&mut self, from: SockAddr, to: SockAddr, data: Vec<u8>, depart: Time) {
+        self.stats.sent += 1;
+        if data.len() > self.net.mtu {
+            self.stats.oversize += 1;
+            return;
+        }
+        if self.rng.chance(self.net.loss) {
+            self.stats.lost += 1;
+            return;
+        }
+        let copies = if self.rng.chance(self.net.duplicate) {
+            self.stats.duplicated += 1;
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            let jitter = self.rng.exponential(self.net.jitter_mean);
+            let at = depart + self.net.latency_for(data.len()) + jitter;
+            self.push(
+                at,
+                EventKind::Datagram {
+                    from,
+                    to,
+                    data: data.clone(),
+                },
+            );
+        }
+    }
+}
+
+impl<'a> Ctx<'a> {
+    /// The current (virtual) time, including CPU charges accrued while
+    /// handling this event.
+    pub fn now(&self) -> Time {
+        self.vnow
+    }
+
+    /// The address of the running process.
+    pub fn me(&self) -> SockAddr {
+        self.me
+    }
+
+    /// Charges one operation at the configured cost, advancing virtual
+    /// time and the CPU account.
+    pub fn charge(&mut self, sys: Syscall) {
+        let d = self.core.costs.cost(sys);
+        self.charge_dur(sys, d);
+    }
+
+    /// Charges an operation with an explicit duration.
+    pub fn charge_dur(&mut self, sys: Syscall, d: Duration) {
+        self.delta.record(sys, d);
+        self.vnow += d;
+    }
+
+    /// Sends a datagram, charging one `sendmsg`.
+    pub fn send(&mut self, to: SockAddr, data: Vec<u8>) {
+        self.send_as(Syscall::SendMsg, to, data);
+    }
+
+    /// Sends a datagram, charging the given syscall (e.g. `write` for the
+    /// stream-socket comparison rig).
+    pub fn send_as(&mut self, sys: Syscall, to: SockAddr, data: Vec<u8>) {
+        self.charge(sys);
+        self.core.transmit(self.me, to, data, self.vnow);
+    }
+
+    /// Sends the same datagram to every destination with a *single*
+    /// `sendmsg` charge, modelling Ethernet multicast (§4.3.3: "a
+    /// multicast implementation requires only m+n messages").
+    pub fn multicast(&mut self, tos: &[SockAddr], data: Vec<u8>) {
+        self.charge(Syscall::SendMsg);
+        self.core.stats.multicasts += 1;
+        for &to in tos {
+            self.core.transmit(self.me, to, data.clone(), self.vnow);
+        }
+    }
+
+    /// Arms a timer to fire after `delay`; `tag` is returned to
+    /// [`Process::on_timer`]. Timer bookkeeping itself is free; protocol
+    /// code models its timer syscalls explicitly (`charge(SetITimer)`).
+    pub fn set_timer(&mut self, delay: Duration, tag: u64) -> TimerId {
+        let id = TimerId(self.core.next_timer);
+        self.core.next_timer += 1;
+        let epoch = self.core.epoch_hint;
+        self.core.push(
+            self.vnow + delay,
+            EventKind::Timer {
+                owner: self.me,
+                id,
+                tag,
+                epoch,
+            },
+        );
+        id
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired timer is a
+    /// harmless no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.core.cancelled.insert(id);
+    }
+
+    /// Access to the world's random number generator.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.core.rng
+    }
+
+    /// Requests that a new process be spawned at `addr` once this handler
+    /// returns. If a process already exists there it is replaced (this is
+    /// how a crashed troupe member's machine is reused).
+    pub fn spawn(&mut self, addr: SockAddr, proc: Box<dyn Process>) {
+        self.core.pending.push(Pending::Spawn(addr, proc));
+    }
+
+    /// Requests that the process at `addr` be destroyed once this handler
+    /// returns.
+    pub fn kill(&mut self, addr: SockAddr) {
+        self.core.pending.push(Pending::Kill(addr));
+    }
+
+    /// Requests a whole-host crash (all its processes die; fail-stop).
+    pub fn crash_host(&mut self, h: HostId) {
+        self.core.pending.push(Pending::CrashHost(h));
+    }
+
+    /// Requests that a crashed host come back up (empty of processes).
+    pub fn restart_host(&mut self, h: HostId) {
+        self.core.pending.push(Pending::RestartHost(h));
+    }
+}
+
+impl Core {
+    fn new(seed: u64, net: NetConfig, costs: SyscallCosts) -> Core {
+        Core {
+            now: Time::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            rng: SimRng::new(seed),
+            net,
+            costs,
+            partition: Partition::none(),
+            stats: NetStats::default(),
+            hosts: BTreeMap::new(),
+            next_timer: 0,
+            cancelled: HashSet::new(),
+            pending: Vec::new(),
+            epoch_hint: 0,
+        }
+    }
+}
+
+struct Slot {
+    proc: Option<Box<dyn Process>>,
+    cpu: CpuAccount,
+    epoch: u64,
+}
+
+/// The simulated distributed system.
+pub struct World {
+    core: Core,
+    procs: BTreeMap<SockAddr, Slot>,
+    epoch_counter: u64,
+}
+
+impl World {
+    /// Creates a world with the 1985 LAN network model and the VAX/4.2BSD
+    /// syscall cost table.
+    pub fn new(seed: u64) -> World {
+        World::with_config(seed, NetConfig::default(), SyscallCosts::default())
+    }
+
+    /// Creates a world with explicit network and cost models.
+    pub fn with_config(seed: u64, net: NetConfig, costs: SyscallCosts) -> World {
+        World {
+            core: Core::new(seed, net, costs),
+            procs: BTreeMap::new(),
+            epoch_counter: 1,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.core.now
+    }
+
+    /// Replaces the network model (takes effect for subsequent sends).
+    pub fn set_net(&mut self, net: NetConfig) {
+        self.core.net = net;
+    }
+
+    /// Replaces the syscall cost table.
+    pub fn set_costs(&mut self, costs: SyscallCosts) {
+        self.core.costs = costs;
+    }
+
+    /// Imposes (or lifts, with `Partition::none()`) a network partition.
+    pub fn set_partition(&mut self, p: Partition) {
+        self.core.partition = p;
+    }
+
+    /// Network statistics so far.
+    pub fn net_stats(&self) -> &NetStats {
+        &self.core.stats
+    }
+
+    /// Spawns a process at `addr`, replacing any existing one. Its
+    /// `on_start` runs at the current time.
+    pub fn spawn(&mut self, addr: SockAddr, proc: Box<dyn Process>) {
+        let epoch = self.epoch_counter;
+        self.epoch_counter += 1;
+        self.procs.insert(
+            addr,
+            Slot {
+                proc: Some(proc),
+                cpu: CpuAccount::new(),
+                epoch,
+            },
+        );
+        self.core.push(self.core.now, EventKind::Start { at: addr, epoch });
+    }
+
+    /// Destroys the process at `addr` (its timers die with it).
+    pub fn kill(&mut self, addr: SockAddr) {
+        self.procs.remove(&addr);
+    }
+
+    /// Returns `true` if a process exists at `addr` and its host is up.
+    pub fn is_alive(&self, addr: SockAddr) -> bool {
+        self.procs.contains_key(&addr) && self.core.host_up(addr.host)
+    }
+
+    /// Crashes a host: the host goes down and every process on it is
+    /// destroyed (fail-stop; volatile state is lost, §3.5.1).
+    pub fn crash_host(&mut self, h: HostId) {
+        self.core.hosts.entry(h).or_default().down = true;
+        let dead: Vec<SockAddr> = self
+            .procs
+            .keys()
+            .filter(|a| a.host == h)
+            .copied()
+            .collect();
+        for a in dead {
+            self.procs.remove(&a);
+        }
+    }
+
+    /// Brings a crashed host back up, empty of processes.
+    pub fn restart_host(&mut self, h: HostId) {
+        self.core.hosts.entry(h).or_default().down = false;
+    }
+
+    /// Returns `true` if the host is up.
+    pub fn host_up(&self, h: HostId) -> bool {
+        self.core.host_up(h)
+    }
+
+    /// Schedules a `Poke` for `addr` at the current time: the process's
+    /// `on_poke` handler runs with a `Ctx`, letting external test/example
+    /// code initiate activity.
+    pub fn poke(&mut self, addr: SockAddr, tag: u64) {
+        self.core.push(self.core.now, EventKind::Poke { at: addr, tag });
+    }
+
+    /// The CPU account of the process at `addr` (zeroed account if none).
+    pub fn cpu(&self, addr: SockAddr) -> CpuAccount {
+        self.procs
+            .get(&addr)
+            .map(|s| s.cpu.clone())
+            .unwrap_or_default()
+    }
+
+    /// Resets the CPU account of the process at `addr`.
+    pub fn reset_cpu(&mut self, addr: SockAddr) {
+        if let Some(s) = self.procs.get_mut(&addr) {
+            s.cpu.reset();
+        }
+    }
+
+    /// Runs `f` against the process at `addr` downcast to `P`.
+    ///
+    /// Returns `None` if there is no process there or it has a different
+    /// concrete type.
+    pub fn with_proc<P: Process, R>(&self, addr: SockAddr, f: impl FnOnce(&P) -> R) -> Option<R> {
+        let slot = self.procs.get(&addr)?;
+        let p = slot.proc.as_deref()?;
+        let any: &dyn Any = p;
+        any.downcast_ref::<P>().map(f)
+    }
+
+    /// Mutable variant of [`World::with_proc`]. The closure gets plain
+    /// `&mut P` — to make the process *act*, use [`World::poke`].
+    pub fn with_proc_mut<P: Process, R>(
+        &mut self,
+        addr: SockAddr,
+        f: impl FnOnce(&mut P) -> R,
+    ) -> Option<R> {
+        let slot = self.procs.get_mut(&addr)?;
+        let p = slot.proc.as_deref_mut()?;
+        let any: &mut dyn Any = p;
+        any.downcast_mut::<P>().map(f)
+    }
+
+    /// Returns `true` if no events remain.
+    pub fn idle(&self) -> bool {
+        self.core.queue.is_empty()
+    }
+
+    /// Processes the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Reverse(ev) = match self.core.queue.pop() {
+            Some(e) => e,
+            None => return false,
+        };
+        self.core.now = ev.at;
+        match ev.kind {
+            EventKind::Datagram { from, to, data } => self.deliver(from, to, data),
+            EventKind::Timer {
+                owner,
+                id,
+                tag,
+                epoch,
+            } => {
+                if self.core.cancelled.remove(&id) {
+                    return true;
+                }
+                self.dispatch(owner, Some(epoch), |p, ctx| p.on_timer(ctx, id, tag), None);
+            }
+            EventKind::Start { at, epoch } => {
+                self.dispatch(at, Some(epoch), |p, ctx| p.on_start(ctx), None);
+            }
+            EventKind::Poke { at, tag } => {
+                self.dispatch(at, None, |p, ctx| p.on_poke(ctx, tag), None);
+            }
+        }
+        true
+    }
+
+    fn deliver(&mut self, from: SockAddr, to: SockAddr, data: Vec<u8>) {
+        if !self.core.host_up(to.host) || !self.procs.contains_key(&to) {
+            self.core.stats.undeliverable += 1;
+            return;
+        }
+        if !self.core.partition.connected(from.host, to.host) {
+            self.core.stats.partitioned += 1;
+            return;
+        }
+        self.core.stats.delivered += 1;
+        self.dispatch(
+            to,
+            None,
+            move |p, ctx| p.on_datagram(ctx, from, data),
+            Some(()),
+        );
+    }
+
+    /// Runs one handler for the process at `addr`, with CPU serialization
+    /// on its host. `epoch` (if given) must match the slot's epoch (stale
+    /// timers for replaced processes are dropped). `auto_recv` charges the
+    /// process's receive syscall before the handler runs.
+    fn dispatch<F>(&mut self, addr: SockAddr, epoch: Option<u64>, f: F, auto_recv: Option<()>)
+    where
+        F: FnOnce(&mut dyn Process, &mut Ctx<'_>),
+    {
+        if !self.core.host_up(addr.host) {
+            return;
+        }
+        let (mut proc, slot_epoch) = match self.procs.get_mut(&addr) {
+            Some(slot) => {
+                if let Some(e) = epoch {
+                    if e != slot.epoch {
+                        return;
+                    }
+                }
+                match slot.proc.take() {
+                    Some(p) => (p, slot.epoch),
+                    None => return,
+                }
+            }
+            None => return,
+        };
+        let start = std::cmp::max(self.core.now, self.core.busy_until(addr.host));
+        self.core.epoch_hint = slot_epoch;
+        let mut ctx = Ctx {
+            core: &mut self.core,
+            me: addr,
+            vnow: start,
+            delta: CpuAccount::new(),
+        };
+        if auto_recv.is_some() {
+            if let Some(sys) = proc.recv_syscall() {
+                ctx.charge(sys);
+            }
+        }
+        f(proc.as_mut(), &mut ctx);
+        let end = ctx.vnow;
+        let delta = std::mem::take(&mut ctx.delta);
+        let _ = ctx;
+        self.core.set_busy_until(addr.host, end);
+        if let Some(slot) = self.procs.get_mut(&addr) {
+            if slot.epoch == slot_epoch {
+                slot.proc = Some(proc);
+                slot.cpu.merge(&delta);
+            }
+        }
+        self.apply_pending();
+    }
+
+    fn apply_pending(&mut self) {
+        let pending = std::mem::take(&mut self.core.pending);
+        for p in pending {
+            match p {
+                Pending::Spawn(addr, proc) => self.spawn(addr, proc),
+                Pending::Kill(addr) => self.kill(addr),
+                Pending::CrashHost(h) => self.crash_host(h),
+                Pending::RestartHost(h) => self.restart_host(h),
+            }
+        }
+    }
+
+    /// Runs until the queue is empty or the next event is after `t`.
+    pub fn run_until(&mut self, t: Time) {
+        while let Some(Reverse(ev)) = self.core.queue.peek() {
+            if ev.at > t {
+                break;
+            }
+            self.step();
+        }
+        if self.core.now < t {
+            self.core.now = t;
+        }
+    }
+
+    /// Runs for `d` of simulated time from now.
+    pub fn run_for(&mut self, d: Duration) {
+        let t = self.core.now + d;
+        self.run_until(t);
+    }
+
+    /// Runs until `pred` holds (checked after every event) or `deadline`
+    /// passes. Returns `true` if the predicate became true.
+    pub fn run_until_pred(
+        &mut self,
+        deadline: Time,
+        mut pred: impl FnMut(&World) -> bool,
+    ) -> bool {
+        if pred(self) {
+            return true;
+        }
+        while let Some(Reverse(ev)) = self.core.queue.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            self.step();
+            if pred(self) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Drains every remaining event (use only when the system quiesces,
+    /// i.e. no periodic timers are armed).
+    pub fn run_to_completion(&mut self) {
+        while self.step() {}
+    }
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("now", &self.core.now)
+            .field("procs", &self.procs.keys().collect::<Vec<_>>())
+            .field("queued", &self.core.queue.len())
+            .finish()
+    }
+}

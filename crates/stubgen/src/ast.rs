@@ -1,0 +1,128 @@
+//! Abstract syntax of the interface language.
+//!
+//! A program (Figure 7.2) declares types, errors, and procedures. The
+//! predefined types are "Booleans, 16-bit and 32-bit signed and unsigned
+//! integers, and character strings"; the constructed types are
+//! "enumerations, arrays, records, variable-length sequences, and
+//! discriminated unions" (§7.1.1).
+
+/// A type expression.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Type {
+    /// Reference to a declared type.
+    Named(String),
+    /// BOOLEAN.
+    Boolean,
+    /// CARDINAL (16-bit unsigned).
+    Cardinal,
+    /// LONG CARDINAL (32-bit unsigned).
+    LongCardinal,
+    /// INTEGER (16-bit signed).
+    Integer,
+    /// LONG INTEGER (32-bit signed).
+    LongInteger,
+    /// STRING.
+    String_,
+    /// UNSPECIFIED (an uninterpreted 16-bit word).
+    Unspecified,
+    /// SEQUENCE OF T (variable length).
+    Sequence(Box<Type>),
+    /// ARRAY n OF T (fixed length).
+    Array(u64, Box<Type>),
+    /// RECORD [f1: T1, …].
+    Record(Vec<Field>),
+    /// Enumeration { name(value), … }.
+    Enumeration(Vec<(String, u16)>),
+    /// CHOICE OF { name(value) => T, … } (discriminated union).
+    Choice(Vec<(String, u16, Type)>),
+}
+
+/// A named record field or procedure parameter/result.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Field {
+    /// Courier-side name.
+    pub name: String,
+    /// Its type.
+    pub ty: Type,
+}
+
+/// A procedure declaration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Procedure {
+    /// Courier-side name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Field>,
+    /// Results (Courier procedures may return several, §7.1.1).
+    pub returns: Vec<Field>,
+    /// Names of errors this procedure may report.
+    pub reports: Vec<String>,
+    /// The procedure number ("the index of the procedure within the
+    /// module interface", §4.3).
+    pub number: u16,
+}
+
+/// A top-level declaration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Decl {
+    /// `Name: TYPE = T;`
+    Type {
+        /// The declared name.
+        name: String,
+        /// Its definition.
+        ty: Type,
+    },
+    /// `Name: ERROR = n;`
+    Error {
+        /// The error's name.
+        name: String,
+        /// Its number.
+        code: u16,
+    },
+    /// `Name: PROCEDURE [...] RETURNS [...] REPORTS [...] = n;`
+    Procedure(Procedure),
+}
+
+/// A whole interface program.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Program {
+    /// The program name (becomes the Rust module name).
+    pub name: String,
+    /// The Courier program number.
+    pub number: u32,
+    /// The version.
+    pub version: u16,
+    /// Declarations in source order.
+    pub decls: Vec<Decl>,
+}
+
+impl Program {
+    /// All procedure declarations.
+    pub fn procedures(&self) -> impl Iterator<Item = &Procedure> {
+        self.decls.iter().filter_map(|d| match d {
+            Decl::Procedure(p) => Some(p),
+            _ => None,
+        })
+    }
+
+    /// All error declarations as (name, code).
+    pub fn errors(&self) -> impl Iterator<Item = (&str, u16)> {
+        self.decls.iter().filter_map(|d| match d {
+            Decl::Error { name, code } => Some((name.as_str(), *code)),
+            _ => None,
+        })
+    }
+
+    /// All type declarations as (name, type).
+    pub fn types(&self) -> impl Iterator<Item = (&str, &Type)> {
+        self.decls.iter().filter_map(|d| match d {
+            Decl::Type { name, ty } => Some((name.as_str(), ty)),
+            _ => None,
+        })
+    }
+
+    /// Looks up a declared type by name.
+    pub fn type_named(&self, name: &str) -> Option<&Type> {
+        self.types().find(|(n, _)| *n == name).map(|(_, t)| t)
+    }
+}

@@ -1,0 +1,386 @@
+//! Semantic checks before code generation.
+//!
+//! Mirrors the paper's stub compilers: references must resolve, numbers
+//! must be unique, and recursive types are rejected ("a marking algorithm
+//! is used to detect recursive types, which are not handled
+//! automatically", §7.1.4).
+
+use crate::ast::{Decl, Program, Type};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A semantic error in an interface program.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CheckError {
+    /// A named type is not declared.
+    UnknownType(String),
+    /// A REPORTS clause names an undeclared error.
+    UnknownError {
+        /// The procedure.
+        procedure: String,
+        /// The missing error name.
+        error: String,
+    },
+    /// Two declarations share a name.
+    DuplicateName(String),
+    /// Two procedures share a number.
+    DuplicateProcedureNumber(u16),
+    /// Two errors share a code.
+    DuplicateErrorCode(u16),
+    /// A procedure number collides with the runtime-reserved range.
+    ReservedProcedureNumber(u16),
+    /// A type definition refers to itself (directly or indirectly).
+    RecursiveType(String),
+    /// Enumeration or choice designators repeat within one type.
+    DuplicateDesignator(String),
+    /// A record/enumeration/choice appears nested inside another type
+    /// expression; constructors must be declared at top level so the
+    /// generated Rust type has a name.
+    NestedConstructor(String),
+    /// Two names map to the same Rust identifier after case conversion
+    /// (e.g. procedures `Read` and `read` both becoming `read`).
+    MangledNameCollision(String),
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::UnknownType(n) => write!(f, "unknown type {n:?}"),
+            CheckError::UnknownError { procedure, error } => {
+                write!(f, "procedure {procedure:?} reports undeclared error {error:?}")
+            }
+            CheckError::DuplicateName(n) => write!(f, "duplicate declaration {n:?}"),
+            CheckError::DuplicateProcedureNumber(n) => {
+                write!(f, "duplicate procedure number {n}")
+            }
+            CheckError::DuplicateErrorCode(n) => write!(f, "duplicate error code {n}"),
+            CheckError::ReservedProcedureNumber(n) => write!(
+                f,
+                "procedure number {n} collides with the runtime-reserved range (>= 0xFF00)"
+            ),
+            CheckError::RecursiveType(n) => write!(f, "recursive type {n:?} not supported"),
+            CheckError::DuplicateDesignator(n) => {
+                write!(f, "duplicate enumeration/choice designator in {n:?}")
+            }
+            CheckError::NestedConstructor(n) => write!(
+                f,
+                "constructor type nested inside {n:?}; declare it as a named TYPE"
+            ),
+            CheckError::MangledNameCollision(n) => write!(
+                f,
+                "names collide as the Rust identifier {n:?} after case conversion"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Checks a type in a context where constructors may not appear
+/// directly (inside sequences/arrays/fields/parameters).
+fn check_nested(p: &Program, owner: &str, ty: &Type, errs: &mut Vec<CheckError>) {
+    match ty {
+        Type::Record(_) | Type::Enumeration(_) | Type::Choice(_) => {
+            errs.push(CheckError::NestedConstructor(owner.to_string()));
+        }
+        _ => check_type(p, owner, ty, errs),
+    }
+}
+
+fn check_type(p: &Program, owner: &str, ty: &Type, errs: &mut Vec<CheckError>) {
+    match ty {
+        Type::Named(n) if p.type_named(n).is_none() => {
+            errs.push(CheckError::UnknownType(n.clone()));
+        }
+        Type::Named(_) => {}
+        Type::Sequence(inner) => check_nested(p, owner, inner, errs),
+        Type::Array(_, inner) => check_nested(p, owner, inner, errs),
+        Type::Record(fields) => {
+            for f in fields {
+                check_nested(p, owner, &f.ty, errs);
+            }
+        }
+        Type::Enumeration(items) => {
+            let mut seen = BTreeSet::new();
+            for (_, v) in items {
+                if !seen.insert(*v) {
+                    errs.push(CheckError::DuplicateDesignator(owner.to_string()));
+                }
+            }
+        }
+        Type::Choice(arms) => {
+            let mut seen = BTreeSet::new();
+            for (_, v, t) in arms {
+                if !seen.insert(*v) {
+                    errs.push(CheckError::DuplicateDesignator(owner.to_string()));
+                }
+                check_nested(p, owner, t, errs);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Depth-first reachability: does `ty` reach the type named `target`?
+fn reaches(p: &Program, ty: &Type, target: &str, visiting: &mut BTreeSet<String>) -> bool {
+    match ty {
+        Type::Named(n) if n == target => true,
+        Type::Named(n) => {
+            if !visiting.insert(n.clone()) {
+                return false; // Already being visited on this path.
+            }
+            let hit = p
+                .type_named(n)
+                .map(|t| reaches(p, t, target, visiting))
+                .unwrap_or(false);
+            visiting.remove(n);
+            hit
+        }
+        Type::Sequence(inner) | Type::Array(_, inner) => reaches(p, inner, target, visiting),
+        Type::Record(fields) => fields.iter().any(|f| reaches(p, &f.ty, target, visiting)),
+        Type::Choice(arms) => arms.iter().any(|(_, _, t)| reaches(p, t, target, visiting)),
+        _ => false,
+    }
+}
+
+/// Validates a parsed program.
+pub fn check(p: &Program) -> Result<(), Vec<CheckError>> {
+    let mut errs = Vec::new();
+
+    // Unique declaration names.
+    let mut names = BTreeSet::new();
+    for d in &p.decls {
+        let name = match d {
+            Decl::Type { name, .. } | Decl::Error { name, .. } => name,
+            Decl::Procedure(proc) => &proc.name,
+        };
+        if !names.insert(name.clone()) {
+            errs.push(CheckError::DuplicateName(name.clone()));
+        }
+    }
+
+    // Unique numbers; reserved-range collision.
+    let mut proc_numbers = BTreeSet::new();
+    let mut error_codes = BTreeSet::new();
+    for d in &p.decls {
+        match d {
+            Decl::Procedure(proc) => {
+                if !proc_numbers.insert(proc.number) {
+                    errs.push(CheckError::DuplicateProcedureNumber(proc.number));
+                }
+                if proc.number >= 0xFF00 {
+                    errs.push(CheckError::ReservedProcedureNumber(proc.number));
+                }
+            }
+            Decl::Error { code, .. } if !error_codes.insert(*code) => {
+                errs.push(CheckError::DuplicateErrorCode(*code));
+            }
+            _ => {}
+        }
+    }
+
+    // Resolve references, within types and procedures.
+    let declared_errors: BTreeSet<&str> = p.errors().map(|(n, _)| n).collect();
+    for (name, ty) in p.types() {
+        check_type(p, name, ty, &mut errs);
+    }
+    for proc in p.procedures() {
+        for f in proc.params.iter().chain(&proc.returns) {
+            check_nested(p, &proc.name, &f.ty, &mut errs);
+        }
+        for e in &proc.reports {
+            if !declared_errors.contains(e.as_str()) {
+                errs.push(CheckError::UnknownError {
+                    procedure: proc.name.clone(),
+                    error: e.clone(),
+                });
+            }
+        }
+    }
+
+    // Generated identifiers must stay distinct after case conversion.
+    let mut proc_idents = BTreeSet::new();
+    for proc in p.procedures() {
+        let ident = crate::codegen::snake(&proc.name);
+        if !proc_idents.insert(ident.clone()) {
+            errs.push(CheckError::MangledNameCollision(ident));
+        }
+        // Parameters and results live in separate scopes, but within
+        // each a collision breaks the generated signature.
+        let mut param_idents = BTreeSet::new();
+        for f in &proc.params {
+            let ident = crate::codegen::snake(&f.name);
+            if !param_idents.insert(ident.clone()) {
+                errs.push(CheckError::MangledNameCollision(ident));
+            }
+        }
+    }
+    for (name, ty) in p.types() {
+        match ty {
+            Type::Record(fields) => {
+                let mut idents = BTreeSet::new();
+                for f in fields {
+                    let ident = crate::codegen::snake(&f.name);
+                    if !idents.insert(ident.clone()) {
+                        errs.push(CheckError::MangledNameCollision(ident));
+                    }
+                }
+            }
+            Type::Enumeration(items) => {
+                let mut idents = BTreeSet::new();
+                for (item, _) in items {
+                    let ident = crate::codegen::camel(item);
+                    if !idents.insert(ident.clone()) {
+                        errs.push(CheckError::MangledNameCollision(ident));
+                    }
+                }
+            }
+            Type::Choice(arms) => {
+                let mut idents = BTreeSet::new();
+                for (arm, _, _) in arms {
+                    let ident = crate::codegen::camel(arm);
+                    if !idents.insert(ident.clone()) {
+                        errs.push(CheckError::MangledNameCollision(ident));
+                    }
+                }
+            }
+            _ => {}
+        }
+        let _ = name; // Type names keep their case; no mangling to collide.
+    }
+
+    // Recursion detection (the marking algorithm of §7.1.4).
+    for (name, ty) in p.types() {
+        let mut visiting = BTreeSet::new();
+        if reaches(p, ty, name, &mut visiting) {
+            errs.push(CheckError::RecursiveType(name.to_string()));
+        }
+    }
+
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<(), Vec<CheckError>> {
+        check(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let src = r#"
+P: PROGRAM 1 VERSION 1 =
+BEGIN
+  T: TYPE = SEQUENCE OF CARDINAL;
+  E: ERROR = 0;
+  F: PROCEDURE [x: T] RETURNS [y: T] REPORTS [E] = 0;
+END.
+"#;
+        assert!(check_src(src).is_ok());
+    }
+
+    #[test]
+    fn unknown_type_caught() {
+        let src = "P: PROGRAM 1 VERSION 1 =\nBEGIN\n F: PROCEDURE [x: Missing] = 0;\nEND.";
+        assert_eq!(
+            check_src(src),
+            Err(vec![CheckError::UnknownType("Missing".into())])
+        );
+    }
+
+    #[test]
+    fn unknown_error_caught() {
+        let src = "P: PROGRAM 1 VERSION 1 =\nBEGIN\n F: PROCEDURE REPORTS [Nope] = 0;\nEND.";
+        assert!(matches!(
+            check_src(src).unwrap_err()[0],
+            CheckError::UnknownError { .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_numbers_caught() {
+        let src = "P: PROGRAM 1 VERSION 1 =\nBEGIN\n A: PROCEDURE = 0;\n B: PROCEDURE = 0;\nEND.";
+        assert_eq!(
+            check_src(src),
+            Err(vec![CheckError::DuplicateProcedureNumber(0)])
+        );
+    }
+
+    #[test]
+    fn reserved_numbers_caught() {
+        let src = "P: PROGRAM 1 VERSION 1 =\nBEGIN\n A: PROCEDURE = 65280;\nEND.";
+        assert_eq!(
+            check_src(src),
+            Err(vec![CheckError::ReservedProcedureNumber(0xFF00)])
+        );
+    }
+
+    #[test]
+    fn direct_recursion_caught() {
+        let src = "P: PROGRAM 1 VERSION 1 =\nBEGIN\n T: TYPE = SEQUENCE OF T;\nEND.";
+        assert_eq!(check_src(src), Err(vec![CheckError::RecursiveType("T".into())]));
+    }
+
+    #[test]
+    fn mutual_recursion_caught() {
+        let src = r#"
+P: PROGRAM 1 VERSION 1 =
+BEGIN
+  A: TYPE = RECORD [b: B];
+  B: TYPE = SEQUENCE OF A;
+END.
+"#;
+        let errs = check_src(src).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, CheckError::RecursiveType(_))));
+    }
+
+    #[test]
+    fn duplicate_designators_caught() {
+        let src = "P: PROGRAM 1 VERSION 1 =\nBEGIN\n C: TYPE = { a(0), b(0) };\nEND.";
+        assert_eq!(
+            check_src(src),
+            Err(vec![CheckError::DuplicateDesignator("C".into())])
+        );
+    }
+
+    #[test]
+    fn mangled_name_collision_caught() {
+        let src =
+            "P: PROGRAM 1 VERSION 1 =\nBEGIN\n ReadPage: PROCEDURE = 0;\n readPage: PROCEDURE = 1;\nEND.";
+        assert_eq!(
+            check_src(src),
+            Err(vec![CheckError::MangledNameCollision("read_page".into())])
+        );
+    }
+
+    #[test]
+    fn colliding_record_fields_caught() {
+        let src = "P: PROGRAM 1 VERSION 1 =\nBEGIN\n R: TYPE = RECORD [aB: CARDINAL, a_b: CARDINAL];\nEND.";
+        assert_eq!(
+            check_src(src),
+            Err(vec![CheckError::MangledNameCollision("a_b".into())])
+        );
+    }
+
+    #[test]
+    fn nested_constructor_caught() {
+        let src = "P: PROGRAM 1 VERSION 1 =\nBEGIN\n T: TYPE = SEQUENCE OF RECORD [a: CARDINAL];\nEND.";
+        assert_eq!(
+            check_src(src),
+            Err(vec![CheckError::NestedConstructor("T".into())])
+        );
+    }
+
+    #[test]
+    fn duplicate_names_caught() {
+        let src = "P: PROGRAM 1 VERSION 1 =\nBEGIN\n A: ERROR = 0;\n A: ERROR = 1;\nEND.";
+        assert_eq!(check_src(src), Err(vec![CheckError::DuplicateName("A".into())]));
+    }
+}

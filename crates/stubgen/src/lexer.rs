@@ -1,0 +1,240 @@
+//! Lexer for the Courier-style interface language (Figure 7.2).
+
+use std::fmt;
+
+/// Tokens of the interface language.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Token {
+    /// An identifier.
+    Ident(String),
+    /// An unsigned integer literal.
+    Num(u64),
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `=`
+    Eq,
+    /// `,`
+    Comma,
+    /// `[`
+    LBrack,
+    /// `]`
+    RBrack,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `=>`
+    Arrow,
+    /// `.` (end of program)
+    Dot,
+}
+
+/// Keywords are case-sensitive uppercase, per Courier convention; they
+/// lex as `Ident` and the parser matches on spelling.
+pub const KEYWORDS: &[&str] = &[
+    "PROGRAM",
+    "VERSION",
+    "BEGIN",
+    "END",
+    "TYPE",
+    "ERROR",
+    "PROCEDURE",
+    "RETURNS",
+    "REPORTS",
+    "RECORD",
+    "CHOICE",
+    "OF",
+    "ARRAY",
+    "SEQUENCE",
+    "BOOLEAN",
+    "CARDINAL",
+    "LONG",
+    "INTEGER",
+    "STRING",
+    "UNSPECIFIED",
+];
+
+/// A lexical error with line number.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LexError {
+    /// 1-based line of the offending character.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes interface source. Comments run from `--` to end of line
+/// (as in the paper's examples).
+pub fn lex(src: &str) -> Result<Vec<(Token, usize)>, LexError> {
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            ':' => {
+                out.push((Token::Colon, line));
+                i += 1;
+            }
+            ';' => {
+                out.push((Token::Semi, line));
+                i += 1;
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    out.push((Token::Arrow, line));
+                    i += 2;
+                } else {
+                    out.push((Token::Eq, line));
+                    i += 1;
+                }
+            }
+            ',' => {
+                out.push((Token::Comma, line));
+                i += 1;
+            }
+            '[' => {
+                out.push((Token::LBrack, line));
+                i += 1;
+            }
+            ']' => {
+                out.push((Token::RBrack, line));
+                i += 1;
+            }
+            '{' => {
+                out.push((Token::LBrace, line));
+                i += 1;
+            }
+            '}' => {
+                out.push((Token::RBrace, line));
+                i += 1;
+            }
+            '(' => {
+                out.push((Token::LParen, line));
+                i += 1;
+            }
+            ')' => {
+                out.push((Token::RParen, line));
+                i += 1;
+            }
+            '.' => {
+                out.push((Token::Dot, line));
+                i += 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let n = text.parse().map_err(|_| LexError {
+                    line,
+                    message: format!("bad number {text:?}"),
+                })?;
+                out.push((Token::Num(n), line));
+            }
+            c if c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push((Token::Ident(src[start..i].to_string()), line));
+            }
+            other => {
+                return Err(LexError {
+                    line,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn figure_7_2_header() {
+        assert_eq!(
+            toks("NameServer: PROGRAM 26 VERSION 1 ="),
+            vec![
+                Token::Ident("NameServer".into()),
+                Token::Colon,
+                Token::Ident("PROGRAM".into()),
+                Token::Num(26),
+                Token::Ident("VERSION".into()),
+                Token::Num(1),
+                Token::Eq,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("-- Types.\nName: TYPE = STRING;"),
+            vec![
+                Token::Ident("Name".into()),
+                Token::Colon,
+                Token::Ident("TYPE".into()),
+                Token::Eq,
+                Token::Ident("STRING".into()),
+                Token::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn arrow_and_eq_distinguished() {
+        assert_eq!(toks("= =>"), vec![Token::Eq, Token::Arrow]);
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let lexed = lex("a\nb\nc").unwrap();
+        let lines: Vec<usize> = lexed.iter().map(|(_, l)| *l).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn bad_character_reported() {
+        let err = lex("a\n$").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

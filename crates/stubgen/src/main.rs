@@ -1,0 +1,70 @@
+//! The `stubgen` command-line stub compiler.
+//!
+//! ```text
+//! stubgen [--explicit-replication] INPUT.courier [-o OUTPUT.rs]
+//! ```
+//!
+//! Without `-o`, the generated Rust is written to standard output.
+
+use std::process::ExitCode;
+use stubgen::{compile, Options};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: stubgen [--explicit-replication] INPUT.courier [-o OUTPUT.rs]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Options::default();
+    let mut input: Option<String> = None;
+    let mut output: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--explicit-replication" => opts.explicit_replication = true,
+            "-o" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => output = Some(path.clone()),
+                    None => return usage(),
+                }
+            }
+            "-h" | "--help" => return usage(),
+            arg if !arg.starts_with('-') && input.is_none() => input = Some(arg.to_string()),
+            _ => return usage(),
+        }
+        i += 1;
+    }
+    let Some(input) = input else {
+        return usage();
+    };
+    let src = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("stubgen: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match compile(&src, opts) {
+        Ok(rust) => match output {
+            Some(path) => {
+                if let Err(e) = std::fs::write(&path, rust) {
+                    eprintln!("stubgen: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                ExitCode::SUCCESS
+            }
+            None => {
+                use std::io::Write;
+                // Exit quietly if the reader closed the pipe.
+                let _ = write!(std::io::stdout(), "{rust}");
+                ExitCode::SUCCESS
+            }
+        },
+        Err(e) => {
+            eprintln!("stubgen: {input}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,452 @@
+//! Parser for the interface language.
+//!
+//! ```text
+//! program   := ident ':' PROGRAM num VERSION num '=' BEGIN decl* END '.'
+//! decl      := ident ':' TYPE '=' type ';'
+//!            | ident ':' ERROR '=' num ';'
+//!            | ident ':' PROCEDURE fields? (RETURNS fields)?
+//!              (REPORTS '[' ident {',' ident} ']')? '=' num ';'
+//! fields    := '[' ident ':' type {',' ident ':' type} ']'
+//! type      := BOOLEAN | CARDINAL | LONG CARDINAL | INTEGER
+//!            | LONG INTEGER | STRING | UNSPECIFIED | ident
+//!            | SEQUENCE OF type | ARRAY num OF type
+//!            | RECORD fields | '{' enum-items '}'
+//!            | CHOICE OF '{' choice-items '}'
+//! ```
+
+use crate::ast::{Decl, Field, Procedure, Program, Type};
+use crate::lexer::{lex, LexError, Token};
+use std::fmt;
+
+/// A parse error with line information where available.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ParseError {
+    /// Tokenization failed.
+    Lex(LexError),
+    /// Unexpected token.
+    Unexpected {
+        /// Line of the offending token (0 = end of input).
+        line: usize,
+        /// What was found.
+        found: String,
+        /// What was expected.
+        expected: String,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Unexpected {
+                line,
+                found,
+                expected,
+            } => write!(f, "line {line}: found {found}, expected {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError::Lex(e)
+    }
+}
+
+struct Parser {
+    toks: Vec<(Token, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|(_, l)| *l)
+            .unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.peek().cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, expected: &str) -> Result<T, ParseError> {
+        Err(ParseError::Unexpected {
+            line: self.line(),
+            found: match self.peek() {
+                Some(t) => format!("{t:?}"),
+                None => "end of input".into(),
+            },
+            expected: expected.to_string(),
+        })
+    }
+
+    fn expect(&mut self, want: &Token, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(want) {
+            self.next();
+            Ok(())
+        } else {
+            self.err(what)
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Token::Ident(s)) if s == kw => {
+                self.next();
+                Ok(())
+            }
+            _ => self.err(&format!("'{kw}'")),
+        }
+    }
+
+    fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s == kw)
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Token::Ident(s)) if !crate::lexer::KEYWORDS.contains(&s.as_str()) => {
+                let s = s.clone();
+                self.next();
+                Ok(s)
+            }
+            _ => self.err(what),
+        }
+    }
+
+    fn num(&mut self, what: &str) -> Result<u64, ParseError> {
+        match self.peek() {
+            Some(Token::Num(n)) => {
+                let n = *n;
+                self.next();
+                Ok(n)
+            }
+            _ => self.err(what),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let name = self.ident("program name")?;
+        self.expect(&Token::Colon, "':'")?;
+        self.keyword("PROGRAM")?;
+        let number = self.num("program number")? as u32;
+        self.keyword("VERSION")?;
+        let version = self.num("version number")? as u16;
+        self.expect(&Token::Eq, "'='")?;
+        self.keyword("BEGIN")?;
+        let mut decls = Vec::new();
+        while !self.is_keyword("END") {
+            decls.push(self.decl()?);
+        }
+        self.keyword("END")?;
+        self.expect(&Token::Dot, "'.'")?;
+        if self.peek().is_some() {
+            return self.err("end of file");
+        }
+        Ok(Program {
+            name,
+            number,
+            version,
+            decls,
+        })
+    }
+
+    fn decl(&mut self) -> Result<Decl, ParseError> {
+        let name = self.ident("declaration name")?;
+        self.expect(&Token::Colon, "':'")?;
+        if self.is_keyword("TYPE") {
+            self.next();
+            self.expect(&Token::Eq, "'='")?;
+            let ty = self.ty()?;
+            self.expect(&Token::Semi, "';'")?;
+            Ok(Decl::Type { name, ty })
+        } else if self.is_keyword("ERROR") {
+            self.next();
+            self.expect(&Token::Eq, "'='")?;
+            let code = self.num("error number")? as u16;
+            self.expect(&Token::Semi, "';'")?;
+            Ok(Decl::Error { name, code })
+        } else if self.is_keyword("PROCEDURE") {
+            self.next();
+            let params = if self.peek() == Some(&Token::LBrack) {
+                self.fields()?
+            } else {
+                Vec::new()
+            };
+            let returns = if self.is_keyword("RETURNS") {
+                self.next();
+                self.fields()?
+            } else {
+                Vec::new()
+            };
+            let reports = if self.is_keyword("REPORTS") {
+                self.next();
+                self.expect(&Token::LBrack, "'['")?;
+                let mut names = vec![self.ident("error name")?];
+                while self.peek() == Some(&Token::Comma) {
+                    self.next();
+                    names.push(self.ident("error name")?);
+                }
+                self.expect(&Token::RBrack, "']'")?;
+                names
+            } else {
+                Vec::new()
+            };
+            self.expect(&Token::Eq, "'='")?;
+            let number = self.num("procedure number")? as u16;
+            self.expect(&Token::Semi, "';'")?;
+            Ok(Decl::Procedure(Procedure {
+                name,
+                params,
+                returns,
+                reports,
+                number,
+            }))
+        } else {
+            self.err("TYPE, ERROR, or PROCEDURE")
+        }
+    }
+
+    fn fields(&mut self) -> Result<Vec<Field>, ParseError> {
+        self.expect(&Token::LBrack, "'['")?;
+        let mut fields = Vec::new();
+        loop {
+            let name = self.ident("field name")?;
+            self.expect(&Token::Colon, "':'")?;
+            let ty = self.ty()?;
+            fields.push(Field { name, ty });
+            match self.peek() {
+                Some(Token::Comma) => {
+                    self.next();
+                }
+                Some(Token::RBrack) => break,
+                _ => return self.err("',' or ']'"),
+            }
+        }
+        self.expect(&Token::RBrack, "']'")?;
+        Ok(fields)
+    }
+
+    fn ty(&mut self) -> Result<Type, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Ident(word)) => match word.as_str() {
+                "BOOLEAN" => {
+                    self.next();
+                    Ok(Type::Boolean)
+                }
+                "CARDINAL" => {
+                    self.next();
+                    Ok(Type::Cardinal)
+                }
+                "INTEGER" => {
+                    self.next();
+                    Ok(Type::Integer)
+                }
+                "STRING" => {
+                    self.next();
+                    Ok(Type::String_)
+                }
+                "UNSPECIFIED" => {
+                    self.next();
+                    Ok(Type::Unspecified)
+                }
+                "LONG" => {
+                    self.next();
+                    if self.is_keyword("CARDINAL") {
+                        self.next();
+                        Ok(Type::LongCardinal)
+                    } else if self.is_keyword("INTEGER") {
+                        self.next();
+                        Ok(Type::LongInteger)
+                    } else {
+                        self.err("CARDINAL or INTEGER after LONG")
+                    }
+                }
+                "SEQUENCE" => {
+                    self.next();
+                    self.keyword("OF")?;
+                    Ok(Type::Sequence(Box::new(self.ty()?)))
+                }
+                "ARRAY" => {
+                    self.next();
+                    let n = self.num("array length")?;
+                    self.keyword("OF")?;
+                    Ok(Type::Array(n, Box::new(self.ty()?)))
+                }
+                "RECORD" => {
+                    self.next();
+                    Ok(Type::Record(self.fields()?))
+                }
+                "CHOICE" => {
+                    self.next();
+                    self.keyword("OF")?;
+                    self.expect(&Token::LBrace, "'{'")?;
+                    let mut arms = Vec::new();
+                    loop {
+                        let name = self.ident("choice arm name")?;
+                        self.expect(&Token::LParen, "'('")?;
+                        let value = self.num("designator value")? as u16;
+                        self.expect(&Token::RParen, "')'")?;
+                        self.expect(&Token::Arrow, "'=>'")?;
+                        let ty = self.ty()?;
+                        arms.push((name, value, ty));
+                        match self.peek() {
+                            Some(Token::Comma) => {
+                                self.next();
+                            }
+                            Some(Token::RBrace) => break,
+                            _ => return self.err("',' or '}'"),
+                        }
+                    }
+                    self.expect(&Token::RBrace, "'}'")?;
+                    Ok(Type::Choice(arms))
+                }
+                _ => {
+                    self.next();
+                    Ok(Type::Named(word))
+                }
+            },
+            Some(Token::LBrace) => {
+                // Enumeration: { name(value), ... }.
+                self.next();
+                let mut items = Vec::new();
+                loop {
+                    let name = self.ident("enumeration item")?;
+                    self.expect(&Token::LParen, "'('")?;
+                    let value = self.num("enumeration value")? as u16;
+                    self.expect(&Token::RParen, "')'")?;
+                    items.push((name, value));
+                    match self.peek() {
+                        Some(Token::Comma) => {
+                            self.next();
+                        }
+                        Some(Token::RBrace) => break,
+                        _ => return self.err("',' or '}'"),
+                    }
+                }
+                self.expect(&Token::RBrace, "'}'")?;
+                Ok(Type::Enumeration(items))
+            }
+            _ => self.err("a type"),
+        }
+    }
+}
+
+/// Parses an interface program from source.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The NameServer interface of Figure 7.2 (errors carried by
+    /// procedures, multiple parameter kinds, sequences of records).
+    pub const FIGURE_7_2: &str = r#"
+NameServer: PROGRAM 26 VERSION 1 =
+BEGIN
+  -- Types.
+  Name: TYPE = STRING;
+  Property: TYPE = RECORD [name: Name, value: SEQUENCE OF UNSPECIFIED];
+  Properties: TYPE = SEQUENCE OF Property;
+  -- Errors.
+  AlreadyExists: ERROR = 0;
+  NotFound: ERROR = 1;
+  -- Procedures.
+  Register: PROCEDURE [name: Name, properties: Properties]
+    REPORTS [AlreadyExists] = 0;
+  Lookup: PROCEDURE [name: Name]
+    RETURNS [properties: Properties]
+    REPORTS [NotFound] = 1;
+  Delete: PROCEDURE [name: Name]
+    REPORTS [NotFound] = 2;
+END.
+"#;
+
+    #[test]
+    fn parses_figure_7_2() {
+        let p = parse(FIGURE_7_2).unwrap();
+        assert_eq!(p.name, "NameServer");
+        assert_eq!(p.number, 26);
+        assert_eq!(p.version, 1);
+        assert_eq!(p.decls.len(), 8);
+        assert_eq!(p.procedures().count(), 3);
+        assert_eq!(p.errors().count(), 2);
+        let lookup = p.procedures().find(|pr| pr.name == "Lookup").unwrap();
+        assert_eq!(lookup.number, 1);
+        assert_eq!(lookup.params.len(), 1);
+        assert_eq!(lookup.returns.len(), 1);
+        assert_eq!(lookup.reports, vec!["NotFound"]);
+    }
+
+    #[test]
+    fn parses_every_type_constructor() {
+        let src = r#"
+Zoo: PROGRAM 1 VERSION 1 =
+BEGIN
+  Flag: TYPE = BOOLEAN;
+  Small: TYPE = CARDINAL;
+  Big: TYPE = LONG CARDINAL;
+  SmallSigned: TYPE = INTEGER;
+  BigSigned: TYPE = LONG INTEGER;
+  Word: TYPE = UNSPECIFIED;
+  Text: TYPE = STRING;
+  Triple: TYPE = ARRAY 3 OF CARDINAL;
+  Many: TYPE = SEQUENCE OF Text;
+  Color: TYPE = { red(0), green(1), blue(2) };
+  Pair: TYPE = RECORD [a: CARDINAL, b: Text];
+  Shape: TYPE = CHOICE OF { circle(0) => CARDINAL, label(1) => Text };
+  Nop: PROCEDURE = 0;
+END.
+"#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.types().count(), 12);
+        assert!(matches!(p.type_named("Triple"), Some(Type::Array(3, _))));
+        assert!(matches!(
+            p.type_named("Color"),
+            Some(Type::Enumeration(items)) if items.len() == 3
+        ));
+        assert!(matches!(
+            p.type_named("Shape"),
+            Some(Type::Choice(arms)) if arms.len() == 2
+        ));
+        let nop = p.procedures().next().unwrap();
+        assert!(nop.params.is_empty() && nop.returns.is_empty() && nop.reports.is_empty());
+    }
+
+    #[test]
+    fn errors_report_lines() {
+        let src = "Zoo: PROGRAM 1 VERSION 1 =\nBEGIN\n  Bad: TYPE = ;\nEND.";
+        match parse(src) {
+            Err(ParseError::Unexpected { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let src = "Zoo: PROGRAM 1 VERSION 1 =\nBEGIN\nEND. extra";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn keywords_not_valid_names() {
+        let src = "Zoo: PROGRAM 1 VERSION 1 =\nBEGIN\n  RECORD: TYPE = STRING;\nEND.";
+        assert!(parse(src).is_err());
+    }
+}

@@ -1,0 +1,265 @@
+//! Figure 7.5 end-to-end: explicit binding lets one client hold two
+//! bindings to the *same interface* simultaneously and perform a
+//! third-party file transfer ("while not end_of_file(binding1, file) do
+//! write(binding2, file, read(binding1, file))").
+
+#[allow(dead_code, clippy::all)]
+mod file_system {
+    include!("generated/file_system.rs");
+}
+
+use circus::{
+    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig,
+    NodeCtx, ServiceCtx, Troupe, TroupeId,
+};
+use file_system::{client, FileSystemDispatcher, FileSystemError, FileSystemHandler};
+use simnet::{Duration, HostId, SockAddr, World};
+use std::collections::BTreeMap;
+
+const MODULE: u16 = 1;
+const PAGE_WORDS: usize = 8;
+
+/// An in-memory file server implementing the generated handler.
+#[derive(Default)]
+struct Fs {
+    files: BTreeMap<String, Vec<Vec<u16>>>,
+}
+
+impl FileSystemHandler for Fs {
+    fn read(
+        &mut self,
+        _ctx: &ServiceCtx,
+        file: String,
+        page: u32,
+    ) -> Result<Vec<u16>, FileSystemError> {
+        let pages = self.files.get(&file).ok_or(FileSystemError::NoSuchFile)?;
+        pages
+            .get(page as usize)
+            .cloned()
+            .ok_or(FileSystemError::EndOfFile)
+    }
+
+    fn write(
+        &mut self,
+        _ctx: &ServiceCtx,
+        file: String,
+        page: u32,
+        data: Vec<u16>,
+    ) -> Result<(), FileSystemError> {
+        let pages = self.files.entry(file).or_default();
+        while pages.len() <= page as usize {
+            pages.push(Vec::new());
+        }
+        pages[page as usize] = data;
+        Ok(())
+    }
+
+    fn end_of_file_q(
+        &mut self,
+        _ctx: &ServiceCtx,
+        file: String,
+        page: u32,
+    ) -> Result<bool, FileSystemError> {
+        let pages = self.files.get(&file).ok_or(FileSystemError::NoSuchFile)?;
+        Ok(page as usize >= pages.len())
+    }
+}
+
+/// The Figure 7.5 client: two explicit bindings, copying `file` from
+/// server 1 to server 2 page by page.
+struct TransferClient {
+    /// binding1 in the paper's terms.
+    source: Troupe,
+    /// binding2.
+    dest: Troupe,
+    file: String,
+    page: u32,
+    state: u8, // 0 = checking eof, 1 = reading, 2 = writing.
+    pub copied_pages: u32,
+    pub done: bool,
+}
+
+impl TransferClient {
+    fn check_eof(&mut self, nc: &mut NodeCtx<'_, '_, '_>) {
+        self.state = 0;
+        let (proc, args) = client::end_of_file_q_request(&self.file, &self.page);
+        let t = nc.fresh_thread();
+        let troupe = self.source.clone();
+        nc.call(t, &troupe, MODULE, proc, args, CollationPolicy::Unanimous);
+    }
+}
+
+impl Agent for TransferClient {
+    fn on_poke(&mut self, nc: &mut NodeCtx<'_, '_, '_>, _tag: u64) {
+        self.check_eof(nc);
+    }
+
+    fn on_call_done(
+        &mut self,
+        nc: &mut NodeCtx<'_, '_, '_>,
+        _h: CallHandle,
+        result: Result<Vec<u8>, CallError>,
+    ) {
+        match self.state {
+            0 => match client::end_of_file_q_result(result) {
+                Ok(true) => self.done = true,
+                Ok(false) => {
+                    self.state = 1;
+                    let (proc, args) = client::read_request(&self.file, &self.page);
+                    let t = nc.fresh_thread();
+                    let troupe = self.source.clone();
+                    nc.call(t, &troupe, MODULE, proc, args, CollationPolicy::Unanimous);
+                }
+                Err(e) => panic!("eof check failed: {e:?}"),
+            },
+            1 => {
+                let data = client::read_result(result).expect("read page");
+                self.state = 2;
+                let (proc, args) = client::write_request(&self.file, &self.page, &data);
+                let t = nc.fresh_thread();
+                let troupe = self.dest.clone();
+                nc.call(t, &troupe, MODULE, proc, args, CollationPolicy::Unanimous);
+            }
+            _ => {
+                client::write_result(result).expect("write page");
+                self.copied_pages += 1;
+                self.page += 1;
+                self.check_eof(nc);
+            }
+        }
+    }
+}
+
+fn spawn_fs(w: &mut World, host: u32, id: u64) -> Troupe {
+    let a = SockAddr::new(HostId(host), 70);
+    let p = CircusProcess::new(a, NodeConfig::default())
+        .with_service(MODULE, Box::new(FileSystemDispatcher(Fs::default())))
+        .with_troupe_id(TroupeId(id));
+    w.spawn(a, Box::new(p));
+    Troupe::new(TroupeId(id), vec![ModuleAddr::new(a, MODULE)])
+}
+
+#[test]
+fn third_party_file_transfer_with_two_bindings() {
+    let mut w = World::new(75);
+    let source = spawn_fs(&mut w, 1, 10);
+    let dest = spawn_fs(&mut w, 2, 11);
+
+    // Seed the source file: 5 pages of distinct content.
+    let pages: Vec<Vec<u16>> = (0..5u16)
+        .map(|p| (0..PAGE_WORDS as u16).map(|i| p * 100 + i).collect())
+        .collect();
+    w.with_proc_mut(source.members[0].addr, |proc: &mut CircusProcess| {
+        let fs = proc
+            .node_mut()
+            .service_as_mut::<FileSystemDispatcher<Fs>>(MODULE)
+            .unwrap();
+        fs.0.files.insert("report".into(), pages.clone());
+    })
+    .unwrap();
+
+    let client_addr = SockAddr::new(HostId(10), 50);
+    let p = CircusProcess::new(client_addr, NodeConfig::default()).with_agent(Box::new(
+        TransferClient {
+            source: source.clone(),
+            dest: dest.clone(),
+            file: "report".into(),
+            page: 0,
+            state: 0,
+            copied_pages: 0,
+            done: false,
+        },
+    ));
+    w.spawn(client_addr, Box::new(p));
+    w.poke(client_addr, 0);
+    w.run_for(Duration::from_secs(60));
+
+    let (done, copied) = w
+        .with_proc(client_addr, |p: &CircusProcess| {
+            let c = p.agent_as::<TransferClient>().unwrap();
+            (c.done, c.copied_pages)
+        })
+        .unwrap();
+    assert!(done, "transfer never finished");
+    assert_eq!(copied, 5);
+
+    // The destination holds an identical copy.
+    let dest_pages = w
+        .with_proc(dest.members[0].addr, |proc: &CircusProcess| {
+            proc.node()
+                .service_as::<FileSystemDispatcher<Fs>>(MODULE)
+                .unwrap()
+                .0
+                .files
+                .get("report")
+                .cloned()
+        })
+        .unwrap()
+        .expect("file exists at destination");
+    assert_eq!(dest_pages, pages);
+}
+
+#[test]
+fn filesystem_golden_is_current() {
+    let src = include_str!("../idl/file_system.courier");
+    let generated = stubgen::compile(
+        src,
+        stubgen::Options {
+            explicit_replication: true,
+        },
+    )
+    .expect("interface compiles");
+    assert_eq!(
+        generated,
+        include_str!("generated/file_system.rs"),
+        "regenerate with: cargo run -p stubgen -- --explicit-replication \
+         crates/stubgen/idl/file_system.courier -o crates/stubgen/tests/generated/file_system.rs"
+    );
+}
+
+#[test]
+fn typed_errors_cross_the_wire() {
+    let mut w = World::new(76);
+    let fs = spawn_fs(&mut w, 1, 10);
+
+    struct ErrClient {
+        fs: Troupe,
+        pub outcome: Option<Result<Vec<u16>, file_system::FileSystemFailure>>,
+    }
+    impl Agent for ErrClient {
+        fn on_poke(&mut self, nc: &mut NodeCtx<'_, '_, '_>, _tag: u64) {
+            let (proc, args) = client::read_request(&"ghost".to_string(), &0);
+            let t = nc.fresh_thread();
+            let fs = self.fs.clone();
+            nc.call(t, &fs, MODULE, proc, args, CollationPolicy::Unanimous);
+        }
+        fn on_call_done(
+            &mut self,
+            _nc: &mut NodeCtx<'_, '_, '_>,
+            _h: CallHandle,
+            result: Result<Vec<u8>, CallError>,
+        ) {
+            self.outcome = Some(client::read_result(result));
+        }
+    }
+    let a = SockAddr::new(HostId(10), 50);
+    let p = CircusProcess::new(a, NodeConfig::default()).with_agent(Box::new(ErrClient {
+        fs,
+        outcome: None,
+    }));
+    w.spawn(a, Box::new(p));
+    w.poke(a, 0);
+    w.run_for(Duration::from_secs(10));
+    let outcome = w
+        .with_proc(a, |p: &CircusProcess| {
+            p.agent_as::<ErrClient>().unwrap().outcome.clone()
+        })
+        .unwrap()
+        .expect("completed");
+    assert_eq!(
+        outcome,
+        Err(file_system::FileSystemFailure::Reported(
+            FileSystemError::NoSuchFile
+        ))
+    );
+}

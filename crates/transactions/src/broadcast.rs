@@ -1,0 +1,417 @@
+//! The ordered broadcast protocol (§5.4, Figure 5.1).
+//!
+//! A starvation-free alternative to the troupe commit protocol: "the
+//! ordered broadcast protocol guarantees that concurrent broadcasts are
+//! never interleaved: all recipients of broadcast messages accept them
+//! for application-level processing in the same order." It assumes
+//! synchronized clocks and is a simplification of Skeen's atomic
+//! broadcast — the replicated structure of troupes obviates sender crash
+//! recovery.
+//!
+//! Two phases, expressed as replicated procedure calls: the client calls
+//! `get_proposed_time(message)` at the troupe, takes the **maximum** of
+//! the proposals (a custom collator, §7.4), and calls
+//! `accept_time(message, max)`. A member processes a queued message only
+//! once it is accepted, its time has arrived, and no earlier-proposed
+//! message remains unaccepted.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use circus::{Collate, CollationPolicy, Decision, Service, ServiceCtx, Step, VoteSlot};
+use wire::{from_bytes, to_bytes, Bytes, Externalize, Internalize, Reader, WireError, Writer};
+
+/// Procedure number of `get_proposed_time`.
+pub const PROC_GET_PROPOSED_TIME: u16 = 0;
+/// Procedure number of `accept_time`.
+pub const PROC_ACCEPT_TIME: u16 = 1;
+
+/// Argument of `get_proposed_time`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Propose {
+    /// Client-unique message identifier (also the tie-breaker between
+    /// equal proposed times).
+    pub msg_id: u64,
+    /// The message payload.
+    pub payload: Vec<u8>,
+}
+
+impl Externalize for Propose {
+    fn externalize(&self, w: &mut Writer) {
+        w.put_u64(self.msg_id);
+        w.put_bytes(&self.payload);
+    }
+}
+
+impl Internalize for Propose {
+    fn internalize(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Propose {
+            msg_id: r.get_u64()?,
+            payload: r.get_bytes()?,
+        })
+    }
+}
+
+/// Argument of `accept_time`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Accept {
+    /// The message being accepted.
+    pub msg_id: u64,
+    /// The maximum proposed time, now its acceptance time.
+    pub accepted_time: u64,
+}
+
+impl Externalize for Accept {
+    fn externalize(&self, w: &mut Writer) {
+        w.put_u64(self.msg_id);
+        w.put_u64(self.accepted_time);
+    }
+}
+
+impl Internalize for Accept {
+    fn internalize(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Accept {
+            msg_id: r.get_u64()?,
+            accepted_time: r.get_u64()?,
+        })
+    }
+}
+
+/// What a member does with messages once they are accepted, in order.
+///
+/// This is the "deterministic local concurrency control algorithm"
+/// required by §5.4 — here, serial execution in acceptance order.
+pub trait OrderedApply: 'static {
+    /// Processes one message; the result is returned to the broadcaster
+    /// of `accept_time`.
+    fn apply(&mut self, payload: &[u8]) -> Vec<u8>;
+
+    /// Externalizes application state (for state transfer, §6.4.1).
+    fn snapshot(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores application state.
+    fn restore(&mut self, _state: &[u8]) {}
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum QStatus {
+    Proposed,
+    Accepted,
+}
+
+#[derive(Clone, Debug)]
+struct QEntry {
+    payload: Vec<u8>,
+    status: QStatus,
+}
+
+/// One troupe member's half of the ordered broadcast protocol, wrapping
+/// an application that consumes messages in the agreed order.
+pub struct OrderedBroadcastService<A: OrderedApply> {
+    app: A,
+    /// Message queue ordered by (time, msg_id) — the tie-break makes the
+    /// order total.
+    queue: BTreeMap<(u64, u64), QEntry>,
+    /// Where each known message currently sits in the queue.
+    position: BTreeMap<u64, (u64, u64)>,
+    /// The order in which messages were accepted for processing
+    /// (observable by tests: must be identical at every member).
+    pub applied_order: Vec<u64>,
+}
+
+impl<A: OrderedApply> OrderedBroadcastService<A> {
+    /// Wraps an application.
+    pub fn new(app: A) -> OrderedBroadcastService<A> {
+        OrderedBroadcastService {
+            app,
+            queue: BTreeMap::new(),
+            position: BTreeMap::new(),
+            applied_order: Vec::new(),
+        }
+    }
+
+    /// Read access to the application.
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// Processes the queue head while it is accepted and due (Figure
+    /// 5.1's loop). Returns the result of processing `for_msg` if that
+    /// message was among those applied.
+    fn drain(&mut self, now: u64, for_msg: u64) -> Option<Vec<u8>> {
+        let mut wanted = None;
+        while let Some((&(time, msg_id), entry)) = self.queue.iter().next() {
+            if entry.status == QStatus::Proposed || time > now {
+                break;
+            }
+            let payload = entry.payload.clone();
+            self.queue.remove(&(time, msg_id));
+            self.position.remove(&msg_id);
+            let result = self.app.apply(&payload);
+            self.applied_order.push(msg_id);
+            if msg_id == for_msg {
+                wanted = Some(result);
+            }
+        }
+        wanted
+    }
+}
+
+impl<A: OrderedApply> Service for OrderedBroadcastService<A> {
+    fn dispatch(&mut self, ctx: &mut ServiceCtx, proc: u16, args: &[u8]) -> Step {
+        match proc {
+            PROC_GET_PROPOSED_TIME => {
+                let Ok(p) = from_bytes::<Propose>(args) else {
+                    return Step::Error("bad get_proposed_time arguments".into());
+                };
+                // Propose the current (synchronized) clock reading.
+                let time = ctx.now.as_micros();
+                if let Some(old) = self.position.remove(&p.msg_id) {
+                    self.queue.remove(&old);
+                }
+                self.queue.insert(
+                    (time, p.msg_id),
+                    QEntry {
+                        payload: p.payload,
+                        status: QStatus::Proposed,
+                    },
+                );
+                self.position.insert(p.msg_id, (time, p.msg_id));
+                Step::Reply(to_bytes(&time))
+            }
+            PROC_ACCEPT_TIME => {
+                let Ok(a) = from_bytes::<Accept>(args) else {
+                    return Step::Error("bad accept_time arguments".into());
+                };
+                let Some(old) = self.position.remove(&a.msg_id) else {
+                    return Step::Error("accept_time for unknown message".into());
+                };
+                let entry = self.queue.remove(&old).expect("positioned entry exists");
+                self.queue.insert(
+                    (a.accepted_time, a.msg_id),
+                    QEntry {
+                        payload: entry.payload,
+                        status: QStatus::Accepted,
+                    },
+                );
+                self.position.insert(a.msg_id, (a.accepted_time, a.msg_id));
+                let result = self.drain(ctx.now.as_micros(), a.msg_id);
+                // The reply carries the application's result once the
+                // message has actually been processed; a message stalled
+                // behind an unaccepted earlier proposal replies empty
+                // and the client learns the result is pending. In the
+                // simulated system acceptance times are always in the
+                // past by the time accept_time arrives, so the only
+                // stall is a genuinely earlier concurrent broadcast.
+                Step::Reply(to_bytes(&Bytes(result.unwrap_or_default())))
+            }
+            _ => Step::Error(format!("ordered broadcast: unknown procedure {proc}")),
+        }
+    }
+
+    fn get_state(&self) -> Vec<u8> {
+        self.app.snapshot()
+    }
+
+    fn set_state(&mut self, state: &[u8]) {
+        self.app.restore(state);
+    }
+}
+
+/// Reply collator for `get_proposed_time`: wait for every live member,
+/// then yield the **maximum** proposal (Figure 5.1's client side).
+///
+/// As a *reply* collator it sees raw return-message votes and must emit
+/// one (`circus::unwrap_reply_vote`/`wrap_reply_vote`).
+pub struct MaxTime;
+
+impl Collate for MaxTime {
+    fn decide(&self, slots: &[VoteSlot]) -> Decision {
+        let mut max = 0u64;
+        let mut any = false;
+        for s in slots {
+            match s {
+                VoteSlot::Pending => return Decision::Wait,
+                VoteSlot::Dead => {}
+                VoteSlot::Vote(v) => {
+                    let t = circus::unwrap_reply_vote(v)
+                        .and_then(|p| from_bytes::<u64>(&p).ok());
+                    match t {
+                        Some(t) => {
+                            max = max.max(t);
+                            any = true;
+                        }
+                        None => {
+                            return Decision::Fail(circus::CollateError::Rejected(
+                                "garbled time proposal".into(),
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+        if any {
+            Decision::Ready(circus::wrap_reply_vote(to_bytes(&max)))
+        } else {
+            Decision::Fail(circus::CollateError::AllDead)
+        }
+    }
+}
+
+/// The collation policy for `get_proposed_time` calls.
+pub fn max_time_collation() -> CollationPolicy {
+    CollationPolicy::Custom(Rc::new(MaxTime))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn propose_accept_round_trip_wire() {
+        let p = Propose {
+            msg_id: 7,
+            payload: vec![1, 2],
+        };
+        assert_eq!(from_bytes::<Propose>(&to_bytes(&p)).unwrap(), p);
+        let a = Accept {
+            msg_id: 7,
+            accepted_time: 99,
+        };
+        assert_eq!(from_bytes::<Accept>(&to_bytes(&a)).unwrap(), a);
+    }
+
+    fn vote(t: u64) -> VoteSlot {
+        VoteSlot::Vote(circus::wrap_reply_vote(to_bytes(&t)))
+    }
+
+    #[test]
+    fn max_time_takes_maximum() {
+        let c = MaxTime;
+        let slots = vec![vote(10), vote(30), vote(20)];
+        assert_eq!(
+            c.decide(&slots),
+            Decision::Ready(circus::wrap_reply_vote(to_bytes(&30u64)))
+        );
+    }
+
+    #[test]
+    fn max_time_waits_for_all() {
+        let c = MaxTime;
+        let slots = vec![vote(10), VoteSlot::Pending];
+        assert_eq!(c.decide(&slots), Decision::Wait);
+    }
+
+    #[test]
+    fn max_time_skips_dead() {
+        let c = MaxTime;
+        let slots = vec![vote(10), VoteSlot::Dead];
+        assert_eq!(
+            c.decide(&slots),
+            Decision::Ready(circus::wrap_reply_vote(to_bytes(&10u64)))
+        );
+    }
+
+    /// A tiny deterministic app: appends message bytes to a log.
+    struct Log {
+        entries: Vec<Vec<u8>>,
+    }
+    impl OrderedApply for Log {
+        fn apply(&mut self, payload: &[u8]) -> Vec<u8> {
+            self.entries.push(payload.to_vec());
+            to_bytes(&(self.entries.len() as u32))
+        }
+    }
+
+    fn ctx(now_us: u64) -> ServiceCtx {
+        ServiceCtx {
+            thread: circus::ThreadId {
+                origin: simnet::SockAddr::new(simnet::HostId(0), 0),
+                serial: 0,
+            },
+            caller: circus::TroupeId(0),
+            invocation: 0,
+            now: simnet::Time::from_micros(now_us),
+            me: simnet::SockAddr::new(simnet::HostId(0), 0),
+            effects: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn queue_orders_by_accepted_time_with_tiebreak() {
+        let mut s = OrderedBroadcastService::new(Log { entries: Vec::new() });
+        // Two proposals, then acceptance in reverse arrival order.
+        let mut c = ctx(100);
+        s.dispatch(
+            &mut c,
+            PROC_GET_PROPOSED_TIME,
+            &to_bytes(&Propose {
+                msg_id: 1,
+                payload: b"first".to_vec(),
+            }),
+        );
+        let mut c = ctx(200);
+        s.dispatch(
+            &mut c,
+            PROC_GET_PROPOSED_TIME,
+            &to_bytes(&Propose {
+                msg_id: 2,
+                payload: b"second".to_vec(),
+            }),
+        );
+        // Accept msg 2 at time 250: it cannot run while msg 1 is still
+        // only proposed.
+        let mut c = ctx(300);
+        s.dispatch(
+            &mut c,
+            PROC_ACCEPT_TIME,
+            &to_bytes(&Accept {
+                msg_id: 2,
+                accepted_time: 250,
+            }),
+        );
+        assert!(s.applied_order.is_empty(), "msg 2 must wait behind msg 1");
+        // Accept msg 1 at time 240 (< 250): both drain, 1 before 2.
+        let mut c = ctx(400);
+        s.dispatch(
+            &mut c,
+            PROC_ACCEPT_TIME,
+            &to_bytes(&Accept {
+                msg_id: 1,
+                accepted_time: 240,
+            }),
+        );
+        assert_eq!(s.applied_order, vec![1, 2]);
+        assert_eq!(s.app().entries, vec![b"first".to_vec(), b"second".to_vec()]);
+    }
+
+    #[test]
+    fn equal_times_tie_broken_by_id() {
+        let mut s = OrderedBroadcastService::new(Log { entries: Vec::new() });
+        for id in [2u64, 1] {
+            let mut c = ctx(100);
+            s.dispatch(
+                &mut c,
+                PROC_GET_PROPOSED_TIME,
+                &to_bytes(&Propose {
+                    msg_id: id,
+                    payload: id.to_be_bytes().to_vec(),
+                }),
+            );
+        }
+        for id in [2u64, 1] {
+            let mut c = ctx(500);
+            s.dispatch(
+                &mut c,
+                PROC_ACCEPT_TIME,
+                &to_bytes(&Accept {
+                    msg_id: id,
+                    accepted_time: 300,
+                }),
+            );
+        }
+        assert_eq!(s.applied_order, vec![1, 2], "ties break by message id");
+    }
+}

@@ -1,0 +1,272 @@
+//! Client-side agents: transaction submission with retry/backoff, and
+//! the two-phase ordered broadcast driver (Figure 5.1, client side).
+
+use crate::backoff::Backoff;
+use crate::broadcast::{max_time_collation, Accept, Propose, PROC_ACCEPT_TIME, PROC_GET_PROPOSED_TIME};
+use crate::commit::{ExecuteRequest, TxnOutcome, PROC_EXECUTE};
+use crate::txn::Op;
+use circus::{Agent, CallError, CallHandle, CollationPolicy, NodeCtx, ThreadId, Troupe};
+use wire::{from_bytes, to_bytes, Bytes};
+
+const RETRY_TAG: u64 = 0x7472; // "tr"
+
+/// An agent that executes a scripted sequence of transactions against a
+/// transactional store troupe, retrying aborts with binary exponential
+/// backoff (§5.3.1). Poke it once to start; it runs the whole script.
+pub struct TxnClient {
+    /// The store troupe.
+    pub troupe: Troupe,
+    /// Module number of the store at the troupe.
+    pub module: u16,
+    script: Vec<Vec<Op>>,
+    next: usize,
+    nonce: u64,
+    thread: Option<ThreadId>,
+    backoff: Backoff,
+    /// Per-transaction committed results, in script order.
+    pub committed: Vec<Vec<i64>>,
+    /// Number of aborts observed (deadlock pressure, §5.3.1).
+    pub aborts: u32,
+    /// Unrecoverable errors.
+    pub errors: Vec<String>,
+    /// Retries remaining before giving up on one transaction.
+    retries_left: u32,
+}
+
+impl TxnClient {
+    /// Creates a client running `script` against `troupe`/`module`.
+    pub fn new(troupe: Troupe, module: u16, script: Vec<Vec<Op>>) -> TxnClient {
+        TxnClient {
+            troupe,
+            module,
+            script,
+            next: 0,
+            nonce: 0,
+            thread: None,
+            backoff: Backoff::default_1985(),
+            committed: Vec::new(),
+            aborts: 0,
+            errors: Vec::new(),
+            retries_left: 40,
+        }
+    }
+
+    /// `true` once the whole script has committed (or failed hard).
+    pub fn finished(&self) -> bool {
+        self.next >= self.script.len() || !self.errors.is_empty()
+    }
+
+    fn submit(&mut self, nc: &mut NodeCtx<'_, '_, '_>) {
+        if self.next >= self.script.len() {
+            return;
+        }
+        let ops = self.script[self.next].clone();
+        self.nonce += 1;
+        // Every submission (including a retry) is a NEW distributed
+        // thread: a retried transaction is a new transaction (§2.3.1).
+        let thread = nc.fresh_thread();
+        self.thread = Some(thread);
+        let troupe = self.troupe.clone();
+        nc.call(
+            thread,
+            &troupe,
+            self.module,
+            PROC_EXECUTE,
+            to_bytes(&ExecuteRequest {
+                nonce: self.nonce,
+                ops,
+            }),
+            CollationPolicy::Unanimous,
+        );
+    }
+}
+
+impl Agent for TxnClient {
+    fn on_poke(&mut self, nc: &mut NodeCtx<'_, '_, '_>, _tag: u64) {
+        self.submit(nc);
+    }
+
+    fn on_call_done(
+        &mut self,
+        nc: &mut NodeCtx<'_, '_, '_>,
+        _handle: CallHandle,
+        result: Result<Vec<u8>, CallError>,
+    ) {
+        let outcome = match result {
+            Ok(bytes) => from_bytes::<TxnOutcome>(&bytes),
+            Err(e) => {
+                // The whole replicated call failed (e.g. commit deadlock
+                // resolved by vote-assembly timeout can surface as a
+                // remote abort; member disagreement would be a bug).
+                self.aborts += 1;
+                if self.retries_left == 0 {
+                    self.errors.push(format!("call failed: {e}"));
+                    return;
+                }
+                self.retries_left -= 1;
+                let delay = self.backoff.next_delay(nc.sim().rng());
+                nc.set_app_timer(delay, RETRY_TAG);
+                return;
+            }
+        };
+        match outcome {
+            Ok(TxnOutcome::Committed(results)) => {
+                self.committed.push(results);
+                self.next += 1;
+                self.backoff.reset();
+                self.retries_left = 40;
+                self.submit(nc);
+            }
+            Ok(TxnOutcome::Aborted(_)) => {
+                self.aborts += 1;
+                if self.retries_left == 0 {
+                    self.errors.push("transaction starved".into());
+                    return;
+                }
+                self.retries_left -= 1;
+                let delay = self.backoff.next_delay(nc.sim().rng());
+                nc.set_app_timer(delay, RETRY_TAG);
+            }
+            Err(e) => self.errors.push(format!("garbled outcome: {e}")),
+        }
+    }
+
+    fn on_app_timer(&mut self, nc: &mut NodeCtx<'_, '_, '_>, tag: u64) {
+        if tag == RETRY_TAG {
+            self.submit(nc);
+        }
+    }
+}
+
+/// Phase of one broadcast in flight.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    Proposing,
+    Accepting,
+}
+
+/// An agent that performs ordered broadcasts (Figure 5.1's
+/// `atomic_broadcast`): `get_proposed_time` at the troupe, take the
+/// maximum, `accept_time`. Poke it once per queued message.
+pub struct Broadcaster {
+    /// The ordered-broadcast troupe.
+    pub troupe: Troupe,
+    /// Module number of the broadcast service.
+    pub module: u16,
+    /// Messages to broadcast, consumed front to back.
+    script: Vec<Vec<u8>>,
+    next: usize,
+    /// Globally unique message-id seed (callers give each broadcaster a
+    /// distinct one).
+    next_msg_id: u64,
+    phase: Option<(Phase, u64)>,
+    /// Application results of completed broadcasts.
+    pub results: Vec<Vec<u8>>,
+    /// Failures.
+    pub errors: Vec<String>,
+}
+
+impl Broadcaster {
+    /// Creates a broadcaster; `id_base` must be unique per broadcaster
+    /// (message ids are `id_base`, `id_base+1`, ...).
+    pub fn new(troupe: Troupe, module: u16, id_base: u64, script: Vec<Vec<u8>>) -> Broadcaster {
+        Broadcaster {
+            troupe,
+            module,
+            script,
+            next: 0,
+            next_msg_id: id_base,
+            phase: None,
+            results: Vec::new(),
+            errors: Vec::new(),
+        }
+    }
+
+    /// `true` once every scripted message has been broadcast.
+    pub fn finished(&self) -> bool {
+        self.next >= self.script.len() && self.phase.is_none()
+    }
+
+    fn propose_next(&mut self, nc: &mut NodeCtx<'_, '_, '_>) {
+        if self.next >= self.script.len() {
+            return;
+        }
+        let payload = self.script[self.next].clone();
+        self.next += 1;
+        let msg_id = self.next_msg_id;
+        self.next_msg_id += 1;
+        self.phase = Some((Phase::Proposing, msg_id));
+        let thread = nc.fresh_thread();
+        let troupe = self.troupe.clone();
+        nc.call(
+            thread,
+            &troupe,
+            self.module,
+            PROC_GET_PROPOSED_TIME,
+            to_bytes(&Propose { msg_id, payload }),
+            max_time_collation(),
+        );
+    }
+}
+
+impl Agent for Broadcaster {
+    fn on_poke(&mut self, nc: &mut NodeCtx<'_, '_, '_>, _tag: u64) {
+        if self.phase.is_none() {
+            self.propose_next(nc);
+        }
+    }
+
+    fn on_call_done(
+        &mut self,
+        nc: &mut NodeCtx<'_, '_, '_>,
+        _handle: CallHandle,
+        result: Result<Vec<u8>, CallError>,
+    ) {
+        let Some((phase, msg_id)) = self.phase else {
+            return;
+        };
+        let bytes = match result {
+            Ok(b) => b,
+            Err(e) => {
+                self.errors.push(format!("broadcast failed: {e}"));
+                self.phase = None;
+                return;
+            }
+        };
+        match phase {
+            Phase::Proposing => {
+                let Ok(max) = from_bytes::<u64>(&bytes) else {
+                    self.errors.push("garbled max proposal".into());
+                    self.phase = None;
+                    return;
+                };
+                self.phase = Some((Phase::Accepting, msg_id));
+                let thread = nc.fresh_thread();
+                let troupe = self.troupe.clone();
+                nc.call(
+                    thread,
+                    &troupe,
+                    self.module,
+                    PROC_ACCEPT_TIME,
+                    to_bytes(&Accept {
+                        msg_id,
+                        accepted_time: max,
+                    }),
+                    // Members may drain different amounts of queue at
+                    // accept time depending on concurrent broadcasts, so
+                    // the replies (the application result or empty) can
+                    // differ transiently; first-come suffices since the
+                    // *ordering* guarantee is what matters.
+                    CollationPolicy::FirstCome,
+                );
+            }
+            Phase::Accepting => {
+                if let Ok(Bytes(result)) = from_bytes::<Bytes>(&bytes) {
+                    self.results.push(result);
+                }
+                self.phase = None;
+                self.propose_next(nc);
+            }
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! The troupe commit protocol (§5.3).
+//!
+//! When a server troupe member is ready to commit or abort a transaction
+//! it calls `ready_to_commit(boolean)` *back at the client troupe* — "the
+//! roles of client and server are thus temporarily reversed". Each client
+//! troupe member answers true only if **every** server troupe member
+//! reported ready; the many-to-one machinery means a client's answer
+//! waits for all members' votes. Theorem 5.1 follows: two members commit
+//! two transactions only if they attempt them in the same order —
+//! divergent orders leave the vote assemblies incomplete, which surfaces
+//! as a deadlock, resolved here by the assembly timeout into an abort
+//! (deadlock detection, §2.3.1) and client retry with binary exponential
+//! backoff (§5.3.1).
+//!
+//! The protocol is *generic* (any local concurrency control) and
+//! *optimistic* (assumes conflicts are rare).
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::store::TxnId;
+use crate::txn::{ExecOutcome, LocalTm, Op};
+use circus::{
+    CallError, Collate, CollationPolicy, Decision, NodeEffect, OutCall, Service, ServiceCtx,
+    Step, TroupeTarget, VoteSlot,
+};
+use wire::{from_bytes, to_bytes, Externalize, Internalize, Reader, WireError, Writer};
+
+/// Procedure number of `execute_transaction` at the store troupe.
+pub const PROC_EXECUTE: u16 = 0;
+/// Procedure number of `read_committed` (no transaction machinery).
+pub const PROC_PEEK: u16 = 1;
+/// Procedure number of `ready_to_commit` at the client's commit module.
+pub const PROC_READY_TO_COMMIT: u16 = 0;
+
+/// A transaction submitted for execution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ExecuteRequest {
+    /// Client-chosen value distinguishing retries of the same logical
+    /// transaction (each retry is a new transaction).
+    pub nonce: u64,
+    /// The operations, executed as one atomic unit.
+    pub ops: Vec<Op>,
+}
+
+impl Externalize for ExecuteRequest {
+    fn externalize(&self, w: &mut Writer) {
+        w.put_u64(self.nonce);
+        self.ops.externalize(w);
+    }
+}
+
+impl Internalize for ExecuteRequest {
+    fn internalize(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ExecuteRequest {
+            nonce: r.get_u64()?,
+            ops: Vec::internalize(r)?,
+        })
+    }
+}
+
+/// The fate of a submitted transaction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TxnOutcome {
+    /// Committed at every member; per-operation results.
+    Committed(Vec<i64>),
+    /// Aborted (deadlock, vote failure, or conflict); retry with backoff.
+    Aborted(String),
+}
+
+impl Externalize for TxnOutcome {
+    fn externalize(&self, w: &mut Writer) {
+        match self {
+            TxnOutcome::Committed(vals) => {
+                w.put_designator(0);
+                vals.externalize(w);
+            }
+            TxnOutcome::Aborted(why) => {
+                w.put_designator(1);
+                w.put_string(why);
+            }
+        }
+    }
+}
+
+impl Internalize for TxnOutcome {
+    fn internalize(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_designator()? {
+            0 => Ok(TxnOutcome::Committed(Vec::internalize(r)?)),
+            1 => Ok(TxnOutcome::Aborted(r.get_string()?)),
+            d => Err(WireError::BadChoice(d)),
+        }
+    }
+}
+
+/// Per-invocation transaction bookkeeping at a store member.
+struct TxnRec {
+    txn: TxnId,
+    ops: Vec<Op>,
+    results: Option<Vec<i64>>,
+}
+
+/// The replicated transactional store service: one troupe member's
+/// module, combining the local transaction manager with the troupe
+/// commit protocol.
+pub struct TroupeStoreService {
+    tm: LocalTm,
+    /// Module number at the *caller* exporting `ready_to_commit`.
+    commit_module: u16,
+    next_txn: u64,
+    by_invocation: HashMap<u64, TxnRec>,
+    /// Suspended (lock-waiting) transactions: txn → invocation.
+    waiting: HashMap<TxnId, u64>,
+}
+
+impl TroupeStoreService {
+    /// Creates a store whose commit call-backs go to the caller's
+    /// `commit_module`.
+    pub fn new(commit_module: u16) -> TroupeStoreService {
+        TroupeStoreService {
+            tm: LocalTm::new(),
+            commit_module,
+            next_txn: 1,
+            by_invocation: HashMap::new(),
+            waiting: HashMap::new(),
+        }
+    }
+
+    /// The underlying transaction manager (observers/tests).
+    pub fn tm(&self) -> &LocalTm {
+        &self.tm
+    }
+
+    /// Builds the `ready_to_commit` call-back (§5.3).
+    fn vote_call(&self, ready: bool) -> Step {
+        Step::Call(OutCall {
+            target: TroupeTarget::Caller,
+            module: self.commit_module,
+            proc: PROC_READY_TO_COMMIT,
+            args: to_bytes(&ready),
+            collation: CollationPolicy::Unanimous,
+        })
+    }
+
+    /// Runs (or re-runs) a transaction and decides its next step.
+    fn run(&mut self, invocation: u64) -> Step {
+        let rec = self.by_invocation.get(&invocation).expect("txn record");
+        let (txn, ops) = (rec.txn, rec.ops.clone());
+        match self.tm.try_execute(txn, &ops) {
+            ExecOutcome::Executed(results) => {
+                self.waiting.remove(&txn);
+                self.by_invocation
+                    .get_mut(&invocation)
+                    .expect("txn record")
+                    .results = Some(results);
+                self.vote_call(true)
+            }
+            ExecOutcome::MustWait(_) => {
+                self.waiting.insert(txn, invocation);
+                Step::Suspend
+            }
+            ExecOutcome::Deadlock => {
+                // Aborted locally; still vote so every member aborts.
+                self.waiting.remove(&txn);
+                self.vote_call(false)
+            }
+        }
+    }
+
+    /// Re-runs every transaction unblocked by a lock release, queueing
+    /// `StepFor` effects to advance their suspended invocations.
+    fn wake(&mut self, ctx: &mut ServiceCtx, unblocked: Vec<TxnId>) {
+        for txn in unblocked {
+            if let Some(inv) = self.waiting.remove(&txn) {
+                let step = self.run(inv);
+                ctx.push_effect(NodeEffect::StepFor {
+                    invocation: inv,
+                    step,
+                });
+            }
+        }
+    }
+}
+
+impl Service for TroupeStoreService {
+    fn dispatch(&mut self, ctx: &mut ServiceCtx, proc: u16, args: &[u8]) -> Step {
+        match proc {
+            PROC_EXECUTE => {
+                let Ok(req) = from_bytes::<ExecuteRequest>(args) else {
+                    return Step::Error("bad execute_transaction arguments".into());
+                };
+                let txn = TxnId(self.next_txn);
+                self.next_txn += 1;
+                self.by_invocation.insert(
+                    ctx.invocation,
+                    TxnRec {
+                        txn,
+                        ops: req.ops,
+                        results: None,
+                    },
+                );
+                self.run(ctx.invocation)
+            }
+            PROC_PEEK => {
+                let Ok(obj) = from_bytes::<u64>(args) else {
+                    return Step::Error("bad read_committed arguments".into());
+                };
+                Step::Reply(to_bytes(
+                    &self.tm.store().read_committed(crate::store::ObjId(obj)),
+                ))
+            }
+            _ => Step::Error(format!("transactional store: unknown procedure {proc}")),
+        }
+    }
+
+    fn resume(&mut self, ctx: &mut ServiceCtx, reply: Result<Vec<u8>, CallError>) -> Step {
+        let Some(rec) = self.by_invocation.remove(&ctx.invocation) else {
+            return Step::Error("spurious resume".into());
+        };
+        let go = match reply {
+            Ok(bytes) => from_bytes::<bool>(&bytes).unwrap_or(false),
+            Err(_) => false,
+        };
+        let (outcome, unblocked) = match rec.results {
+            Some(results) if go => (TxnOutcome::Committed(results), self.tm.commit(rec.txn)),
+            _ => (
+                TxnOutcome::Aborted("transaction aborted".into()),
+                self.tm.abort(rec.txn),
+            ),
+        };
+        self.wake(ctx, unblocked);
+        Step::Reply(to_bytes(&outcome))
+    }
+
+    fn get_state(&self) -> Vec<u8> {
+        to_bytes(&self.tm.store().snapshot())
+    }
+
+    fn set_state(&mut self, state: &[u8]) {
+        if let Ok(snap) = from_bytes::<Vec<(u64, i64)>>(state) {
+            self.tm.store_mut().restore(&snap);
+        }
+    }
+}
+
+/// The vote collator used by the client's `ready_to_commit` module: wait
+/// for every server member's vote; any `false` vote — or any member
+/// declared dead, which is how a timeout-resolved commit deadlock
+/// manifests — aborts.
+struct ReadyVotes;
+
+impl Collate for ReadyVotes {
+    fn decide(&self, slots: &[VoteSlot]) -> Decision {
+        let mut pending = false;
+        for s in slots {
+            match s {
+                VoteSlot::Pending => pending = true,
+                VoteSlot::Dead => return Decision::Ready(to_bytes(&false)),
+                VoteSlot::Vote(v) => {
+                    if !from_bytes::<bool>(v).unwrap_or(false) {
+                        return Decision::Ready(to_bytes(&false));
+                    }
+                }
+            }
+        }
+        if pending {
+            Decision::Wait
+        } else {
+            Decision::Ready(to_bytes(&true))
+        }
+    }
+}
+
+/// The client-side `ready_to_commit` module (§5.3): echoes the collated
+/// verdict back to the whole server troupe. "Each member of the client
+/// troupe thus plays the role of the coordinator in the conventional
+/// two-phase commit protocol."
+pub struct CommitVoterService;
+
+impl Service for CommitVoterService {
+    fn dispatch(&mut self, _ctx: &mut ServiceCtx, proc: u16, args: &[u8]) -> Step {
+        if proc != PROC_READY_TO_COMMIT {
+            return Step::Error(format!("commit voter: unknown procedure {proc}"));
+        }
+        // `args` is already the collated verdict.
+        Step::Reply(args.to_vec())
+    }
+
+    fn arg_collation(&self, _proc: u16) -> CollationPolicy {
+        CollationPolicy::Custom(Rc::new(ReadyVotes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_round_trips() {
+        for o in [
+            TxnOutcome::Committed(vec![1, -2, 3]),
+            TxnOutcome::Aborted("x".into()),
+        ] {
+            assert_eq!(from_bytes::<TxnOutcome>(&to_bytes(&o)).unwrap(), o);
+        }
+    }
+
+    #[test]
+    fn execute_request_round_trips() {
+        let r = ExecuteRequest {
+            nonce: 9,
+            ops: vec![Op::Add(crate::store::ObjId(1), 5)],
+        };
+        assert_eq!(from_bytes::<ExecuteRequest>(&to_bytes(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn ready_votes_all_true() {
+        let c = ReadyVotes;
+        let slots = vec![
+            VoteSlot::Vote(to_bytes(&true)),
+            VoteSlot::Vote(to_bytes(&true)),
+        ];
+        assert_eq!(c.decide(&slots), Decision::Ready(to_bytes(&true)));
+    }
+
+    #[test]
+    fn ready_votes_any_false_aborts() {
+        let c = ReadyVotes;
+        let slots = vec![VoteSlot::Vote(to_bytes(&true)), VoteSlot::Vote(to_bytes(&false))];
+        assert_eq!(c.decide(&slots), Decision::Ready(to_bytes(&false)));
+    }
+
+    #[test]
+    fn ready_votes_waits_for_all() {
+        let c = ReadyVotes;
+        let slots = vec![VoteSlot::Vote(to_bytes(&true)), VoteSlot::Pending];
+        assert_eq!(c.decide(&slots), Decision::Wait);
+    }
+
+    #[test]
+    fn ready_votes_dead_member_aborts() {
+        let c = ReadyVotes;
+        let slots = vec![VoteSlot::Vote(to_bytes(&true)), VoteSlot::Dead];
+        assert_eq!(c.decide(&slots), Decision::Ready(to_bytes(&false)));
+    }
+}

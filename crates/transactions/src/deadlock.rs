@@ -1,0 +1,129 @@
+//! The waits-for graph and deadlock detection (§2.3.1).
+//!
+//! "Define the relation *T waits for T′* to be true when transaction T
+//! waits for a lock held by transaction T′. A cycle in the waits-for
+//! relation is called a deadlock; the transactions involved will wait
+//! forever."
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::store::TxnId;
+
+/// The waits-for relation.
+#[derive(Debug, Default)]
+pub struct WaitsFor {
+    edges: BTreeMap<TxnId, BTreeSet<TxnId>>,
+}
+
+impl WaitsFor {
+    /// An empty relation.
+    pub fn new() -> WaitsFor {
+        WaitsFor::default()
+    }
+
+    /// Records that `waiter` waits for `holder`.
+    pub fn add(&mut self, waiter: TxnId, holder: TxnId) {
+        if waiter != holder {
+            self.edges.entry(waiter).or_default().insert(holder);
+        }
+    }
+
+    /// Removes every edge involving `txn` (it committed or aborted).
+    pub fn remove(&mut self, txn: TxnId) {
+        self.edges.remove(&txn);
+        for targets in self.edges.values_mut() {
+            targets.remove(&txn);
+        }
+        self.edges.retain(|_, v| !v.is_empty());
+    }
+
+    /// Finds a cycle containing `start`, if one exists, following the
+    /// waits-for edges depth-first.
+    pub fn cycle_from(&self, start: TxnId) -> Option<Vec<TxnId>> {
+        let mut path = vec![start];
+        let mut on_path = BTreeSet::from([start]);
+        self.dfs(start, start, &mut path, &mut on_path)
+    }
+
+    fn dfs(
+        &self,
+        start: TxnId,
+        at: TxnId,
+        path: &mut Vec<TxnId>,
+        on_path: &mut BTreeSet<TxnId>,
+    ) -> Option<Vec<TxnId>> {
+        let nexts = self.edges.get(&at)?;
+        for &next in nexts {
+            if next == start {
+                return Some(path.clone());
+            }
+            if on_path.insert(next) {
+                path.push(next);
+                if let Some(c) = self.dfs(start, next, path, on_path) {
+                    return Some(c);
+                }
+                path.pop();
+                on_path.remove(&next);
+            }
+        }
+        None
+    }
+
+    /// `true` if any deadlock exists anywhere in the relation.
+    pub fn has_cycle(&self) -> bool {
+        self.edges.keys().any(|&t| self.cycle_from(t).is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T1: TxnId = TxnId(1);
+    const T2: TxnId = TxnId(2);
+    const T3: TxnId = TxnId(3);
+
+    #[test]
+    fn no_cycle_in_chain() {
+        let mut g = WaitsFor::new();
+        g.add(T1, T2);
+        g.add(T2, T3);
+        assert!(g.cycle_from(T1).is_none());
+        assert!(!g.has_cycle());
+    }
+
+    #[test]
+    fn two_cycle_detected() {
+        let mut g = WaitsFor::new();
+        g.add(T1, T2);
+        g.add(T2, T1);
+        let c = g.cycle_from(T1).expect("cycle");
+        assert!(c.contains(&T1));
+        assert!(g.has_cycle());
+    }
+
+    #[test]
+    fn three_cycle_detected() {
+        let mut g = WaitsFor::new();
+        g.add(T1, T2);
+        g.add(T2, T3);
+        g.add(T3, T1);
+        assert_eq!(g.cycle_from(T1).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn removing_breaks_cycle() {
+        let mut g = WaitsFor::new();
+        g.add(T1, T2);
+        g.add(T2, T1);
+        g.remove(T2);
+        assert!(!g.has_cycle());
+    }
+
+    #[test]
+    fn self_edges_ignored() {
+        let mut g = WaitsFor::new();
+        g.add(T1, T1);
+        assert!(!g.has_cycle());
+    }
+}

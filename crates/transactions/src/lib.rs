@@ -1,0 +1,56 @@
+//! # transactions: replicated lightweight transactions
+//!
+//! Chapter 5 of Cooper's dissertation: synchronization for troupes.
+//!
+//! Serializability alone is not enough for replicated modules — "not only
+//! must concurrent calls from different client troupes be serialized by
+//! each server troupe member, but they must be serialized in the same
+//! order" (§5.1) — and troupe members may not communicate to agree on
+//! one. Two mechanisms are provided:
+//!
+//! - the **troupe commit protocol** ([`TroupeStoreService`] +
+//!   [`CommitVoterService`]): generic over the local concurrency control
+//!   (here: 2PL with waits-for deadlock detection over a volatile
+//!   workspace store, §5.2) and optimistic; divergent serialization
+//!   orders become deadlocks (Theorem 5.1), resolved by timeout-driven
+//!   abort and client retry with binary exponential [`Backoff`]
+//!   (§5.3.1);
+//! - the **ordered broadcast protocol** ([`OrderedBroadcastService`],
+//!   Figure 5.1): starvation-free, two-phase (propose/accept) with
+//!   synchronized clocks, consuming messages in a single agreed order
+//!   under serial (chronological) execution — the trivially
+//!   deterministic local concurrency control of §5.4.
+//!
+//! Transactions are *lightweight* (§5.2): entirely volatile, because
+//! troupes mask partial failures, so no stable storage or crash-recovery
+//! log is needed; permanence comes from replication. Transactions "can
+//! be dynamically nested, just like procedure activation records":
+//! [`NestedTm`] implements the Moss-style nested semantics of §2.3.2.
+
+#![warn(missing_docs)]
+
+pub mod backoff;
+pub mod broadcast;
+pub mod client;
+pub mod commit;
+pub mod deadlock;
+pub mod lock;
+pub mod nested;
+pub mod store;
+pub mod txn;
+
+pub use backoff::Backoff;
+pub use broadcast::{
+    max_time_collation, Accept, OrderedApply, OrderedBroadcastService, Propose,
+    PROC_ACCEPT_TIME, PROC_GET_PROPOSED_TIME,
+};
+pub use client::{Broadcaster, TxnClient};
+pub use commit::{
+    CommitVoterService, ExecuteRequest, TroupeStoreService, TxnOutcome, PROC_EXECUTE,
+    PROC_PEEK, PROC_READY_TO_COMMIT,
+};
+pub use deadlock::WaitsFor;
+pub use lock::{Acquire, LockManager, Mode};
+pub use nested::{NestedError, NestedTm};
+pub use store::{ObjId, Store, TxnId};
+pub use txn::{ExecOutcome, LocalTm, Op};

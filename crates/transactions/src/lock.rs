@@ -1,0 +1,229 @@
+//! Two-phase locking (§2.3.1, §5.2.1).
+//!
+//! "The simplest version of two-phase locking associates a lock with each
+//! shared object"; this manager supports shared/exclusive modes so
+//! operations that do not conflict proceed concurrently, and FIFO wait
+//! queues. Each transaction holds all acquired locks until it commits or
+//! aborts, which guarantees serializability.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::store::{ObjId, TxnId};
+
+/// The lock mode of one request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// Shared (read) — compatible with other shared locks.
+    Shared,
+    /// Exclusive (write) — compatible with nothing.
+    Exclusive,
+}
+
+impl Mode {
+    fn compatible(self, other: Mode) -> bool {
+        matches!((self, other), (Mode::Shared, Mode::Shared))
+    }
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    /// Current holders and their (strongest) mode.
+    holders: BTreeMap<TxnId, Mode>,
+    /// FIFO queue of waiting requests.
+    waiters: VecDeque<(TxnId, Mode)>,
+}
+
+/// Outcome of a lock request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Acquire {
+    /// The lock is held; proceed.
+    Granted,
+    /// Queued behind a conflicting holder; the returned transaction is
+    /// one the requester now waits for (for the waits-for graph).
+    Waiting(TxnId),
+}
+
+/// The lock table.
+#[derive(Debug, Default)]
+pub struct LockManager {
+    locks: BTreeMap<ObjId, LockState>,
+}
+
+impl LockManager {
+    /// An empty lock table.
+    pub fn new() -> LockManager {
+        LockManager::default()
+    }
+
+    /// Requests `obj` in `mode` for `txn`. Re-entrant: a holder asking
+    /// again (or upgrading S→X when it is the only holder) is granted.
+    pub fn acquire(&mut self, txn: TxnId, obj: ObjId, mode: Mode) -> Acquire {
+        let state = self.locks.entry(obj).or_default();
+        if let Some(&held) = state.holders.get(&txn) {
+            match (held, mode) {
+                (Mode::Exclusive, _) | (_, Mode::Shared) => return Acquire::Granted,
+                (Mode::Shared, Mode::Exclusive) => {
+                    if state.holders.len() == 1 && state.waiters.is_empty() {
+                        state.holders.insert(txn, Mode::Exclusive);
+                        return Acquire::Granted;
+                    }
+                    // Upgrade blocked by a co-holder.
+                    let blocker = *state
+                        .holders
+                        .keys()
+                        .find(|t| **t != txn)
+                        .expect("another holder exists");
+                    state.waiters.push_back((txn, mode));
+                    return Acquire::Waiting(blocker);
+                }
+            }
+        }
+        let all_compatible = state.holders.values().all(|h| h.compatible(mode));
+        if all_compatible && state.waiters.is_empty() {
+            state.holders.insert(txn, mode);
+            Acquire::Granted
+        } else {
+            let blocker = state
+                .holders
+                .keys()
+                .next()
+                .copied()
+                .or_else(|| state.waiters.front().map(|(t, _)| *t))
+                .expect("conflict implies a holder or waiter");
+            state.waiters.push_back((txn, mode));
+            Acquire::Waiting(blocker)
+        }
+    }
+
+    /// Releases everything `txn` holds or waits for; returns the
+    /// transactions granted locks as a result (they may now be runnable).
+    pub fn release_all(&mut self, txn: TxnId) -> Vec<TxnId> {
+        let mut granted = BTreeSet::new();
+        let mut empty = Vec::new();
+        for (obj, state) in self.locks.iter_mut() {
+            state.holders.remove(&txn);
+            state.waiters.retain(|(t, _)| *t != txn);
+            // Promote waiters FIFO while compatible.
+            while let Some(&(waiter, mode)) = state.waiters.front() {
+                let compatible = state.holders.values().all(|h| h.compatible(mode))
+                    // An S-holder upgrading to X with no co-holders.
+                    || (state.holders.len() == 1
+                        && state.holders.contains_key(&waiter)
+                        && mode == Mode::Exclusive);
+                if compatible {
+                    state.waiters.pop_front();
+                    state.holders.insert(waiter, mode);
+                    granted.insert(waiter);
+                } else {
+                    break;
+                }
+            }
+            if state.holders.is_empty() && state.waiters.is_empty() {
+                empty.push(*obj);
+            }
+        }
+        for obj in empty {
+            self.locks.remove(&obj);
+        }
+        granted.into_iter().collect()
+    }
+
+    /// Whether `txn` currently holds `obj` in at least `mode`.
+    pub fn holds(&self, txn: TxnId, obj: ObjId, mode: Mode) -> bool {
+        self.locks
+            .get(&obj)
+            .and_then(|s| s.holders.get(&txn))
+            .map(|&h| h == Mode::Exclusive || mode == Mode::Shared)
+            .unwrap_or(false)
+    }
+
+    /// Number of objects with any lock activity (for tests).
+    pub fn active_objects(&self) -> usize {
+        self.locks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: ObjId = ObjId(1);
+    const T1: TxnId = TxnId(1);
+    const T2: TxnId = TxnId(2);
+    const T3: TxnId = TxnId(3);
+
+    #[test]
+    fn shared_locks_are_compatible() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.acquire(T1, A, Mode::Shared), Acquire::Granted);
+        assert_eq!(lm.acquire(T2, A, Mode::Shared), Acquire::Granted);
+        assert!(lm.holds(T1, A, Mode::Shared));
+        assert!(lm.holds(T2, A, Mode::Shared));
+    }
+
+    #[test]
+    fn exclusive_conflicts() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.acquire(T1, A, Mode::Exclusive), Acquire::Granted);
+        assert_eq!(lm.acquire(T2, A, Mode::Shared), Acquire::Waiting(T1));
+        assert_eq!(lm.acquire(T3, A, Mode::Exclusive), Acquire::Waiting(T1));
+    }
+
+    #[test]
+    fn release_promotes_fifo() {
+        let mut lm = LockManager::new();
+        lm.acquire(T1, A, Mode::Exclusive);
+        lm.acquire(T2, A, Mode::Exclusive);
+        lm.acquire(T3, A, Mode::Shared);
+        let granted = lm.release_all(T1);
+        assert_eq!(granted, vec![T2], "FIFO: T2 before T3");
+        let granted = lm.release_all(T2);
+        assert_eq!(granted, vec![T3]);
+    }
+
+    #[test]
+    fn reentrant_acquire() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.acquire(T1, A, Mode::Exclusive), Acquire::Granted);
+        assert_eq!(lm.acquire(T1, A, Mode::Shared), Acquire::Granted);
+        assert_eq!(lm.acquire(T1, A, Mode::Exclusive), Acquire::Granted);
+    }
+
+    #[test]
+    fn upgrade_when_sole_holder() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.acquire(T1, A, Mode::Shared), Acquire::Granted);
+        assert_eq!(lm.acquire(T1, A, Mode::Exclusive), Acquire::Granted);
+        assert!(lm.holds(T1, A, Mode::Exclusive));
+    }
+
+    #[test]
+    fn upgrade_blocked_by_coholder() {
+        let mut lm = LockManager::new();
+        lm.acquire(T1, A, Mode::Shared);
+        lm.acquire(T2, A, Mode::Shared);
+        assert_eq!(lm.acquire(T1, A, Mode::Exclusive), Acquire::Waiting(T2));
+        // When T2 releases, T1's upgrade is granted.
+        let granted = lm.release_all(T2);
+        assert_eq!(granted, vec![T1]);
+        assert!(lm.holds(T1, A, Mode::Exclusive));
+    }
+
+    #[test]
+    fn waiters_cut_in_line_is_prevented() {
+        let mut lm = LockManager::new();
+        lm.acquire(T1, A, Mode::Shared);
+        lm.acquire(T2, A, Mode::Exclusive); // Waits.
+        // T3's shared request must queue behind T2's exclusive one, even
+        // though it is compatible with the current holder.
+        assert!(matches!(lm.acquire(T3, A, Mode::Shared), Acquire::Waiting(_)));
+    }
+
+    #[test]
+    fn release_cleans_empty_entries() {
+        let mut lm = LockManager::new();
+        lm.acquire(T1, A, Mode::Exclusive);
+        lm.release_all(T1);
+        assert_eq!(lm.active_objects(), 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! A volatile object store with transaction workspaces (§5.2).
+//!
+//! Lightweight transactions "can dispense with the crash recovery
+//! facilities based on stable storage and operate entirely in volatile
+//! memory": permanence comes from replication, not disks. Tentative
+//! updates live in per-transaction workspaces; commit folds a workspace
+//! into the committed image, abort discards it — so "aborts never
+//! cascade" (§2.3.1).
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Names a shared object.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ObjId(pub u64);
+
+/// Names a transaction within one store.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TxnId(pub u64);
+
+/// The volatile store.
+#[derive(Debug, Default)]
+pub struct Store {
+    committed: BTreeMap<ObjId, i64>,
+    workspaces: HashMap<TxnId, BTreeMap<ObjId, i64>>,
+}
+
+impl Store {
+    /// An empty store (absent objects read as zero).
+    pub fn new() -> Store {
+        Store::default()
+    }
+
+    /// Reads `obj` as seen by `txn`: its own tentative update if any,
+    /// else the committed value. Intermediate effects of *other*
+    /// transactions are never visible (atomicity, §2.3.1).
+    pub fn read(&self, txn: TxnId, obj: ObjId) -> i64 {
+        if let Some(ws) = self.workspaces.get(&txn) {
+            if let Some(v) = ws.get(&obj) {
+                return *v;
+            }
+        }
+        self.committed.get(&obj).copied().unwrap_or(0)
+    }
+
+    /// Reads the committed value directly (for observers/tests).
+    pub fn read_committed(&self, obj: ObjId) -> i64 {
+        self.committed.get(&obj).copied().unwrap_or(0)
+    }
+
+    /// Writes a tentative value into `txn`'s workspace.
+    pub fn write(&mut self, txn: TxnId, obj: ObjId, value: i64) {
+        self.workspaces.entry(txn).or_default().insert(obj, value);
+    }
+
+    /// Makes `txn`'s tentative updates permanent.
+    pub fn commit(&mut self, txn: TxnId) {
+        if let Some(ws) = self.workspaces.remove(&txn) {
+            for (obj, v) in ws {
+                self.committed.insert(obj, v);
+            }
+        }
+    }
+
+    /// Discards `txn`'s tentative updates, "leaving no trace of ever
+    /// having been performed" (§2.3.1).
+    pub fn abort(&mut self, txn: TxnId) {
+        self.workspaces.remove(&txn);
+    }
+
+    /// Externalizes the committed image (state transfer, §6.4.1).
+    pub fn snapshot(&self) -> Vec<(u64, i64)> {
+        self.committed.iter().map(|(o, v)| (o.0, *v)).collect()
+    }
+
+    /// Replaces the committed image from a snapshot.
+    pub fn restore(&mut self, snap: &[(u64, i64)]) {
+        self.committed = snap.iter().map(|&(o, v)| (ObjId(o), v)).collect();
+        self.workspaces.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: ObjId = ObjId(1);
+    const B: ObjId = ObjId(2);
+    const T1: TxnId = TxnId(1);
+    const T2: TxnId = TxnId(2);
+
+    #[test]
+    fn absent_objects_read_zero() {
+        let s = Store::new();
+        assert_eq!(s.read(T1, A), 0);
+        assert_eq!(s.read_committed(A), 0);
+    }
+
+    #[test]
+    fn tentative_updates_invisible_to_others() {
+        let mut s = Store::new();
+        s.write(T1, A, 10);
+        assert_eq!(s.read(T1, A), 10);
+        assert_eq!(s.read(T2, A), 0, "T2 must not see T1's tentative write");
+        assert_eq!(s.read_committed(A), 0);
+    }
+
+    #[test]
+    fn commit_publishes() {
+        let mut s = Store::new();
+        s.write(T1, A, 10);
+        s.commit(T1);
+        assert_eq!(s.read(T2, A), 10);
+        assert_eq!(s.read_committed(A), 10);
+    }
+
+    #[test]
+    fn abort_leaves_no_trace() {
+        let mut s = Store::new();
+        s.write(T1, A, 10);
+        s.write(T1, B, 20);
+        s.abort(T1);
+        assert_eq!(s.read_committed(A), 0);
+        assert_eq!(s.read(T1, B), 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let mut s = Store::new();
+        s.write(T1, A, 5);
+        s.commit(T1);
+        let snap = s.snapshot();
+        let mut t = Store::new();
+        t.restore(&snap);
+        assert_eq!(t.read_committed(A), 5);
+    }
+
+    #[test]
+    fn workspace_isolated_per_txn() {
+        let mut s = Store::new();
+        s.write(T1, A, 1);
+        s.write(T2, A, 2);
+        assert_eq!(s.read(T1, A), 1);
+        assert_eq!(s.read(T2, A), 2);
+        s.commit(T2);
+        s.abort(T1);
+        assert_eq!(s.read_committed(A), 2);
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based tests: serializability of the local transaction
+//! manager and structural invariants of nested transactions.
+
+use proptest::prelude::*;
+use transactions::{ExecOutcome, LocalTm, NestedError, NestedTm, ObjId, Op, TxnId};
+
+/// Strategy for a small transaction: 1–4 operations over 3 objects.
+fn txn_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (0u64..3, -5i64..5, any::<bool>()).prop_map(|(obj, val, write)| {
+            if write {
+                Op::Add(ObjId(obj), val)
+            } else {
+                Op::Read(ObjId(obj))
+            }
+        }),
+        1..4,
+    )
+}
+
+/// Runs a set of transactions serially in the given order; returns the
+/// final committed values of the three objects.
+fn run_serial(txns: &[Vec<Op>], order: &[usize]) -> Vec<i64> {
+    let mut tm = LocalTm::new();
+    for (k, &i) in order.iter().enumerate() {
+        let id = TxnId(k as u64 + 1);
+        match tm.try_execute(id, &txns[i]) {
+            ExecOutcome::Executed(_) => {
+                tm.commit(id);
+            }
+            other => panic!("serial execution cannot block: {other:?}"),
+        }
+    }
+    (0..3).map(|o| tm.store().read_committed(ObjId(o))).collect()
+}
+
+proptest! {
+    /// Two-phase locking with waits: interleaving two transactions via
+    /// the wait/unblock machinery yields a final state equal to SOME
+    /// serial order (serializability, §2.3.1).
+    #[test]
+    fn interleaved_execution_is_serializable(
+        t1 in txn_strategy(),
+        t2 in txn_strategy(),
+    ) {
+        let mut tm = LocalTm::new();
+        let a = TxnId(1);
+        let b = TxnId(2);
+        // Try a first; if it waits (impossible: empty store) run it; then
+        // start b which may wait behind a; commit a; finish b.
+        let ra = tm.try_execute(a, &t1);
+        prop_assert!(matches!(ra, ExecOutcome::Executed(_)));
+        let rb = tm.try_execute(b, &t2);
+        match rb {
+            ExecOutcome::Executed(_) => {
+                // Non-conflicting: any commit order, same result.
+                tm.commit(a);
+                tm.commit(b);
+            }
+            ExecOutcome::MustWait(blocker) => {
+                prop_assert_eq!(blocker, a);
+                let unblocked = tm.commit(a);
+                prop_assert!(unblocked.contains(&b));
+                match tm.try_execute(b, &t2) {
+                    ExecOutcome::Executed(_) => { tm.commit(b); }
+                    other => prop_assert!(false, "retry blocked: {other:?}"),
+                }
+            }
+            ExecOutcome::Deadlock => {
+                // b aborted; only a commits. Equivalent to serial a-only.
+                tm.commit(a);
+                let interleaved: Vec<i64> =
+                    (0..3).map(|o| tm.store().read_committed(ObjId(o))).collect();
+                let serial = run_serial(std::slice::from_ref(&t1), &[0]);
+                prop_assert_eq!(interleaved, serial);
+                return Ok(());
+            }
+        }
+        let interleaved: Vec<i64> =
+            (0..3).map(|o| tm.store().read_committed(ObjId(o))).collect();
+        let order_ab = run_serial(&[t1.clone(), t2.clone()], &[0, 1]);
+        let order_ba = run_serial(&[t1.clone(), t2.clone()], &[1, 0]);
+        prop_assert!(
+            interleaved == order_ab || interleaved == order_ba,
+            "not serializable: {:?} vs {:?} / {:?}",
+            interleaved,
+            order_ab,
+            order_ba
+        );
+    }
+
+    /// Random nested-transaction scripts never panic, never corrupt the
+    /// bookkeeping, and only top-level commits change committed state.
+    #[test]
+    fn nested_scripts_maintain_invariants(
+        script in proptest::collection::vec((0u8..6, 0u64..4, -3i64..3), 1..60),
+    ) {
+        let mut tm = NestedTm::new();
+        let mut live: Vec<TxnId> = Vec::new();
+        let mut committed_snapshot: Vec<i64> =
+            (0..4).map(|o| tm.read_committed(ObjId(o))).collect();
+        for (action, sel, val) in script {
+            let pick = |live: &Vec<TxnId>| -> Option<TxnId> {
+                if live.is_empty() {
+                    None
+                } else {
+                    Some(live[sel as usize % live.len()])
+                }
+            };
+            match action {
+                0 => live.push(tm.begin_top()),
+                1 => {
+                    if let Some(parent) = pick(&live) {
+                        if let Ok(c) = tm.begin_child(parent) {
+                            live.push(c);
+                        }
+                    }
+                }
+                2 => {
+                    if let Some(t) = pick(&live) {
+                        let _ = tm.read(t, ObjId(sel % 4));
+                    }
+                }
+                3 => {
+                    if let Some(t) = pick(&live) {
+                        let _ = tm.write(t, ObjId(sel % 4), val);
+                    }
+                }
+                4 => {
+                    if let Some(t) = pick(&live) {
+                        match tm.commit(t) {
+                            Ok(()) => {
+                                live.retain(|&x| x != t);
+                                committed_snapshot =
+                                    (0..4).map(|o| tm.read_committed(ObjId(o))).collect();
+                            }
+                            Err(NestedError::ActiveChildren(_)) => {}
+                            Err(e) => prop_assert!(false, "unexpected {e:?}"),
+                        }
+                    }
+                }
+                _ => {
+                    if let Some(t) = pick(&live) {
+                        tm.abort(t).unwrap();
+                        // The abort may cascade into descendants still in
+                        // `live`; drop everything the manager no longer
+                        // knows.
+                        live.retain(|&x| tm.is_active(x));
+                        // Aborts never change committed state.
+                        let now: Vec<i64> =
+                            (0..4).map(|o| tm.read_committed(ObjId(o))).collect();
+                        prop_assert_eq!(&now, &committed_snapshot);
+                    }
+                }
+            }
+        }
+        // Abort everything left; the manager must end empty.
+        for t in live.clone() {
+            let _ = tm.abort(t);
+        }
+        prop_assert_eq!(tm.active(), 0);
+    }
+
+    /// A chain of nested adds commits the sum exactly once at the root.
+    #[test]
+    fn nested_chain_sums(deltas in proptest::collection::vec(-10i64..10, 1..8)) {
+        let mut tm = NestedTm::new();
+        let root = tm.begin_top();
+        let mut chain = vec![root];
+        for &d in &deltas {
+            let t = *chain.last().expect("non-empty");
+            let c = tm.begin_child(t).unwrap();
+            tm.add(c, ObjId(0), d).unwrap();
+            chain.push(c);
+        }
+        // Commit inside-out.
+        for &t in chain.iter().rev() {
+            tm.commit(t).unwrap();
+        }
+        prop_assert_eq!(tm.read_committed(ObjId(0)), deltas.iter().sum::<i64>());
+    }
+}

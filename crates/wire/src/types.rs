@@ -1,0 +1,259 @@
+//! The [`Externalize`]/[`Internalize`] traits and implementations for the
+//! built-in Courier types.
+//!
+//! A type implementing both traits can cross machine boundaries in call
+//! and return messages. Stub compilers (the `stubgen` crate) generate
+//! these implementations for user-declared RECORD, CHOICE, and
+//! enumeration types, exactly as the paper's stub compilers generated
+//! externalization procedures (§7.1.4).
+
+use crate::error::WireError;
+use crate::reader::Reader;
+use crate::writer::Writer;
+
+/// Translation from internal form to external representation
+/// ("marshaling" in Nelson's terminology, §7.1).
+pub trait Externalize {
+    /// Appends this value's external representation to `w`.
+    fn externalize(&self, w: &mut Writer);
+}
+
+/// Translation from external representation back to internal form
+/// ("unmarshaling").
+pub trait Internalize: Sized {
+    /// Parses one value from `r`, advancing the cursor.
+    fn internalize(r: &mut Reader<'_>) -> Result<Self, WireError>;
+}
+
+/// Externalizes a single value into a fresh byte vector.
+pub fn to_bytes<T: Externalize + ?Sized>(v: &T) -> Vec<u8> {
+    let mut w = Writer::new();
+    v.externalize(&mut w);
+    w.finish()
+}
+
+/// Internalizes a single value, requiring the buffer to be fully consumed.
+pub fn from_bytes<T: Internalize>(bytes: &[u8]) -> Result<T, WireError> {
+    let mut r = Reader::new(bytes);
+    let v = T::internalize(&mut r)?;
+    r.expect_end()?;
+    Ok(v)
+}
+
+macro_rules! scalar_impl {
+    ($ty:ty, $put:ident, $get:ident) => {
+        impl Externalize for $ty {
+            fn externalize(&self, w: &mut Writer) {
+                w.$put(*self);
+            }
+        }
+        impl Internalize for $ty {
+            fn internalize(r: &mut Reader<'_>) -> Result<Self, WireError> {
+                r.$get()
+            }
+        }
+    };
+}
+
+scalar_impl!(u16, put_u16, get_u16);
+scalar_impl!(u32, put_u32, get_u32);
+scalar_impl!(u64, put_u64, get_u64);
+scalar_impl!(i16, put_i16, get_i16);
+scalar_impl!(i32, put_i32, get_i32);
+scalar_impl!(i64, put_i64, get_i64);
+scalar_impl!(bool, put_bool, get_bool);
+
+impl Externalize for String {
+    fn externalize(&self, w: &mut Writer) {
+        w.put_string(self);
+    }
+}
+
+impl Internalize for String {
+    fn internalize(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.get_string()
+    }
+}
+
+impl Externalize for str {
+    fn externalize(&self, w: &mut Writer) {
+        w.put_string(self);
+    }
+}
+
+/// An opaque byte block (SEQUENCE OF UNSPECIFIED, packed).
+///
+/// Distinct from `Vec<u8>` so that `Vec<T>`'s generic SEQUENCE encoding
+/// and the packed byte encoding cannot be confused.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Bytes(pub Vec<u8>);
+
+impl Externalize for Bytes {
+    fn externalize(&self, w: &mut Writer) {
+        w.put_bytes(&self.0);
+    }
+}
+
+impl Internalize for Bytes {
+    fn internalize(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Bytes(r.get_bytes()?))
+    }
+}
+
+impl<T: Externalize> Externalize for Vec<T> {
+    fn externalize(&self, w: &mut Writer) {
+        w.put_seq_len(self.len());
+        for item in self {
+            item.externalize(w);
+        }
+    }
+}
+
+impl<T: Internalize> Internalize for Vec<T> {
+    fn internalize(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let n = r.get_seq_len()?;
+        let mut v = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            v.push(T::internalize(r)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: Externalize, const N: usize> Externalize for [T; N] {
+    fn externalize(&self, w: &mut Writer) {
+        for item in self {
+            item.externalize(w);
+        }
+    }
+}
+
+impl<T: Internalize, const N: usize> Internalize for [T; N] {
+    fn internalize(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let mut v = Vec::with_capacity(N);
+        for _ in 0..N {
+            v.push(T::internalize(r)?);
+        }
+        // Cannot fail: exactly N elements were pushed.
+        Ok(v.try_into().ok().expect("length is N"))
+    }
+}
+
+/// `Option<T>` as a two-armed CHOICE (designator 0 = none, 1 = some).
+impl<T: Externalize> Externalize for Option<T> {
+    fn externalize(&self, w: &mut Writer) {
+        match self {
+            None => w.put_designator(0),
+            Some(v) => {
+                w.put_designator(1);
+                v.externalize(w);
+            }
+        }
+    }
+}
+
+impl<T: Internalize> Internalize for Option<T> {
+    fn internalize(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_designator()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::internalize(r)?)),
+            d => Err(WireError::BadChoice(d)),
+        }
+    }
+}
+
+impl Externalize for () {
+    fn externalize(&self, _w: &mut Writer) {}
+}
+
+impl Internalize for () {
+    fn internalize(_r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(())
+    }
+}
+
+macro_rules! tuple_impl {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Externalize),+> Externalize for ($($name,)+) {
+            fn externalize(&self, w: &mut Writer) {
+                $(self.$idx.externalize(w);)+
+            }
+        }
+        impl<$($name: Internalize),+> Internalize for ($($name,)+) {
+            fn internalize(r: &mut Reader<'_>) -> Result<Self, WireError> {
+                Ok(($($name::internalize(r)?,)+))
+            }
+        }
+    };
+}
+
+tuple_impl!(A: 0);
+tuple_impl!(A: 0, B: 1);
+tuple_impl!(A: 0, B: 1, C: 2);
+tuple_impl!(A: 0, B: 1, C: 2, D: 3);
+tuple_impl!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Externalize + Internalize + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = to_bytes(&v);
+        let back: T = from_bytes(&bytes).expect("internalize");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(0u16);
+        round_trip(u16::MAX);
+        round_trip(u32::MAX);
+        round_trip(u64::MAX);
+        round_trip(i16::MIN);
+        round_trip(i32::MIN);
+        round_trip(i64::MIN);
+        round_trip(true);
+        round_trip(false);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(String::from("troupe"));
+        round_trip(Bytes(vec![9, 8, 7]));
+        round_trip(vec![1u16, 2, 3]);
+        round_trip(Vec::<u32>::new());
+        round_trip([1u16, 2, 3]);
+        round_trip(Some(42u32));
+        round_trip(Option::<u32>::None);
+        round_trip((1u16, String::from("x"), false));
+    }
+
+    #[test]
+    fn nested_containers() {
+        round_trip(vec![vec![1u16], vec![], vec![2, 3]]);
+        round_trip(vec![Some(Bytes(vec![0]))]);
+    }
+
+    #[test]
+    fn from_bytes_rejects_trailing() {
+        let mut bytes = to_bytes(&5u16);
+        bytes.push(0);
+        assert!(from_bytes::<u16>(&bytes).is_err());
+    }
+
+    #[test]
+    fn option_bad_designator() {
+        let bytes = vec![0, 9];
+        assert_eq!(
+            from_bytes::<Option<u16>>(&bytes),
+            Err(WireError::BadChoice(9))
+        );
+    }
+
+    #[test]
+    fn vec_u8_and_bytes_differ() {
+        // Vec<u8> has no impl (u8 is not a Courier type); Bytes is packed.
+        let b = to_bytes(&Bytes(vec![1]));
+        assert_eq!(b, vec![0, 0, 0, 1, 1, 0]);
+    }
+}

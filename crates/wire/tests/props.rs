@@ -1,0 +1,76 @@
+//! Property-based tests: externalize ∘ internalize is the identity, and
+//! internalization never panics on arbitrary bytes.
+
+use proptest::prelude::*;
+use wire::{from_bytes, to_bytes, Bytes, Reader};
+
+proptest! {
+    #[test]
+    fn u16_round_trips(v: u16) {
+        prop_assert_eq!(from_bytes::<u16>(&to_bytes(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn u64_round_trips(v: u64) {
+        prop_assert_eq!(from_bytes::<u64>(&to_bytes(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn i32_round_trips(v: i32) {
+        prop_assert_eq!(from_bytes::<i32>(&to_bytes(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn string_round_trips(v: String) {
+        prop_assert_eq!(from_bytes::<String>(&to_bytes(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn bytes_round_trips(v: Vec<u8>) {
+        let b = Bytes(v.clone());
+        prop_assert_eq!(from_bytes::<Bytes>(&to_bytes(&b)).unwrap().0, v);
+    }
+
+    #[test]
+    fn vec_of_strings_round_trips(v: Vec<String>) {
+        prop_assert_eq!(from_bytes::<Vec<String>>(&to_bytes(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn nested_structure_round_trips(v: Vec<(u32, String, Option<i16>)>) {
+        prop_assert_eq!(
+            from_bytes::<Vec<(u32, String, Option<i16>)>>(&to_bytes(&v)).unwrap(),
+            v
+        );
+    }
+
+    /// Internalizing arbitrary garbage must fail cleanly, never panic or
+    /// over-allocate.
+    #[test]
+    fn garbage_never_panics(bytes: Vec<u8>) {
+        let _ = from_bytes::<Vec<String>>(&bytes);
+        let _ = from_bytes::<(u64, Bytes, bool)>(&bytes);
+        let _ = from_bytes::<Option<Vec<u16>>>(&bytes);
+    }
+
+    /// The external representation always has even length (everything is
+    /// 16-bit words).
+    #[test]
+    fn representation_is_word_aligned(s: String, b: Vec<u8>) {
+        prop_assert_eq!(to_bytes(&s).len() % 2, 0);
+        prop_assert_eq!(to_bytes(&Bytes(b)).len() % 2, 0);
+    }
+
+    /// Sequential reads consume exactly the bytes written.
+    #[test]
+    fn reader_position_tracks_writes(a: u32, s: String) {
+        let mut w = wire::Writer::new();
+        w.put_u32(a);
+        w.put_string(&s);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        r.get_u32().unwrap();
+        r.get_string().unwrap();
+        prop_assert_eq!(r.remaining(), 0);
+    }
+}

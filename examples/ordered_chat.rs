@@ -1,0 +1,97 @@
+//! A replicated chat room over ordered broadcast (§5.4, Figure 5.1).
+//!
+//! Three chat-room replicas; three users post concurrently. Plain
+//! replicated calls from *different* clients may be serialized
+//! differently by different members — but the ordered broadcast protocol
+//! (propose a time at every member, accept at the maximum) guarantees
+//! every replica logs the messages in exactly the same order, with no
+//! locks, no aborts, and no inter-replica communication.
+//!
+//! Run with: `cargo run --example ordered_chat`
+
+use rdp::circus::{CircusProcess, ModuleAddr, NodeConfig, Troupe, TroupeId};
+use rdp::simnet::{Duration, HostId, SockAddr, World};
+use rdp::transactions::{Broadcaster, OrderedApply, OrderedBroadcastService};
+use rdp::wire::to_bytes;
+
+const MODULE: u16 = 1;
+
+/// The chat-room state machine: a log of messages, applied in the
+/// acceptance order the protocol fixes.
+struct ChatRoom {
+    log: Vec<String>,
+}
+
+impl OrderedApply for ChatRoom {
+    fn apply(&mut self, payload: &[u8]) -> Vec<u8> {
+        self.log.push(String::from_utf8_lossy(payload).into_owned());
+        to_bytes(&(self.log.len() as u32))
+    }
+}
+
+fn main() {
+    let mut world = World::new(2026);
+
+    // The chat-room troupe.
+    let id = TroupeId(1);
+    let mut members = Vec::new();
+    for h in 1..=3u32 {
+        let a = SockAddr::new(HostId(h), 70);
+        let p = CircusProcess::new(a, NodeConfig::default())
+            .with_service(
+                MODULE,
+                Box::new(OrderedBroadcastService::new(ChatRoom { log: Vec::new() })),
+            )
+            .with_troupe_id(id);
+        world.spawn(a, Box::new(p));
+        members.push(ModuleAddr::new(a, MODULE));
+    }
+    let troupe = Troupe::new(id, members.clone());
+
+    // Three users, each posting three messages, all at once.
+    let users = ["ada", "bob", "cyd"];
+    let mut user_addrs = Vec::new();
+    for (i, user) in users.iter().enumerate() {
+        let a = SockAddr::new(HostId(10 + i as u32), 50);
+        let msgs: Vec<Vec<u8>> = (1..=3)
+            .map(|k| format!("<{user}> message {k}").into_bytes())
+            .collect();
+        let p = CircusProcess::new(a, NodeConfig::default()).with_agent(Box::new(
+            Broadcaster::new(troupe.clone(), MODULE, (i as u64 + 1) * 1000, msgs),
+        ));
+        world.spawn(a, Box::new(p));
+        user_addrs.push(a);
+    }
+    for &a in &user_addrs {
+        world.poke(a, 0);
+    }
+    world.run_for(Duration::from_secs(60));
+
+    // Every replica shows the identical transcript.
+    let logs: Vec<Vec<String>> = members
+        .iter()
+        .map(|m| {
+            world
+                .with_proc(m.addr, |p: &CircusProcess| {
+                    p.node()
+                        .service_as::<OrderedBroadcastService<ChatRoom>>(MODULE)
+                        .unwrap()
+                        .app()
+                        .log
+                        .clone()
+                })
+                .unwrap()
+        })
+        .collect();
+
+    println!("chat transcript at replica h1 (9 concurrent posts, 3 users):\n");
+    for (i, line) in logs[0].iter().enumerate() {
+        println!("  {:>2}. {line}", i + 1);
+    }
+    assert_eq!(logs[0].len(), 9);
+    assert_eq!(logs[0], logs[1], "replicas h1/h2 diverged");
+    assert_eq!(logs[0], logs[2], "replicas h1/h3 diverged");
+    println!("\nreplicas h2 and h3 hold the IDENTICAL transcript: concurrent");
+    println!("broadcasts were never interleaved (§5.4), with zero aborts and no");
+    println!("communication among the replicas themselves.");
+}
