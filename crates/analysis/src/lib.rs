@@ -23,9 +23,7 @@ pub mod deadlock;
 pub mod harmonic;
 pub mod stats;
 
-pub use availability::{
-    availability, availability_simulated, p_failed, required_repair_time,
-};
+pub use availability::{availability, availability_simulated, p_failed, required_repair_time};
 pub use deadlock::{deadlock_probability, deadlock_probability_simulated};
 pub use harmonic::{expected_max_exponential, harmonic, harmonic_asymptotic};
 pub use stats::{linear_fit, mean, percentile, r_squared, stddev};

@@ -15,11 +15,9 @@ fn bench_table_4_1(c: &mut Criterion) {
         b.iter(|| black_box(bench::run_tcp_echo(20)))
     });
     for n in [1usize, 3, 5] {
-        group.bench_with_input(
-            BenchmarkId::new("circus_echo_x20", n),
-            &n,
-            |b, &n| b.iter(|| black_box(bench::run_circus_echo(n, 20))),
-        );
+        group.bench_with_input(BenchmarkId::new("circus_echo_x20", n), &n, |b, &n| {
+            b.iter(|| black_box(bench::run_circus_echo(n, 20)))
+        });
     }
     group.finish();
 }

@@ -12,8 +12,8 @@
 //!   choosing "on a module-by-module basis".
 
 use circus::{
-    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig,
-    NodeCtx, Service, ServiceCtx, Step, Troupe, TroupeId,
+    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig, NodeCtx,
+    Service, ServiceCtx, Step, Troupe, TroupeId,
 };
 use simnet::{Ctx, Duration, HostId, Process, SockAddr, Syscall, Time, TimerId, World};
 use transactions::{
@@ -67,7 +67,14 @@ impl Agent for PolicyClient {
         self.started = nc.now();
         let thread = nc.fresh_thread();
         let troupe = self.troupe.clone();
-        nc.call(thread, &troupe, MODULE, 0, vec![0u8; 32], self.policy.clone());
+        nc.call(
+            thread,
+            &troupe,
+            MODULE,
+            0,
+            vec![0u8; 32],
+            self.policy.clone(),
+        );
     }
 
     fn on_call_done(
@@ -82,7 +89,14 @@ impl Agent for PolicyClient {
             self.started = nc.now();
             let thread = nc.fresh_thread();
             let troupe = self.troupe.clone();
-            nc.call(thread, &troupe, MODULE, 0, vec![0u8; 32], self.policy.clone());
+            nc.call(
+                thread,
+                &troupe,
+                MODULE,
+                0,
+                vec![0u8; 32],
+                self.policy.clone(),
+            );
         }
     }
 }
@@ -164,19 +178,27 @@ pub fn run_commit_protocol(clients: u32) -> SyncOutcome {
     for h in 1..=3u32 {
         let a = SockAddr::new(HostId(h), 70);
         let p = CircusProcess::new(a, config.clone())
-            .with_service(STORE_MODULE, Box::new(TroupeStoreService::new(COMMIT_MODULE)))
+            .with_service(
+                STORE_MODULE,
+                Box::new(TroupeStoreService::new(COMMIT_MODULE)),
+            )
             .with_troupe_id(id);
         w.spawn(a, Box::new(p));
         members.push(ModuleAddr::new(a, STORE_MODULE));
     }
     let troupe = Troupe::new(id, members);
-    let client_addrs: Vec<SockAddr> =
-        (0..clients).map(|i| SockAddr::new(HostId(10 + i), 50)).collect();
+    let client_addrs: Vec<SockAddr> = (0..clients)
+        .map(|i| SockAddr::new(HostId(10 + i), 50))
+        .collect();
     for &a in &client_addrs {
         // Everyone increments the same object: maximal conflict.
         let script = vec![vec![Op::Add(ObjId(1), 1)]; TXNS_PER_CLIENT];
         let p = CircusProcess::new(a, config.clone())
-            .with_agent(Box::new(TxnClient::new(troupe.clone(), STORE_MODULE, script)))
+            .with_agent(Box::new(TxnClient::new(
+                troupe.clone(),
+                STORE_MODULE,
+                script,
+            )))
             .with_service(COMMIT_MODULE, Box::new(CommitVoterService));
         w.spawn(a, Box::new(p));
     }
@@ -236,20 +258,28 @@ pub fn run_ordered_broadcast(clients: u32) -> SyncOutcome {
         let p = CircusProcess::new(a, NodeConfig::default())
             .with_service(
                 STORE_MODULE,
-                Box::new(OrderedBroadcastService::new(AddApply { total: 0, applied: 0 })),
+                Box::new(OrderedBroadcastService::new(AddApply {
+                    total: 0,
+                    applied: 0,
+                })),
             )
             .with_troupe_id(id);
         w.spawn(a, Box::new(p));
         members.push(ModuleAddr::new(a, STORE_MODULE));
     }
     let troupe = Troupe::new(id, members);
-    let client_addrs: Vec<SockAddr> =
-        (0..clients).map(|i| SockAddr::new(HostId(10 + i), 50)).collect();
+    let client_addrs: Vec<SockAddr> = (0..clients)
+        .map(|i| SockAddr::new(HostId(10 + i), 50))
+        .collect();
     for (i, &a) in client_addrs.iter().enumerate() {
         let msgs = vec![to_bytes(&1i64); TXNS_PER_CLIENT];
-        let p = CircusProcess::new(a, NodeConfig::default()).with_agent(Box::new(
-            Broadcaster::new(troupe.clone(), STORE_MODULE, (i as u64 + 1) * 1_000_000, msgs),
-        ));
+        let p =
+            CircusProcess::new(a, NodeConfig::default()).with_agent(Box::new(Broadcaster::new(
+                troupe.clone(),
+                STORE_MODULE,
+                (i as u64 + 1) * 1_000_000,
+                msgs,
+            )));
         w.spawn(a, Box::new(p));
     }
     for &a in &client_addrs {
@@ -436,4 +466,3 @@ mod tests {
         assert!(commit.throughput > 0.0 && bcast.throughput > 0.0);
     }
 }
-

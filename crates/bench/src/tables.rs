@@ -30,12 +30,7 @@ pub const PAPER_TABLE_4_3: &[(u32, [f64; 6])] = &[
     (5, [33.0, 11.1, 9.9, 6.8, 6.9, 4.6]),
 ];
 
-fn row(
-    out: &mut String,
-    label: &str,
-    paper: (f64, f64, f64, f64),
-    measured: (f64, f64, f64, f64),
-) {
+fn row(out: &mut String, label: &str, paper: (f64, f64, f64, f64), measured: (f64, f64, f64, f64)) {
     let _ = writeln!(
         out,
         "{label:<12} | {:>6.1} {:>6.1} {:>6.1} {:>6.1} | {:>6.1} {:>6.1} {:>6.1} {:>6.1}",
@@ -46,7 +41,10 @@ fn row(
 /// Table 4.1: performance of UDP, TCP, and Circus (ms per call).
 pub fn table_4_1(calls: u32) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table 4.1: Performance of UDP, TCP, and Circus (ms/call)");
+    let _ = writeln!(
+        out,
+        "Table 4.1: Performance of UDP, TCP, and Circus (ms/call)"
+    );
     let _ = writeln!(
         out,
         "{:<12} | {:>27} | {:>27}",
@@ -236,7 +234,11 @@ pub fn eq_5_1(trials: u32) -> String {
         out,
         "Eq 5.1: P[deadlock] = 1 - (1/k!)^(n-1)  (k conflicting txns, n members)"
     );
-    let _ = writeln!(out, "{:<3} {:<3} {:>12} {:>12}", "k", "n", "analytic", "simulated");
+    let _ = writeln!(
+        out,
+        "{:<3} {:<3} {:>12} {:>12}",
+        "k", "n", "analytic", "simulated"
+    );
     for k in [2u32, 3, 4, 5] {
         for n in [2u32, 3, 5] {
             let a = deadlock_probability(k, n);
@@ -295,7 +297,10 @@ pub fn table_7_1() -> String {
         out,
         "paper: Courier->C, Courier->Lisp, Lisp->Lisp, Modula-2->Modula-2"
     );
-    let _ = writeln!(out, "here:  Courier-style IDL -> Rust (the `stubgen` crate)\n");
+    let _ = writeln!(
+        out,
+        "here:  Courier-style IDL -> Rust (the `stubgen` crate)\n"
+    );
     let _ = writeln!(out, "{:<28} {:<18}", "property", "this stub compiler");
     for (prop, val) in [
         ("interface language", "Courier-style"),

@@ -7,12 +7,12 @@
 //! running the protocols in the simulated testbed.
 
 use circus::{
-    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig,
-    NodeCtx, Service, ServiceCtx, Step, Troupe, TroupeId,
+    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig, NodeCtx,
+    Service, ServiceCtx, Step, Troupe, TroupeId,
 };
 use simnet::{
-    CpuAccount, Ctx, Duration, HostId, NetConfig, Process, SockAddr, Syscall, SyscallCosts,
-    Time, World,
+    CpuAccount, Ctx, Duration, HostId, NetConfig, Process, SockAddr, Syscall, SyscallCosts, Time,
+    World,
 };
 
 /// Result of one echo experiment.
@@ -426,7 +426,11 @@ mod tests {
             r.total_cpu_ms
         );
         // Real time ≈ both ends' CPU + 2 network trips: 20–30 ms.
-        assert!(r.real_ms > 20.0 && r.real_ms < 32.0, "udp real {}", r.real_ms);
+        assert!(
+            r.real_ms > 20.0 && r.real_ms < 32.0,
+            "udp real {}",
+            r.real_ms
+        );
     }
 
     #[test]
@@ -436,7 +440,11 @@ mod tests {
         // Table 4.1's surprise: the TCP echo is *faster* than UDP.
         assert!(tcp.total_cpu_ms < udp.total_cpu_ms);
         assert!(tcp.real_ms < udp.real_ms);
-        assert!((tcp.total_cpu_ms - 8.3).abs() < 0.2, "tcp cpu {}", tcp.total_cpu_ms);
+        assert!(
+            (tcp.total_cpu_ms - 8.3).abs() < 0.2,
+            "tcp cpu {}",
+            tcp.total_cpu_ms
+        );
     }
 
     #[test]

@@ -1,0 +1,317 @@
+//! Workload agents for the chaos harness.
+//!
+//! [`RebindingClient`] is a transaction client that goes through the
+//! full binding story of Chapter 6: it *imports* the store troupe by
+//! name from the Ringmaster into an [`ImportCache`], submits scripted
+//! transactions against the cached binding, and on a stale-binding
+//! rejection (§6.2) invalidates, rebinds, and retries. It records every
+//! submission's `(thread, nonce)` key and outcome so the oracles can
+//! audit exactly-once execution against the store members' commit
+//! ledgers.
+//!
+//! [`RemoveAgent`] is the configuration manager's half of crash repair:
+//! one replicated `remove_troupe_member` call (§6.4.2).
+
+use circus::binding::BINDING_MODULE;
+use circus::{
+    Agent, CallError, CallHandle, CollationPolicy, ModuleAddr, NodeCtx, ThreadId, Troupe,
+};
+use ringmaster::{ImportCache, RemoveTroupeMember};
+use simnet::Duration;
+use transactions::{Backoff, ExecuteRequest, Op, TxnOutcome, PROC_EXECUTE};
+use wire::{from_bytes, to_bytes};
+
+use circus::binding::binding_procs;
+
+const RETRY_TAG: u64 = 0x6368; // "ch"
+const PAUSE_TAG: u64 = 0x7061; // "pa"
+
+/// Mean think time between transactions. Pacing spreads the script
+/// across the fault window, so faults land on a *live* workload rather
+/// than an idle, already-finished one.
+const THINK_MEAN_US: u64 = 1_200_000;
+
+/// What the one in-flight call is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Pending {
+    /// A name lookup or rebind at the binding agent.
+    Binding,
+    /// A transaction submission under `(thread, nonce)`.
+    Txn(ThreadId, u64),
+}
+
+/// A transaction client that binds by name and rebinds when stale.
+pub struct RebindingClient {
+    binder: Troupe,
+    name: String,
+    module: u16,
+    cache: ImportCache,
+    script: Vec<Vec<Op>>,
+    next: usize,
+    nonce: u64,
+    backoff: Backoff,
+    pending: Option<Pending>,
+    paused: bool,
+    retries_left: u32,
+    /// Every submission ever made: `(thread, nonce, ops)` — the oracles
+    /// join the members' commit ledgers against this.
+    pub submitted: Vec<(ThreadId, u64, Vec<Op>)>,
+    /// Keys the client *knows* committed (it saw `Committed`).
+    pub committed_keys: Vec<(ThreadId, u64)>,
+    /// Keys the client saw explicitly aborted; a member committing one of
+    /// these violates commit atomicity.
+    pub aborted_keys: Vec<(ThreadId, u64)>,
+    /// Per-transaction results, in script order.
+    pub committed_results: Vec<Vec<i64>>,
+    /// Abort count (deadlock pressure plus fault-induced vote failures).
+    pub aborts: u32,
+    /// How many times a stale binding forced a rebind.
+    pub rebinds: u32,
+    /// Unrecoverable failures.
+    pub errors: Vec<String>,
+}
+
+impl RebindingClient {
+    /// A client importing `name` from `binder` and running `script`
+    /// against module `module` of whatever troupe the name resolves to.
+    pub fn new(binder: Troupe, name: impl Into<String>, module: u16, script: Vec<Vec<Op>>) -> Self {
+        RebindingClient {
+            binder,
+            name: name.into(),
+            module,
+            cache: ImportCache::new(),
+            script,
+            next: 0,
+            nonce: 0,
+            backoff: Backoff::default_1985(),
+            pending: None,
+            paused: false,
+            retries_left: 200,
+            submitted: Vec::new(),
+            committed_keys: Vec::new(),
+            aborted_keys: Vec::new(),
+            committed_results: Vec::new(),
+            aborts: 0,
+            rebinds: 0,
+            errors: Vec::new(),
+        }
+    }
+
+    /// `true` once the whole script has committed (or failed hard).
+    pub fn finished(&self) -> bool {
+        (self.next >= self.script.len() && self.pending.is_none()) || !self.errors.is_empty()
+    }
+
+    /// The binding cache, for the stale-binding oracle.
+    pub fn cache(&self) -> &ImportCache {
+        &self.cache
+    }
+
+    /// Gates submissions: while paused, finished transactions are not
+    /// followed by new ones (the driver pauses clients around membership
+    /// repairs so state transfer sees a quiescent module, §6.4.1).
+    pub fn set_paused(&mut self, paused: bool) {
+        self.paused = paused;
+    }
+
+    /// Appends one more transaction to the script (the quiesce phase uses
+    /// this to force one post-reconfiguration call through every client's
+    /// cache). Poke the client afterwards if it had finished.
+    pub fn enqueue(&mut self, ops: Vec<Op>) {
+        self.script.push(ops);
+    }
+
+    fn lookup(&mut self, nc: &mut NodeCtx<'_, '_, '_>, rebind: bool) {
+        let (proc, args) = if rebind {
+            self.cache.rebind_request(&self.name)
+        } else {
+            ImportCache::lookup_request(&self.name)
+        };
+        self.pending = Some(Pending::Binding);
+        let thread = nc.fresh_thread();
+        let binder = self.binder.clone();
+        nc.call(
+            thread,
+            &binder,
+            BINDING_MODULE,
+            proc,
+            args,
+            CollationPolicy::Majority,
+        );
+    }
+
+    fn submit(&mut self, nc: &mut NodeCtx<'_, '_, '_>) {
+        if self.pending.is_some() || self.next >= self.script.len() || !self.errors.is_empty() {
+            return;
+        }
+        if self.paused {
+            nc.set_app_timer(Duration::from_micros(400_000), PAUSE_TAG);
+            return;
+        }
+        let Some(troupe) = self.cache.get(&self.name).cloned() else {
+            self.lookup(nc, false);
+            return;
+        };
+        let ops = self.script[self.next].clone();
+        self.nonce += 1;
+        // Every submission, including a retry, is a new transaction on a
+        // new distributed thread (§2.3.1).
+        let thread = nc.fresh_thread();
+        self.pending = Some(Pending::Txn(thread, self.nonce));
+        self.submitted.push((thread, self.nonce, ops.clone()));
+        nc.call(
+            thread,
+            &troupe,
+            self.module,
+            PROC_EXECUTE,
+            to_bytes(&ExecuteRequest {
+                nonce: self.nonce,
+                ops,
+            }),
+            CollationPolicy::Unanimous,
+        );
+    }
+
+    fn retry_later(&mut self, nc: &mut NodeCtx<'_, '_, '_>, why: &str) {
+        if self.retries_left == 0 {
+            self.errors.push(format!("gave up after retries: {why}"));
+            return;
+        }
+        self.retries_left -= 1;
+        let delay = self.backoff.next_delay(nc.sim().rng());
+        nc.set_app_timer(delay, RETRY_TAG);
+    }
+}
+
+impl Agent for RebindingClient {
+    fn on_poke(&mut self, nc: &mut NodeCtx<'_, '_, '_>, _tag: u64) {
+        self.submit(nc);
+    }
+
+    fn on_call_done(
+        &mut self,
+        nc: &mut NodeCtx<'_, '_, '_>,
+        _handle: CallHandle,
+        result: Result<Vec<u8>, CallError>,
+    ) {
+        let Some(pending) = self.pending.take() else {
+            return;
+        };
+        match pending {
+            Pending::Binding => {
+                match result {
+                    Ok(bytes) => {
+                        if self.cache.store_reply(&self.name, &bytes).is_none() {
+                            self.retry_later(nc, "name not bound");
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        self.retry_later(nc, &format!("lookup failed: {e}"));
+                        return;
+                    }
+                }
+                self.submit(nc);
+            }
+            Pending::Txn(thread, nonce) => match result {
+                Ok(bytes) => match from_bytes::<TxnOutcome>(&bytes) {
+                    Ok(TxnOutcome::Committed(results)) => {
+                        self.committed_keys.push((thread, nonce));
+                        self.committed_results.push(results);
+                        self.next += 1;
+                        self.backoff.reset();
+                        self.retries_left = 200;
+                        let think = 200_000 + nc.sim().rng().below(2 * THINK_MEAN_US);
+                        nc.set_app_timer(Duration::from_micros(think), RETRY_TAG);
+                    }
+                    Ok(TxnOutcome::Aborted(_)) => {
+                        self.aborted_keys.push((thread, nonce));
+                        self.aborts += 1;
+                        self.retry_later(nc, "aborted");
+                    }
+                    Err(e) => self.errors.push(format!("garbled outcome: {e}")),
+                },
+                Err(e) if ImportCache::should_rebind(&e) => {
+                    // The call never executed under the stale incarnation
+                    // (§6.2: WrongTroupe is rejected before dispatch).
+                    self.cache.invalidate(&self.name);
+                    self.rebinds += 1;
+                    self.lookup(nc, true);
+                }
+                Err(e) => {
+                    // Ambiguous: the call failed at this client, but some
+                    // members may have executed it. It is *not* recorded
+                    // as aborted — the oracles treat its key as unknown.
+                    self.aborts += 1;
+                    self.retry_later(nc, &format!("call failed: {e}"));
+                }
+            },
+        }
+    }
+
+    fn on_app_timer(&mut self, nc: &mut NodeCtx<'_, '_, '_>, tag: u64) {
+        if tag == RETRY_TAG || tag == PAUSE_TAG {
+            self.submit(nc);
+        }
+    }
+}
+
+/// Removes one member's binding via the replicated binding interface —
+/// the driver's stand-in for the configuration manager noticing a crash
+/// (the GC agent of §6.1 would do the same, on its own clock).
+pub struct RemoveAgent {
+    binder: Troupe,
+    req: RemoveTroupeMember,
+    started: bool,
+    /// Completion flag.
+    pub done: bool,
+    /// Failure description, if the removal failed.
+    pub failed: Option<String>,
+}
+
+impl RemoveAgent {
+    /// Removes `member` from the troupe registered under `name`.
+    pub fn new(binder: Troupe, name: impl Into<String>, member: ModuleAddr) -> RemoveAgent {
+        RemoveAgent {
+            binder,
+            req: RemoveTroupeMember {
+                name: name.into(),
+                member,
+            },
+            started: false,
+            done: false,
+            failed: None,
+        }
+    }
+}
+
+impl Agent for RemoveAgent {
+    fn on_poke(&mut self, nc: &mut NodeCtx<'_, '_, '_>, _tag: u64) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let thread = nc.fresh_thread();
+        let binder = self.binder.clone();
+        nc.call(
+            thread,
+            &binder,
+            BINDING_MODULE,
+            binding_procs::REMOVE_TROUPE_MEMBER,
+            to_bytes(&self.req),
+            CollationPolicy::Majority,
+        );
+    }
+
+    fn on_call_done(
+        &mut self,
+        _nc: &mut NodeCtx<'_, '_, '_>,
+        _handle: CallHandle,
+        result: Result<Vec<u8>, CallError>,
+    ) {
+        self.done = true;
+        if let Err(e) = result {
+            self.failed = Some(format!("remove_troupe_member failed: {e}"));
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! The per-seed harness and the sweep entry points.
+//!
+//! [`run_seed`] does one complete chaos run: generate the plan for the
+//! seed, drive the scenario, run the oracles, and fold everything into a
+//! [`RunReport`]. Because plan, world, and workload are all pure
+//! functions of the seed, two reports for the same seed must be
+//! identical — trace hash, event count, CPU totals, network counters and
+//! all — which is what the determinism test asserts, and what makes the
+//! copy-pasteable repro line from a failing sweep actually reproduce.
+
+use simnet::{Duration, NetStats, TraceEvent, TraceLog};
+
+use crate::oracle::{check_all, Violation};
+use crate::scenario::{run_scenario, Quiesced, ScenarioOptions};
+
+/// How many leading trace events a report carries for inspection.
+const TRACE_SAMPLE: usize = 64;
+
+/// Everything one chaos run produced.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// The seed.
+    pub seed: u64,
+    /// FNV-1a hash over *every* trace event of the run.
+    pub trace_hash: u64,
+    /// Total trace events emitted.
+    pub trace_events: u64,
+    /// The first few events, for eyeballing a diverging run.
+    pub trace_sample: Vec<TraceEvent>,
+    /// Faults the plan scheduled.
+    pub faults: usize,
+    /// Crash/kill repairs performed.
+    pub repairs: usize,
+    /// Client-confirmed commits across all clients (probes included).
+    pub commits: usize,
+    /// Aborted or ambiguously-failed submissions across all clients.
+    pub aborts: u32,
+    /// Stale-binding rebinds across all clients.
+    pub rebinds: u32,
+    /// Unrecoverable client errors.
+    pub client_errors: Vec<String>,
+    /// Driver anomalies (failed repair steps and the like).
+    pub driver_warnings: Vec<String>,
+    /// Whether every client finished its script and probe.
+    pub all_clients_finished: bool,
+    /// Oracle violations.
+    pub violations: Vec<Violation>,
+    /// Simulated CPU time summed over every surviving process.
+    pub cpu_total: Duration,
+    /// The world's network counters.
+    pub net: NetStats,
+}
+
+impl RunReport {
+    /// `true` if the run is clean: no violations, no client errors, no
+    /// driver warnings, everyone finished.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+            && self.client_errors.is_empty()
+            && self.driver_warnings.is_empty()
+            && self.all_clients_finished
+    }
+
+    /// A copy-pasteable command reproducing this run by seed.
+    pub fn repro(&self) -> String {
+        format!("CHAOS_SEED={} cargo test -p chaos --test sweep", self.seed)
+    }
+
+    /// A one-paragraph failure description, repro line first.
+    pub fn failure_summary(&self) -> String {
+        let mut s = format!(
+            "chaos seed {} FAILED — reproduce with:\n    {}\n\
+             trace hash {:#018x} over {} events; {} faults, {} repairs, \
+             {} commits, {} aborts, {} rebinds\n",
+            self.seed,
+            self.repro(),
+            self.trace_hash,
+            self.trace_events,
+            self.faults,
+            self.repairs,
+            self.commits,
+            self.aborts,
+            self.rebinds,
+        );
+        if !self.all_clients_finished {
+            s.push_str("clients did not finish their scripts\n");
+        }
+        for w in &self.driver_warnings {
+            s.push_str(&format!("driver: {w}\n"));
+        }
+        for e in &self.client_errors {
+            s.push_str(&format!("client: {e}\n"));
+        }
+        for v in &self.violations {
+            s.push_str(&format!("violation: {v}\n"));
+        }
+        s
+    }
+}
+
+/// One full chaos run with default options.
+pub fn run_seed(seed: u64) -> RunReport {
+    run_seed_with(seed, &ScenarioOptions::default())
+}
+
+/// One full chaos run with explicit options.
+pub fn run_seed_with(seed: u64, opts: &ScenarioOptions) -> RunReport {
+    let q = run_scenario(seed, opts);
+    let violations = check_all(&q);
+    report(&q, violations)
+}
+
+fn report(q: &Quiesced, violations: Vec<Violation>) -> RunReport {
+    use crate::client::RebindingClient;
+    use circus::CircusProcess;
+
+    let (trace_hash, trace_events, trace_sample) = q
+        .world
+        .trace_sink_as::<TraceLog>()
+        .map(|log| {
+            let sample = log.events().iter().take(TRACE_SAMPLE).cloned().collect();
+            (
+                log.hash(),
+                log.events().len() as u64 + log.dropped(),
+                sample,
+            )
+        })
+        .unwrap_or((0, 0, Vec::new()));
+
+    let mut commits = 0usize;
+    let mut aborts = 0u32;
+    let mut rebinds = 0u32;
+    let mut client_errors = Vec::new();
+    for &c in &q.client_addrs {
+        if let Some((n, a, r, errs)) = q.world.with_proc(c, |p: &CircusProcess| {
+            let a = p
+                .agent_as::<RebindingClient>()
+                .expect("client process hosts a RebindingClient");
+            (
+                a.committed_keys.len(),
+                a.aborts,
+                a.rebinds,
+                a.errors.clone(),
+            )
+        }) {
+            commits += n;
+            aborts += a;
+            rebinds += r;
+            client_errors.extend(errs);
+        }
+    }
+
+    let cpu_total = q
+        .world
+        .proc_addrs()
+        .into_iter()
+        .fold(Duration::ZERO, |acc, a| acc + q.world.cpu(a).total());
+
+    RunReport {
+        seed: q.seed,
+        trace_hash,
+        trace_events,
+        trace_sample,
+        faults: q.plan.faults.len(),
+        repairs: q.repairs,
+        commits,
+        aborts,
+        rebinds,
+        client_errors,
+        driver_warnings: q.driver_warnings.clone(),
+        all_clients_finished: q.all_clients_finished,
+        violations,
+        cpu_total,
+        net: q.world.net_stats().clone(),
+    }
+}
+
+/// The seeds a sweep should run: the `CHAOS_SEED` environment variable
+/// (a single seed for replaying a failure) or the given default range.
+pub fn sweep_seeds(default: std::ops::Range<u64>) -> Vec<u64> {
+    match std::env::var("CHAOS_SEED") {
+        Ok(s) => {
+            let seed = s
+                .trim()
+                .parse::<u64>()
+                .unwrap_or_else(|_| panic!("CHAOS_SEED must be a u64, got {s:?}"));
+            vec![seed]
+        }
+        Err(_) => default.collect(),
+    }
+}

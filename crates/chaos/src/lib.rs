@@ -1,0 +1,42 @@
+//! # chaos: deterministic simulation testing for the whole stack
+//!
+//! A FoundationDB-style chaos harness over the `simnet` simulator: every
+//! run is a pure function of one `u64` seed — the fault schedule, the
+//! workload, the network's loss and jitter, every timer — so a failure
+//! found by sweeping seeds is replayed bit-for-bit from the seed alone.
+//!
+//! The pieces:
+//!
+//! - [`plan`] — seeded [`FaultPlan`]s: host crashes and restarts, process
+//!   kills, single-host partitions, loss/duplication bursts, and
+//!   [`NetConfig`](simnet::NetConfig) swaps at simulated times, all
+//!   derived deterministically from the seed and calibrated against the
+//!   paired-message crash-detection horizon (a partition is *not* a
+//!   crash, §4.3.5);
+//! - [`scenario`] — the workload driver: a Ringmaster troupe, a
+//!   replicated transactional store registered with it, and
+//!   name-importing clients running replicated transactions concurrently
+//!   with the faults, including full crash repair (remove the dead
+//!   member, join a spare with state transfer, §6.4);
+//! - [`oracle`] — five invariants checked at quiesce: exactly-once
+//!   execution, replica-state convergence, transaction atomicity, no
+//!   surviving stale binding, and paired-message serial-number
+//!   monotonicity;
+//! - [`harness`] — [`run_seed`] ties it together and emits a
+//!   [`RunReport`] whose trace hash makes "same seed ⇒ same run" a
+//!   one-line assertion and whose [`RunReport::repro`] line makes a
+//!   failing sweep seed copy-pasteable.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod harness;
+pub mod oracle;
+pub mod plan;
+pub mod scenario;
+
+pub use client::{RebindingClient, RemoveAgent};
+pub use harness::{run_seed, run_seed_with, sweep_seeds, RunReport};
+pub use oracle::{check_all, Violation};
+pub use plan::{Fault, FaultPlan, PlanOptions, PlannedFault};
+pub use scenario::{run_scenario, Quiesced, ScenarioOptions};

@@ -1,0 +1,369 @@
+//! Invariant oracles, checked against a [`Quiesced`] world.
+//!
+//! Each oracle states a property the system promises *despite* the fault
+//! schedule, and checks it from independent witnesses: the commit ledger
+//! every store member keeps (in commit order, as part of its transferred
+//! state), the submission record every client keeps, the paired-message
+//! audit counters every endpoint keeps, and the Ringmaster's registry.
+//!
+//! 1. **Exactly-once execution** — no member ever committed the same
+//!    `(thread, nonce)` twice, and every commit a client was told about
+//!    is present at every current member (§4.2.4's at-most-once delivery
+//!    plus troupe-commit agreement give exactly-once).
+//! 2. **Replica-state convergence** — all current members have identical
+//!    state digests, and that state equals an independent replay of the
+//!    commit ledger against the clients' submission records (§5.1: every
+//!    member serializes the same transactions in the same order).
+//! 3. **Transaction atomicity** — a transaction is in either every
+//!    current member's ledger or none, and never in a ledger if its
+//!    client saw an explicit abort (all-or-nothing across the troupe).
+//! 4. **No stale binding survives** — after the quiesce probe, every
+//!    client's cached binding for the store equals the Ringmaster's
+//!    registry entry, and the Ringmaster members agree with each other
+//!    (§6.2: cache invalidation must eventually catch every
+//!    reconfiguration).
+//! 5. **Serial-number monotonicity** — no endpoint in the whole world
+//!    ever sent a call number out of order or delivered a call twice
+//!    (§4.2.4), even under duplication and loss bursts.
+
+use std::collections::{BTreeMap, HashMap};
+
+use circus::binding::{BINDING_MODULE, RINGMASTER_PORT};
+use circus::{CircusProcess, ThreadId, Troupe};
+use ringmaster::RingmasterService;
+use simnet::SockAddr;
+use transactions::{ObjId, Op, TroupeStoreService};
+
+use crate::client::RebindingClient;
+use crate::scenario::{Quiesced, STORE_MODULE, STORE_NAME};
+
+/// One invariant violation.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Which oracle fired.
+    pub oracle: &'static str,
+    /// What it saw.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.oracle, self.detail)
+    }
+}
+
+struct MemberView {
+    addr: SockAddr,
+    ledger: Vec<(ThreadId, u64)>,
+    digest: u64,
+    snapshot: Vec<(u64, i64)>,
+}
+
+struct ClientView {
+    addr: SockAddr,
+    submitted: Vec<(ThreadId, u64, Vec<Op>)>,
+    committed: Vec<(ThreadId, u64)>,
+    aborted: Vec<(ThreadId, u64)>,
+    cached: Option<Troupe>,
+}
+
+fn member_views(q: &Quiesced) -> Vec<MemberView> {
+    q.store_members
+        .iter()
+        .filter_map(|m| {
+            q.world.with_proc(m.addr, |p: &CircusProcess| {
+                let s = p
+                    .node()
+                    .service_as::<TroupeStoreService>(STORE_MODULE)
+                    .expect("store member exports the store service");
+                MemberView {
+                    addr: m.addr,
+                    ledger: s.committed_log().to_vec(),
+                    digest: s.state_digest(),
+                    snapshot: s.tm().store().snapshot(),
+                }
+            })
+        })
+        .collect()
+}
+
+fn client_views(q: &Quiesced) -> Vec<ClientView> {
+    q.client_addrs
+        .iter()
+        .filter_map(|&c| {
+            q.world.with_proc(c, |p: &CircusProcess| {
+                let a = p
+                    .agent_as::<RebindingClient>()
+                    .expect("client process hosts a RebindingClient");
+                ClientView {
+                    addr: c,
+                    submitted: a.submitted.clone(),
+                    committed: a.committed_keys.clone(),
+                    aborted: a.aborted_keys.clone(),
+                    cached: a.cache().get(STORE_NAME).cloned(),
+                }
+            })
+        })
+        .collect()
+}
+
+fn check_exactly_once(members: &[MemberView], clients: &[ClientView], out: &mut Vec<Violation>) {
+    const ORACLE: &str = "exactly-once";
+    for m in members {
+        let mut seen = HashMap::new();
+        for (i, key) in m.ledger.iter().enumerate() {
+            if let Some(first) = seen.insert(*key, i) {
+                out.push(Violation {
+                    oracle: ORACLE,
+                    detail: format!(
+                        "member {} committed {key:?} twice (ledger entries {first} and {i})",
+                        m.addr
+                    ),
+                });
+            }
+        }
+    }
+    for c in clients {
+        for key in &c.committed {
+            for m in members {
+                if !m.ledger.contains(key) {
+                    out.push(Violation {
+                        oracle: ORACLE,
+                        detail: format!(
+                            "client {} was told {key:?} committed, but member {} has no \
+                             ledger entry for it",
+                            c.addr, m.addr
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn check_convergence(members: &[MemberView], clients: &[ClientView], out: &mut Vec<Violation>) {
+    const ORACLE: &str = "convergence";
+    if let Some(first) = members.first() {
+        for m in &members[1..] {
+            if m.digest != first.digest {
+                out.push(Violation {
+                    oracle: ORACLE,
+                    detail: format!(
+                        "state digests diverge: {} has {:#018x}, {} has {:#018x}",
+                        first.addr, first.digest, m.addr, m.digest
+                    ),
+                });
+            }
+        }
+    }
+    // Independent replay: reconstruct what each member's state *should*
+    // be from its own ledger joined with the clients' submission records.
+    let ops_by_key: HashMap<(ThreadId, u64), &[Op]> = clients
+        .iter()
+        .flat_map(|c| c.submitted.iter())
+        .map(|(t, n, ops)| ((*t, *n), ops.as_slice()))
+        .collect();
+    for m in members {
+        let mut replayed: BTreeMap<ObjId, i64> = BTreeMap::new();
+        let mut complete = true;
+        for key in &m.ledger {
+            let Some(ops) = ops_by_key.get(key) else {
+                out.push(Violation {
+                    oracle: ORACLE,
+                    detail: format!(
+                        "member {} ledger entry {key:?} matches no client submission",
+                        m.addr
+                    ),
+                });
+                complete = false;
+                continue;
+            };
+            for op in *ops {
+                match *op {
+                    Op::Read(_) => {}
+                    Op::Write(o, v) => {
+                        replayed.insert(o, v);
+                    }
+                    Op::Add(o, d) => {
+                        *replayed.entry(o).or_insert(0) += d;
+                    }
+                }
+            }
+        }
+        if !complete {
+            continue;
+        }
+        let actual: BTreeMap<ObjId, i64> = m
+            .snapshot
+            .iter()
+            .filter(|&&(_, v)| v != 0)
+            .map(|&(o, v)| (ObjId(o), v))
+            .collect();
+        replayed.retain(|_, v| *v != 0);
+        if actual != replayed {
+            out.push(Violation {
+                oracle: ORACLE,
+                detail: format!(
+                    "member {} state {actual:?} differs from ledger replay {replayed:?}",
+                    m.addr
+                ),
+            });
+        }
+    }
+}
+
+fn check_atomicity(members: &[MemberView], clients: &[ClientView], out: &mut Vec<Violation>) {
+    const ORACLE: &str = "atomicity";
+    let mut union: Vec<(ThreadId, u64)> = Vec::new();
+    for m in members {
+        for key in &m.ledger {
+            if !union.contains(key) {
+                union.push(*key);
+            }
+        }
+    }
+    for key in &union {
+        let holders: Vec<SockAddr> = members
+            .iter()
+            .filter(|m| m.ledger.contains(key))
+            .map(|m| m.addr)
+            .collect();
+        if holders.len() != members.len() {
+            out.push(Violation {
+                oracle: ORACLE,
+                detail: format!(
+                    "{key:?} committed at {holders:?} but not at the other of {} members",
+                    members.len()
+                ),
+            });
+        }
+    }
+    for c in clients {
+        for key in &c.aborted {
+            for m in members {
+                if m.ledger.contains(key) {
+                    out.push(Violation {
+                        oracle: ORACLE,
+                        detail: format!(
+                            "client {} saw {key:?} abort, yet member {} committed it",
+                            c.addr, m.addr
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn check_stale_bindings(q: &Quiesced, clients: &[ClientView], out: &mut Vec<Violation>) {
+    const ORACLE: &str = "stale-binding";
+    let mut registry: Vec<(SockAddr, Option<Troupe>)> = Vec::new();
+    for &h in &q.ringmaster_hosts {
+        let addr = SockAddr::new(h, RINGMASTER_PORT);
+        if let Some(binding) = q.world.with_proc(addr, |p: &CircusProcess| {
+            p.node()
+                .service_as::<RingmasterService>(BINDING_MODULE)
+                .and_then(|s| {
+                    s.bindings()
+                        .into_iter()
+                        .find(|(n, _)| n == STORE_NAME)
+                        .map(|(_, t)| t)
+                })
+        }) {
+            registry.push((addr, binding));
+        }
+    }
+    let Some((first_addr, first)) = registry.first().cloned() else {
+        out.push(Violation {
+            oracle: ORACLE,
+            detail: "no ringmaster member reachable to read the registry".into(),
+        });
+        return;
+    };
+    for (addr, binding) in &registry[1..] {
+        if *binding != first {
+            out.push(Violation {
+                oracle: ORACLE,
+                detail: format!(
+                    "ringmaster members disagree on '{STORE_NAME}': {first_addr} has \
+                     {first:?}, {addr} has {binding:?}"
+                ),
+            });
+        }
+    }
+    let Some(truth) = first else {
+        out.push(Violation {
+            oracle: ORACLE,
+            detail: format!("'{STORE_NAME}' is not in the registry at quiesce"),
+        });
+        return;
+    };
+    for c in clients {
+        match &c.cached {
+            Some(t) if *t == truth => {}
+            Some(t) => out.push(Violation {
+                oracle: ORACLE,
+                detail: format!(
+                    "client {} still caches {:?} (incarnation {:?}) but the registry \
+                     says {:?} (incarnation {:?})",
+                    c.addr, t.members, t.id, truth.members, truth.id
+                ),
+            }),
+            None => out.push(Violation {
+                oracle: ORACLE,
+                detail: format!("client {} has no cached binding after its probe", c.addr),
+            }),
+        }
+    }
+}
+
+fn check_monotonicity(q: &Quiesced, out: &mut Vec<Violation>) {
+    const ORACLE: &str = "serial-monotonicity";
+    for addr in q.world.proc_addrs() {
+        let Some(stats) = q
+            .world
+            .with_proc(addr, |p: &CircusProcess| p.node().endpoint_stats())
+        else {
+            continue;
+        };
+        for (peer, s) in stats {
+            if s.send_call_regressions != 0 {
+                out.push(Violation {
+                    oracle: ORACLE,
+                    detail: format!(
+                        "{addr} sent {} non-monotonic call number(s) to {peer}",
+                        s.send_call_regressions
+                    ),
+                });
+            }
+            if s.duplicate_call_deliveries != 0 {
+                out.push(Violation {
+                    oracle: ORACLE,
+                    detail: format!(
+                        "{addr} delivered {} duplicate call(s) from {peer}",
+                        s.duplicate_call_deliveries
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Runs all five oracles and returns every violation found.
+pub fn check_all(q: &Quiesced) -> Vec<Violation> {
+    let members = member_views(q);
+    let clients = client_views(q);
+    let mut out = Vec::new();
+    if members.is_empty() {
+        out.push(Violation {
+            oracle: "convergence",
+            detail: "no live store member at quiesce".into(),
+        });
+    }
+    check_exactly_once(&members, &clients, &mut out);
+    check_convergence(&members, &clients, &mut out);
+    check_atomicity(&members, &clients, &mut out);
+    check_stale_bindings(q, &clients, &mut out);
+    check_monotonicity(q, &mut out);
+    out
+}

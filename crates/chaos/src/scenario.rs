@@ -1,0 +1,479 @@
+//! The chaos scenario: the full stack under a seeded fault schedule.
+//!
+//! One [`run_scenario`] call builds a world containing every layer of the
+//! system — a three-member Ringmaster troupe, a three-member replicated
+//! transactional store registered with it, and clients that import the
+//! store by name — then drives the [`FaultPlan`] for the seed against it:
+//! partitions, loss/duplication bursts, degraded network configurations,
+//! and member crashes with full remove-and-rejoin repair. When the plan
+//! is exhausted the driver *quiesces* the world (heals the network, lets
+//! every client finish, forces one probe transaction through every
+//! binding cache) and hands the frozen world to the oracles.
+
+use circus::binding::{binding_procs, BINDING_MODULE, RINGMASTER_PORT};
+use circus::{
+    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig, NodeCtx,
+    Troupe, TroupeId,
+};
+use ringmaster::{spawn_ringmaster, JoinAgent, RegisterTroupe, RingmasterService};
+use simnet::{
+    Duration, HostId, NetConfig, Partition, SimRng, SockAddr, SyscallCosts, TraceLog, World,
+};
+use transactions::{CommitVoterService, ObjId, Op, TroupeStoreService};
+use wire::{from_bytes, to_bytes};
+
+use crate::client::{RebindingClient, RemoveAgent};
+use crate::plan::{Fault, FaultPlan, PlanOptions, PlannedFault};
+
+/// Module number of the replicated store service.
+pub const STORE_MODULE: u16 = 1;
+/// Module number of the client-side commit voter.
+pub const COMMIT_MODULE: u16 = 2;
+/// Port store members listen on.
+pub const STORE_PORT: u16 = 70;
+/// Port clients (and the registrar) listen on.
+pub const CLIENT_PORT: u16 = 10;
+/// The name the store troupe is registered under.
+pub const STORE_NAME: &str = "store";
+
+/// Scenario knobs beyond the fault plan itself.
+#[derive(Clone, Debug)]
+pub struct ScenarioOptions {
+    /// Transactions per client before the quiesce probe.
+    pub txns_per_client: usize,
+    /// Bounds for the fault plan.
+    pub plan: PlanOptions,
+}
+
+impl Default for ScenarioOptions {
+    fn default() -> ScenarioOptions {
+        ScenarioOptions {
+            txns_per_client: 40,
+            plan: PlanOptions::default(),
+        }
+    }
+}
+
+/// The quiesced world plus everything the oracles need to find their
+/// witnesses in it.
+pub struct Quiesced {
+    /// The frozen world.
+    pub world: World,
+    /// The generating seed.
+    pub seed: u64,
+    /// The fault plan that was executed.
+    pub plan: FaultPlan,
+    /// The store membership at quiesce (per the Ringmaster registry).
+    pub store_members: Vec<ModuleAddr>,
+    /// The client process addresses.
+    pub client_addrs: Vec<SockAddr>,
+    /// The Ringmaster member hosts.
+    pub ringmaster_hosts: Vec<HostId>,
+    /// `true` if every client finished its whole script (plus probe).
+    pub all_clients_finished: bool,
+    /// Crash/kill repairs performed (remove + join a spare).
+    pub repairs: usize,
+    /// Non-fatal driver anomalies (a failed repair step, a lookup that
+    /// never answered...). The sweep treats these as failures too.
+    pub driver_warnings: Vec<String>,
+}
+
+/// Registers the store troupe with the Ringmaster from a third-party
+/// administrative process (§6.3: clients need only the binding agent's
+/// well-known address).
+struct Registrar {
+    binder: Troupe,
+    req: RegisterTroupe,
+    id: Option<TroupeId>,
+}
+
+impl Agent for Registrar {
+    fn on_poke(&mut self, nc: &mut NodeCtx<'_, '_, '_>, _tag: u64) {
+        let t = nc.fresh_thread();
+        let binder = self.binder.clone();
+        nc.call(
+            t,
+            &binder,
+            BINDING_MODULE,
+            binding_procs::REGISTER_TROUPE,
+            to_bytes(&self.req),
+            CollationPolicy::Majority,
+        );
+    }
+
+    fn on_call_done(
+        &mut self,
+        _nc: &mut NodeCtx<'_, '_, '_>,
+        _h: CallHandle,
+        result: Result<Vec<u8>, CallError>,
+    ) {
+        if let Ok(bytes) = result {
+            self.id = from_bytes(&bytes).ok();
+        }
+    }
+}
+
+struct Driver {
+    w: World,
+    config: NodeConfig,
+    rm: Troupe,
+    rm_hosts: Vec<HostId>,
+    members: Vec<ModuleAddr>,
+    spares: Vec<HostId>,
+    crashed: Vec<HostId>,
+    clients: Vec<SockAddr>,
+    baseline: NetConfig,
+    repairs: usize,
+    admin_port: u16,
+    warnings: Vec<String>,
+}
+
+impl Driver {
+    fn registry_binding(&self) -> Option<Troupe> {
+        let addr = SockAddr::new(self.rm_hosts[0], RINGMASTER_PORT);
+        self.w
+            .with_proc(addr, |p: &CircusProcess| {
+                p.node()
+                    .service_as::<RingmasterService>(BINDING_MODULE)
+                    .and_then(|s| {
+                        s.bindings()
+                            .into_iter()
+                            .find(|(n, _)| n == STORE_NAME)
+                            .map(|(_, t)| t)
+                    })
+            })
+            .flatten()
+    }
+
+    fn pause_clients(&mut self, paused: bool) {
+        for &c in &self.clients.clone() {
+            self.w.with_proc_mut(c, |p: &mut CircusProcess| {
+                if let Some(a) = p.agent_as_mut::<RebindingClient>() {
+                    a.set_paused(paused);
+                }
+            });
+        }
+    }
+
+    fn poke_clients(&mut self) {
+        for &c in &self.clients.clone() {
+            self.w.poke(c, 0);
+        }
+    }
+
+    /// Crash repair (§6.4.1–§6.4.2): pause the workload so the module
+    /// quiesces, wait out the crash-detection horizon, remove the dead
+    /// member's binding, join a replacement from a spare host at a fresh
+    /// address (address reuse would collide with the dead member's
+    /// paired-message call numbers at its peers), then resume.
+    fn repair(&mut self, dead: ModuleAddr) {
+        self.repairs += 1;
+        self.pause_clients(true);
+        // Let in-flight calls drain and the survivors' endpoints declare
+        // the dead member dead (~max_retransmits × retransmit_interval).
+        self.w.run_for(Duration::from_micros(3_000_000));
+
+        let admin = SockAddr::new(HostId(91), self.admin_port);
+        self.admin_port += 1;
+        let p = CircusProcess::new(admin, self.config.clone()).with_agent(Box::new(
+            RemoveAgent::new(self.rm.clone(), STORE_NAME, dead),
+        ));
+        self.w.spawn(admin, Box::new(p));
+        self.w.poke(admin, 0);
+        let deadline = self.w.now() + Duration::from_micros(30_000_000);
+        let removed = self.w.run_until_pred(deadline, |w| {
+            w.with_proc(admin, |p: &CircusProcess| {
+                p.agent_as::<RemoveAgent>().is_some_and(|a| a.done)
+            })
+            .unwrap_or(false)
+        });
+        if !removed {
+            self.warnings
+                .push(format!("remove of {dead:?} did not complete"));
+        } else if let Some(err) = self
+            .w
+            .with_proc(admin, |p: &CircusProcess| {
+                p.agent_as::<RemoveAgent>().and_then(|a| a.failed.clone())
+            })
+            .flatten()
+        {
+            self.warnings.push(err);
+        }
+
+        let Some(spare) = (!self.spares.is_empty()).then(|| self.spares.remove(0)) else {
+            self.warnings.push("no spare host left for repair".into());
+            self.pause_clients(false);
+            self.poke_clients();
+            return;
+        };
+        let newbie = SockAddr::new(spare, STORE_PORT);
+        let p = CircusProcess::new(newbie, self.config.clone())
+            .with_service(
+                STORE_MODULE,
+                Box::new(TroupeStoreService::new(COMMIT_MODULE)),
+            )
+            .with_binder(self.rm.clone())
+            .with_agent(Box::new(JoinAgent::new(
+                self.rm.clone(),
+                STORE_NAME,
+                STORE_MODULE,
+            )));
+        self.w.spawn(newbie, Box::new(p));
+        self.w.poke(newbie, 0);
+        let deadline = self.w.now() + Duration::from_micros(60_000_000);
+        let joined = self.w.run_until_pred(deadline, |w| {
+            w.with_proc(newbie, |p: &CircusProcess| {
+                p.agent_as::<JoinAgent>().is_some_and(|j| j.finished())
+            })
+            .unwrap_or(false)
+        });
+        if !joined {
+            self.warnings.push(format!("join at {newbie} timed out"));
+        } else if let Some(err) = self
+            .w
+            .with_proc(newbie, |p: &CircusProcess| {
+                p.agent_as::<JoinAgent>().and_then(|j| j.failed.clone())
+            })
+            .flatten()
+        {
+            self.warnings
+                .push(format!("join at {newbie} failed: {err}"));
+        }
+
+        if let Some(t) = self.registry_binding() {
+            self.members = t.members;
+        }
+        self.pause_clients(false);
+        self.poke_clients();
+    }
+
+    fn apply(&mut self, pf: &PlannedFault) {
+        self.w.run_until(pf.at);
+        match pf.fault {
+            Fault::Partition {
+                victim_idx,
+                heal_after,
+            } => {
+                let victim = self.members[victim_idx % self.members.len()].addr.host;
+                self.w.set_partition(Partition::isolate(vec![victim]));
+                self.w.run_for(heal_after);
+                self.w.set_partition(Partition::none());
+            }
+            Fault::LossBurst {
+                loss,
+                duplicate,
+                duration,
+            } => {
+                self.w.set_net(NetConfig {
+                    loss,
+                    duplicate,
+                    ..self.baseline.clone()
+                });
+                self.w.run_for(duration);
+                self.w.set_net(self.baseline.clone());
+            }
+            Fault::Degrade { factor, duration } => {
+                self.w.set_net(NetConfig {
+                    base_latency: self.baseline.base_latency.saturating_mul(factor as u64),
+                    jitter_mean: self.baseline.jitter_mean.saturating_mul(factor as u64),
+                    ..self.baseline.clone()
+                });
+                self.w.run_for(duration);
+                self.w.set_net(self.baseline.clone());
+            }
+            Fault::CrashHost { victim_idx } => {
+                if self.spares.is_empty() {
+                    return;
+                }
+                let victim = self.members[victim_idx % self.members.len()];
+                self.crashed.push(victim.addr.host);
+                self.w.crash_host(victim.addr.host);
+                self.repair(victim);
+            }
+            Fault::KillProc { victim_idx } => {
+                if self.spares.is_empty() {
+                    return;
+                }
+                let victim = self.members[victim_idx % self.members.len()];
+                self.w.kill(victim.addr);
+                self.repair(victim);
+            }
+            Fault::RestartOldest => {
+                // The host comes back up empty; its old address is never
+                // reused for a member (its peers still remember the dead
+                // process's serial numbers).
+                if !self.crashed.is_empty() {
+                    let h = self.crashed.remove(0);
+                    self.w.restart_host(h);
+                }
+            }
+        }
+    }
+
+    fn clients_finished(w: &World, clients: &[SockAddr]) -> bool {
+        clients.iter().all(|&c| {
+            w.with_proc(c, |p: &CircusProcess| {
+                p.agent_as::<RebindingClient>()
+                    .is_some_and(|a| a.finished())
+            })
+            .unwrap_or(false)
+        })
+    }
+}
+
+/// Builds the world, runs the fault plan for `seed` against the live
+/// workload, quiesces, and returns everything the oracles need.
+pub fn run_scenario(seed: u64, opts: &ScenarioOptions) -> Quiesced {
+    let plan = FaultPlan::generate(seed, &opts.plan);
+    let baseline = NetConfig::lan_1985();
+    let mut w = World::with_config(seed, baseline.clone(), SyscallCosts::default());
+    // The sink must be installed before the first spawn so the whole run,
+    // setup included, is covered by the trace hash.
+    w.set_trace_sink(Box::new(TraceLog::with_limit(20_000)));
+
+    let config = NodeConfig {
+        assembly_timeout: Duration::from_micros(1_500_000),
+        ..NodeConfig::default()
+    };
+    let rm_hosts = vec![HostId(1), HostId(2), HostId(3)];
+    let rm = spawn_ringmaster(&mut w, &rm_hosts, config.clone());
+
+    let members: Vec<ModuleAddr> = [10u32, 11, 12]
+        .iter()
+        .map(|&h| ModuleAddr::new(SockAddr::new(HostId(h), STORE_PORT), STORE_MODULE))
+        .collect();
+    for m in &members {
+        let p = CircusProcess::new(m.addr, config.clone())
+            .with_service(
+                STORE_MODULE,
+                Box::new(TroupeStoreService::new(COMMIT_MODULE)),
+            )
+            .with_binder(rm.clone());
+        w.spawn(m.addr, Box::new(p));
+    }
+
+    let mut warnings = Vec::new();
+    let registrar = SockAddr::new(HostId(90), CLIENT_PORT);
+    let p = CircusProcess::new(registrar, config.clone()).with_agent(Box::new(Registrar {
+        binder: rm.clone(),
+        req: RegisterTroupe {
+            name: STORE_NAME.into(),
+            members: members.clone(),
+        },
+        id: None,
+    }));
+    w.spawn(registrar, Box::new(p));
+    w.poke(registrar, 0);
+    let deadline = w.now() + Duration::from_micros(30_000_000);
+    let registered = w.run_until_pred(deadline, |w| {
+        w.with_proc(registrar, |p: &CircusProcess| {
+            p.agent_as::<Registrar>().is_some_and(|r| r.id.is_some())
+        })
+        .unwrap_or(false)
+    });
+    if !registered {
+        warnings.push("store troupe never registered".into());
+    }
+
+    // Scripts are drawn from a workload RNG domain-separated from both
+    // the world and the plan, over a small object set so clients conflict
+    // (deadlock-and-retry pressure, §5.3.1).
+    let mut wrng = SimRng::new(seed ^ 0x574F_524B_u64.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let objs = [ObjId(1), ObjId(2), ObjId(3)];
+    let client_addrs: Vec<SockAddr> = [20u32, 21]
+        .iter()
+        .map(|&h| SockAddr::new(HostId(h), CLIENT_PORT))
+        .collect();
+    for &c in &client_addrs {
+        let mut script = Vec::new();
+        for _ in 0..opts.txns_per_client {
+            let mut txn = Vec::new();
+            for _ in 0..=wrng.below(2) {
+                let obj = objs[wrng.below(objs.len() as u64) as usize];
+                txn.push(if wrng.chance(0.25) {
+                    Op::Read(obj)
+                } else {
+                    Op::Add(obj, 1 + wrng.below(5) as i64)
+                });
+            }
+            script.push(txn);
+        }
+        let p = CircusProcess::new(c, config.clone())
+            .with_agent(Box::new(RebindingClient::new(
+                rm.clone(),
+                STORE_NAME,
+                STORE_MODULE,
+                script,
+            )))
+            .with_service(COMMIT_MODULE, Box::new(CommitVoterService));
+        w.spawn(c, Box::new(p));
+        w.poke(c, 0);
+    }
+
+    let mut d = Driver {
+        w,
+        config,
+        rm,
+        rm_hosts: rm_hosts.clone(),
+        members,
+        spares: vec![HostId(13), HostId(14)],
+        crashed: Vec::new(),
+        clients: client_addrs.clone(),
+        baseline: baseline.clone(),
+        repairs: 0,
+        admin_port: CLIENT_PORT,
+        warnings,
+    };
+
+    for pf in plan.faults.clone() {
+        d.apply(&pf);
+    }
+
+    // Quiesce: heal everything, let every client finish its script.
+    d.w.set_partition(Partition::none());
+    d.w.set_net(baseline);
+    d.pause_clients(false);
+    let deadline = d.w.now() + Duration::from_micros(180_000_000);
+    let finished =
+        d.w.run_until_pred(deadline, |w| Driver::clients_finished(w, &client_addrs));
+    if !finished {
+        d.warnings
+            .push("clients did not finish before quiesce".into());
+    }
+
+    // One probe transaction per client: a no-op write that forces a call
+    // through the binding cache, so a binding left stale by the last
+    // reconfiguration must be detected and repaired before the stale-cache
+    // oracle runs (§6.2's lazy invalidation has no other trigger).
+    for &c in &client_addrs {
+        d.w.with_proc_mut(c, |p: &mut CircusProcess| {
+            if let Some(a) = p.agent_as_mut::<RebindingClient>() {
+                a.enqueue(vec![Op::Add(ObjId(1), 0)]);
+            }
+        });
+        d.w.poke(c, 0);
+    }
+    let deadline = d.w.now() + Duration::from_micros(120_000_000);
+    let probed =
+        d.w.run_until_pred(deadline, |w| Driver::clients_finished(w, &client_addrs));
+    if !probed {
+        d.warnings.push("probe transactions did not finish".into());
+    }
+    // Let retransmissions and deferred acks settle.
+    d.w.run_for(Duration::from_micros(5_000_000));
+
+    let store_members = d
+        .registry_binding()
+        .map_or(d.members.clone(), |t| t.members);
+    Quiesced {
+        world: d.w,
+        seed,
+        plan,
+        store_members,
+        client_addrs,
+        ringmaster_hosts: rm_hosts,
+        all_clients_finished: finished && probed,
+        repairs: d.repairs,
+        driver_warnings: d.warnings,
+    }
+}

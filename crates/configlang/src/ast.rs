@@ -139,9 +139,6 @@ mod tests {
                 attr: "has-floating-point".into(),
             }),
         );
-        assert_eq!(
-            format!("{f}"),
-            "(x.memory >= 10 and x.has-floating-point)"
-        );
+        assert_eq!(format!("{f}"), "(x.memory >= 10 and x.has-floating-point)");
     }
 }

@@ -97,7 +97,10 @@ mod tests {
         let u = Universe::new()
             .with(Machine::named(1, "a"))
             .with(Machine::named(5, "b"));
-        assert_eq!(u.by_id(5).unwrap().get("name"), Some(&Value::Str("b".into())));
+        assert_eq!(
+            u.by_id(5).unwrap().get("name"),
+            Some(&Value::Str("b".into()))
+        );
         assert!(u.by_id(9).is_none());
     }
 }

@@ -106,7 +106,11 @@ impl ConfigManager {
 
     /// Instantiates a troupe from specification source; returns the
     /// placement actions to perform.
-    pub fn instantiate(&mut self, name: &str, spec_src: &str) -> Result<Vec<Placement>, ConfigError> {
+    pub fn instantiate(
+        &mut self,
+        name: &str,
+        spec_src: &str,
+    ) -> Result<Vec<Placement>, ConfigError> {
         let spec = parse(spec_src)?;
         let placement = extend_troupe(&spec, &self.universe, &[])
             .ok_or_else(|| ConfigError::Unsatisfiable(name.to_string()))?;
@@ -185,7 +189,10 @@ mod tests {
     fn instantiate_produces_starts() {
         let mut cm = ConfigManager::new(universe());
         let actions = cm
-            .instantiate("fs", "troupe(x, y, z) where x.memory >= 9 and y.memory >= 9 and z.memory >= 9")
+            .instantiate(
+                "fs",
+                "troupe(x, y, z) where x.memory >= 9 and y.memory >= 9 and z.memory >= 9",
+            )
             .unwrap();
         assert_eq!(actions.len(), 3);
         assert!(actions
@@ -228,7 +235,8 @@ mod tests {
     #[test]
     fn reconfigure_noop_when_nothing_changed() {
         let mut cm = ConfigManager::new(universe());
-        cm.instantiate("fs", "troupe(x) where x.memory >= 9").unwrap();
+        cm.instantiate("fs", "troupe(x) where x.memory >= 9")
+            .unwrap();
         let actions = cm.reconfigure("fs").unwrap();
         assert!(actions.is_empty());
     }
@@ -245,11 +253,15 @@ mod tests {
     #[test]
     fn spec_change_can_grow_troupe() {
         let mut cm = ConfigManager::new(universe());
-        cm.instantiate("fs", "troupe(x) where x.memory >= 9").unwrap();
+        cm.instantiate("fs", "troupe(x) where x.memory >= 9")
+            .unwrap();
         // Re-instantiate with a bigger spec (programming-in-the-large
         // tuning of availability, §1.1).
         let actions = cm
-            .instantiate("fs", "troupe(x, y, z) where x.memory >= 9 and y.memory >= 9 and z.memory >= 9")
+            .instantiate(
+                "fs",
+                "troupe(x, y, z) where x.memory >= 9 and y.memory >= 9 and z.memory >= 9",
+            )
             .unwrap();
         assert_eq!(actions.len(), 3);
         assert_eq!(cm.troupe("fs").unwrap().placement.len(), 3);

@@ -162,8 +162,7 @@ mod tests {
     #[test]
     fn cross_variable_constraints() {
         // Different variables may have different requirements.
-        let spec =
-            parse("troupe(x, y) where x.has-floating-point and y.memory >= 16").unwrap();
+        let spec = parse("troupe(x, y) where x.has-floating-point and y.memory >= 16").unwrap();
         let ids = extend_troupe(&spec, &universe(), &[]).unwrap();
         let u = universe();
         let x = u.by_id(ids[0]).unwrap();

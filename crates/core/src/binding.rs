@@ -95,7 +95,10 @@ mod tests {
             decode_lookup_reply(&encode_lookup_reply(Some(&t))).unwrap(),
             Some(t)
         );
-        assert_eq!(decode_lookup_reply(&encode_lookup_reply(None)).unwrap(), None);
+        assert_eq!(
+            decode_lookup_reply(&encode_lookup_reply(None)).unwrap(),
+            None
+        );
     }
 
     #[test]

@@ -248,11 +248,7 @@ impl Program {
     }
 
     /// Adds a module.
-    pub fn with_module(
-        mut self,
-        name: &str,
-        module: Box<dyn DeterministicModule>,
-    ) -> Program {
+    pub fn with_module(mut self, name: &str, module: Box<dyn DeterministicModule>) -> Program {
         self.modules.insert(name.to_string(), module);
         self
     }
@@ -373,8 +369,13 @@ mod tests {
 
     #[test]
     fn call_stack_tracks_open_calls() {
-        let h = History::prefix(vec![c("M", "p", 1), c("N", "q", 2), r("N", "q", 3), c("N", "s", 4)])
-            .unwrap();
+        let h = History::prefix(vec![
+            c("M", "p", 1),
+            c("N", "q", 2),
+            r("N", "q", 3),
+            c("N", "s", 4),
+        ])
+        .unwrap();
         let stack = h.call_stack();
         assert_eq!(stack.len(), 2);
         assert_eq!(stack[0].proc, "p");
@@ -493,7 +494,8 @@ mod tests {
         // consistent state from a checkpoint, or replaying events from a
         // log" (§3.3.2).
         let mut full = counter_program();
-        full.replay(&counter_history(&[3, 4, 5])).unwrap_or_default();
+        full.replay(&counter_history(&[3, 4, 5]))
+            .unwrap_or_default();
         // Recovery path: start from the checkpoint after [3, 4]...
         let mut recovered = Program::new().with_module("counter", Box::new(Counter { value: 7 }));
         // ...and replay the tail of the log.

@@ -29,7 +29,7 @@ use crate::collate::{Collation, CollationPolicy, Decision};
 use crate::message::{CallMessage, ReturnMessage};
 use crate::service::{CallError, NodeEffect, OutCall, Service, ServiceCtx, Step, TroupeTarget};
 use crate::thread::{ThreadId, ThreadIdGen};
-use pairedmsg::{Endpoint, Event as PmEvent, MsgType};
+use pairedmsg::{Endpoint, EndpointStats, Event as PmEvent, MsgType};
 use simnet::{Duration, SockAddr, Syscall, Time};
 use wire::{from_bytes, to_bytes};
 
@@ -377,6 +377,24 @@ impl Node {
         self.threads.fresh()
     }
 
+    /// Number of service invocations this member has started — assemblies
+    /// that reached a collation decision and ran service code. The chaos
+    /// harness compares this across troupe members at quiesce.
+    pub fn invocations(&self) -> u64 {
+        self.next_invocation - 1
+    }
+
+    /// Per-peer paired-message endpoint statistics, in deterministic
+    /// (sorted) peer order. Feeds the serial-number-monotonicity oracle:
+    /// across all endpoints, `duplicate_call_deliveries` and
+    /// `send_call_regressions` must stay zero.
+    pub fn endpoint_stats(&self) -> Vec<(SockAddr, EndpointStats)> {
+        self.conns
+            .iter()
+            .map(|(&peer, c)| (peer, c.endpoint.stats()))
+            .collect()
+    }
+
     /// Drains the next application event.
     pub fn poll_event(&mut self) -> Option<AppEvent> {
         self.events.pop_front()
@@ -402,7 +420,49 @@ impl Node {
         args: Vec<u8>,
         collation: CollationPolicy,
     ) -> CallHandle {
-        let handle = self.begin_call_inner(io, thread, troupe, module, proc, args, collation, CallPurpose::App);
+        let handle = self.begin_call_inner(
+            io,
+            thread,
+            troupe,
+            module,
+            proc,
+            args,
+            collation,
+            CallPurpose::App,
+            self.my_troupe,
+        );
+        self.flush_all(io);
+        CallHandle(handle)
+    }
+
+    /// Like [`Node::begin_call`], but presents the caller as a plain
+    /// unregistered client even if this process is a registered troupe
+    /// member. A registered member's *solo* administrative call (e.g. the
+    /// join agent's state re-fetch, §6.4.1) must not be mistaken for one
+    /// message of a many-to-one replicated call — the server would wait
+    /// out the assembly timeout for the other members' copies (§4.3.2).
+    #[allow(clippy::too_many_arguments)]
+    pub fn begin_call_solo(
+        &mut self,
+        io: &mut dyn NetIo,
+        thread: ThreadId,
+        troupe: &Troupe,
+        module: u16,
+        proc: u16,
+        args: Vec<u8>,
+        collation: CollationPolicy,
+    ) -> CallHandle {
+        let handle = self.begin_call_inner(
+            io,
+            thread,
+            troupe,
+            module,
+            proc,
+            args,
+            collation,
+            CallPurpose::App,
+            TroupeId::UNREGISTERED,
+        );
         self.flush_all(io);
         CallHandle(handle)
     }
@@ -418,6 +478,7 @@ impl Node {
         args: Vec<u8>,
         collation: CollationPolicy,
         purpose: CallPurpose,
+        client_troupe: TroupeId,
     ) -> u64 {
         let handle = self.next_handle;
         self.next_handle += 1;
@@ -429,7 +490,7 @@ impl Node {
         let msg = CallMessage {
             thread,
             call_seq,
-            client_troupe: self.my_troupe,
+            client_troupe,
             server_troupe: troupe.id,
             module,
             proc,
@@ -550,11 +611,13 @@ impl Node {
     }
 
     /// Routes a finished call's result according to its purpose.
-    fn complete_call(&mut self, io: &mut dyn NetIo, handle: u64, result: Result<Vec<u8>, CallError>) {
-        let purpose = std::mem::replace(
-            &mut self.call_mut(handle).purpose,
-            CallPurpose::App,
-        );
+    fn complete_call(
+        &mut self,
+        io: &mut dyn NetIo,
+        handle: u64,
+        result: Result<Vec<u8>, CallError>,
+    ) {
+        let purpose = std::mem::replace(&mut self.call_mut(handle).purpose, CallPurpose::App);
         match purpose {
             CallPurpose::App => self.events.push_back(AppEvent::CallDone {
                 handle: CallHandle(handle),
@@ -691,8 +754,9 @@ impl Node {
             // The watchdog compares stragglers against the value already
             // delivered (§4.3.4).
             if call.done && call.collation.is_watchdog() && !call.collation.votes_agree() {
-                self.events
-                    .push_back(AppEvent::DeterminismViolation { handle: CallHandle(handle) });
+                self.events.push_back(AppEvent::DeterminismViolation {
+                    handle: CallHandle(handle),
+                });
             }
             self.check_decision(io, handle);
         }
@@ -992,6 +1056,7 @@ impl Node {
                 }
                 // Thread-ID propagation (§3.4.1): the nested call runs on
                 // behalf of the incoming thread.
+                let my_troupe = self.my_troupe;
                 self.begin_call_inner(
                     io,
                     ctx.thread,
@@ -1001,6 +1066,7 @@ impl Node {
                     out.args,
                     out.collation,
                     CallPurpose::Nested { key },
+                    my_troupe,
                 );
             }
         }
@@ -1068,7 +1134,12 @@ impl Node {
     }
 
     /// Resumes a service blocked on a nested call.
-    fn resume_service(&mut self, io: &mut dyn NetIo, key: CallKey, result: Result<Vec<u8>, CallError>) {
+    fn resume_service(
+        &mut self,
+        io: &mut dyn NetIo,
+        key: CallKey,
+        result: Result<Vec<u8>, CallError>,
+    ) {
         let Some(p) = self.pending.get_mut(&key) else {
             return;
         };
@@ -1154,7 +1225,13 @@ impl Node {
     // Directory maintenance (§4.3.2).
     // -----------------------------------------------------------------
 
-    fn park_and_lookup(&mut self, io: &mut dyn NetIo, from: SockAddr, pm_cn: u32, msg: CallMessage) {
+    fn park_and_lookup(
+        &mut self,
+        io: &mut dyn NetIo,
+        from: SockAddr,
+        pm_cn: u32,
+        msg: CallMessage,
+    ) {
         let troupe = msg.client_troupe;
         self.parked
             .entry(troupe)
@@ -1169,6 +1246,10 @@ impl Node {
             return;
         };
         let thread = self.threads.fresh();
+        // Solo call: each member looks the troupe up independently as it
+        // needs to, so presenting `my_troupe` here would make the binding
+        // agent wait out the assembly timeout for the other members'
+        // (never-coming) copies of this lookup.
         let handle = self.begin_call_inner(
             io,
             thread,
@@ -1178,11 +1259,17 @@ impl Node {
             binding::encode_lookup_by_id(troupe),
             CollationPolicy::Majority,
             CallPurpose::DirLookup { troupe },
+            TroupeId::UNREGISTERED,
         );
         self.lookups_in_flight.insert(troupe, handle);
     }
 
-    fn finish_lookup(&mut self, io: &mut dyn NetIo, troupe: TroupeId, result: Result<Vec<u8>, CallError>) {
+    fn finish_lookup(
+        &mut self,
+        io: &mut dyn NetIo,
+        troupe: TroupeId,
+        result: Result<Vec<u8>, CallError>,
+    ) {
         self.lookups_in_flight.remove(&troupe);
         let members = result
             .ok()

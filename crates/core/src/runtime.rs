@@ -51,6 +51,22 @@ impl<'a, 'b, 'w> NodeCtx<'a, 'b, 'w> {
             .begin_call(self.io, thread, troupe, module, proc, args, collation)
     }
 
+    /// Begins a call presented as coming from a plain unregistered
+    /// client, even on a registered troupe member — for administrative
+    /// calls one member makes alone (see [`Node::begin_call_solo`]).
+    pub fn call_solo(
+        &mut self,
+        thread: ThreadId,
+        troupe: &Troupe,
+        module: u16,
+        proc: u16,
+        args: Vec<u8>,
+        collation: CollationPolicy,
+    ) -> CallHandle {
+        self.node
+            .begin_call_solo(self.io, thread, troupe, module, proc, args, collation)
+    }
+
     /// Arms an application timer; it arrives at [`Agent::on_app_timer`].
     pub fn set_app_timer(&mut self, delay: Duration, tag: u64) {
         self.node.set_app_timer(self.io, delay, tag);
@@ -179,7 +195,9 @@ impl CircusProcess {
                 _w: std::marker::PhantomData,
             };
             match ev {
-                AppEvent::CallDone { handle, result } => agent.on_call_done(&mut nc, handle, result),
+                AppEvent::CallDone { handle, result } => {
+                    agent.on_call_done(&mut nc, handle, result)
+                }
                 AppEvent::MemberDead { addr } => agent.on_member_dead(&mut nc, addr),
                 AppEvent::DeterminismViolation { handle } => {
                     agent.on_determinism_violation(&mut nc, handle)

@@ -214,8 +214,14 @@ mod tests {
             CallError::from(CollateError::Disagreement),
             CallError::Disagreement
         );
-        assert_eq!(CallError::from(CollateError::AllDead), CallError::AllMembersDead);
-        assert_eq!(CallError::from(CollateError::NoMajority), CallError::NoMajority);
+        assert_eq!(
+            CallError::from(CollateError::AllDead),
+            CallError::AllMembersDead
+        );
+        assert_eq!(
+            CallError::from(CollateError::NoMajority),
+            CallError::NoMajority
+        );
         assert_eq!(
             CallError::from(CollateError::Rejected("x".into())),
             CallError::Rejected("x".into())

@@ -2,8 +2,8 @@
 //! scriptable client agent, and a cluster builder.
 
 use circus::{
-    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig,
-    NodeCtx, Service, ServiceCtx, Step, ThreadId, Troupe, TroupeId,
+    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig, NodeCtx,
+    Service, ServiceCtx, Step, ThreadId, Troupe, TroupeId,
 };
 use simnet::{HostId, SockAddr, SyscallCosts, World};
 use wire::{from_bytes, to_bytes};
@@ -129,7 +129,14 @@ impl Agent for TestClient {
                 t
             }
         };
-        nc.call(thread, &req.troupe, req.module, req.proc, req.args, req.collation);
+        nc.call(
+            thread,
+            &req.troupe,
+            req.module,
+            req.proc,
+            req.args,
+            req.collation,
+        );
     }
 
     fn on_call_done(
@@ -168,8 +175,8 @@ pub fn spawn_server_troupe(world: &mut World, id: u64, first_host: u32, n: usize
 /// Spawns an unreplicated client with the given script at host 100.
 pub fn spawn_client(world: &mut World, script: Vec<Request>) -> SockAddr {
     let a = addr(100, 200);
-    let p = CircusProcess::new(a, NodeConfig::default())
-        .with_agent(Box::new(TestClient::new(script)));
+    let p =
+        CircusProcess::new(a, NodeConfig::default()).with_agent(Box::new(TestClient::new(script)));
     world.spawn(a, Box::new(p));
     a
 }
@@ -187,12 +194,19 @@ pub fn client_results(world: &World, a: SockAddr) -> Vec<Result<Vec<u8>, CallErr
 pub fn executions(world: &World, a: SockAddr) -> u32 {
     world
         .with_proc(a, |p: &CircusProcess| {
-            p.node().service_as::<CountingService>(MODULE).unwrap().executions
+            p.node()
+                .service_as::<CountingService>(MODULE)
+                .unwrap()
+                .executions
         })
         .unwrap()
 }
 
 /// A fresh world with the 1985 LAN and cost model.
 pub fn world(seed: u64) -> World {
-    World::with_config(seed, simnet::NetConfig::lan_1985(), SyscallCosts::vax_4_2bsd())
+    World::with_config(
+        seed,
+        simnet::NetConfig::lan_1985(),
+        SyscallCosts::vax_4_2bsd(),
+    )
 }

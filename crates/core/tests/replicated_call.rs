@@ -5,8 +5,8 @@
 mod common;
 
 use circus::{
-    Agent, CallError, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig, NodeCtx,
-    OutCall, Service, ServiceCtx, Step, Troupe, TroupeId, TroupeTarget,
+    Agent, CallError, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig, NodeCtx, OutCall,
+    Service, ServiceCtx, Step, Troupe, TroupeId, TroupeTarget,
 };
 use common::*;
 use simnet::{Duration, HostId, World};
@@ -637,7 +637,11 @@ fn deterministic_across_seeds() {
             .iter()
             .map(|r| from_bytes(r.as_ref().unwrap()).unwrap())
             .collect();
-        let execs = troupe.members.iter().map(|m| executions(&w, m.addr)).collect();
+        let execs = troupe
+            .members
+            .iter()
+            .map(|m| executions(&w, m.addr))
+            .collect();
         (totals, execs)
     }
     assert_eq!(outcome(100), outcome(101));
@@ -687,13 +691,12 @@ fn watchdog_detects_late_disagreement() {
     let mut w = world(17);
     let troupe = spawn_server_troupe(&mut w, 10, 1, 3);
     let client = addr(100, 200);
-    let p = CircusProcess::new(client, NodeConfig::default()).with_agent(Box::new(
-        WatchdogClient {
+    let p =
+        CircusProcess::new(client, NodeConfig::default()).with_agent(Box::new(WatchdogClient {
             troupe,
             result: None,
             alarms: 0,
-        },
-    ));
+        }));
     w.spawn(client, Box::new(p));
     w.poke(client, 0);
     run(&mut w, 10);
@@ -707,7 +710,10 @@ fn watchdog_detects_late_disagreement() {
     // Computation proceeded with the first reply...
     assert!(result.is_some(), "first-come result must be delivered");
     // ...and the watchdog flagged the inconsistency.
-    assert!(alarms >= 1, "watchdog never fired on nondeterministic replies");
+    assert!(
+        alarms >= 1,
+        "watchdog never fired on nondeterministic replies"
+    );
 }
 
 #[test]
@@ -896,7 +902,10 @@ fn partition_minority_fails_majority_succeeds() {
     let results = client_results(&w, client);
     assert_eq!(results.len(), 1);
     assert!(
-        matches!(results[0], Err(CallError::NoMajority) | Err(CallError::AllMembersDead)),
+        matches!(
+            results[0],
+            Err(CallError::NoMajority) | Err(CallError::AllMembersDead)
+        ),
         "minority side must not proceed: {results:?}"
     );
 

@@ -49,7 +49,8 @@ struct ProbeState {
     unanswered: u32,
 }
 
-/// Traffic counters, used by the §4.2.5 protocol-discipline ablation.
+/// Traffic counters, used by the §4.2.5 protocol-discipline ablation and
+/// the chaos harness's serial-number-monotonicity oracle.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct EndpointStats {
     /// Segments handed to the network (data, acks, and probes).
@@ -57,6 +58,20 @@ pub struct EndpointStats {
     /// Largest number of out-of-order segments buffered by any receiver
     /// at once — the buffering cost the PARC discipline avoids (§4.2.5).
     pub max_recv_buffered: usize,
+    /// Complete Call messages delivered upward.
+    pub calls_delivered: u64,
+    /// Complete Return messages delivered upward.
+    pub returns_delivered: u64,
+    /// Call messages delivered upward more than once for the same call
+    /// number — must stay zero: each serial number executes at most once
+    /// (§4.2.4). Checked by the chaos harness at quiesce.
+    pub duplicate_call_deliveries: u64,
+    /// Outgoing calls whose call number did not exceed every call number
+    /// previously sent to this peer — must stay zero: senders allocate
+    /// serial numbers monotonically.
+    pub send_call_regressions: u64,
+    /// Incoming segments ignored as replays of purged exchanges.
+    pub replays_suppressed: u64,
 }
 
 /// State machine for all exchanges with one peer process.
@@ -72,9 +87,19 @@ pub struct Endpoint {
     /// Calls we sent whose returns have not yet been delivered; drives
     /// crash-detection probing.
     awaiting_reply: BTreeSet<u32>,
-    /// Highest call number delivered upward as a complete Call message;
-    /// prevents replay of purged exchanges.
+    /// Highest call number delivered upward as a complete Call message
+    /// (monotonicity audit).
     highest_delivered_call: Option<u32>,
+    /// Highest call number among *purged* completed Call records; arrivals
+    /// at or below it are replays of exchanges we no longer remember and
+    /// are ignored. Calls above it that we still remember are handled by
+    /// the `completed` map, so a legitimate concurrent call that completes
+    /// after a higher-numbered one is NOT mistaken for a replay.
+    purged_call_watermark: Option<u32>,
+    /// Call numbers ever delivered upward as Calls (exactly-once audit).
+    delivered_call_numbers: BTreeSet<u32>,
+    /// Highest call number we ourselves have sent (monotonicity audit).
+    highest_sent_call: Option<u32>,
     dead: bool,
     stats: EndpointStats,
 }
@@ -92,6 +117,9 @@ impl Endpoint {
             probe: None,
             awaiting_reply: BTreeSet::new(),
             highest_delivered_call: None,
+            purged_call_watermark: None,
+            delivered_call_numbers: BTreeSet::new(),
+            highest_sent_call: None,
             dead: false,
             stats: EndpointStats::default(),
         }
@@ -151,6 +179,13 @@ impl Endpoint {
         }
         if msg_type == MsgType::Call {
             self.awaiting_reply.insert(call_number);
+            if self.highest_sent_call.is_some_and(|hi| call_number <= hi) {
+                self.stats.send_call_regressions += 1;
+            }
+            self.highest_sent_call = Some(
+                self.highest_sent_call
+                    .map_or(call_number, |hi| hi.max(call_number)),
+            );
         }
         self.senders.insert((msg_type, call_number), sender);
         Ok(())
@@ -246,15 +281,24 @@ impl Endpoint {
         // promptly", §4.2.4).
         if let Some(info) = self.completed.get(&key) {
             if h.please_ack {
-                self.out
-                    .push_back(Segment::ack(h.msg_type, h.call_number, info.total, info.total));
+                self.out.push_back(Segment::ack(
+                    h.msg_type,
+                    h.call_number,
+                    info.total,
+                    info.total,
+                ));
             }
             return;
         }
-        // Replay of a purged exchange: ignore entirely.
+        // Replay of a purged exchange: ignore entirely. The watermark only
+        // covers call numbers whose completed records aged out, so a slow
+        // concurrent call that finishes after a higher-numbered one still
+        // gets through (suppressing on the highest *delivered* number
+        // starved exactly that case).
         if h.msg_type == MsgType::Call {
-            if let Some(hi) = self.highest_delivered_call {
-                if h.call_number <= hi {
+            if let Some(wm) = self.purged_call_watermark {
+                if h.call_number <= wm {
+                    self.stats.replays_suppressed += 1;
                     return;
                 }
             }
@@ -265,20 +309,26 @@ impl Endpoint {
             .entry(key)
             .or_insert_with(|| MsgReceiver::new(&seg));
         let actions = receiver.on_segment(&seg);
-        self.stats.max_recv_buffered = self.stats.max_recv_buffered.max(receiver.buffered_out_of_order());
+        self.stats.max_recv_buffered = self
+            .stats
+            .max_recv_buffered
+            .max(receiver.buffered_out_of_order());
         let mut want_ack = actions.send_ack;
         if actions.completed {
             let recv = self.receivers.remove(&key).expect("receiver exists");
             let total = recv.total();
             let data = recv.assemble();
-            self.completed
-                .insert(key, CompletedRecv { total, at: now });
+            self.completed.insert(key, CompletedRecv { total, at: now });
             match h.msg_type {
                 MsgType::Call => {
                     self.highest_delivered_call = Some(
                         self.highest_delivered_call
                             .map_or(h.call_number, |hi| hi.max(h.call_number)),
                     );
+                    self.stats.calls_delivered += 1;
+                    if !self.delivered_call_numbers.insert(h.call_number) {
+                        self.stats.duplicate_call_deliveries += 1;
+                    }
                     // Deferred ack: hold the ack back in the hope the
                     // return message will serve instead (§4.2.4).
                     if self.config.deferred_ack {
@@ -286,6 +336,7 @@ impl Endpoint {
                     }
                 }
                 MsgType::Return => {
+                    self.stats.returns_delivered += 1;
                     // Exchange over: stop probing for it, but keep watch
                     // over any other call still awaiting its return.
                     self.awaiting_reply.remove(&h.call_number);
@@ -326,10 +377,7 @@ impl Endpoint {
             return;
         }
         // Don't re-arm for a call whose return already completed.
-        if self
-            .completed
-            .contains_key(&(MsgType::Return, call_number))
-        {
+        if self.completed.contains_key(&(MsgType::Return, call_number)) {
             return;
         }
         self.probe = Some(ProbeState {
@@ -406,7 +454,15 @@ impl Endpoint {
 
     fn purge_completed(&mut self, now: Time) {
         let ttl = self.config.replay_ttl;
-        self.completed.retain(|_, c| now.since(c.at) < ttl);
+        let mut watermark = self.purged_call_watermark;
+        self.completed.retain(|&(msg_type, cn), c| {
+            let keep = now.since(c.at) < ttl;
+            if !keep && msg_type == MsgType::Call {
+                watermark = Some(watermark.map_or(cn, |wm| wm.max(cn)));
+            }
+            keep
+        });
+        self.purged_call_watermark = watermark;
     }
 
     /// Drains the next segment to transmit, already encoded.

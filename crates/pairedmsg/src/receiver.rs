@@ -151,7 +151,11 @@ mod tests {
 
     #[test]
     fn in_order_assembly() {
-        let parts = [seg(1, 3, false, b"ab"), seg(2, 3, false, b"cd"), seg(3, 3, false, b"e")];
+        let parts = [
+            seg(1, 3, false, b"ab"),
+            seg(2, 3, false, b"cd"),
+            seg(3, 3, false, b"e"),
+        ];
         let mut r = MsgReceiver::new(&parts[0]);
         assert!(!r.on_segment(&parts[0]).completed);
         assert!(!r.on_segment(&parts[1]).completed);

@@ -55,10 +55,7 @@ impl Wire {
     /// Advances time to each endpoint's next deadline and ticks it, then
     /// settles; repeats `rounds` times.
     fn tick_round(&mut self, a: &mut Endpoint, b: &mut Endpoint) {
-        let deadline = [a.poll_timer(), b.poll_timer()]
-            .into_iter()
-            .flatten()
-            .min();
+        let deadline = [a.poll_timer(), b.poll_timer()].into_iter().flatten().min();
         if let Some(t) = deadline {
             self.now = t;
             a.on_timer(self.now);
@@ -69,7 +66,10 @@ impl Wire {
 }
 
 fn pair() -> (Endpoint, Endpoint) {
-    (Endpoint::new(Config::default()), Endpoint::new(Config::default()))
+    (
+        Endpoint::new(Config::default()),
+        Endpoint::new(Config::default()),
+    )
 }
 
 fn expect_message(e: &mut Endpoint, ty: MsgType, cn: u32) -> Vec<u8> {
@@ -97,7 +97,9 @@ fn simple_exchange_no_loss() {
     let got = expect_message(&mut server, MsgType::Call, 1);
     assert_eq!(got, b"args");
 
-    server.send(wire.now, MsgType::Return, 1, b"results").unwrap();
+    server
+        .send(wire.now, MsgType::Return, 1, b"results")
+        .unwrap();
     wire.settle(&mut client, &mut server);
     let got = expect_message(&mut client, MsgType::Return, 1);
     assert_eq!(got, b"results");
@@ -184,7 +186,9 @@ fn lost_middle_segment_recovered() {
     let mut server = Endpoint::new(config);
     // Message of 3 segments; drop the 2nd (index 1).
     let mut wire = Wire::dropping(vec![1]);
-    client.send(wire.now, MsgType::Call, 1, b"abcdefghij").unwrap();
+    client
+        .send(wire.now, MsgType::Call, 1, b"abcdefghij")
+        .unwrap();
     wire.settle(&mut client, &mut server);
     // Out-of-order arrival of segment 3 provoked an immediate ack (ack
     // number 1) and the retransmission cycle fills the gap.
@@ -524,4 +528,66 @@ fn parc_mode_recovers_from_loss() {
         }
     }
     panic!("PARC-mode message never delivered under loss");
+}
+
+#[test]
+fn concurrent_calls_completing_out_of_order_both_deliver() {
+    // Two calls in flight to the same peer; the higher-numbered one
+    // completes first. The lower-numbered one is a slow concurrent call,
+    // NOT a replay, and must still be delivered (suppressing on the
+    // highest delivered number starved exactly this case).
+    let (mut client, mut server) = pair();
+
+    // Hand-deliver so we control arrival order: capture both calls' raw
+    // datagrams first.
+    client.send(Time::ZERO, MsgType::Call, 1, b"first").unwrap();
+    let call1 = client.poll_transmit().unwrap();
+    client
+        .send(Time::ZERO, MsgType::Call, 2, b"second")
+        .unwrap();
+    let call2 = client.poll_transmit().unwrap();
+
+    server.on_datagram(Time::ZERO, &call2).unwrap();
+    let got = expect_message(&mut server, MsgType::Call, 2);
+    assert_eq!(got, b"second");
+
+    server.on_datagram(Time::ZERO, &call1).unwrap();
+    let got = expect_message(&mut server, MsgType::Call, 1);
+    assert_eq!(got, b"first");
+
+    let stats = server.stats();
+    assert_eq!(stats.calls_delivered, 2);
+    assert_eq!(stats.duplicate_call_deliveries, 0);
+}
+
+#[test]
+fn replay_of_purged_call_suppressed() {
+    let (mut client, mut server) = pair();
+    let mut wire = Wire::new();
+
+    client.send(wire.now, MsgType::Call, 1, b"args").unwrap();
+    let call1 = client.poll_transmit().unwrap();
+    server.on_datagram(wire.now, &call1).unwrap();
+    expect_message(&mut server, MsgType::Call, 1);
+    server.send(wire.now, MsgType::Return, 1, b"res").unwrap();
+    wire.settle(&mut client, &mut server);
+    expect_message(&mut client, MsgType::Return, 1);
+
+    // Age the completed record past the replay TTL, then replay the call.
+    let later = Time::ZERO + Config::default().replay_ttl + Config::default().replay_ttl;
+    server.on_datagram(later, &call1).unwrap();
+    assert!(
+        server.poll_event().is_none(),
+        "purged call must not re-execute"
+    );
+    assert_eq!(server.stats().replays_suppressed, 1);
+    assert_eq!(server.stats().calls_delivered, 1);
+}
+
+#[test]
+fn audit_counters_track_monotonic_sends() {
+    let (mut client, _server) = pair();
+    client.send(Time::ZERO, MsgType::Call, 1, b"a").unwrap();
+    client.send(Time::ZERO, MsgType::Call, 2, b"b").unwrap();
+    assert_eq!(client.stats().send_call_regressions, 0);
 }

@@ -1,0 +1,133 @@
+//! `any::<T>()` and the `Arbitrary` impls the workspace needs.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types that can generate themselves from randomness.
+pub trait Arbitrary: Sized {
+    /// Produces one value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy producing arbitrary values of `T`.
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for an arbitrary `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Bias toward boundary values now and then: round-trip and
+                // never-panic tests care most about the edges.
+                match rng.below(16) {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    3 => 1 as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Mostly printable ASCII, with occasional multi-byte characters to
+        // exercise UTF-8 handling in codecs.
+        match rng.below(8) {
+            0 => ['é', 'λ', '中', '🦀', '\u{7f}', '\n'][rng.below(6) as usize],
+            _ => (b' ' + rng.below(95) as u8) as char,
+        }
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary(rng: &mut TestRng) -> String {
+        let len = rng.below(33) as usize;
+        (0..len).map(|_| char::arbitrary(rng)).collect()
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Vec<T> {
+    fn arbitrary(rng: &mut TestRng) -> Vec<T> {
+        let len = rng.below(49) as usize;
+        (0..len).map(|_| T::arbitrary(rng)).collect()
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Option<T> {
+    fn arbitrary(rng: &mut TestRng) -> Option<T> {
+        if rng.next_u64() & 1 == 1 {
+            Some(T::arbitrary(rng))
+        } else {
+            None
+        }
+    }
+}
+
+macro_rules! arbitrary_tuple {
+    ($(($($t:ident),+);)*) => {$(
+        impl<$($t: Arbitrary),+> Arbitrary for ($($t,)+) {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                ($($t::arbitrary(rng),)+)
+            }
+        }
+    )*};
+}
+
+arbitrary_tuple! {
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_valid_utf8_and_vary() {
+        let mut rng = TestRng::new(5);
+        let a = String::arbitrary(&mut rng);
+        let mut distinct = false;
+        for _ in 0..20 {
+            if String::arbitrary(&mut rng) != a {
+                distinct = true;
+            }
+        }
+        assert!(distinct);
+    }
+
+    #[test]
+    fn edge_values_appear() {
+        let mut rng = TestRng::new(11);
+        let mut saw_max = false;
+        for _ in 0..200 {
+            if u64::arbitrary(&mut rng) == u64::MAX {
+                saw_max = true;
+            }
+        }
+        assert!(saw_max);
+    }
+}

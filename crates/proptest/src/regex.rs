@@ -1,0 +1,181 @@
+//! A tiny regex-pattern *generator* (not matcher) covering the subset used
+//! as string strategies in this workspace: sequences of literal characters
+//! and character classes, each with an optional `{n}` / `{m,n}` quantifier.
+//!
+//! Examples it handles: `"[A-Za-z][A-Za-z0-9]{0,20}"`, `"[ -~\n]{0,200}"`.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug)]
+struct Atom {
+    /// Candidate characters for this position.
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// A parsed pattern, ready to generate strings.
+#[derive(Debug)]
+pub struct RegexGen {
+    atoms: Vec<Atom>,
+}
+
+impl RegexGen {
+    /// Parses `pattern`, panicking on syntax outside the supported subset —
+    /// a test-authoring error, not a runtime condition.
+    pub fn parse(pattern: &str) -> RegexGen {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let choices = match chars[i] {
+                '[' => {
+                    let (set, next) = parse_class(&chars, i + 1);
+                    i = next;
+                    set
+                }
+                '\\' => {
+                    i += 2;
+                    vec![unescape(chars[i - 1])]
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| p + i)
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad quantifier"),
+                        hi.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(!choices.is_empty(), "empty character class in {pattern:?}");
+            atoms.push(Atom { choices, min, max });
+        }
+        RegexGen { atoms }
+    }
+
+    /// Generates one string matching the pattern.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let span = (atom.max - atom.min) as u64;
+            let count = atom.min
+                + if span == 0 {
+                    0
+                } else {
+                    rng.below(span + 1) as usize
+                };
+            for _ in 0..count {
+                out.push(atom.choices[rng.below(atom.choices.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+/// Parses a `[...]` class starting just after the `[`; returns the character
+/// set and the index just past the `]`.
+fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    let mut pending: Option<char> = None;
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' {
+            i += 2;
+            unescape(chars[i - 1])
+        } else {
+            i += 1;
+            chars[i - 1]
+        };
+        // `a-b` range: the previous char, a dash, and a following char.
+        if c == '-' && pending.is_some() && i < chars.len() && chars[i] != ']' {
+            let lo = pending.take().expect("checked above");
+            let hi = if chars[i] == '\\' {
+                i += 2;
+                unescape(chars[i - 1])
+            } else {
+                i += 1;
+                chars[i - 1]
+            };
+            for v in lo as u32..=hi as u32 {
+                if let Some(ch) = char::from_u32(v) {
+                    set.push(ch);
+                }
+            }
+            continue;
+        }
+        if let Some(prev) = pending.replace(c) {
+            set.push(prev);
+        }
+    }
+    if let Some(prev) = pending {
+        set.push(prev);
+    }
+    assert!(i < chars.len(), "unclosed [ in pattern");
+    (set, i + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identifier_pattern() {
+        let g = RegexGen::parse("[A-Za-z][A-Za-z0-9]{0,20}");
+        let mut rng = TestRng::new(7);
+        for _ in 0..200 {
+            let s = g.generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 21);
+            let mut cs = s.chars();
+            assert!(cs.next().expect("nonempty").is_ascii_alphabetic());
+            assert!(cs.all(|c| c.is_ascii_alphanumeric()));
+        }
+    }
+
+    #[test]
+    fn printable_with_newline() {
+        let g = RegexGen::parse("[ -~\n]{0,200}");
+        let mut rng = TestRng::new(8);
+        let mut saw_newline = false;
+        for _ in 0..300 {
+            let s = g.generate(&mut rng);
+            assert!(s.len() <= 200);
+            for c in s.chars() {
+                assert!((' '..='~').contains(&c) || c == '\n');
+                saw_newline |= c == '\n';
+            }
+        }
+        assert!(saw_newline);
+    }
+
+    #[test]
+    fn fixed_count_literal() {
+        let g = RegexGen::parse("ab{3}c");
+        let mut rng = TestRng::new(9);
+        assert_eq!(g.generate(&mut rng), "abbbc");
+    }
+}

@@ -1,0 +1,102 @@
+//! Deterministic random source and per-test configuration.
+
+/// Why a test-case body bailed out early. `proptest!` bodies return
+/// `Result<(), TestCaseError>`, matching the real crate's contract.
+#[derive(Clone, Copy, Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!`; it counts as skipped.
+    Reject,
+}
+
+/// Per-`proptest!` configuration. Only the case count is honored.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases, like the real crate's constructor.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 96 }
+    }
+}
+
+/// splitmix64: tiny, fast, and plenty for test-input generation.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from raw state.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Seeds deterministically from a test's fully-qualified name, so each
+    /// test explores its own fixed input sequence.
+    pub fn for_test(name: &str) -> TestRng {
+        // FNV-1a over the name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)` (`bound` > 0), via rejection sampling.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// `true` with probability `num`/`den`.
+    pub fn ratio(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_sequence() {
+        let mut a = TestRng::for_test("x::y");
+        let mut b = TestRng::for_test("x::y");
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = TestRng::new(1);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+}

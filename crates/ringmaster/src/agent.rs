@@ -15,8 +15,8 @@ use std::collections::BTreeMap;
 use crate::api::{AddTroupeMember, Rebind, RegisterTroupe, RemoveTroupeMember};
 use circus::binding::{binding_procs, reserved_procs};
 use circus::{
-    CallError, CollationPolicy, ModuleAddr, NodeEffect, OutCall, Service, ServiceCtx, Step,
-    Troupe, TroupeId, TroupeTarget,
+    CallError, CollationPolicy, ModuleAddr, NodeEffect, OutCall, Service, ServiceCtx, Step, Troupe,
+    TroupeId, TroupeTarget,
 };
 use wire::{from_bytes, to_bytes, Externalize, Internalize, Reader, WireError, Writer};
 
@@ -102,6 +102,15 @@ impl RingmasterService {
         self.registry.keys().cloned().collect()
     }
 
+    /// The full registry — `(name, current troupe)` in name order — for
+    /// audit oracles comparing client caches against the live bindings.
+    pub fn bindings(&self) -> Vec<(String, Troupe)> {
+        self.registry
+            .iter()
+            .map(|(k, v)| (k.clone(), v.troupe.clone()))
+            .collect()
+    }
+
     fn lookup_by_id(&self, id: TroupeId) -> Option<&Troupe> {
         self.registry
             .values()
@@ -111,18 +120,11 @@ impl RingmasterService {
 
     /// Applies a membership mutation: allocates the next incarnation and
     /// prepares the `set_troupe_id` round.
-    fn mutate(
-        &mut self,
-        ctx: &mut ServiceCtx,
-        name: &str,
-        new_members: Vec<ModuleAddr>,
-    ) -> Step {
+    fn mutate(&mut self, ctx: &mut ServiceCtx, name: &str, new_members: Vec<ModuleAddr>) -> Step {
         if new_members.is_empty() {
             // Removing the last member deletes the binding.
             if let Some(old) = self.registry.remove(name) {
-                ctx.push_effect(NodeEffect::InvalidateDirectory {
-                    id: old.troupe.id,
-                });
+                ctx.push_effect(NodeEffect::InvalidateDirectory { id: old.troupe.id });
             }
             return Step::Reply(to_bytes(&TroupeId::UNREGISTERED));
         }
@@ -131,13 +133,15 @@ impl RingmasterService {
             new_members.iter().all(|m| m.module == module),
             "troupe members are replicas and export the same module number"
         );
-        let generation = self.registry.get(name).map(|e| e.generation + 1).unwrap_or(1);
+        let generation = self
+            .registry
+            .get(name)
+            .map(|e| e.generation + 1)
+            .unwrap_or(1);
         let id = make_id(name, generation);
         let troupe = Troupe::new(id, new_members);
         if let Some(old) = self.registry.get(name) {
-            ctx.push_effect(NodeEffect::InvalidateDirectory {
-                id: old.troupe.id,
-            });
+            ctx.push_effect(NodeEffect::InvalidateDirectory { id: old.troupe.id });
         }
         ctx.push_effect(NodeEffect::PreloadDirectory {
             id,

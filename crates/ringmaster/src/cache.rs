@@ -34,9 +34,19 @@ impl ImportCache {
         self.cache.get(name)
     }
 
+    /// Every cached binding, for audit: an oracle can compare these
+    /// against the binding agent's registry after a run quiesces — a
+    /// surviving stale entry means a reconfiguration escaped detection.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &Troupe)> {
+        self.cache.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
     /// Builds the `lookup_troupe_by_name` request for a cache miss.
     pub fn lookup_request(name: &str) -> BindingRequest {
-        (binding_procs::LOOKUP_TROUPE_BY_NAME, to_bytes(&name.to_string()))
+        (
+            binding_procs::LOOKUP_TROUPE_BY_NAME,
+            to_bytes(&name.to_string()),
+        )
     }
 
     /// Builds the `rebind` request after stale-binding detection (§6.1):

@@ -13,9 +13,7 @@
 use std::collections::HashMap;
 
 use circus::binding::{binding_procs, reserved_procs, BINDING_MODULE};
-use circus::{
-    Agent, CallError, CallHandle, CollationPolicy, ModuleAddr, NodeCtx, Troupe,
-};
+use circus::{Agent, CallError, CallHandle, CollationPolicy, ModuleAddr, NodeCtx, Troupe};
 use simnet::Duration;
 use wire::to_bytes;
 

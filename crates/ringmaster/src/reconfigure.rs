@@ -26,6 +26,9 @@ enum JoinState {
     FetchingState,
     /// Registering with `add_troupe_member`.
     Adding,
+    /// Registered; re-fetching state from the old members to pick up
+    /// commits that landed between the first fetch and registration.
+    Syncing,
     /// Joined (or failed).
     Done,
 }
@@ -39,10 +42,16 @@ pub struct JoinAgent {
     name: String,
     module: u16,
     state: JoinState,
+    /// The members found at lookup time — the peers to re-sync from.
+    peers: Vec<ModuleAddr>,
     /// The troupe id after a successful join.
     pub joined: Option<TroupeId>,
     /// Failure description, if the join failed.
     pub failed: Option<String>,
+    /// Set if registration succeeded but the post-registration state
+    /// re-fetch did not: the member is in the troupe but may be behind
+    /// until the next state transfer.
+    pub sync_warning: Option<String>,
 }
 
 impl JoinAgent {
@@ -54,8 +63,10 @@ impl JoinAgent {
             name: name.into(),
             module,
             state: JoinState::Idle,
+            peers: Vec::new(),
             joined: None,
             failed: None,
+            sync_warning: None,
         }
     }
 
@@ -126,6 +137,7 @@ impl Agent for JoinAgent {
                         // Fetch state from the existing members. "An
                         // unreplicated call to any of the existing troupe
                         // members would suffice" (§6.4.1): first-come.
+                        self.peers = troupe.members.clone();
                         self.state = JoinState::FetchingState;
                         let thread = nc.fresh_thread();
                         nc.call(
@@ -154,12 +166,56 @@ impl Agent for JoinAgent {
                 Ok(bytes) => match from_bytes::<TroupeId>(&bytes) {
                     Ok(id) => {
                         self.joined = Some(id);
-                        self.state = JoinState::Done;
+                        // Commits that landed at the old members between
+                        // the FetchingState snapshot and the registration
+                        // taking effect are missing from our copy; fetch
+                        // the state once more, now that every later call
+                        // also reaches us. A commit resumed here in the
+                        // narrow window between the peer's snapshot and
+                        // our set_state can still be lost — consistent
+                        // transfer needs a quiescent module (§6.4.1) —
+                        // but the window shrinks from the whole join to
+                        // one round trip.
+                        let peers: Vec<ModuleAddr> = self
+                            .peers
+                            .iter()
+                            .filter(|m| m.addr != nc.me())
+                            .cloned()
+                            .collect();
+                        if peers.is_empty() {
+                            self.state = JoinState::Done;
+                        } else {
+                            self.state = JoinState::Syncing;
+                            let thread = nc.fresh_thread();
+                            // Unchecked incarnation: another
+                            // reconfiguration may already have moved it.
+                            // Solo call — we are now a registered member,
+                            // and a troupe-identified call from one member
+                            // alone would stall in the servers' many-to-one
+                            // assembly (§4.3.2).
+                            let target = Troupe::new(TroupeId::UNREGISTERED, peers);
+                            nc.call_solo(
+                                thread,
+                                &target,
+                                self.module,
+                                reserved_procs::GET_STATE,
+                                Vec::new(),
+                                CollationPolicy::FirstCome,
+                            );
+                        }
                     }
                     Err(e) => self.fail(format!("garbled add reply: {e}")),
                 },
                 Err(e) => self.fail(format!("add_troupe_member failed: {e}")),
             },
+            JoinState::Syncing => {
+                // Registration already stands either way.
+                match result {
+                    Ok(state) => nc.node.set_service_state(self.module, &state),
+                    Err(e) => self.sync_warning = Some(format!("state re-fetch failed: {e}")),
+                }
+                self.state = JoinState::Done;
+            }
             JoinState::Idle | JoinState::Done => {}
         }
     }

@@ -4,8 +4,8 @@
 
 use circus::binding::{binding_procs, BINDING_MODULE};
 use circus::{
-    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig,
-    NodeCtx, Service, ServiceCtx, Step, ThreadId, Troupe, TroupeId,
+    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig, NodeCtx,
+    Service, ServiceCtx, Step, ThreadId, Troupe, TroupeId,
 };
 use ringmaster::{
     spawn_ringmaster, GcAgent, ImportCache, JoinAgent, RegisterTroupe, RingmasterService,
@@ -166,7 +166,14 @@ fn register_and_lookup_by_name() {
             let t = nc.fresh_thread();
             let (proc, args) = ImportCache::lookup_request("counter");
             let binder = self.binder.clone();
-            nc.call(t, &binder, BINDING_MODULE, proc, args, CollationPolicy::Majority);
+            nc.call(
+                t,
+                &binder,
+                BINDING_MODULE,
+                proc,
+                args,
+                CollationPolicy::Majority,
+            );
         }
         fn on_call_done(
             &mut self,
@@ -269,7 +276,13 @@ fn join_agent_transfers_state_and_reincarnates() {
     let joined = w
         .with_proc(newbie, |p: &CircusProcess| {
             let j = p.agent_as::<JoinAgent>().unwrap();
-            assert!(j.finished(), "join never finished: {:?}", j.failed);
+            assert!(
+                j.finished(),
+                "join never finished: failed={:?} joined={:?} warn={:?}",
+                j.failed,
+                j.joined,
+                j.sync_warning
+            );
             assert!(j.failed.is_none(), "join failed: {:?}", j.failed);
             j.joined
         })
@@ -287,7 +300,11 @@ fn join_agent_transfers_state_and_reincarnates() {
     assert_eq!(value, 42);
 
     // All three members (old and new) hold the new incarnation.
-    for a in [registered.members[0].addr, registered.members[1].addr, newbie] {
+    for a in [
+        registered.members[0].addr,
+        registered.members[1].addr,
+        newbie,
+    ] {
         let id = w
             .with_proc(a, |p: &CircusProcess| p.node().troupe_id())
             .unwrap();
@@ -551,7 +568,14 @@ fn rebind_after_stale_binding() {
                         let t = nc.fresh_thread();
                         let binder = self.binder.clone();
                         self.state = 2;
-                        nc.call(t, &binder, BINDING_MODULE, proc, args, CollationPolicy::Majority);
+                        nc.call(
+                            t,
+                            &binder,
+                            BINDING_MODULE,
+                            proc,
+                            args,
+                            CollationPolicy::Majority,
+                        );
                     }
                     other => panic!("expected stale binding, got {other:?}"),
                 },
@@ -580,15 +604,14 @@ fn rebind_after_stale_binding() {
         }
     }
     let client = SockAddr::new(HostId(50), 10);
-    let p = CircusProcess::new(client, NodeConfig::default()).with_agent(Box::new(
-        RebindingClient {
+    let p =
+        CircusProcess::new(client, NodeConfig::default()).with_agent(Box::new(RebindingClient {
             binder: rm.clone(),
             cache: ImportCache::new(),
             stale: registered,
             outcome: Vec::new(),
             state: 0,
-        },
-    ));
+        }));
     w.spawn(client, Box::new(p));
     w.poke(client, 0);
     w.run_for(Duration::from_secs(20));
@@ -622,7 +645,14 @@ fn binding_survives_ringmaster_member_crash() {
             let t = nc.fresh_thread();
             let (proc, args) = ImportCache::lookup_request("counter");
             let binder = self.binder.clone();
-            nc.call(t, &binder, BINDING_MODULE, proc, args, CollationPolicy::Majority);
+            nc.call(
+                t,
+                &binder,
+                BINDING_MODULE,
+                proc,
+                args,
+                CollationPolicy::Majority,
+            );
         }
         fn on_call_done(
             &mut self,
@@ -687,14 +717,16 @@ fn registration_survives_ringmaster_member_crash() {
     // The surviving Ringmaster members agree on the new registry entry.
     for h in [1u32, 2] {
         let entry = w
-            .with_proc(SockAddr::new(HostId(h), circus::binding::RINGMASTER_PORT),
+            .with_proc(
+                SockAddr::new(HostId(h), circus::binding::RINGMASTER_PORT),
                 |p: &CircusProcess| {
                     p.node()
                         .service_as::<RingmasterService>(BINDING_MODULE)
                         .unwrap()
                         .lookup("counter")
                         .cloned()
-                })
+                },
+            )
             .unwrap()
             .expect("entry");
         assert_eq!(entry.id, joined);

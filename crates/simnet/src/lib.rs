@@ -16,7 +16,11 @@
 //!   partitions, and true multicast (§2.2's assumptions);
 //! - **fault injection**: fail-stop process and host crashes (§3.5.1) and
 //!   network partitions (§4.3.5);
-//! - a seeded [`rng::SimRng`] so every run is exactly reproducible.
+//! - a seeded [`rng::SimRng`] so every run is exactly reproducible;
+//! - **event tracing** ([`trace::TraceSink`]): every send, delivery, drop
+//!   (with reason), timer firing, spawn/kill, and host crash/restart can be
+//!   recorded; [`trace::TraceHash`] folds the stream into one value so
+//!   "same seed ⇒ same trace" is a one-line assertion.
 //!
 //! # Examples
 //!
@@ -57,6 +61,7 @@ pub mod net;
 pub mod process;
 pub mod rng;
 pub mod time;
+pub mod trace;
 pub mod world;
 
 pub use cpu::{CpuAccount, Syscall, SyscallCosts, ALL_SYSCALLS};
@@ -64,4 +69,5 @@ pub use net::{NetConfig, NetStats, Partition};
 pub use process::{HostId, Process, SockAddr, TimerId};
 pub use rng::SimRng;
 pub use time::{Duration, Time};
+pub use trace::{DropReason, TraceEvent, TraceHash, TraceLog, TraceSink};
 pub use world::{Ctx, World};

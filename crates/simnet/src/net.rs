@@ -67,8 +67,14 @@ impl NetConfig {
     }
 
     /// Transmission time of a datagram of `len` bytes, excluding jitter.
+    ///
+    /// The per-byte cost is accumulated in nanoseconds and rounded up to
+    /// the simulator's microsecond tick only at the end, so sub-microsecond
+    /// per-byte costs are not truncated away (a 1-byte datagram at
+    /// 800 ns/byte takes 1 µs of wire time, not 0).
     pub fn latency_for(&self, len: usize) -> Duration {
-        self.base_latency + Duration::from_micros((len as u64 * self.per_byte_ns) / 1000)
+        let wire_ns = len as u64 * self.per_byte_ns;
+        self.base_latency + Duration::from_micros(wire_ns.div_ceil(1000))
     }
 }
 
@@ -156,6 +162,32 @@ mod tests {
             ..NetConfig::ideal()
         };
         assert_eq!(net.latency_for(50), Duration::from_micros(150));
+    }
+
+    #[test]
+    fn full_mtu_frame_at_10mbit() {
+        // 1500 bytes at 10 Mbit/s (800 ns/byte) is exactly 1.2 ms of
+        // transmission time on top of the base latency.
+        let net = NetConfig::lan_1985();
+        assert_eq!(
+            net.latency_for(1500),
+            Duration::from_micros(500) + Duration::from_micros(1200)
+        );
+    }
+
+    #[test]
+    fn sub_microsecond_per_byte_cost_not_truncated() {
+        let net = NetConfig {
+            base_latency: Duration::ZERO,
+            per_byte_ns: 800,
+            ..NetConfig::ideal()
+        };
+        // 1 byte = 800 ns: rounds up to one tick instead of vanishing.
+        assert_eq!(net.latency_for(1), Duration::from_micros(1));
+        // 10 bytes = 8000 ns = exactly 8 µs.
+        assert_eq!(net.latency_for(10), Duration::from_micros(8));
+        // 3 bytes = 2400 ns: rounds up to 3 µs, never down.
+        assert_eq!(net.latency_for(3), Duration::from_micros(3));
     }
 
     #[test]

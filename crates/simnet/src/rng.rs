@@ -168,7 +168,10 @@ mod tests {
         let n = 50_000;
         let total: f64 = (0..n).map(|_| r.exponential(mean).as_millis_f64()).sum();
         let avg = total / n as f64;
-        assert!((avg - 10.0).abs() < 0.3, "sample mean {avg} too far from 10");
+        assert!(
+            (avg - 10.0).abs() < 0.3,
+            "sample mean {avg} too far from 10"
+        );
     }
 
     #[test]
@@ -200,9 +203,7 @@ mod tests {
         let mut a = SimRng::new(5);
         let mut child = a.fork();
         // Forked stream should not equal the parent's continued stream.
-        let same = (0..16)
-            .filter(|_| a.next_u64() == child.next_u64())
-            .count();
+        let same = (0..16).filter(|_| a.next_u64() == child.next_u64()).count();
         assert!(same < 4);
     }
 }

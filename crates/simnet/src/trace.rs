@@ -1,0 +1,405 @@
+//! Structured event tracing for the simulated world.
+//!
+//! Every observable state transition in the simulator — a datagram handed
+//! to the network, a delivery, a drop (with its reason), a timer firing, a
+//! process spawn/kill, a host crash/restart — can be reported to a
+//! [`TraceSink`] installed on the [`World`](crate::World). Because the
+//! simulation is deterministic, the sequence of [`TraceEvent`]s is a pure
+//! function of the seed and the workload; [`TraceHash`] folds it into a
+//! single value so "same seed ⇒ same trace" becomes a one-line assertion,
+//! and [`TraceLog`] keeps the events themselves for inspection.
+
+use std::any::Any;
+
+use crate::process::{HostId, SockAddr, TimerId};
+use crate::time::Time;
+
+/// Why the network dropped a datagram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// Larger than the configured MTU; dropped at the sender.
+    Oversize,
+    /// Taken by the random loss model.
+    Loss,
+    /// Source and destination were in different partition groups.
+    Partitioned,
+    /// Destination host down or no process bound to the destination port.
+    Undeliverable,
+}
+
+/// One observable simulator transition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A datagram was accepted by the network (one per destination).
+    Send {
+        /// Departure time.
+        at: Time,
+        /// Sender.
+        from: SockAddr,
+        /// Destination.
+        to: SockAddr,
+        /// Payload length in bytes.
+        len: usize,
+    },
+    /// The duplication model scheduled a second copy of a datagram.
+    Duplicate {
+        /// Departure time.
+        at: Time,
+        /// Sender.
+        from: SockAddr,
+        /// Destination.
+        to: SockAddr,
+    },
+    /// A datagram reached a live process.
+    Deliver {
+        /// Arrival time.
+        at: Time,
+        /// Sender.
+        from: SockAddr,
+        /// Destination.
+        to: SockAddr,
+        /// Payload length in bytes.
+        len: usize,
+    },
+    /// A datagram was dropped.
+    Drop {
+        /// Time of the drop (send time for sender-side drops, arrival
+        /// time for receiver-side ones).
+        at: Time,
+        /// Sender.
+        from: SockAddr,
+        /// Destination.
+        to: SockAddr,
+        /// Payload length in bytes.
+        len: usize,
+        /// What killed it.
+        reason: DropReason,
+    },
+    /// A timer came due (it may still be ignored if its owning process
+    /// was since replaced).
+    TimerFire {
+        /// Fire time.
+        at: Time,
+        /// Owning process.
+        owner: SockAddr,
+        /// The id returned when the timer was armed.
+        id: TimerId,
+        /// The tag passed when the timer was armed.
+        tag: u64,
+    },
+    /// A process was installed at an address.
+    Spawn {
+        /// Time of the spawn.
+        at: Time,
+        /// Where.
+        addr: SockAddr,
+    },
+    /// A process was destroyed.
+    Kill {
+        /// Time of the kill.
+        at: Time,
+        /// Where.
+        addr: SockAddr,
+    },
+    /// A host went down, destroying all its processes (fail-stop).
+    CrashHost {
+        /// Time of the crash.
+        at: Time,
+        /// Which host.
+        host: HostId,
+    },
+    /// A crashed host came back up, empty of processes.
+    RestartHost {
+        /// Time of the restart.
+        at: Time,
+        /// Which host.
+        host: HostId,
+    },
+}
+
+impl TraceEvent {
+    /// Folds the event into an FNV-1a hash state; the encoding covers every
+    /// field, so any divergence between two runs changes the hash.
+    fn fold_into(&self, h: &mut u64) {
+        fn mix(h: &mut u64, v: u64) {
+            for b in v.to_le_bytes() {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        fn mix_addr(h: &mut u64, a: SockAddr) {
+            mix(h, a.host.0 as u64);
+            mix(h, a.port as u64);
+        }
+        match *self {
+            TraceEvent::Send { at, from, to, len } => {
+                mix(h, 1);
+                mix(h, at.as_micros());
+                mix_addr(h, from);
+                mix_addr(h, to);
+                mix(h, len as u64);
+            }
+            TraceEvent::Duplicate { at, from, to } => {
+                mix(h, 2);
+                mix(h, at.as_micros());
+                mix_addr(h, from);
+                mix_addr(h, to);
+            }
+            TraceEvent::Deliver { at, from, to, len } => {
+                mix(h, 3);
+                mix(h, at.as_micros());
+                mix_addr(h, from);
+                mix_addr(h, to);
+                mix(h, len as u64);
+            }
+            TraceEvent::Drop {
+                at,
+                from,
+                to,
+                len,
+                reason,
+            } => {
+                mix(h, 4);
+                mix(h, at.as_micros());
+                mix_addr(h, from);
+                mix_addr(h, to);
+                mix(h, len as u64);
+                mix(h, reason as u64);
+            }
+            TraceEvent::TimerFire { at, owner, id, tag } => {
+                mix(h, 5);
+                mix(h, at.as_micros());
+                mix_addr(h, owner);
+                mix(h, id.0);
+                mix(h, tag);
+            }
+            TraceEvent::Spawn { at, addr } => {
+                mix(h, 6);
+                mix(h, at.as_micros());
+                mix_addr(h, addr);
+            }
+            TraceEvent::Kill { at, addr } => {
+                mix(h, 7);
+                mix(h, at.as_micros());
+                mix_addr(h, addr);
+            }
+            TraceEvent::CrashHost { at, host } => {
+                mix(h, 8);
+                mix(h, at.as_micros());
+                mix(h, host.0 as u64);
+            }
+            TraceEvent::RestartHost { at, host } => {
+                mix(h, 9);
+                mix(h, at.as_micros());
+                mix(h, host.0 as u64);
+            }
+        }
+    }
+}
+
+/// Receives every [`TraceEvent`] the world emits.
+pub trait TraceSink: Any {
+    /// Called once per event, in simulation order.
+    fn record(&mut self, ev: &TraceEvent);
+    /// Downcast support for [`World::trace_sink_as`](crate::World::trace_sink_as).
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// Folds the whole event stream into one 64-bit hash: two runs with the
+/// same seed and workload must produce the same value.
+#[derive(Clone, Debug)]
+pub struct TraceHash {
+    hash: u64,
+    events: u64,
+}
+
+impl TraceHash {
+    /// Fresh hash state.
+    pub fn new() -> TraceHash {
+        TraceHash {
+            hash: 0xcbf2_9ce4_8422_2325,
+            events: 0,
+        }
+    }
+
+    /// The hash of everything recorded so far.
+    pub fn value(&self) -> u64 {
+        self.hash
+    }
+
+    /// How many events have been folded in.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+}
+
+impl Default for TraceHash {
+    fn default() -> TraceHash {
+        TraceHash::new()
+    }
+}
+
+impl TraceSink for TraceHash {
+    fn record(&mut self, ev: &TraceEvent) {
+        ev.fold_into(&mut self.hash);
+        self.events += 1;
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Keeps the events themselves (optionally bounded), plus the running hash.
+#[derive(Clone, Debug)]
+pub struct TraceLog {
+    hash: TraceHash,
+    events: Vec<TraceEvent>,
+    limit: usize,
+    dropped: u64,
+}
+
+impl TraceLog {
+    /// An unbounded log.
+    pub fn new() -> TraceLog {
+        TraceLog::with_limit(usize::MAX)
+    }
+
+    /// A log keeping at most `limit` events (the hash still covers all of
+    /// them; [`TraceLog::dropped`] counts the overflow).
+    pub fn with_limit(limit: usize) -> TraceLog {
+        TraceLog {
+            hash: TraceHash::new(),
+            events: Vec::new(),
+            limit,
+            dropped: 0,
+        }
+    }
+
+    /// The recorded events, oldest first.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events that exceeded the limit and were not kept.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The hash over *all* events, kept or not.
+    pub fn hash(&self) -> u64 {
+        self.hash.value()
+    }
+}
+
+impl Default for TraceLog {
+    fn default() -> TraceLog {
+        TraceLog::new()
+    }
+}
+
+impl TraceSink for TraceLog {
+    fn record(&mut self, ev: &TraceEvent) {
+        self.hash.record(ev);
+        if self.events.len() < self.limit {
+            self.events.push(ev.clone());
+        } else {
+            self.dropped += 1;
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(h: u32, p: u16) -> SockAddr {
+        SockAddr::new(HostId(h), p)
+    }
+
+    #[test]
+    fn identical_streams_hash_identically() {
+        let evs = [
+            TraceEvent::Send {
+                at: Time::ZERO,
+                from: addr(1, 2),
+                to: addr(3, 4),
+                len: 9,
+            },
+            TraceEvent::CrashHost {
+                at: Time::from_micros(5),
+                host: HostId(3),
+            },
+        ];
+        let mut a = TraceHash::new();
+        let mut b = TraceHash::new();
+        for e in &evs {
+            a.record(e);
+            b.record(e);
+        }
+        assert_eq!(a.value(), b.value());
+        assert_eq!(a.events(), 2);
+    }
+
+    #[test]
+    fn any_field_difference_changes_hash() {
+        let base = TraceEvent::Deliver {
+            at: Time::from_micros(1),
+            from: addr(1, 2),
+            to: addr(3, 4),
+            len: 10,
+        };
+        let variants = [
+            TraceEvent::Deliver {
+                at: Time::from_micros(2),
+                from: addr(1, 2),
+                to: addr(3, 4),
+                len: 10,
+            },
+            TraceEvent::Deliver {
+                at: Time::from_micros(1),
+                from: addr(1, 5),
+                to: addr(3, 4),
+                len: 10,
+            },
+            TraceEvent::Deliver {
+                at: Time::from_micros(1),
+                from: addr(1, 2),
+                to: addr(3, 4),
+                len: 11,
+            },
+            TraceEvent::Send {
+                at: Time::from_micros(1),
+                from: addr(1, 2),
+                to: addr(3, 4),
+                len: 10,
+            },
+        ];
+        let mut h0 = TraceHash::new();
+        h0.record(&base);
+        for v in &variants {
+            let mut h = TraceHash::new();
+            h.record(v);
+            assert_ne!(h.value(), h0.value(), "{v:?} collided with {base:?}");
+        }
+    }
+
+    #[test]
+    fn log_respects_limit_but_hash_covers_all() {
+        let mut log = TraceLog::with_limit(1);
+        let e = TraceEvent::Kill {
+            at: Time::ZERO,
+            addr: addr(1, 1),
+        };
+        log.record(&e);
+        log.record(&e);
+        assert_eq!(log.events().len(), 1);
+        assert_eq!(log.dropped(), 1);
+        let mut h = TraceHash::new();
+        h.record(&e);
+        h.record(&e);
+        assert_eq!(log.hash(), h.value());
+    }
+}

@@ -17,6 +17,7 @@ use crate::net::{NetConfig, NetStats, Partition};
 use crate::process::{HostId, Process, SockAddr, TimerId};
 use crate::rng::SimRng;
 use crate::time::{Duration, Time};
+use crate::trace::{DropReason, TraceEvent, TraceSink};
 
 /// An event waiting in the queue.
 struct QueuedEvent {
@@ -107,6 +108,8 @@ struct Core {
     /// dispatcher so timers armed by the handler carry the owner's epoch
     /// (stale timers for replaced processes are dropped at fire time).
     epoch_hint: u64,
+    /// Optional structured event-trace recorder.
+    sink: Option<Box<dyn TraceSink>>,
 }
 
 impl Core {
@@ -116,12 +119,21 @@ impl Core {
         self.queue.push(Reverse(QueuedEvent { at, seq, kind }));
     }
 
+    fn trace(&mut self, ev: TraceEvent) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.record(&ev);
+        }
+    }
+
     fn host_up(&self, h: HostId) -> bool {
         self.hosts.get(&h).map(|s| !s.down).unwrap_or(true)
     }
 
     fn busy_until(&self, h: HostId) -> Time {
-        self.hosts.get(&h).map(|s| s.busy_until).unwrap_or(Time::ZERO)
+        self.hosts
+            .get(&h)
+            .map(|s| s.busy_until)
+            .unwrap_or(Time::ZERO)
     }
 
     fn set_busy_until(&mut self, h: HostId, t: Time) {
@@ -132,16 +144,41 @@ impl Core {
     /// datagram departing `from` at time `depart`.
     fn transmit(&mut self, from: SockAddr, to: SockAddr, data: Vec<u8>, depart: Time) {
         self.stats.sent += 1;
+        self.trace(TraceEvent::Send {
+            at: depart,
+            from,
+            to,
+            len: data.len(),
+        });
         if data.len() > self.net.mtu {
             self.stats.oversize += 1;
+            self.trace(TraceEvent::Drop {
+                at: depart,
+                from,
+                to,
+                len: data.len(),
+                reason: DropReason::Oversize,
+            });
             return;
         }
         if self.rng.chance(self.net.loss) {
             self.stats.lost += 1;
+            self.trace(TraceEvent::Drop {
+                at: depart,
+                from,
+                to,
+                len: data.len(),
+                reason: DropReason::Loss,
+            });
             return;
         }
         let copies = if self.rng.chance(self.net.duplicate) {
             self.stats.duplicated += 1;
+            self.trace(TraceEvent::Duplicate {
+                at: depart,
+                from,
+                to,
+            });
             2
         } else {
             1
@@ -279,6 +316,7 @@ impl Core {
             cancelled: HashSet::new(),
             pending: Vec::new(),
             epoch_hint: 0,
+            sink: None,
         }
     }
 }
@@ -322,6 +360,23 @@ impl World {
         self.core.net = net;
     }
 
+    /// The network model currently in effect.
+    pub fn net(&self) -> &NetConfig {
+        &self.core.net
+    }
+
+    /// Installs a structured trace recorder; every subsequent send,
+    /// delivery, drop, timer firing, spawn/kill, and host crash/restart is
+    /// reported to it in simulation order.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.core.sink = Some(sink);
+    }
+
+    /// The installed trace sink, downcast to its concrete type.
+    pub fn trace_sink_as<T: TraceSink>(&self) -> Option<&T> {
+        self.core.sink.as_deref()?.as_any().downcast_ref::<T>()
+    }
+
     /// Replaces the syscall cost table.
     pub fn set_costs(&mut self, costs: SyscallCosts) {
         self.core.costs = costs;
@@ -350,12 +405,22 @@ impl World {
                 epoch,
             },
         );
-        self.core.push(self.core.now, EventKind::Start { at: addr, epoch });
+        self.core.trace(TraceEvent::Spawn {
+            at: self.core.now,
+            addr,
+        });
+        self.core
+            .push(self.core.now, EventKind::Start { at: addr, epoch });
     }
 
     /// Destroys the process at `addr` (its timers die with it).
     pub fn kill(&mut self, addr: SockAddr) {
-        self.procs.remove(&addr);
+        if self.procs.remove(&addr).is_some() {
+            self.core.trace(TraceEvent::Kill {
+                at: self.core.now,
+                addr,
+            });
+        }
     }
 
     /// Returns `true` if a process exists at `addr` and its host is up.
@@ -366,13 +431,12 @@ impl World {
     /// Crashes a host: the host goes down and every process on it is
     /// destroyed (fail-stop; volatile state is lost, §3.5.1).
     pub fn crash_host(&mut self, h: HostId) {
+        self.core.trace(TraceEvent::CrashHost {
+            at: self.core.now,
+            host: h,
+        });
         self.core.hosts.entry(h).or_default().down = true;
-        let dead: Vec<SockAddr> = self
-            .procs
-            .keys()
-            .filter(|a| a.host == h)
-            .copied()
-            .collect();
+        let dead: Vec<SockAddr> = self.procs.keys().filter(|a| a.host == h).copied().collect();
         for a in dead {
             self.procs.remove(&a);
         }
@@ -380,6 +444,10 @@ impl World {
 
     /// Brings a crashed host back up, empty of processes.
     pub fn restart_host(&mut self, h: HostId) {
+        self.core.trace(TraceEvent::RestartHost {
+            at: self.core.now,
+            host: h,
+        });
         self.core.hosts.entry(h).or_default().down = false;
     }
 
@@ -392,7 +460,8 @@ impl World {
     /// `on_poke` handler runs with a `Ctx`, letting external test/example
     /// code initiate activity.
     pub fn poke(&mut self, addr: SockAddr, tag: u64) {
-        self.core.push(self.core.now, EventKind::Poke { at: addr, tag });
+        self.core
+            .push(self.core.now, EventKind::Poke { at: addr, tag });
     }
 
     /// The CPU account of the process at `addr` (zeroed account if none).
@@ -434,6 +503,15 @@ impl World {
         any.downcast_mut::<P>().map(f)
     }
 
+    /// Addresses of all live processes, in deterministic (sorted) order.
+    pub fn proc_addrs(&self) -> Vec<SockAddr> {
+        self.procs
+            .keys()
+            .copied()
+            .filter(|a| self.core.host_up(a.host))
+            .collect()
+    }
+
     /// Returns `true` if no events remain.
     pub fn idle(&self) -> bool {
         self.core.queue.is_empty()
@@ -457,6 +535,12 @@ impl World {
                 if self.core.cancelled.remove(&id) {
                     return true;
                 }
+                self.core.trace(TraceEvent::TimerFire {
+                    at: ev.at,
+                    owner,
+                    id,
+                    tag,
+                });
                 self.dispatch(owner, Some(epoch), |p, ctx| p.on_timer(ctx, id, tag), None);
             }
             EventKind::Start { at, epoch } => {
@@ -470,15 +554,36 @@ impl World {
     }
 
     fn deliver(&mut self, from: SockAddr, to: SockAddr, data: Vec<u8>) {
+        let at = self.core.now;
         if !self.core.host_up(to.host) || !self.procs.contains_key(&to) {
             self.core.stats.undeliverable += 1;
+            self.core.trace(TraceEvent::Drop {
+                at,
+                from,
+                to,
+                len: data.len(),
+                reason: DropReason::Undeliverable,
+            });
             return;
         }
         if !self.core.partition.connected(from.host, to.host) {
             self.core.stats.partitioned += 1;
+            self.core.trace(TraceEvent::Drop {
+                at,
+                from,
+                to,
+                len: data.len(),
+                reason: DropReason::Partitioned,
+            });
             return;
         }
         self.core.stats.delivered += 1;
+        self.core.trace(TraceEvent::Deliver {
+            at,
+            from,
+            to,
+            len: data.len(),
+        });
         self.dispatch(
             to,
             None,
@@ -572,11 +677,7 @@ impl World {
 
     /// Runs until `pred` holds (checked after every event) or `deadline`
     /// passes. Returns `true` if the predicate became true.
-    pub fn run_until_pred(
-        &mut self,
-        deadline: Time,
-        mut pred: impl FnMut(&World) -> bool,
-    ) -> bool {
+    pub fn run_until_pred(&mut self, deadline: Time, mut pred: impl FnMut(&World) -> bool) -> bool {
         if pred(self) {
             return true;
         }

@@ -2,6 +2,7 @@
 //! serialization, fault injection, and determinism.
 
 use simnet::{
+    trace::{DropReason, TraceEvent, TraceHash, TraceLog},
     Ctx, Duration, HostId, NetConfig, Partition, Process, SockAddr, Syscall, SyscallCosts, Time,
     World,
 };
@@ -195,8 +196,7 @@ fn multicast_charges_once_delivers_to_all() {
 #[test]
 fn identical_seeds_give_identical_traces() {
     fn run(seed: u64) -> Vec<u64> {
-        let mut world =
-            World::with_config(seed, NetConfig::lossy(0.3), SyscallCosts::default());
+        let mut world = World::with_config(seed, NetConfig::lossy(0.3), SyscallCosts::default());
         let server = addr(1, 7);
         let client = addr(0, 100);
         world.spawn(server, Box::new(Echo));
@@ -300,4 +300,158 @@ fn oversize_datagrams_dropped() {
     world.run_for(Duration::from_secs(1));
     assert_eq!(world.net_stats().oversize, 1);
     assert_eq!(world.net_stats().delivered, 0);
+}
+
+/// Counts datagrams; used to observe state freshness across restarts.
+struct Counter {
+    seen: u64,
+}
+impl Process for Counter {
+    fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _from: SockAddr, _data: Vec<u8>) {
+        self.seen += 1;
+    }
+}
+
+#[test]
+fn killed_process_receives_no_further_datagrams() {
+    let mut world = World::new(7);
+    let server = addr(1, 7);
+    let client = addr(0, 100);
+    world.set_trace_sink(Box::new(TraceLog::new()));
+    world.spawn(server, Box::new(Echo));
+    world.spawn(client, Box::new(Pinger::new(server, 1)));
+    world.poke(client, 0);
+    world.run_for(Duration::from_secs(1));
+    assert_eq!(
+        world.with_proc(client, |p: &Pinger| p.reply_times.len()),
+        Some(1)
+    );
+
+    let undeliverable_before = world.net_stats().undeliverable;
+    world.kill(server);
+    assert!(!world.is_alive(server));
+    assert!(world.host_up(HostId(1)), "kill must not take the host down");
+    world.poke(client, 1);
+    world.run_for(Duration::from_secs(1));
+
+    // No further replies, and the ping is accounted as undeliverable.
+    assert_eq!(
+        world.with_proc(client, |p: &Pinger| p.reply_times.len()),
+        Some(1)
+    );
+    assert!(world.net_stats().undeliverable > undeliverable_before);
+    let log = world.trace_sink_as::<TraceLog>().unwrap();
+    assert!(log
+        .events()
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Kill { addr: a, .. } if *a == server)));
+    assert!(log.events().iter().any(|e| matches!(
+        e,
+        TraceEvent::Drop { to, reason: DropReason::Undeliverable, .. } if *to == server
+    )));
+}
+
+#[test]
+fn restart_host_yields_fresh_process_state() {
+    let mut world = World::new(7);
+    let counter = addr(1, 9);
+    let client = addr(0, 100);
+    world.spawn(counter, Box::new(Counter { seen: 0 }));
+    world.spawn(client, Box::new(Pinger::new(counter, 3)));
+    world.poke(client, 0);
+    world.run_for(Duration::from_secs(1));
+    assert_eq!(world.with_proc(counter, |c: &Counter| c.seen), Some(3));
+
+    world.crash_host(HostId(1));
+    world.restart_host(HostId(1));
+    // The host is back, but empty: volatile state died with the crash.
+    assert!(world.host_up(HostId(1)));
+    assert!(!world.is_alive(counter));
+    assert_eq!(world.with_proc(counter, |c: &Counter| c.seen), None);
+
+    // A replacement process starts from its initial state.
+    world.spawn(counter, Box::new(Counter { seen: 0 }));
+    world.poke(client, 1);
+    world.run_for(Duration::from_secs(1));
+    assert_eq!(world.with_proc(counter, |c: &Counter| c.seen), Some(3));
+}
+
+#[test]
+fn partition_preserves_intra_partition_delivery() {
+    let mut world = World::new(7);
+    let server = addr(1, 7);
+    let near = addr(2, 100); // same partition group as the server
+    let far = addr(3, 100); // other side of the partition
+    world.spawn(server, Box::new(Echo));
+    world.spawn(near, Box::new(Pinger::new(server, 1)));
+    world.spawn(far, Box::new(Pinger::new(server, 1)));
+    world.set_partition(Partition::groups(vec![vec![HostId(1), HostId(2)]]));
+    world.poke(near, 0);
+    world.poke(far, 0);
+    world.run_for(Duration::from_secs(1));
+
+    // Intra-partition traffic flows; cross-partition traffic is dropped.
+    assert_eq!(
+        world.with_proc(near, |p: &Pinger| p.reply_times.len()),
+        Some(1)
+    );
+    assert_eq!(
+        world.with_proc(far, |p: &Pinger| p.reply_times.len()),
+        Some(0)
+    );
+    assert!(world.net_stats().partitioned >= 1);
+}
+
+#[test]
+fn oversize_send_counted_and_traced() {
+    struct BigSender {
+        to: SockAddr,
+    }
+    impl Process for BigSender {
+        fn on_poke(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
+            ctx.send(self.to, vec![0; 4000]);
+        }
+        fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _from: SockAddr, _data: Vec<u8>) {}
+    }
+    let mut world = World::new(7); // default net: mtu 1500
+    let server = addr(1, 7);
+    let client = addr(0, 100);
+    world.set_trace_sink(Box::new(TraceLog::new()));
+    world.spawn(server, Box::new(Echo));
+    world.spawn(client, Box::new(BigSender { to: server }));
+    world.poke(client, 0);
+    world.run_for(Duration::from_secs(1));
+
+    let stats = world.net_stats();
+    assert_eq!(stats.oversize, 1);
+    assert_eq!(stats.delivered, 0);
+    let log = world.trace_sink_as::<TraceLog>().unwrap();
+    assert!(log.events().iter().any(|e| matches!(
+        e,
+        TraceEvent::Drop {
+            len: 4000,
+            reason: DropReason::Oversize,
+            ..
+        }
+    )));
+}
+
+#[test]
+fn trace_hash_is_seed_deterministic() {
+    fn run(seed: u64) -> (u64, u64) {
+        let mut world = World::with_config(seed, NetConfig::lossy(0.2), SyscallCosts::default());
+        world.set_trace_sink(Box::new(TraceHash::new()));
+        let server = addr(1, 7);
+        let client = addr(0, 100);
+        world.spawn(server, Box::new(Echo));
+        world.spawn(client, Box::new(Pinger::new(server, 20)));
+        world.poke(client, 0);
+        world.crash_host(HostId(1));
+        world.restart_host(HostId(1));
+        world.run_for(Duration::from_secs(5));
+        let h = world.trace_sink_as::<TraceHash>().unwrap();
+        (h.value(), h.events())
+    }
+    assert_eq!(run(42), run(42));
+    assert_ne!(run(42).0, run(43).0, "different seeds should diverge");
 }

@@ -47,7 +47,10 @@ impl fmt::Display for CheckError {
         match self {
             CheckError::UnknownType(n) => write!(f, "unknown type {n:?}"),
             CheckError::UnknownError { procedure, error } => {
-                write!(f, "procedure {procedure:?} reports undeclared error {error:?}")
+                write!(
+                    f,
+                    "procedure {procedure:?} reports undeclared error {error:?}"
+                )
             }
             CheckError::DuplicateName(n) => write!(f, "duplicate declaration {n:?}"),
             CheckError::DuplicateProcedureNumber(n) => {
@@ -325,7 +328,10 @@ END.
     #[test]
     fn direct_recursion_caught() {
         let src = "P: PROGRAM 1 VERSION 1 =\nBEGIN\n T: TYPE = SEQUENCE OF T;\nEND.";
-        assert_eq!(check_src(src), Err(vec![CheckError::RecursiveType("T".into())]));
+        assert_eq!(
+            check_src(src),
+            Err(vec![CheckError::RecursiveType("T".into())])
+        );
     }
 
     #[test]
@@ -338,7 +344,9 @@ BEGIN
 END.
 "#;
         let errs = check_src(src).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, CheckError::RecursiveType(_))));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, CheckError::RecursiveType(_))));
     }
 
     #[test]
@@ -371,7 +379,8 @@ END.
 
     #[test]
     fn nested_constructor_caught() {
-        let src = "P: PROGRAM 1 VERSION 1 =\nBEGIN\n T: TYPE = SEQUENCE OF RECORD [a: CARDINAL];\nEND.";
+        let src =
+            "P: PROGRAM 1 VERSION 1 =\nBEGIN\n T: TYPE = SEQUENCE OF RECORD [a: CARDINAL];\nEND.";
         assert_eq!(
             check_src(src),
             Err(vec![CheckError::NestedConstructor("T".into())])
@@ -381,6 +390,9 @@ END.
     #[test]
     fn duplicate_names_caught() {
         let src = "P: PROGRAM 1 VERSION 1 =\nBEGIN\n A: ERROR = 0;\n A: ERROR = 1;\nEND.";
-        assert_eq!(check_src(src), Err(vec![CheckError::DuplicateName("A".into())]));
+        assert_eq!(
+            check_src(src),
+            Err(vec![CheckError::DuplicateName("A".into())])
+        );
     }
 }

@@ -99,10 +99,7 @@ fn gen_record(out: &mut String, name: &str, fields: &[Field]) {
     }
     let _ = writeln!(out, "}}\n");
     let _ = writeln!(out, "impl wire::Externalize for {name} {{");
-    let _ = writeln!(
-        out,
-        "    fn externalize(&self, w: &mut wire::Writer) {{"
-    );
+    let _ = writeln!(out, "    fn externalize(&self, w: &mut wire::Writer) {{");
     for f in fields {
         let _ = writeln!(
             out,
@@ -147,7 +144,10 @@ fn gen_enumeration(out: &mut String, name: &str, items: &[(String, u16)]) {
     for (item, value) in items {
         let _ = writeln!(out, "            {} => Ok({name}::{}),", value, camel(item));
     }
-    let _ = writeln!(out, "            other => Err(wire::WireError::BadEnum(other)),");
+    let _ = writeln!(
+        out,
+        "            other => Err(wire::WireError::BadEnum(other)),"
+    );
     let _ = writeln!(out, "        }}\n    }}\n}}\n");
 }
 
@@ -184,7 +184,10 @@ fn gen_choice(out: &mut String, name: &str, arms: &[(String, u16, Type)]) {
             camel(arm)
         );
     }
-    let _ = writeln!(out, "            other => Err(wire::WireError::BadChoice(other)),");
+    let _ = writeln!(
+        out,
+        "            other => Err(wire::WireError::BadChoice(other)),"
+    );
     let _ = writeln!(out, "        }}\n    }}\n}}\n");
 }
 
@@ -231,7 +234,10 @@ pub fn generate(p: &Program, opts: Options) -> String {
     );
     let _ = writeln!(out, "// DO NOT EDIT.");
     let _ = writeln!(out, "//");
-    let _ = writeln!(out, "// Binding is explicit (§7.3): every client stub builds a request the");
+    let _ = writeln!(
+        out,
+        "// Binding is explicit (§7.3): every client stub builds a request the"
+    );
     let _ = writeln!(out, "// caller addresses to a troupe it imported itself.");
     let _ = writeln!(out);
     let _ = writeln!(out, "/// The Courier program number.");
@@ -246,7 +252,10 @@ pub fn generate(p: &Program, opts: Options) -> String {
 
     // Errors.
     if has_errors {
-        let _ = writeln!(out, "/// The errors this interface may report (REPORTS clauses).");
+        let _ = writeln!(
+            out,
+            "/// The errors this interface may report (REPORTS clauses)."
+        );
         let _ = writeln!(out, "#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]");
         let _ = writeln!(out, "pub enum {err_enum} {{");
         for (name, _) in p.errors() {
@@ -265,17 +274,31 @@ pub fn generate(p: &Program, opts: Options) -> String {
         let _ = writeln!(out, "    pub fn from_code(code: u16) -> Option<Self> {{");
         let _ = writeln!(out, "        match code {{");
         for (name, code) in p.errors() {
-            let _ = writeln!(out, "            {} => Some({err_enum}::{}),", code, camel(name));
+            let _ = writeln!(
+                out,
+                "            {} => Some({err_enum}::{}),",
+                code,
+                camel(name)
+            );
         }
         let _ = writeln!(out, "            _ => None,");
         let _ = writeln!(out, "        }}\n    }}\n");
-        let _ = writeln!(out, "    /// Encoding used on the error channel of return messages.");
+        let _ = writeln!(
+            out,
+            "    /// Encoding used on the error channel of return messages."
+        );
         let _ = writeln!(out, "    pub fn wire_tag(self) -> String {{");
         let _ = writeln!(out, "        format!(\"E{{}}.{{}}\", PROGRAM, self.code())");
         let _ = writeln!(out, "    }}\n");
         let _ = writeln!(out, "    /// Inverse of [`{err_enum}::wire_tag`].");
-        let _ = writeln!(out, "    pub fn from_wire_tag(tag: &str) -> Option<Self> {{");
-        let _ = writeln!(out, "        let rest = tag.strip_prefix(&format!(\"E{{}}.\", PROGRAM))?;");
+        let _ = writeln!(
+            out,
+            "    pub fn from_wire_tag(tag: &str) -> Option<Self> {{"
+        );
+        let _ = writeln!(
+            out,
+            "        let rest = tag.strip_prefix(&format!(\"E{{}}.\", PROGRAM))?;"
+        );
         let _ = writeln!(out, "        Self::from_code(rest.parse().ok()?)");
         let _ = writeln!(out, "    }}\n}}\n");
     }
@@ -285,7 +308,10 @@ pub fn generate(p: &Program, opts: Options) -> String {
     let _ = writeln!(out, "#[derive(Clone, Debug, PartialEq)]");
     let _ = writeln!(out, "pub enum {failure} {{");
     if has_errors {
-        let _ = writeln!(out, "    /// The remote procedure reported a declared error.");
+        let _ = writeln!(
+            out,
+            "    /// The remote procedure reported a declared error."
+        );
         let _ = writeln!(out, "    Reported({err_enum}),");
     }
     let _ = writeln!(out, "    /// The replicated call itself failed.");
@@ -299,12 +325,20 @@ pub fn generate(p: &Program, opts: Options) -> String {
     let _ = writeln!(out, "pub mod procs {{");
     for proc in p.procedures() {
         let _ = writeln!(out, "    /// `{}`", proc.name);
-        let _ = writeln!(out, "    pub const {}: u16 = {};", shout(&proc.name), proc.number);
+        let _ = writeln!(
+            out,
+            "    pub const {}: u16 = {};",
+            shout(&proc.name),
+            proc.number
+        );
     }
     let _ = writeln!(out, "}}\n");
 
     // Client stubs.
-    let _ = writeln!(out, "/// Client stubs: request builders and reply decoders.");
+    let _ = writeln!(
+        out,
+        "/// Client stubs: request builders and reply decoders."
+    );
     let _ = writeln!(out, "pub mod client {{");
     let _ = writeln!(out, "    use super::*;\n");
     for proc in p.procedures() {
@@ -347,12 +381,24 @@ pub fn generate(p: &Program, opts: Options) -> String {
             "    pub fn {fn_name}_result(result: Result<Vec<u8>, circus::CallError>) -> Result<{rty}, {failure}> {{"
         );
         let _ = writeln!(out, "        match result {{");
-        let _ = writeln!(out, "            Ok(bytes) => decode_{fn_name}_reply(&bytes).ok_or({failure}::Garbled),");
+        let _ = writeln!(
+            out,
+            "            Ok(bytes) => decode_{fn_name}_reply(&bytes).ok_or({failure}::Garbled),"
+        );
         if has_errors {
             let _ = writeln!(out, "            Err(circus::CallError::Remote(tag)) => {{");
-            let _ = writeln!(out, "                match {err_enum}::from_wire_tag(&tag) {{");
-            let _ = writeln!(out, "                    Some(e) => Err({failure}::Reported(e)),");
-            let _ = writeln!(out, "                    None => Err({failure}::Rpc(circus::CallError::Remote(tag))),");
+            let _ = writeln!(
+                out,
+                "                match {err_enum}::from_wire_tag(&tag) {{"
+            );
+            let _ = writeln!(
+                out,
+                "                    Some(e) => Err({failure}::Reported(e)),"
+            );
+            let _ = writeln!(
+                out,
+                "                    None => Err({failure}::Rpc(circus::CallError::Remote(tag))),"
+            );
             let _ = writeln!(out, "                }}");
             let _ = writeln!(out, "            }}");
         }
@@ -399,8 +445,14 @@ pub fn generate(p: &Program, opts: Options) -> String {
                 "    /// response set of `{}` from a call made with",
                 proc.name
             );
-            let _ = writeln!(out, "    /// `circus::gather_all_collation()`. Crashed members are `None`;");
-            let _ = writeln!(out, "    /// iterate the vector as the paper iterates its generator.");
+            let _ = writeln!(
+                out,
+                "    /// `circus::gather_all_collation()`. Crashed members are `None`;"
+            );
+            let _ = writeln!(
+                out,
+                "    /// iterate the vector as the paper iterates its generator."
+            );
             let _ = writeln!(
                 out,
                 "    pub fn {fn_name}_replies(result: Result<Vec<u8>, circus::CallError>) -> Result<Vec<Option<Result<{rty}, {failure}>>>, {failure}> {{"
@@ -410,7 +462,10 @@ pub fn generate(p: &Program, opts: Options) -> String {
             let _ = writeln!(out, "        Ok(gathered");
             let _ = writeln!(out, "            .into_iter()");
             let _ = writeln!(out, "            .map(|per_member| per_member.map(|raw| {{");
-            let _ = writeln!(out, "                match circus::unwrap_reply_vote(&raw) {{");
+            let _ = writeln!(
+                out,
+                "                match circus::unwrap_reply_vote(&raw) {{"
+            );
             let _ = writeln!(out, "                    Some(payload) => decode_{fn_name}_reply(&payload).ok_or({failure}::Garbled),");
             let _ = writeln!(out, "                    None => Err({failure}::Garbled),");
             let _ = writeln!(out, "                }}");
@@ -439,11 +494,7 @@ pub fn generate(p: &Program, opts: Options) -> String {
         } else {
             rty
         };
-        let _ = writeln!(
-            out,
-            "    /// `{}` (procedure {}).",
-            proc.name, proc.number
-        );
+        let _ = writeln!(out, "    /// `{}` (procedure {}).", proc.name, proc.number);
         let _ = writeln!(
             out,
             "    fn {fn_name}(&mut self, ctx: &circus::ServiceCtx{}{}) -> {ret};",
@@ -455,15 +506,24 @@ pub fn generate(p: &Program, opts: Options) -> String {
     let _ = writeln!(out, "    fn get_state(&self) -> Vec<u8> {{ Vec::new() }}");
     let _ = writeln!(out, "    /// State transfer in (§6.4.1).");
     let _ = writeln!(out, "    fn set_state(&mut self, _state: &[u8]) {{}}");
-    let _ = writeln!(out, "    /// Argument collation for many-to-one calls (§4.3.2, §7.4).");
-    let _ = writeln!(out, "    fn arg_collation(&self, _proc: u16) -> circus::CollationPolicy {{");
+    let _ = writeln!(
+        out,
+        "    /// Argument collation for many-to-one calls (§4.3.2, §7.4)."
+    );
+    let _ = writeln!(
+        out,
+        "    fn arg_collation(&self, _proc: u16) -> circus::CollationPolicy {{"
+    );
     let _ = writeln!(out, "        circus::CollationPolicy::Unanimous");
     let _ = writeln!(out, "    }}");
     let _ = writeln!(out, "}}\n");
 
     let _ = writeln!(out, "/// Adapts a [`{handler}`] to the Circus runtime.");
     let _ = writeln!(out, "pub struct {dispatcher}<H: {handler}>(pub H);\n");
-    let _ = writeln!(out, "impl<H: {handler}> circus::Service for {dispatcher}<H> {{");
+    let _ = writeln!(
+        out,
+        "impl<H: {handler}> circus::Service for {dispatcher}<H> {{"
+    );
     let _ = writeln!(
         out,
         "    fn dispatch(&mut self, ctx: &mut circus::ServiceCtx, proc: u16, args: &[u8]) -> circus::Step {{"
@@ -522,7 +582,10 @@ pub fn generate(p: &Program, opts: Options) -> String {
         "            other => circus::Step::Error(format!(\"no procedure {{other}} in {prog}\")),"
     );
     let _ = writeln!(out, "        }}\n    }}\n");
-    let _ = writeln!(out, "    fn get_state(&self) -> Vec<u8> {{ self.0.get_state() }}\n");
+    let _ = writeln!(
+        out,
+        "    fn get_state(&self) -> Vec<u8> {{ self.0.get_state() }}\n"
+    );
     let _ = writeln!(
         out,
         "    fn set_state(&mut self, state: &[u8]) {{ self.0.set_state(state) }}\n"

@@ -9,8 +9,8 @@ mod file_system {
 }
 
 use circus::{
-    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig,
-    NodeCtx, ServiceCtx, Troupe, TroupeId,
+    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig, NodeCtx,
+    ServiceCtx, Troupe, TroupeId,
 };
 use file_system::{client, FileSystemDispatcher, FileSystemError, FileSystemHandler};
 use simnet::{Duration, HostId, SockAddr, World};
@@ -243,10 +243,8 @@ fn typed_errors_cross_the_wire() {
         }
     }
     let a = SockAddr::new(HostId(10), 50);
-    let p = CircusProcess::new(a, NodeConfig::default()).with_agent(Box::new(ErrClient {
-        fs,
-        outcome: None,
-    }));
+    let p = CircusProcess::new(a, NodeConfig::default())
+        .with_agent(Box::new(ErrClient { fs, outcome: None }));
     w.spawn(a, Box::new(p));
     w.poke(a, 0);
     w.run_for(Duration::from_secs(10));

@@ -9,12 +9,11 @@ mod name_server {
 }
 
 use circus::{
-    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig,
-    NodeCtx, ServiceCtx, Troupe, TroupeId,
+    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig, NodeCtx,
+    ServiceCtx, Troupe, TroupeId,
 };
 use name_server::{
-    client, NameServerDispatcher, NameServerError, NameServerFailure, NameServerHandler,
-    Property,
+    client, NameServerDispatcher, NameServerError, NameServerFailure, NameServerHandler, Property,
 };
 use simnet::{Duration, HostId, SockAddr, World};
 use std::collections::BTreeMap;
@@ -40,7 +39,11 @@ impl NameServerHandler for NameServerImpl {
         Ok(())
     }
 
-    fn lookup(&mut self, _ctx: &ServiceCtx, name: String) -> Result<Vec<Property>, NameServerError> {
+    fn lookup(
+        &mut self,
+        _ctx: &ServiceCtx,
+        name: String,
+    ) -> Result<Vec<Property>, NameServerError> {
         self.entries
             .get(&name)
             .cloned()
@@ -103,10 +106,7 @@ impl Agent for StubClient {
             // Explicit replication: decode the whole response set.
             match client::lookup_replies(result) {
                 Ok(set) => {
-                    let oks = set
-                        .iter()
-                        .filter(|m| matches!(m, Some(Ok(_))))
-                        .count();
+                    let oks = set.iter().filter(|m| matches!(m, Some(Ok(_)))).count();
                     format!("replies:{}/{}", oks, set.len())
                 }
                 Err(e) => format!("replies-failed:{e:?}"),
@@ -144,7 +144,10 @@ fn generated_stubs_work_against_replicated_server() {
     for h in 1..=3u32 {
         let a = SockAddr::new(HostId(h), 70);
         let p = CircusProcess::new(a, NodeConfig::default())
-            .with_service(MODULE, Box::new(NameServerDispatcher(NameServerImpl::default())))
+            .with_service(
+                MODULE,
+                Box::new(NameServerDispatcher(NameServerImpl::default())),
+            )
             .with_troupe_id(id);
         w.spawn(a, Box::new(p));
         members.push(ModuleAddr::new(a, MODULE));
@@ -170,16 +173,15 @@ fn generated_stubs_work_against_replicated_server() {
     ];
 
     let client_addr = SockAddr::new(HostId(10), 50);
-    let p = CircusProcess::new(client_addr, NodeConfig::default()).with_agent(Box::new(
-        StubClient {
+    let p =
+        CircusProcess::new(client_addr, NodeConfig::default()).with_agent(Box::new(StubClient {
             troupe,
             script,
             next: 0,
             kinds: Vec::new(),
             in_flight: None,
             outcomes: Vec::new(),
-        },
-    ));
+        }));
     w.spawn(client_addr, Box::new(p));
     w.poke(client_addr, 0);
     w.run_for(Duration::from_secs(30));

@@ -16,7 +16,13 @@ fn program_strategy() -> impl Strategy<Value = String> {
     )
         .prop_map(|(number, version, type_kinds, procs)| {
             let mut src = format!("Iface: PROGRAM {number} VERSION {version} =\nBEGIN\n");
-            let base = ["CARDINAL", "STRING", "BOOLEAN", "LONG INTEGER", "UNSPECIFIED"];
+            let base = [
+                "CARDINAL",
+                "STRING",
+                "BOOLEAN",
+                "LONG INTEGER",
+                "UNSPECIFIED",
+            ];
             let mut type_names = Vec::new();
             for (i, kind) in type_kinds.iter().enumerate() {
                 let name = format!("T{i}");
@@ -32,7 +38,11 @@ fn program_strategy() -> impl Strategy<Value = String> {
                         i * 2,
                         i * 2 + 1
                     )),
-                    3 => src.push_str(&format!("  {name}: TYPE = ARRAY {} OF {};\n", i + 1, base[i % 5])),
+                    3 => src.push_str(&format!(
+                        "  {name}: TYPE = ARRAY {} OF {};\n",
+                        i + 1,
+                        base[i % 5]
+                    )),
                     _ => src.push_str(&format!(
                         "  {name}: TYPE = CHOICE OF {{ one(0) => {}, two(1) => {} }};\n",
                         base[i % 5],
@@ -57,8 +67,9 @@ fn program_strategy() -> impl Strategy<Value = String> {
                     line.push_str(&format!(" [{}]", ps.join(", ")));
                 }
                 if *returns > 0 {
-                    let rs: Vec<String> =
-                        (0..*returns).map(|k| format!("r{k}: {}", ty(k + 1))).collect();
+                    let rs: Vec<String> = (0..*returns)
+                        .map(|k| format!("r{k}: {}", ty(k + 1)))
+                        .collect();
                     line.push_str(&format!(" RETURNS [{}]", rs.join(", ")));
                 }
                 if *reports {

@@ -236,8 +236,7 @@ impl Collate for MaxTime {
                 VoteSlot::Pending => return Decision::Wait,
                 VoteSlot::Dead => {}
                 VoteSlot::Vote(v) => {
-                    let t = circus::unwrap_reply_vote(v)
-                        .and_then(|p| from_bytes::<u64>(&p).ok());
+                    let t = circus::unwrap_reply_vote(v).and_then(|p| from_bytes::<u64>(&p).ok());
                     match t {
                         Some(t) => {
                             max = max.max(t);
@@ -341,7 +340,9 @@ mod tests {
 
     #[test]
     fn queue_orders_by_accepted_time_with_tiebreak() {
-        let mut s = OrderedBroadcastService::new(Log { entries: Vec::new() });
+        let mut s = OrderedBroadcastService::new(Log {
+            entries: Vec::new(),
+        });
         // Two proposals, then acceptance in reverse arrival order.
         let mut c = ctx(100);
         s.dispatch(
@@ -389,7 +390,9 @@ mod tests {
 
     #[test]
     fn equal_times_tie_broken_by_id() {
-        let mut s = OrderedBroadcastService::new(Log { entries: Vec::new() });
+        let mut s = OrderedBroadcastService::new(Log {
+            entries: Vec::new(),
+        });
         for id in [2u64, 1] {
             let mut c = ctx(100);
             s.dispatch(

@@ -2,7 +2,9 @@
 //! the two-phase ordered broadcast driver (Figure 5.1, client side).
 
 use crate::backoff::Backoff;
-use crate::broadcast::{max_time_collation, Accept, Propose, PROC_ACCEPT_TIME, PROC_GET_PROPOSED_TIME};
+use crate::broadcast::{
+    max_time_collation, Accept, Propose, PROC_ACCEPT_TIME, PROC_GET_PROPOSED_TIME,
+};
 use crate::commit::{ExecuteRequest, TxnOutcome, PROC_EXECUTE};
 use crate::txn::Op;
 use circus::{Agent, CallError, CallHandle, CollationPolicy, NodeCtx, ThreadId, Troupe};

@@ -21,8 +21,8 @@ use std::rc::Rc;
 use crate::store::TxnId;
 use crate::txn::{ExecOutcome, LocalTm, Op};
 use circus::{
-    CallError, Collate, CollationPolicy, Decision, NodeEffect, OutCall, Service, ServiceCtx,
-    Step, TroupeTarget, VoteSlot,
+    CallError, Collate, CollationPolicy, Decision, NodeEffect, OutCall, Service, ServiceCtx, Step,
+    ThreadId, TroupeTarget, VoteSlot,
 };
 use wire::{from_bytes, to_bytes, Externalize, Internalize, Reader, WireError, Writer};
 
@@ -96,6 +96,8 @@ impl Internalize for TxnOutcome {
 /// Per-invocation transaction bookkeeping at a store member.
 struct TxnRec {
     txn: TxnId,
+    thread: ThreadId,
+    nonce: u64,
     ops: Vec<Op>,
     results: Option<Vec<i64>>,
 }
@@ -111,6 +113,12 @@ pub struct TroupeStoreService {
     by_invocation: HashMap<u64, TxnRec>,
     /// Suspended (lock-waiting) transactions: txn → invocation.
     waiting: HashMap<TxnId, u64>,
+    /// Commit ledger: `(thread, nonce)` of every transaction this member
+    /// committed, in commit order. Part of the module state (transferred
+    /// by `get_state`/`set_state`) so a joining member inherits the
+    /// history; an audit oracle checks the ledgers of troupe members
+    /// agree (exactly-once, Theorem 5.1's same-order property).
+    committed: Vec<(ThreadId, u64)>,
 }
 
 impl TroupeStoreService {
@@ -123,12 +131,39 @@ impl TroupeStoreService {
             next_txn: 1,
             by_invocation: HashMap::new(),
             waiting: HashMap::new(),
+            committed: Vec::new(),
         }
     }
 
     /// The underlying transaction manager (observers/tests).
     pub fn tm(&self) -> &LocalTm {
         &self.tm
+    }
+
+    /// The `(thread, nonce)` commit ledger, in commit order.
+    pub fn committed_log(&self) -> &[(ThreadId, u64)] {
+        &self.committed
+    }
+
+    /// FNV-1a digest of the module state (committed image + ledger);
+    /// every member of a quiesced troupe must report the same value.
+    ///
+    /// The ledger is digested *sorted*, not in commit order: two-phase
+    /// locking forces every member to order conflicting transactions
+    /// identically (Theorem 5.1), but concurrent non-conflicting
+    /// transactions may legitimately commit in different local orders,
+    /// and one-copy serializability promises identical committed images
+    /// and identical transaction sets — not identical interleavings.
+    pub fn state_digest(&self) -> u64 {
+        let mut sorted = self.committed.clone();
+        sorted.sort_unstable();
+        let bytes = to_bytes(&(self.tm.store().snapshot(), sorted));
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
     }
 
     /// Builds the `ready_to_commit` call-back (§5.3).
@@ -195,6 +230,8 @@ impl Service for TroupeStoreService {
                     ctx.invocation,
                     TxnRec {
                         txn,
+                        thread: ctx.thread,
+                        nonce: req.nonce,
                         ops: req.ops,
                         results: None,
                     },
@@ -222,7 +259,10 @@ impl Service for TroupeStoreService {
             Err(_) => false,
         };
         let (outcome, unblocked) = match rec.results {
-            Some(results) if go => (TxnOutcome::Committed(results), self.tm.commit(rec.txn)),
+            Some(results) if go => {
+                self.committed.push((rec.thread, rec.nonce));
+                (TxnOutcome::Committed(results), self.tm.commit(rec.txn))
+            }
             _ => (
                 TxnOutcome::Aborted("transaction aborted".into()),
                 self.tm.abort(rec.txn),
@@ -233,12 +273,13 @@ impl Service for TroupeStoreService {
     }
 
     fn get_state(&self) -> Vec<u8> {
-        to_bytes(&self.tm.store().snapshot())
+        to_bytes(&(self.tm.store().snapshot(), self.committed.clone()))
     }
 
     fn set_state(&mut self, state: &[u8]) {
-        if let Ok(snap) = from_bytes::<Vec<(u64, i64)>>(state) {
+        if let Ok((snap, ledger)) = from_bytes::<(Vec<(u64, i64)>, Vec<(ThreadId, u64)>)>(state) {
             self.tm.store_mut().restore(&snap);
+            self.committed = ledger;
         }
     }
 }
@@ -327,7 +368,10 @@ mod tests {
     #[test]
     fn ready_votes_any_false_aborts() {
         let c = ReadyVotes;
-        let slots = vec![VoteSlot::Vote(to_bytes(&true)), VoteSlot::Vote(to_bytes(&false))];
+        let slots = vec![
+            VoteSlot::Vote(to_bytes(&true)),
+            VoteSlot::Vote(to_bytes(&false)),
+        ];
         assert_eq!(c.decide(&slots), Decision::Ready(to_bytes(&false)));
     }
 

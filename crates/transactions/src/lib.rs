@@ -41,13 +41,13 @@ pub mod txn;
 
 pub use backoff::Backoff;
 pub use broadcast::{
-    max_time_collation, Accept, OrderedApply, OrderedBroadcastService, Propose,
-    PROC_ACCEPT_TIME, PROC_GET_PROPOSED_TIME,
+    max_time_collation, Accept, OrderedApply, OrderedBroadcastService, Propose, PROC_ACCEPT_TIME,
+    PROC_GET_PROPOSED_TIME,
 };
 pub use client::{Broadcaster, TxnClient};
 pub use commit::{
-    CommitVoterService, ExecuteRequest, TroupeStoreService, TxnOutcome, PROC_EXECUTE,
-    PROC_PEEK, PROC_READY_TO_COMMIT,
+    CommitVoterService, ExecuteRequest, TroupeStoreService, TxnOutcome, PROC_EXECUTE, PROC_PEEK,
+    PROC_READY_TO_COMMIT,
 };
 pub use deadlock::WaitsFor;
 pub use lock::{Acquire, LockManager, Mode};

@@ -214,9 +214,12 @@ mod tests {
         let mut lm = LockManager::new();
         lm.acquire(T1, A, Mode::Shared);
         lm.acquire(T2, A, Mode::Exclusive); // Waits.
-        // T3's shared request must queue behind T2's exclusive one, even
-        // though it is compatible with the current holder.
-        assert!(matches!(lm.acquire(T3, A, Mode::Shared), Acquire::Waiting(_)));
+                                            // T3's shared request must queue behind T2's exclusive one, even
+                                            // though it is compatible with the current holder.
+        assert!(matches!(
+            lm.acquire(T3, A, Mode::Shared),
+            Acquire::Waiting(_)
+        ));
     }
 
     #[test]

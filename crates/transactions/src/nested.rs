@@ -142,8 +142,7 @@ impl NestedTm {
                 continue;
             }
             if let Some(&held) = node.locks.get(&obj) {
-                let conflicts =
-                    matches!((held, mode), (Mode::Exclusive, _) | (_, Mode::Exclusive));
+                let conflicts = matches!((held, mode), (Mode::Exclusive, _) | (_, Mode::Exclusive));
                 if conflicts && !self.is_ancestor_or_self(holder, txn) {
                     return Err(NestedError::Conflict(holder));
                 }
@@ -282,7 +281,11 @@ mod tests {
         let t = tm.begin_top();
         tm.write(t, A, 7).unwrap();
         let c = tm.begin_child(t).unwrap();
-        assert_eq!(tm.read(c, A).unwrap(), 7, "descendants see tentative updates");
+        assert_eq!(
+            tm.read(c, A).unwrap(),
+            7,
+            "descendants see tentative updates"
+        );
     }
 
     #[test]
@@ -318,7 +321,11 @@ mod tests {
         tm.write(c, A, 10).unwrap();
         tm.commit(c).unwrap();
         tm.abort(t).unwrap();
-        assert_eq!(tm.read_committed(A), 0, "committed subtxn undone by parent abort");
+        assert_eq!(
+            tm.read_committed(A),
+            0,
+            "committed subtxn undone by parent abort"
+        );
         assert_eq!(tm.active(), 0);
     }
 
@@ -393,7 +400,11 @@ mod tests {
         let c = tm.begin_child(t).unwrap();
         tm.write(c, A, 2).unwrap();
         let gc = tm.begin_child(c).unwrap();
-        assert_eq!(tm.read(gc, A).unwrap(), 2, "nearest enclosing workspace wins");
+        assert_eq!(
+            tm.read(gc, A).unwrap(),
+            2,
+            "nearest enclosing workspace wins"
+        );
         tm.add(gc, A, 10).unwrap();
         assert_eq!(tm.read(gc, A).unwrap(), 12);
         // While gc holds X(A), even its parent may not read it: in the
@@ -408,8 +419,14 @@ mod tests {
     fn errors_on_unknown_transactions() {
         let mut tm = NestedTm::new();
         let ghost = TxnId(99);
-        assert_eq!(tm.begin_child(ghost), Err(NestedError::NoSuchTransaction(ghost)));
-        assert_eq!(tm.read(ghost, A), Err(NestedError::NoSuchTransaction(ghost)));
+        assert_eq!(
+            tm.begin_child(ghost),
+            Err(NestedError::NoSuchTransaction(ghost))
+        );
+        assert_eq!(
+            tm.read(ghost, A),
+            Err(NestedError::NoSuchTransaction(ghost))
+        );
         assert_eq!(tm.commit(ghost), Err(NestedError::NoSuchTransaction(ghost)));
         assert_eq!(tm.abort(ghost), Err(NestedError::NoSuchTransaction(ghost)));
     }

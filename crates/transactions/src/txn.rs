@@ -191,7 +191,10 @@ mod tests {
             tm.try_execute(T1, &[Op::Add(A, 1)]),
             ExecOutcome::Executed(_)
         ));
-        assert_eq!(tm.try_execute(T2, &[Op::Add(A, 10)]), ExecOutcome::MustWait(T1));
+        assert_eq!(
+            tm.try_execute(T2, &[Op::Add(A, 10)]),
+            ExecOutcome::MustWait(T1)
+        );
         let unblocked = tm.commit(T1);
         assert_eq!(unblocked, vec![T2]);
         // Re-run T2: it sees T1's committed value.

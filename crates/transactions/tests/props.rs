@@ -31,7 +31,9 @@ fn run_serial(txns: &[Vec<Op>], order: &[usize]) -> Vec<i64> {
             other => panic!("serial execution cannot block: {other:?}"),
         }
     }
-    (0..3).map(|o| tm.store().read_committed(ObjId(o))).collect()
+    (0..3)
+        .map(|o| tm.store().read_committed(ObjId(o)))
+        .collect()
 }
 
 proptest! {

@@ -37,7 +37,10 @@ fn spawn_store_troupe(w: &mut World, n: usize) -> Troupe {
     for i in 0..n {
         let a = addr(1 + i as u32, 70);
         let p = CircusProcess::new(a, config())
-            .with_service(STORE_MODULE, Box::new(TroupeStoreService::new(COMMIT_MODULE)))
+            .with_service(
+                STORE_MODULE,
+                Box::new(TroupeStoreService::new(COMMIT_MODULE)),
+            )
             .with_troupe_id(id);
         w.spawn(a, Box::new(p));
         members.push(ModuleAddr::new(a, STORE_MODULE));
@@ -56,7 +59,12 @@ fn spawn_txn_client(w: &mut World, a: SockAddr, troupe: Troupe, script: Vec<Vec<
 fn client_state(w: &World, a: SockAddr) -> (bool, Vec<Vec<i64>>, u32, Vec<String>) {
     w.with_proc(a, |p: &CircusProcess| {
         let c = p.agent_as::<TxnClient>().unwrap();
-        (c.finished(), c.committed.clone(), c.aborts, c.errors.clone())
+        (
+            c.finished(),
+            c.committed.clone(),
+            c.aborts,
+            c.errors.clone(),
+        )
     })
     .unwrap()
 }

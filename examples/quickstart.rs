@@ -10,8 +10,8 @@
 //! Run with: `cargo run --example quickstart`
 
 use rdp::circus::{
-    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig,
-    NodeCtx, Service, ServiceCtx, Step, ThreadId, Troupe, TroupeId,
+    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig, NodeCtx,
+    Service, ServiceCtx, Step, ThreadId, Troupe, TroupeId,
 };
 use rdp::simnet::{Duration, HostId, SockAddr, World};
 

@@ -18,8 +18,8 @@
 
 use rdp::circus::binding::{binding_procs, BINDING_MODULE};
 use rdp::circus::{
-    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig,
-    NodeCtx, Service, ServiceCtx, Step, Troupe, TroupeId,
+    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig, NodeCtx,
+    Service, ServiceCtx, Step, Troupe, TroupeId,
 };
 use rdp::configlang::{ConfigManager, Machine, Placement, Universe, Value};
 use rdp::ringmaster::{spawn_ringmaster, ImportCache, JoinAgent, RegisterTroupe};
@@ -69,7 +69,14 @@ impl CountingClient {
             let t = nc.fresh_thread();
             let binder = self.binder.clone();
             self.pending_increment = true;
-            nc.call(t, &binder, BINDING_MODULE, proc, args, CollationPolicy::Majority);
+            nc.call(
+                t,
+                &binder,
+                BINDING_MODULE,
+                proc,
+                args,
+                CollationPolicy::Majority,
+            );
             return;
         };
         let t = nc.fresh_thread();
@@ -123,7 +130,14 @@ impl Agent for CountingClient {
                 let t = nc.fresh_thread();
                 let binder = self.binder.clone();
                 self.pending_increment = true;
-                nc.call(t, &binder, BINDING_MODULE, proc, args, CollationPolicy::Majority);
+                nc.call(
+                    t,
+                    &binder,
+                    BINDING_MODULE,
+                    proc,
+                    args,
+                    CollationPolicy::Majority,
+                );
             }
             Err(e) => self.log.push(format!("call failed: {e}")),
         }
@@ -187,7 +201,10 @@ fn main() {
 
     // The configuration manager picks machines for the counter troupe.
     let actions = manager
-        .instantiate("counter", "troupe(x, y, z) where x.memory >= 8 and y.memory >= 8 and z.memory >= 8")
+        .instantiate(
+            "counter",
+            "troupe(x, y, z) where x.memory >= 8 and y.memory >= 8 and z.memory >= 8",
+        )
         .expect("spec satisfiable");
     let mut members = Vec::new();
     println!("configuration manager placement:");
@@ -226,15 +243,14 @@ fn main() {
 
     // The client imports by name and increments three times.
     let client = SockAddr::new(HostId(50), 10);
-    let p = CircusProcess::new(client, NodeConfig::default()).with_agent(Box::new(
-        CountingClient {
+    let p =
+        CircusProcess::new(client, NodeConfig::default()).with_agent(Box::new(CountingClient {
             binder: rm.clone(),
             cache: ImportCache::new(),
             troupe: None,
             pending_increment: false,
             log: Vec::new(),
-        },
-    ));
+        }));
     world.spawn(client, Box::new(p));
     for _ in 0..3 {
         world.poke(client, 0);

@@ -34,7 +34,10 @@ fn main() {
     for h in 1..=3u32 {
         let a = SockAddr::new(HostId(h), 70);
         let p = CircusProcess::new(a, config.clone())
-            .with_service(STORE_MODULE, Box::new(TroupeStoreService::new(COMMIT_MODULE)))
+            .with_service(
+                STORE_MODULE,
+                Box::new(TroupeStoreService::new(COMMIT_MODULE)),
+            )
             .with_troupe_id(id);
         world.spawn(a, Box::new(p));
         members.push(ModuleAddr::new(a, STORE_MODULE));
@@ -63,7 +66,11 @@ fn main() {
     let t2_script = vec![vec![Op::Add(BOB, -25), Op::Add(ALICE, 25)]; 5];
     for (addr, script) in [(teller1, t1_script), (teller2, t2_script)] {
         let p = CircusProcess::new(addr, config.clone())
-            .with_agent(Box::new(TxnClient::new(troupe.clone(), STORE_MODULE, script)))
+            .with_agent(Box::new(TxnClient::new(
+                troupe.clone(),
+                STORE_MODULE,
+                script,
+            )))
             .with_service(COMMIT_MODULE, Box::new(CommitVoterService));
         world.spawn(addr, Box::new(p));
     }
@@ -78,7 +85,9 @@ fn main() {
                 (c.finished(), c.committed.len(), c.aborts)
             })
             .unwrap();
-        println!("{name}: finished={done}, committed {committed} transfers, {aborts} aborts/retries");
+        println!(
+            "{name}: finished={done}, committed {committed} transfers, {aborts} aborts/retries"
+        );
     }
 
     println!("\nfinal balances at every replica:");
@@ -96,7 +105,11 @@ fn main() {
                 )
             })
             .unwrap();
-        println!("  {}: alice = {alice}, bob = {bob}, total = {}", m.addr, alice + bob);
+        println!(
+            "  {}: alice = {alice}, bob = {bob}, total = {}",
+            m.addr,
+            alice + bob
+        );
         balances.push((alice, bob));
     }
     assert!(

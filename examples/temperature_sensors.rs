@@ -17,9 +17,9 @@
 use std::rc::Rc;
 
 use rdp::circus::{
-    gather_all_collation, unwrap_reply_vote, Agent, CallError, CallHandle, CircusProcess,
-    Collate, CollationPolicy, Decision, ModuleAddr, NodeConfig, NodeCtx, Service, ServiceCtx,
-    Step, ThreadId, Troupe, TroupeId, VoteSlot,
+    gather_all_collation, unwrap_reply_vote, Agent, CallError, CallHandle, CircusProcess, Collate,
+    CollationPolicy, Decision, ModuleAddr, NodeConfig, NodeCtx, Service, ServiceCtx, Step,
+    ThreadId, Troupe, TroupeId, VoteSlot,
 };
 use rdp::simnet::{Duration, HostId, SockAddr, World};
 use rdp::wire::{from_bytes, to_bytes};
@@ -137,7 +137,14 @@ impl Agent for Monitor {
     fn on_poke(&mut self, nc: &mut NodeCtx<'_, '_, '_>, _tag: u64) {
         let thread = nc.fresh_thread();
         let troupe = self.thermometers.clone();
-        nc.call(thread, &troupe, MODULE, 0, Vec::new(), gather_all_collation());
+        nc.call(
+            thread,
+            &troupe,
+            MODULE,
+            0,
+            Vec::new(),
+            gather_all_collation(),
+        );
     }
 
     fn on_call_done(
@@ -170,7 +177,10 @@ fn main() {
         .with_service(MODULE, Box::new(Controller { set_point: None }))
         .with_troupe_id(controller_id);
     world.spawn(controller_addr, Box::new(p));
-    let controller = Troupe::new(controller_id, vec![ModuleAddr::new(controller_addr, MODULE)]);
+    let controller = Troupe::new(
+        controller_id,
+        vec![ModuleAddr::new(controller_addr, MODULE)],
+    );
 
     // The sensor troupe (replicated CLIENT): one logical thread, three
     // members with different readings.
@@ -229,12 +239,10 @@ fn main() {
         thermo_members.push(ModuleAddr::new(a, MODULE));
     }
     let monitor_addr = SockAddr::new(HostId(30), 50);
-    let p = CircusProcess::new(monitor_addr, NodeConfig::default()).with_agent(Box::new(
-        Monitor {
-            thermometers: Troupe::new(thermo_id, thermo_members),
-            readings: Vec::new(),
-        },
-    ));
+    let p = CircusProcess::new(monitor_addr, NodeConfig::default()).with_agent(Box::new(Monitor {
+        thermometers: Troupe::new(thermo_id, thermo_members),
+        readings: Vec::new(),
+    }));
     world.spawn(monitor_addr, Box::new(p));
     world.poke(monitor_addr, 0);
     world.run_for(Duration::from_secs(10));

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full pre-merge gate: formatting, lints, the whole test suite, and the
+# chaos sweep. Run from the repository root:
+#
+#     scripts/check.sh
+#
+# Any failing chaos seed prints a CHAOS_SEED=... repro line; replay it
+# with:
+#
+#     CHAOS_SEED=<seed> cargo test -p chaos --test sweep -- --nocapture
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "==> chaos sweep (10 seeds, all oracles)"
+cargo test -p chaos --test sweep -- --nocapture
+
+echo "All checks passed."

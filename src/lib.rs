@@ -20,6 +20,7 @@
 //! | [`stubgen`] | Ch. 7 | the stub compiler: Courier-style IDL → Rust stubs |
 //! | [`configlang`] | §7.5 | the troupe configuration language, solver, and manager |
 //! | [`analysis`] | §4.4.2, §5.3.1, §6.4.2 | the paper's probabilistic models |
+//! | [`chaos`] | whole stack | deterministic chaos harness: seeded fault schedules, invariant oracles, event-trace replay |
 //!
 //! See `examples/` for runnable scenarios and the `bench` crate's `repro`
 //! binary for every table and figure of the evaluation.
@@ -27,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub use analysis;
+pub use chaos;
 pub use circus;
 pub use configlang;
 pub use pairedmsg;

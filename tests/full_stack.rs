@@ -4,8 +4,8 @@
 
 use rdp::circus::binding::{binding_procs, BINDING_MODULE};
 use rdp::circus::{
-    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig,
-    NodeCtx, Troupe, TroupeId,
+    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig, NodeCtx,
+    Troupe, TroupeId,
 };
 use rdp::configlang::{extend_troupe, parse, Machine, Universe, Value};
 use rdp::ringmaster::{spawn_ringmaster, JoinAgent, RegisterTroupe};
@@ -64,9 +64,8 @@ fn configured_replicated_transactional_store_survives_crash_and_heals() {
     // 1. Configuration language picks the machines.
     let mut universe = Universe::new();
     for h in 4..=9u32 {
-        universe = universe.with(
-            Machine::named(h, &format!("vax-{h}")).with("memory", Value::Num(8 + h as i64)),
-        );
+        universe = universe
+            .with(Machine::named(h, &format!("vax-{h}")).with("memory", Value::Num(8 + h as i64)));
     }
     let spec = parse("troupe(x, y, z) where x.memory >= 12 and y.memory >= 12 and z.memory >= 12")
         .unwrap();
@@ -83,7 +82,10 @@ fn configured_replicated_transactional_store_survives_crash_and_heals() {
         .collect();
     for m in &members {
         let p = CircusProcess::new(m.addr, config.clone())
-            .with_service(STORE_MODULE, Box::new(TroupeStoreService::new(COMMIT_MODULE)))
+            .with_service(
+                STORE_MODULE,
+                Box::new(TroupeStoreService::new(COMMIT_MODULE)),
+            )
             .with_binder(rm.clone());
         w.spawn(m.addr, Box::new(p));
     }
@@ -117,7 +119,11 @@ fn configured_replicated_transactional_store_survives_crash_and_heals() {
         (c2, vec![vec![Op::Add(B, 1), Op::Add(A, 1)]; 4]),
     ] {
         let p = CircusProcess::new(addr, config.clone())
-            .with_agent(Box::new(TxnClient::new(troupe.clone(), STORE_MODULE, script)))
+            .with_agent(Box::new(TxnClient::new(
+                troupe.clone(),
+                STORE_MODULE,
+                script,
+            )))
             .with_service(COMMIT_MODULE, Box::new(CommitVoterService));
         w.spawn(addr, Box::new(p));
     }
@@ -140,7 +146,10 @@ fn configured_replicated_transactional_store_survives_crash_and_heals() {
     let newbie = SockAddr::new(HostId(9), 70);
     assert!(w.is_alive(newbie) || !members.iter().any(|m| m.addr == newbie));
     let p = CircusProcess::new(newbie, config.clone())
-        .with_service(STORE_MODULE, Box::new(TroupeStoreService::new(COMMIT_MODULE)))
+        .with_service(
+            STORE_MODULE,
+            Box::new(TroupeStoreService::new(COMMIT_MODULE)),
+        )
         .with_binder(rm.clone())
         .with_agent(Box::new(JoinAgent::new(rm.clone(), "store", STORE_MODULE)));
     w.spawn(newbie, Box::new(p));
@@ -174,7 +183,11 @@ fn configured_replicated_transactional_store_survives_crash_and_heals() {
     // current members (two survivors + the replacement).
     let current = Troupe::new(
         joined,
-        vec![members[0], members[1], ModuleAddr::new(newbie, STORE_MODULE)],
+        vec![
+            members[0],
+            members[1],
+            ModuleAddr::new(newbie, STORE_MODULE),
+        ],
     );
     let c3 = SockAddr::new(HostId(52), 10);
     let p = CircusProcess::new(c3, config.clone())
@@ -210,7 +223,10 @@ fn full_stack_outcome_is_seed_independent() {
             .collect();
         for m in &members {
             let p = CircusProcess::new(m.addr, config.clone())
-                .with_service(STORE_MODULE, Box::new(TroupeStoreService::new(COMMIT_MODULE)))
+                .with_service(
+                    STORE_MODULE,
+                    Box::new(TroupeStoreService::new(COMMIT_MODULE)),
+                )
                 .with_troupe_id(id);
             w.spawn(m.addr, Box::new(p));
         }

@@ -3,8 +3,8 @@
 
 use rdp::analysis;
 use rdp::circus::{
-    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig,
-    NodeCtx, Service, ServiceCtx, Step, Troupe, TroupeId,
+    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig, NodeCtx,
+    Service, ServiceCtx, Step, Troupe, TroupeId,
 };
 use rdp::simnet::{Duration, HostId, SockAddr, World};
 
@@ -30,7 +30,14 @@ impl Agent for OneShot {
     fn on_poke(&mut self, nc: &mut NodeCtx<'_, '_, '_>, _tag: u64) {
         let t = nc.fresh_thread();
         let troupe = self.troupe.clone();
-        nc.call(t, &troupe, MODULE, 0, b"claim".to_vec(), CollationPolicy::Unanimous);
+        nc.call(
+            t,
+            &troupe,
+            MODULE,
+            0,
+            b"claim".to_vec(),
+            CollationPolicy::Unanimous,
+        );
     }
 
     fn on_call_done(
@@ -150,7 +157,10 @@ fn replication_buys_any_availability_target() {
             reached_five_nines = true;
         }
     }
-    assert!(reached_five_nines, "ten replicas should exceed five nines at lambda/mu = 1/9");
+    assert!(
+        reached_five_nines,
+        "ten replicas should exceed five nines at lambda/mu = 1/9"
+    );
 }
 
 /// "Packets... may be lost, delayed, duplicated" (§2.2) and the
