@@ -7,7 +7,7 @@ use pairedmsg::{Config, Endpoint, MsgType, Segment};
 use simnet::Time;
 
 fn bench_segment_codec(c: &mut Criterion) {
-    let seg = Segment::data(MsgType::Call, 42, 4, 2, true, vec![7u8; 512]);
+    let seg = Segment::data(MsgType::Call, 42, 0, 4, 2, true, vec![7u8; 512]);
     let bytes = seg.encode();
     c.bench_function("segment_encode_512B", |b| {
         b.iter(|| black_box(&seg).encode())
@@ -39,12 +39,12 @@ fn bench_paired_message_exchange(c: &mut Criterion) {
             let mut client = Endpoint::new(Config::default());
             let mut server = Endpoint::new(Config::default());
             let now = Time::ZERO;
-            client.send(now, MsgType::Call, 1, b"args").unwrap();
+            client.send(now, MsgType::Call, 1, 0, b"args").unwrap();
             while let Some(bytes) = client.poll_transmit() {
                 server.on_datagram(now, &bytes).unwrap();
             }
             let _call = server.poll_event().unwrap();
-            server.send(now, MsgType::Return, 1, b"results").unwrap();
+            server.send(now, MsgType::Return, 1, 0, b"results").unwrap();
             while let Some(bytes) = server.poll_transmit() {
                 client.on_datagram(now, &bytes).unwrap();
             }

@@ -12,8 +12,8 @@
 //!   choosing "on a module-by-module basis".
 
 use circus::{
-    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig, NodeCtx,
-    Service, ServiceCtx, Step, Troupe, TroupeId,
+    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeBuilder,
+    NodeConfig, NodeCtx, Service, ServiceCtx, Step, Troupe, TroupeId,
 };
 use simnet::{Ctx, Duration, HostId, Process, SockAddr, Syscall, Time, TimerId, World};
 use transactions::{
@@ -110,9 +110,11 @@ pub fn run_waiting_policy(policy: CollationPolicy, calls: u32) -> f64 {
     let mut members = Vec::new();
     for h in 1..=3u32 {
         let a = SockAddr::new(HostId(h), 70);
-        let p = CircusProcess::new(a, NodeConfig::default())
-            .with_service(MODULE, Box::new(EchoService))
-            .with_troupe_id(id);
+        let p = NodeBuilder::new(a, NodeConfig::default())
+            .service(MODULE, Box::new(EchoService))
+            .troupe_id(id)
+            .build()
+            .expect("valid node");
         w.spawn(a, Box::new(p));
         members.push(ModuleAddr::new(a, MODULE));
     }
@@ -126,13 +128,16 @@ pub fn run_waiting_policy(policy: CollationPolicy, calls: u32) -> f64 {
     );
     let troupe = Troupe::new(id, members);
     let client = SockAddr::new(HostId(10), 50);
-    let p = CircusProcess::new(client, NodeConfig::default()).with_agent(Box::new(PolicyClient {
-        troupe,
-        policy,
-        remaining: calls,
-        started: Time::ZERO,
-        durations: Vec::new(),
-    }));
+    let p = NodeBuilder::new(client, NodeConfig::default())
+        .agent(Box::new(PolicyClient {
+            troupe,
+            policy,
+            remaining: calls,
+            started: Time::ZERO,
+            durations: Vec::new(),
+        }))
+        .build()
+        .expect("valid node");
     w.spawn(client, Box::new(p));
     w.poke(client, 0);
     w.run_until_pred(Time::from_secs(36_000), |w| {
@@ -177,12 +182,14 @@ pub fn run_commit_protocol(clients: u32) -> SyncOutcome {
     let mut members = Vec::new();
     for h in 1..=3u32 {
         let a = SockAddr::new(HostId(h), 70);
-        let p = CircusProcess::new(a, config.clone())
-            .with_service(
+        let p = NodeBuilder::new(a, config.clone())
+            .service(
                 STORE_MODULE,
                 Box::new(TroupeStoreService::new(COMMIT_MODULE)),
             )
-            .with_troupe_id(id);
+            .troupe_id(id)
+            .build()
+            .expect("valid node");
         w.spawn(a, Box::new(p));
         members.push(ModuleAddr::new(a, STORE_MODULE));
     }
@@ -193,13 +200,15 @@ pub fn run_commit_protocol(clients: u32) -> SyncOutcome {
     for &a in &client_addrs {
         // Everyone increments the same object: maximal conflict.
         let script = vec![vec![Op::Add(ObjId(1), 1)]; TXNS_PER_CLIENT];
-        let p = CircusProcess::new(a, config.clone())
-            .with_agent(Box::new(TxnClient::new(
+        let p = NodeBuilder::new(a, config.clone())
+            .agent(Box::new(TxnClient::new(
                 troupe.clone(),
                 STORE_MODULE,
                 script,
             )))
-            .with_service(COMMIT_MODULE, Box::new(CommitVoterService));
+            .service(COMMIT_MODULE, Box::new(CommitVoterService))
+            .build()
+            .expect("valid node");
         w.spawn(a, Box::new(p));
     }
     for &a in &client_addrs {
@@ -255,15 +264,17 @@ pub fn run_ordered_broadcast(clients: u32) -> SyncOutcome {
     let mut members = Vec::new();
     for h in 1..=3u32 {
         let a = SockAddr::new(HostId(h), 70);
-        let p = CircusProcess::new(a, NodeConfig::default())
-            .with_service(
+        let p = NodeBuilder::new(a, NodeConfig::default())
+            .service(
                 STORE_MODULE,
                 Box::new(OrderedBroadcastService::new(AddApply {
                     total: 0,
                     applied: 0,
                 })),
             )
-            .with_troupe_id(id);
+            .troupe_id(id)
+            .build()
+            .expect("valid node");
         w.spawn(a, Box::new(p));
         members.push(ModuleAddr::new(a, STORE_MODULE));
     }
@@ -273,13 +284,15 @@ pub fn run_ordered_broadcast(clients: u32) -> SyncOutcome {
         .collect();
     for (i, &a) in client_addrs.iter().enumerate() {
         let msgs = vec![to_bytes(&1i64); TXNS_PER_CLIENT];
-        let p =
-            CircusProcess::new(a, NodeConfig::default()).with_agent(Box::new(Broadcaster::new(
+        let p = NodeBuilder::new(a, NodeConfig::default())
+            .agent(Box::new(Broadcaster::new(
                 troupe.clone(),
                 STORE_MODULE,
                 (i as u64 + 1) * 1_000_000,
                 msgs,
-            )));
+            )))
+            .build()
+            .expect("valid node");
         w.spawn(a, Box::new(p));
     }
     for &a in &client_addrs {
@@ -378,7 +391,7 @@ fn transfer_stats(config: pairedmsg::Config, segments: usize) -> (u64, u64, usiz
     let mut rx = Endpoint::new(config);
     let payload = vec![7u8; seg * segments];
     let now = Time::ZERO;
-    tx.send(now, MsgType::Call, 1, &payload).unwrap();
+    tx.send(now, MsgType::Call, 1, 0, &payload).unwrap();
     loop {
         let mut moved = false;
         while let Some(bytes) = tx.poll_transmit() {
@@ -394,10 +407,13 @@ fn transfer_stats(config: pairedmsg::Config, segments: usize) -> (u64, u64, usiz
         }
         assert!(moved, "transfer stalled");
     }
+    let reg = obs::Registry::new();
+    tx.publish_metrics(&reg, "tx");
+    rx.publish_metrics(&reg, "rx");
     (
-        tx.stats().segments_sent,
-        rx.stats().segments_sent,
-        rx.stats().max_recv_buffered,
+        reg.get("tx.segments_sent"),
+        reg.get("rx.segments_sent"),
+        reg.get("rx.max_recv_buffered") as usize,
     )
 }
 

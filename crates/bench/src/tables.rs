@@ -152,7 +152,11 @@ pub fn table_4_3(calls: u32) -> String {
         }
         line.push_str(" |          ");
         for s in &syscalls {
-            let _ = write!(line, " {:>7.1}", r.client_cpu.fraction_in(*s) * 100.0);
+            let _ = write!(
+                line,
+                " {:>7.1}",
+                r.client_cpu.fraction_of(s.index()) * 100.0
+            );
         }
         let _ = writeln!(out, "{line}");
     }

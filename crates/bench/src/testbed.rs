@@ -7,11 +7,11 @@
 //! running the protocols in the simulated testbed.
 
 use circus::{
-    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig, NodeCtx,
-    Service, ServiceCtx, Step, Troupe, TroupeId,
+    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeBuilder,
+    NodeConfig, NodeCtx, Service, ServiceCtx, Step, Troupe, TroupeId,
 };
 use simnet::{
-    CpuAccount, Ctx, Duration, HostId, NetConfig, Process, SockAddr, Syscall, SyscallCosts, Time,
+    CpuView, Ctx, Duration, HostId, NetConfig, Process, SockAddr, Syscall, SyscallCosts, Time,
     World,
 };
 
@@ -26,20 +26,21 @@ pub struct EchoResult {
     pub user_ms: f64,
     /// Kernel-mode portion.
     pub kernel_ms: f64,
-    /// The raw client CPU account (for the Table 4.3 profile).
-    pub client_cpu: CpuAccount,
+    /// The client's CPU view, snapshotted from the metrics registry (for
+    /// the Table 4.3 profile).
+    pub client_cpu: CpuView,
     /// Number of calls measured.
     pub calls: u32,
 }
 
 impl EchoResult {
-    fn from_account(client_cpu: CpuAccount, total_real: Duration, calls: u32) -> EchoResult {
+    fn from_account(client_cpu: CpuView, total_real: Duration, calls: u32) -> EchoResult {
         let n = calls as f64;
         EchoResult {
             real_ms: total_real.as_millis_f64() / n,
-            total_cpu_ms: client_cpu.total().as_millis_f64() / n,
-            user_ms: client_cpu.user().as_millis_f64() / n,
-            kernel_ms: client_cpu.kernel().as_millis_f64() / n,
+            total_cpu_ms: client_cpu.total_ms() / n,
+            user_ms: client_cpu.user_ms() / n,
+            kernel_ms: client_cpu.kernel_ms() / n,
             client_cpu,
             calls,
         }
@@ -274,22 +275,27 @@ pub fn run_circus_echo(replicas: usize, calls: u32) -> EchoResult {
     let mut members = Vec::new();
     for i in 0..replicas {
         let a = SockAddr::new(HostId(1 + i as u32), 70);
-        let p = CircusProcess::new(a, NodeConfig::default())
-            .with_service(1, Box::new(EchoService))
-            .with_troupe_id(id);
+        let p = NodeBuilder::new(a, NodeConfig::default())
+            .service(1, Box::new(EchoService))
+            .troupe_id(id)
+            .build()
+            .expect("valid node");
         w.spawn(a, Box::new(p));
         members.push(ModuleAddr::new(a, 1));
     }
     let troupe = Troupe::new(id, members);
     let client = SockAddr::new(HostId(0), 100);
-    let p = CircusProcess::new(client, NodeConfig::default()).with_agent(Box::new(RpcClient {
-        troupe,
-        remaining: calls,
-        thread: None,
-        started: Time::ZERO,
-        finished: None,
-        failures: 0,
-    }));
+    let p = NodeBuilder::new(client, NodeConfig::default())
+        .agent(Box::new(RpcClient {
+            troupe,
+            remaining: calls,
+            thread: None,
+            started: Time::ZERO,
+            finished: None,
+            failures: 0,
+        }))
+        .build()
+        .expect("valid node");
     w.spawn(client, Box::new(p));
     w.poke(client, 0);
     w.run_until_pred(Time::from_secs(36_000), |w| {

@@ -8,7 +8,7 @@
 //! all — which is what the determinism test asserts, and what makes the
 //! copy-pasteable repro line from a failing sweep actually reproduce.
 
-use simnet::{Duration, NetStats, TraceEvent, TraceLog};
+use simnet::{Duration, NetView, TraceEvent, TraceLog};
 
 use crate::oracle::{check_all, Violation};
 use crate::scenario::{run_scenario, Quiesced, ScenarioOptions};
@@ -45,10 +45,17 @@ pub struct RunReport {
     pub all_clients_finished: bool,
     /// Oracle violations.
     pub violations: Vec<Violation>,
-    /// Simulated CPU time summed over every surviving process.
+    /// Simulated CPU time summed from the metrics registry over every
+    /// process the run charged (crashed processes included, up to their
+    /// last incarnation).
     pub cpu_total: Duration,
-    /// The world's network counters.
-    pub net: NetStats,
+    /// The world's network counters, snapshotted from the registry.
+    pub net: NetView,
+    /// Deterministic JSON dump of the whole metrics registry at quiesce —
+    /// same seed, same bytes.
+    pub metrics_json: String,
+    /// FNV-1a hash over the causal span records minted during the run.
+    pub span_hash: u64,
 }
 
 impl RunReport {
@@ -150,11 +157,13 @@ fn report(q: &Quiesced, violations: Vec<Violation>) -> RunReport {
         }
     }
 
-    let cpu_total = q
-        .world
-        .proc_addrs()
-        .into_iter()
-        .fold(Duration::ZERO, |acc, a| acc + q.world.cpu(a).total());
+    // The registry is the single source of CPU and network totals: the
+    // report and any table derived from the registry can never disagree.
+    q.world.refresh_metrics();
+    let reg = q.world.metrics();
+    let cpu_total = Duration::from_micros(reg.sum_suffix(".total_us"));
+    let metrics_json = reg.dump_json();
+    let span_hash = reg.span_hash();
 
     RunReport {
         seed: q.seed,
@@ -171,7 +180,9 @@ fn report(q: &Quiesced, violations: Vec<Violation>) -> RunReport {
         all_clients_finished: q.all_clients_finished,
         violations,
         cpu_total,
-        net: q.world.net_stats().clone(),
+        net: q.world.net_stats(),
+        metrics_json,
+        span_hash,
     }
 }
 

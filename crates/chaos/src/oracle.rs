@@ -319,32 +319,25 @@ fn check_stale_bindings(q: &Quiesced, clients: &[ClientView], out: &mut Vec<Viol
 
 fn check_monotonicity(q: &Quiesced, out: &mut Vec<Violation>) {
     const ORACLE: &str = "serial-monotonicity";
+    // Every node publishes its endpoint totals into the registry; the
+    // oracle reads them back from there rather than reaching into the
+    // protocol structs.
+    q.world.refresh_metrics();
+    let reg = q.world.metrics();
     for addr in q.world.proc_addrs() {
-        let Some(stats) = q
-            .world
-            .with_proc(addr, |p: &CircusProcess| p.node().endpoint_stats())
-        else {
-            continue;
-        };
-        for (peer, s) in stats {
-            if s.send_call_regressions != 0 {
-                out.push(Violation {
-                    oracle: ORACLE,
-                    detail: format!(
-                        "{addr} sent {} non-monotonic call number(s) to {peer}",
-                        s.send_call_regressions
-                    ),
-                });
-            }
-            if s.duplicate_call_deliveries != 0 {
-                out.push(Violation {
-                    oracle: ORACLE,
-                    detail: format!(
-                        "{addr} delivered {} duplicate call(s) from {peer}",
-                        s.duplicate_call_deliveries
-                    ),
-                });
-            }
+        let regressions = reg.get(&format!("rpc.{addr}.send_call_regressions"));
+        if regressions != 0 {
+            out.push(Violation {
+                oracle: ORACLE,
+                detail: format!("{addr} sent {regressions} non-monotonic call number(s)"),
+            });
+        }
+        let duplicates = reg.get(&format!("rpc.{addr}.duplicate_call_deliveries"));
+        if duplicates != 0 {
+            out.push(Violation {
+                oracle: ORACLE,
+                detail: format!("{addr} delivered {duplicates} duplicate call(s)"),
+            });
         }
     }
 }

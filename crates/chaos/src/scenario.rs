@@ -12,8 +12,8 @@
 
 use circus::binding::{binding_procs, BINDING_MODULE, RINGMASTER_PORT};
 use circus::{
-    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig, NodeCtx,
-    Troupe, TroupeId,
+    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeBuilder,
+    NodeConfig, NodeCtx, Troupe, TroupeId,
 };
 use ringmaster::{spawn_ringmaster, JoinAgent, RegisterTroupe, RingmasterService};
 use simnet::{
@@ -175,9 +175,14 @@ impl Driver {
 
         let admin = SockAddr::new(HostId(91), self.admin_port);
         self.admin_port += 1;
-        let p = CircusProcess::new(admin, self.config.clone()).with_agent(Box::new(
-            RemoveAgent::new(self.rm.clone(), STORE_NAME, dead),
-        ));
+        let p = NodeBuilder::new(admin, self.config.clone())
+            .agent(Box::new(RemoveAgent::new(
+                self.rm.clone(),
+                STORE_NAME,
+                dead,
+            )))
+            .build()
+            .expect("valid node");
         self.w.spawn(admin, Box::new(p));
         self.w.poke(admin, 0);
         let deadline = self.w.now() + Duration::from_micros(30_000_000);
@@ -207,17 +212,19 @@ impl Driver {
             return;
         };
         let newbie = SockAddr::new(spare, STORE_PORT);
-        let p = CircusProcess::new(newbie, self.config.clone())
-            .with_service(
+        let p = NodeBuilder::new(newbie, self.config.clone())
+            .service(
                 STORE_MODULE,
                 Box::new(TroupeStoreService::new(COMMIT_MODULE)),
             )
-            .with_binder(self.rm.clone())
-            .with_agent(Box::new(JoinAgent::new(
+            .binder(self.rm.clone())
+            .agent(Box::new(JoinAgent::new(
                 self.rm.clone(),
                 STORE_NAME,
                 STORE_MODULE,
-            )));
+            )))
+            .build()
+            .expect("valid node");
         self.w.spawn(newbie, Box::new(p));
         self.w.poke(newbie, 0);
         let deadline = self.w.now() + Duration::from_micros(60_000_000);
@@ -343,25 +350,30 @@ pub fn run_scenario(seed: u64, opts: &ScenarioOptions) -> Quiesced {
         .map(|&h| ModuleAddr::new(SockAddr::new(HostId(h), STORE_PORT), STORE_MODULE))
         .collect();
     for m in &members {
-        let p = CircusProcess::new(m.addr, config.clone())
-            .with_service(
+        let p = NodeBuilder::new(m.addr, config.clone())
+            .service(
                 STORE_MODULE,
                 Box::new(TroupeStoreService::new(COMMIT_MODULE)),
             )
-            .with_binder(rm.clone());
+            .binder(rm.clone())
+            .build()
+            .expect("valid node");
         w.spawn(m.addr, Box::new(p));
     }
 
     let mut warnings = Vec::new();
     let registrar = SockAddr::new(HostId(90), CLIENT_PORT);
-    let p = CircusProcess::new(registrar, config.clone()).with_agent(Box::new(Registrar {
-        binder: rm.clone(),
-        req: RegisterTroupe {
-            name: STORE_NAME.into(),
-            members: members.clone(),
-        },
-        id: None,
-    }));
+    let p = NodeBuilder::new(registrar, config.clone())
+        .agent(Box::new(Registrar {
+            binder: rm.clone(),
+            req: RegisterTroupe {
+                name: STORE_NAME.into(),
+                members: members.clone(),
+            },
+            id: None,
+        }))
+        .build()
+        .expect("valid node");
     w.spawn(registrar, Box::new(p));
     w.poke(registrar, 0);
     let deadline = w.now() + Duration::from_micros(30_000_000);
@@ -398,14 +410,16 @@ pub fn run_scenario(seed: u64, opts: &ScenarioOptions) -> Quiesced {
             }
             script.push(txn);
         }
-        let p = CircusProcess::new(c, config.clone())
-            .with_agent(Box::new(RebindingClient::new(
+        let p = NodeBuilder::new(c, config.clone())
+            .agent(Box::new(RebindingClient::new(
                 rm.clone(),
                 STORE_NAME,
                 STORE_MODULE,
                 script,
             )))
-            .with_service(COMMIT_MODULE, Box::new(CommitVoterService));
+            .service(COMMIT_MODULE, Box::new(CommitVoterService))
+            .build()
+            .expect("valid node");
         w.spawn(c, Box::new(p));
         w.poke(c, 0);
     }

@@ -32,6 +32,12 @@ fn same_seed_same_trace_and_resource_totals() {
     assert_eq!(a.commits, b.commits);
     assert_eq!(a.aborts, b.aborts);
     assert_eq!(a.rebinds, b.rebinds);
+
+    // The observability layer is part of the contract as well: the full
+    // metrics registry must dump to the same bytes, and the causal span
+    // forest (every span minted across every call) must hash identically.
+    assert_eq!(a.metrics_json, b.metrics_json, "metrics dumps diverged");
+    assert_eq!(a.span_hash, b.span_hash, "span trees diverged");
 }
 
 #[test]

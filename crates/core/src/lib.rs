@@ -47,6 +47,6 @@ pub use collate::{
 };
 pub use message::{unwrap_reply_vote, wrap_reply_vote, CallMessage, ReturnMessage};
 pub use node::{AppEvent, CallHandle, NetIo, Node, NodeConfig};
-pub use runtime::{Agent, CircusProcess, NodeCtx};
+pub use runtime::{Agent, BuildError, CircusProcess, NodeBuilder, NodeCtx};
 pub use service::{CallError, NodeEffect, OutCall, Service, ServiceCtx, Step, TroupeTarget};
 pub use thread::{ThreadId, ThreadIdGen};

@@ -29,7 +29,8 @@ use crate::collate::{Collation, CollationPolicy, Decision};
 use crate::message::{CallMessage, ReturnMessage};
 use crate::service::{CallError, NodeEffect, OutCall, Service, ServiceCtx, Step, TroupeTarget};
 use crate::thread::{ThreadId, ThreadIdGen};
-use pairedmsg::{Endpoint, EndpointStats, Event as PmEvent, MsgType};
+use obs::SpanId;
+use pairedmsg::{Endpoint, Event as PmEvent, MsgType};
 use simnet::{Duration, SockAddr, Syscall, Time};
 use wire::{from_bytes, to_bytes};
 
@@ -42,12 +43,24 @@ pub trait NetIo {
     fn me(&self) -> SockAddr;
     /// Transmits a datagram (charging one `sendmsg`).
     fn send(&mut self, to: SockAddr, bytes: Vec<u8>);
+    /// Transmits a datagram attributed to causal span `span` (0 = none).
+    /// The default drops the attribution; the simulator overrides it so
+    /// network trace events carry the span.
+    fn send_spanned(&mut self, to: SockAddr, bytes: Vec<u8>, _span: u64) {
+        self.send(to, bytes);
+    }
     /// Arms a timer.
     fn set_timer(&mut self, delay: Duration, tag: u64);
     /// Charges a syscall to this process's CPU account.
     fn charge(&mut self, sys: Syscall);
     /// Charges user-mode computation.
     fn charge_compute(&mut self, d: Duration);
+    /// The metrics registry this process publishes into. The default is a
+    /// fresh detached registry each call, so logic-test mocks compile
+    /// unchanged; the simulator overrides it with the world's registry.
+    fn metrics(&self) -> obs::Registry {
+        obs::Registry::new()
+    }
 }
 
 impl NetIo for simnet::Ctx<'_> {
@@ -60,6 +73,9 @@ impl NetIo for simnet::Ctx<'_> {
     fn send(&mut self, to: SockAddr, bytes: Vec<u8>) {
         simnet::Ctx::send(self, to, bytes);
     }
+    fn send_spanned(&mut self, to: SockAddr, bytes: Vec<u8>, span: u64) {
+        simnet::Ctx::send_spanned(self, to, bytes, span);
+    }
     fn set_timer(&mut self, delay: Duration, tag: u64) {
         simnet::Ctx::set_timer(self, delay, tag);
     }
@@ -68,6 +84,9 @@ impl NetIo for simnet::Ctx<'_> {
     }
     fn charge_compute(&mut self, d: Duration) {
         simnet::Ctx::charge_dur(self, Syscall::Compute, d);
+    }
+    fn metrics(&self) -> obs::Registry {
+        simnet::Ctx::metrics(self)
     }
 }
 
@@ -180,6 +199,8 @@ struct OutstandingCall {
     collation: Collation,
     purpose: CallPurpose,
     done: bool,
+    /// When the call began, for the `rpc.call_latency_us` histogram.
+    begun: Time,
 }
 
 // ---------------------------------------------------------------------
@@ -223,6 +244,13 @@ struct Pending {
     /// Invocation id allocated when the service first executed; reused on
     /// every resume so services can key per-invocation state.
     invocation: u64,
+    /// Wire span of the call message that opened this assembly (the
+    /// first-arrived member copy, which is deterministic under a fixed
+    /// seed); parent of the invoke span.
+    call_span: u64,
+    /// Span minted when the service executed; nested calls made by the
+    /// service and the reply segments are attributed to it.
+    invoke_span: SpanId,
 }
 
 struct DoneCall {
@@ -231,12 +259,15 @@ struct DoneCall {
     /// appears instantaneous to the slow client troupe members", §4.3.4).
     reply: Vec<u8>,
     at: Time,
+    /// Invoke span the buffered reply is attributed to.
+    span: u64,
 }
 
 /// A call message parked until the client troupe's membership is known.
 struct Parked {
     from: SockAddr,
     pm_cn: u32,
+    span: u64,
     msg: CallMessage,
 }
 
@@ -384,15 +415,48 @@ impl Node {
         self.next_invocation - 1
     }
 
-    /// Per-peer paired-message endpoint statistics, in deterministic
-    /// (sorted) peer order. Feeds the serial-number-monotonicity oracle:
-    /// across all endpoints, `duplicate_call_deliveries` and
-    /// `send_call_regressions` must stay zero.
-    pub fn endpoint_stats(&self) -> Vec<(SockAddr, EndpointStats)> {
-        self.conns
-            .iter()
-            .map(|(&peer, c)| (peer, c.endpoint.stats()))
-            .collect()
+    /// Publishes this node's protocol counters into a metrics registry,
+    /// under `rpc.{me}.*` gauges: paired-message endpoint totals summed
+    /// over all peers (in deterministic sorted order) plus the invocation
+    /// count. This is the only sanctioned way out for the endpoint
+    /// statistics — the chaos serial-number oracle and the §4.2.5
+    /// ablation read the registry, never the stats structs.
+    pub fn publish_metrics(&self, reg: &obs::Registry) {
+        let mut segments_sent = 0u64;
+        let mut calls_delivered = 0u64;
+        let mut returns_delivered = 0u64;
+        let mut duplicate_call_deliveries = 0u64;
+        let mut send_call_regressions = 0u64;
+        let mut replays_suppressed = 0u64;
+        let mut max_recv_buffered = 0usize;
+        for c in self.conns.values() {
+            let s = c.endpoint.stats();
+            segments_sent += s.segments_sent;
+            calls_delivered += s.calls_delivered;
+            returns_delivered += s.returns_delivered;
+            duplicate_call_deliveries += s.duplicate_call_deliveries;
+            send_call_regressions += s.send_call_regressions;
+            replays_suppressed += s.replays_suppressed;
+            max_recv_buffered = max_recv_buffered.max(s.max_recv_buffered);
+        }
+        let me = self.me;
+        reg.set_gauge(&format!("rpc.{me}.segments_sent"), segments_sent);
+        reg.set_gauge(&format!("rpc.{me}.calls_delivered"), calls_delivered);
+        reg.set_gauge(&format!("rpc.{me}.returns_delivered"), returns_delivered);
+        reg.set_gauge(
+            &format!("rpc.{me}.duplicate_call_deliveries"),
+            duplicate_call_deliveries,
+        );
+        reg.set_gauge(
+            &format!("rpc.{me}.send_call_regressions"),
+            send_call_regressions,
+        );
+        reg.set_gauge(&format!("rpc.{me}.replays_suppressed"), replays_suppressed);
+        reg.set_gauge(
+            &format!("rpc.{me}.max_recv_buffered"),
+            max_recv_buffered as u64,
+        );
+        reg.set_gauge(&format!("rpc.{me}.invocations"), self.invocations());
     }
 
     /// Drains the next application event.
@@ -506,10 +570,30 @@ impl Node {
         }
         let bytes = to_bytes(&msg);
 
+        // Mint the causal span covering this call. Application calls and
+        // binding lookups start new trees; a nested call made by a service
+        // hangs off that invocation's span, so one client call's whole
+        // fan-out — including onward hops — reconstructs as a single tree.
+        let reg = io.metrics();
+        let now_us = io.now().as_micros();
+        let span = match &purpose {
+            CallPurpose::App => reg.span_root(&format!("call m{module}.p{proc}"), now_us),
+            CallPurpose::Nested { key } => {
+                let parent = self
+                    .pending
+                    .get(key)
+                    .map(|p| p.invoke_span)
+                    .unwrap_or(SpanId::NONE);
+                reg.span_child(parent, &format!("nested m{module}.p{proc}"), now_us)
+            }
+            CallPurpose::DirLookup { .. } => reg.span_root("lookup", now_us),
+        };
+
         let call = OutstandingCall {
             collation: Collation::new(collation, troupe.members.len()),
             purpose,
             done: false,
+            begun: io.now(),
         };
         self.outstanding.insert(handle, call);
 
@@ -531,7 +615,11 @@ impl Node {
             // The send can only fail for oversize messages, which the
             // stub layer prevents; treat failure as an instantly dead
             // member.
-            if conn.endpoint.send(now, MsgType::Call, cn, &bytes).is_err() {
+            if conn
+                .endpoint
+                .send(now, MsgType::Call, cn, span.raw(), &bytes)
+                .is_err()
+            {
                 self.call_mut(handle).collation.mark_dead(i);
                 continue;
             }
@@ -617,12 +705,18 @@ impl Node {
         handle: u64,
         result: Result<Vec<u8>, CallError>,
     ) {
+        let begun = self.call_mut(handle).begun;
         let purpose = std::mem::replace(&mut self.call_mut(handle).purpose, CallPurpose::App);
         match purpose {
-            CallPurpose::App => self.events.push_back(AppEvent::CallDone {
-                handle: CallHandle(handle),
-                result,
-            }),
+            CallPurpose::App => {
+                let reg = io.metrics();
+                reg.add("rpc.calls_completed", 1);
+                reg.observe("rpc.call_latency_us", io.now().since(begun).as_micros());
+                self.events.push_back(AppEvent::CallDone {
+                    handle: CallHandle(handle),
+                    result,
+                });
+            }
             CallPurpose::Nested { key } => self.resume_service(io, key, result),
             CallPurpose::DirLookup { troupe } => self.finish_lookup(io, troupe, result),
         }
@@ -713,12 +807,14 @@ impl Node {
                 msg_type: MsgType::Return,
                 call_number,
                 data,
+                ..
             } => self.on_return_message(io, from, call_number, &data),
             PmEvent::Message {
                 msg_type: MsgType::Call,
                 call_number,
+                span,
                 data,
-            } => self.on_call_message(io, from, call_number, &data),
+            } => self.on_call_message(io, from, call_number, span, &data),
             PmEvent::PeerDead => self.on_peer_dead(io, from),
         }
     }
@@ -818,7 +914,15 @@ impl Node {
     // -----------------------------------------------------------------
 
     /// Handles a call message arriving from a client troupe member.
-    fn on_call_message(&mut self, io: &mut dyn NetIo, from: SockAddr, pm_cn: u32, data: &[u8]) {
+    /// `span` is the causal span the client stamped on the segments.
+    fn on_call_message(
+        &mut self,
+        io: &mut dyn NetIo,
+        from: SockAddr,
+        pm_cn: u32,
+        span: u64,
+        data: &[u8],
+    ) {
         io.charge_compute(self.config.compute_per_msg); // Internalize.
         let Ok(msg) = from_bytes::<CallMessage>(data) else {
             return; // Garbled call; the client will time out and retry.
@@ -829,7 +933,7 @@ impl Node {
         // troupe ID must be rejected so stale client caches are detected.
         if msg.server_troupe != self.my_troupe && msg.server_troupe != TroupeId::UNREGISTERED {
             let reply = to_bytes(&ReturnMessage::WrongTroupe(self.my_troupe));
-            self.send_return(io, from, pm_cn, reply);
+            self.send_return(io, from, pm_cn, span, reply);
             return;
         }
 
@@ -843,13 +947,14 @@ impl Node {
         // is ready and waiting (§4.3.4).
         if let Some(done) = self.done.get(&key) {
             let reply = done.reply.clone();
-            self.send_return(io, from, pm_cn, reply);
+            let done_span = done.span;
+            self.send_return(io, from, pm_cn, done_span, reply);
             return;
         }
 
         if !self.services.contains_key(&msg.module) && msg.proc < reserved_procs::RESERVED_BASE {
             let reply = to_bytes(&ReturnMessage::NoSuchProcedure);
-            self.send_return(io, from, pm_cn, reply);
+            self.send_return(io, from, pm_cn, span, reply);
             return;
         }
 
@@ -863,19 +968,21 @@ impl Node {
             match self.directory.get(&msg.client_troupe) {
                 Some(m) => m.clone(),
                 None => {
-                    self.park_and_lookup(io, from, pm_cn, msg);
+                    self.park_and_lookup(io, from, pm_cn, span, msg);
                     return;
                 }
             }
         };
-        self.process_call(io, from, pm_cn, msg, members, key);
+        self.process_call(io, from, pm_cn, span, msg, members, key);
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn process_call(
         &mut self,
         io: &mut dyn NetIo,
         from: SockAddr,
         pm_cn: u32,
+        span: u64,
         msg: CallMessage,
         members: Vec<SockAddr>,
         key: CallKey,
@@ -905,6 +1012,8 @@ impl Node {
                     state: PendState::Collecting,
                     deadline,
                     invocation: 0,
+                    call_span: span,
+                    invoke_span: SpanId::NONE,
                 },
             );
             self.pending_by_serial.insert(serial, key);
@@ -936,7 +1045,7 @@ impl Node {
                     "caller is not a member of the calling troupe".into(),
                 ));
                 self.directory.remove(&key.client_troupe);
-                self.send_return(io, from, pm_cn, reply);
+                self.send_return(io, from, pm_cn, span, reply);
                 return;
             }
         }
@@ -960,10 +1069,19 @@ impl Node {
             Decision::Ready(args) => {
                 let invocation = self.next_invocation;
                 self.next_invocation += 1;
-                let (module, proc) = {
+                let (module, proc, invoke_span) = {
                     let p = self.pending.get_mut(&key).expect("pending");
                     p.invocation = invocation;
-                    (p.module, p.proc)
+                    // The invoke span parents to the wire span of the call
+                    // message that opened the assembly, stitching the
+                    // server-side execution into the client's call tree.
+                    let span = io.metrics().span_child(
+                        SpanId::from_raw(p.call_span),
+                        &format!("invoke m{}.p{}", p.module, p.proc),
+                        io.now().as_micros(),
+                    );
+                    p.invoke_span = span;
+                    (p.module, p.proc, span)
                 };
                 self.pending_by_invocation.insert(invocation, key);
                 let mut ctx = ServiceCtx {
@@ -972,6 +1090,8 @@ impl Node {
                     invocation,
                     now: io.now(),
                     me: self.me,
+                    span: invoke_span,
+                    metrics: io.metrics(),
                     effects: Vec::new(),
                 };
                 let step = self.run_service_step(io, &mut ctx, module, proc, &args);
@@ -1093,12 +1213,19 @@ impl Node {
                     if !suspended {
                         continue;
                     }
+                    let invoke_span = self
+                        .pending
+                        .get(&key)
+                        .map(|p| p.invoke_span)
+                        .unwrap_or(SpanId::NONE);
                     let ctx = ServiceCtx {
                         thread: key.thread,
                         caller: key.client_troupe,
                         invocation,
                         now: io.now(),
                         me: self.me,
+                        span: invoke_span,
+                        metrics: io.metrics(),
                         effects: Vec::new(),
                     };
                     self.apply_step(io, key, ctx, step);
@@ -1149,12 +1276,15 @@ impl Node {
         p.state = PendState::Collecting; // Transitional; re-set below.
         let module = p.module;
         let invocation = p.invocation;
+        let invoke_span = p.invoke_span;
         let mut ctx = ServiceCtx {
             thread: key.thread,
             caller: key.client_troupe,
             invocation,
             now: io.now(),
             me: self.me,
+            span: invoke_span,
+            metrics: io.metrics(),
             effects: Vec::new(),
         };
         let step = match self.services.get_mut(&module) {
@@ -1174,11 +1304,12 @@ impl Node {
         self.pending_by_serial.remove(&p.serial);
         self.pending_by_invocation.remove(&p.invocation);
         io.charge_compute(self.config.compute_per_msg); // Externalize reply.
+        let span = p.invoke_span.raw();
         let all_answered = p.responders.iter().all(|r| r.is_some());
         for (i, responder) in p.responders.iter().enumerate() {
             if let Some(cn) = responder {
                 let to = p.client_members[i];
-                self.send_return(io, to, *cn, reply.clone());
+                self.send_return(io, to, *cn, span, reply.clone());
             }
         }
         if !all_answered {
@@ -1187,6 +1318,7 @@ impl Node {
                 DoneCall {
                     reply,
                     at: io.now(),
+                    span,
                 },
             );
         }
@@ -1230,13 +1362,16 @@ impl Node {
         io: &mut dyn NetIo,
         from: SockAddr,
         pm_cn: u32,
+        span: u64,
         msg: CallMessage,
     ) {
         let troupe = msg.client_troupe;
-        self.parked
-            .entry(troupe)
-            .or_default()
-            .push(Parked { from, pm_cn, msg });
+        self.parked.entry(troupe).or_default().push(Parked {
+            from,
+            pm_cn,
+            span,
+            msg,
+        });
         if self.lookups_in_flight.contains_key(&troupe) {
             return;
         }
@@ -1287,7 +1422,7 @@ impl Node {
                         call_seq: pk.msg.call_seq,
                     };
                     let members = self.directory.get(&troupe).cloned().unwrap_or_default();
-                    self.process_call(io, pk.from, pk.pm_cn, pk.msg, members, key);
+                    self.process_call(io, pk.from, pk.pm_cn, pk.span, pk.msg, members, key);
                 }
             }
             None => self.fail_parked(io, troupe, "client troupe not registered"),
@@ -1298,7 +1433,7 @@ impl Node {
         let parked = self.parked.remove(&troupe).unwrap_or_default();
         let reply = to_bytes(&ReturnMessage::Error(why.to_string()));
         for pk in parked {
-            self.send_return(io, pk.from, pk.pm_cn, reply.clone());
+            self.send_return(io, pk.from, pk.pm_cn, pk.span, reply.clone());
         }
     }
 
@@ -1324,13 +1459,20 @@ impl Node {
         self.conns.get_mut(&addr).expect("just inserted")
     }
 
-    fn send_return(&mut self, io: &mut dyn NetIo, to: SockAddr, cn: u32, reply: Vec<u8>) {
+    fn send_return(
+        &mut self,
+        io: &mut dyn NetIo,
+        to: SockAddr,
+        cn: u32,
+        span: u64,
+        reply: Vec<u8>,
+    ) {
         let now = io.now();
         let conn = self.conn_mut(to);
         // Oversize replies cannot happen through the stub layer; ignore
         // the error here as the client's probe machinery will surface a
         // stuck call.
-        let _ = conn.endpoint.send(now, MsgType::Return, cn, &reply);
+        let _ = conn.endpoint.send(now, MsgType::Return, cn, span, &reply);
     }
 
     /// Transmits queued segments on every connection and re-arms
@@ -1342,8 +1484,9 @@ impl Node {
             let Some(conn) = self.conns.get_mut(&addr) else {
                 continue;
             };
-            while let Some(bytes) = conn.endpoint.poll_transmit() {
-                io.send(addr, bytes);
+            while let Some(seg) = conn.endpoint.poll_transmit_segment() {
+                let span = seg.header.span;
+                io.send_spanned(addr, seg.encode(), span);
             }
             // Re-arm the protocol timer if none is armed or the deadline
             // moved earlier; the generation stamp invalidates the

@@ -11,6 +11,7 @@ use crate::node::{AppEvent, CallHandle, Node, NodeConfig};
 use crate::service::{CallError, Service};
 use crate::{CollationPolicy, ThreadId, Troupe, TroupeId};
 use simnet::{Ctx, Duration, Process, SockAddr, TimerId};
+use std::fmt;
 
 /// What application code sees: the node plus live I/O.
 pub struct NodeCtx<'a, 'b, 'w> {
@@ -77,6 +78,13 @@ impl<'a, 'b, 'w> NodeCtx<'a, 'b, 'w> {
     pub fn sim(&mut self) -> &mut Ctx<'b> {
         self.io
     }
+
+    /// The world's metrics registry (counters, gauges, histograms, and
+    /// causal spans) — for agents that record domain metrics or inspect
+    /// span trees.
+    pub fn metrics(&self) -> obs::Registry {
+        self.io.metrics()
+    }
 }
 
 /// Application logic hosted by a [`CircusProcess`].
@@ -110,6 +118,160 @@ pub trait Agent: std::any::Any {
     fn on_app_timer(&mut self, _node: &mut NodeCtx<'_, '_, '_>, _tag: u64) {}
 }
 
+/// Misconfiguration caught by [`NodeBuilder::build`] before the process
+/// ever runs — instead of a panic or a silent first-call failure.
+#[derive(Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// Two services were exported under the same module number; the
+    /// second would silently shadow the first.
+    DuplicateModule(u16),
+    /// The troupe incarnation was set twice with different values; the
+    /// member cannot belong to two incarnations (§6.2).
+    TroupeIdConflict(TroupeId, TroupeId),
+    /// The binding agent troupe was configured with no members, so no
+    /// directory lookup can ever succeed — the binder is effectively
+    /// missing.
+    MissingBinder,
+    /// The same client troupe was preloaded into the directory twice;
+    /// one membership would silently shadow the other.
+    DuplicateDirectory(TroupeId),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::DuplicateModule(m) => {
+                write!(f, "module {m} exported twice")
+            }
+            BuildError::TroupeIdConflict(a, b) => {
+                write!(f, "conflicting troupe incarnations {a:?} and {b:?}")
+            }
+            BuildError::MissingBinder => {
+                write!(f, "binder troupe has no members; lookups can never succeed")
+            }
+            BuildError::DuplicateDirectory(t) => {
+                write!(f, "directory entry for troupe {t:?} preloaded twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Validating builder for a [`CircusProcess`].
+///
+/// Collects the process's configuration — agent, exported services,
+/// troupe incarnation, binding agent, directory preloads — and checks it
+/// for contradictions in [`NodeBuilder::build`], returning a typed
+/// [`BuildError`] instead of panicking or misbehaving at the first call.
+///
+/// ```
+/// # use circus::{NodeBuilder, NodeConfig};
+/// # use simnet::{HostId, SockAddr};
+/// let p = NodeBuilder::new(SockAddr::new(HostId(0), 70), NodeConfig::default())
+///     .build()
+///     .expect("valid configuration");
+/// # let _ = p;
+/// ```
+pub struct NodeBuilder {
+    me: SockAddr,
+    config: NodeConfig,
+    agent: Option<Box<dyn Agent>>,
+    services: Vec<(u16, Box<dyn Service>)>,
+    troupe_ids: Vec<TroupeId>,
+    binder: Option<Troupe>,
+    directory: Vec<(TroupeId, Vec<SockAddr>)>,
+}
+
+impl NodeBuilder {
+    /// Starts building a process at `me` with the given configuration.
+    pub fn new(me: SockAddr, config: NodeConfig) -> NodeBuilder {
+        NodeBuilder {
+            me,
+            config,
+            agent: None,
+            services: Vec::new(),
+            troupe_ids: Vec::new(),
+            binder: None,
+            directory: Vec::new(),
+        }
+    }
+
+    /// Attaches application logic.
+    pub fn agent(mut self, agent: Box<dyn Agent>) -> NodeBuilder {
+        self.agent = Some(agent);
+        self
+    }
+
+    /// Exports a service as module number `module`.
+    pub fn service(mut self, module: u16, service: Box<dyn Service>) -> NodeBuilder {
+        self.services.push((module, service));
+        self
+    }
+
+    /// Sets the member's troupe incarnation (§6.2).
+    pub fn troupe_id(mut self, id: TroupeId) -> NodeBuilder {
+        self.troupe_ids.push(id);
+        self
+    }
+
+    /// Configures the binding agent troupe used for directory lookups.
+    pub fn binder(mut self, binder: Troupe) -> NodeBuilder {
+        self.binder = Some(binder);
+        self
+    }
+
+    /// Pre-populates the client-troupe directory (§4.3.2).
+    pub fn directory(mut self, id: TroupeId, members: Vec<SockAddr>) -> NodeBuilder {
+        self.directory.push((id, members));
+        self
+    }
+
+    /// Validates the configuration and constructs the process.
+    pub fn build(self) -> Result<CircusProcess, BuildError> {
+        let mut seen_modules = std::collections::BTreeSet::new();
+        for (m, _) in &self.services {
+            if !seen_modules.insert(*m) {
+                return Err(BuildError::DuplicateModule(*m));
+            }
+        }
+        if let Some(&first) = self.troupe_ids.first() {
+            if let Some(&other) = self.troupe_ids.iter().find(|&&id| id != first) {
+                return Err(BuildError::TroupeIdConflict(first, other));
+            }
+        }
+        if let Some(b) = &self.binder {
+            if b.members.is_empty() {
+                return Err(BuildError::MissingBinder);
+            }
+        }
+        let mut seen_troupes = std::collections::BTreeSet::new();
+        for (t, _) in &self.directory {
+            if !seen_troupes.insert(*t) {
+                return Err(BuildError::DuplicateDirectory(*t));
+            }
+        }
+
+        let mut node = Node::new(self.me, self.config);
+        for (m, s) in self.services {
+            node.export(m, s);
+        }
+        if let Some(&id) = self.troupe_ids.first() {
+            node.set_troupe_id(id);
+        }
+        if let Some(b) = self.binder {
+            node.set_binder(b);
+        }
+        for (t, members) in self.directory {
+            node.preload_directory(t, members);
+        }
+        Ok(CircusProcess {
+            node,
+            agent: self.agent,
+        })
+    }
+}
+
 /// A simulated process running the Circus run-time system.
 pub struct CircusProcess {
     node: Node,
@@ -117,42 +279,13 @@ pub struct CircusProcess {
 }
 
 impl CircusProcess {
-    /// Creates a process at `me` with the given configuration.
+    /// Creates a bare process at `me` with the given configuration (no
+    /// agent, no services). Use [`NodeBuilder`] for anything richer.
     pub fn new(me: SockAddr, config: NodeConfig) -> CircusProcess {
         CircusProcess {
             node: Node::new(me, config),
             agent: None,
         }
-    }
-
-    /// Attaches application logic. Builder-style.
-    pub fn with_agent(mut self, agent: Box<dyn Agent>) -> CircusProcess {
-        self.agent = Some(agent);
-        self
-    }
-
-    /// Exports a service as `module`. Builder-style.
-    pub fn with_service(mut self, module: u16, service: Box<dyn Service>) -> CircusProcess {
-        self.node.export(module, service);
-        self
-    }
-
-    /// Sets the member's troupe incarnation. Builder-style.
-    pub fn with_troupe_id(mut self, id: TroupeId) -> CircusProcess {
-        self.node.set_troupe_id(id);
-        self
-    }
-
-    /// Configures the binding agent troupe. Builder-style.
-    pub fn with_binder(mut self, binder: Troupe) -> CircusProcess {
-        self.node.set_binder(binder);
-        self
-    }
-
-    /// Pre-populates the client-troupe directory. Builder-style.
-    pub fn with_directory(mut self, id: TroupeId, members: Vec<SockAddr>) -> CircusProcess {
-        self.node.preload_directory(id, members);
-        self
     }
 
     /// The protocol runtime.
@@ -243,5 +376,89 @@ impl Process for CircusProcess {
 
     fn on_poke(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
         self.with_agent_ctx(ctx, |agent, nc| agent.on_poke(nc, tag));
+    }
+
+    fn publish_metrics(&self, reg: &obs::Registry) {
+        self.node.publish_metrics(reg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ModuleAddr, ServiceCtx, Step};
+    use simnet::HostId;
+
+    struct Null;
+    impl Service for Null {
+        fn dispatch(&mut self, _ctx: &mut ServiceCtx, _proc: u16, _args: &[u8]) -> Step {
+            Step::Reply(Vec::new())
+        }
+    }
+
+    fn builder() -> NodeBuilder {
+        NodeBuilder::new(SockAddr::new(HostId(1), 70), NodeConfig::default())
+    }
+
+    fn build_err(b: NodeBuilder) -> BuildError {
+        match b.build() {
+            Ok(_) => panic!("expected a BuildError"),
+            Err(e) => e,
+        }
+    }
+
+    #[test]
+    fn duplicate_module_is_rejected() {
+        let err = build_err(
+            builder()
+                .service(3, Box::new(Null))
+                .service(3, Box::new(Null)),
+        );
+        assert_eq!(err, BuildError::DuplicateModule(3));
+    }
+
+    #[test]
+    fn conflicting_troupe_ids_are_rejected() {
+        let err = build_err(builder().troupe_id(TroupeId(1)).troupe_id(TroupeId(2)));
+        assert_eq!(err, BuildError::TroupeIdConflict(TroupeId(1), TroupeId(2)));
+        // Setting the same incarnation twice is merely redundant.
+        assert!(builder()
+            .troupe_id(TroupeId(1))
+            .troupe_id(TroupeId(1))
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn empty_binder_troupe_is_rejected() {
+        let err = build_err(builder().binder(Troupe::new(TroupeId(9), Vec::new())));
+        assert_eq!(err, BuildError::MissingBinder);
+    }
+
+    #[test]
+    fn duplicate_directory_preload_is_rejected() {
+        let member = vec![SockAddr::new(HostId(2), 70)];
+        let err = build_err(
+            builder()
+                .directory(TroupeId(4), member.clone())
+                .directory(TroupeId(4), member),
+        );
+        assert_eq!(err, BuildError::DuplicateDirectory(TroupeId(4)));
+    }
+
+    #[test]
+    fn valid_configuration_builds() {
+        let binder = Troupe::new(
+            TroupeId(8),
+            vec![ModuleAddr::new(SockAddr::new(HostId(5), 70), 0)],
+        );
+        let p = builder()
+            .service(1, Box::new(Null))
+            .troupe_id(TroupeId(2))
+            .binder(binder)
+            .directory(TroupeId(4), vec![SockAddr::new(HostId(2), 70)])
+            .build()
+            .expect("valid configuration");
+        assert!(p.node().service_as::<Null>(1).is_some());
     }
 }

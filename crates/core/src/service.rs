@@ -159,6 +159,14 @@ pub struct ServiceCtx {
     /// This member's own address — for logging only; using it in results
     /// violates determinism.
     pub me: SockAddr,
+    /// Causal span of this invocation (the server-side "invoke" span,
+    /// parented to the client's call span). Nested calls the service
+    /// makes are parented to it automatically; services may mint further
+    /// children for internal phases.
+    pub span: obs::SpanId,
+    /// The process's metrics registry: services count domain events here
+    /// (e.g. `txn.commits`). Detached (and discarded) under mock I/O.
+    pub metrics: obs::Registry,
     /// Effects for the runtime to apply after the handler returns.
     pub effects: Vec<NodeEffect>,
 }
@@ -246,6 +254,8 @@ mod tests {
             invocation: 0,
             now: Time::ZERO,
             me: SockAddr::new(simnet::HostId(0), 0),
+            span: obs::SpanId::NONE,
+            metrics: obs::Registry::new(),
             effects: Vec::new(),
         };
         assert!(matches!(s.resume(&mut ctx, Ok(Vec::new())), Step::Error(_)));

@@ -2,8 +2,8 @@
 //! scriptable client agent, and a cluster builder.
 
 use circus::{
-    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig, NodeCtx,
-    Service, ServiceCtx, Step, ThreadId, Troupe, TroupeId,
+    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeBuilder,
+    NodeConfig, NodeCtx, Service, ServiceCtx, Step, ThreadId, Troupe, TroupeId,
 };
 use simnet::{HostId, SockAddr, SyscallCosts, World};
 use wire::{from_bytes, to_bytes};
@@ -163,9 +163,11 @@ pub fn spawn_server_troupe(world: &mut World, id: u64, first_host: u32, n: usize
     let mut members = Vec::new();
     for i in 0..n {
         let a = addr(first_host + i as u32, 70);
-        let p = CircusProcess::new(a, NodeConfig::default())
-            .with_service(MODULE, Box::new(CountingService::new()))
-            .with_troupe_id(TroupeId(id));
+        let p = NodeBuilder::new(a, NodeConfig::default())
+            .service(MODULE, Box::new(CountingService::new()))
+            .troupe_id(TroupeId(id))
+            .build()
+            .expect("valid node");
         world.spawn(a, Box::new(p));
         members.push(ModuleAddr::new(a, MODULE));
     }
@@ -175,8 +177,10 @@ pub fn spawn_server_troupe(world: &mut World, id: u64, first_host: u32, n: usize
 /// Spawns an unreplicated client with the given script at host 100.
 pub fn spawn_client(world: &mut World, script: Vec<Request>) -> SockAddr {
     let a = addr(100, 200);
-    let p =
-        CircusProcess::new(a, NodeConfig::default()).with_agent(Box::new(TestClient::new(script)));
+    let p = NodeBuilder::new(a, NodeConfig::default())
+        .agent(Box::new(TestClient::new(script)))
+        .build()
+        .expect("valid node");
     world.spawn(a, Box::new(p));
     a
 }

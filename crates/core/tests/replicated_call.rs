@@ -5,8 +5,8 @@
 mod common;
 
 use circus::{
-    Agent, CallError, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig, NodeCtx, OutCall,
-    Service, ServiceCtx, Step, Troupe, TroupeId, TroupeTarget,
+    Agent, CallError, CircusProcess, CollationPolicy, ModuleAddr, NodeBuilder, NodeConfig, NodeCtx,
+    OutCall, Service, ServiceCtx, Step, Troupe, TroupeId, TroupeTarget,
 };
 use common::*;
 use simnet::{Duration, HostId, World};
@@ -291,9 +291,11 @@ fn many_to_one_executes_once_and_answers_all() {
             collation: CollationPolicy::Unanimous,
         }])
         .with_thread(thread);
-        let p = CircusProcess::new(a, NodeConfig::default())
-            .with_agent(Box::new(agent))
-            .with_troupe_id(client_troupe_id);
+        let p = NodeBuilder::new(a, NodeConfig::default())
+            .agent(Box::new(agent))
+            .troupe_id(client_troupe_id)
+            .build()
+            .expect("valid node");
         w.spawn(a, Box::new(p));
         client_addrs.push(a);
     }
@@ -342,9 +344,11 @@ fn many_to_many_call() {
             collation: CollationPolicy::Unanimous,
         }])
         .with_thread(thread);
-        let p = CircusProcess::new(a, NodeConfig::default())
-            .with_agent(Box::new(agent))
-            .with_troupe_id(client_troupe_id);
+        let p = NodeBuilder::new(a, NodeConfig::default())
+            .agent(Box::new(agent))
+            .troupe_id(client_troupe_id)
+            .build()
+            .expect("valid node");
         w.spawn(a, Box::new(p));
         client_addrs.push(a);
     }
@@ -407,15 +411,17 @@ fn nested_call_propagates_thread_id() {
     let mut a_members = Vec::new();
     for i in 0..2u32 {
         let addr_a = addr(1 + i, 70);
-        let p = CircusProcess::new(addr_a, NodeConfig::default())
-            .with_service(
+        let p = NodeBuilder::new(addr_a, NodeConfig::default())
+            .service(
                 MODULE,
                 Box::new(Forwarder {
                     downstream: b.clone(),
                     pending_args: Vec::new(),
                 }),
             )
-            .with_troupe_id(a_id);
+            .troupe_id(a_id)
+            .build()
+            .expect("valid node");
         w.spawn(addr_a, Box::new(p));
         a_members.push(ModuleAddr::new(addr_a, MODULE));
     }
@@ -556,9 +562,11 @@ fn callback_to_caller_troupe() {
     let mut w = world(15);
     let server_addr = addr(1, 70);
     let server_id = TroupeId(50);
-    let p = CircusProcess::new(server_addr, NodeConfig::default())
-        .with_service(MODULE, Box::new(CallbackServer))
-        .with_troupe_id(server_id);
+    let p = NodeBuilder::new(server_addr, NodeConfig::default())
+        .service(MODULE, Box::new(CallbackServer))
+        .troupe_id(server_id)
+        .build()
+        .expect("valid node");
     w.spawn(server_addr, Box::new(p));
     let server = Troupe::new(server_id, vec![ModuleAddr::new(server_addr, MODULE)]);
 
@@ -571,9 +579,11 @@ fn callback_to_caller_troupe() {
         args: Vec::new(),
         collation: CollationPolicy::Unanimous,
     }]);
-    let p = CircusProcess::new(client_addr, NodeConfig::default())
-        .with_agent(Box::new(agent))
-        .with_service(2, Box::new(ReadyResponder));
+    let p = NodeBuilder::new(client_addr, NodeConfig::default())
+        .agent(Box::new(agent))
+        .service(2, Box::new(ReadyResponder))
+        .build()
+        .expect("valid node");
     w.spawn(client_addr, Box::new(p));
 
     w.poke(client_addr, 0);
@@ -691,12 +701,14 @@ fn watchdog_detects_late_disagreement() {
     let mut w = world(17);
     let troupe = spawn_server_troupe(&mut w, 10, 1, 3);
     let client = addr(100, 200);
-    let p =
-        CircusProcess::new(client, NodeConfig::default()).with_agent(Box::new(WatchdogClient {
+    let p = NodeBuilder::new(client, NodeConfig::default())
+        .agent(Box::new(WatchdogClient {
             troupe,
             result: None,
             alarms: 0,
-        }));
+        }))
+        .build()
+        .expect("valid node");
     w.spawn(client, Box::new(p));
     w.poke(client, 0);
     run(&mut w, 10);
@@ -756,11 +768,14 @@ fn watchdog_silent_when_replies_agree() {
     let mut w = world(18);
     let troupe = spawn_server_troupe(&mut w, 10, 1, 3);
     let client = addr(100, 200);
-    let p = CircusProcess::new(client, NodeConfig::default()).with_agent(Box::new(QuietClient {
-        troupe,
-        done: false,
-        alarms: 0,
-    }));
+    let p = NodeBuilder::new(client, NodeConfig::default())
+        .agent(Box::new(QuietClient {
+            troupe,
+            done: false,
+            alarms: 0,
+        }))
+        .build()
+        .expect("valid node");
     w.spawn(client, Box::new(p));
     w.poke(client, 0);
     run(&mut w, 10);
@@ -796,9 +811,11 @@ fn slow_client_member_served_from_buffer() {
     let mut w = world(19);
     let server_addr = addr(1, 70);
     let server_id = TroupeId(60);
-    let p = CircusProcess::new(server_addr, NodeConfig::default())
-        .with_service(MODULE, Box::new(FirstComeService { executions: 0 }))
-        .with_troupe_id(server_id);
+    let p = NodeBuilder::new(server_addr, NodeConfig::default())
+        .service(MODULE, Box::new(FirstComeService { executions: 0 }))
+        .troupe_id(server_id)
+        .build()
+        .expect("valid node");
     w.spawn(server_addr, Box::new(p));
     let server = Troupe::new(server_id, vec![ModuleAddr::new(server_addr, MODULE)]);
 
@@ -820,9 +837,11 @@ fn slow_client_member_served_from_buffer() {
             collation: CollationPolicy::Unanimous,
         }])
         .with_thread(thread);
-        let p = CircusProcess::new(a, NodeConfig::default())
-            .with_agent(Box::new(agent))
-            .with_troupe_id(client_id);
+        let p = NodeBuilder::new(a, NodeConfig::default())
+            .agent(Box::new(agent))
+            .troupe_id(client_id)
+            .build()
+            .expect("valid node");
         w.spawn(a, Box::new(p));
     }
     w.with_proc_mut(server_addr, |p: &mut CircusProcess| {
@@ -944,9 +963,11 @@ fn stale_client_membership_rejected_not_looped() {
             collation: CollationPolicy::Unanimous,
         }])
         .with_thread(thread);
-        let p = CircusProcess::new(a, NodeConfig::default())
-            .with_agent(Box::new(agent))
-            .with_troupe_id(client_id);
+        let p = NodeBuilder::new(a, NodeConfig::default())
+            .agent(Box::new(agent))
+            .troupe_id(client_id)
+            .build()
+            .expect("valid node");
         w.spawn(a, Box::new(p));
     }
     // The server believes the troupe is ONLY the known member.

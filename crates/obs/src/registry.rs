@@ -1,0 +1,461 @@
+//! The unified metrics registry.
+//!
+//! A [`Registry`] is a cheaply cloneable handle to one shared table of
+//! named metrics plus the span log (see [`crate::span`]). The simulator
+//! world owns one; every layer that wants to publish numbers clones the
+//! handle. Metrics come in three shapes:
+//!
+//! * [`Counter`] — monotone `u64` (resettable only through the registry);
+//! * [`Gauge`] — last-write-wins `u64` snapshot value;
+//! * [`Histogram`] — count / sum / min / max of observed `u64` samples.
+//!
+//! Handles are `Rc<Cell<_>>` under the hood, so a hot-path update is one
+//! `Cell` store — no string lookup. Name-based convenience methods
+//! (`add`, `set_gauge`, `observe`) do the lookup each time and are meant
+//! for cold paths and tests.
+//!
+//! Dumps ([`Registry::dump_text`], [`Registry::dump_json`]) iterate a
+//! `BTreeMap`, so output order is the sorted key order — deterministic by
+//! construction.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::span::{SpanId, SpanRecord, SpanTree};
+
+/// Handle to a monotone counter. Cloning shares the underlying cell.
+#[derive(Clone, Debug)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    /// Adds `v` to the counter.
+    pub fn add(&self, v: u64) {
+        self.0.set(self.0.get().wrapping_add(v));
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+
+    /// Resets to zero (used by `World::reset_cpu`-style warmup clears).
+    pub fn reset(&self) {
+        self.0.set(0);
+    }
+}
+
+/// Handle to a last-write-wins gauge.
+#[derive(Clone, Debug)]
+pub struct Gauge(Rc<Cell<u64>>);
+
+impl Gauge {
+    /// Overwrites the gauge value.
+    pub fn set(&self, v: u64) {
+        self.0.set(v);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct HistState {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// Handle to a histogram (count / sum / min / max of samples).
+#[derive(Clone, Debug)]
+pub struct Histogram(Rc<Cell<HistState>>);
+
+impl Histogram {
+    /// Records one sample.
+    pub fn observe(&self, v: u64) {
+        let mut s = self.0.get();
+        s.sum = s.sum.wrapping_add(v);
+        s.min = if s.count == 0 { v } else { s.min.min(v) };
+        s.max = s.max.max(v);
+        s.count += 1;
+        self.0.set(s);
+    }
+
+    /// Snapshot of the current aggregate.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let s = self.0.get();
+        HistogramSnapshot {
+            count: s.count,
+            sum: s.sum,
+            min: s.min,
+            max: s.max,
+        }
+    }
+}
+
+/// Point-in-time aggregate of a [`Histogram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    metrics: BTreeMap<String, Metric>,
+    spans: Vec<SpanRecord>,
+    next_span: u64,
+}
+
+/// Cheaply cloneable handle to one shared metrics table + span log.
+#[derive(Clone, Debug, Default)]
+pub struct Registry(Rc<RefCell<Inner>>);
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Registers (or finds) the counter named `name` and returns a handle.
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.0.borrow_mut();
+        match inner
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter(Rc::new(Cell::new(0)))))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Registers (or finds) the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.0.borrow_mut();
+        match inner
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge(Rc::new(Cell::new(0)))))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Registers (or finds) the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut inner = self.0.borrow_mut();
+        match inner.metrics.entry(name.to_string()).or_insert_with(|| {
+            Metric::Histogram(Histogram(Rc::new(Cell::new(HistState::default()))))
+        }) {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Cold-path convenience: bump the counter `name` by `v`.
+    pub fn add(&self, name: &str, v: u64) {
+        self.counter(name).add(v);
+    }
+
+    /// Cold-path convenience: set the gauge `name` to `v`.
+    pub fn set_gauge(&self, name: &str, v: u64) {
+        self.gauge(name).set(v);
+    }
+
+    /// Cold-path convenience: record one histogram sample.
+    pub fn observe(&self, name: &str, v: u64) {
+        self.histogram(name).observe(v);
+    }
+
+    /// Value of the counter or gauge `name` (0 if absent; histogram sum
+    /// for histograms).
+    pub fn get(&self, name: &str) -> u64 {
+        match self.0.borrow().metrics.get(name) {
+            Some(Metric::Counter(c)) => c.get(),
+            Some(Metric::Gauge(g)) => g.get(),
+            Some(Metric::Histogram(h)) => h.snapshot().sum,
+            None => 0,
+        }
+    }
+
+    /// Sum of every counter/gauge whose key ends with `suffix`.
+    ///
+    /// This is how cross-host totals are taken (`.total_us` over all
+    /// `cpu.<addr>.total_us` keys) without the caller enumerating hosts.
+    pub fn sum_suffix(&self, suffix: &str) -> u64 {
+        self.0
+            .borrow()
+            .metrics
+            .iter()
+            .filter(|(k, _)| k.ends_with(suffix))
+            .map(|(_, m)| match m {
+                Metric::Counter(c) => c.get(),
+                Metric::Gauge(g) => g.get(),
+                Metric::Histogram(h) => h.snapshot().sum,
+            })
+            .sum()
+    }
+
+    /// All registered keys, sorted.
+    pub fn keys(&self) -> Vec<String> {
+        self.0.borrow().metrics.keys().cloned().collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Spans
+    // ------------------------------------------------------------------
+
+    /// Mints a root span (no parent).
+    pub fn span_root(&self, label: &str, at_us: u64) -> SpanId {
+        self.span_child(SpanId::NONE, label, at_us)
+    }
+
+    /// Mints a child of `parent` (pass [`SpanId::NONE`] for a root).
+    ///
+    /// Ids are allocated from a single registry-global counter, so for a
+    /// deterministic workload the numbering — and therefore the whole
+    /// tree — is reproducible bit-for-bit.
+    pub fn span_child(&self, parent: SpanId, label: &str, at_us: u64) -> SpanId {
+        let mut inner = self.0.borrow_mut();
+        inner.next_span += 1;
+        let id = SpanId(inner.next_span);
+        inner.spans.push(SpanRecord {
+            id,
+            parent,
+            at_us,
+            label: label.to_string(),
+        });
+        id
+    }
+
+    /// Every span minted so far, in minting order.
+    pub fn span_records(&self) -> Vec<SpanRecord> {
+        self.0.borrow().spans.clone()
+    }
+
+    /// Number of spans minted.
+    pub fn span_count(&self) -> u64 {
+        self.0.borrow().spans.len() as u64
+    }
+
+    /// FNV-1a hash over every span record (id, parent, time, label).
+    /// Same seed ⇒ same hash; any divergence in call causality changes it.
+    pub fn span_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        fn mix(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        for r in self.0.borrow().spans.iter() {
+            mix(&mut h, &r.id.0.to_le_bytes());
+            mix(&mut h, &r.parent.0.to_le_bytes());
+            mix(&mut h, &r.at_us.to_le_bytes());
+            mix(&mut h, r.label.as_bytes());
+            mix(&mut h, &[0xff]);
+        }
+        h
+    }
+
+    /// Builds the causal tree over every span minted so far.
+    pub fn span_tree(&self) -> SpanTree {
+        SpanTree::build(self.span_records())
+    }
+
+    // ------------------------------------------------------------------
+    // Dumps
+    // ------------------------------------------------------------------
+
+    /// Text dump: one `key value` line per metric, keys sorted.
+    pub fn dump_text(&self) -> String {
+        let inner = self.0.borrow();
+        let mut out = String::new();
+        for (k, m) in inner.metrics.iter() {
+            match m {
+                Metric::Counter(c) => out.push_str(&format!("{k} {}\n", c.get())),
+                Metric::Gauge(g) => out.push_str(&format!("{k} {}\n", g.get())),
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    out.push_str(&format!(
+                        "{k} count={} sum={} min={} max={}\n",
+                        s.count, s.sum, s.min, s.max
+                    ));
+                }
+            }
+        }
+        out.push_str(&format!("spans {}\n", inner.spans.len()));
+        out
+    }
+
+    /// JSON dump: `{"metrics":{...},"spans":{"count":N,"hash":H}}`, keys
+    /// sorted. Hand-rolled (the workspace carries no serde); keys are
+    /// code-controlled but escaped anyway.
+    pub fn dump_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let span_hash = self.span_hash();
+        let inner = self.0.borrow();
+        let mut out = String::from("{\"metrics\":{");
+        let mut first = true;
+        for (k, m) in inner.metrics.iter() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{}\":", esc(k)));
+            match m {
+                Metric::Counter(c) => out.push_str(&c.get().to_string()),
+                Metric::Gauge(g) => out.push_str(&g.get().to_string()),
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    out.push_str(&format!(
+                        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}",
+                        s.count, s.sum, s.min, s.max
+                    ));
+                }
+            }
+        }
+        out.push_str(&format!(
+            "}},\"spans\":{{\"count\":{},\"hash\":{span_hash}}}}}",
+            inner.spans.len()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handle_is_shared_with_registry() {
+        let r = Registry::new();
+        let c = r.counter("net.sent");
+        c.add(3);
+        c.inc();
+        assert_eq!(r.get("net.sent"), 4);
+        // Re-registering returns the same cell.
+        r.counter("net.sent").add(1);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_min_max() {
+        let r = Registry::new();
+        let h = r.histogram("lat");
+        h.observe(7);
+        h.observe(3);
+        h.observe(9);
+        let s = h.snapshot();
+        assert_eq!(
+            s,
+            HistogramSnapshot {
+                count: 3,
+                sum: 19,
+                min: 3,
+                max: 9
+            }
+        );
+        assert!((s.mean() - 19.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_suffix_aggregates_across_hosts() {
+        let r = Registry::new();
+        r.add("cpu.h1:70.total_us", 10);
+        r.add("cpu.h2:70.total_us", 32);
+        r.add("cpu.h1:70.user_us", 4);
+        assert_eq!(r.sum_suffix(".total_us"), 42);
+    }
+
+    #[test]
+    fn dumps_are_sorted_and_stable() {
+        let build = || {
+            let r = Registry::new();
+            r.add("b", 2);
+            r.add("a", 1);
+            r.observe("h", 5);
+            r.set_gauge("g", 9);
+            r.span_root("call", 100);
+            r
+        };
+        let (x, y) = (build(), build());
+        assert_eq!(x.dump_text(), y.dump_text());
+        assert_eq!(x.dump_json(), y.dump_json());
+        let text = x.dump_text();
+        let a = text.find("a 1").unwrap();
+        let b = text.find("b 2").unwrap();
+        assert!(a < b, "keys must come out sorted:\n{text}");
+        assert!(x.dump_json().starts_with("{\"metrics\":{\"a\":1,\"b\":2,"));
+    }
+
+    #[test]
+    fn span_ids_are_deterministic() {
+        let r = Registry::new();
+        let root = r.span_root("call m1.p2", 10);
+        let kid = r.span_child(root, "invoke m1.p2", 20);
+        assert_eq!(root, SpanId(1));
+        assert_eq!(kid, SpanId(2));
+        assert_eq!(r.span_count(), 2);
+        let s = Registry::new();
+        s.span_root("call m1.p2", 10);
+        s.span_child(SpanId(1), "invoke m1.p2", 20);
+        assert_eq!(r.span_hash(), s.span_hash());
+    }
+
+    #[test]
+    fn span_hash_is_label_sensitive() {
+        let r = Registry::new();
+        r.span_root("call", 1);
+        let s = Registry::new();
+        s.span_root("cull", 1);
+        assert_ne!(r.span_hash(), s.span_hash());
+    }
+}

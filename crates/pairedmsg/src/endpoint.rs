@@ -26,6 +26,8 @@ pub enum Event {
         msg_type: MsgType,
         /// The exchange it belongs to.
         call_number: u32,
+        /// Causal span carried by the message's segments (0 = none).
+        span: u64,
         /// The reassembled message bytes.
         data: Vec<u8>,
     },
@@ -130,6 +132,32 @@ impl Endpoint {
         self.stats
     }
 
+    /// Publishes the traffic counters into a metrics registry as gauges
+    /// under `prefix` (e.g. `pm.h1:70`). Consumers read the registry;
+    /// the raw [`EndpointStats`] struct stays an implementation detail.
+    pub fn publish_metrics(&self, reg: &obs::Registry, prefix: &str) {
+        let s = self.stats;
+        reg.set_gauge(&format!("{prefix}.segments_sent"), s.segments_sent);
+        reg.set_gauge(
+            &format!("{prefix}.max_recv_buffered"),
+            s.max_recv_buffered as u64,
+        );
+        reg.set_gauge(&format!("{prefix}.calls_delivered"), s.calls_delivered);
+        reg.set_gauge(&format!("{prefix}.returns_delivered"), s.returns_delivered);
+        reg.set_gauge(
+            &format!("{prefix}.duplicate_call_deliveries"),
+            s.duplicate_call_deliveries,
+        );
+        reg.set_gauge(
+            &format!("{prefix}.send_call_regressions"),
+            s.send_call_regressions,
+        );
+        reg.set_gauge(
+            &format!("{prefix}.replays_suppressed"),
+            s.replays_suppressed,
+        );
+    }
+
     /// `true` once the peer has been declared dead.
     pub fn is_dead(&self) -> bool {
         self.dead
@@ -158,14 +186,16 @@ impl Endpoint {
         }
     }
 
-    /// Starts transmitting a message. For a call the endpoint begins
-    /// crash-detection probing once the call is fully acknowledged;
-    /// sending a return cancels the deferred ack it implicitly carries.
+    /// Starts transmitting a message attributed to causal span `span`
+    /// (0 = none). For a call the endpoint begins crash-detection probing
+    /// once the call is fully acknowledged; sending a return cancels the
+    /// deferred ack it implicitly carries.
     pub fn send(
         &mut self,
         now: Time,
         msg_type: MsgType,
         call_number: u32,
+        span: u64,
         data: &[u8],
     ) -> Result<(), SendError> {
         if self.dead {
@@ -173,7 +203,7 @@ impl Endpoint {
             // replaced it after the PeerDead event.
             return Ok(());
         }
-        let mut sender = MsgSender::new(now, &self.config, msg_type, call_number, data)?;
+        let mut sender = MsgSender::new(now, &self.config, msg_type, call_number, span, data)?;
         for seg in sender.initial_segments() {
             self.out.push_back(seg);
         }
@@ -359,6 +389,7 @@ impl Endpoint {
             self.events.push_back(Event::Message {
                 msg_type: h.msg_type,
                 call_number: h.call_number,
+                span: h.span,
                 data,
             });
         } else if want_ack {

@@ -135,7 +135,7 @@ mod tests {
     use super::*;
 
     fn seg(n: u8, total: u8, please_ack: bool, data: &[u8]) -> Segment {
-        Segment::data(MsgType::Call, 7, total, n, please_ack, data.to_vec())
+        Segment::data(MsgType::Call, 7, 0, total, n, please_ack, data.to_vec())
     }
 
     #[test]
@@ -210,7 +210,7 @@ mod tests {
     fn inconsistent_total_ignored() {
         let mut r = MsgReceiver::new(&seg(1, 2, false, b""));
         // A hostile segment claiming number 3 of 3 in a 2-segment message.
-        let bad = Segment::data(MsgType::Call, 7, 3, 3, false, b"zz".to_vec());
+        let bad = Segment::data(MsgType::Call, 7, 0, 3, 3, false, b"zz".to_vec());
         let a = r.on_segment(&bad);
         assert_eq!(a, RecvActions::default());
     }

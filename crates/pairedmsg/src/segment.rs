@@ -1,15 +1,21 @@
 //! The segment wire format (Figure 4.2).
 //!
 //! A message is transmitted as one or more segments, each a datagram with
-//! an 8-byte header:
+//! a 16-byte header:
 //!
 //! ```text
-//! byte 0      message type (0 = call, 1 = return)
-//! byte 1      control bits (bit 0 = please ack, bit 1 = ack, bit 2 = probe)
-//! byte 2      total segments in the message (1..=255)
-//! byte 3      segment number (data: 1..=total; ack: ack number 0..=total)
-//! bytes 4..8  call number, most significant byte first
+//! byte 0       message type (0 = call, 1 = return)
+//! byte 1       control bits (bit 0 = please ack, bit 1 = ack, bit 2 = probe)
+//! byte 2       total segments in the message (1..=255)
+//! byte 3       segment number (data: 1..=total; ack: ack number 0..=total)
+//! bytes 4..8   call number, most significant byte first
+//! bytes 8..16  causal span id, most significant byte first (0 = none)
 //! ```
+//!
+//! The span id extends the paper's Figure 4.2 format: it attributes the
+//! segment to the replicated call that caused it (see `obs`), so a whole
+//! one-to-many fan-out is reconstructable from the wire alone. Control
+//! segments (acks, probes) carry span 0.
 //!
 //! The probe bit occupies one of the paper's six unused control bits: the
 //! paper's crash-detection probes are "special control segments" (§4.2.3)
@@ -48,7 +54,7 @@ impl MsgType {
 pub const MAX_SEGMENTS: usize = 255;
 
 /// Size of the fixed segment header.
-pub const HEADER_LEN: usize = 8;
+pub const HEADER_LEN: usize = 16;
 
 const PLEASE_ACK: u8 = 0b001;
 const ACK: u8 = 0b010;
@@ -72,6 +78,9 @@ pub struct SegmentHeader {
     pub number: u8,
     /// Pairs this segment's message with its partner (§4.2.1).
     pub call_number: u32,
+    /// Causal span the message belongs to (0 = none; control segments
+    /// always carry 0).
+    pub span: u64,
 }
 
 /// A whole segment: header plus (for data segments) payload bytes.
@@ -114,10 +123,12 @@ impl fmt::Display for SegmentError {
 impl std::error::Error for SegmentError {}
 
 impl Segment {
-    /// Builds a data segment.
+    /// Builds a data segment attributed to causal span `span` (0 = none).
+    #[allow(clippy::too_many_arguments)]
     pub fn data(
         msg_type: MsgType,
         call_number: u32,
+        span: u64,
         total: u8,
         number: u8,
         please_ack: bool,
@@ -132,6 +143,7 @@ impl Segment {
                 total,
                 number,
                 call_number,
+                span,
             },
             data,
         }
@@ -149,6 +161,7 @@ impl Segment {
                 total,
                 number: ack_number,
                 call_number,
+                span: 0,
             },
             data: Vec::new(),
         }
@@ -165,6 +178,7 @@ impl Segment {
                 total: 0,
                 number: 0,
                 call_number,
+                span: 0,
             },
             data: Vec::new(),
         }
@@ -181,6 +195,7 @@ impl Segment {
                 total: 0,
                 number: 0,
                 call_number,
+                span: 0,
             },
             data: Vec::new(),
         }
@@ -205,6 +220,7 @@ impl Segment {
         out.push(h.total);
         out.push(h.number);
         out.extend_from_slice(&h.call_number.to_be_bytes());
+        out.extend_from_slice(&h.span.to_be_bytes());
         out.extend_from_slice(&self.data);
         out
     }
@@ -219,6 +235,7 @@ impl Segment {
         let total = bytes[2];
         let number = bytes[3];
         let call_number = u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        let span = u64::from_be_bytes(bytes[8..16].try_into().expect("length checked"));
         let header = SegmentHeader {
             msg_type,
             please_ack: bits & PLEASE_ACK != 0,
@@ -227,6 +244,7 @@ impl Segment {
             total,
             number,
             call_number,
+            span,
         };
         let is_data = !header.ack && !header.probe;
         if is_data && (total == 0 || number == 0 || number > total) {
@@ -253,9 +271,10 @@ mod tests {
 
     #[test]
     fn data_segment_round_trips() {
-        let s = Segment::data(MsgType::Call, 42, 3, 2, true, vec![9, 9, 9]);
+        let s = Segment::data(MsgType::Call, 42, 77, 3, 2, true, vec![9, 9, 9]);
         let back = Segment::decode(&s.encode()).unwrap();
         assert_eq!(back, s);
+        assert_eq!(back.header.span, 77);
     }
 
     #[test]
@@ -278,33 +297,49 @@ mod tests {
     }
 
     #[test]
-    fn header_is_exactly_eight_bytes() {
-        let s = Segment::data(MsgType::Call, 1, 1, 1, false, Vec::new());
+    fn header_is_exactly_sixteen_bytes() {
+        let s = Segment::data(MsgType::Call, 1, 0, 1, 1, false, Vec::new());
         assert_eq!(s.encode().len(), HEADER_LEN);
     }
 
     #[test]
-    fn call_number_big_endian() {
-        let s = Segment::data(MsgType::Call, 0x0102_0304, 1, 1, false, Vec::new());
+    fn call_number_and_span_big_endian() {
+        let s = Segment::data(
+            MsgType::Call,
+            0x0102_0304,
+            0x0506_0708,
+            1,
+            1,
+            false,
+            Vec::new(),
+        );
         let bytes = s.encode();
         assert_eq!(&bytes[4..8], &[1, 2, 3, 4]);
+        assert_eq!(&bytes[8..16], &[0, 0, 0, 0, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn control_segments_carry_span_zero() {
+        assert_eq!(Segment::ack(MsgType::Call, 9, 1, 1).header.span, 0);
+        assert_eq!(Segment::probe(9).header.span, 0);
+        assert_eq!(Segment::probe_reply(9).header.span, 0);
     }
 
     #[test]
     fn truncated_rejected() {
-        assert_eq!(Segment::decode(&[0; 7]), Err(SegmentError::Truncated));
+        assert_eq!(Segment::decode(&[0; 15]), Err(SegmentError::Truncated));
     }
 
     #[test]
     fn bad_type_rejected() {
-        let mut bytes = Segment::data(MsgType::Call, 1, 1, 1, false, Vec::new()).encode();
+        let mut bytes = Segment::data(MsgType::Call, 1, 0, 1, 1, false, Vec::new()).encode();
         bytes[0] = 9;
         assert_eq!(Segment::decode(&bytes), Err(SegmentError::BadType(9)));
     }
 
     #[test]
     fn zero_total_data_rejected() {
-        let bytes = [0, 0, 0, 1, 0, 0, 0, 1];
+        let bytes = [0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0];
         assert!(matches!(
             Segment::decode(&bytes),
             Err(SegmentError::BadPosition { .. })
@@ -313,7 +348,7 @@ mod tests {
 
     #[test]
     fn number_beyond_total_rejected() {
-        let bytes = [0, 0, 2, 3, 0, 0, 0, 1];
+        let bytes = [0, 0, 2, 3, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0];
         assert!(matches!(
             Segment::decode(&bytes),
             Err(SegmentError::BadPosition { .. })

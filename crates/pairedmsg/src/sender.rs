@@ -39,6 +39,7 @@ impl std::error::Error for SendError {}
 pub struct MsgSender {
     msg_type: MsgType,
     call_number: u32,
+    span: u64,
     /// Payloads of segments not yet acknowledged, paired with their
     /// segment numbers (1-based). Ordered ascending.
     unacked: Vec<(u8, Vec<u8>)>,
@@ -68,11 +69,14 @@ pub enum SenderTick {
 impl MsgSender {
     /// Segments `data` and queues every segment. `initial_segments`
     /// returns the first transmission.
+    /// `span` is the causal span id stamped into every segment of the
+    /// message (0 = none).
     pub fn new(
         now: Time,
         config: &Config,
         msg_type: MsgType,
         call_number: u32,
+        span: u64,
         data: &[u8],
     ) -> Result<MsgSender, SendError> {
         let chunk = config.max_segment_data.max(1);
@@ -98,6 +102,7 @@ impl MsgSender {
         Ok(MsgSender {
             msg_type,
             call_number,
+            span,
             total: n_segments as u8,
             unacked,
             next_retransmit: now + config.retransmit_interval,
@@ -114,11 +119,17 @@ impl MsgSender {
         Segment::data(
             self.msg_type,
             self.call_number,
+            self.span,
             self.total,
             number,
             please_ack,
             data.to_vec(),
         )
+    }
+
+    /// The causal span stamped on this message's segments.
+    pub fn span(&self) -> u64 {
+        self.span
     }
 
     /// In PARC mode, every segment but the last asks for an explicit ack
@@ -150,6 +161,7 @@ impl MsgSender {
                         Segment::data(
                             self.msg_type,
                             self.call_number,
+                            self.span,
                             self.total,
                             *n,
                             false,
@@ -239,6 +251,7 @@ impl MsgSender {
                     Segment::data(
                         self.msg_type,
                         self.call_number,
+                        self.span,
                         self.total,
                         *n,
                         true,
@@ -257,6 +270,7 @@ impl MsgSender {
         Some(Segment::data(
             self.msg_type,
             self.call_number,
+            self.span,
             self.total,
             *n,
             true,
@@ -278,7 +292,7 @@ mod tests {
 
     #[test]
     fn small_message_is_one_segment() {
-        let mut s = MsgSender::new(Time::ZERO, &config(), MsgType::Call, 1, b"ab").unwrap();
+        let mut s = MsgSender::new(Time::ZERO, &config(), MsgType::Call, 1, 0, b"ab").unwrap();
         let segs = s.initial_segments();
         assert_eq!(segs.len(), 1);
         assert_eq!(segs[0].header.total, 1);
@@ -288,13 +302,14 @@ mod tests {
 
     #[test]
     fn empty_message_still_has_one_segment() {
-        let mut s = MsgSender::new(Time::ZERO, &config(), MsgType::Return, 1, b"").unwrap();
+        let mut s = MsgSender::new(Time::ZERO, &config(), MsgType::Return, 1, 0, b"").unwrap();
         assert_eq!(s.initial_segments().len(), 1);
     }
 
     #[test]
     fn large_message_segments_in_order() {
-        let mut s = MsgSender::new(Time::ZERO, &config(), MsgType::Call, 1, b"abcdefghij").unwrap();
+        let mut s =
+            MsgSender::new(Time::ZERO, &config(), MsgType::Call, 1, 0, b"abcdefghij").unwrap();
         let segs = s.initial_segments();
         assert_eq!(segs.len(), 3);
         assert_eq!(segs[0].data, b"abcd");
@@ -307,14 +322,15 @@ mod tests {
     fn oversize_message_rejected() {
         let data = vec![0u8; 4 * 255 + 1];
         assert!(matches!(
-            MsgSender::new(Time::ZERO, &config(), MsgType::Call, 1, &data),
+            MsgSender::new(Time::ZERO, &config(), MsgType::Call, 1, 0, &data),
             Err(SendError::TooLong { .. })
         ));
     }
 
     #[test]
     fn acks_remove_prefix() {
-        let mut s = MsgSender::new(Time::ZERO, &config(), MsgType::Call, 1, b"abcdefghij").unwrap();
+        let mut s =
+            MsgSender::new(Time::ZERO, &config(), MsgType::Call, 1, 0, b"abcdefghij").unwrap();
         s.on_ack(Time::ZERO, 2);
         assert!(!s.complete());
         s.on_ack(Time::ZERO, 3);
@@ -325,7 +341,7 @@ mod tests {
     #[test]
     fn retransmit_first_unacked_with_please_ack() {
         let cfg = config();
-        let mut s = MsgSender::new(Time::ZERO, &cfg, MsgType::Call, 1, b"abcdefghij").unwrap();
+        let mut s = MsgSender::new(Time::ZERO, &cfg, MsgType::Call, 1, 0, b"abcdefghij").unwrap();
         let _ = s.initial_segments();
         s.on_ack(Time::ZERO, 1);
         let due = s.deadline().unwrap();
@@ -345,7 +361,7 @@ mod tests {
             max_retransmits: 2,
             ..config()
         };
-        let mut s = MsgSender::new(Time::ZERO, &cfg, MsgType::Call, 1, b"x").unwrap();
+        let mut s = MsgSender::new(Time::ZERO, &cfg, MsgType::Call, 1, 0, b"x").unwrap();
         let _ = s.initial_segments();
         for _ in 0..2 {
             let now = s.deadline().unwrap();
@@ -361,7 +377,7 @@ mod tests {
             max_retransmits: 2,
             ..config()
         };
-        let mut s = MsgSender::new(Time::ZERO, &cfg, MsgType::Call, 1, b"abcdefgh").unwrap();
+        let mut s = MsgSender::new(Time::ZERO, &cfg, MsgType::Call, 1, 0, b"abcdefgh").unwrap();
         let _ = s.initial_segments();
         let now = s.deadline().unwrap();
         assert!(matches!(s.on_tick(now), SenderTick::Retransmit(_)));
@@ -374,14 +390,15 @@ mod tests {
 
     #[test]
     fn implicit_ack_completes() {
-        let mut s = MsgSender::new(Time::ZERO, &config(), MsgType::Call, 1, b"abcdefgh").unwrap();
+        let mut s =
+            MsgSender::new(Time::ZERO, &config(), MsgType::Call, 1, 0, b"abcdefgh").unwrap();
         s.ack_all();
         assert!(s.complete());
     }
 
     #[test]
     fn tick_before_deadline_is_idle() {
-        let mut s = MsgSender::new(Time::ZERO, &config(), MsgType::Call, 1, b"x").unwrap();
+        let mut s = MsgSender::new(Time::ZERO, &config(), MsgType::Call, 1, 0, b"x").unwrap();
         assert_eq!(s.on_tick(Time::ZERO), SenderTick::Idle);
     }
 
@@ -391,7 +408,7 @@ mod tests {
             retransmit_all: true,
             ..config()
         };
-        let mut s = MsgSender::new(Time::ZERO, &cfg, MsgType::Call, 1, b"abcdefghij").unwrap();
+        let mut s = MsgSender::new(Time::ZERO, &cfg, MsgType::Call, 1, 0, b"abcdefghij").unwrap();
         let _ = s.initial_segments();
         let due = s.deadline().unwrap();
         match s.on_tick(due) {

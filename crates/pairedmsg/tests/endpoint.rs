@@ -78,6 +78,7 @@ fn expect_message(e: &mut Endpoint, ty: MsgType, cn: u32) -> Vec<u8> {
             msg_type,
             call_number,
             data,
+            ..
         }) => {
             assert_eq!(msg_type, ty);
             assert_eq!(call_number, cn);
@@ -92,13 +93,13 @@ fn simple_exchange_no_loss() {
     let (mut client, mut server) = pair();
     let mut wire = Wire::new();
 
-    client.send(wire.now, MsgType::Call, 1, b"args").unwrap();
+    client.send(wire.now, MsgType::Call, 1, 0, b"args").unwrap();
     wire.settle(&mut client, &mut server);
     let got = expect_message(&mut server, MsgType::Call, 1);
     assert_eq!(got, b"args");
 
     server
-        .send(wire.now, MsgType::Return, 1, b"results")
+        .send(wire.now, MsgType::Return, 1, 0, b"results")
         .unwrap();
     wire.settle(&mut client, &mut server);
     let got = expect_message(&mut client, MsgType::Return, 1);
@@ -115,10 +116,10 @@ fn exchange_uses_minimal_packets() {
     // please-ack, then acked).
     let (mut client, mut server) = pair();
     let mut wire = Wire::new();
-    client.send(wire.now, MsgType::Call, 1, b"x").unwrap();
+    client.send(wire.now, MsgType::Call, 1, 0, b"x").unwrap();
     wire.settle(&mut client, &mut server);
     expect_message(&mut server, MsgType::Call, 1);
-    server.send(wire.now, MsgType::Return, 1, b"y").unwrap();
+    server.send(wire.now, MsgType::Return, 1, 0, b"y").unwrap();
     wire.settle(&mut client, &mut server);
     expect_message(&mut client, MsgType::Return, 1);
     // Exactly 2 datagrams so far: the call and the return.
@@ -130,10 +131,14 @@ fn back_to_back_calls_implicitly_ack_returns() {
     let (mut client, mut server) = pair();
     let mut wire = Wire::new();
     for cn in 1..=10u32 {
-        client.send(wire.now, MsgType::Call, cn, b"ping").unwrap();
+        client
+            .send(wire.now, MsgType::Call, cn, 0, b"ping")
+            .unwrap();
         wire.settle(&mut client, &mut server);
         expect_message(&mut server, MsgType::Call, cn);
-        server.send(wire.now, MsgType::Return, cn, b"pong").unwrap();
+        server
+            .send(wire.now, MsgType::Return, cn, 0, b"pong")
+            .unwrap();
         wire.settle(&mut client, &mut server);
         expect_message(&mut client, MsgType::Return, cn);
     }
@@ -156,7 +161,7 @@ fn multi_segment_message_reassembles() {
     let mut server = Endpoint::new(config);
     let mut wire = Wire::new();
     let big: Vec<u8> = (0..100u8).collect();
-    client.send(wire.now, MsgType::Call, 1, &big).unwrap();
+    client.send(wire.now, MsgType::Call, 1, 0, &big).unwrap();
     wire.settle(&mut client, &mut server);
     let got = expect_message(&mut server, MsgType::Call, 1);
     assert_eq!(got, big);
@@ -167,7 +172,7 @@ fn lost_call_segment_recovered_by_retransmission() {
     let (mut client, mut server) = pair();
     // Drop the very first datagram (the call).
     let mut wire = Wire::dropping(vec![0]);
-    client.send(wire.now, MsgType::Call, 1, b"args").unwrap();
+    client.send(wire.now, MsgType::Call, 1, 0, b"args").unwrap();
     wire.settle(&mut client, &mut server);
     assert!(server.poll_event().is_none());
     // Client's retransmit timer recovers it.
@@ -187,7 +192,7 @@ fn lost_middle_segment_recovered() {
     // Message of 3 segments; drop the 2nd (index 1).
     let mut wire = Wire::dropping(vec![1]);
     client
-        .send(wire.now, MsgType::Call, 1, b"abcdefghij")
+        .send(wire.now, MsgType::Call, 1, 0, b"abcdefghij")
         .unwrap();
     wire.settle(&mut client, &mut server);
     // Out-of-order arrival of segment 3 provoked an immediate ack (ack
@@ -208,10 +213,10 @@ fn lost_middle_segment_recovered() {
 fn lost_return_recovered() {
     let (mut client, mut server) = pair();
     let mut wire = Wire::dropping(vec![1]); // Drop the return.
-    client.send(wire.now, MsgType::Call, 1, b"q").unwrap();
+    client.send(wire.now, MsgType::Call, 1, 0, b"q").unwrap();
     wire.settle(&mut client, &mut server);
     expect_message(&mut server, MsgType::Call, 1);
-    server.send(wire.now, MsgType::Return, 1, b"r").unwrap();
+    server.send(wire.now, MsgType::Return, 1, 0, b"r").unwrap();
     wire.settle(&mut client, &mut server);
     assert!(client.poll_event().is_none());
     wire.tick_round(&mut client, &mut server);
@@ -223,7 +228,7 @@ fn lost_return_recovered() {
 fn duplicate_call_not_delivered_twice() {
     let (mut client, mut server) = pair();
     let wire = Wire::new();
-    client.send(wire.now, MsgType::Call, 1, b"once").unwrap();
+    client.send(wire.now, MsgType::Call, 1, 0, b"once").unwrap();
     // Capture and replay the call datagram.
     let bytes = client.poll_transmit().unwrap();
     server.on_datagram(wire.now, &bytes).unwrap();
@@ -236,11 +241,13 @@ fn duplicate_call_not_delivered_twice() {
 fn replay_after_completion_is_reacked_not_redelivered() {
     let (mut client, mut server) = pair();
     let mut wire = Wire::new();
-    client.send(wire.now, MsgType::Call, 1, b"once").unwrap();
+    client.send(wire.now, MsgType::Call, 1, 0, b"once").unwrap();
     let call_bytes = client.poll_transmit().unwrap();
     server.on_datagram(wire.now, &call_bytes).unwrap();
     expect_message(&mut server, MsgType::Call, 1);
-    server.send(wire.now, MsgType::Return, 1, b"done").unwrap();
+    server
+        .send(wire.now, MsgType::Return, 1, 0, b"done")
+        .unwrap();
     wire.settle(&mut client, &mut server);
     expect_message(&mut client, MsgType::Return, 1);
 
@@ -258,7 +265,7 @@ fn replay_after_completion_is_reacked_not_redelivered() {
 fn crash_detected_by_unanswered_retransmissions() {
     let (mut client, _server) = pair();
     let mut now = Time::ZERO;
-    client.send(now, MsgType::Call, 1, b"void").unwrap();
+    client.send(now, MsgType::Call, 1, 0, b"void").unwrap();
     while let Some(bytes) = client.poll_transmit() {
         drop(bytes); // Black hole: the server is gone.
     }
@@ -285,7 +292,9 @@ fn crash_detected_by_unanswered_retransmissions() {
 fn crash_during_long_call_detected_by_probes() {
     let (mut client, mut server) = pair();
     let mut wire = Wire::new();
-    client.send(wire.now, MsgType::Call, 1, b"slow-op").unwrap();
+    client
+        .send(wire.now, MsgType::Call, 1, 0, b"slow-op")
+        .unwrap();
     wire.settle(&mut client, &mut server);
     expect_message(&mut server, MsgType::Call, 1);
 
@@ -322,7 +331,7 @@ fn crash_during_long_call_detected_by_probes() {
 fn probes_answered_keep_connection_alive() {
     let (mut client, mut server) = pair();
     let mut wire = Wire::new();
-    client.send(wire.now, MsgType::Call, 1, b"slow").unwrap();
+    client.send(wire.now, MsgType::Call, 1, 0, b"slow").unwrap();
     wire.settle(&mut client, &mut server);
     expect_message(&mut server, MsgType::Call, 1);
 
@@ -332,7 +341,7 @@ fn probes_answered_keep_connection_alive() {
         assert!(client.poll_event().is_none(), "client gave up too early");
     }
     // Finally the server replies; the exchange completes normally.
-    server.send(wire.now, MsgType::Return, 1, b"ok").unwrap();
+    server.send(wire.now, MsgType::Return, 1, 0, b"ok").unwrap();
     wire.settle(&mut client, &mut server);
     let got = expect_message(&mut client, MsgType::Return, 1);
     assert_eq!(got, b"ok");
@@ -342,7 +351,7 @@ fn probes_answered_keep_connection_alive() {
 #[test]
 fn abandon_call_stops_activity() {
     let (mut client, _server) = pair();
-    client.send(Time::ZERO, MsgType::Call, 1, b"x").unwrap();
+    client.send(Time::ZERO, MsgType::Call, 1, 0, b"x").unwrap();
     while client.poll_transmit().is_some() {}
     client.abandon_call(Time::ZERO, 1);
     assert!(client.is_idle());
@@ -353,7 +362,7 @@ fn abandon_call_stops_activity() {
 fn oversize_message_rejected_at_send() {
     let (mut client, _server) = pair();
     let huge = vec![0u8; 1024 * 255 + 1];
-    assert!(client.send(Time::ZERO, MsgType::Call, 1, &huge).is_err());
+    assert!(client.send(Time::ZERO, MsgType::Call, 1, 0, &huge).is_err());
 }
 
 #[test]
@@ -370,7 +379,7 @@ fn heavy_loss_eventually_delivers_with_retransmit_all() {
     let drop_list: Vec<usize> = (0..400).filter(|i| i % 3 == 0).collect();
     let mut wire = Wire::dropping(drop_list);
     client
-        .send(wire.now, MsgType::Call, 1, b"abcdefghijklmnopqrstuvwxyz")
+        .send(wire.now, MsgType::Call, 1, 0, b"abcdefghijklmnopqrstuvwxyz")
         .unwrap();
     wire.settle(&mut client, &mut server);
     let mut got = None;
@@ -392,7 +401,7 @@ fn transfer_counting(config: Config, segments: usize) -> (usize, usize) {
     let mut rx = Endpoint::new(config);
     let payload = vec![7u8; seg_size * segments];
     let mut now = Time::ZERO;
-    tx.send(now, MsgType::Call, 1, &payload).unwrap();
+    tx.send(now, MsgType::Call, 1, 0, &payload).unwrap();
     let mut forward = 0usize;
     let mut backward = 0usize;
     for _ in 0..10_000 {
@@ -462,7 +471,7 @@ fn parc_mode_bounds_receiver_buffering() {
     let mut tx = Endpoint::new(config.clone());
     let mut rx = Endpoint::new(config);
     let now = Time::ZERO;
-    tx.send(now, MsgType::Call, 1, &[1u8; 4 * 6]).unwrap();
+    tx.send(now, MsgType::Call, 1, 0, &[1u8; 4 * 6]).unwrap();
     loop {
         let mut moved = false;
         while let Some(bytes) = tx.poll_transmit() {
@@ -496,7 +505,7 @@ fn parc_mode_recovers_from_loss() {
     let mut rx = Endpoint::new(config);
     let payload = vec![9u8; 4 * 5];
     let mut now = Time::ZERO;
-    tx.send(now, MsgType::Call, 1, &payload).unwrap();
+    tx.send(now, MsgType::Call, 1, 0, &payload).unwrap();
     let mut rng_drop = 0usize;
     for _ in 0..200 {
         let mut moved = false;
@@ -540,10 +549,12 @@ fn concurrent_calls_completing_out_of_order_both_deliver() {
 
     // Hand-deliver so we control arrival order: capture both calls' raw
     // datagrams first.
-    client.send(Time::ZERO, MsgType::Call, 1, b"first").unwrap();
+    client
+        .send(Time::ZERO, MsgType::Call, 1, 0, b"first")
+        .unwrap();
     let call1 = client.poll_transmit().unwrap();
     client
-        .send(Time::ZERO, MsgType::Call, 2, b"second")
+        .send(Time::ZERO, MsgType::Call, 2, 0, b"second")
         .unwrap();
     let call2 = client.poll_transmit().unwrap();
 
@@ -565,11 +576,13 @@ fn replay_of_purged_call_suppressed() {
     let (mut client, mut server) = pair();
     let mut wire = Wire::new();
 
-    client.send(wire.now, MsgType::Call, 1, b"args").unwrap();
+    client.send(wire.now, MsgType::Call, 1, 0, b"args").unwrap();
     let call1 = client.poll_transmit().unwrap();
     server.on_datagram(wire.now, &call1).unwrap();
     expect_message(&mut server, MsgType::Call, 1);
-    server.send(wire.now, MsgType::Return, 1, b"res").unwrap();
+    server
+        .send(wire.now, MsgType::Return, 1, 0, b"res")
+        .unwrap();
     wire.settle(&mut client, &mut server);
     expect_message(&mut client, MsgType::Return, 1);
 
@@ -587,7 +600,7 @@ fn replay_of_purged_call_suppressed() {
 #[test]
 fn audit_counters_track_monotonic_sends() {
     let (mut client, _server) = pair();
-    client.send(Time::ZERO, MsgType::Call, 1, b"a").unwrap();
-    client.send(Time::ZERO, MsgType::Call, 2, b"b").unwrap();
+    client.send(Time::ZERO, MsgType::Call, 1, 0, b"a").unwrap();
+    client.send(Time::ZERO, MsgType::Call, 2, 0, b"b").unwrap();
     assert_eq!(client.stats().send_call_regressions, 0);
 }

@@ -17,7 +17,7 @@ fn transfer_with_loss(payload: &[u8], seg_size: usize, loss_seed: u64, loss_pct:
     let mut rx = Endpoint::new(config);
     let mut now = Time::ZERO;
     let mut rng = simnet::SimRng::new(loss_seed);
-    tx.send(now, MsgType::Call, 1, payload).unwrap();
+    tx.send(now, MsgType::Call, 1, 0, payload).unwrap();
 
     for _ in 0..10_000 {
         let mut moved = false;
@@ -83,7 +83,7 @@ proptest! {
         please_ack: bool,
     ) {
         let number = 1 + (cn % total as u32) as u8;
-        let s = Segment::data(MsgType::Return, cn, total, number, please_ack, data);
+        let s = Segment::data(MsgType::Return, cn, 0, total, number, please_ack, data);
         prop_assert_eq!(Segment::decode(&s.encode()).unwrap(), s);
     }
 

@@ -32,7 +32,7 @@ pub use cache::{BindingRequest, ImportCache};
 pub use gc::GcAgent;
 pub use reconfigure::JoinAgent;
 
-use circus::{CircusProcess, ModuleAddr, NodeConfig, Troupe, TroupeId};
+use circus::{ModuleAddr, NodeBuilder, NodeConfig, Troupe, TroupeId};
 use simnet::{SockAddr, World};
 
 /// Spawns a Ringmaster troupe of `n` members at the well-known port on
@@ -55,14 +55,16 @@ pub fn spawn_ringmaster(world: &mut World, hosts: &[simnet::HostId], config: Nod
     let id = TroupeId(0x0052_494E_474D_5253); // "RINGMRS"
     let troupe = Troupe::new(id, members.clone());
     for m in &members {
-        let proc = CircusProcess::new(m.addr, config.clone())
-            .with_service(
+        let proc = NodeBuilder::new(m.addr, config.clone())
+            .service(
                 circus::binding::BINDING_MODULE,
                 Box::new(RingmasterService::new(troupe.clone())),
             )
-            .with_troupe_id(id)
-            .with_binder(troupe.clone())
-            .with_directory(id, members.iter().map(|m| m.addr).collect());
+            .troupe_id(id)
+            .binder(troupe.clone())
+            .directory(id, members.iter().map(|m| m.addr).collect())
+            .build()
+            .expect("valid node");
         world.spawn(m.addr, Box::new(proc));
     }
     troupe

@@ -4,8 +4,8 @@
 
 use circus::binding::{binding_procs, BINDING_MODULE};
 use circus::{
-    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig, NodeCtx,
-    Service, ServiceCtx, Step, ThreadId, Troupe, TroupeId,
+    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeBuilder,
+    NodeConfig, NodeCtx, Service, ServiceCtx, Step, ThreadId, Troupe, TroupeId,
 };
 use ringmaster::{
     spawn_ringmaster, GcAgent, ImportCache, JoinAgent, RegisterTroupe, RingmasterService,
@@ -83,9 +83,11 @@ fn register_counter_troupe_from(
         // would collide with the old incarnation's call numbers, which
         // a real UDP port allocator prevents).
         if !w.is_alive(m.addr) {
-            let p = CircusProcess::new(m.addr, NodeConfig::default())
-                .with_service(APP_MODULE, Box::new(Counter { value: 0 }))
-                .with_binder(binder.clone());
+            let p = NodeBuilder::new(m.addr, NodeConfig::default())
+                .service(APP_MODULE, Box::new(Counter { value: 0 }))
+                .binder(binder.clone())
+                .build()
+                .expect("valid node");
             w.spawn(m.addr, Box::new(p));
         }
     }
@@ -120,14 +122,17 @@ fn register_counter_troupe_from(
             }
         }
     }
-    let p = CircusProcess::new(registrar, NodeConfig::default()).with_agent(Box::new(Registrar {
-        binder: binder.clone(),
-        req: RegisterTroupe {
-            name: name.into(),
-            members: members.clone(),
-        },
-        id: None,
-    }));
+    let p = NodeBuilder::new(registrar, NodeConfig::default())
+        .agent(Box::new(Registrar {
+            binder: binder.clone(),
+            req: RegisterTroupe {
+                name: name.into(),
+                members: members.clone(),
+            },
+            id: None,
+        }))
+        .build()
+        .expect("valid node");
     w.spawn(registrar, Box::new(p));
     w.poke(registrar, 0);
     w.run_for(Duration::from_secs(10));
@@ -204,11 +209,14 @@ fn register_and_lookup_by_name() {
         }
     }
     let client = SockAddr::new(HostId(50), 10);
-    let p = CircusProcess::new(client, NodeConfig::default()).with_agent(Box::new(Importer {
-        binder: rm.clone(),
-        found: None,
-        result: None,
-    }));
+    let p = NodeBuilder::new(client, NodeConfig::default())
+        .agent(Box::new(Importer {
+            binder: rm.clone(),
+            found: None,
+            result: None,
+        }))
+        .build()
+        .expect("valid node");
     w.spawn(client, Box::new(p));
     w.poke(client, 0);
     w.run_for(Duration::from_secs(10));
@@ -255,20 +263,25 @@ fn join_agent_transfers_state_and_reincarnates() {
             self.results.push(result);
         }
     }
-    let p = CircusProcess::new(driver, NodeConfig::default()).with_agent(Box::new(Caller {
-        troupe: registered.clone(),
-        results: Vec::new(),
-    }));
+    let p = NodeBuilder::new(driver, NodeConfig::default())
+        .agent(Box::new(Caller {
+            troupe: registered.clone(),
+            results: Vec::new(),
+        }))
+        .build()
+        .expect("valid node");
     w.spawn(driver, Box::new(p));
     w.poke(driver, 0);
     w.run_for(Duration::from_secs(10));
 
     // A new member joins via the JoinAgent (§6.4.1).
     let newbie = SockAddr::new(HostId(6), 70);
-    let p = CircusProcess::new(newbie, NodeConfig::default())
-        .with_service(APP_MODULE, Box::new(Counter { value: 0 }))
-        .with_binder(rm.clone())
-        .with_agent(Box::new(JoinAgent::new(rm.clone(), "counter", APP_MODULE)));
+    let p = NodeBuilder::new(newbie, NodeConfig::default())
+        .service(APP_MODULE, Box::new(Counter { value: 0 }))
+        .binder(rm.clone())
+        .agent(Box::new(JoinAgent::new(rm.clone(), "counter", APP_MODULE)))
+        .build()
+        .expect("valid node");
     w.spawn(newbie, Box::new(p));
     w.poke(newbie, 0);
     w.run_for(Duration::from_secs(20));
@@ -352,14 +365,16 @@ fn gc_removes_crashed_member() {
         })
         .unwrap();
     gc_service.set_state(&registry_state);
-    let p = CircusProcess::new(gc_addr, NodeConfig::default())
-        .with_service(BINDING_MODULE + 1, Box::new(gc_service))
-        .with_binder(rm.clone())
-        .with_agent(Box::new(GcAgent::new(
+    let p = NodeBuilder::new(gc_addr, NodeConfig::default())
+        .service(BINDING_MODULE + 1, Box::new(gc_service))
+        .binder(rm.clone())
+        .agent(Box::new(GcAgent::new(
             rm.clone(),
             BINDING_MODULE + 1,
             Duration::from_secs(5),
-        )));
+        )))
+        .build()
+        .expect("valid node");
     w.spawn(gc_addr, Box::new(p));
 
     // Crash one member.
@@ -440,14 +455,16 @@ fn server_resolves_client_troupe_via_binder() {
         serial: 1,
     };
     for m in &client_members {
-        let p = CircusProcess::new(m.addr, NodeConfig::default())
-            .with_service(APP_MODULE, Box::new(Counter { value: 0 }))
-            .with_binder(rm.clone())
-            .with_agent(Box::new(TroupeClient {
+        let p = NodeBuilder::new(m.addr, NodeConfig::default())
+            .service(APP_MODULE, Box::new(Counter { value: 0 }))
+            .binder(rm.clone())
+            .agent(Box::new(TroupeClient {
                 server: server.clone(),
                 thread: shared_thread,
                 result: None,
-            }));
+            }))
+            .build()
+            .expect("valid node");
         w.spawn(m.addr, Box::new(p));
     }
     // Register the client troupe so the ringmaster can answer
@@ -482,14 +499,17 @@ fn server_resolves_client_troupe_via_binder() {
             }
         }
     }
-    let p = CircusProcess::new(registrar, NodeConfig::default()).with_agent(Box::new(Reg {
-        binder: rm.clone(),
-        req: RegisterTroupe {
-            name: "client".into(),
-            members: client_members.clone(),
-        },
-        id: None,
-    }));
+    let p = NodeBuilder::new(registrar, NodeConfig::default())
+        .agent(Box::new(Reg {
+            binder: rm.clone(),
+            req: RegisterTroupe {
+                name: "client".into(),
+                members: client_members.clone(),
+            },
+            id: None,
+        }))
+        .build()
+        .expect("valid node");
     w.spawn(registrar, Box::new(p));
     w.poke(registrar, 0);
     w.run_for(Duration::from_secs(10));
@@ -604,14 +624,16 @@ fn rebind_after_stale_binding() {
         }
     }
     let client = SockAddr::new(HostId(50), 10);
-    let p =
-        CircusProcess::new(client, NodeConfig::default()).with_agent(Box::new(RebindingClient {
+    let p = NodeBuilder::new(client, NodeConfig::default())
+        .agent(Box::new(RebindingClient {
             binder: rm.clone(),
             cache: ImportCache::new(),
             stale: registered,
             outcome: Vec::new(),
             state: 0,
-        }));
+        }))
+        .build()
+        .expect("valid node");
     w.spawn(client, Box::new(p));
     w.poke(client, 0);
     w.run_for(Duration::from_secs(20));
@@ -667,10 +689,13 @@ fn binding_survives_ringmaster_member_crash() {
         }
     }
     let client = SockAddr::new(HostId(50), 10);
-    let p = CircusProcess::new(client, NodeConfig::default()).with_agent(Box::new(Lookup {
-        binder: rm.clone(),
-        found: None,
-    }));
+    let p = NodeBuilder::new(client, NodeConfig::default())
+        .agent(Box::new(Lookup {
+            binder: rm.clone(),
+            found: None,
+        }))
+        .build()
+        .expect("valid node");
     w.spawn(client, Box::new(p));
     w.poke(client, 0);
     w.run_for(Duration::from_secs(60));
@@ -696,10 +721,12 @@ fn registration_survives_ringmaster_member_crash() {
 
     // A new member joins through the surviving majority.
     let newbie = SockAddr::new(HostId(6), 70);
-    let p = CircusProcess::new(newbie, NodeConfig::default())
-        .with_service(APP_MODULE, Box::new(Counter { value: 0 }))
-        .with_binder(rm.clone())
-        .with_agent(Box::new(JoinAgent::new(rm.clone(), "counter", APP_MODULE)));
+    let p = NodeBuilder::new(newbie, NodeConfig::default())
+        .service(APP_MODULE, Box::new(Counter { value: 0 }))
+        .binder(rm.clone())
+        .agent(Box::new(JoinAgent::new(rm.clone(), "counter", APP_MODULE)))
+        .build()
+        .expect("valid node");
     w.spawn(newbie, Box::new(p));
     w.poke(newbie, 0);
     w.run_for(Duration::from_secs(60));

@@ -53,7 +53,10 @@ pub const ALL_SYSCALLS: [Syscall; 9] = [
 ];
 
 impl Syscall {
-    fn index(self) -> usize {
+    /// Stable index of this syscall in per-syscall arrays (the order of
+    /// [`ALL_SYSCALLS`]); also the index convention of
+    /// [`obs::CpuView`](obs::CpuView) slots.
+    pub fn index(self) -> usize {
         match self {
             Syscall::SendMsg => 0,
             Syscall::RecvMsg => 1,
@@ -150,10 +153,14 @@ impl Default for SyscallCosts {
     }
 }
 
-/// Accumulated CPU usage of one process, split the way `getrusage`
-/// reported it in the paper's experiments: user time and kernel ("system")
-/// time, plus a per-syscall breakdown for the execution profile
-/// (Table 4.3).
+/// Accumulated CPU usage of one handler dispatch, split the way
+/// `getrusage` reported it in the paper's experiments: user time and
+/// kernel ("system") time, plus a per-syscall breakdown.
+///
+/// This is the simulator's *internal* accumulator: the world publishes
+/// each dispatch's delta into the [`obs::Registry`](obs::Registry), and
+/// readers consume [`obs::CpuView`](obs::CpuView) snapshots via
+/// `World::cpu` instead of touching this struct.
 #[derive(Clone, Debug, Default)]
 pub struct CpuAccount {
     user: Duration,

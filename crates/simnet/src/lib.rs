@@ -64,8 +64,9 @@ pub mod time;
 pub mod trace;
 pub mod world;
 
-pub use cpu::{CpuAccount, Syscall, SyscallCosts, ALL_SYSCALLS};
-pub use net::{NetConfig, NetStats, Partition};
+pub use cpu::{Syscall, SyscallCosts, ALL_SYSCALLS};
+pub use net::{NetConfig, Partition};
+pub use obs::{CpuView, NetView, Registry, SpanId};
 pub use process::{HostId, Process, SockAddr, TimerId};
 pub use rng::SimRng;
 pub use time::{Duration, Time};

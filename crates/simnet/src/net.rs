@@ -84,30 +84,6 @@ impl Default for NetConfig {
     }
 }
 
-/// Counters describing what the network did, for assertions and reports.
-#[derive(Clone, Debug, Default)]
-pub struct NetStats {
-    /// Datagrams handed to the network by senders (multicast counts once
-    /// per destination).
-    pub sent: u64,
-    /// Datagrams delivered to a live process.
-    pub delivered: u64,
-    /// Datagrams dropped by the loss model.
-    pub lost: u64,
-    /// Extra deliveries created by the duplication model.
-    pub duplicated: u64,
-    /// Datagrams dropped because source and destination were in different
-    /// partitions.
-    pub partitioned: u64,
-    /// Datagrams dropped because the destination host was down or the
-    /// destination process did not exist.
-    pub undeliverable: u64,
-    /// Datagrams exceeding the MTU, dropped at the sender.
-    pub oversize: u64,
-    /// Multicast send operations performed.
-    pub multicasts: u64,
-}
-
 /// A network partition: hosts can communicate only within their group.
 ///
 /// Hosts not mentioned in any group share one residual group, so a

@@ -89,6 +89,12 @@ pub trait Process: Any {
     fn recv_syscall(&self) -> Option<crate::cpu::Syscall> {
         Some(crate::cpu::Syscall::RecvMsg)
     }
+
+    /// Called when the world refreshes its metrics registry (before a
+    /// dump): publish gauges derived from internal state, e.g. per-peer
+    /// protocol counters. The world already accounts CPU and network
+    /// traffic; most processes need nothing here.
+    fn publish_metrics(&self, _reg: &obs::Registry) {}
 }
 
 #[cfg(test)]

@@ -40,6 +40,8 @@ pub enum TraceEvent {
         to: SockAddr,
         /// Payload length in bytes.
         len: usize,
+        /// Causal span attribution (0 = none).
+        span: u64,
     },
     /// The duplication model scheduled a second copy of a datagram.
     Duplicate {
@@ -49,6 +51,8 @@ pub enum TraceEvent {
         from: SockAddr,
         /// Destination.
         to: SockAddr,
+        /// Causal span attribution (0 = none).
+        span: u64,
     },
     /// A datagram reached a live process.
     Deliver {
@@ -60,6 +64,8 @@ pub enum TraceEvent {
         to: SockAddr,
         /// Payload length in bytes.
         len: usize,
+        /// Causal span attribution (0 = none).
+        span: u64,
     },
     /// A datagram was dropped.
     Drop {
@@ -74,6 +80,8 @@ pub enum TraceEvent {
         len: usize,
         /// What killed it.
         reason: DropReason,
+        /// Causal span attribution (0 = none).
+        span: u64,
     },
     /// A timer came due (it may still be ignored if its owning process
     /// was since replaced).
@@ -132,25 +140,40 @@ impl TraceEvent {
             mix(h, a.port as u64);
         }
         match *self {
-            TraceEvent::Send { at, from, to, len } => {
+            TraceEvent::Send {
+                at,
+                from,
+                to,
+                len,
+                span,
+            } => {
                 mix(h, 1);
                 mix(h, at.as_micros());
                 mix_addr(h, from);
                 mix_addr(h, to);
                 mix(h, len as u64);
+                mix(h, span);
             }
-            TraceEvent::Duplicate { at, from, to } => {
+            TraceEvent::Duplicate { at, from, to, span } => {
                 mix(h, 2);
                 mix(h, at.as_micros());
                 mix_addr(h, from);
                 mix_addr(h, to);
+                mix(h, span);
             }
-            TraceEvent::Deliver { at, from, to, len } => {
+            TraceEvent::Deliver {
+                at,
+                from,
+                to,
+                len,
+                span,
+            } => {
                 mix(h, 3);
                 mix(h, at.as_micros());
                 mix_addr(h, from);
                 mix_addr(h, to);
                 mix(h, len as u64);
+                mix(h, span);
             }
             TraceEvent::Drop {
                 at,
@@ -158,6 +181,7 @@ impl TraceEvent {
                 to,
                 len,
                 reason,
+                span,
             } => {
                 mix(h, 4);
                 mix(h, at.as_micros());
@@ -165,6 +189,7 @@ impl TraceEvent {
                 mix_addr(h, to);
                 mix(h, len as u64);
                 mix(h, reason as u64);
+                mix(h, span);
             }
             TraceEvent::TimerFire { at, owner, id, tag } => {
                 mix(h, 5);
@@ -327,6 +352,7 @@ mod tests {
                 from: addr(1, 2),
                 to: addr(3, 4),
                 len: 9,
+                span: 7,
             },
             TraceEvent::CrashHost {
                 at: Time::from_micros(5),
@@ -350,6 +376,7 @@ mod tests {
             from: addr(1, 2),
             to: addr(3, 4),
             len: 10,
+            span: 0,
         };
         let variants = [
             TraceEvent::Deliver {
@@ -357,24 +384,35 @@ mod tests {
                 from: addr(1, 2),
                 to: addr(3, 4),
                 len: 10,
+                span: 0,
             },
             TraceEvent::Deliver {
                 at: Time::from_micros(1),
                 from: addr(1, 5),
                 to: addr(3, 4),
                 len: 10,
+                span: 0,
             },
             TraceEvent::Deliver {
                 at: Time::from_micros(1),
                 from: addr(1, 2),
                 to: addr(3, 4),
                 len: 11,
+                span: 0,
+            },
+            TraceEvent::Deliver {
+                at: Time::from_micros(1),
+                from: addr(1, 2),
+                to: addr(3, 4),
+                len: 10,
+                span: 3,
             },
             TraceEvent::Send {
                 at: Time::from_micros(1),
                 from: addr(1, 2),
                 to: addr(3, 4),
                 len: 10,
+                span: 0,
             },
         ];
         let mut h0 = TraceHash::new();

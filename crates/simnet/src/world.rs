@@ -12,12 +12,125 @@ use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashSet};
 
-use crate::cpu::{CpuAccount, Syscall, SyscallCosts};
-use crate::net::{NetConfig, NetStats, Partition};
+use obs::{Counter, CpuView, NetView, Registry};
+
+use crate::cpu::{CpuAccount, Syscall, SyscallCosts, ALL_SYSCALLS};
+use crate::net::{NetConfig, Partition};
 use crate::process::{HostId, Process, SockAddr, TimerId};
 use crate::rng::SimRng;
 use crate::time::{Duration, Time};
 use crate::trace::{DropReason, TraceEvent, TraceSink};
+
+/// Pre-resolved handles for the global `net.*` counters, so the hot path
+/// never does a name lookup.
+struct NetCounters {
+    sent: Counter,
+    delivered: Counter,
+    lost: Counter,
+    duplicated: Counter,
+    partitioned: Counter,
+    undeliverable: Counter,
+    oversize: Counter,
+    multicasts: Counter,
+}
+
+impl NetCounters {
+    fn new(reg: &Registry) -> NetCounters {
+        NetCounters {
+            sent: reg.counter("net.sent"),
+            delivered: reg.counter("net.delivered"),
+            lost: reg.counter("net.lost"),
+            duplicated: reg.counter("net.duplicated"),
+            partitioned: reg.counter("net.partitioned"),
+            undeliverable: reg.counter("net.undeliverable"),
+            oversize: reg.counter("net.oversize"),
+            multicasts: reg.counter("net.multicasts"),
+        }
+    }
+
+    fn view(&self) -> NetView {
+        NetView {
+            sent: self.sent.get(),
+            delivered: self.delivered.get(),
+            lost: self.lost.get(),
+            duplicated: self.duplicated.get(),
+            partitioned: self.partitioned.get(),
+            undeliverable: self.undeliverable.get(),
+            oversize: self.oversize.get(),
+            multicasts: self.multicasts.get(),
+        }
+    }
+}
+
+/// Pre-resolved handles for one process's `cpu.<addr>.*` counters.
+struct CpuCounters {
+    user_us: Counter,
+    kernel_us: Counter,
+    total_us: Counter,
+    sys_us: Vec<Counter>,
+    sys_n: Vec<Counter>,
+}
+
+impl CpuCounters {
+    fn new(reg: &Registry, addr: SockAddr) -> CpuCounters {
+        let p = format!("cpu.{addr}");
+        CpuCounters {
+            user_us: reg.counter(&format!("{p}.user_us")),
+            kernel_us: reg.counter(&format!("{p}.kernel_us")),
+            total_us: reg.counter(&format!("{p}.total_us")),
+            sys_us: ALL_SYSCALLS
+                .iter()
+                .map(|s| reg.counter(&format!("{p}.sys.{}.us", s.name())))
+                .collect(),
+            sys_n: ALL_SYSCALLS
+                .iter()
+                .map(|s| reg.counter(&format!("{p}.sys.{}.n", s.name())))
+                .collect(),
+        }
+    }
+
+    /// Publishes one dispatch's CPU delta into the registry.
+    fn publish(&self, delta: &CpuAccount) {
+        let (u, k) = (delta.user().as_micros(), delta.kernel().as_micros());
+        if u != 0 {
+            self.user_us.add(u);
+        }
+        if k != 0 {
+            self.kernel_us.add(k);
+        }
+        if u + k != 0 {
+            self.total_us.add(u + k);
+        }
+        for s in ALL_SYSCALLS {
+            let d = delta.time_in(s).as_micros();
+            if d != 0 {
+                self.sys_us[s.index()].add(d);
+            }
+            let n = delta.count_of(s);
+            if n != 0 {
+                self.sys_n[s.index()].add(n);
+            }
+        }
+    }
+
+    fn reset(&self) {
+        self.user_us.reset();
+        self.kernel_us.reset();
+        self.total_us.reset();
+        for c in self.sys_us.iter().chain(self.sys_n.iter()) {
+            c.reset();
+        }
+    }
+
+    fn view(&self) -> CpuView {
+        CpuView {
+            user_us: self.user_us.get(),
+            kernel_us: self.kernel_us.get(),
+            times_us: self.sys_us.iter().map(Counter::get).collect(),
+            counts: self.sys_n.iter().map(Counter::get).collect(),
+        }
+    }
+}
 
 /// An event waiting in the queue.
 struct QueuedEvent {
@@ -31,6 +144,7 @@ enum EventKind {
         from: SockAddr,
         to: SockAddr,
         data: Vec<u8>,
+        span: u64,
     },
     Timer {
         owner: SockAddr,
@@ -99,7 +213,8 @@ struct Core {
     net: NetConfig,
     costs: SyscallCosts,
     partition: Partition,
-    stats: NetStats,
+    registry: Registry,
+    net_ctr: NetCounters,
     hosts: BTreeMap<HostId, HostState>,
     next_timer: u64,
     cancelled: HashSet<TimerId>,
@@ -141,43 +256,48 @@ impl Core {
     }
 
     /// Schedules the delivery (with loss/duplication/jitter) of one
-    /// datagram departing `from` at time `depart`.
-    fn transmit(&mut self, from: SockAddr, to: SockAddr, data: Vec<u8>, depart: Time) {
-        self.stats.sent += 1;
+    /// datagram departing `from` at time `depart`, attributed to causal
+    /// span `span` (0 = none).
+    fn transmit(&mut self, from: SockAddr, to: SockAddr, data: Vec<u8>, span: u64, depart: Time) {
+        self.net_ctr.sent.inc();
         self.trace(TraceEvent::Send {
             at: depart,
             from,
             to,
             len: data.len(),
+            span,
         });
         if data.len() > self.net.mtu {
-            self.stats.oversize += 1;
+            self.net_ctr.oversize.inc();
             self.trace(TraceEvent::Drop {
                 at: depart,
                 from,
                 to,
                 len: data.len(),
                 reason: DropReason::Oversize,
+                span,
             });
             return;
         }
         if self.rng.chance(self.net.loss) {
-            self.stats.lost += 1;
+            self.net_ctr.lost.inc();
             self.trace(TraceEvent::Drop {
                 at: depart,
                 from,
                 to,
                 len: data.len(),
                 reason: DropReason::Loss,
+                span,
             });
             return;
         }
         let copies = if self.rng.chance(self.net.duplicate) {
-            self.stats.duplicated += 1;
+            self.net_ctr.duplicated.inc();
             self.trace(TraceEvent::Duplicate {
                 at: depart,
                 from,
                 to,
+                span,
             });
             2
         } else {
@@ -192,6 +312,7 @@ impl Core {
                     from,
                     to,
                     data: data.clone(),
+                    span,
                 },
             );
         }
@@ -228,11 +349,19 @@ impl<'a> Ctx<'a> {
         self.send_as(Syscall::SendMsg, to, data);
     }
 
+    /// Sends a datagram attributed to causal span `span` (0 = none),
+    /// charging one `sendmsg`. Trace events for the datagram's journey
+    /// carry the span id.
+    pub fn send_spanned(&mut self, to: SockAddr, data: Vec<u8>, span: u64) {
+        self.charge(Syscall::SendMsg);
+        self.core.transmit(self.me, to, data, span, self.vnow);
+    }
+
     /// Sends a datagram, charging the given syscall (e.g. `write` for the
     /// stream-socket comparison rig).
     pub fn send_as(&mut self, sys: Syscall, to: SockAddr, data: Vec<u8>) {
         self.charge(sys);
-        self.core.transmit(self.me, to, data, self.vnow);
+        self.core.transmit(self.me, to, data, 0, self.vnow);
     }
 
     /// Sends the same datagram to every destination with a *single*
@@ -240,10 +369,15 @@ impl<'a> Ctx<'a> {
     /// multicast implementation requires only m+n messages").
     pub fn multicast(&mut self, tos: &[SockAddr], data: Vec<u8>) {
         self.charge(Syscall::SendMsg);
-        self.core.stats.multicasts += 1;
+        self.core.net_ctr.multicasts.inc();
         for &to in tos {
-            self.core.transmit(self.me, to, data.clone(), self.vnow);
+            self.core.transmit(self.me, to, data.clone(), 0, self.vnow);
         }
+    }
+
+    /// The world's metrics registry (cheap clone of a shared handle).
+    pub fn metrics(&self) -> Registry {
+        self.core.registry.clone()
     }
 
     /// Arms a timer to fire after `delay`; `tag` is returned to
@@ -302,6 +436,8 @@ impl<'a> Ctx<'a> {
 
 impl Core {
     fn new(seed: u64, net: NetConfig, costs: SyscallCosts) -> Core {
+        let registry = Registry::new();
+        let net_ctr = NetCounters::new(&registry);
         Core {
             now: Time::ZERO,
             seq: 0,
@@ -310,7 +446,8 @@ impl Core {
             net,
             costs,
             partition: Partition::none(),
-            stats: NetStats::default(),
+            registry,
+            net_ctr,
             hosts: BTreeMap::new(),
             next_timer: 0,
             cancelled: HashSet::new(),
@@ -323,7 +460,7 @@ impl Core {
 
 struct Slot {
     proc: Option<Box<dyn Process>>,
-    cpu: CpuAccount,
+    cpu: CpuCounters,
     epoch: u64,
 }
 
@@ -387,21 +524,27 @@ impl World {
         self.core.partition = p;
     }
 
-    /// Network statistics so far.
-    pub fn net_stats(&self) -> &NetStats {
-        &self.core.stats
+    /// Snapshot of the network counters (`net.*` registry keys).
+    pub fn net_stats(&self) -> NetView {
+        self.core.net_ctr.view()
     }
 
     /// Spawns a process at `addr`, replacing any existing one. Its
     /// `on_start` runs at the current time.
+    ///
+    /// The CPU account belongs to the process *incarnation*: respawning at
+    /// an address resets that address's `cpu.*` registry counters, just as
+    /// a freshly exec'd process starts with a zero `getrusage`.
     pub fn spawn(&mut self, addr: SockAddr, proc: Box<dyn Process>) {
         let epoch = self.epoch_counter;
         self.epoch_counter += 1;
+        let cpu = CpuCounters::new(&self.core.registry, addr);
+        cpu.reset();
         self.procs.insert(
             addr,
             Slot {
                 proc: Some(proc),
-                cpu: CpuAccount::new(),
+                cpu,
                 epoch,
             },
         );
@@ -464,19 +607,49 @@ impl World {
             .push(self.core.now, EventKind::Poke { at: addr, tag });
     }
 
-    /// The CPU account of the process at `addr` (zeroed account if none).
-    pub fn cpu(&self, addr: SockAddr) -> CpuAccount {
+    /// Snapshot of the CPU account of the process at `addr`, read from
+    /// the registry's `cpu.<addr>.*` counters (zeroed view if none).
+    pub fn cpu(&self, addr: SockAddr) -> CpuView {
         self.procs
             .get(&addr)
-            .map(|s| s.cpu.clone())
+            .map(|s| s.cpu.view())
             .unwrap_or_default()
     }
 
-    /// Resets the CPU account of the process at `addr`.
+    /// Resets the CPU account of the process at `addr` (e.g. after a
+    /// warmup phase, so a measurement covers only the steady state).
     pub fn reset_cpu(&mut self, addr: SockAddr) {
         if let Some(s) = self.procs.get_mut(&addr) {
             s.cpu.reset();
         }
+    }
+
+    /// The world's metrics registry (cheap clone of a shared handle).
+    pub fn metrics(&self) -> Registry {
+        self.core.registry.clone()
+    }
+
+    /// Asks every live process to publish its internal counters into the
+    /// registry (deterministic: processes are visited in address order).
+    pub fn refresh_metrics(&self) {
+        for slot in self.procs.values() {
+            if let Some(p) = slot.proc.as_deref() {
+                p.publish_metrics(&self.core.registry);
+            }
+        }
+    }
+
+    /// Refreshes process metrics, then dumps the registry as JSON. For a
+    /// fixed seed and workload the output is bit-identical across runs.
+    pub fn metrics_json(&self) -> String {
+        self.refresh_metrics();
+        self.core.registry.dump_json()
+    }
+
+    /// Refreshes process metrics, then dumps the registry as sorted text.
+    pub fn metrics_text(&self) -> String {
+        self.refresh_metrics();
+        self.core.registry.dump_text()
     }
 
     /// Runs `f` against the process at `addr` downcast to `P`.
@@ -525,7 +698,12 @@ impl World {
         };
         self.core.now = ev.at;
         match ev.kind {
-            EventKind::Datagram { from, to, data } => self.deliver(from, to, data),
+            EventKind::Datagram {
+                from,
+                to,
+                data,
+                span,
+            } => self.deliver(from, to, data, span),
             EventKind::Timer {
                 owner,
                 id,
@@ -553,36 +731,39 @@ impl World {
         true
     }
 
-    fn deliver(&mut self, from: SockAddr, to: SockAddr, data: Vec<u8>) {
+    fn deliver(&mut self, from: SockAddr, to: SockAddr, data: Vec<u8>, span: u64) {
         let at = self.core.now;
         if !self.core.host_up(to.host) || !self.procs.contains_key(&to) {
-            self.core.stats.undeliverable += 1;
+            self.core.net_ctr.undeliverable.inc();
             self.core.trace(TraceEvent::Drop {
                 at,
                 from,
                 to,
                 len: data.len(),
                 reason: DropReason::Undeliverable,
+                span,
             });
             return;
         }
         if !self.core.partition.connected(from.host, to.host) {
-            self.core.stats.partitioned += 1;
+            self.core.net_ctr.partitioned.inc();
             self.core.trace(TraceEvent::Drop {
                 at,
                 from,
                 to,
                 len: data.len(),
                 reason: DropReason::Partitioned,
+                span,
             });
             return;
         }
-        self.core.stats.delivered += 1;
+        self.core.net_ctr.delivered.inc();
         self.core.trace(TraceEvent::Deliver {
             at,
             from,
             to,
             len: data.len(),
+            span,
         });
         self.dispatch(
             to,
@@ -638,7 +819,7 @@ impl World {
         if let Some(slot) = self.procs.get_mut(&addr) {
             if slot.epoch == slot_epoch {
                 slot.proc = Some(proc);
-                slot.cpu.merge(&delta);
+                slot.cpu.publish(&delta);
             }
         }
         self.apply_pending();

@@ -60,11 +60,11 @@ fn echo_round_trip_costs_match_cost_model() {
     let c = world.cpu(client);
     let s = world.cpu(server);
     // Client: 1 sendmsg + 1 recvmsg; server: 1 recvmsg + 1 sendmsg.
-    assert_eq!(c.count_of(Syscall::SendMsg), 1);
-    assert_eq!(c.count_of(Syscall::RecvMsg), 1);
-    assert_eq!(s.count_of(Syscall::SendMsg), 1);
-    assert_eq!(s.count_of(Syscall::RecvMsg), 1);
-    assert_eq!(c.kernel(), Duration::from_millis_f64(8.1 + 2.8));
+    assert_eq!(c.count_of(Syscall::SendMsg.index()), 1);
+    assert_eq!(c.count_of(Syscall::RecvMsg.index()), 1);
+    assert_eq!(s.count_of(Syscall::SendMsg.index()), 1);
+    assert_eq!(s.count_of(Syscall::RecvMsg.index()), 1);
+    assert_eq!(c.kernel_us, 8_100 + 2_800);
 }
 
 #[test]
@@ -186,7 +186,7 @@ fn multicast_charges_once_delivers_to_all() {
     world.poke(caster, 0);
     world.run_for(Duration::from_secs(1));
 
-    assert_eq!(world.cpu(caster).count_of(Syscall::SendMsg), 1);
+    assert_eq!(world.cpu(caster).count_of(Syscall::SendMsg.index()), 1);
     assert_eq!(world.net_stats().multicasts, 1);
     for &m in &members {
         assert_eq!(world.with_proc(m, |s: &Sink| s.got), Some(1));
@@ -434,6 +434,79 @@ fn oversize_send_counted_and_traced() {
             ..
         }
     )));
+}
+
+#[test]
+fn registry_is_the_single_source_of_cpu_and_net_counters() {
+    let mut world = World::new(7);
+    let server = addr(1, 7);
+    let client = addr(0, 100);
+    world.spawn(server, Box::new(Echo));
+    world.spawn(client, Box::new(Pinger::new(server, 2)));
+    world.poke(client, 0);
+    world.run_for(Duration::from_secs(1));
+
+    let reg = world.metrics();
+    // The NetView and CpuView are snapshots of the same registry keys.
+    assert_eq!(reg.get("net.sent"), world.net_stats().sent);
+    assert_eq!(reg.get("net.delivered"), world.net_stats().delivered);
+    assert_eq!(reg.get("cpu.h0:100.total_us"), world.cpu(client).total_us());
+    assert_eq!(
+        reg.get("cpu.h1:7.sys.sendmsg.n"),
+        world.cpu(server).count_of(Syscall::SendMsg.index())
+    );
+    // Warmup reset clears the registry counters too.
+    world.reset_cpu(client);
+    assert_eq!(reg.get("cpu.h0:100.total_us"), 0);
+}
+
+#[test]
+fn spanned_sends_attribute_trace_events() {
+    struct Spanner {
+        to: SockAddr,
+    }
+    impl Process for Spanner {
+        fn on_poke(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
+            let span = ctx.metrics().span_root("call", ctx.now().as_micros());
+            ctx.send_spanned(self.to, b"hi".to_vec(), span.raw());
+        }
+        fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _from: SockAddr, _data: Vec<u8>) {}
+    }
+    let mut world = World::new(7);
+    let server = addr(1, 7);
+    let client = addr(0, 100);
+    world.set_trace_sink(Box::new(TraceLog::new()));
+    world.spawn(server, Box::new(Echo));
+    world.spawn(client, Box::new(Spanner { to: server }));
+    world.poke(client, 0);
+    world.run_for(Duration::from_secs(1));
+
+    let log = world.trace_sink_as::<TraceLog>().unwrap();
+    assert!(log
+        .events()
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Send { span: 1, .. })));
+    assert!(log
+        .events()
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Deliver { span: 1, .. })));
+    assert_eq!(world.metrics().span_count(), 1);
+}
+
+#[test]
+fn metrics_json_is_seed_deterministic() {
+    fn run(seed: u64) -> String {
+        let mut world = World::with_config(seed, NetConfig::lossy(0.2), SyscallCosts::default());
+        let server = addr(1, 7);
+        let client = addr(0, 100);
+        world.spawn(server, Box::new(Echo));
+        world.spawn(client, Box::new(Pinger::new(server, 20)));
+        world.poke(client, 0);
+        world.run_for(Duration::from_secs(5));
+        world.metrics_json()
+    }
+    assert_eq!(run(42), run(42));
+    assert_ne!(run(42), run(43), "different seeds should diverge");
 }
 
 #[test]

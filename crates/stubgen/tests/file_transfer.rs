@@ -9,8 +9,8 @@ mod file_system {
 }
 
 use circus::{
-    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig, NodeCtx,
-    ServiceCtx, Troupe, TroupeId,
+    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeBuilder,
+    NodeConfig, NodeCtx, ServiceCtx, Troupe, TroupeId,
 };
 use file_system::{client, FileSystemDispatcher, FileSystemError, FileSystemHandler};
 use simnet::{Duration, HostId, SockAddr, World};
@@ -132,9 +132,11 @@ impl Agent for TransferClient {
 
 fn spawn_fs(w: &mut World, host: u32, id: u64) -> Troupe {
     let a = SockAddr::new(HostId(host), 70);
-    let p = CircusProcess::new(a, NodeConfig::default())
-        .with_service(MODULE, Box::new(FileSystemDispatcher(Fs::default())))
-        .with_troupe_id(TroupeId(id));
+    let p = NodeBuilder::new(a, NodeConfig::default())
+        .service(MODULE, Box::new(FileSystemDispatcher(Fs::default())))
+        .troupe_id(TroupeId(id))
+        .build()
+        .expect("valid node");
     w.spawn(a, Box::new(p));
     Troupe::new(TroupeId(id), vec![ModuleAddr::new(a, MODULE)])
 }
@@ -159,8 +161,8 @@ fn third_party_file_transfer_with_two_bindings() {
     .unwrap();
 
     let client_addr = SockAddr::new(HostId(10), 50);
-    let p = CircusProcess::new(client_addr, NodeConfig::default()).with_agent(Box::new(
-        TransferClient {
+    let p = NodeBuilder::new(client_addr, NodeConfig::default())
+        .agent(Box::new(TransferClient {
             source: source.clone(),
             dest: dest.clone(),
             file: "report".into(),
@@ -168,8 +170,9 @@ fn third_party_file_transfer_with_two_bindings() {
             state: 0,
             copied_pages: 0,
             done: false,
-        },
-    ));
+        }))
+        .build()
+        .expect("valid node");
     w.spawn(client_addr, Box::new(p));
     w.poke(client_addr, 0);
     w.run_for(Duration::from_secs(60));
@@ -243,8 +246,10 @@ fn typed_errors_cross_the_wire() {
         }
     }
     let a = SockAddr::new(HostId(10), 50);
-    let p = CircusProcess::new(a, NodeConfig::default())
-        .with_agent(Box::new(ErrClient { fs, outcome: None }));
+    let p = NodeBuilder::new(a, NodeConfig::default())
+        .agent(Box::new(ErrClient { fs, outcome: None }))
+        .build()
+        .expect("valid node");
     w.spawn(a, Box::new(p));
     w.poke(a, 0);
     w.run_for(Duration::from_secs(10));

@@ -9,8 +9,8 @@ mod name_server {
 }
 
 use circus::{
-    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig, NodeCtx,
-    ServiceCtx, Troupe, TroupeId,
+    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeBuilder,
+    NodeConfig, NodeCtx, ServiceCtx, Troupe, TroupeId,
 };
 use name_server::{
     client, NameServerDispatcher, NameServerError, NameServerFailure, NameServerHandler, Property,
@@ -143,12 +143,14 @@ fn generated_stubs_work_against_replicated_server() {
     let mut members = Vec::new();
     for h in 1..=3u32 {
         let a = SockAddr::new(HostId(h), 70);
-        let p = CircusProcess::new(a, NodeConfig::default())
-            .with_service(
+        let p = NodeBuilder::new(a, NodeConfig::default())
+            .service(
                 MODULE,
                 Box::new(NameServerDispatcher(NameServerImpl::default())),
             )
-            .with_troupe_id(id);
+            .troupe_id(id)
+            .build()
+            .expect("valid node");
         w.spawn(a, Box::new(p));
         members.push(ModuleAddr::new(a, MODULE));
     }
@@ -173,15 +175,17 @@ fn generated_stubs_work_against_replicated_server() {
     ];
 
     let client_addr = SockAddr::new(HostId(10), 50);
-    let p =
-        CircusProcess::new(client_addr, NodeConfig::default()).with_agent(Box::new(StubClient {
+    let p = NodeBuilder::new(client_addr, NodeConfig::default())
+        .agent(Box::new(StubClient {
             troupe,
             script,
             next: 0,
             kinds: Vec::new(),
             in_flight: None,
             outcomes: Vec::new(),
-        }));
+        }))
+        .build()
+        .expect("valid node");
     w.spawn(client_addr, Box::new(p));
     w.poke(client_addr, 0);
     w.run_for(Duration::from_secs(30));

@@ -197,6 +197,7 @@ impl<A: OrderedApply> Service for OrderedBroadcastService<A> {
                     },
                 );
                 self.position.insert(a.msg_id, (a.accepted_time, a.msg_id));
+                ctx.metrics.add("bcast.accepted", 1);
                 let result = self.drain(ctx.now.as_micros(), a.msg_id);
                 // The reply carries the application's result once the
                 // message has actually been processed; a message stalled
@@ -335,6 +336,8 @@ mod tests {
             now: simnet::Time::from_micros(now_us),
             me: simnet::SockAddr::new(simnet::HostId(0), 0),
             effects: Vec::new(),
+            span: obs::SpanId::NONE,
+            metrics: obs::Registry::new(),
         }
     }
 

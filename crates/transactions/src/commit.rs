@@ -261,12 +261,16 @@ impl Service for TroupeStoreService {
         let (outcome, unblocked) = match rec.results {
             Some(results) if go => {
                 self.committed.push((rec.thread, rec.nonce));
+                ctx.metrics.add("txn.commits", 1);
                 (TxnOutcome::Committed(results), self.tm.commit(rec.txn))
             }
-            _ => (
-                TxnOutcome::Aborted("transaction aborted".into()),
-                self.tm.abort(rec.txn),
-            ),
+            _ => {
+                ctx.metrics.add("txn.aborts", 1);
+                (
+                    TxnOutcome::Aborted("transaction aborted".into()),
+                    self.tm.abort(rec.txn),
+                )
+            }
         };
         self.wake(ctx, unblocked);
         Step::Reply(to_bytes(&outcome))

@@ -2,7 +2,7 @@
 //! protocol under no conflict, conflict, and deadlock; and the ordered
 //! broadcast protocol's identical-order guarantee.
 
-use circus::{CircusProcess, ModuleAddr, NodeConfig, Troupe, TroupeId};
+use circus::{CircusProcess, ModuleAddr, NodeBuilder, NodeConfig, Troupe, TroupeId};
 use simnet::{Duration, HostId, SockAddr, World};
 use transactions::{
     Broadcaster, CommitVoterService, ObjId, Op, OrderedApply, OrderedBroadcastService,
@@ -36,12 +36,14 @@ fn spawn_store_troupe(w: &mut World, n: usize) -> Troupe {
     let mut members = Vec::new();
     for i in 0..n {
         let a = addr(1 + i as u32, 70);
-        let p = CircusProcess::new(a, config())
-            .with_service(
+        let p = NodeBuilder::new(a, config())
+            .service(
                 STORE_MODULE,
                 Box::new(TroupeStoreService::new(COMMIT_MODULE)),
             )
-            .with_troupe_id(id);
+            .troupe_id(id)
+            .build()
+            .expect("valid node");
         w.spawn(a, Box::new(p));
         members.push(ModuleAddr::new(a, STORE_MODULE));
     }
@@ -50,9 +52,11 @@ fn spawn_store_troupe(w: &mut World, n: usize) -> Troupe {
 
 /// Spawns a transaction client (with its commit-voter module) at `a`.
 fn spawn_txn_client(w: &mut World, a: SockAddr, troupe: Troupe, script: Vec<Vec<Op>>) {
-    let p = CircusProcess::new(a, config())
-        .with_agent(Box::new(TxnClient::new(troupe, STORE_MODULE, script)))
-        .with_service(COMMIT_MODULE, Box::new(CommitVoterService));
+    let p = NodeBuilder::new(a, config())
+        .agent(Box::new(TxnClient::new(troupe, STORE_MODULE, script)))
+        .service(COMMIT_MODULE, Box::new(CommitVoterService))
+        .build()
+        .expect("valid node");
     w.spawn(a, Box::new(p));
 }
 
@@ -246,12 +250,14 @@ fn spawn_broadcast_troupe(w: &mut World, n: usize) -> Troupe {
     let mut members = Vec::new();
     for i in 0..n {
         let a = addr(1 + i as u32, 71);
-        let p = CircusProcess::new(a, NodeConfig::default())
-            .with_service(
+        let p = NodeBuilder::new(a, NodeConfig::default())
+            .service(
                 BCAST_MODULE,
                 Box::new(OrderedBroadcastService::new(LogApp { log: Vec::new() })),
             )
-            .with_troupe_id(id);
+            .troupe_id(id)
+            .build()
+            .expect("valid node");
         w.spawn(a, Box::new(p));
         members.push(ModuleAddr::new(a, BCAST_MODULE));
     }
@@ -277,9 +283,15 @@ fn ordered_broadcast_identical_order_at_all_members() {
     let senders: Vec<SockAddr> = (0..3).map(|i| addr(20 + i, 50)).collect();
     for (i, &s) in senders.iter().enumerate() {
         let msgs: Vec<Vec<u8>> = (0..5u8).map(|k| vec![i as u8, k]).collect();
-        let p = CircusProcess::new(s, NodeConfig::default()).with_agent(Box::new(
-            Broadcaster::new(troupe.clone(), BCAST_MODULE, (i as u64 + 1) * 1000, msgs),
-        ));
+        let p = NodeBuilder::new(s, NodeConfig::default())
+            .agent(Box::new(Broadcaster::new(
+                troupe.clone(),
+                BCAST_MODULE,
+                (i as u64 + 1) * 1000,
+                msgs,
+            )))
+            .build()
+            .expect("valid node");
         w.spawn(s, Box::new(p));
     }
     for &s in &senders {
@@ -318,9 +330,15 @@ fn ordered_broadcast_no_starvation_under_contention() {
     let senders: Vec<SockAddr> = (0..6).map(|i| addr(20 + i, 50)).collect();
     for (i, &s) in senders.iter().enumerate() {
         let msgs: Vec<Vec<u8>> = (0..10u8).map(|k| vec![i as u8, k]).collect();
-        let p = CircusProcess::new(s, NodeConfig::default()).with_agent(Box::new(
-            Broadcaster::new(troupe.clone(), BCAST_MODULE, (i as u64 + 1) * 1000, msgs),
-        ));
+        let p = NodeBuilder::new(s, NodeConfig::default())
+            .agent(Box::new(Broadcaster::new(
+                troupe.clone(),
+                BCAST_MODULE,
+                (i as u64 + 1) * 1000,
+                msgs,
+            )))
+            .build()
+            .expect("valid node");
         w.spawn(s, Box::new(p));
     }
     for &s in &senders {

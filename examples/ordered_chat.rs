@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --example ordered_chat`
 
-use rdp::circus::{CircusProcess, ModuleAddr, NodeConfig, Troupe, TroupeId};
+use rdp::circus::{CircusProcess, ModuleAddr, NodeBuilder, NodeConfig, Troupe, TroupeId};
 use rdp::simnet::{Duration, HostId, SockAddr, World};
 use rdp::transactions::{Broadcaster, OrderedApply, OrderedBroadcastService};
 use rdp::wire::to_bytes;
@@ -37,12 +37,14 @@ fn main() {
     let mut members = Vec::new();
     for h in 1..=3u32 {
         let a = SockAddr::new(HostId(h), 70);
-        let p = CircusProcess::new(a, NodeConfig::default())
-            .with_service(
+        let p = NodeBuilder::new(a, NodeConfig::default())
+            .service(
                 MODULE,
                 Box::new(OrderedBroadcastService::new(ChatRoom { log: Vec::new() })),
             )
-            .with_troupe_id(id);
+            .troupe_id(id)
+            .build()
+            .expect("valid node");
         world.spawn(a, Box::new(p));
         members.push(ModuleAddr::new(a, MODULE));
     }
@@ -56,9 +58,15 @@ fn main() {
         let msgs: Vec<Vec<u8>> = (1..=3)
             .map(|k| format!("<{user}> message {k}").into_bytes())
             .collect();
-        let p = CircusProcess::new(a, NodeConfig::default()).with_agent(Box::new(
-            Broadcaster::new(troupe.clone(), MODULE, (i as u64 + 1) * 1000, msgs),
-        ));
+        let p = NodeBuilder::new(a, NodeConfig::default())
+            .agent(Box::new(Broadcaster::new(
+                troupe.clone(),
+                MODULE,
+                (i as u64 + 1) * 1000,
+                msgs,
+            )))
+            .build()
+            .expect("valid node");
         world.spawn(a, Box::new(p));
         user_addrs.push(a);
     }

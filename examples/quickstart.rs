@@ -10,8 +10,8 @@
 //! Run with: `cargo run --example quickstart`
 
 use rdp::circus::{
-    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig, NodeCtx,
-    Service, ServiceCtx, Step, ThreadId, Troupe, TroupeId,
+    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeBuilder,
+    NodeConfig, NodeCtx, Service, ServiceCtx, Step, ThreadId, Troupe, TroupeId,
 };
 use rdp::simnet::{Duration, HostId, SockAddr, World};
 
@@ -70,20 +70,25 @@ fn main() {
         .map(|h| ModuleAddr::new(SockAddr::new(HostId(h), 70), MODULE))
         .collect();
     for m in &members {
-        let process = CircusProcess::new(m.addr, NodeConfig::default())
-            .with_service(MODULE, Box::new(Echo { calls: 0 }))
-            .with_troupe_id(id);
+        let process = NodeBuilder::new(m.addr, NodeConfig::default())
+            .service(MODULE, Box::new(Echo { calls: 0 }))
+            .troupe_id(id)
+            .build()
+            .expect("valid node");
         world.spawn(m.addr, Box::new(process));
     }
     let troupe = Troupe::new(id, members.clone());
 
     // Spawn the client.
     let client = SockAddr::new(HostId(10), 100);
-    let process = CircusProcess::new(client, NodeConfig::default()).with_agent(Box::new(Client {
-        troupe,
-        thread: None,
-        outcomes: Vec::new(),
-    }));
+    let process = NodeBuilder::new(client, NodeConfig::default())
+        .agent(Box::new(Client {
+            troupe,
+            thread: None,
+            outcomes: Vec::new(),
+        }))
+        .build()
+        .expect("valid node");
     world.spawn(client, Box::new(process));
 
     println!("replicated echo, degree 3 — killing one member per round\n");
@@ -114,4 +119,16 @@ fn main() {
     }
     println!("\nwith every member dead, the total failure is reported, not hung —");
     println!("replication masks partial failures; only total failure is visible (§3.5).");
+
+    // Everything the run did is in the world's metrics registry: CPU per
+    // host, datagram counts, per-node RPC counters, call latency, and
+    // the causal span tree of every replicated call.
+    println!(
+        "\n==> metrics registry after the run\n{}",
+        world.metrics_text()
+    );
+    println!(
+        "==> causal span forest\n{}",
+        world.metrics().span_tree().render()
+    );
 }

@@ -18,8 +18,8 @@
 
 use rdp::circus::binding::{binding_procs, BINDING_MODULE};
 use rdp::circus::{
-    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig, NodeCtx,
-    Service, ServiceCtx, Step, Troupe, TroupeId,
+    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeBuilder,
+    NodeConfig, NodeCtx, Service, ServiceCtx, Step, Troupe, TroupeId,
 };
 use rdp::configlang::{ConfigManager, Machine, Placement, Universe, Value};
 use rdp::ringmaster::{spawn_ringmaster, ImportCache, JoinAgent, RegisterTroupe};
@@ -212,9 +212,11 @@ fn main() {
         if let Placement::Start { machine, .. } = a {
             println!("  start counter member on vax-{machine} (memory >= 8)");
             let addr = SockAddr::new(HostId(*machine), 70);
-            let p = CircusProcess::new(addr, NodeConfig::default())
-                .with_service(APP_MODULE, Box::new(Counter { value: 0 }))
-                .with_binder(rm.clone());
+            let p = NodeBuilder::new(addr, NodeConfig::default())
+                .service(APP_MODULE, Box::new(Counter { value: 0 }))
+                .binder(rm.clone())
+                .build()
+                .expect("valid node");
             world.spawn(addr, Box::new(p));
             members.push(ModuleAddr::new(addr, APP_MODULE));
         }
@@ -222,14 +224,17 @@ fn main() {
 
     // Register the whole troupe with the Ringmaster.
     let registrar = SockAddr::new(HostId(90), 10);
-    let p = CircusProcess::new(registrar, NodeConfig::default()).with_agent(Box::new(Registrar {
-        binder: rm.clone(),
-        req: RegisterTroupe {
-            name: "counter".into(),
-            members: members.clone(),
-        },
-        id: None,
-    }));
+    let p = NodeBuilder::new(registrar, NodeConfig::default())
+        .agent(Box::new(Registrar {
+            binder: rm.clone(),
+            req: RegisterTroupe {
+                name: "counter".into(),
+                members: members.clone(),
+            },
+            id: None,
+        }))
+        .build()
+        .expect("valid node");
     world.spawn(registrar, Box::new(p));
     world.poke(registrar, 0);
     world.run_for(Duration::from_secs(10));
@@ -243,14 +248,16 @@ fn main() {
 
     // The client imports by name and increments three times.
     let client = SockAddr::new(HostId(50), 10);
-    let p =
-        CircusProcess::new(client, NodeConfig::default()).with_agent(Box::new(CountingClient {
+    let p = NodeBuilder::new(client, NodeConfig::default())
+        .agent(Box::new(CountingClient {
             binder: rm.clone(),
             cache: ImportCache::new(),
             troupe: None,
             pending_increment: false,
             log: Vec::new(),
-        }));
+        }))
+        .build()
+        .expect("valid node");
     world.spawn(client, Box::new(p));
     for _ in 0..3 {
         world.poke(client, 0);
@@ -270,10 +277,12 @@ fn main() {
         if let Placement::Start { machine, .. } = a {
             println!("reconfiguration: start replacement on vax-{machine}");
             let addr = SockAddr::new(HostId(*machine), 70);
-            let p = CircusProcess::new(addr, NodeConfig::default())
-                .with_service(APP_MODULE, Box::new(Counter { value: 0 }))
-                .with_binder(rm.clone())
-                .with_agent(Box::new(JoinAgent::new(rm.clone(), "counter", APP_MODULE)));
+            let p = NodeBuilder::new(addr, NodeConfig::default())
+                .service(APP_MODULE, Box::new(Counter { value: 0 }))
+                .binder(rm.clone())
+                .agent(Box::new(JoinAgent::new(rm.clone(), "counter", APP_MODULE)))
+                .build()
+                .expect("valid node");
             world.spawn(addr, Box::new(p));
             world.poke(addr, 0);
         }

@@ -11,7 +11,7 @@
 //!
 //! Run with: `cargo run --example replicated_bank`
 
-use rdp::circus::{CircusProcess, ModuleAddr, NodeConfig, Troupe, TroupeId};
+use rdp::circus::{CircusProcess, ModuleAddr, NodeBuilder, NodeConfig, Troupe, TroupeId};
 use rdp::simnet::{Duration, HostId, SockAddr, World};
 use rdp::transactions::{CommitVoterService, ObjId, Op, TroupeStoreService, TxnClient};
 
@@ -33,12 +33,14 @@ fn main() {
     let mut members = Vec::new();
     for h in 1..=3u32 {
         let a = SockAddr::new(HostId(h), 70);
-        let p = CircusProcess::new(a, config.clone())
-            .with_service(
+        let p = NodeBuilder::new(a, config.clone())
+            .service(
                 STORE_MODULE,
                 Box::new(TroupeStoreService::new(COMMIT_MODULE)),
             )
-            .with_troupe_id(id);
+            .troupe_id(id)
+            .build()
+            .expect("valid node");
         world.spawn(a, Box::new(p));
         members.push(ModuleAddr::new(a, STORE_MODULE));
     }
@@ -46,13 +48,15 @@ fn main() {
 
     // Open the accounts with one setup transaction.
     let setup = SockAddr::new(HostId(10), 50);
-    let p = CircusProcess::new(setup, config.clone())
-        .with_agent(Box::new(TxnClient::new(
+    let p = NodeBuilder::new(setup, config.clone())
+        .agent(Box::new(TxnClient::new(
             troupe.clone(),
             STORE_MODULE,
             vec![vec![Op::Write(ALICE, 1000), Op::Write(BOB, 1000)]],
         )))
-        .with_service(COMMIT_MODULE, Box::new(CommitVoterService));
+        .service(COMMIT_MODULE, Box::new(CommitVoterService))
+        .build()
+        .expect("valid node");
     world.spawn(setup, Box::new(p));
     world.poke(setup, 0);
     world.run_for(Duration::from_secs(10));
@@ -65,13 +69,15 @@ fn main() {
     let t1_script = vec![vec![Op::Add(ALICE, -10), Op::Add(BOB, 10)]; 5];
     let t2_script = vec![vec![Op::Add(BOB, -25), Op::Add(ALICE, 25)]; 5];
     for (addr, script) in [(teller1, t1_script), (teller2, t2_script)] {
-        let p = CircusProcess::new(addr, config.clone())
-            .with_agent(Box::new(TxnClient::new(
+        let p = NodeBuilder::new(addr, config.clone())
+            .agent(Box::new(TxnClient::new(
                 troupe.clone(),
                 STORE_MODULE,
                 script,
             )))
-            .with_service(COMMIT_MODULE, Box::new(CommitVoterService));
+            .service(COMMIT_MODULE, Box::new(CommitVoterService))
+            .build()
+            .expect("valid node");
         world.spawn(addr, Box::new(p));
     }
     world.poke(teller1, 0);

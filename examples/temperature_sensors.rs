@@ -18,8 +18,8 @@ use std::rc::Rc;
 
 use rdp::circus::{
     gather_all_collation, unwrap_reply_vote, Agent, CallError, CallHandle, CircusProcess, Collate,
-    CollationPolicy, Decision, ModuleAddr, NodeConfig, NodeCtx, Service, ServiceCtx, Step,
-    ThreadId, Troupe, TroupeId, VoteSlot,
+    CollationPolicy, Decision, ModuleAddr, NodeBuilder, NodeConfig, NodeCtx, Service, ServiceCtx,
+    Step, ThreadId, Troupe, TroupeId, VoteSlot,
 };
 use rdp::simnet::{Duration, HostId, SockAddr, World};
 use rdp::wire::{from_bytes, to_bytes};
@@ -173,9 +173,11 @@ fn main() {
     // The controller (unreplicated server with an averaging collator).
     let controller_addr = SockAddr::new(HostId(1), 70);
     let controller_id = TroupeId(5);
-    let p = CircusProcess::new(controller_addr, NodeConfig::default())
-        .with_service(MODULE, Box::new(Controller { set_point: None }))
-        .with_troupe_id(controller_id);
+    let p = NodeBuilder::new(controller_addr, NodeConfig::default())
+        .service(MODULE, Box::new(Controller { set_point: None }))
+        .troupe_id(controller_id)
+        .build()
+        .expect("valid node");
     world.spawn(controller_addr, Box::new(p));
     let controller = Troupe::new(
         controller_id,
@@ -192,14 +194,16 @@ fn main() {
     let readings = [19, 22, 23];
     let sensor_addrs: Vec<SockAddr> = (0..3).map(|i| SockAddr::new(HostId(10 + i), 50)).collect();
     for (i, &a) in sensor_addrs.iter().enumerate() {
-        let p = CircusProcess::new(a, NodeConfig::default())
-            .with_agent(Box::new(Sensor {
+        let p = NodeBuilder::new(a, NodeConfig::default())
+            .agent(Box::new(Sensor {
                 controller: controller.clone(),
                 reading: readings[i],
                 thread: shared_thread,
                 acked: None,
             }))
-            .with_troupe_id(sensor_id);
+            .troupe_id(sensor_id)
+            .build()
+            .expect("valid node");
         world.spawn(a, Box::new(p));
     }
     // The controller needs the sensor troupe's membership (§4.3.2).
@@ -232,17 +236,22 @@ fn main() {
     let mut thermo_members = Vec::new();
     for (i, temp) in [18i32, 21, 24].iter().enumerate() {
         let a = SockAddr::new(HostId(20 + i as u32), 70);
-        let p = CircusProcess::new(a, NodeConfig::default())
-            .with_service(MODULE, Box::new(Thermometer { reading: *temp }))
-            .with_troupe_id(thermo_id);
+        let p = NodeBuilder::new(a, NodeConfig::default())
+            .service(MODULE, Box::new(Thermometer { reading: *temp }))
+            .troupe_id(thermo_id)
+            .build()
+            .expect("valid node");
         world.spawn(a, Box::new(p));
         thermo_members.push(ModuleAddr::new(a, MODULE));
     }
     let monitor_addr = SockAddr::new(HostId(30), 50);
-    let p = CircusProcess::new(monitor_addr, NodeConfig::default()).with_agent(Box::new(Monitor {
-        thermometers: Troupe::new(thermo_id, thermo_members),
-        readings: Vec::new(),
-    }));
+    let p = NodeBuilder::new(monitor_addr, NodeConfig::default())
+        .agent(Box::new(Monitor {
+            thermometers: Troupe::new(thermo_id, thermo_members),
+            readings: Vec::new(),
+        }))
+        .build()
+        .expect("valid node");
     world.spawn(monitor_addr, Box::new(p));
     world.poke(monitor_addr, 0);
     world.run_for(Duration::from_secs(10));

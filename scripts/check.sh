@@ -17,8 +17,14 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo clippy -p obs (deny warnings)"
+cargo clippy -p obs --all-targets -- -D warnings
+
 echo "==> cargo test --workspace"
 cargo test --workspace -q
+
+echo "==> metrics golden snapshot (fixed seed, fixed bytes)"
+cargo test --test metrics_golden -q
 
 echo "==> chaos sweep (10 seeds, all oracles)"
 cargo test -p chaos --test sweep -- --nocapture

@@ -19,6 +19,7 @@
 //! | [`transactions`] | Ch. 5 | replicated lightweight transactions: troupe commit protocol and ordered broadcast |
 //! | [`stubgen`] | Ch. 7 | the stub compiler: Courier-style IDL → Rust stubs |
 //! | [`configlang`] | §7.5 | the troupe configuration language, solver, and manager |
+//! | [`obs`] | §4.4 | deterministic observability: the metrics registry and causal call spans |
 //! | [`analysis`] | §4.4.2, §5.3.1, §6.4.2 | the paper's probabilistic models |
 //! | [`chaos`] | whole stack | deterministic chaos harness: seeded fault schedules, invariant oracles, event-trace replay |
 //!
@@ -31,6 +32,7 @@ pub use analysis;
 pub use chaos;
 pub use circus;
 pub use configlang;
+pub use obs;
 pub use pairedmsg;
 pub use ringmaster;
 pub use simnet;

@@ -4,8 +4,8 @@
 
 use rdp::circus::binding::{binding_procs, BINDING_MODULE};
 use rdp::circus::{
-    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig, NodeCtx,
-    Troupe, TroupeId,
+    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeBuilder,
+    NodeConfig, NodeCtx, Troupe, TroupeId,
 };
 use rdp::configlang::{extend_troupe, parse, Machine, Universe, Value};
 use rdp::ringmaster::{spawn_ringmaster, JoinAgent, RegisterTroupe};
@@ -81,23 +81,28 @@ fn configured_replicated_transactional_store_survives_crash_and_heals() {
         .map(|&m| ModuleAddr::new(SockAddr::new(HostId(m), 70), STORE_MODULE))
         .collect();
     for m in &members {
-        let p = CircusProcess::new(m.addr, config.clone())
-            .with_service(
+        let p = NodeBuilder::new(m.addr, config.clone())
+            .service(
                 STORE_MODULE,
                 Box::new(TroupeStoreService::new(COMMIT_MODULE)),
             )
-            .with_binder(rm.clone());
+            .binder(rm.clone())
+            .build()
+            .expect("valid node");
         w.spawn(m.addr, Box::new(p));
     }
     let registrar = SockAddr::new(HostId(90), 10);
-    let p = CircusProcess::new(registrar, config.clone()).with_agent(Box::new(Registrar {
-        binder: rm.clone(),
-        req: RegisterTroupe {
-            name: "store".into(),
-            members: members.clone(),
-        },
-        id: None,
-    }));
+    let p = NodeBuilder::new(registrar, config.clone())
+        .agent(Box::new(Registrar {
+            binder: rm.clone(),
+            req: RegisterTroupe {
+                name: "store".into(),
+                members: members.clone(),
+            },
+            id: None,
+        }))
+        .build()
+        .expect("valid node");
     w.spawn(registrar, Box::new(p));
     w.poke(registrar, 0);
     w.run_for(Duration::from_secs(10));
@@ -118,13 +123,15 @@ fn configured_replicated_transactional_store_survives_crash_and_heals() {
         (c1, vec![vec![Op::Add(A, 1), Op::Add(B, 1)]; 4]),
         (c2, vec![vec![Op::Add(B, 1), Op::Add(A, 1)]; 4]),
     ] {
-        let p = CircusProcess::new(addr, config.clone())
-            .with_agent(Box::new(TxnClient::new(
+        let p = NodeBuilder::new(addr, config.clone())
+            .agent(Box::new(TxnClient::new(
                 troupe.clone(),
                 STORE_MODULE,
                 script,
             )))
-            .with_service(COMMIT_MODULE, Box::new(CommitVoterService));
+            .service(COMMIT_MODULE, Box::new(CommitVoterService))
+            .build()
+            .expect("valid node");
         w.spawn(addr, Box::new(p));
     }
     w.poke(c1, 0);
@@ -145,13 +152,15 @@ fn configured_replicated_transactional_store_survives_crash_and_heals() {
     w.crash_host(victim.host);
     let newbie = SockAddr::new(HostId(9), 70);
     assert!(w.is_alive(newbie) || !members.iter().any(|m| m.addr == newbie));
-    let p = CircusProcess::new(newbie, config.clone())
-        .with_service(
+    let p = NodeBuilder::new(newbie, config.clone())
+        .service(
             STORE_MODULE,
             Box::new(TroupeStoreService::new(COMMIT_MODULE)),
         )
-        .with_binder(rm.clone())
-        .with_agent(Box::new(JoinAgent::new(rm.clone(), "store", STORE_MODULE)));
+        .binder(rm.clone())
+        .agent(Box::new(JoinAgent::new(rm.clone(), "store", STORE_MODULE)))
+        .build()
+        .expect("valid node");
     w.spawn(newbie, Box::new(p));
     w.poke(newbie, 0);
     w.run_for(Duration::from_secs(30));
@@ -190,13 +199,15 @@ fn configured_replicated_transactional_store_survives_crash_and_heals() {
         ],
     );
     let c3 = SockAddr::new(HostId(52), 10);
-    let p = CircusProcess::new(c3, config.clone())
-        .with_agent(Box::new(TxnClient::new(
+    let p = NodeBuilder::new(c3, config.clone())
+        .agent(Box::new(TxnClient::new(
             current.clone(),
             STORE_MODULE,
             vec![vec![Op::Add(A, 100)]],
         )))
-        .with_service(COMMIT_MODULE, Box::new(CommitVoterService));
+        .service(COMMIT_MODULE, Box::new(CommitVoterService))
+        .build()
+        .expect("valid node");
     w.spawn(c3, Box::new(p));
     w.poke(c3, 0);
     w.run_for(Duration::from_secs(60));
@@ -222,23 +233,27 @@ fn full_stack_outcome_is_seed_independent() {
             .map(|h| ModuleAddr::new(SockAddr::new(HostId(h), 70), STORE_MODULE))
             .collect();
         for m in &members {
-            let p = CircusProcess::new(m.addr, config.clone())
-                .with_service(
+            let p = NodeBuilder::new(m.addr, config.clone())
+                .service(
                     STORE_MODULE,
                     Box::new(TroupeStoreService::new(COMMIT_MODULE)),
                 )
-                .with_troupe_id(id);
+                .troupe_id(id)
+                .build()
+                .expect("valid node");
             w.spawn(m.addr, Box::new(p));
         }
         let troupe = Troupe::new(id, members.clone());
         let client = SockAddr::new(HostId(10), 10);
-        let p = CircusProcess::new(client, config)
-            .with_agent(Box::new(TxnClient::new(
+        let p = NodeBuilder::new(client, config)
+            .agent(Box::new(TxnClient::new(
                 troupe,
                 STORE_MODULE,
                 vec![vec![Op::Add(ObjId(1), 7)], vec![Op::Add(ObjId(1), 5)]],
             )))
-            .with_service(COMMIT_MODULE, Box::new(CommitVoterService));
+            .service(COMMIT_MODULE, Box::new(CommitVoterService))
+            .build()
+            .expect("valid node");
         w.spawn(client, Box::new(p));
         w.poke(client, 0);
         w.run_for(Duration::from_secs(120));

@@ -3,8 +3,8 @@
 
 use rdp::analysis;
 use rdp::circus::{
-    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeConfig, NodeCtx,
-    Service, ServiceCtx, Step, Troupe, TroupeId,
+    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeBuilder,
+    NodeConfig, NodeCtx, Service, ServiceCtx, Step, Troupe, TroupeId,
 };
 use rdp::simnet::{Duration, HostId, SockAddr, World};
 
@@ -56,9 +56,11 @@ fn spawn_troupe(w: &mut World, n: u32) -> Troupe {
         .map(|h| ModuleAddr::new(SockAddr::new(HostId(h), 70), MODULE))
         .collect();
     for m in &members {
-        let p = CircusProcess::new(m.addr, NodeConfig::default())
-            .with_service(MODULE, Box::new(Echo { executions: 0 }))
-            .with_troupe_id(id);
+        let p = NodeBuilder::new(m.addr, NodeConfig::default())
+            .service(MODULE, Box::new(Echo { executions: 0 }))
+            .troupe_id(id)
+            .build()
+            .expect("valid node");
         w.spawn(m.addr, Box::new(p));
     }
     Troupe::new(id, members)
@@ -75,10 +77,13 @@ fn survives_all_but_one_member() {
         w.crash_host(HostId(h)); // Kill 4 of 5.
     }
     let client = SockAddr::new(HostId(10), 50);
-    let p = CircusProcess::new(client, NodeConfig::default()).with_agent(Box::new(OneShot {
-        troupe,
-        result: None,
-    }));
+    let p = NodeBuilder::new(client, NodeConfig::default())
+        .agent(Box::new(OneShot {
+            troupe,
+            result: None,
+        }))
+        .build()
+        .expect("valid node");
     w.spawn(client, Box::new(p));
     w.poke(client, 0);
     w.run_for(Duration::from_secs(120));
@@ -97,10 +102,13 @@ fn exactly_once_at_all_replicas() {
     let mut w = World::new(2);
     let troupe = spawn_troupe(&mut w, 3);
     let client = SockAddr::new(HostId(10), 50);
-    let p = CircusProcess::new(client, NodeConfig::default()).with_agent(Box::new(OneShot {
-        troupe: troupe.clone(),
-        result: None,
-    }));
+    let p = NodeBuilder::new(client, NodeConfig::default())
+        .agent(Box::new(OneShot {
+            troupe: troupe.clone(),
+            result: None,
+        }))
+        .build()
+        .expect("valid node");
     w.spawn(client, Box::new(p));
     w.poke(client, 0);
     w.run_for(Duration::from_secs(30));
@@ -124,10 +132,13 @@ fn degree_of_replication_is_a_runtime_choice() {
         let mut w = World::new(3 + n as u64);
         let troupe = spawn_troupe(&mut w, n);
         let client = SockAddr::new(HostId(10), 50);
-        let p = CircusProcess::new(client, NodeConfig::default()).with_agent(Box::new(OneShot {
-            troupe,
-            result: None,
-        }));
+        let p = NodeBuilder::new(client, NodeConfig::default())
+            .agent(Box::new(OneShot {
+                troupe,
+                result: None,
+            }))
+            .build()
+            .expect("valid node");
         w.spawn(client, Box::new(p));
         w.poke(client, 0);
         w.run_for(Duration::from_secs(30));
@@ -176,10 +187,13 @@ fn exactly_once_under_loss_and_duplication() {
     let mut w = World::with_config(7, net, rdp::simnet::SyscallCosts::vax_4_2bsd());
     let troupe = spawn_troupe(&mut w, 3);
     let client = SockAddr::new(HostId(10), 50);
-    let p = CircusProcess::new(client, NodeConfig::default()).with_agent(Box::new(OneShot {
-        troupe: troupe.clone(),
-        result: None,
-    }));
+    let p = NodeBuilder::new(client, NodeConfig::default())
+        .agent(Box::new(OneShot {
+            troupe: troupe.clone(),
+            result: None,
+        }))
+        .build()
+        .expect("valid node");
     w.spawn(client, Box::new(p));
     w.poke(client, 0);
     w.run_for(Duration::from_secs(60));
