@@ -9,8 +9,11 @@
 //! audit exactly-once execution against the store members' commit
 //! ledgers.
 //!
-//! [`RemoveAgent`] is the configuration manager's half of crash repair:
-//! one replicated `remove_troupe_member` call (§6.4.2).
+//! [`RemoveAgent`] issues one replicated `remove_troupe_member` call —
+//! the manual configuration-manager eviction of §6.4.2. The scenario no
+//! longer uses it (the Ringmaster's self-healing agent evicts confirmed
+//! deaths itself); it remains for tests that exercise the administrative
+//! path directly.
 
 use circus::binding::BINDING_MODULE;
 use circus::{
@@ -257,8 +260,8 @@ impl Agent for RebindingClient {
 }
 
 /// Removes one member's binding via the replicated binding interface —
-/// the driver's stand-in for the configuration manager noticing a crash
-/// (the GC agent of §6.1 would do the same, on its own clock).
+/// the manual administrative eviction of §6.4.2, kept for tests; the
+/// scenario's crash repair is done in-system by the self-healing agent.
 pub struct RemoveAgent {
     binder: Troupe,
     req: RemoveTroupeMember,

@@ -25,6 +25,12 @@
 //! 5. **Serial-number monotonicity** — no endpoint in the whole world
 //!    ever sent a call number out of order or delivered a call twice
 //!    (§4.2.4), even under duplication and loss bursts.
+//! 6. **No permanent under-replication** — at quiesce the store troupe
+//!    is back at its configured replication degree and every registered
+//!    member is a live process: a troupe "continues to function as long
+//!    as at least one member survives" (§3.5.1), but the self-healing
+//!    pipeline must also have restored full strength, not left the
+//!    system running degraded forever.
 
 use std::collections::{BTreeMap, HashMap};
 
@@ -35,7 +41,7 @@ use simnet::SockAddr;
 use transactions::{ObjId, Op, TroupeStoreService};
 
 use crate::client::RebindingClient;
-use crate::scenario::{Quiesced, STORE_MODULE, STORE_NAME};
+use crate::scenario::{Quiesced, STORE_MODULE, STORE_NAME, STORE_REPLICATION};
 
 /// One invariant violation.
 #[derive(Clone, Debug)]
@@ -342,7 +348,43 @@ fn check_monotonicity(q: &Quiesced, out: &mut Vec<Violation>) {
     }
 }
 
-/// Runs all five oracles and returns every violation found.
+fn check_replication(q: &Quiesced, out: &mut Vec<Violation>) {
+    const ORACLE: &str = "under-replication";
+    if q.store_members.len() != STORE_REPLICATION {
+        out.push(Violation {
+            oracle: ORACLE,
+            detail: format!(
+                "store troupe has {} registered member(s) at quiesce; the configured \
+                 replication degree is {STORE_REPLICATION}",
+                q.store_members.len()
+            ),
+        });
+    }
+    let mut seen: Vec<SockAddr> = Vec::new();
+    for m in &q.store_members {
+        if seen.contains(&m.addr) {
+            out.push(Violation {
+                oracle: ORACLE,
+                detail: format!(
+                    "member {} registered twice — replication degree is nominal only",
+                    m.addr
+                ),
+            });
+        }
+        seen.push(m.addr);
+        // A registry entry naming a dead process is replication on paper
+        // only: the healer evicted-but-never-replaced, or replaced with
+        // a spare that died unnoticed.
+        if q.world.with_proc(m.addr, |_p: &CircusProcess| ()).is_none() {
+            out.push(Violation {
+                oracle: ORACLE,
+                detail: format!("registered member {} is not a live process", m.addr),
+            });
+        }
+    }
+}
+
+/// Runs all six oracles and returns every violation found.
 pub fn check_all(q: &Quiesced) -> Vec<Violation> {
     let members = member_views(q);
     let clients = client_views(q);
@@ -358,5 +400,6 @@ pub fn check_all(q: &Quiesced) -> Vec<Violation> {
     check_atomicity(&members, &clients, &mut out);
     check_stale_bindings(q, &clients, &mut out);
     check_monotonicity(q, &mut out);
+    check_replication(q, &mut out);
     out
 }

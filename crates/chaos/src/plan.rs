@@ -11,12 +11,14 @@
 //!   troupe and the clients stay up, matching §6.3's assumption that the
 //!   binding agent survives by its own replication;
 //! - at most one member is down or isolated at a time, and every crash
-//!   or kill is followed by a repair window (the driver removes the dead
-//!   member and joins a replacement from a spare host, §6.4.1);
+//!   or kill is followed by a recovery window in which the self-healing
+//!   pipeline (suspect report → probe → evict → spare activation,
+//!   §6.4.1) restores full strength;
 //! - partitions and loss bursts are kept shorter than the paired-message
-//!   crash-detection horizon (`max_retransmits ×
-//!   retransmit_interval` ≈ 2.4 s by default), so a *partitioned* member
-//!   is delayed, not declared dead — a partition is not a crash (§4.3.5).
+//!   crash-detection horizon (the exponential backoff schedule sums to
+//!   `Config::crash_horizon()` ≈ 4.5 s by default), so a *partitioned*
+//!   member is delayed, not declared dead — a partition is not a crash
+//!   (§4.3.5).
 
 use simnet::{Duration, SimRng, Time};
 
@@ -50,7 +52,7 @@ pub enum Fault {
         duration: Duration,
     },
     /// Fail-stop crash of the `victim_idx`-th store member's host
-    /// (§3.5.1); the driver repairs by joining a spare.
+    /// (§3.5.1); the self-healing pipeline repairs by activating a spare.
     CrashHost {
         /// Index into the current store membership (mod its length).
         victim_idx: usize,
@@ -61,8 +63,8 @@ pub enum Fault {
         /// Index into the current store membership (mod its length).
         victim_idx: usize,
     },
-    /// Restart the earliest still-down crashed host (it comes back empty;
-    /// the driver may later use it as a spare).
+    /// Restart the earliest still-down crashed host (it comes back
+    /// empty; its member was already replaced by a spare).
     RestartOldest,
 }
 
@@ -84,6 +86,13 @@ pub struct PlanOptions {
     pub end: Time,
     /// Crashes + kills are capped by the number of spare hosts.
     pub max_member_faults: usize,
+    /// When set, *every* fault is a partition with a heal time drawn
+    /// uniformly from this `(min, max)` range, and nothing ever crashes.
+    /// With heal times *above* the crash-detection horizon this is the
+    /// false-positive schedule: members look dead to their peers, get
+    /// reported, and the prober must clear every suspicion — any
+    /// eviction under such a plan is a fail-safety bug.
+    pub partitions_only: Option<(Duration, Duration)>,
 }
 
 impl Default for PlanOptions {
@@ -92,6 +101,7 @@ impl Default for PlanOptions {
             start: Time::from_micros(15_000_000),
             end: Time::from_micros(120_000_000),
             max_member_faults: 2,
+            partitions_only: None,
         }
     }
 }
@@ -124,6 +134,21 @@ impl FaultPlan {
             t += Duration::from_micros(4_000_000 + rng.below(6_000_000));
             if t >= opts.end {
                 break;
+            }
+            if let Some((lo, hi)) = opts.partitions_only {
+                let spread = hi.as_micros().saturating_sub(lo.as_micros());
+                let heal_after = lo + Duration::from_micros(rng.below(spread.max(1)));
+                faults.push(PlannedFault {
+                    at: t,
+                    fault: Fault::Partition {
+                        victim_idx: rng.below(16) as usize,
+                        heal_after,
+                    },
+                });
+                // Leave air for the suspicion to be reported, probed,
+                // and cleared before the next partition lands.
+                t += heal_after + Duration::from_micros(12_000_000);
+                continue;
             }
             let kind = rng.below(10);
             let (fault, recovery) = match kind {
@@ -171,9 +196,12 @@ impl FaultPlan {
                     } else {
                         Fault::KillProc { victim_idx }
                     };
-                    // The driver's repair (remove + join a spare) needs
-                    // clean air; budget a generous window.
-                    (f, Duration::from_micros(20_000_000))
+                    // The self-healing pipeline needs clean air: ~4.5 s
+                    // for an observer to report the death, two probe
+                    // rounds of the same horizon each to confirm it,
+                    // then eviction and spare activation. Budget a
+                    // window comfortably past that MTTR.
+                    (f, Duration::from_micros(30_000_000))
                 }
                 _ => {
                     if crashed_hosts == 0 {
@@ -233,12 +261,39 @@ mod tests {
     }
 
     #[test]
+    fn partitions_only_plans_contain_only_partitions_in_range() {
+        let o = PlanOptions {
+            partitions_only: Some((
+                Duration::from_micros(6_000_000),
+                Duration::from_micros(8_000_000),
+            )),
+            ..PlanOptions::default()
+        };
+        for seed in 0..20 {
+            let p = FaultPlan::generate(seed, &o);
+            assert!(!p.faults.is_empty());
+            assert_eq!(p.member_faults(), 0);
+            for f in &p.faults {
+                let Fault::Partition { heal_after, .. } = f.fault else {
+                    panic!(
+                        "non-partition fault {:?} in a partitions-only plan",
+                        f.fault
+                    );
+                };
+                assert!(heal_after >= Duration::from_micros(6_000_000));
+                assert!(heal_after < Duration::from_micros(8_000_000));
+            }
+        }
+    }
+
+    #[test]
     fn partitions_stay_below_crash_detection_horizon() {
         let o = PlanOptions::default();
         for seed in 0..50 {
             for f in FaultPlan::generate(seed, &o).faults {
                 if let Fault::Partition { heal_after, .. } = f.fault {
-                    // 8 retransmits × 300 ms: stay well under it.
+                    // crash_horizon() ≈ 4.5 s: stay well under it, so a
+                    // partition never even raises a suspicion.
                     assert!(heal_after < Duration::from_micros(2_000_000));
                 }
             }

@@ -1,28 +1,37 @@
 //! The chaos scenario: the full stack under a seeded fault schedule.
 //!
 //! One [`run_scenario`] call builds a world containing every layer of the
-//! system — a three-member Ringmaster troupe, a three-member replicated
-//! transactional store registered with it, and clients that import the
-//! store by name — then drives the [`FaultPlan`] for the seed against it:
-//! partitions, loss/duplication bursts, degraded network configurations,
-//! and member crashes with full remove-and-rejoin repair. When the plan
-//! is exhausted the driver *quiesces* the world (heals the network, lets
-//! every client finish, forces one probe transaction through every
-//! binding cache) and hands the frozen world to the oracles.
+//! system — a three-member Ringmaster troupe (its leader running the
+//! [`SelfHealAgent`]), a three-member replicated transactional store
+//! registered with it, warm spare processes that offer themselves via
+//! `register_spare`, and clients that import the store by name — then
+//! drives the [`FaultPlan`] for the seed against it: partitions,
+//! loss/duplication bursts, degraded network configurations, and member
+//! crashes. Crash repair is *in-system*: nodes that observe the dead
+//! member report it, the healer probe-confirms, evicts, and activates a
+//! spare; the driver merely injects the fault and waits for the registry
+//! to show full strength again. When the plan is exhausted the driver
+//! *quiesces* the world (heals the network, lets the healer drain its
+//! suspect queue, lets every client finish, forces one probe transaction
+//! through every binding cache) and hands the frozen world to the
+//! oracles.
 
 use circus::binding::{binding_procs, BINDING_MODULE, RINGMASTER_PORT};
 use circus::{
     Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeBuilder,
     NodeConfig, NodeCtx, Troupe, TroupeId,
 };
-use ringmaster::{spawn_ringmaster, JoinAgent, RegisterTroupe, RingmasterService};
+use ringmaster::{
+    spawn_ringmaster, RegisterTroupe, RingmasterService, SelfHealAgent, SpareAgent, SpareService,
+    SPARE_CTL_MODULE,
+};
 use simnet::{
     Duration, HostId, NetConfig, Partition, SimRng, SockAddr, SyscallCosts, TraceLog, World,
 };
 use transactions::{CommitVoterService, ObjId, Op, TroupeStoreService};
 use wire::{from_bytes, to_bytes};
 
-use crate::client::{RebindingClient, RemoveAgent};
+use crate::client::RebindingClient;
 use crate::plan::{Fault, FaultPlan, PlanOptions, PlannedFault};
 
 /// Module number of the replicated store service.
@@ -35,6 +44,10 @@ pub const STORE_PORT: u16 = 70;
 pub const CLIENT_PORT: u16 = 10;
 /// The name the store troupe is registered under.
 pub const STORE_NAME: &str = "store";
+/// The replication degree the store is configured with — and, because
+/// the healer replaces every confirmed-dead member from the spare pool,
+/// the degree the troupe must be back at by quiesce.
+pub const STORE_REPLICATION: usize = 3;
 
 /// Scenario knobs beyond the fault plan itself.
 #[derive(Clone, Debug)]
@@ -71,10 +84,12 @@ pub struct Quiesced {
     pub ringmaster_hosts: Vec<HostId>,
     /// `true` if every client finished its whole script (plus probe).
     pub all_clients_finished: bool,
-    /// Crash/kill repairs performed (remove + join a spare).
+    /// Crash/kill repairs completed *by the self-healing agent* (probe,
+    /// evict, spare activation) — the driver performs none itself.
     pub repairs: usize,
-    /// Non-fatal driver anomalies (a failed repair step, a lookup that
-    /// never answered...). The sweep treats these as failures too.
+    /// Non-fatal driver anomalies (a repair the healer never finished, a
+    /// lookup that never answered...). The sweep treats these as failures
+    /// too.
     pub driver_warnings: Vec<String>,
 }
 
@@ -115,24 +130,25 @@ impl Agent for Registrar {
 
 struct Driver {
     w: World,
-    config: NodeConfig,
-    rm: Troupe,
     rm_hosts: Vec<HostId>,
     members: Vec<ModuleAddr>,
-    spares: Vec<HostId>,
+    /// Crashes the driver may still inject — bounded by the number of
+    /// spares spawned into the world, so the healer can always restore
+    /// full strength.
+    spare_budget: usize,
     crashed: Vec<HostId>,
-    clients: Vec<SockAddr>,
     baseline: NetConfig,
-    repairs: usize,
-    admin_port: u16,
     warnings: Vec<String>,
 }
 
 impl Driver {
+    fn healer_addr(&self) -> SockAddr {
+        SockAddr::new(self.rm_hosts[0], RINGMASTER_PORT)
+    }
+
     fn registry_binding(&self) -> Option<Troupe> {
-        let addr = SockAddr::new(self.rm_hosts[0], RINGMASTER_PORT);
         self.w
-            .with_proc(addr, |p: &CircusProcess| {
+            .with_proc(self.healer_addr(), |p: &CircusProcess| {
                 p.node()
                     .service_as::<RingmasterService>(BINDING_MODULE)
                     .and_then(|s| {
@@ -145,113 +161,69 @@ impl Driver {
             .flatten()
     }
 
-    fn pause_clients(&mut self, paused: bool) {
-        for &c in &self.clients.clone() {
-            self.w.with_proc_mut(c, |p: &mut CircusProcess| {
-                if let Some(a) = p.agent_as_mut::<RebindingClient>() {
-                    a.set_paused(paused);
-                }
-            });
-        }
-    }
-
-    fn poke_clients(&mut self) {
-        for &c in &self.clients.clone() {
-            self.w.poke(c, 0);
-        }
-    }
-
-    /// Crash repair (§6.4.1–§6.4.2): pause the workload so the module
-    /// quiesces, wait out the crash-detection horizon, remove the dead
-    /// member's binding, join a replacement from a spare host at a fresh
-    /// address (address reuse would collide with the dead member's
-    /// paired-message call numbers at its peers), then resume.
-    fn repair(&mut self, dead: ModuleAddr) {
-        self.repairs += 1;
-        self.pause_clients(true);
-        // Let in-flight calls drain and the survivors' endpoints declare
-        // the dead member dead (~max_retransmits × retransmit_interval).
-        self.w.run_for(Duration::from_micros(3_000_000));
-
-        let admin = SockAddr::new(HostId(91), self.admin_port);
-        self.admin_port += 1;
-        let p = NodeBuilder::new(admin, self.config.clone())
-            .agent(Box::new(RemoveAgent::new(
-                self.rm.clone(),
-                STORE_NAME,
-                dead,
-            )))
-            .build()
-            .expect("valid node");
-        self.w.spawn(admin, Box::new(p));
-        self.w.poke(admin, 0);
-        let deadline = self.w.now() + Duration::from_micros(30_000_000);
-        let removed = self.w.run_until_pred(deadline, |w| {
-            w.with_proc(admin, |p: &CircusProcess| {
-                p.agent_as::<RemoveAgent>().is_some_and(|a| a.done)
-            })
-            .unwrap_or(false)
-        });
-        if !removed {
-            self.warnings
-                .push(format!("remove of {dead:?} did not complete"));
-        } else if let Some(err) = self
-            .w
-            .with_proc(admin, |p: &CircusProcess| {
-                p.agent_as::<RemoveAgent>().and_then(|a| a.failed.clone())
-            })
-            .flatten()
-        {
-            self.warnings.push(err);
-        }
-
-        let Some(spare) = (!self.spares.is_empty()).then(|| self.spares.remove(0)) else {
-            self.warnings.push("no spare host left for repair".into());
-            self.pause_clients(false);
-            self.poke_clients();
-            return;
-        };
-        let newbie = SockAddr::new(spare, STORE_PORT);
-        let p = NodeBuilder::new(newbie, self.config.clone())
-            .service(
-                STORE_MODULE,
-                Box::new(TroupeStoreService::new(COMMIT_MODULE)),
-            )
-            .binder(self.rm.clone())
-            .agent(Box::new(JoinAgent::new(
-                self.rm.clone(),
-                STORE_NAME,
-                STORE_MODULE,
-            )))
-            .build()
-            .expect("valid node");
-        self.w.spawn(newbie, Box::new(p));
-        self.w.poke(newbie, 0);
-        let deadline = self.w.now() + Duration::from_micros(60_000_000);
-        let joined = self.w.run_until_pred(deadline, |w| {
-            w.with_proc(newbie, |p: &CircusProcess| {
-                p.agent_as::<JoinAgent>().is_some_and(|j| j.finished())
-            })
-            .unwrap_or(false)
-        });
-        if !joined {
-            self.warnings.push(format!("join at {newbie} timed out"));
-        } else if let Some(err) = self
-            .w
-            .with_proc(newbie, |p: &CircusProcess| {
-                p.agent_as::<JoinAgent>().and_then(|j| j.failed.clone())
-            })
-            .flatten()
-        {
-            self.warnings
-                .push(format!("join at {newbie} failed: {err}"));
-        }
-
+    fn refresh_members(&mut self) {
         if let Some(t) = self.registry_binding() {
             self.members = t.members;
         }
-        self.pause_clients(false);
-        self.poke_clients();
+    }
+
+    /// Repairs completed by the in-world [`SelfHealAgent`].
+    fn healed_repairs(&self) -> usize {
+        self.w
+            .with_proc(self.healer_addr(), |p: &CircusProcess| {
+                p.agent_as::<SelfHealAgent>()
+                    .map_or(0, |h| h.repairs as usize)
+            })
+            .unwrap_or(0)
+    }
+
+    /// Waits (in simulated time) for the self-healing pipeline to evict
+    /// `dead` and restore the troupe to `strength` members. The driver
+    /// performs no repair step itself — it only observes the registry.
+    fn await_self_heal(&mut self, dead: ModuleAddr, strength: usize) {
+        let deadline = self.w.now() + Duration::from_micros(60_000_000);
+        let healer = self.healer_addr();
+        let healed = self.w.run_until_pred(deadline, |w| {
+            w.with_proc(healer, |p: &CircusProcess| {
+                p.node()
+                    .service_as::<RingmasterService>(BINDING_MODULE)
+                    .and_then(|s| s.lookup(STORE_NAME))
+                    .is_some_and(|t| {
+                        t.members.len() == strength
+                            && !t.members.iter().any(|m| m.addr == dead.addr)
+                    })
+            })
+            .unwrap_or(false)
+        });
+        if !healed {
+            let post = self
+                .w
+                .with_proc(healer, |p: &CircusProcess| {
+                    let h = p
+                        .agent_as::<SelfHealAgent>()
+                        .map_or_else(|| "no healer".into(), |h| h.debug_state());
+                    let s = p
+                        .node()
+                        .service_as::<RingmasterService>(BINDING_MODULE)
+                        .map_or_else(
+                            || "no service".into(),
+                            |s| {
+                                format!(
+                                    "suspects={} spares={:?} binding={:?}",
+                                    s.suspect_count(),
+                                    s.spare_pools(),
+                                    s.lookup(STORE_NAME)
+                                )
+                            },
+                        );
+                    format!("{h}; {s}")
+                })
+                .unwrap_or_else(|| "healer process gone".into());
+            self.warnings.push(format!(
+                "self-heal after loss of {dead:?} did not complete [{post}]"
+            ));
+        }
+        self.refresh_members();
     }
 
     fn apply(&mut self, pf: &PlannedFault) {
@@ -289,21 +261,27 @@ impl Driver {
                 self.w.set_net(self.baseline.clone());
             }
             Fault::CrashHost { victim_idx } => {
-                if self.spares.is_empty() {
+                if self.spare_budget == 0 {
                     return;
                 }
+                self.spare_budget -= 1;
+                self.refresh_members();
+                let strength = self.members.len();
                 let victim = self.members[victim_idx % self.members.len()];
                 self.crashed.push(victim.addr.host);
                 self.w.crash_host(victim.addr.host);
-                self.repair(victim);
+                self.await_self_heal(victim, strength);
             }
             Fault::KillProc { victim_idx } => {
-                if self.spares.is_empty() {
+                if self.spare_budget == 0 {
                     return;
                 }
+                self.spare_budget -= 1;
+                self.refresh_members();
+                let strength = self.members.len();
                 let victim = self.members[victim_idx % self.members.len()];
                 self.w.kill(victim.addr);
-                self.repair(victim);
+                self.await_self_heal(victim, strength);
             }
             Fault::RestartOldest => {
                 // The host comes back up empty; its old address is never
@@ -359,6 +337,29 @@ pub fn run_scenario(seed: u64, opts: &ScenarioOptions) -> Quiesced {
             .build()
             .expect("valid node");
         w.spawn(m.addr, Box::new(p));
+    }
+
+    // Warm spares: full store processes that register themselves with
+    // the Ringmaster at boot and wait to be activated by the healer. A
+    // spare never reuses a dead member's address — its peers still
+    // remember the dead process's paired-message call numbers.
+    let spare_hosts = vec![HostId(13), HostId(14)];
+    for &h in &spare_hosts {
+        let addr = SockAddr::new(h, STORE_PORT);
+        let p = NodeBuilder::new(addr, config.clone())
+            .service(
+                STORE_MODULE,
+                Box::new(TroupeStoreService::new(COMMIT_MODULE)),
+            )
+            .service(
+                SPARE_CTL_MODULE,
+                Box::new(SpareService::new(rm.clone(), STORE_NAME, STORE_MODULE)),
+            )
+            .agent(Box::new(SpareAgent::new(rm.clone(), STORE_NAME)))
+            .binder(rm.clone())
+            .build()
+            .expect("valid node");
+        w.spawn(addr, Box::new(p));
     }
 
     let mut warnings = Vec::new();
@@ -418,6 +419,9 @@ pub fn run_scenario(seed: u64, opts: &ScenarioOptions) -> Quiesced {
                 script,
             )))
             .service(COMMIT_MODULE, Box::new(CommitVoterService))
+            // Clients observe member deaths first (their calls fail), so
+            // they too report suspects to the binding agent.
+            .binder(rm.clone())
             .build()
             .expect("valid node");
         w.spawn(c, Box::new(p));
@@ -426,16 +430,11 @@ pub fn run_scenario(seed: u64, opts: &ScenarioOptions) -> Quiesced {
 
     let mut d = Driver {
         w,
-        config,
-        rm,
         rm_hosts: rm_hosts.clone(),
         members,
-        spares: vec![HostId(13), HostId(14)],
+        spare_budget: spare_hosts.len(),
         crashed: Vec::new(),
-        clients: client_addrs.clone(),
         baseline: baseline.clone(),
-        repairs: 0,
-        admin_port: CLIENT_PORT,
         warnings,
     };
 
@@ -443,10 +442,28 @@ pub fn run_scenario(seed: u64, opts: &ScenarioOptions) -> Quiesced {
         d.apply(&pf);
     }
 
-    // Quiesce: heal everything, let every client finish its script.
+    // Quiesce: heal everything, let the healer drain its suspect queue
+    // (a partition near the end of the plan can leave suspicions that
+    // must be probed and cleared, not acted on), then let every client
+    // finish its script.
     d.w.set_partition(Partition::none());
     d.w.set_net(baseline);
-    d.pause_clients(false);
+    let healer = d.healer_addr();
+    let deadline = d.w.now() + Duration::from_micros(60_000_000);
+    let drained = d.w.run_until_pred(deadline, |w| {
+        w.with_proc(healer, |p: &CircusProcess| {
+            let no_suspects = p
+                .node()
+                .service_as::<RingmasterService>(BINDING_MODULE)
+                .is_some_and(|s| s.suspect_count() == 0);
+            no_suspects && p.agent_as::<SelfHealAgent>().is_some_and(|h| h.idle())
+        })
+        .unwrap_or(false)
+    });
+    if !drained {
+        d.warnings
+            .push("healer did not drain its suspect queue at quiesce".into());
+    }
     let deadline = d.w.now() + Duration::from_micros(180_000_000);
     let finished =
         d.w.run_until_pred(deadline, |w| Driver::clients_finished(w, &client_addrs));
@@ -479,6 +496,7 @@ pub fn run_scenario(seed: u64, opts: &ScenarioOptions) -> Quiesced {
     let store_members = d
         .registry_binding()
         .map_or(d.members.clone(), |t| t.members);
+    let repairs = d.healed_repairs();
     Quiesced {
         world: d.w,
         seed,
@@ -487,7 +505,7 @@ pub fn run_scenario(seed: u64, opts: &ScenarioOptions) -> Quiesced {
         client_addrs,
         ringmaster_hosts: rm_hosts,
         all_clients_finished: finished && probed,
-        repairs: d.repairs,
+        repairs,
         driver_warnings: d.warnings,
     }
 }

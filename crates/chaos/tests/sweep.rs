@@ -8,7 +8,20 @@
 //! CHAOS_SEED=<seed> cargo test -p chaos --test sweep -- --nocapture
 //! ```
 
-use chaos::{run_seed, sweep_seeds};
+use chaos::{run_seed, run_seed_with, sweep_seeds, PlanOptions, RunReport, ScenarioOptions};
+use simnet::Duration;
+
+/// Reads a counter out of the deterministic metrics dump. A counter that
+/// was never touched is absent from the dump and reads as zero.
+fn counter(r: &RunReport, name: &str) -> u64 {
+    let needle = format!("\"{name}\":");
+    let Some(at) = r.metrics_json.find(&needle) else {
+        return 0;
+    };
+    let rest = &r.metrics_json[at + needle.len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().unwrap_or(0)
+}
 
 #[test]
 fn sweep_seeds_through_all_oracles() {
@@ -57,11 +70,82 @@ fn sweep_seeds_through_all_oracles() {
         assert!(commits > 0, "sweep committed nothing");
         assert!(
             repairs > 0,
-            "sweep never exercised crash repair (remove + join)"
+            "sweep never exercised self-healing crash repair (probe + evict + spare)"
         );
         assert!(
             rebinds > 0,
             "sweep never exercised stale-binding rebind after reconfiguration"
         );
     }
+}
+
+/// Fail-safety under false suspicion: a schedule of partitions *longer*
+/// than the crash-detection horizon makes live members look dead, so
+/// suspicions are reported — but a partition is not a crash, and the
+/// probe round must refute every one. Any eviction here would be the
+/// healer destroying a healthy member.
+#[test]
+fn partitions_without_crashes_never_evict() {
+    let opts = ScenarioOptions {
+        txns_per_client: 40,
+        plan: PlanOptions {
+            partitions_only: Some((
+                Duration::from_micros(6_000_000),
+                Duration::from_micros(8_000_000),
+            )),
+            ..PlanOptions::default()
+        },
+    };
+    let mut suspicions_total = 0u64;
+    for seed in [11u64, 12, 13] {
+        let r = run_seed_with(seed, &opts);
+        assert!(
+            r.passed(),
+            "partition-only seed {seed} failed:\n{}",
+            r.failure_summary()
+        );
+        assert_eq!(
+            counter(&r, "ring.evictions"),
+            0,
+            "seed {seed}: a live, merely partitioned member was evicted"
+        );
+        assert_eq!(r.repairs, 0, "seed {seed}: nothing died, nothing to repair");
+        // Every suspicion the healer took up must have been refuted by a
+        // probe; the drained-queue check inside the quiesce (a driver
+        // warning, failing `passed()` above) covers those still queued.
+        assert_eq!(
+            counter(&r, "ring.suspicions"),
+            counter(&r, "ring.false_suspicions"),
+            "seed {seed}: a suspicion was neither cleared nor (forbidden) acted on"
+        );
+        suspicions_total += counter(&r, "ring.suspicions");
+    }
+    // The schedule must actually tickle the detector, or this test
+    // proves nothing: above-horizon partitions have to raise suspicions.
+    assert!(
+        suspicions_total > 0,
+        "no partition ever raised a suspicion — the false-positive path went unexercised"
+    );
+}
+
+/// The self-heal gate: a fixed seed whose plan kills two store members
+/// must end with the *Ringmaster's own agent* reporting two completed
+/// repairs — probe-confirmed eviction plus spare activation — with the
+/// driver performing none.
+#[test]
+fn self_heal_gate_two_crashes_two_ringmaster_repairs() {
+    let planned = chaos::FaultPlan::generate(2, &PlanOptions::default()).member_faults();
+    assert_eq!(
+        planned, 2,
+        "seed 2's plan no longer schedules exactly two member crashes; pick a new gate seed"
+    );
+    let r = run_seed(2);
+    assert!(r.passed(), "gate seed failed:\n{}", r.failure_summary());
+    assert_eq!(
+        r.repairs, 2,
+        "the self-healing agent did not repair both crashed members"
+    );
+    assert_eq!(counter(&r, "ring.evictions"), 2);
+    assert_eq!(counter(&r, "ring.repairs"), 2);
+    assert_eq!(counter(&r, "spare.activations"), 2);
 }

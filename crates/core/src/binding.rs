@@ -39,6 +39,16 @@ pub mod binding_procs {
     pub const REBIND: u16 = 4;
     /// `remove_troupe_member(troupe_name, troupe_member) -> troupe_id`
     pub const REMOVE_TROUPE_MEMBER: u16 = 5;
+    /// `report_suspect(process)` — a client's call engine observed
+    /// retransmission exhaustion against `process` (§4.2.3) and reports
+    /// the suspected crash to the binding agent instead of only firing
+    /// its local member-dead hook (§3.5.1, §6.4).
+    pub const REPORT_SUSPECT: u16 = 6;
+    /// `register_spare(troupe_name, control_module) -> ()` — offer a warm
+    /// standby process that the binding agent may activate to replace a
+    /// confirmed-dead member of the named troupe (§6.4.2's replacement
+    /// policy, automated).
+    pub const REGISTER_SPARE: u16 = 7;
 }
 
 /// Reserved procedure numbers answered by the runtime for *every*
@@ -54,6 +64,24 @@ pub mod reserved_procs {
     pub const SET_TROUPE_ID: u16 = 0xFF01;
     /// `null()`: the "are you there?" probe (§6.1).
     pub const NULL: u16 = 0xFF02;
+    /// `wedge()`: quiesce the module for a membership change — reject new
+    /// work and drain in-flight invocations, so a consistent state
+    /// transfer can be taken (§6.4.1: "a consistent transfer needs a
+    /// quiescent module").
+    pub const WEDGE: u16 = 0xFF03;
+    /// `unwedge()`: resume normal service after a membership change.
+    pub const UNWEDGE: u16 = 0xFF04;
+}
+
+/// Encodes the argument of `report_suspect` (a process address).
+pub fn encode_report_suspect(addr: simnet::SockAddr) -> Vec<u8> {
+    to_bytes(&(addr.host.0, addr.port))
+}
+
+/// Decodes the argument of `report_suspect`.
+pub fn decode_report_suspect(bytes: &[u8]) -> Result<simnet::SockAddr, WireError> {
+    let (host, port): (u32, u16) = from_bytes(bytes)?;
+    Ok(simnet::SockAddr::new(simnet::HostId(host), port))
 }
 
 /// Encodes the argument of `lookup_troupe_by_id`.
@@ -107,5 +135,16 @@ mod tests {
         assert!(reserved_procs::GET_STATE >= reserved_procs::RESERVED_BASE);
         assert!(reserved_procs::SET_TROUPE_ID >= reserved_procs::RESERVED_BASE);
         assert!(reserved_procs::NULL >= reserved_procs::RESERVED_BASE);
+        assert!(reserved_procs::WEDGE >= reserved_procs::RESERVED_BASE);
+        assert!(reserved_procs::UNWEDGE >= reserved_procs::RESERVED_BASE);
+    }
+
+    #[test]
+    fn report_suspect_round_trips() {
+        let addr = SockAddr::new(HostId(7), 70);
+        assert_eq!(
+            decode_report_suspect(&encode_report_suspect(addr)).unwrap(),
+            addr
+        );
     }
 }

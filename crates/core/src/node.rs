@@ -135,6 +135,12 @@ pub enum AppEvent {
         /// The first-come call whose response set is inconsistent.
         handle: CallHandle,
     },
+    /// A service on this node queued [`NodeEffect::NotifyAgent`]: wake the
+    /// agent half without waiting for a timer.
+    Notify {
+        /// The tag the service attached.
+        tag: u64,
+    },
 }
 
 /// Node configuration.
@@ -193,6 +199,9 @@ enum CallPurpose {
     Nested { key: CallKey },
     /// An internal `lookup_troupe_by_id` to the binding agent (§4.3.2).
     DirLookup { troupe: TroupeId },
+    /// An internal `report_suspect` to the binding agent (§3.5.1, §6.4):
+    /// fire-and-forget; the result is discarded.
+    SuspectReport,
 }
 
 struct OutstandingCall {
@@ -274,7 +283,6 @@ struct Parked {
 struct Conn {
     id: u64,
     endpoint: Endpoint,
-    next_cn: u32,
     armed: Option<Time>,
     /// Generation of the most recent timer armed for this connection;
     /// firings of superseded timers are ignored, so re-arming an earlier
@@ -315,10 +323,49 @@ pub struct Node {
     lookups_in_flight: HashMap<TroupeId, u64>,
     binder: Option<Troupe>,
 
+    /// Peers declared dead by the paired-message layer (§4.2.3), each
+    /// with an expiry. While a marker is live, new calls fail fast on
+    /// that member instead of waiting out the full retransmission
+    /// schedule again, and many-to-one assemblies do not wait for its
+    /// call messages. The expiry re-admits a peer that was wrongly
+    /// suspected across a healed partition; `null` probes always go to
+    /// the wire so the binding agent's confirmation is never short-
+    /// circuited by the prober's own stale marker.
+    dead_peers: HashMap<SockAddr, Time>,
+
+    /// Next outgoing call number per peer. Lives on the node, not the
+    /// connection: a connection dropped after a false crash suspicion
+    /// (healed partition) is recreated fresh, but the peer's surviving
+    /// endpoint still remembers earlier call numbers — restarting at 1
+    /// would make new calls look like replays there, acknowledged (or
+    /// suppressed) without ever being delivered.
+    call_numbers: HashMap<SockAddr, u32>,
+
     events: VecDeque<AppEvent>,
 }
 
 impl Node {
+    /// Debug view of client calls still awaiting collation and server
+    /// assemblies still open — for post-mortem inspection from tests.
+    pub fn debug_stuck(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (h, c) in &self.outstanding {
+            if !c.done {
+                out.push(format!(
+                    "out call #{h} purpose={:?} begun={:?} collation={:?}",
+                    c.purpose, c.begun, c.collation
+                ));
+            }
+        }
+        for (k, p) in &self.pending {
+            out.push(format!(
+                "assembly {k:?} module={} proc={:#06x} state={:?} inv={}",
+                p.module, p.proc, p.state, p.invocation
+            ));
+        }
+        out
+    }
+
     /// Creates a node for the process at `me`.
     pub fn new(me: SockAddr, config: NodeConfig) -> Node {
         Node {
@@ -343,6 +390,8 @@ impl Node {
             parked: HashMap::new(),
             lookups_in_flight: HashMap::new(),
             binder: None,
+            dead_peers: HashMap::new(),
+            call_numbers: HashMap::new(),
             events: VecDeque::new(),
         }
     }
@@ -587,6 +636,7 @@ impl Node {
                 reg.span_child(parent, &format!("nested m{module}.p{proc}"), now_us)
             }
             CallPurpose::DirLookup { .. } => reg.span_root("lookup", now_us),
+            CallPurpose::SuspectReport => reg.span_root("report suspect", now_us),
         };
 
         let call = OutstandingCall {
@@ -609,9 +659,26 @@ impl Node {
         let members = troupe.members.clone();
         for (i, member) in members.iter().enumerate() {
             let now = io.now();
+            // Fail fast on a member under a live dead-peer marker rather
+            // than re-running the whole retransmission schedule (§3.5.1's
+            // degraded-mode calls proceed against the survivors). Probes
+            // are exempt: their entire point is to test the suspect.
+            if proc != reserved_procs::NULL {
+                if let Some(&until) = self.dead_peers.get(&member.addr) {
+                    if now < until {
+                        self.call_mut(handle).collation.mark_dead(i);
+                        continue;
+                    }
+                    self.dead_peers.remove(&member.addr);
+                }
+            }
+            let cn = {
+                let next = self.call_numbers.entry(member.addr).or_insert(1);
+                let cn = *next;
+                *next += 1;
+                cn
+            };
             let conn = self.conn_mut(member.addr);
-            let cn = conn.next_cn;
-            conn.next_cn += 1;
             // The send can only fail for oversize messages, which the
             // stub layer prevents; treat failure as an instantly dead
             // member.
@@ -719,6 +786,10 @@ impl Node {
             }
             CallPurpose::Nested { key } => self.resume_service(io, key, result),
             CallPurpose::DirLookup { troupe } => self.finish_lookup(io, troupe, result),
+            // Fire-and-forget: the binding agent confirms (or clears) the
+            // suspicion on its own; a failed report just means the binder
+            // was unreachable, and the next death report will retry.
+            CallPurpose::SuspectReport => {}
         }
     }
 
@@ -735,6 +806,9 @@ impl Node {
             io.charge(Syscall::SigBlock);
         }
         let now = io.now();
+        // Hearing from a peer at all rehabilitates it: a marker left by a
+        // healed partition must not fail-fast calls to a live member.
+        self.dead_peers.remove(&from);
         let conn = self.conn_mut(from);
         if conn.endpoint.on_datagram(now, bytes).is_err() {
             return; // Garbled segment: treated as lost (§2.2).
@@ -796,8 +870,14 @@ impl Node {
     }
 
     /// Arms an application-level timer; it comes back from
-    /// [`Node::on_timer`] with the given tag.
+    /// [`Node::on_timer`] with the given tag. Tags share the node's timer
+    /// tag space and must fit in its 56 low bits — an oversize tag would
+    /// come back truncated and the application would not recognize it.
     pub fn set_app_timer(&mut self, io: &mut dyn NetIo, delay: Duration, tag: u64) {
+        debug_assert!(
+            tag < (1 << TAG_KIND_SHIFT),
+            "application timer tag {tag:#x} exceeds the 56-bit tag space"
+        );
         io.set_timer(delay, make_tag(TAG_APP, tag));
     }
 
@@ -905,6 +985,35 @@ impl Node {
                 // Keep the id slot but point it nowhere.
                 *slot = SockAddr::new(simnet::HostId(u32::MAX), 0);
             }
+        }
+        // Remember the death for a bounded window: long enough that a
+        // genuinely crashed member cannot make later calls re-suffer the
+        // retransmission schedule, short enough that a member wrongly
+        // suspected across a partition is re-admitted once quiet.
+        let ttl = self.config.pm.crash_horizon().saturating_mul(2);
+        self.dead_peers.insert(addr, io.now() + ttl);
+        // Report the suspected crash to the binding agent (§3.5.1, §6.4)
+        // so repair can start in-system: the agent probes the suspect
+        // itself and only a confirmed death leads to eviction. Binding
+        // agent members skip the report — they observe each other
+        // directly and the healer runs beside them.
+        let reporter = self
+            .binder
+            .clone()
+            .filter(|b| !b.members.iter().any(|m| m.addr == self.me));
+        if let Some(binder) = reporter {
+            let thread = self.threads.fresh();
+            self.begin_call_inner(
+                io,
+                thread,
+                &binder,
+                binding::BINDING_MODULE,
+                binding::binding_procs::REPORT_SUSPECT,
+                binding::encode_report_suspect(addr),
+                CollationPolicy::Majority,
+                CallPurpose::SuspectReport,
+                TroupeId::UNREGISTERED,
+            );
         }
         self.events.push_back(AppEvent::MemberDead { addr });
     }
@@ -1017,6 +1126,25 @@ impl Node {
                 },
             );
             self.pending_by_serial.insert(serial, key);
+            // Client members already under a dead-peer marker will never
+            // send their copy of this call; mark them dead now so a
+            // degraded client troupe does not pay the assembly timeout on
+            // every call (§4.3.2). The sender itself is plainly alive.
+            let now = io.now();
+            let dead_idx: Vec<usize> = members
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| {
+                    **m != from && self.dead_peers.get(m).is_some_and(|&until| now < until)
+                })
+                .map(|(i, _)| i)
+                .collect();
+            if !dead_idx.is_empty() {
+                let p = self.pending.get_mut(&key).expect("just inserted");
+                for i in dead_idx {
+                    p.args.mark_dead(i);
+                }
+            }
             if n > 1 {
                 // Only multi-member assemblies can stall on a silent
                 // member; arm the assembly timeout.
@@ -1118,7 +1246,7 @@ impl Node {
     ) -> Step {
         io.charge_compute(self.config.compute_per_msg); // Internalize args.
         if proc >= reserved_procs::RESERVED_BASE {
-            return self.run_reserved(module, proc, args);
+            return self.run_reserved(ctx, module, proc, args);
         }
         match self.services.get_mut(&module) {
             Some(s) => s.dispatch(ctx, proc, args),
@@ -1128,7 +1256,7 @@ impl Node {
 
     /// The runtime-provided procedures every module answers (§6.2,
     /// §6.4.1).
-    fn run_reserved(&mut self, module: u16, proc: u16, args: &[u8]) -> Step {
+    fn run_reserved(&mut self, ctx: &mut ServiceCtx, module: u16, proc: u16, args: &[u8]) -> Step {
         match proc {
             reserved_procs::NULL => Step::Reply(Vec::new()),
             reserved_procs::GET_STATE => match self.services.get(&module) {
@@ -1141,6 +1269,19 @@ impl Node {
                     Step::Reply(Vec::new())
                 }
                 Err(e) => Step::Error(format!("bad troupe id: {e}")),
+            },
+            reserved_procs::WEDGE => match self.services.get_mut(&module) {
+                // The service may Suspend until in-flight invocations
+                // drain (§6.4.1) and later reply via `StepFor`.
+                Some(s) => s.wedge(ctx),
+                None => Step::Error("no such module".into()),
+            },
+            reserved_procs::UNWEDGE => match self.services.get_mut(&module) {
+                Some(s) => {
+                    s.unwedge();
+                    Step::Reply(Vec::new())
+                }
+                None => Step::Error("no such module".into()),
             },
             _ => Step::Error("unknown reserved procedure".into()),
         }
@@ -1175,8 +1316,15 @@ impl Node {
                     p.state = PendState::AwaitingNested;
                 }
                 // Thread-ID propagation (§3.4.1): the nested call runs on
-                // behalf of the incoming thread.
-                let my_troupe = self.my_troupe;
+                // behalf of the incoming thread. A solo nested call
+                // presents as unregistered, exactly like
+                // `begin_call_solo`, so the server does not wait for the
+                // other members' (never-coming) copies.
+                let client_troupe = if out.solo {
+                    TroupeId::UNREGISTERED
+                } else {
+                    self.my_troupe
+                };
                 self.begin_call_inner(
                     io,
                     ctx.thread,
@@ -1186,7 +1334,7 @@ impl Node {
                     out.args,
                     out.collation,
                     CallPurpose::Nested { key },
-                    my_troupe,
+                    client_troupe,
                 );
             }
         }
@@ -1229,6 +1377,12 @@ impl Node {
                         effects: Vec::new(),
                     };
                     self.apply_step(io, key, ctx, step);
+                }
+                NodeEffect::SetServiceState { module, state } => {
+                    self.set_service_state(module, &state);
+                }
+                NodeEffect::NotifyAgent { tag } => {
+                    self.events.push_back(AppEvent::Notify { tag });
                 }
             }
         }
@@ -1445,12 +1599,30 @@ impl Node {
         if !self.conns.contains_key(&addr) {
             let id = self.conn_addrs.len() as u64;
             self.conn_addrs.push(addr);
+            // Derive a per-connection jitter seed from the endpoint pair
+            // so retransmissions of different connections decorrelate
+            // deterministically under a fixed simulation seed.
+            let mut pm = self.config.pm.clone();
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in self
+                .me
+                .host
+                .0
+                .to_le_bytes()
+                .into_iter()
+                .chain(self.me.port.to_le_bytes())
+                .chain(addr.host.0.to_le_bytes())
+                .chain(addr.port.to_le_bytes())
+            {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            pm.jitter_seed ^= h;
             self.conns.insert(
                 addr,
                 Conn {
                     id,
-                    endpoint: Endpoint::new(self.config.pm.clone()),
-                    next_cn: 1,
+                    endpoint: Endpoint::new(pm),
                     armed: None,
                     arm_gen: 0,
                 },

@@ -116,6 +116,11 @@ pub trait Agent: std::any::Any {
 
     /// An application timer armed with [`NodeCtx::set_app_timer`] fired.
     fn on_app_timer(&mut self, _node: &mut NodeCtx<'_, '_, '_>, _tag: u64) {}
+
+    /// A service on this node queued
+    /// [`NodeEffect::NotifyAgent`](crate::service::NodeEffect::NotifyAgent):
+    /// event-driven hand-off from the server half to the application half.
+    fn on_notify(&mut self, _node: &mut NodeCtx<'_, '_, '_>, _tag: u64) {}
 }
 
 /// Misconfiguration caught by [`NodeBuilder::build`] before the process
@@ -335,6 +340,7 @@ impl CircusProcess {
                 AppEvent::DeterminismViolation { handle } => {
                     agent.on_determinism_violation(&mut nc, handle)
                 }
+                AppEvent::Notify { tag } => agent.on_notify(&mut nc, tag),
             }
         }
     }

@@ -93,6 +93,11 @@ pub struct OutCall {
     pub args: Vec<u8>,
     /// How to collate the replies.
     pub collation: CollationPolicy,
+    /// Present the caller as a plain unregistered client even if this
+    /// member is registered — for administrative calls one member makes
+    /// alone (the nested-call analogue of
+    /// [`Node::begin_call_solo`](crate::node::Node::begin_call_solo)).
+    pub solo: bool,
 }
 
 /// What a service handler wants to happen next.
@@ -138,6 +143,23 @@ pub enum NodeEffect {
         invocation: u64,
         /// What it should do next.
         step: Step,
+    },
+    /// Install transferred state into another exported module of this
+    /// node (the joining member's half of §6.4.1's state transfer, driven
+    /// by a local control service rather than external test code).
+    SetServiceState {
+        /// The module receiving the state.
+        module: u16,
+        /// Its externalized state.
+        state: Vec<u8>,
+    },
+    /// Wake this node's agent with [`Agent::on_notify`]
+    /// (crate::runtime::Agent::on_notify): a service observed something
+    /// the application half should react to *now* (e.g. the binding
+    /// agent's repair loop), without polling timers.
+    NotifyAgent {
+        /// Opaque tag passed through to the agent.
+        tag: u64,
     },
 }
 
@@ -210,6 +232,19 @@ pub trait Service: std::any::Any {
 
     /// Installs transferred state in a new member (§6.4.1).
     fn set_state(&mut self, _state: &[u8]) {}
+
+    /// Handles the reserved `wedge` procedure: quiesce for a membership
+    /// change. A stateful service should reject new work and return
+    /// [`Step::Suspend`] until its in-flight invocations drain, so the
+    /// subsequent `get_state` sees a quiescent module (§6.4.1). The
+    /// default replies immediately — correct for services whose state is
+    /// only mutated within a single invocation.
+    fn wedge(&mut self, _ctx: &mut ServiceCtx) -> Step {
+        Step::Reply(Vec::new())
+    }
+
+    /// Handles the reserved `unwedge` procedure: resume normal service.
+    fn unwedge(&mut self) {}
 }
 
 #[cfg(test)]

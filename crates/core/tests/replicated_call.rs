@@ -390,6 +390,7 @@ impl Service for Forwarder {
             proc: PROC_WHO,
             args: Vec::new(),
             collation: CollationPolicy::Unanimous,
+            solo: false,
         })
     }
 
@@ -537,6 +538,7 @@ impl Service for CallbackServer {
             proc: 0,
             args: b"are you ready?".to_vec(),
             collation: CollationPolicy::Unanimous,
+            solo: false,
         })
     }
 

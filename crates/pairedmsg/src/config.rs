@@ -29,10 +29,27 @@ pub struct Config {
     /// must fit in the network MTU to avoid IP fragmentation (§4.2.4).
     pub max_segment_data: usize,
     /// How long to wait before retransmitting the first unacknowledged
-    /// segment (with *please ack* set).
+    /// segment (with *please ack* set). This is the *base* of the
+    /// exponential backoff schedule; see [`Config::backoff_multiplier`].
     pub retransmit_interval: Duration,
     /// Retransmissions of one message before declaring the peer dead.
     pub max_retransmits: u32,
+    /// Factor applied to the retransmission interval after each
+    /// unacknowledged retransmission (`1` = the fixed schedule of the
+    /// original protocol). An acknowledgment that makes progress resets
+    /// the interval to the base.
+    pub backoff_multiplier: u32,
+    /// Ceiling on the backed-off retransmission interval.
+    pub retransmit_cap: Duration,
+    /// Width of the deterministic jitter window as a fraction of the
+    /// current interval, in parts per thousand (`100` = the interval is
+    /// perturbed by up to ±5%). Jitter is a pure function of
+    /// [`Config::jitter_seed`], the call number, the message type, and
+    /// the retry count — the same run replays bit-identically.
+    pub jitter_permille: u32,
+    /// Seed for the deterministic retransmission jitter; give each
+    /// endpoint a distinct seed to decorrelate retransmit storms.
+    pub jitter_seed: u64,
     /// Interval between crash-detection probes while awaiting a reply
     /// (§4.2.3).
     pub probe_interval: Duration,
@@ -56,7 +73,11 @@ impl Default for Config {
         Config {
             max_segment_data: 1024,
             retransmit_interval: Duration::from_millis(300),
-            max_retransmits: 8,
+            max_retransmits: 4,
+            backoff_multiplier: 2,
+            retransmit_cap: Duration::from_micros(1_200_000),
+            jitter_permille: 100,
+            jitter_seed: 0,
             probe_interval: Duration::from_secs(2),
             max_unanswered_probes: 3,
             replay_ttl: Duration::from_secs(60),
@@ -82,6 +103,24 @@ impl Config {
     pub fn max_message_len(&self) -> usize {
         self.max_segment_data * crate::segment::MAX_SEGMENTS
     }
+
+    /// Worst-case time from first transmission to retransmission
+    /// exhaustion (`PeerDead`), jitter excluded: one backed-off wait
+    /// before each permitted retransmission plus the final wait that ends
+    /// in giving up. With the defaults this is
+    /// 0.3 + 0.6 + 1.2 + 1.2 + 1.2 = 4.5 s.
+    pub fn crash_horizon(&self) -> Duration {
+        let base = self.retransmit_interval.as_micros();
+        let cap = self.retransmit_cap.as_micros().max(base);
+        let mult = self.backoff_multiplier.max(1) as u64;
+        let mut total = 0u64;
+        let mut interval = base;
+        for _ in 0..=self.max_retransmits {
+            total = total.saturating_add(interval);
+            interval = interval.saturating_mul(mult).min(cap);
+        }
+        Duration::from_micros(total)
+    }
 }
 
 #[cfg(test)]
@@ -93,5 +132,23 @@ mod tests {
         let c = Config::default();
         assert_eq!(c.max_message_len(), 1024 * 255);
         assert!(c.retransmit_interval < c.probe_interval);
+        assert!(c.retransmit_interval <= c.retransmit_cap);
+        assert!(c.backoff_multiplier >= 1);
+    }
+
+    #[test]
+    fn default_crash_horizon() {
+        // 0.3 + 0.6 + 1.2 + 1.2 + 1.2 s.
+        assert_eq!(
+            Config::default().crash_horizon(),
+            Duration::from_micros(4_500_000)
+        );
+        // A multiplier of 1 degenerates to the fixed schedule.
+        let fixed = Config {
+            backoff_multiplier: 1,
+            max_retransmits: 8,
+            ..Config::default()
+        };
+        assert_eq!(fixed.crash_horizon(), Duration::from_micros(2_700_000));
     }
 }

@@ -174,6 +174,11 @@ impl Endpoint {
     pub fn abandon_call(&mut self, now: Time, call_number: u32) {
         self.senders.remove(&(MsgType::Call, call_number));
         self.awaiting_reply.remove(&call_number);
+        if self.dead {
+            // Dead endpoints must stay inert: re-arming a probe here could
+            // drive a second give-up cycle for a peer already reported dead.
+            return;
+        }
         if self
             .probe
             .as_ref()
@@ -475,10 +480,16 @@ impl Endpoint {
     }
 
     fn declare_dead(&mut self) {
+        if self.dead {
+            // Idempotent: one PeerDead per endpoint incarnation, even if a
+            // queued retransmission and the probe machinery both give up.
+            return;
+        }
         self.dead = true;
         self.senders.clear();
         self.receivers.clear();
         self.probe = None;
+        self.awaiting_reply.clear();
         self.out.clear();
         self.events.push_back(Event::PeerDead);
     }

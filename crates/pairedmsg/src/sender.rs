@@ -46,6 +46,10 @@ pub struct MsgSender {
     total: u8,
     next_retransmit: Time,
     retransmit_interval: Duration,
+    backoff_multiplier: u32,
+    retransmit_cap: Duration,
+    jitter_permille: u32,
+    jitter_seed: u64,
     retransmit_all: bool,
     retries: u32,
     max_retries: u32,
@@ -107,6 +111,10 @@ impl MsgSender {
             unacked,
             next_retransmit: now + config.retransmit_interval,
             retransmit_interval: config.retransmit_interval,
+            backoff_multiplier: config.backoff_multiplier.max(1),
+            retransmit_cap: config.retransmit_cap.max(config.retransmit_interval),
+            jitter_permille: config.jitter_permille,
+            jitter_seed: config.jitter_seed,
             retransmit_all: config.retransmit_all,
             retries: 0,
             max_retries: config.max_retransmits,
@@ -141,6 +149,48 @@ impl MsgSender {
     /// The message type being sent.
     pub fn msg_type(&self) -> MsgType {
         self.msg_type
+    }
+
+    /// The backed-off retransmission interval for the current retry
+    /// count: `base × multiplier^retries`, capped.
+    fn backed_off_interval(&self) -> Duration {
+        let cap = self.retransmit_cap.as_micros();
+        let mut us = self.retransmit_interval.as_micros();
+        for _ in 0..self.retries {
+            us = us.saturating_mul(self.backoff_multiplier as u64);
+            if us >= cap {
+                us = cap;
+                break;
+            }
+        }
+        Duration::from_micros(us)
+    }
+
+    /// The current interval perturbed by a deterministic jitter: a pure
+    /// function of the seed, the exchange, and the retry count, so the
+    /// same run always produces the same schedule while concurrent
+    /// senders (distinct seeds or call numbers) decorrelate.
+    fn jittered_interval(&self) -> Duration {
+        let interval = self.backed_off_interval().as_micros();
+        if self.jitter_permille == 0 {
+            return Duration::from_micros(interval);
+        }
+        // FNV-1a over (seed, call number, message type, retry count).
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in self
+            .jitter_seed
+            .to_le_bytes()
+            .into_iter()
+            .chain(self.call_number.to_le_bytes())
+            .chain([self.msg_type as u8, self.retries as u8])
+        {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        // Map the hash to ±half the jitter window around the interval.
+        let window = interval * self.jitter_permille as u64 / 1000;
+        let offset = if window == 0 { 0 } else { h % (window + 1) };
+        Duration::from_micros(interval - window / 2 + offset)
     }
 
     /// The call number of the exchange.
@@ -186,8 +236,9 @@ impl MsgSender {
         let before = self.unacked.len();
         self.unacked.retain(|(n, _)| *n > ack_number);
         if self.unacked.len() < before {
+            // Progress resets the backoff to the base interval.
             self.retries = 0;
-            self.next_retransmit = now + self.retransmit_interval;
+            self.next_retransmit = now + self.jittered_interval();
         }
         if self.mode == ProtocolMode::Parc && ack_number >= self.sent_through {
             if let Some((n, d)) = self
@@ -232,7 +283,7 @@ impl MsgSender {
             return SenderTick::GiveUp;
         }
         self.retries += 1;
-        self.next_retransmit = now + self.retransmit_interval;
+        self.next_retransmit = now + self.jittered_interval();
         // Only retransmit segments already sent (matters for PARC mode).
         let sent = self.sent_through;
         let to_send: Vec<&(u8, Vec<u8>)> = if self.retransmit_all {
@@ -266,7 +317,7 @@ impl MsgSender {
     /// an explicit ack reveals a gap (§4.2.4).
     pub fn fast_retransmit(&mut self, now: Time) -> Option<Segment> {
         let (n, d) = self.unacked.first()?;
-        self.next_retransmit = now + self.retransmit_interval;
+        self.next_retransmit = now + self.jittered_interval();
         Some(Segment::data(
             self.msg_type,
             self.call_number,
@@ -400,6 +451,83 @@ mod tests {
     fn tick_before_deadline_is_idle() {
         let mut s = MsgSender::new(Time::ZERO, &config(), MsgType::Call, 1, 0, b"x").unwrap();
         assert_eq!(s.on_tick(Time::ZERO), SenderTick::Idle);
+    }
+
+    /// Drives a sender to GiveUp, returning the successive waits between
+    /// scheduled deadlines.
+    fn drain_schedule(cfg: &Config) -> Vec<u64> {
+        let mut s = MsgSender::new(Time::ZERO, cfg, MsgType::Call, 7, 0, b"x").unwrap();
+        let _ = s.initial_segments();
+        let mut waits = Vec::new();
+        let mut last = Time::ZERO;
+        loop {
+            let due = s.deadline().unwrap();
+            waits.push(due.since(last).as_micros());
+            last = due;
+            match s.on_tick(due) {
+                SenderTick::Retransmit(_) => {}
+                SenderTick::GiveUp => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        waits
+    }
+
+    #[test]
+    fn backoff_doubles_to_cap_then_gives_up() {
+        let cfg = Config {
+            jitter_permille: 0,
+            ..config()
+        };
+        // One wait before each of the 4 retransmissions, one before the
+        // GiveUp tick: base, 2×, 4× (capped), cap, cap.
+        assert_eq!(
+            drain_schedule(&cfg),
+            vec![300_000, 600_000, 1_200_000, 1_200_000, 1_200_000]
+        );
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let cfg = Config {
+            jitter_seed: 42,
+            ..config()
+        };
+        let a = drain_schedule(&cfg);
+        let b = drain_schedule(&cfg);
+        assert_eq!(a, b, "same seed must give the same schedule");
+        let nominal = [300_000u64, 600_000, 1_200_000, 1_200_000, 1_200_000];
+        for (wait, nom) in a.iter().zip(nominal) {
+            let half = nom / 20; // permille 100 ⇒ ±5%.
+            assert!(
+                *wait >= nom - half && *wait <= nom + half,
+                "wait {wait} outside ±5% of {nom}"
+            );
+        }
+        let c = drain_schedule(&Config {
+            jitter_seed: 43,
+            ..config()
+        });
+        assert_ne!(a, c, "different seeds should decorrelate the schedule");
+    }
+
+    #[test]
+    fn progress_resets_backoff_interval() {
+        let cfg = Config {
+            jitter_permille: 0,
+            ..config()
+        };
+        let mut s = MsgSender::new(Time::ZERO, &cfg, MsgType::Call, 1, 0, b"abcdefgh").unwrap();
+        let _ = s.initial_segments();
+        let mut now = s.deadline().unwrap();
+        assert!(matches!(s.on_tick(now), SenderTick::Retransmit(_)));
+        now = s.deadline().unwrap();
+        assert!(matches!(s.on_tick(now), SenderTick::Retransmit(_)));
+        // Two retries deep the interval is 4× base (capped); an ack that
+        // makes progress snaps it back to the base.
+        s.on_ack(now, 1);
+        let due = s.deadline().unwrap();
+        assert_eq!(due.since(now).as_micros(), 300_000);
     }
 
     #[test]

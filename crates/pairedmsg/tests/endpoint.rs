@@ -359,6 +359,80 @@ fn abandon_call_stops_activity() {
 }
 
 #[test]
+fn dead_peer_reported_once_despite_queued_retransmits() {
+    // Two concurrent calls to a peer that has crashed: both senders'
+    // retransmission schedules run out, but only ONE PeerDead may surface
+    // for this peer incarnation — the second give-up (and any abandon of
+    // the still-queued call afterwards) must be swallowed.
+    let (mut client, _server) = pair();
+    let mut now = Time::ZERO;
+    client.send(now, MsgType::Call, 1, 0, b"a").unwrap();
+    client.send(now, MsgType::Call, 2, 0, b"b").unwrap();
+    while client.poll_transmit().is_some() {}
+
+    let mut dead_events = 0;
+    for _ in 0..40 {
+        match client.poll_timer() {
+            Some(t) => {
+                now = t;
+                client.on_timer(now);
+                while client.poll_transmit().is_some() {}
+            }
+            None => break,
+        }
+        while let Some(ev) = client.poll_event() {
+            if ev == Event::PeerDead {
+                dead_events += 1;
+            }
+        }
+    }
+    assert!(client.is_dead());
+    assert_eq!(dead_events, 1, "duplicate PeerDead for one incarnation");
+
+    // Abandoning the other call after the death must not resurrect any
+    // activity (probe re-arm) or emit further events.
+    client.abandon_call(now, 2);
+    assert!(client.poll_timer().is_none());
+    client.on_timer(now + simnet::Duration::from_secs(60));
+    assert!(client.poll_event().is_none());
+    assert!(client.poll_transmit().is_none());
+}
+
+#[test]
+fn abandon_then_giveup_single_peer_dead() {
+    // A call is abandoned while its retransmission is queued; the
+    // remaining call still exhausts its schedule. Exactly one PeerDead.
+    let (mut client, _server) = pair();
+    let mut now = Time::ZERO;
+    client.send(now, MsgType::Call, 1, 0, b"x").unwrap();
+    client.send(now, MsgType::Call, 2, 0, b"y").unwrap();
+    // Let one retransmit round pass so both senders have queued output.
+    now = client.poll_timer().unwrap();
+    client.on_timer(now);
+    client.abandon_call(now, 1);
+    while client.poll_transmit().is_some() {}
+
+    let mut dead_events = 0;
+    for _ in 0..40 {
+        match client.poll_timer() {
+            Some(t) => {
+                now = t;
+                client.on_timer(now);
+                while client.poll_transmit().is_some() {}
+            }
+            None => break,
+        }
+        while let Some(ev) = client.poll_event() {
+            if ev == Event::PeerDead {
+                dead_events += 1;
+            }
+        }
+    }
+    assert_eq!(dead_events, 1);
+    assert!(client.is_dead());
+}
+
+#[test]
 fn oversize_message_rejected_at_send() {
     let (mut client, _server) = pair();
     let huge = vec![0u8; 1024 * 255 + 1];

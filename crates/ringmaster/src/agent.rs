@@ -12,13 +12,19 @@
 
 use std::collections::BTreeMap;
 
-use crate::api::{AddTroupeMember, Rebind, RegisterTroupe, RemoveTroupeMember};
+use crate::api::{AddTroupeMember, Rebind, RegisterSpare, RegisterTroupe, RemoveTroupeMember};
 use circus::binding::{binding_procs, reserved_procs};
 use circus::{
     CallError, CollationPolicy, ModuleAddr, NodeEffect, OutCall, Service, ServiceCtx, Step, Troupe,
     TroupeId, TroupeTarget,
 };
+use simnet::SockAddr;
 use wire::{from_bytes, to_bytes, Externalize, Internalize, Reader, WireError, Writer};
+
+/// The `NotifyAgent` tag pushed when a suspect report or spare
+/// registration arrives: wake the co-located [`SelfHealAgent`]
+/// (crate::heal::SelfHealAgent) without waiting for its fallback timer.
+pub const NOTIFY_HEAL: u64 = 0x4845_414C; // "HEAL"
 
 /// Deterministic troupe-ID allocation.
 ///
@@ -69,6 +75,15 @@ pub struct RingmasterService {
     /// In-flight mutations awaiting their `set_troupe_id` round, keyed by
     /// invocation.
     in_flight: BTreeMap<u64, TroupeId>,
+    /// Warm standbys by troupe name (§6.4.2's replacement policy):
+    /// control-module addresses a confirmed death can be repaired from.
+    /// Replicated state — transferred with the registry.
+    spares: BTreeMap<String, Vec<ModuleAddr>>,
+    /// Reported crash suspects awaiting probe confirmation. Transient
+    /// work-queue state, deliberately excluded from `get_state`: each
+    /// member hears every `report_suspect` itself, and the queue is
+    /// consumed only by the leader's co-located healer.
+    suspects: Vec<SockAddr>,
 }
 
 impl RingmasterService {
@@ -87,7 +102,61 @@ impl RingmasterService {
         RingmasterService {
             registry,
             in_flight: BTreeMap::new(),
+            spares: BTreeMap::new(),
+            suspects: Vec::new(),
         }
+    }
+
+    /// Pops the next unconfirmed crash suspect (the healer's work queue).
+    pub fn take_suspect(&mut self) -> Option<SockAddr> {
+        if self.suspects.is_empty() {
+            None
+        } else {
+            Some(self.suspects.remove(0))
+        }
+    }
+
+    /// Suspects reported but not yet taken up by the healer.
+    pub fn suspect_count(&self) -> usize {
+        self.suspects.len()
+    }
+
+    /// Re-queues a suspect whose handling could not complete (e.g. the
+    /// eviction round found no majority); a later wake retries it.
+    pub fn requeue_suspect(&mut self, addr: SockAddr) {
+        if !self.suspects.contains(&addr) {
+            self.suspects.push(addr);
+        }
+    }
+
+    /// Pops a registered spare for the named troupe, if any.
+    pub fn take_spare(&mut self, name: &str) -> Option<ModuleAddr> {
+        let pool = self.spares.get_mut(name)?;
+        if pool.is_empty() {
+            None
+        } else {
+            Some(pool.remove(0))
+        }
+    }
+
+    /// The spare pools — `(name, spare control modules)` in name order.
+    pub fn spare_pools(&self) -> Vec<(String, Vec<ModuleAddr>)> {
+        self.spares
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Finds the registered troupe a process belongs to (for mapping a
+    /// suspect address onto a member to probe and possibly evict).
+    pub fn troupe_of_member(&self, addr: SockAddr) -> Option<(String, ModuleAddr)> {
+        self.registry.iter().find_map(|(name, e)| {
+            e.troupe
+                .members
+                .iter()
+                .find(|m| m.addr == addr)
+                .map(|m| (name.clone(), *m))
+        })
     }
 
     /// Looks up a troupe by name (for co-located helpers such as the
@@ -166,6 +235,7 @@ impl RingmasterService {
             proc: reserved_procs::SET_TROUPE_ID,
             args: to_bytes(&id),
             collation: CollationPolicy::Unanimous,
+            solo: false,
         })
     }
 }
@@ -183,6 +253,10 @@ impl Service for RingmasterService {
                 let Ok(req) = from_bytes::<AddTroupeMember>(args) else {
                     return Step::Error("bad add_troupe_member arguments".into());
                 };
+                // A spare that joins a troupe stops being a spare.
+                for pool in self.spares.values_mut() {
+                    pool.retain(|m| m.addr != req.member.addr);
+                }
                 let mut members = self
                     .registry
                     .get(&req.name)
@@ -226,6 +300,28 @@ impl Service for RingmasterService {
                 // stale binding, a garbage-collection probe will decide.
                 Step::Reply(to_bytes(&self.lookup(&req.name).cloned()))
             }
+            binding_procs::REPORT_SUSPECT => {
+                let Ok(addr) = circus::binding::decode_report_suspect(args) else {
+                    return Step::Error("bad report_suspect arguments".into());
+                };
+                if !self.suspects.contains(&addr) {
+                    self.suspects.push(addr);
+                }
+                ctx.push_effect(NodeEffect::NotifyAgent { tag: NOTIFY_HEAL });
+                Step::Reply(Vec::new())
+            }
+            binding_procs::REGISTER_SPARE => {
+                let Ok(req) = from_bytes::<RegisterSpare>(args) else {
+                    return Step::Error("bad register_spare arguments".into());
+                };
+                let pool = self.spares.entry(req.name).or_default();
+                if !pool.iter().any(|m| m.addr == req.ctl.addr) {
+                    pool.push(req.ctl);
+                }
+                // A repair may be parked waiting for a spare.
+                ctx.push_effect(NodeEffect::NotifyAgent { tag: NOTIFY_HEAL });
+                Step::Reply(Vec::new())
+            }
             _ => Step::Error(format!("ringmaster: unknown procedure {proc}")),
         }
     }
@@ -248,12 +344,14 @@ impl Service for RingmasterService {
             .iter()
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect();
-        to_bytes(&entries)
+        to_bytes(&(entries, self.spare_pools()))
     }
 
     fn set_state(&mut self, state: &[u8]) {
-        if let Ok(entries) = from_bytes::<Vec<(String, Entry)>>(state) {
+        type State = (Vec<(String, Entry)>, Vec<(String, Vec<ModuleAddr>)>);
+        if let Ok((entries, spares)) = from_bytes::<State>(state) {
             self.registry = entries.into_iter().collect();
+            self.spares = spares.into_iter().collect();
         }
     }
 }

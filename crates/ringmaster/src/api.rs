@@ -115,6 +115,35 @@ impl Internalize for Rebind {
     }
 }
 
+/// `register_spare(troupe_name, control_module) returns ()` — offer a
+/// warm standby for the named troupe. The Ringmaster records the spare's
+/// control module; when a member of that troupe is confirmed dead, the
+/// self-healing agent activates the spare, which wedges the survivors,
+/// copies their state, and joins (§6.4.1–§6.4.2, automated in-system).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RegisterSpare {
+    /// The troupe the spare can replace a member of.
+    pub name: String,
+    /// The spare's activation endpoint (its control module).
+    pub ctl: ModuleAddr,
+}
+
+impl Externalize for RegisterSpare {
+    fn externalize(&self, w: &mut Writer) {
+        w.put_string(&self.name);
+        self.ctl.externalize(w);
+    }
+}
+
+impl Internalize for RegisterSpare {
+    fn internalize(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(RegisterSpare {
+            name: r.get_string()?,
+            ctl: ModuleAddr::internalize(r)?,
+        })
+    }
+}
+
 /// Result of lookup-style procedures: the troupe, or nothing.
 pub type LookupReply = Option<Troupe>;
 
@@ -153,6 +182,15 @@ mod tests {
             member: maddr(3),
         };
         assert_eq!(from_bytes::<RemoveTroupeMember>(&to_bytes(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn register_spare_round_trips() {
+        let m = RegisterSpare {
+            name: "fs".into(),
+            ctl: maddr(13),
+        };
+        assert_eq!(from_bytes::<RegisterSpare>(&to_bytes(&m)).unwrap(), m);
     }
 
     #[test]

@@ -1,0 +1,399 @@
+//! In-system self-healing: probe-confirmed eviction and spare rejoin.
+//!
+//! §3.5.1 leaves crash recovery to "some outside agency"; §6.4 sketches
+//! the reconfiguration steps but drives them by hand. This module closes
+//! the loop *inside* the system: a [`SelfHealAgent`] co-located with one
+//! Ringmaster member consumes the suspect reports that clients' call
+//! engines file via `report_suspect`, confirms each suspicion with a
+//! bounded-retry `null` probe (§6.1's "are you there?"), and only on a
+//! confirmed death evicts the member and activates a registered spare,
+//! which wedges the survivors, copies their state, and joins (§6.4.1).
+//!
+//! The probe round is a deliberate deviation from the dissertation,
+//! which treats retransmission exhaustion at *one* observer as death.
+//! A transient partition makes live members look dead to whoever is on
+//! the wrong side; acting on the report alone would evict healthy
+//! members and churn incarnations. The probe makes eviction fail-safe:
+//! a suspicion the Ringmaster can refute is cleared, never acted on.
+//!
+//! Suspicions normally arrive from peers whose calls to the dead member
+//! exhaust retransmission — detection parasitic on application traffic.
+//! An idle system generates none, so the healer also runs a slow
+//! round-robin *liveness sweep* over the registered members; an
+//! unanswered sweep probe raises an ordinary suspicion and goes through
+//! the same confirmation round as a reported one.
+//!
+//! Only the configured leader member runs a healer — the Ringmaster
+//! troupe's replies are collated, but its members' *agents* are
+//! independent, and three concurrent healers would race each other's
+//! eviction rounds. All `ring.*` metrics are counted here, once, for the
+//! same reason.
+
+use circus::binding::{binding_procs, reserved_procs, BINDING_MODULE};
+use circus::{
+    Agent, CallError, CallHandle, CollationPolicy, ModuleAddr, NodeCtx, Troupe, TroupeId,
+};
+use simnet::{Duration, Time};
+use wire::to_bytes;
+
+use crate::agent::RingmasterService;
+use crate::api::RemoveTroupeMember;
+use crate::spare::PROC_ACTIVATE;
+
+/// Probe attempts before a suspicion is confirmed. Each attempt waits
+/// out the full retransmission schedule (`Config::crash_horizon`), so
+/// two attempts tolerate a partition lasting almost twice the horizon
+/// beyond the report.
+const PROBE_ATTEMPTS: u32 = 2;
+
+/// Hard deadline on one repair step; an operation stuck past this (e.g.
+/// a wedge that never drains) is abandoned so the healer can serve the
+/// next suspicion.
+const OP_TIMEOUT: Duration = Duration::from_micros(30_000_000);
+
+/// Fallback tick: the healer is normally woken by `NotifyAgent`, but a
+/// requeued suspicion or an abandoned operation has no notify edge.
+const TICK: Duration = Duration::from_micros(2_000_000);
+
+// App timer tags must fit in the node's 56-bit tag space.
+const TICK_TAG: u64 = 0x48_4541_4C54_4943; // "HEALTIC"
+
+#[derive(Debug)]
+enum HealState {
+    Idle,
+    /// An unsolicited liveness sweep of one registered member. A sweep
+    /// that goes unanswered raises a *suspicion* — it never evicts
+    /// directly; confirmation still goes through the probe round.
+    Sweeping {
+        member: ModuleAddr,
+    },
+    /// Confirming a suspicion with `null` probes.
+    Probing {
+        name: String,
+        member: ModuleAddr,
+        attempts: u32,
+    },
+    /// Confirmed dead: removing the member's binding.
+    Evicting {
+        name: String,
+        member: ModuleAddr,
+    },
+    /// Driving a spare's activation (wedge + state transfer + join).
+    Activating {
+        name: String,
+    },
+}
+
+/// The Ringmaster-side repair loop (one per troupe, on the leader).
+pub struct SelfHealAgent {
+    binder: Troupe,
+    state: HealState,
+    /// The call the current step is waiting on; stale completions (from
+    /// an abandoned step) are ignored by handle.
+    inflight: Option<CallHandle>,
+    /// When the current suspicion was taken up, for `ring.mttr_us`.
+    started: Time,
+    deadline: Time,
+    /// Troupes evicted below strength while no spare was registered;
+    /// re-checked whenever a spare arrives.
+    pending_rejoins: Vec<String>,
+    /// Round-robin position of the liveness sweep over registered
+    /// members. Suspicions normally arrive from peers whose calls fail,
+    /// but an idle system generates no calls — the sweep is the detection
+    /// path of last resort, so a crash is noticed even with no client
+    /// traffic at all.
+    sweep_cursor: usize,
+    /// Completed repairs: eviction plus successful spare activation.
+    pub repairs: u64,
+}
+
+impl SelfHealAgent {
+    /// Creates the healer for the Ringmaster troupe it is co-located
+    /// with.
+    pub fn new(binder: Troupe) -> SelfHealAgent {
+        SelfHealAgent {
+            binder,
+            state: HealState::Idle,
+            inflight: None,
+            started: Time::ZERO,
+            deadline: Time::ZERO,
+            pending_rejoins: Vec::new(),
+            sweep_cursor: 0,
+            repairs: 0,
+        }
+    }
+
+    /// `true` when no suspicion or repair step is being worked on (the
+    /// service-side suspect queue may still hold untaken reports).
+    pub fn idle(&self) -> bool {
+        matches!(self.state, HealState::Idle) && self.pending_rejoins.is_empty()
+    }
+
+    /// Debug view of the repair loop, for post-mortem inspection.
+    pub fn debug_state(&self) -> String {
+        format!(
+            "state={:?} inflight={:?} pending_rejoins={:?}",
+            self.state, self.inflight, self.pending_rejoins
+        )
+    }
+
+    fn with_service<R>(
+        nc: &mut NodeCtx<'_, '_, '_>,
+        f: impl FnOnce(&mut RingmasterService) -> R,
+    ) -> Option<R> {
+        nc.node
+            .service_as_mut::<RingmasterService>(BINDING_MODULE)
+            .map(f)
+    }
+
+    /// One `null` call to a single member — §6.1's "are you there?".
+    fn null_call(&mut self, nc: &mut NodeCtx<'_, '_, '_>, member: ModuleAddr) {
+        let thread = nc.fresh_thread();
+        let target = Troupe::new(TroupeId::UNREGISTERED, vec![member]);
+        self.inflight = Some(nc.call_solo(
+            thread,
+            &target,
+            member.module,
+            reserved_procs::NULL,
+            Vec::new(),
+            CollationPolicy::FirstCome,
+        ));
+    }
+
+    fn send_probe(&mut self, nc: &mut NodeCtx<'_, '_, '_>, member: ModuleAddr) {
+        nc.metrics().add("ring.probes", 1);
+        self.null_call(nc, member);
+    }
+
+    /// Probes the next registered member in round-robin order. Detection
+    /// is otherwise parasitic on application traffic; the sweep notices a
+    /// crash even when every client is idle.
+    fn start_sweep(&mut self, nc: &mut NodeCtx<'_, '_, '_>) {
+        let targets = Self::with_service(nc, |s| {
+            s.bindings()
+                .into_iter()
+                .filter(|(name, _)| name != "ringmaster")
+                .flat_map(|(_, t)| t.members)
+                .collect::<Vec<_>>()
+        })
+        .unwrap_or_default();
+        if targets.is_empty() {
+            return;
+        }
+        let member = targets[self.sweep_cursor % targets.len()];
+        self.sweep_cursor = self.sweep_cursor.wrapping_add(1);
+        nc.metrics().add("ring.sweeps", 1);
+        self.deadline = nc.now() + OP_TIMEOUT;
+        self.state = HealState::Sweeping { member };
+        self.null_call(nc, member);
+    }
+
+    fn start_eviction(&mut self, nc: &mut NodeCtx<'_, '_, '_>, name: String, member: ModuleAddr) {
+        let thread = nc.fresh_thread();
+        let binder = self.binder.clone();
+        let req = RemoveTroupeMember {
+            name: name.clone(),
+            member,
+        };
+        self.inflight = Some(nc.call_solo(
+            thread,
+            &binder,
+            BINDING_MODULE,
+            binding_procs::REMOVE_TROUPE_MEMBER,
+            to_bytes(&req),
+            CollationPolicy::Majority,
+        ));
+        self.state = HealState::Evicting { name, member };
+    }
+
+    fn start_activation(&mut self, nc: &mut NodeCtx<'_, '_, '_>, name: String, ctl: ModuleAddr) {
+        let thread = nc.fresh_thread();
+        let target = Troupe::new(TroupeId::UNREGISTERED, vec![ctl]);
+        self.inflight = Some(nc.call_solo(
+            thread,
+            &target,
+            ctl.module,
+            PROC_ACTIVATE,
+            to_bytes(&name),
+            CollationPolicy::FirstCome,
+        ));
+        self.deadline = nc.now() + OP_TIMEOUT;
+        self.state = HealState::Activating { name };
+    }
+
+    /// Starts the next piece of work if idle: a parked rejoin for which a
+    /// spare has appeared, else the next queued suspicion.
+    fn kick(&mut self, nc: &mut NodeCtx<'_, '_, '_>) {
+        loop {
+            if !matches!(self.state, HealState::Idle) {
+                return;
+            }
+            // Troupes evicted below strength come first: they are the
+            // availability hole (§6.4.2).
+            let mut i = 0;
+            while i < self.pending_rejoins.len() {
+                let name = self.pending_rejoins[i].clone();
+                let ctl = Self::with_service(nc, |s| s.take_spare(&name)).flatten();
+                if let Some(ctl) = ctl {
+                    self.pending_rejoins.remove(i);
+                    self.started = nc.now();
+                    self.start_activation(nc, name, ctl);
+                    return;
+                }
+                i += 1;
+            }
+            let Some(suspect) = Self::with_service(nc, |s| s.take_suspect()).flatten() else {
+                return;
+            };
+            let Some((name, member)) =
+                Self::with_service(nc, |s| s.troupe_of_member(suspect)).flatten()
+            else {
+                // Not a current member of anything — already evicted, or
+                // a plain client. Nothing to repair.
+                continue;
+            };
+            if name == "ringmaster" {
+                // The Ringmaster does not heal itself: evicting one of
+                // its own members would have the healer mutating the very
+                // quorum its eviction call needs (§6.3's degenerate
+                // binding applies — its membership is configuration).
+                continue;
+            }
+            nc.metrics().add("ring.suspicions", 1);
+            self.started = nc.now();
+            self.deadline = nc.now() + OP_TIMEOUT;
+            self.state = HealState::Probing {
+                name,
+                member,
+                attempts: 0,
+            };
+            self.send_probe(nc, member);
+            return;
+        }
+    }
+}
+
+impl Agent for SelfHealAgent {
+    fn on_start(&mut self, nc: &mut NodeCtx<'_, '_, '_>) {
+        nc.set_app_timer(TICK, TICK_TAG);
+    }
+
+    fn on_notify(&mut self, nc: &mut NodeCtx<'_, '_, '_>, _tag: u64) {
+        self.kick(nc);
+    }
+
+    fn on_app_timer(&mut self, nc: &mut NodeCtx<'_, '_, '_>, tag: u64) {
+        if tag != TICK_TAG {
+            return;
+        }
+        if !matches!(self.state, HealState::Idle) && nc.now() >= self.deadline {
+            // The current step wedged itself (e.g. a survivor whose
+            // drain never completes). Abandon it; the wedge TTL at the
+            // store and the suspect requeue below make this safe.
+            nc.metrics().add("ring.abandoned_steps", 1);
+            if let HealState::Probing { member, .. } | HealState::Evicting { member, .. } =
+                &self.state
+            {
+                let addr = member.addr;
+                Self::with_service(nc, |s| s.requeue_suspect(addr));
+            }
+            self.state = HealState::Idle;
+            self.inflight = None;
+        }
+        self.kick(nc);
+        if matches!(self.state, HealState::Idle) {
+            self.start_sweep(nc);
+        }
+        nc.set_app_timer(TICK, TICK_TAG);
+    }
+
+    fn on_call_done(
+        &mut self,
+        nc: &mut NodeCtx<'_, '_, '_>,
+        handle: CallHandle,
+        result: Result<Vec<u8>, CallError>,
+    ) {
+        if self.inflight != Some(handle) {
+            return; // A stale completion from an abandoned step.
+        }
+        self.inflight = None;
+        match std::mem::replace(&mut self.state, HealState::Idle) {
+            HealState::Idle => {}
+            HealState::Sweeping { member } => {
+                if result.is_err() {
+                    // An unanswered sweep is a *suspicion*, nothing more:
+                    // it joins the queue and must survive the same probe
+                    // confirmation as a reported one before any eviction.
+                    let addr = member.addr;
+                    Self::with_service(nc, |s| s.requeue_suspect(addr));
+                }
+            }
+            HealState::Probing {
+                name,
+                member,
+                attempts,
+            } => match result {
+                Ok(_) => {
+                    // The suspect answered: cleared, never evicted. This
+                    // is the fail-safe path a transient partition takes.
+                    nc.metrics().add("ring.false_suspicions", 1);
+                }
+                Err(_) => {
+                    let attempts = attempts + 1;
+                    if attempts < PROBE_ATTEMPTS {
+                        self.state = HealState::Probing {
+                            name,
+                            member,
+                            attempts,
+                        };
+                        self.send_probe(nc, member);
+                        return;
+                    }
+                    self.start_eviction(nc, name, member);
+                    return;
+                }
+            },
+            HealState::Evicting { name, member } => match result {
+                Ok(_) => {
+                    nc.metrics().add("ring.evictions", 1);
+                    match Self::with_service(nc, |s| s.take_spare(&name)).flatten() {
+                        Some(ctl) => {
+                            self.start_activation(nc, name, ctl);
+                            return;
+                        }
+                        None => {
+                            // Under-replicated until a spare registers;
+                            // `register_spare` notifies us when one does.
+                            self.pending_rejoins.push(name);
+                        }
+                    }
+                }
+                Err(_) => {
+                    // No majority for the eviction (the Ringmaster itself
+                    // degraded?) — requeue and retry on a later wake.
+                    Self::with_service(nc, |s| s.requeue_suspect(member.addr));
+                }
+            },
+            HealState::Activating { name } => match result {
+                Ok(_) => {
+                    self.repairs += 1;
+                    let reg = nc.metrics();
+                    reg.add("ring.repairs", 1);
+                    reg.observe("ring.mttr_us", nc.now().since(self.started).as_micros());
+                }
+                Err(_) => {
+                    // The spare failed to activate (died in the window?).
+                    // Try the next one, or park the rejoin.
+                    match Self::with_service(nc, |s| s.take_spare(&name)).flatten() {
+                        Some(ctl) => {
+                            self.start_activation(nc, name, ctl);
+                            return;
+                        }
+                        None => self.pending_rejoins.push(name),
+                    }
+                }
+            },
+        }
+        self.kick(nc);
+    }
+}

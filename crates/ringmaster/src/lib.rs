@@ -13,7 +13,12 @@
 //! - [`JoinAgent`] — adding a new troupe member: `get_state` transfer
 //!   from the survivors, then `add_troupe_member` (§6.4.1);
 //! - [`GcAgent`] — null-call probing and deletion of defunct bindings
-//!   (§6.1).
+//!   (§6.1);
+//! - [`SelfHealAgent`] — in-system failure recovery: probe-confirmed
+//!   eviction of suspects reported by the call runtime, then automatic
+//!   replacement from a pool of warm spares (§6.4, automated);
+//! - [`SpareService`] / [`SpareAgent`] — the spare process's side of the
+//!   same protocol: registration and wedge/copy/join activation.
 //!
 //! The availability analysis that answers *when* to replace crashed
 //! members (§6.4.2) lives in the `analysis` crate.
@@ -24,13 +29,17 @@ pub mod agent;
 pub mod api;
 pub mod cache;
 pub mod gc;
+pub mod heal;
 pub mod reconfigure;
+pub mod spare;
 
 pub use agent::RingmasterService;
-pub use api::{AddTroupeMember, Rebind, RegisterTroupe, RemoveTroupeMember};
+pub use api::{AddTroupeMember, Rebind, RegisterSpare, RegisterTroupe, RemoveTroupeMember};
 pub use cache::{BindingRequest, ImportCache};
 pub use gc::GcAgent;
+pub use heal::SelfHealAgent;
 pub use reconfigure::JoinAgent;
+pub use spare::{SpareAgent, SpareService, PROC_ACTIVATE, SPARE_CTL_MODULE};
 
 use circus::{ModuleAddr, NodeBuilder, NodeConfig, Troupe, TroupeId};
 use simnet::{SockAddr, World};
@@ -54,17 +63,23 @@ pub fn spawn_ringmaster(world: &mut World, hosts: &[simnet::HostId], config: Nod
     // A deterministic, configuration-time id for the ringmaster troupe.
     let id = TroupeId(0x0052_494E_474D_5253); // "RINGMRS"
     let troupe = Troupe::new(id, members.clone());
-    for m in &members {
-        let proc = NodeBuilder::new(m.addr, config.clone())
+    for (i, m) in members.iter().enumerate() {
+        let mut b = NodeBuilder::new(m.addr, config.clone())
             .service(
                 circus::binding::BINDING_MODULE,
                 Box::new(RingmasterService::new(troupe.clone())),
             )
             .troupe_id(id)
             .binder(troupe.clone())
-            .directory(id, members.iter().map(|m| m.addr).collect())
-            .build()
-            .expect("valid node");
+            .directory(id, members.iter().map(|m| m.addr).collect());
+        if i == 0 {
+            // Exactly one member runs the repair loop: the troupe's
+            // *replies* are collated, but its members' agents act
+            // independently, and concurrent healers would race each
+            // other's eviction rounds (see `heal`).
+            b = b.agent(Box::new(SelfHealAgent::new(troupe.clone())));
+        }
+        let proc = b.build().expect("valid node");
         world.spawn(m.addr, Box::new(proc));
     }
     troupe

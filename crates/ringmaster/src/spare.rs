@@ -1,0 +1,301 @@
+//! Warm spares: pre-started processes that rejoin a troupe on demand.
+//!
+//! §6.4.2 observes that restoring a failed troupe member "is simply an
+//! application of the techniques of the previous section" — but in the
+//! dissertation a human (or test driver) performs the application. Here
+//! the spare process carries two pieces of in-system machinery instead:
+//!
+//! * a [`SpareAgent`] that offers the process to the Ringmaster with
+//!   `register_spare` as soon as it starts, and
+//! * a [`SpareService`] (the *control module*, exported at
+//!   [`SPARE_CTL_MODULE`]) whose single `activate` procedure performs
+//!   the whole §6.4.1 join when the self-healing agent calls it:
+//!   look the troupe up, **wedge** the survivors so the module
+//!   quiesces, copy their state, register with `add_troupe_member`
+//!   (which re-incarnates the troupe), and unwedge.
+//!
+//! Wedging before the state fetch closes the window [`JoinAgent`]
+//! (crate::reconfigure::JoinAgent) merely shrinks: a commit cannot land
+//! between the snapshot and the membership change because the survivors
+//! abort new work and drain in-flight transactions first. The wedge is
+//! leased — survivors lapse it on a TTL — so a spare that crashes
+//! mid-activation cannot wedge the troupe forever.
+
+use circus::binding::{binding_procs, reserved_procs, BINDING_MODULE};
+use circus::{
+    Agent, CallError, CallHandle, CollationPolicy, ModuleAddr, NodeCtx, NodeEffect, OutCall,
+    Service, ServiceCtx, Step, Troupe, TroupeId, TroupeTarget,
+};
+use simnet::Duration;
+use wire::{from_bytes, to_bytes};
+
+use crate::api::RegisterSpare;
+
+/// Module number of the spare's control service. High and well clear of
+/// application modules, below the reserved procedure space semantics
+/// (module numbers are not procedure numbers, but the convention helps
+/// spot it in traces).
+pub const SPARE_CTL_MODULE: u16 = 0xFE00;
+
+/// `activate(troupe_name) returns ()` — the one procedure of the control
+/// module. Called solo by the self-healing agent.
+pub const PROC_ACTIVATE: u16 = 0;
+
+/// Delay before re-offering the spare if registration fails (the
+/// Ringmaster may still be forming when the spare boots).
+const REGISTER_RETRY: Duration = Duration::from_micros(2_000_000);
+
+// App timer tags must fit in the node's 56-bit tag space.
+const REGISTER_TAG: u64 = 0x53_5041_5245_5247; // "SPARERG"
+
+/// Progress of one activation, keyed implicitly: the control module
+/// accepts a single activation at a time.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Stage {
+    /// Looking the troupe up at the binding agent.
+    Lookup,
+    /// Wedging the survivors (quiesce for state transfer).
+    Wedging,
+    /// Fetching the quiescent state from a survivor.
+    Fetching,
+    /// Registering this process's module with `add_troupe_member`.
+    Adding,
+    /// Releasing the survivors' wedge.
+    Unwedging,
+}
+
+/// The control module of a warm spare (see the module docs).
+pub struct SpareService {
+    binder: Troupe,
+    /// The troupe this spare can replace a member of.
+    name: String,
+    /// The local module that will join (it must implement the same
+    /// interface as the troupe's members).
+    module: u16,
+    stage: Option<Stage>,
+    /// Members found at lookup time — wedged, fetched from, unwedged.
+    survivors: Vec<ModuleAddr>,
+    /// Set once an activation has completed; the process is then an
+    /// ordinary troupe member and the control module refuses re-use.
+    pub activated: bool,
+}
+
+impl SpareService {
+    /// Creates the control module for a spare able to join the troupe
+    /// named `name`, exporting local module `module`.
+    pub fn new(binder: Troupe, name: impl Into<String>, module: u16) -> SpareService {
+        SpareService {
+            binder,
+            name: name.into(),
+            module,
+            stage: None,
+            survivors: Vec::new(),
+            activated: false,
+        }
+    }
+
+    fn survivors_troupe(&self) -> Troupe {
+        // Unchecked incarnation: the eviction that triggered this
+        // activation has already re-incarnated the troupe, and the id in
+        // the lookup reply may already be stale again.
+        Troupe::new(TroupeId::UNREGISTERED, self.survivors.clone())
+    }
+
+    fn abort(&mut self, why: String) -> Step {
+        // Leave any partial wedge to the survivors' TTL: replying with
+        // the error immediately lets the healer try the next spare.
+        self.stage = None;
+        self.survivors.clear();
+        Step::Error(why)
+    }
+}
+
+impl Service for SpareService {
+    fn dispatch(&mut self, _ctx: &mut ServiceCtx, proc: u16, args: &[u8]) -> Step {
+        if proc != PROC_ACTIVATE {
+            return Step::Error(format!("spare control: no such procedure {proc}"));
+        }
+        if self.activated {
+            return Step::Error("spare already activated".into());
+        }
+        if self.stage.is_some() {
+            return Step::Error("activation already in progress".into());
+        }
+        let name = match from_bytes::<String>(args) {
+            Ok(n) => n,
+            Err(e) => return Step::Error(format!("garbled activate args: {e}")),
+        };
+        if name != self.name {
+            return Step::Error(format!(
+                "spare serves troupe {:?}, not {:?}",
+                self.name, name
+            ));
+        }
+        self.stage = Some(Stage::Lookup);
+        Step::Call(OutCall {
+            target: TroupeTarget::Troupe(self.binder.clone()),
+            module: BINDING_MODULE,
+            proc: binding_procs::LOOKUP_TROUPE_BY_NAME,
+            args: to_bytes(&self.name),
+            collation: CollationPolicy::Majority,
+            solo: true,
+        })
+    }
+
+    fn resume(&mut self, ctx: &mut ServiceCtx, reply: Result<Vec<u8>, CallError>) -> Step {
+        let Some(stage) = self.stage else {
+            return Step::Error("spare control resumed while idle".into());
+        };
+        match stage {
+            Stage::Lookup => {
+                let troupe = match reply {
+                    Ok(bytes) => match from_bytes::<Option<Troupe>>(&bytes) {
+                        Ok(Some(t)) if !t.members.is_empty() => t,
+                        Ok(_) => return self.abort("troupe has no surviving members".into()),
+                        Err(e) => return self.abort(format!("garbled lookup reply: {e}")),
+                    },
+                    Err(e) => return self.abort(format!("lookup failed: {e}")),
+                };
+                self.survivors = troupe.members;
+                self.stage = Some(Stage::Wedging);
+                Step::Call(OutCall {
+                    target: TroupeTarget::Troupe(self.survivors_troupe()),
+                    module: self.module,
+                    proc: reserved_procs::WEDGE,
+                    args: Vec::new(),
+                    collation: CollationPolicy::Unanimous,
+                    solo: true,
+                })
+            }
+            Stage::Wedging => {
+                if let Err(e) = reply {
+                    return self.abort(format!("wedge failed: {e}"));
+                }
+                // Every survivor is quiescent: the snapshot below cannot
+                // race a commit (§6.4.1's consistency requirement).
+                self.stage = Some(Stage::Fetching);
+                Step::Call(OutCall {
+                    target: TroupeTarget::Troupe(self.survivors_troupe()),
+                    module: self.module,
+                    proc: reserved_procs::GET_STATE,
+                    args: Vec::new(),
+                    collation: CollationPolicy::FirstCome,
+                    solo: true,
+                })
+            }
+            Stage::Fetching => {
+                let state = match reply {
+                    Ok(s) => s,
+                    Err(e) => return self.abort(format!("get_state failed: {e}")),
+                };
+                ctx.push_effect(NodeEffect::SetServiceState {
+                    module: self.module,
+                    state,
+                });
+                self.stage = Some(Stage::Adding);
+                let req = crate::api::AddTroupeMember {
+                    name: self.name.clone(),
+                    member: ModuleAddr::new(ctx.me, self.module),
+                };
+                Step::Call(OutCall {
+                    target: TroupeTarget::Troupe(self.binder.clone()),
+                    module: BINDING_MODULE,
+                    proc: binding_procs::ADD_TROUPE_MEMBER,
+                    args: to_bytes(&req),
+                    collation: CollationPolicy::Majority,
+                    solo: true,
+                })
+            }
+            Stage::Adding => {
+                if let Err(e) = reply {
+                    return self.abort(format!("add_troupe_member failed: {e}"));
+                }
+                self.stage = Some(Stage::Unwedging);
+                Step::Call(OutCall {
+                    target: TroupeTarget::Troupe(self.survivors_troupe()),
+                    module: self.module,
+                    proc: reserved_procs::UNWEDGE,
+                    args: Vec::new(),
+                    collation: CollationPolicy::Unanimous,
+                    solo: true,
+                })
+            }
+            Stage::Unwedging => {
+                // Registration already stands; a failed unwedge is not
+                // fatal — the survivors' wedge TTL releases them.
+                self.stage = None;
+                self.survivors.clear();
+                self.activated = true;
+                ctx.metrics.add("spare.activations", 1);
+                Step::Reply(Vec::new())
+            }
+        }
+    }
+}
+
+/// Offers the local process as a spare to the Ringmaster at start-up.
+pub struct SpareAgent {
+    binder: Troupe,
+    name: String,
+    /// Set once the Ringmaster acknowledged the registration.
+    pub registered: bool,
+    waiting: Option<CallHandle>,
+}
+
+impl SpareAgent {
+    /// Creates the registration agent for a spare serving troupe `name`.
+    pub fn new(binder: Troupe, name: impl Into<String>) -> SpareAgent {
+        SpareAgent {
+            binder,
+            name: name.into(),
+            registered: false,
+            waiting: None,
+        }
+    }
+
+    fn register(&mut self, nc: &mut NodeCtx<'_, '_, '_>) {
+        let thread = nc.fresh_thread();
+        let req = RegisterSpare {
+            name: self.name.clone(),
+            ctl: ModuleAddr::new(nc.me(), SPARE_CTL_MODULE),
+        };
+        let binder = self.binder.clone();
+        self.waiting = Some(nc.call_solo(
+            thread,
+            &binder,
+            BINDING_MODULE,
+            binding_procs::REGISTER_SPARE,
+            to_bytes(&req),
+            CollationPolicy::Majority,
+        ));
+    }
+}
+
+impl Agent for SpareAgent {
+    fn on_start(&mut self, nc: &mut NodeCtx<'_, '_, '_>) {
+        self.register(nc);
+    }
+
+    fn on_call_done(
+        &mut self,
+        nc: &mut NodeCtx<'_, '_, '_>,
+        handle: CallHandle,
+        result: Result<Vec<u8>, CallError>,
+    ) {
+        if self.waiting != Some(handle) {
+            return;
+        }
+        self.waiting = None;
+        match result {
+            Ok(_) => self.registered = true,
+            // The Ringmaster may still be forming; retry shortly.
+            Err(_) => nc.set_app_timer(REGISTER_RETRY, REGISTER_TAG),
+        }
+    }
+
+    fn on_app_timer(&mut self, nc: &mut NodeCtx<'_, '_, '_>, tag: u64) {
+        if tag == REGISTER_TAG && !self.registered && self.waiting.is_none() {
+            self.register(nc);
+        }
+    }
+}

@@ -24,7 +24,16 @@ use circus::{
     CallError, Collate, CollationPolicy, Decision, NodeEffect, OutCall, Service, ServiceCtx, Step,
     ThreadId, TroupeTarget, VoteSlot,
 };
+use simnet::{Duration, Time};
 use wire::{from_bytes, to_bytes, Externalize, Internalize, Reader, WireError, Writer};
+
+/// How long a wedge (§6.4.1's quiescence for state transfer) holds
+/// without being released. A crashed reconfiguration must not leave the
+/// troupe rejecting transactions forever; the wedge lapses and service
+/// resumes. Generous against a healthy transfer: wedge + get_state +
+/// add_troupe_member + unwedge completes in well under a second of
+/// simulated time on a quiet troupe.
+const WEDGE_TTL: Duration = Duration::from_micros(12_000_000);
 
 /// Procedure number of `execute_transaction` at the store troupe.
 pub const PROC_EXECUTE: u16 = 0;
@@ -119,6 +128,14 @@ pub struct TroupeStoreService {
     /// history; an audit oracle checks the ledgers of troupe members
     /// agree (exactly-once, Theorem 5.1's same-order property).
     committed: Vec<(ThreadId, u64)>,
+    /// Wedged for a membership change (§6.4.1): new transactions are
+    /// refused with an abort, lock-waiters are aborted, and the wedge
+    /// call replies once the last in-flight transaction resolves, so
+    /// `get_state` sees identical committed sets at every member.
+    /// Transient — deliberately not part of `get_state`.
+    wedged_at: Option<Time>,
+    /// Suspended `wedge` invocations awaiting the drain.
+    wedge_waiters: Vec<u64>,
 }
 
 impl TroupeStoreService {
@@ -132,6 +149,38 @@ impl TroupeStoreService {
             by_invocation: HashMap::new(),
             waiting: HashMap::new(),
             committed: Vec::new(),
+            wedged_at: None,
+            wedge_waiters: Vec::new(),
+        }
+    }
+
+    /// `true` while the member is wedged for a membership change (the
+    /// TTL is applied lazily at the next dispatch).
+    pub fn is_wedged(&self) -> bool {
+        self.wedged_at.is_some()
+    }
+
+    /// Lapses an expired wedge (an abandoned reconfiguration must not
+    /// refuse transactions forever).
+    fn lapse_wedge(&mut self, now: Time) {
+        if let Some(at) = self.wedged_at {
+            if now.since(at) > WEDGE_TTL {
+                self.wedged_at = None;
+                self.wedge_waiters.clear();
+            }
+        }
+    }
+
+    /// Replies to the suspended `wedge` calls once nothing is in flight.
+    fn check_drained(&mut self, ctx: &mut ServiceCtx) {
+        if self.wedged_at.is_none() || !self.by_invocation.is_empty() {
+            return;
+        }
+        for inv in std::mem::take(&mut self.wedge_waiters) {
+            ctx.push_effect(NodeEffect::StepFor {
+                invocation: inv,
+                step: Step::Reply(Vec::new()),
+            });
         }
     }
 
@@ -174,6 +223,7 @@ impl TroupeStoreService {
             proc: PROC_READY_TO_COMMIT,
             args: to_bytes(&ready),
             collation: CollationPolicy::Unanimous,
+            solo: false,
         })
     }
 
@@ -224,6 +274,16 @@ impl Service for TroupeStoreService {
                 let Ok(req) = from_bytes::<ExecuteRequest>(args) else {
                     return Step::Error("bad execute_transaction arguments".into());
                 };
+                self.lapse_wedge(ctx.now);
+                if self.wedged_at.is_some() {
+                    // Wedged (§6.4.1): refuse new work with an ordinary
+                    // abort so the client retries with backoff and lands
+                    // on the re-incarnated troupe.
+                    ctx.metrics.add("txn.aborts", 1);
+                    return Step::Reply(to_bytes(&TxnOutcome::Aborted(
+                        "wedged for membership change".into(),
+                    )));
+                }
                 let txn = TxnId(self.next_txn);
                 self.next_txn += 1;
                 self.by_invocation.insert(
@@ -273,7 +333,38 @@ impl Service for TroupeStoreService {
             }
         };
         self.wake(ctx, unblocked);
+        self.check_drained(ctx);
         Step::Reply(to_bytes(&outcome))
+    }
+
+    fn wedge(&mut self, ctx: &mut ServiceCtx) -> Step {
+        self.lapse_wedge(ctx.now);
+        if self.wedged_at.is_none() {
+            self.wedged_at = Some(ctx.now);
+            // Abort every lock-waiter: each votes false so the whole
+            // troupe aborts that transaction, and its client retries
+            // after the membership change. Waiting out the locks instead
+            // could stall the drain behind a deadlock's assembly timeout.
+            let mut waiters: Vec<u64> = self.waiting.drain().map(|(_, inv)| inv).collect();
+            waiters.sort_unstable(); // HashMap order is not deterministic.
+            for inv in waiters {
+                ctx.push_effect(NodeEffect::StepFor {
+                    invocation: inv,
+                    step: self.vote_call(false),
+                });
+            }
+        }
+        if self.by_invocation.is_empty() {
+            Step::Reply(Vec::new())
+        } else {
+            self.wedge_waiters.push(ctx.invocation);
+            Step::Suspend
+        }
+    }
+
+    fn unwedge(&mut self) {
+        self.wedged_at = None;
+        self.wedge_waiters.clear();
     }
 
     fn get_state(&self) -> Vec<u8> {

@@ -20,6 +20,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo clippy -p obs (deny warnings)"
 cargo clippy -p obs --all-targets -- -D warnings
 
+echo "==> cargo clippy -p ringmaster (deny warnings)"
+cargo clippy -p ringmaster --all-targets -- -D warnings
+
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
@@ -28,5 +31,8 @@ cargo test --test metrics_golden -q
 
 echo "==> chaos sweep (10 seeds, all oracles)"
 cargo test -p chaos --test sweep -- --nocapture
+
+echo "==> self-heal gate (two crashes => two ringmaster repairs)"
+cargo test -p chaos --release --test sweep self_heal_gate -- --nocapture
 
 echo "All checks passed."

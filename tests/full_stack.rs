@@ -2,13 +2,13 @@
 //! replicated transactions + reconfiguration + configuration language in
 //! one world.
 
-use rdp::circus::binding::{binding_procs, BINDING_MODULE};
+use rdp::circus::binding::{binding_procs, BINDING_MODULE, RINGMASTER_PORT};
 use rdp::circus::{
     Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeBuilder,
     NodeConfig, NodeCtx, Troupe, TroupeId,
 };
 use rdp::configlang::{extend_troupe, parse, Machine, Universe, Value};
-use rdp::ringmaster::{spawn_ringmaster, JoinAgent, RegisterTroupe};
+use rdp::ringmaster::{spawn_ringmaster, JoinAgent, RegisterTroupe, RingmasterService};
 use rdp::simnet::{Duration, HostId, SockAddr, World};
 use rdp::transactions::{CommitVoterService, ObjId, Op, TroupeStoreService, TxnClient};
 use rdp::wire::{from_bytes, to_bytes};
@@ -164,14 +164,37 @@ fn configured_replicated_transactional_store_survives_crash_and_heals() {
     w.spawn(newbie, Box::new(p));
     w.poke(newbie, 0);
     w.run_for(Duration::from_secs(30));
-    let joined = w
-        .with_proc(newbie, |p: &CircusProcess| {
-            let j = p.agent_as::<JoinAgent>().unwrap();
-            assert!(j.failed.is_none(), "{:?}", j.failed);
-            j.joined
+    w.with_proc(newbie, |p: &CircusProcess| {
+        let j = p.agent_as::<JoinAgent>().unwrap();
+        assert!(j.failed.is_none(), "{:?}", j.failed);
+        j.joined.expect("joined");
+    })
+    .unwrap();
+
+    // The self-healing Ringmaster notices the crash on its own: it
+    // probes the dead member, evicts it, and re-incarnates the troupe —
+    // possibly *after* our manual join computed its incarnation. Wait
+    // for the registry to converge and take the authoritative troupe
+    // from it, as a rebinding client would (§6.2).
+    let rm_leader = SockAddr::new(HostId(1), RINGMASTER_PORT);
+    let registry_store = |w: &World| -> Option<Troupe> {
+        w.with_proc(rm_leader, |p: &CircusProcess| {
+            p.node()
+                .service_as::<RingmasterService>(BINDING_MODULE)
+                .unwrap()
+                .lookup("store")
+                .cloned()
         })
         .unwrap()
-        .expect("joined");
+    };
+    let deadline = w.now() + Duration::from_secs(120);
+    let converged = w.run_until_pred(deadline, |w| {
+        registry_store(w)
+            .is_some_and(|t| t.members.len() == 3 && !t.members.iter().any(|m| m.addr == victim))
+    });
+    assert!(converged, "registry: {:?}", registry_store(&w));
+    let current = registry_store(&w).expect("store bound");
+    assert!(current.members.iter().any(|m| m.addr == newbie));
 
     // The transferred state matches the survivors.
     let read = |w: &World, a: SockAddr, obj: ObjId| -> i64 {
@@ -190,14 +213,6 @@ fn configured_replicated_transactional_store_survives_crash_and_heals() {
 
     // 6. More transactions against the NEW incarnation reach all three
     // current members (two survivors + the replacement).
-    let current = Troupe::new(
-        joined,
-        vec![
-            members[0],
-            members[1],
-            ModuleAddr::new(newbie, STORE_MODULE),
-        ],
-    );
     let c3 = SockAddr::new(HostId(52), 10);
     let p = NodeBuilder::new(c3, config.clone())
         .agent(Box::new(TxnClient::new(
