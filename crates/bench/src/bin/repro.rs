@@ -4,9 +4,13 @@
 //! repro [--quick] [EXPERIMENT...]
 //! ```
 //!
-//! Experiments: `table4.1 table4.2 table4.3 fig4.8 multicast eq5.1
+//! Experiments: `table4.1 table4.2 table4.3 fig4.8 bench4 multicast eq5.1
 //! fig6.3 table7.1 ablation.waiting ablation.sync ablation.protocol` (default: all).
 //! `--quick` uses fewer calls/trials.
+//!
+//! `bench4` additionally writes `BENCH_4.json` (one record per line) to
+//! the current directory: per-replica-count call latency and client
+//! `sendmsg` counts for the unicast and multicast call data planes.
 
 use std::process::ExitCode;
 
@@ -51,6 +55,20 @@ fn main() -> ExitCode {
         known = true;
         emit(bench::tables::fig_4_8(calls));
     }
+    if want("bench4") {
+        known = true;
+        let json = bench::tables::bench_4_json(calls);
+        emit(format!(
+            "BENCH_4: unicast vs multicast call data plane (m+n messages, §4.3.3)\n{json}"
+        ));
+        match std::fs::write("BENCH_4.json", &json) {
+            Ok(()) => emit("wrote BENCH_4.json".to_string()),
+            Err(e) => {
+                eprintln!("cannot write BENCH_4.json: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
     if want("multicast") || want("fig4.9-theory") {
         known = true;
         emit(bench::tables::fig_multicast_theory(mc_calls));
@@ -82,7 +100,7 @@ fn main() -> ExitCode {
     if !known {
         eprintln!(
             "unknown experiment(s) {wanted:?}; known: table4.1 table4.2 table4.3 \
-             fig4.8 multicast eq5.1 fig6.3 table7.1 ablation.waiting ablation.sync ablation.protocol"
+             fig4.8 bench4 multicast eq5.1 fig6.3 table7.1 ablation.waiting ablation.sync ablation.protocol"
         );
         return ExitCode::from(2);
     }

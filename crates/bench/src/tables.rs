@@ -200,6 +200,29 @@ pub fn fig_4_8(calls: u32) -> String {
     out
 }
 
+/// BENCH_4: the real (not modeled) multicast data plane of §4.3.3,
+/// measured against the paper-faithful unicast one at each degree of
+/// replication. One JSON record per line so shell tooling can consume it
+/// without a JSON parser; deterministic (fixed-seed world), so the file
+/// is byte-identical across reruns.
+pub fn bench_4_json(calls: u32) -> String {
+    let mut out = String::new();
+    for &multicast in &[false, true] {
+        let mode = if multicast { "multicast" } else { "unicast" };
+        for n in 1..=5usize {
+            let r = crate::testbed::run_circus_echo_mode(n, calls, multicast);
+            let _ = writeln!(
+                out,
+                "{{\"experiment\":\"bench4\",\"mode\":\"{mode}\",\"replicas\":{n},\
+                 \"calls\":{calls},\"real_ms\":{:.2},\"client_sendmsgs\":{}}}",
+                r.real_ms,
+                r.client_sendmsgs(),
+            );
+        }
+    }
+    out
+}
+
 /// §4.4.2: multicast + exponential round trips gives `E[T] = H_n * r`.
 pub fn fig_multicast_theory(calls: u32) -> String {
     let r = 20.0; // Mean round trip, ms.

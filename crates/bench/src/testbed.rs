@@ -45,6 +45,12 @@ impl EchoResult {
             calls,
         }
     }
+
+    /// Total `sendmsg` syscalls charged to the client over the whole
+    /// experiment — the m half of the message count (§4.3.3).
+    pub fn client_sendmsgs(&self) -> u64 {
+        self.client_cpu.count_of(Syscall::SendMsg.index())
+    }
 }
 
 const PAYLOAD: usize = 64;
@@ -268,14 +274,27 @@ impl Agent for RpcClient {
     }
 }
 
-/// Runs the Circus replicated echo at the given degree of replication.
+/// Runs the Circus replicated echo at the given degree of replication,
+/// with the paper-faithful unicast data plane.
 pub fn run_circus_echo(replicas: usize, calls: u32) -> EchoResult {
+    run_circus_echo_mode(replicas, calls, false)
+}
+
+/// Runs the Circus replicated echo with a choice of call data plane:
+/// per-member unicast (the paper's measured implementation) or the
+/// troupe-wide multicast of §4.3.3, which charges the client one
+/// `sendmsg` per call segment regardless of the degree of replication.
+pub fn run_circus_echo_mode(replicas: usize, calls: u32, multicast: bool) -> EchoResult {
     let mut w = world();
+    let config = NodeConfig {
+        multicast_calls: multicast,
+        ..NodeConfig::default()
+    };
     let id = TroupeId(4242);
     let mut members = Vec::new();
     for i in 0..replicas {
         let a = SockAddr::new(HostId(1 + i as u32), 70);
-        let p = NodeBuilder::new(a, NodeConfig::default())
+        let p = NodeBuilder::new(a, config.clone())
             .service(1, Box::new(EchoService))
             .troupe_id(id)
             .build()
@@ -285,7 +304,7 @@ pub fn run_circus_echo(replicas: usize, calls: u32) -> EchoResult {
     }
     let troupe = Troupe::new(id, members);
     let client = SockAddr::new(HostId(0), 100);
-    let p = NodeBuilder::new(client, NodeConfig::default())
+    let p = NodeBuilder::new(client, config)
         .agent(Box::new(RpcClient {
             troupe,
             remaining: calls,
@@ -488,6 +507,41 @@ mod tests {
             (8.0..=25.0).contains(&slope),
             "slope {slope} outside the paper's 10–20 ms band"
         );
+    }
+
+    #[test]
+    fn multicast_mode_flattens_client_sendmsg_cost() {
+        let calls = 60u32;
+        let uni: Vec<EchoResult> = (1..=5)
+            .map(|n| run_circus_echo_mode(n, calls, false))
+            .collect();
+        let mc: Vec<EchoResult> = (1..=5)
+            .map(|n| run_circus_echo_mode(n, calls, true))
+            .collect();
+
+        // Unicast charges one sendmsg per member per call; multicast
+        // charges exactly one per call (single-segment payload), flat in
+        // the degree of replication.
+        for (i, (u, m)) in uni.iter().zip(&mc).enumerate() {
+            let n = (i + 1) as u64;
+            assert_eq!(u.client_sendmsgs(), n * calls as u64, "unicast n={n}");
+            assert_eq!(m.client_sendmsgs(), calls as u64, "multicast n={n}");
+        }
+
+        // The flattened sendmsg bill shows up as a flattened real-time
+        // slope (Figure 4.8's per-replica growth, minus the per-member
+        // transmission cost).
+        let x: Vec<f64> = (1..=5).map(|n| n as f64).collect();
+        let (uni_slope, _) =
+            analysis::linear_fit(&x, &uni.iter().map(|r| r.real_ms).collect::<Vec<_>>());
+        let (mc_slope, _) =
+            analysis::linear_fit(&x, &mc.iter().map(|r| r.real_ms).collect::<Vec<_>>());
+        assert!(
+            mc_slope < uni_slope,
+            "multicast slope {mc_slope} not below unicast slope {uni_slope}"
+        );
+        // n=1 falls back to unicast in both modes: identical cost there.
+        assert_eq!(uni[0].client_sendmsgs(), mc[0].client_sendmsgs());
     }
 
     #[test]

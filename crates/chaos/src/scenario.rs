@@ -56,6 +56,9 @@ pub struct ScenarioOptions {
     pub txns_per_client: usize,
     /// Bounds for the fault plan.
     pub plan: PlanOptions,
+    /// Carry one-to-many call data as troupe-wide multicasts (§4.3.3)
+    /// instead of the paper-faithful per-member unicast.
+    pub multicast_calls: bool,
 }
 
 impl Default for ScenarioOptions {
@@ -63,6 +66,7 @@ impl Default for ScenarioOptions {
         ScenarioOptions {
             txns_per_client: 40,
             plan: PlanOptions::default(),
+            multicast_calls: false,
         }
     }
 }
@@ -318,6 +322,7 @@ pub fn run_scenario(seed: u64, opts: &ScenarioOptions) -> Quiesced {
 
     let config = NodeConfig {
         assembly_timeout: Duration::from_micros(1_500_000),
+        multicast_calls: opts.multicast_calls,
         ..NodeConfig::default()
     };
     let rm_hosts = vec![HostId(1), HostId(2), HostId(3)];

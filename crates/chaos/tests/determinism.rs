@@ -3,7 +3,7 @@
 //! the same seed twice must give bit-identical traces and resource
 //! accounting; different seeds must actually diverge.
 
-use chaos::run_seed;
+use chaos::{run_seed, run_seed_with, ScenarioOptions};
 
 #[test]
 fn same_seed_same_trace_and_resource_totals() {
@@ -38,6 +38,36 @@ fn same_seed_same_trace_and_resource_totals() {
     // forest (every span minted across every call) must hash identically.
     assert_eq!(a.metrics_json, b.metrics_json, "metrics dumps diverged");
     assert_eq!(a.span_hash, b.span_hash, "span trees diverged");
+}
+
+/// The multicast data plane is part of the same contract: one multicast
+/// op fans out to many receivers inside a single event, and a replay
+/// must schedule every copy identically.
+#[test]
+fn multicast_mode_replays_bit_identically() {
+    let opts = ScenarioOptions {
+        multicast_calls: true,
+        ..ScenarioOptions::default()
+    };
+    let a = run_seed_with(42, &opts);
+    let b = run_seed_with(42, &opts);
+
+    assert_eq!(a.trace_hash, b.trace_hash, "trace hashes diverged");
+    assert_eq!(a.cpu_total, b.cpu_total, "CPU totals diverged");
+    assert_eq!(a.net.sent, b.net.sent);
+    assert_eq!(a.net.multicasts, b.net.multicasts);
+    assert_eq!(a.metrics_json, b.metrics_json, "metrics dumps diverged");
+    assert_eq!(a.span_hash, b.span_hash, "span trees diverged");
+
+    // The mode actually engaged: troupe calls rode the multicast path.
+    assert!(a.net.multicasts > 0, "no multicasts in multicast mode");
+
+    // And it is a genuinely different data plane than unicast — fewer
+    // datagrams enter the network per one-to-many call, so the two
+    // modes' runs diverge.
+    let unicast = run_seed(42);
+    assert_eq!(unicast.net.multicasts, 0);
+    assert_ne!(a.trace_hash, unicast.trace_hash);
 }
 
 #[test]

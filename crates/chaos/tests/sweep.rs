@@ -79,6 +79,53 @@ fn sweep_seeds_through_all_oracles() {
     }
 }
 
+/// The same sweep with the multicast data plane (§4.3.3): every oracle
+/// must hold when one-to-many call data rides troupe-wide multicasts
+/// with unicast straggler fallback, under the same fault schedules.
+#[test]
+fn sweep_seeds_through_all_oracles_multicast() {
+    let opts = ScenarioOptions {
+        multicast_calls: true,
+        ..ScenarioOptions::default()
+    };
+    let seeds = sweep_seeds(1..11);
+    let mut failures = Vec::new();
+    let mut multicasts = 0u64;
+    for &seed in &seeds {
+        let r = run_seed_with(seed, &opts);
+        println!(
+            "seed {seed} (multicast): hash={:#018x} events={} faults={} repairs={} \
+             commits={} aborts={} rebinds={} multicasts={} violations={}",
+            r.trace_hash,
+            r.trace_events,
+            r.faults,
+            r.repairs,
+            r.commits,
+            r.aborts,
+            r.rebinds,
+            r.net.multicasts,
+            r.violations.len(),
+        );
+        multicasts += r.net.multicasts;
+        if !r.passed() {
+            failures.push(r.failure_summary());
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {} seeds failed in multicast mode:\n\n{}",
+        failures.len(),
+        seeds.len(),
+        failures.join("\n")
+    );
+    if seeds.len() > 1 {
+        assert!(
+            multicasts > 0,
+            "multicast mode never used the multicast path"
+        );
+    }
+}
+
 /// Fail-safety under false suspicion: a schedule of partitions *longer*
 /// than the crash-detection horizon makes live members look dead, so
 /// suspicions are reported — but a partition is not a crash, and the
@@ -95,6 +142,7 @@ fn partitions_without_crashes_never_evict() {
             )),
             ..PlanOptions::default()
         },
+        ..ScenarioOptions::default()
     };
     let mut suspicions_total = 0u64;
     for seed in [11u64, 12, 13] {
@@ -147,5 +195,24 @@ fn self_heal_gate_two_crashes_two_ringmaster_repairs() {
     );
     assert_eq!(counter(&r, "ring.evictions"), 2);
     assert_eq!(counter(&r, "ring.repairs"), 2);
+    assert_eq!(counter(&r, "spare.activations"), 2);
+}
+
+/// The same gate with the multicast data plane: crash repair must not
+/// depend on the call transport.
+#[test]
+fn self_heal_gate_holds_in_multicast_mode() {
+    let opts = ScenarioOptions {
+        multicast_calls: true,
+        ..ScenarioOptions::default()
+    };
+    let r = run_seed_with(2, &opts);
+    assert!(
+        r.passed(),
+        "multicast gate seed failed:\n{}",
+        r.failure_summary()
+    );
+    assert_eq!(r.repairs, 2);
+    assert_eq!(counter(&r, "ring.evictions"), 2);
     assert_eq!(counter(&r, "spare.activations"), 2);
 }

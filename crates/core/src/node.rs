@@ -49,6 +49,16 @@ pub trait NetIo {
     fn send_spanned(&mut self, to: SockAddr, bytes: Vec<u8>, _span: u64) {
         self.send(to, bytes);
     }
+    /// Transmits the same datagram to every destination, attributed to
+    /// causal span `span`. The default degenerates to per-destination
+    /// unicast (m `sendmsg` charges); the simulator overrides it with
+    /// true Ethernet multicast — one `sendmsg` charge for all copies
+    /// (§4.3.3).
+    fn multicast_spanned(&mut self, tos: &[SockAddr], bytes: Vec<u8>, span: u64) {
+        for &to in tos {
+            self.send_spanned(to, bytes.clone(), span);
+        }
+    }
     /// Arms a timer.
     fn set_timer(&mut self, delay: Duration, tag: u64);
     /// Charges a syscall to this process's CPU account.
@@ -75,6 +85,9 @@ impl NetIo for simnet::Ctx<'_> {
     }
     fn send_spanned(&mut self, to: SockAddr, bytes: Vec<u8>, span: u64) {
         simnet::Ctx::send_spanned(self, to, bytes, span);
+    }
+    fn multicast_spanned(&mut self, tos: &[SockAddr], bytes: Vec<u8>, span: u64) {
+        simnet::Ctx::multicast_spanned(self, tos, bytes, span);
     }
     fn set_timer(&mut self, delay: Duration, tag: u64) {
         simnet::Ctx::set_timer(self, delay, tag);
@@ -161,6 +174,13 @@ pub struct NodeConfig {
     /// How long completed replies are buffered for slow client members
     /// (§4.3.4).
     pub done_ttl: Duration,
+    /// Transmit the data segments of one-to-many calls by troupe-wide
+    /// multicast — one `sendmsg` per segment regardless of the degree of
+    /// replication, unicast retransmission only toward stragglers
+    /// (§4.3.3's "m+n messages"). Off by default: the paper's measured
+    /// implementation is per-member unicast, and the reproduction tables
+    /// depend on that cost profile.
+    pub multicast_calls: bool,
 }
 
 impl Default for NodeConfig {
@@ -171,6 +191,7 @@ impl Default for NodeConfig {
             compute_per_msg: Duration::from_millis_f64(3.0),
             assembly_timeout: Duration::from_secs(10),
             done_ttl: Duration::from_secs(60),
+            multicast_calls: false,
         }
     }
 }
@@ -333,13 +354,30 @@ pub struct Node {
     /// circuited by the prober's own stale marker.
     dead_peers: HashMap<SockAddr, Time>,
 
-    /// Next outgoing call number per peer. Lives on the node, not the
-    /// connection: a connection dropped after a false crash suspicion
-    /// (healed partition) is recreated fresh, but the peer's surviving
-    /// endpoint still remembers earlier call numbers — restarting at 1
-    /// would make new calls look like replays there, acknowledged (or
-    /// suppressed) without ever being delivered.
+    /// Next outgoing call number per peer, used when `multicast_calls`
+    /// is off — the paper's measured implementation, kept bit-identical.
+    /// Lives on the node, not the connection: a connection dropped after
+    /// a false crash suspicion (healed partition) is recreated fresh, but
+    /// the peer's surviving endpoint still remembers earlier call
+    /// numbers — restarting at 1 would make new calls look like replays
+    /// there, acknowledged (or suppressed) without ever being delivered.
     call_numbers: HashMap<SockAddr, u32>,
+
+    /// Next outgoing call number in multicast mode: one client-wide
+    /// monotone sequence shared by every peer, so all members of a
+    /// one-to-many call receive the *same* number — the precondition for
+    /// byte-identical segments and hence for multicast transmission
+    /// (§4.3.3). Each peer sees a strictly increasing subsequence, which
+    /// is all the replay watermark and the monotonicity audit need; it
+    /// survives connection teardown for the same reason `call_numbers`
+    /// does. The two sequences are never mixed: the mode is fixed at
+    /// node construction.
+    next_call_number: u32,
+
+    /// One-to-many calls whose data segments went out by multicast, and
+    /// the segments so transmitted (each charged a single `sendmsg`).
+    mcast_calls: u64,
+    mcast_segments: u64,
 
     events: VecDeque<AppEvent>,
 }
@@ -392,6 +430,9 @@ impl Node {
             binder: None,
             dead_peers: HashMap::new(),
             call_numbers: HashMap::new(),
+            next_call_number: 1,
+            mcast_calls: 0,
+            mcast_segments: 0,
             events: VecDeque::new(),
         }
     }
@@ -506,6 +547,8 @@ impl Node {
             max_recv_buffered as u64,
         );
         reg.set_gauge(&format!("rpc.{me}.invocations"), self.invocations());
+        reg.set_gauge(&format!("rpc.{me}.mcast_calls"), self.mcast_calls);
+        reg.set_gauge(&format!("rpc.{me}.mcast_segments"), self.mcast_segments);
     }
 
     /// Drains the next application event.
@@ -657,8 +700,9 @@ impl Node {
         }
 
         let members = troupe.members.clone();
+        let now = io.now();
+        let mut live: Vec<(usize, SockAddr)> = Vec::with_capacity(members.len());
         for (i, member) in members.iter().enumerate() {
-            let now = io.now();
             // Fail fast on a member under a live dead-peer marker rather
             // than re-running the whole retransmission schedule (§3.5.1's
             // degraded-mode calls proceed against the survivors). Probes
@@ -672,28 +716,112 @@ impl Node {
                     self.dead_peers.remove(&member.addr);
                 }
             }
-            let cn = {
-                let next = self.call_numbers.entry(member.addr).or_insert(1);
-                let cn = *next;
-                *next += 1;
-                cn
-            };
-            let conn = self.conn_mut(member.addr);
-            // The send can only fail for oversize messages, which the
-            // stub layer prevents; treat failure as an instantly dead
-            // member.
-            if conn
-                .endpoint
-                .send(now, MsgType::Call, cn, span.raw(), &bytes)
-                .is_err()
-            {
-                self.call_mut(handle).collation.mark_dead(i);
-                continue;
+            live.push((i, member.addr));
+        }
+        if self.config.multicast_calls {
+            // Troupe-wide call number (§4.3.3): every member of this call
+            // is addressed under the same number, drawn from the
+            // client-wide monotone sequence, so the call's segments are
+            // byte-identical across members and a single multicast
+            // datagram can serve all. A call with a single live target
+            // degenerates to plain unicast under the same number.
+            let cn = self.next_call_number;
+            self.next_call_number += 1;
+            if live.len() > 1 {
+                self.multicast_call(io, handle, cn, span.raw(), &bytes, &live);
+            } else {
+                for &(i, addr) in &live {
+                    self.unicast_call(handle, cn, span.raw(), &bytes, now, i, addr);
+                }
             }
-            self.route.insert((member.addr, cn), (handle, i));
+        } else {
+            // Paper-faithful mode: per-peer call numbers, one unicast
+            // transmission per member.
+            for &(i, addr) in &live {
+                let cn = {
+                    let next = self.call_numbers.entry(addr).or_insert(1);
+                    let cn = *next;
+                    *next += 1;
+                    cn
+                };
+                self.unicast_call(handle, cn, span.raw(), &bytes, now, i, addr);
+            }
         }
         self.check_decision(io, handle);
         handle
+    }
+
+    /// Sends member `i`'s copy of a call by unicast. The send can only
+    /// fail for oversize messages, which the stub layer prevents; treat
+    /// failure as an instantly dead member.
+    #[allow(clippy::too_many_arguments)]
+    fn unicast_call(
+        &mut self,
+        handle: u64,
+        cn: u32,
+        span: u64,
+        bytes: &[u8],
+        now: Time,
+        i: usize,
+        addr: SockAddr,
+    ) {
+        let conn = self.conn_mut(addr);
+        if conn
+            .endpoint
+            .send(now, MsgType::Call, cn, span, bytes)
+            .is_err()
+        {
+            self.call_mut(handle).collation.mark_dead(i);
+            return;
+        }
+        self.route.insert((addr, cn), (handle, i));
+    }
+
+    /// Transmits one call's data segments to `live` members by multicast
+    /// (§4.3.3): each member's endpoint adopts a pre-transmitted sender —
+    /// keeping per-member acknowledgment tracking, unicast retransmission
+    /// toward stragglers, the implicit ack carried by the return message,
+    /// and crash-detection probing — while the segments themselves go to
+    /// the wire once each, charged a single `sendmsg`.
+    fn multicast_call(
+        &mut self,
+        io: &mut dyn NetIo,
+        handle: u64,
+        cn: u32,
+        span: u64,
+        bytes: &[u8],
+        live: &[(usize, SockAddr)],
+    ) {
+        let now = io.now();
+        let ts = match pairedmsg::TroupeSender::new(&self.config.pm, cn, span, bytes) {
+            Ok(ts) => ts,
+            Err(_) => {
+                // Oversize: no member can receive it (the stub layer
+                // prevents this; mirror the unicast path's treatment).
+                for &(i, _) in live {
+                    self.call_mut(handle).collation.mark_dead(i);
+                }
+                return;
+            }
+        };
+        let mut addrs: Vec<SockAddr> = Vec::with_capacity(live.len());
+        for &(i, addr) in live {
+            let conn = self.conn_mut(addr);
+            if conn.endpoint.adopt_call(now, cn, span, bytes).is_err() {
+                self.call_mut(handle).collation.mark_dead(i);
+                continue;
+            }
+            self.route.insert((addr, cn), (handle, i));
+            addrs.push(addr);
+        }
+        if addrs.is_empty() {
+            return;
+        }
+        self.mcast_calls += 1;
+        for seg in ts.segments() {
+            self.mcast_segments += 1;
+            io.multicast_spanned(&addrs, seg.encode(), span);
+        }
     }
 
     fn call_mut(&mut self, handle: u64) -> &mut OutstandingCall {
@@ -1692,6 +1820,7 @@ impl Node {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pairedmsg::Segment;
     use simnet::HostId;
 
     /// Minimal in-memory I/O for exercising `Node` without a world.
@@ -1769,6 +1898,100 @@ mod tests {
         assert!(io.sent.is_empty());
     }
 
+    /// Marks every member of `troupe` with a live dead-peer marker.
+    fn mark_all_dead(n: &mut Node, troupe: &Troupe, until: Time) {
+        for m in &troupe.members {
+            n.dead_peers.insert(m.addr, until);
+        }
+    }
+
+    fn troupe_of(n_members: u32) -> Troupe {
+        let members: Vec<ModuleAddr> = (1..=n_members)
+            .map(|h| ModuleAddr::new(SockAddr::new(HostId(h), 70), 1))
+            .collect();
+        Troupe::new(TroupeId(9), members)
+    }
+
+    /// A call issued while *every* target member is under a live
+    /// dead-peer marker must fail immediately with `AllMembersDead`
+    /// rather than hang until the markers expire (§3.5.1 degraded mode).
+    #[test]
+    fn call_with_all_members_dead_fails_immediately() {
+        let mut n = node();
+        let mut io = MockIo::new();
+        let troupe = troupe_of(3);
+        mark_all_dead(&mut n, &troupe, Time::ZERO + Duration::from_secs(10));
+        let thread = n.fresh_thread();
+        let handle = n.begin_call(
+            &mut io,
+            thread,
+            &troupe,
+            1,
+            0,
+            b"x".to_vec(),
+            CollationPolicy::Unanimous,
+        );
+        match n.poll_event() {
+            Some(AppEvent::CallDone { handle: h, result }) => {
+                assert_eq!(h, handle);
+                assert_eq!(result, Err(CallError::AllMembersDead));
+            }
+            other => panic!("expected immediate failure, got {other:?}"),
+        }
+        assert!(io.sent.is_empty(), "nothing goes to the wire");
+    }
+
+    /// Same fail-fast for the solo path (`begin_call_solo`, §6.4.1's
+    /// administrative calls).
+    #[test]
+    fn solo_call_with_all_members_dead_fails_immediately() {
+        let mut n = node();
+        let mut io = MockIo::new();
+        let troupe = troupe_of(3);
+        mark_all_dead(&mut n, &troupe, Time::ZERO + Duration::from_secs(10));
+        let thread = n.fresh_thread();
+        let handle = n.begin_call_solo(
+            &mut io,
+            thread,
+            &troupe,
+            1,
+            0,
+            b"x".to_vec(),
+            CollationPolicy::Unanimous,
+        );
+        match n.poll_event() {
+            Some(AppEvent::CallDone { handle: h, result }) => {
+                assert_eq!(h, handle);
+                assert_eq!(result, Err(CallError::AllMembersDead));
+            }
+            other => panic!("expected immediate failure, got {other:?}"),
+        }
+        assert!(io.sent.is_empty(), "nothing goes to the wire");
+    }
+
+    /// An expired marker re-admits the member: the call must go out, not
+    /// fail fast (regression guard for the marker-expiry branch).
+    #[test]
+    fn expired_dead_markers_do_not_fail_calls() {
+        let mut n = node();
+        let mut io = MockIo::new();
+        io.now = Time::ZERO + Duration::from_secs(60);
+        let troupe = troupe_of(2);
+        mark_all_dead(&mut n, &troupe, Time::ZERO + Duration::from_secs(10));
+        let thread = n.fresh_thread();
+        n.begin_call(
+            &mut io,
+            thread,
+            &troupe,
+            1,
+            0,
+            b"x".to_vec(),
+            CollationPolicy::Unanimous,
+        );
+        assert_eq!(io.sent.len(), 2, "both members re-admitted");
+        assert!(n.dead_peers.is_empty());
+    }
+
     #[test]
     fn call_sends_one_message_per_member() {
         let mut n = node();
@@ -1792,6 +2015,161 @@ mod tests {
         assert_eq!(dests, members.iter().map(|m| m.addr).collect::<Vec<_>>());
         // A retransmission timer was armed for each connection.
         assert!(!io.timers.is_empty());
+    }
+
+    /// MockIo that records troupe-wide multicasts separately from
+    /// unicast sends, so tests can pin the m+n message discipline.
+    struct McastIo {
+        inner: MockIo,
+        mcasts: Vec<(Vec<SockAddr>, Vec<u8>)>,
+    }
+
+    impl McastIo {
+        fn new() -> McastIo {
+            McastIo {
+                inner: MockIo::new(),
+                mcasts: Vec::new(),
+            }
+        }
+    }
+
+    impl NetIo for McastIo {
+        fn now(&self) -> Time {
+            self.inner.now
+        }
+        fn me(&self) -> SockAddr {
+            self.inner.me
+        }
+        fn send(&mut self, to: SockAddr, bytes: Vec<u8>) {
+            self.inner.sent.push((to, bytes));
+        }
+        fn multicast_spanned(&mut self, tos: &[SockAddr], bytes: Vec<u8>, _span: u64) {
+            self.mcasts.push((tos.to_vec(), bytes));
+        }
+        fn set_timer(&mut self, delay: Duration, tag: u64) {
+            self.inner.timers.push((delay, tag));
+        }
+        fn charge(&mut self, _sys: Syscall) {}
+        fn charge_compute(&mut self, _d: Duration) {}
+    }
+
+    fn mcast_node() -> Node {
+        let config = NodeConfig {
+            multicast_calls: true,
+            ..NodeConfig::uncharged()
+        };
+        Node::new(SockAddr::new(HostId(0), 1), config)
+    }
+
+    /// With multicast on, a one-to-many call blasts each segment once to
+    /// the whole troupe instead of once per member (§4.3.3's m+n count),
+    /// and every member receives byte-identical datagrams.
+    #[test]
+    fn multicast_call_blasts_each_segment_once() {
+        let mut n = mcast_node();
+        let mut io = McastIo::new();
+        let thread = n.fresh_thread();
+        let troupe = troupe_of(3);
+        n.begin_call(
+            &mut io,
+            thread,
+            &troupe,
+            1,
+            0,
+            b"x".to_vec(),
+            CollationPolicy::Unanimous,
+        );
+        assert!(io.inner.sent.is_empty(), "no per-member unicast copies");
+        assert_eq!(io.mcasts.len(), 1, "one segment, one multicast");
+        let (tos, _) = &io.mcasts[0];
+        assert_eq!(
+            tos,
+            &troupe.members.iter().map(|m| m.addr).collect::<Vec<_>>()
+        );
+        // Retransmission timers are still armed per connection, so a
+        // straggler gets the unicast fallback.
+        assert!(!io.inner.timers.is_empty());
+    }
+
+    /// Dead-marked members are excluded from the multicast address list
+    /// exactly as they are skipped by the unicast loop.
+    #[test]
+    fn multicast_call_excludes_dead_members() {
+        let mut n = mcast_node();
+        let mut io = McastIo::new();
+        let troupe = troupe_of(3);
+        n.dead_peers
+            .insert(troupe.members[1].addr, Time::ZERO + Duration::from_secs(10));
+        let thread = n.fresh_thread();
+        n.begin_call(
+            &mut io,
+            thread,
+            &troupe,
+            1,
+            0,
+            b"x".to_vec(),
+            CollationPolicy::Majority,
+        );
+        assert_eq!(io.mcasts.len(), 1);
+        let (tos, _) = &io.mcasts[0];
+        assert_eq!(tos.len(), 2);
+        assert!(!tos.contains(&troupe.members[1].addr));
+    }
+
+    /// A single live target is not worth a multicast: the call falls back
+    /// to plain unicast (m+n degenerates to the 2-message exchange).
+    #[test]
+    fn multicast_mode_single_target_uses_unicast() {
+        let mut n = mcast_node();
+        let mut io = McastIo::new();
+        let thread = n.fresh_thread();
+        let troupe = troupe_of(1);
+        n.begin_call(
+            &mut io,
+            thread,
+            &troupe,
+            1,
+            0,
+            b"x".to_vec(),
+            CollationPolicy::Unanimous,
+        );
+        assert!(io.mcasts.is_empty());
+        assert_eq!(io.inner.sent.len(), 1);
+    }
+
+    /// Call numbers are client-wide and strictly monotone in multicast
+    /// mode, so every member of every troupe sees an increasing sequence
+    /// and the replay watermark stays valid.
+    #[test]
+    fn multicast_call_numbers_are_client_wide_monotone() {
+        let mut n = mcast_node();
+        let mut io = McastIo::new();
+        let troupe_a = troupe_of(3);
+        let members_b: Vec<ModuleAddr> = (2..=4)
+            .map(|h| ModuleAddr::new(SockAddr::new(HostId(h), 71), 1))
+            .collect();
+        let troupe_b = Troupe::new(TroupeId(10), members_b);
+        for troupe in [&troupe_a, &troupe_b, &troupe_a] {
+            let thread = n.fresh_thread();
+            n.begin_call(
+                &mut io,
+                thread,
+                troupe,
+                1,
+                0,
+                b"x".to_vec(),
+                CollationPolicy::Unanimous,
+            );
+        }
+        let cns: Vec<u32> = io
+            .mcasts
+            .iter()
+            .map(|(_, bytes)| Segment::decode(bytes).unwrap().header.call_number)
+            .collect();
+        assert_eq!(cns, vec![1, 2, 3]);
+        for conn in n.conns.values() {
+            assert_eq!(conn.endpoint.stats().send_call_regressions, 0);
+        }
     }
 
     #[test]

@@ -226,6 +226,37 @@ impl Endpoint {
         Ok(())
     }
 
+    /// Adopts an outgoing call whose segments were (or are about to be)
+    /// transmitted out-of-band by a troupe-wide multicast (§4.3.3): full
+    /// sender bookkeeping — ack tracking, the unicast retransmission
+    /// schedule toward a straggling peer, crash-detection probing, the
+    /// monotonicity audit — without queuing any initial segments of its
+    /// own. The reliability story is then identical to [`Endpoint::send`]:
+    /// only the first copy of each segment travels by multicast.
+    pub fn adopt_call(
+        &mut self,
+        now: Time,
+        call_number: u32,
+        span: u64,
+        data: &[u8],
+    ) -> Result<(), SendError> {
+        if self.dead {
+            return Ok(());
+        }
+        let mut sender = MsgSender::new(now, &self.config, MsgType::Call, call_number, span, data)?;
+        sender.mark_transmitted();
+        self.awaiting_reply.insert(call_number);
+        if self.highest_sent_call.is_some_and(|hi| call_number <= hi) {
+            self.stats.send_call_regressions += 1;
+        }
+        self.highest_sent_call = Some(
+            self.highest_sent_call
+                .map_or(call_number, |hi| hi.max(call_number)),
+        );
+        self.senders.insert((MsgType::Call, call_number), sender);
+        Ok(())
+    }
+
     /// Feeds an incoming datagram.
     pub fn on_datagram(&mut self, now: Time, bytes: &[u8]) -> Result<(), SegmentError> {
         let seg = Segment::decode(bytes)?;

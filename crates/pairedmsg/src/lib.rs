@@ -39,9 +39,11 @@ pub mod endpoint;
 pub mod receiver;
 pub mod segment;
 pub mod sender;
+pub mod troupe;
 
 pub use config::{Config, ProtocolMode};
 pub use endpoint::{Endpoint, EndpointStats, Event};
 pub use receiver::{MsgReceiver, RecvActions};
 pub use segment::{MsgType, Segment, SegmentError, SegmentHeader, HEADER_LEN, MAX_SEGMENTS};
 pub use sender::{MsgSender, SendError, SenderTick};
+pub use troupe::TroupeSender;

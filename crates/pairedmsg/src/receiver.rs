@@ -82,6 +82,14 @@ impl MsgReceiver {
         let mut actions = RecvActions::default();
         debug_assert!(seg.is_data());
         debug_assert_eq!(seg.header.call_number, self.call_number);
+        // Segment numbers are 1-based (§4.2.1); zero never occurs in a
+        // well-formed segment, and subtracting from it below would
+        // underflow. `Segment::decode` rejects it on the wire, but this
+        // entry point also takes pre-built segments — a hostile or
+        // corrupted one must not take the node down.
+        if seg.header.number == 0 {
+            return actions;
+        }
         let idx = seg.header.number as usize - 1;
         if idx >= self.slots.len() {
             // Inconsistent total; ignore the segment.
@@ -204,6 +212,18 @@ mod tests {
         let mut r = MsgReceiver::new(&seg(1, 1, false, b""));
         assert!(r.on_segment(&seg(1, 1, false, b"x")).completed);
         assert!(!r.on_segment(&seg(1, 1, false, b"x")).completed);
+    }
+
+    #[test]
+    fn zero_segment_number_rejected() {
+        // `Segment::decode` refuses number == 0, but `on_segment` is also
+        // reachable with pre-built segments; before the guard this
+        // underflowed `number - 1` and panicked debug builds.
+        let mut r = MsgReceiver::new(&seg(1, 2, false, b""));
+        let hostile = Segment::data(MsgType::Call, 7, 0, 2, 0, true, b"zz".to_vec());
+        let a = r.on_segment(&hostile);
+        assert_eq!(a, RecvActions::default());
+        assert_eq!(r.ack_number(), 0);
     }
 
     #[test]

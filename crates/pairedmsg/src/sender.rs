@@ -228,6 +228,16 @@ impl MsgSender {
         }
     }
 
+    /// Records that every segment has already been handed to the network
+    /// by other means (a troupe-wide multicast, §4.3.3): retransmission
+    /// and acknowledgment tracking proceed as if the eager initial
+    /// transmission had happened, but no initial segments are produced by
+    /// this sender. Stragglers are then served by the ordinary unicast
+    /// retransmission schedule.
+    pub fn mark_transmitted(&mut self) {
+        self.sent_through = self.total;
+    }
+
     /// Processes an explicit acknowledgment number: removes every segment
     /// numbered `<= ack_number` and resets the retry counter if progress
     /// was made. Returns any segments to transmit next (the PARC

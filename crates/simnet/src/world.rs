@@ -368,10 +368,18 @@ impl<'a> Ctx<'a> {
     /// `sendmsg` charge, modelling Ethernet multicast (§4.3.3: "a
     /// multicast implementation requires only m+n messages").
     pub fn multicast(&mut self, tos: &[SockAddr], data: Vec<u8>) {
+        self.multicast_spanned(tos, data, 0);
+    }
+
+    /// Like [`Ctx::multicast`], but attributes every copy of the datagram
+    /// to causal span `span` (0 = none), so a multicast call segment's
+    /// journeys are stitched into the same trace tree as unicast ones.
+    pub fn multicast_spanned(&mut self, tos: &[SockAddr], data: Vec<u8>, span: u64) {
         self.charge(Syscall::SendMsg);
         self.core.net_ctr.multicasts.inc();
         for &to in tos {
-            self.core.transmit(self.me, to, data.clone(), 0, self.vnow);
+            self.core
+                .transmit(self.me, to, data.clone(), span, self.vnow);
         }
     }
 

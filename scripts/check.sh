@@ -35,4 +35,21 @@ cargo test -p chaos --test sweep -- --nocapture
 echo "==> self-heal gate (two crashes => two ringmaster repairs)"
 cargo test -p chaos --release --test sweep self_heal_gate -- --nocapture
 
+echo "==> BENCH_4 gate (multicast call plane beats unicast on client sendmsg)"
+cargo run -q -p bench --bin repro -- --quick bench4 >/dev/null
+# One JSON record per line; pull the 5-replica client_sendmsgs for each mode.
+uni=$(grep '"mode":"unicast","replicas":5' BENCH_4.json \
+  | sed 's/.*"client_sendmsgs":\([0-9]*\).*/\1/')
+mc=$(grep '"mode":"multicast","replicas":5' BENCH_4.json \
+  | sed 's/.*"client_sendmsgs":\([0-9]*\).*/\1/')
+if [ -z "$uni" ] || [ -z "$mc" ]; then
+  echo "BENCH_4.json is missing the 5-replica records" >&2
+  exit 1
+fi
+if [ "$mc" -ge "$uni" ]; then
+  echo "multicast sendmsg count ($mc) not below unicast ($uni) for 5-member calls" >&2
+  exit 1
+fi
+echo "    5-member call: $mc sendmsg (multicast) < $uni (unicast)"
+
 echo "All checks passed."

@@ -1,0 +1,156 @@
+//! The m+n message count of §4.3.3: with `multicast_calls` on, a
+//! one-to-many call charges the client exactly one `sendmsg` per call
+//! segment (the troupe-wide multicast), where the paper-faithful unicast
+//! path charges one per segment *per member*. Return messages still
+//! arrive per member (the n half of m+n), and reliability is unchanged:
+//! every call completes with the same results in both modes.
+
+use rdp::circus::{
+    Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeBuilder,
+    NodeConfig, NodeCtx, Service, ServiceCtx, Step, Troupe, TroupeId,
+};
+use rdp::simnet::{Duration, HostId, NetConfig, SockAddr, Syscall, SyscallCosts, World};
+
+const MODULE: u16 = 3;
+const PROC_ECHO: u16 = 0;
+const MEMBERS: u32 = 5;
+
+struct Echo;
+
+impl Service for Echo {
+    fn dispatch(&mut self, _ctx: &mut ServiceCtx, _proc: u16, args: &[u8]) -> Step {
+        Step::Reply(args.to_vec())
+    }
+    fn get_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+    fn set_state(&mut self, _state: &[u8]) {}
+}
+
+/// Fires one echo call per poke and records completions.
+struct ScriptedClient {
+    troupe: Troupe,
+    payload: Vec<u8>,
+    results: Vec<Result<Vec<u8>, CallError>>,
+}
+
+impl Agent for ScriptedClient {
+    fn on_poke(&mut self, nc: &mut NodeCtx<'_, '_, '_>, _tag: u64) {
+        let t = nc.fresh_thread();
+        let troupe = self.troupe.clone();
+        let payload = self.payload.clone();
+        nc.call(
+            t,
+            &troupe,
+            MODULE,
+            PROC_ECHO,
+            payload,
+            CollationPolicy::Unanimous,
+        );
+    }
+
+    fn on_call_done(
+        &mut self,
+        _nc: &mut NodeCtx<'_, '_, '_>,
+        _h: CallHandle,
+        result: Result<Vec<u8>, CallError>,
+    ) {
+        self.results.push(result);
+    }
+}
+
+/// Runs `calls` measured echo calls (after one warmup call) against a
+/// 5-member troupe on a lossless LAN and returns the client's measured
+/// `sendmsg` count, the network's multicast-operation count, and the
+/// number of successful completions.
+fn measure(multicast: bool, calls: u64, payload: Vec<u8>) -> (u64, u64, usize) {
+    let mut w = World::with_config(1985, NetConfig::lan_1985(), SyscallCosts::vax_4_2bsd());
+    let config = NodeConfig {
+        multicast_calls: multicast,
+        ..NodeConfig::default()
+    };
+    let id = TroupeId(9);
+    let members: Vec<ModuleAddr> = (1..=MEMBERS)
+        .map(|h| ModuleAddr::new(SockAddr::new(HostId(h), 70), MODULE))
+        .collect();
+    for m in &members {
+        let p = NodeBuilder::new(m.addr, config.clone())
+            .service(MODULE, Box::new(Echo))
+            .troupe_id(id)
+            .build()
+            .expect("valid node");
+        w.spawn(m.addr, Box::new(p));
+    }
+    let client = SockAddr::new(HostId(10), 10);
+    let p = NodeBuilder::new(client, config)
+        .agent(Box::new(ScriptedClient {
+            troupe: Troupe::new(id, members),
+            payload,
+            results: Vec::new(),
+        }))
+        .build()
+        .expect("valid node");
+    w.spawn(client, Box::new(p));
+
+    // Warmup call: lets connections, directories, and the previous
+    // return's ack traffic settle outside the measured window.
+    w.poke(client, 0);
+    w.run_for(Duration::from_millis(200));
+    w.reset_cpu(client);
+    let mcasts_before = w.net_stats().multicasts;
+
+    // Each measured call gets 200 ms: far beyond the LAN round trip, but
+    // inside the 300 ms retransmission interval, so a lossless run
+    // carries no retransmissions or explicit acks — each call's returns
+    // are implicitly acknowledged by the next call.
+    for _ in 0..calls {
+        w.poke(client, 0);
+        w.run_for(Duration::from_millis(200));
+    }
+
+    let sendmsgs = w.cpu(client).count_of(Syscall::SendMsg.index());
+    let mcasts = w.net_stats().multicasts - mcasts_before;
+    let ok = w
+        .with_proc(client, |p: &CircusProcess| {
+            p.agent_as::<ScriptedClient>()
+                .unwrap()
+                .results
+                .iter()
+                .filter(|r| r.is_ok())
+                .count()
+        })
+        .unwrap();
+    (sendmsgs, mcasts, ok)
+}
+
+#[test]
+fn unicast_charges_one_sendmsg_per_member() {
+    let (sendmsgs, mcasts, ok) = measure(false, 4, b"ping".to_vec());
+    assert_eq!(ok, 5, "warmup + 4 measured calls all complete");
+    assert_eq!(mcasts, 0, "paper-faithful mode never multicasts");
+    assert_eq!(
+        sendmsgs,
+        4 * MEMBERS as u64,
+        "unicast: one sendmsg per member per (single-segment) call"
+    );
+}
+
+#[test]
+fn multicast_charges_one_sendmsg_per_call_segment() {
+    let (sendmsgs, mcasts, ok) = measure(true, 4, b"ping".to_vec());
+    assert_eq!(ok, 5, "warmup + 4 measured calls all complete");
+    assert_eq!(mcasts, 4, "one multicast op per single-segment call");
+    assert_eq!(
+        sendmsgs, 4,
+        "multicast: exactly 1 sendmsg per call segment, independent of troupe size"
+    );
+}
+
+#[test]
+fn multisegment_call_multicasts_once_per_segment() {
+    // 2500 bytes over 1024-byte segments = 3 segments.
+    let (sendmsgs, mcasts, ok) = measure(true, 2, vec![7u8; 2500]);
+    assert_eq!(ok, 3);
+    assert_eq!(mcasts, 2 * 3, "one multicast op per segment");
+    assert_eq!(sendmsgs, 2 * 3);
+}

@@ -56,10 +56,17 @@ impl Agent for OneShot {
 
 /// Runs one one-to-many call against a 3-member troupe whose third
 /// member is crashed before the call, then checks the span tree against
-/// the registry's own delivery counters.
-fn crashed_replica_spans(seed: u64) {
+/// the registry's own delivery counters. With `multicast` set, the call
+/// data travels as a single troupe-wide multicast per segment — which
+/// also pins the `Ctx::multicast_spanned` fix: if the multicast dropped
+/// the span (the old hardcoded `span: 0`), the members' `invoke` spans
+/// would detach into extra roots and the tree assertions below fail.
+fn crashed_replica_spans(seed: u64, multicast: bool) {
     let mut w = World::new(seed);
-    let config = NodeConfig::default();
+    let config = NodeConfig {
+        multicast_calls: multicast,
+        ..NodeConfig::default()
+    };
     let id = TroupeId(9);
     let members: Vec<ModuleAddr> = (1..=3)
         .map(|h| ModuleAddr::new(SockAddr::new(HostId(h), 70), MODULE))
@@ -131,10 +138,20 @@ fn crashed_replica_spans(seed: u64) {
 
 #[test]
 fn span_tree_matches_deliveries_seed_7() {
-    crashed_replica_spans(7);
+    crashed_replica_spans(7, false);
 }
 
 #[test]
 fn span_tree_matches_deliveries_seed_1985() {
-    crashed_replica_spans(1985);
+    crashed_replica_spans(1985, false);
+}
+
+#[test]
+fn span_tree_matches_deliveries_multicast_seed_7() {
+    crashed_replica_spans(7, true);
+}
+
+#[test]
+fn span_tree_matches_deliveries_multicast_seed_1985() {
+    crashed_replica_spans(1985, true);
 }
