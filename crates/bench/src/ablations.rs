@@ -15,7 +15,7 @@ use circus::{
     Agent, CallError, CallHandle, CircusProcess, CollationPolicy, ModuleAddr, NodeBuilder,
     NodeConfig, NodeCtx, Service, ServiceCtx, Step, Troupe, TroupeId,
 };
-use simnet::{Ctx, Duration, HostId, Process, SockAddr, Syscall, Time, TimerId, World};
+use simnet::{Ctx, Duration, HostId, Payload, Process, SockAddr, Syscall, Time, TimerId, World};
 use transactions::{
     Broadcaster, CommitVoterService, ObjId, Op, OrderedApply, OrderedBroadcastService,
     TroupeStoreService, TxnClient,
@@ -38,7 +38,7 @@ impl Process for LoadGenerator {
         ctx.set_timer(self.period, 0);
     }
 
-    fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _from: SockAddr, _data: Vec<u8>) {}
+    fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _from: SockAddr, _data: Payload) {}
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: TimerId, _tag: u64) {
         ctx.charge_dur(Syscall::Compute, self.busy);

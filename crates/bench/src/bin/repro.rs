@@ -2,15 +2,28 @@
 //!
 //! ```text
 //! repro [--quick] [EXPERIMENT...]
+//! repro --gate (bench4|bench5)
 //! ```
 //!
-//! Experiments: `table4.1 table4.2 table4.3 fig4.8 bench4 multicast eq5.1
-//! fig6.3 table7.1 ablation.waiting ablation.sync ablation.protocol` (default: all).
-//! `--quick` uses fewer calls/trials.
+//! Experiments: `table4.1 table4.2 table4.3 fig4.8 bench4 bench5 multicast
+//! eq5.1 fig6.3 table7.1 ablation.waiting ablation.sync ablation.protocol`
+//! (default: all). `--quick` uses fewer calls/trials.
 //!
 //! `bench4` additionally writes `BENCH_4.json` (one record per line) to
 //! the current directory: per-replica-count call latency and client
 //! `sendmsg` counts for the unicast and multicast call data planes.
+//! `bench5` writes `BENCH_5.json`: simulator events/sec at growing
+//! payloads, and serial-vs-parallel chaos-sweep wall clock.
+//!
+//! `--gate NAME` checks the invariant a benchmark must uphold, reading
+//! the `BENCH_*.json` the benchmark wrote (run the benchmark first):
+//!
+//! - `bench4` — a 5-member multicast call costs the client fewer
+//!   `sendmsg`s than the unicast data plane;
+//! - `bench5` — the parallel sweep beats the serial one by a
+//!   core-count-aware factor (2x with 4+ workers, 1.2x with 2-3, and
+//!   no regression on a single core, where the sweep degenerates to
+//!   serial).
 
 use std::process::ExitCode;
 
@@ -23,6 +36,105 @@ fn emit(block: String) {
     }
 }
 
+/// Pulls `"key":<number>` out of a one-record-per-line JSON string.
+/// Good for exactly the records this binary writes; not a JSON parser.
+fn field(line: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let rest = &line[line.find(&needle)? + needle.len()..];
+    let end = rest
+        .find([',', '}'])
+        .expect("record lines are well-formed JSON objects");
+    rest[..end].trim().parse().ok()
+}
+
+/// The line of `path` matching every needle, or an error naming what's
+/// missing.
+fn record(path: &str, needles: &[&str]) -> Result<String, String> {
+    let body = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {path}: {e}; run the benchmark first"))?;
+    body.lines()
+        .find(|l| needles.iter().all(|n| l.contains(n)))
+        .map(str::to_string)
+        .ok_or_else(|| format!("{path} has no record matching {needles:?}"))
+}
+
+/// Gate: the 5-member multicast call plane must beat unicast on client
+/// `sendmsg` count. Reads `BENCH_4.json`.
+fn gate_bench4() -> Result<String, String> {
+    let uni = record("BENCH_4.json", &["\"mode\":\"unicast\"", "\"replicas\":5"])?;
+    let mc = record(
+        "BENCH_4.json",
+        &["\"mode\":\"multicast\"", "\"replicas\":5"],
+    )?;
+    let uni = field(&uni, "client_sendmsgs").ok_or("unicast record lacks client_sendmsgs")?;
+    let mc = field(&mc, "client_sendmsgs").ok_or("multicast record lacks client_sendmsgs")?;
+    if mc >= uni {
+        return Err(format!(
+            "multicast sendmsg count ({mc}) not below unicast ({uni}) for 5-member calls"
+        ));
+    }
+    Ok(format!(
+        "5-member call: {mc} sendmsg (multicast) < {uni} (unicast)"
+    ))
+}
+
+/// Gate: the parallel sweep must beat the serial one by a factor scaled
+/// to how many workers actually ran. Reads `BENCH_5.json`.
+fn gate_bench5() -> Result<String, String> {
+    let summary = record("BENCH_5.json", &["\"section\":\"sweep_summary\""])?;
+    if !summary.contains("\"hashes_match\":true") {
+        return Err("parallel sweep reports diverged from serial".to_string());
+    }
+    let jobs = field(&summary, "jobs").ok_or("sweep_summary lacks jobs")? as usize;
+    let cores = field(&summary, "cores").ok_or("sweep_summary lacks cores")? as usize;
+    let speedup = field(&summary, "speedup").ok_or("sweep_summary lacks speedup")?;
+    // Workers beyond the physical core count cannot add speed, and a
+    // single effective worker cannot beat itself (the runner degenerates
+    // to serial) — there the gate demands only "no regression", with
+    // slack for timer noise. Real fan-out must pay for its threads.
+    let effective = jobs.min(cores);
+    let floor = match effective {
+        0 | 1 => 0.8,
+        2 | 3 => 1.2,
+        _ => 2.0,
+    };
+    if speedup < floor {
+        return Err(format!(
+            "parallel sweep speedup {speedup:.2}x below the {floor:.1}x floor \
+             ({jobs} worker(s) on {cores} core(s))"
+        ));
+    }
+    Ok(format!(
+        "10-seed sweep: {speedup:.2}x speedup with {jobs} worker(s) on {cores} core(s) \
+         (floor {floor:.1}x)"
+    ))
+}
+
+fn run_gates(wanted: &[&str]) -> ExitCode {
+    if wanted.is_empty() {
+        eprintln!("--gate needs a benchmark name: bench4 bench5");
+        return ExitCode::from(2);
+    }
+    for name in wanted {
+        let verdict = match *name {
+            "bench4" => gate_bench4(),
+            "bench5" => gate_bench5(),
+            other => {
+                eprintln!("no gate named {other}; known: bench4 bench5");
+                return ExitCode::from(2);
+            }
+        };
+        match verdict {
+            Ok(msg) => emit(format!("gate {name}: PASS — {msg}")),
+            Err(msg) => {
+                eprintln!("gate {name}: FAIL — {msg}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -31,6 +143,9 @@ fn main() -> ExitCode {
         .filter(|a| !a.starts_with("--"))
         .map(|s| s.as_str())
         .collect();
+    if args.iter().any(|a| a == "--gate") {
+        return run_gates(&wanted);
+    }
     let all = wanted.is_empty();
     let want = |name: &str| all || wanted.contains(&name);
 
@@ -69,6 +184,20 @@ fn main() -> ExitCode {
             }
         }
     }
+    if want("bench5") {
+        known = true;
+        let json = bench::bench5::bench_5_json(quick);
+        emit(format!(
+            "BENCH_5: simulator throughput and parallel sweep wall clock\n{json}"
+        ));
+        match std::fs::write("BENCH_5.json", &json) {
+            Ok(()) => emit("wrote BENCH_5.json".to_string()),
+            Err(e) => {
+                eprintln!("cannot write BENCH_5.json: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
     if want("multicast") || want("fig4.9-theory") {
         known = true;
         emit(bench::tables::fig_multicast_theory(mc_calls));
@@ -100,7 +229,8 @@ fn main() -> ExitCode {
     if !known {
         eprintln!(
             "unknown experiment(s) {wanted:?}; known: table4.1 table4.2 table4.3 \
-             fig4.8 bench4 multicast eq5.1 fig6.3 table7.1 ablation.waiting ablation.sync ablation.protocol"
+             fig4.8 bench4 bench5 multicast eq5.1 fig6.3 table7.1 ablation.waiting \
+             ablation.sync ablation.protocol"
         );
         return ExitCode::from(2);
     }

@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod bench5;
 pub mod tables;
 pub mod testbed;
 

@@ -11,8 +11,8 @@ use circus::{
     NodeConfig, NodeCtx, Service, ServiceCtx, Step, Troupe, TroupeId,
 };
 use simnet::{
-    CpuView, Ctx, Duration, HostId, NetConfig, Process, SockAddr, Syscall, SyscallCosts, Time,
-    World,
+    CpuView, Ctx, Duration, HostId, NetConfig, Payload, Process, SockAddr, Syscall, SyscallCosts,
+    Time, World,
 };
 
 /// Result of one echo experiment.
@@ -67,7 +67,7 @@ fn world() -> World {
 struct UdpServer;
 
 impl Process for UdpServer {
-    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: SockAddr, data: Vec<u8>) {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: SockAddr, data: Payload) {
         ctx.send(from, data); // recvmsg auto-charged; sendmsg by send().
     }
 }
@@ -94,7 +94,7 @@ impl Process for UdpClient {
         self.send_one(ctx);
     }
 
-    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, _from: SockAddr, _data: Vec<u8>) {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, _from: SockAddr, _data: Payload) {
         // `alarm(0)` — cancel the timeout.
         ctx.charge(Syscall::SetITimer);
         self.remaining -= 1;
@@ -142,7 +142,7 @@ pub fn run_udp_echo(calls: u32) -> EchoResult {
 struct TcpServer;
 
 impl Process for TcpServer {
-    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: SockAddr, data: Vec<u8>) {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: SockAddr, data: Payload) {
         ctx.send_as(Syscall::Write, from, data);
     }
 
@@ -165,7 +165,7 @@ impl Process for TcpClient {
         ctx.send_as(Syscall::Write, self.server, vec![0u8; PAYLOAD]);
     }
 
-    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, _from: SockAddr, _data: Vec<u8>) {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, _from: SockAddr, _data: Payload) {
         self.remaining -= 1;
         if self.remaining == 0 {
             self.finished = Some(ctx.now());
@@ -222,6 +222,7 @@ impl Service for EchoService {
 struct RpcClient {
     troupe: Troupe,
     remaining: u32,
+    payload: usize,
     thread: Option<circus::ThreadId>,
     started: Time,
     finished: Option<Time>,
@@ -244,7 +245,7 @@ impl RpcClient {
             &troupe,
             1,
             0,
-            vec![0u8; PAYLOAD],
+            vec![0u8; self.payload],
             CollationPolicy::Unanimous,
         );
     }
@@ -285,6 +286,29 @@ pub fn run_circus_echo(replicas: usize, calls: u32) -> EchoResult {
 /// troupe-wide multicast of §4.3.3, which charges the client one
 /// `sendmsg` per call segment regardless of the degree of replication.
 pub fn run_circus_echo_mode(replicas: usize, calls: u32, multicast: bool) -> EchoResult {
+    run_circus_echo_rig(replicas, calls, multicast, PAYLOAD).echo
+}
+
+/// Result of one echo rig run, with the simulator's own accounting
+/// alongside the per-call figures (for throughput benchmarks).
+pub struct RigResult {
+    /// The per-call figures.
+    pub echo: EchoResult,
+    /// Simulator events processed over the whole run.
+    pub events: u64,
+    /// Simulated time the run covered.
+    pub sim: Duration,
+}
+
+/// The echo rig with an explicit call payload size, reporting the
+/// simulator's event count so callers can compute events-per-second
+/// throughput (BENCH_5).
+pub fn run_circus_echo_rig(
+    replicas: usize,
+    calls: u32,
+    multicast: bool,
+    payload: usize,
+) -> RigResult {
     let mut w = world();
     let config = NodeConfig {
         multicast_calls: multicast,
@@ -308,6 +332,7 @@ pub fn run_circus_echo_mode(replicas: usize, calls: u32, multicast: bool) -> Ech
         .agent(Box::new(RpcClient {
             troupe,
             remaining: calls,
+            payload,
             thread: None,
             started: Time::ZERO,
             finished: None,
@@ -330,7 +355,11 @@ pub fn run_circus_echo_mode(replicas: usize, calls: u32, multicast: bool) -> Ech
         })
         .unwrap();
     assert_eq!(failures, 0, "echo calls must not fail");
-    EchoResult::from_account(w.cpu(client), finished.since(started), calls)
+    RigResult {
+        echo: EchoResult::from_account(w.cpu(client), finished.since(started), calls),
+        events: w.events_processed(),
+        sim: w.now().since(Time::ZERO),
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -343,11 +372,11 @@ pub fn run_circus_echo_mode(replicas: usize, calls: u32, multicast: bool) -> Ech
 /// network itself is instantaneous.
 struct McServer {
     mean_rt: Duration,
-    queued: Vec<(SockAddr, Vec<u8>)>,
+    queued: Vec<(SockAddr, Payload)>,
 }
 
 impl Process for McServer {
-    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: SockAddr, data: Vec<u8>) {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: SockAddr, data: Payload) {
         let delay = ctx.rng().exponential(self.mean_rt);
         self.queued.push((from, data));
         let tag = self.queued.len() as u64 - 1;
@@ -383,7 +412,7 @@ impl Process for McClient {
         self.fire(ctx);
     }
 
-    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, _from: SockAddr, _data: Vec<u8>) {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, _from: SockAddr, _data: Payload) {
         self.outstanding -= 1;
         if self.outstanding == 0 {
             self.durations.push(ctx.now().since(self.call_started));

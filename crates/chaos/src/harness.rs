@@ -8,12 +8,12 @@
 //! all — which is what the determinism test asserts, and what makes the
 //! copy-pasteable repro line from a failing sweep actually reproduce.
 
-use simnet::{Duration, NetView, TraceEvent, TraceLog};
+use simnet::{Duration, NetView, TraceEvent, TraceRing};
 
 use crate::oracle::{check_all, Violation};
 use crate::scenario::{run_scenario, Quiesced, ScenarioOptions};
 
-/// How many leading trace events a report carries for inspection.
+/// How many retained trace events a report carries for inspection.
 const TRACE_SAMPLE: usize = 64;
 
 /// Everything one chaos run produced.
@@ -25,7 +25,8 @@ pub struct RunReport {
     pub trace_hash: u64,
     /// Total trace events emitted.
     pub trace_events: u64,
-    /// The first few events, for eyeballing a diverging run.
+    /// A few retained events (the oldest the ring still holds), for
+    /// eyeballing a diverging run.
     pub trace_sample: Vec<TraceEvent>,
     /// Faults the plan scheduled.
     pub faults: usize,
@@ -123,14 +124,10 @@ fn report(q: &Quiesced, violations: Vec<Violation>) -> RunReport {
 
     let (trace_hash, trace_events, trace_sample) = q
         .world
-        .trace_sink_as::<TraceLog>()
-        .map(|log| {
-            let sample = log.events().iter().take(TRACE_SAMPLE).cloned().collect();
-            (
-                log.hash(),
-                log.events().len() as u64 + log.dropped(),
-                sample,
-            )
+        .trace_sink_as::<TraceRing>()
+        .map(|ring| {
+            let sample = ring.events().into_iter().take(TRACE_SAMPLE).collect();
+            (ring.hash(), ring.seen(), sample)
         })
         .unwrap_or((0, 0, Vec::new()));
 
@@ -184,6 +181,72 @@ fn report(q: &Quiesced, violations: Vec<Violation>) -> RunReport {
         metrics_json,
         span_hash,
     }
+}
+
+/// How many worker threads a parallel sweep should use: the
+/// `CHAOS_JOBS` environment variable, or the machine's available
+/// parallelism.
+pub fn chaos_jobs() -> usize {
+    match std::env::var("CHAOS_JOBS") {
+        Ok(s) => s
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| panic!("CHAOS_JOBS must be a positive integer, got {s:?}")),
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Runs every seed serially and returns the reports in seed order.
+pub fn run_sweep(seeds: &[u64], opts: &ScenarioOptions) -> Vec<RunReport> {
+    seeds.iter().map(|&s| run_seed_with(s, opts)).collect()
+}
+
+/// Runs the sweep across `jobs` worker threads and returns the reports
+/// in the same order as `seeds`, exactly as the serial sweep would.
+///
+/// Each worker builds its own [`World`](simnet::World) — the simulator's
+/// interior (`Rc`-based metrics registry, payload handles) is
+/// deliberately thread-*un*safe, so nothing of a run crosses a thread
+/// boundary except the finished, plain-data [`RunReport`]. Every run is
+/// a pure function of its seed, so the schedule (which worker picks
+/// which seed, in what order) cannot change any report: parallel and
+/// serial sweeps are bit-identical, which `scripts/check.sh` and the
+/// sweep tests assert.
+pub fn run_sweep_parallel(seeds: &[u64], opts: &ScenarioOptions, jobs: usize) -> Vec<RunReport> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let jobs = jobs.max(1).min(seeds.len().max(1));
+    if jobs == 1 {
+        return run_sweep(seeds, opts);
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RunReport>>> = seeds.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&seed) = seeds.get(i) else { break };
+                let report = run_seed_with(seed, opts);
+                *slots[i].lock().expect("sweep slot poisoned") = Some(report);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("sweep slot poisoned")
+                .expect("every seed produced a report")
+        })
+        .collect()
 }
 
 /// The seeds a sweep should run: the `CHAOS_SEED` environment variable

@@ -36,7 +36,9 @@ pub mod plan;
 pub mod scenario;
 
 pub use client::{RebindingClient, RemoveAgent};
-pub use harness::{run_seed, run_seed_with, sweep_seeds, RunReport};
+pub use harness::{
+    chaos_jobs, run_seed, run_seed_with, run_sweep, run_sweep_parallel, sweep_seeds, RunReport,
+};
 pub use oracle::{check_all, Violation};
 pub use plan::{Fault, FaultPlan, PlanOptions, PlannedFault};
 pub use scenario::{run_scenario, Quiesced, ScenarioOptions};

@@ -26,7 +26,7 @@ use ringmaster::{
     SPARE_CTL_MODULE,
 };
 use simnet::{
-    Duration, HostId, NetConfig, Partition, SimRng, SockAddr, SyscallCosts, TraceLog, World,
+    Duration, HostId, NetConfig, Partition, SimRng, SockAddr, SyscallCosts, TraceRing, World,
 };
 use transactions::{CommitVoterService, ObjId, Op, TroupeStoreService};
 use wire::{from_bytes, to_bytes};
@@ -317,8 +317,10 @@ pub fn run_scenario(seed: u64, opts: &ScenarioOptions) -> Quiesced {
     let baseline = NetConfig::lan_1985();
     let mut w = World::with_config(seed, baseline.clone(), SyscallCosts::default());
     // The sink must be installed before the first spawn so the whole run,
-    // setup included, is covered by the trace hash.
-    w.set_trace_sink(Box::new(TraceLog::with_limit(20_000)));
+    // setup included, is covered by the trace hash. A bounded ring keeps
+    // memory flat no matter how long the run is: the hash still covers
+    // every event, only the retained window is capped.
+    w.set_trace_sink(Box::new(TraceRing::new(4_096)));
 
     let config = NodeConfig {
         assembly_timeout: Duration::from_micros(1_500_000),

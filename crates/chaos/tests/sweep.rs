@@ -8,7 +8,10 @@
 //! CHAOS_SEED=<seed> cargo test -p chaos --test sweep -- --nocapture
 //! ```
 
-use chaos::{run_seed, run_seed_with, sweep_seeds, PlanOptions, RunReport, ScenarioOptions};
+use chaos::{
+    chaos_jobs, run_seed, run_seed_with, run_sweep, run_sweep_parallel, sweep_seeds, PlanOptions,
+    RunReport, ScenarioOptions,
+};
 use simnet::Duration;
 
 /// Reads a counter out of the deterministic metrics dump. A counter that
@@ -32,8 +35,8 @@ fn sweep_seeds_through_all_oracles() {
     let mut repairs = 0usize;
     let mut rebinds = 0u32;
     let mut commits = 0usize;
-    for &seed in &seeds {
-        let r = run_seed(seed);
+    let reports = run_sweep_parallel(&seeds, &ScenarioOptions::default(), chaos_jobs());
+    for (&seed, r) in seeds.iter().zip(&reports) {
         println!(
             "seed {seed}: hash={:#018x} events={} faults={} repairs={} commits={} \
              aborts={} rebinds={} violations={}",
@@ -47,7 +50,7 @@ fn sweep_seeds_through_all_oracles() {
             r.violations.len(),
         );
         repairs += r.repairs;
-        rebinds += r.rebinds as u32;
+        rebinds += r.rebinds;
         commits += r.commits;
         if !r.passed() {
             failures.push(r.failure_summary());
@@ -91,8 +94,8 @@ fn sweep_seeds_through_all_oracles_multicast() {
     let seeds = sweep_seeds(1..11);
     let mut failures = Vec::new();
     let mut multicasts = 0u64;
-    for &seed in &seeds {
-        let r = run_seed_with(seed, &opts);
+    let reports = run_sweep_parallel(&seeds, &opts, chaos_jobs());
+    for (&seed, r) in seeds.iter().zip(&reports) {
         println!(
             "seed {seed} (multicast): hash={:#018x} events={} faults={} repairs={} \
              commits={} aborts={} rebinds={} multicasts={} violations={}",
@@ -196,6 +199,42 @@ fn self_heal_gate_two_crashes_two_ringmaster_repairs() {
     assert_eq!(counter(&r, "ring.evictions"), 2);
     assert_eq!(counter(&r, "ring.repairs"), 2);
     assert_eq!(counter(&r, "spare.activations"), 2);
+}
+
+/// The parallel sweep is pure speed, zero semantics: every per-seed
+/// report it produces must be bit-identical to the serial sweep's —
+/// trace hash, event counts, the full metrics dump, the span forest.
+/// Worker scheduling must not be able to leak into a run.
+#[test]
+fn parallel_sweep_matches_serial_bit_for_bit() {
+    let seeds: Vec<u64> = (1..6).collect();
+    let opts = ScenarioOptions::default();
+    let serial = run_sweep(&seeds, &opts);
+    let parallel = run_sweep_parallel(&seeds, &opts, 2);
+
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.seed, p.seed, "report order diverged");
+        assert_eq!(s.trace_hash, p.trace_hash, "seed {}: trace hash", s.seed);
+        assert_eq!(
+            s.trace_events, p.trace_events,
+            "seed {}: event count",
+            s.seed
+        );
+        assert_eq!(
+            s.trace_sample, p.trace_sample,
+            "seed {}: trace sample",
+            s.seed
+        );
+        assert_eq!(
+            s.metrics_json, p.metrics_json,
+            "seed {}: metrics dump",
+            s.seed
+        );
+        assert_eq!(s.span_hash, p.span_hash, "seed {}: span forest", s.seed);
+        assert_eq!(s.cpu_total, p.cpu_total, "seed {}: CPU total", s.seed);
+        assert_eq!(s.commits, p.commits, "seed {}: commits", s.seed);
+    }
 }
 
 /// The same gate with the multicast data plane: crash repair must not

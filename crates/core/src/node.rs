@@ -31,7 +31,7 @@ use crate::service::{CallError, NodeEffect, OutCall, Service, ServiceCtx, Step, 
 use crate::thread::{ThreadId, ThreadIdGen};
 use obs::SpanId;
 use pairedmsg::{Endpoint, Event as PmEvent, MsgType};
-use simnet::{Duration, SockAddr, Syscall, Time};
+use simnet::{Duration, Payload, SockAddr, Syscall, Time};
 use wire::{from_bytes, to_bytes};
 
 /// Abstraction over the I/O facilities a node needs; implemented for the
@@ -41,20 +41,21 @@ pub trait NetIo {
     fn now(&self) -> Time;
     /// This process's address.
     fn me(&self) -> SockAddr;
-    /// Transmits a datagram (charging one `sendmsg`).
-    fn send(&mut self, to: SockAddr, bytes: Vec<u8>);
+    /// Transmits a datagram (charging one `sendmsg`). The payload handle
+    /// is cheap to clone; implementations never copy the bytes.
+    fn send(&mut self, to: SockAddr, bytes: Payload);
     /// Transmits a datagram attributed to causal span `span` (0 = none).
     /// The default drops the attribution; the simulator overrides it so
     /// network trace events carry the span.
-    fn send_spanned(&mut self, to: SockAddr, bytes: Vec<u8>, _span: u64) {
+    fn send_spanned(&mut self, to: SockAddr, bytes: Payload, _span: u64) {
         self.send(to, bytes);
     }
     /// Transmits the same datagram to every destination, attributed to
     /// causal span `span`. The default degenerates to per-destination
-    /// unicast (m `sendmsg` charges); the simulator overrides it with
-    /// true Ethernet multicast — one `sendmsg` charge for all copies
-    /// (§4.3.3).
-    fn multicast_spanned(&mut self, tos: &[SockAddr], bytes: Vec<u8>, span: u64) {
+    /// unicast (m `sendmsg` charges, same shared payload); the simulator
+    /// overrides it with true Ethernet multicast — one `sendmsg` charge
+    /// for all copies (§4.3.3).
+    fn multicast_spanned(&mut self, tos: &[SockAddr], bytes: Payload, span: u64) {
         for &to in tos {
             self.send_spanned(to, bytes.clone(), span);
         }
@@ -80,13 +81,13 @@ impl NetIo for simnet::Ctx<'_> {
     fn me(&self) -> SockAddr {
         simnet::Ctx::me(self)
     }
-    fn send(&mut self, to: SockAddr, bytes: Vec<u8>) {
+    fn send(&mut self, to: SockAddr, bytes: Payload) {
         simnet::Ctx::send(self, to, bytes);
     }
-    fn send_spanned(&mut self, to: SockAddr, bytes: Vec<u8>, span: u64) {
+    fn send_spanned(&mut self, to: SockAddr, bytes: Payload, span: u64) {
         simnet::Ctx::send_spanned(self, to, bytes, span);
     }
-    fn multicast_spanned(&mut self, tos: &[SockAddr], bytes: Vec<u8>, span: u64) {
+    fn multicast_spanned(&mut self, tos: &[SockAddr], bytes: Payload, span: u64) {
         simnet::Ctx::multicast_spanned(self, tos, bytes, span);
     }
     fn set_timer(&mut self, delay: Duration, tag: u64) {
@@ -660,7 +661,9 @@ impl Node {
             io.charge(Syscall::SetITimer);
             io.charge(Syscall::SigBlock);
         }
-        let bytes = to_bytes(&msg);
+        // Encode the call message once; every member's sender (and every
+        // retransmission) shares this buffer.
+        let bytes = Payload::from(to_bytes(&msg));
 
         // Mint the causal span covering this call. Application calls and
         // binding lookups start new trees; a nested call made by a service
@@ -760,7 +763,7 @@ impl Node {
         handle: u64,
         cn: u32,
         span: u64,
-        bytes: &[u8],
+        bytes: &Payload,
         now: Time,
         i: usize,
         addr: SockAddr,
@@ -768,7 +771,7 @@ impl Node {
         let conn = self.conn_mut(addr);
         if conn
             .endpoint
-            .send(now, MsgType::Call, cn, span, bytes)
+            .send(now, MsgType::Call, cn, span, bytes.clone())
             .is_err()
         {
             self.call_mut(handle).collation.mark_dead(i);
@@ -789,11 +792,11 @@ impl Node {
         handle: u64,
         cn: u32,
         span: u64,
-        bytes: &[u8],
+        bytes: &Payload,
         live: &[(usize, SockAddr)],
     ) {
         let now = io.now();
-        let ts = match pairedmsg::TroupeSender::new(&self.config.pm, cn, span, bytes) {
+        let ts = match pairedmsg::TroupeSender::new(&self.config.pm, cn, span, bytes.clone()) {
             Ok(ts) => ts,
             Err(_) => {
                 // Oversize: no member can receive it (the stub layer
@@ -807,7 +810,11 @@ impl Node {
         let mut addrs: Vec<SockAddr> = Vec::with_capacity(live.len());
         for &(i, addr) in live {
             let conn = self.conn_mut(addr);
-            if conn.endpoint.adopt_call(now, cn, span, bytes).is_err() {
+            if conn
+                .endpoint
+                .adopt_call(now, cn, span, bytes.clone())
+                .is_err()
+            {
                 self.call_mut(handle).collation.mark_dead(i);
                 continue;
             }
@@ -926,7 +933,8 @@ impl Node {
     // -----------------------------------------------------------------
 
     /// Feeds an incoming datagram (call this from `Process::on_datagram`).
-    pub fn on_datagram(&mut self, io: &mut dyn NetIo, from: SockAddr, bytes: &[u8]) {
+    pub fn on_datagram(&mut self, io: &mut dyn NetIo, from: SockAddr, bytes: impl Into<Payload>) {
+        let bytes = bytes.into();
         if self.config.charge_overhead {
             // SIGIO delivery: check readiness and enter the critical
             // region (§4.2.4). `recvmsg` itself is charged by the world.
@@ -938,7 +946,7 @@ impl Node {
         // healed partition must not fail-fast calls to a live member.
         self.dead_peers.remove(&from);
         let conn = self.conn_mut(from);
-        if conn.endpoint.on_datagram(now, bytes).is_err() {
+        if conn.endpoint.on_datagram(now, &bytes).is_err() {
             return; // Garbled segment: treated as lost (§2.2).
         }
         let mut events = Vec::new();
@@ -1827,7 +1835,7 @@ mod tests {
     struct MockIo {
         now: Time,
         me: SockAddr,
-        sent: Vec<(SockAddr, Vec<u8>)>,
+        sent: Vec<(SockAddr, Payload)>,
         timers: Vec<(Duration, u64)>,
     }
 
@@ -1849,7 +1857,7 @@ mod tests {
         fn me(&self) -> SockAddr {
             self.me
         }
-        fn send(&mut self, to: SockAddr, bytes: Vec<u8>) {
+        fn send(&mut self, to: SockAddr, bytes: Payload) {
             self.sent.push((to, bytes));
         }
         fn set_timer(&mut self, delay: Duration, tag: u64) {
@@ -2021,7 +2029,7 @@ mod tests {
     /// unicast sends, so tests can pin the m+n message discipline.
     struct McastIo {
         inner: MockIo,
-        mcasts: Vec<(Vec<SockAddr>, Vec<u8>)>,
+        mcasts: Vec<(Vec<SockAddr>, Payload)>,
     }
 
     impl McastIo {
@@ -2040,10 +2048,10 @@ mod tests {
         fn me(&self) -> SockAddr {
             self.inner.me
         }
-        fn send(&mut self, to: SockAddr, bytes: Vec<u8>) {
+        fn send(&mut self, to: SockAddr, bytes: Payload) {
             self.inner.sent.push((to, bytes));
         }
-        fn multicast_spanned(&mut self, tos: &[SockAddr], bytes: Vec<u8>, _span: u64) {
+        fn multicast_spanned(&mut self, tos: &[SockAddr], bytes: Payload, _span: u64) {
             self.mcasts.push((tos.to_vec(), bytes));
         }
         fn set_timer(&mut self, delay: Duration, tag: u64) {
@@ -2089,6 +2097,38 @@ mod tests {
         // Retransmission timers are still armed per connection, so a
         // straggler gets the unicast fallback.
         assert!(!io.inner.timers.is_empty());
+    }
+
+    /// The zero-copy contract on the multicast fast path: a one-to-many
+    /// call to a five-member troupe encodes its segment exactly once.
+    /// Per-member senders adopt a shared handle on the message bytes and
+    /// the single encoded datagram is refcount-shared across all five
+    /// destinations — no per-destination encode, no per-destination copy.
+    /// (The encode counter only counts in debug builds.)
+    #[test]
+    #[cfg(debug_assertions)]
+    fn multicast_call_to_five_members_encodes_once() {
+        let mut n = mcast_node();
+        let mut io = McastIo::new();
+        let thread = n.fresh_thread();
+        let troupe = troupe_of(5);
+        let before = pairedmsg::segment::encodes();
+        n.begin_call(
+            &mut io,
+            thread,
+            &troupe,
+            1,
+            0,
+            b"one encode, five destinations".to_vec(),
+            CollationPolicy::Unanimous,
+        );
+        let encoded = pairedmsg::segment::encodes() - before;
+        assert_eq!(io.mcasts.len(), 1, "single-segment message");
+        assert_eq!(io.mcasts[0].0.len(), 5, "all five members addressed");
+        assert_eq!(
+            encoded, 1,
+            "5-member multicast must encode the segment exactly once"
+        );
     }
 
     /// Dead-marked members are excluded from the multicast address list
@@ -2177,8 +2217,8 @@ mod tests {
         let mut n = node();
         let mut io = MockIo::new();
         let from = SockAddr::new(HostId(5), 5);
-        n.on_datagram(&mut io, from, b"not a segment!");
-        n.on_datagram(&mut io, from, &[]);
+        n.on_datagram(&mut io, from, &b"not a segment!"[..]);
+        n.on_datagram(&mut io, from, Payload::empty());
         assert!(n.poll_event().is_none());
     }
 

@@ -367,8 +367,8 @@ impl Process for CircusProcess {
         self.with_agent_ctx(ctx, |agent, nc| agent.on_start(nc));
     }
 
-    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: SockAddr, data: Vec<u8>) {
-        self.node.on_datagram(ctx, from, &data);
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: SockAddr, data: simnet::Payload) {
+        self.node.on_datagram(ctx, from, data);
         self.pump(ctx);
     }
 

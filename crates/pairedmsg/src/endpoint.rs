@@ -15,7 +15,7 @@ use crate::config::Config;
 use crate::receiver::MsgReceiver;
 use crate::segment::{MsgType, Segment, SegmentError};
 use crate::sender::{MsgSender, SendError, SenderTick};
-use simnet::Time;
+use simnet::{Payload, Time};
 
 /// Something the endpoint wants delivered to the layer above.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -28,8 +28,9 @@ pub enum Event {
         call_number: u32,
         /// Causal span carried by the message's segments (0 = none).
         span: u64,
-        /// The reassembled message bytes.
-        data: Vec<u8>,
+        /// The reassembled message bytes (single-segment messages share
+        /// the arrival datagram's allocation).
+        data: Payload,
     },
     /// Retransmissions or probes went unanswered long enough to presume
     /// the peer has crashed (§4.2.3). The endpoint is dead afterwards.
@@ -201,7 +202,7 @@ impl Endpoint {
         msg_type: MsgType,
         call_number: u32,
         span: u64,
-        data: &[u8],
+        data: impl Into<Payload>,
     ) -> Result<(), SendError> {
         if self.dead {
             // A dead endpoint transmits nothing; the caller should have
@@ -238,7 +239,7 @@ impl Endpoint {
         now: Time,
         call_number: u32,
         span: u64,
-        data: &[u8],
+        data: impl Into<Payload>,
     ) -> Result<(), SendError> {
         if self.dead {
             return Ok(());
@@ -257,8 +258,9 @@ impl Endpoint {
         Ok(())
     }
 
-    /// Feeds an incoming datagram.
-    pub fn on_datagram(&mut self, now: Time, bytes: &[u8]) -> Result<(), SegmentError> {
+    /// Feeds an incoming datagram. Decoding is zero-copy: the resulting
+    /// segment's data is a window into `bytes`.
+    pub fn on_datagram(&mut self, now: Time, bytes: &Payload) -> Result<(), SegmentError> {
         let seg = Segment::decode(bytes)?;
         self.on_segment(now, seg);
         Ok(())
@@ -539,7 +541,7 @@ impl Endpoint {
     }
 
     /// Drains the next segment to transmit, already encoded.
-    pub fn poll_transmit(&mut self) -> Option<Vec<u8>> {
+    pub fn poll_transmit(&mut self) -> Option<Payload> {
         self.poll_transmit_segment().map(|s| s.encode())
     }
 

@@ -8,6 +8,7 @@
 //! first lost segment (§4.2.4).
 
 use crate::segment::{MsgType, Segment};
+use simnet::Payload;
 
 /// What the receiver wants done after absorbing a segment.
 #[derive(Debug, Default, PartialEq, Eq)]
@@ -24,8 +25,9 @@ pub struct MsgReceiver {
     msg_type: MsgType,
     call_number: u32,
     total: u8,
-    /// Segment payloads by index (`segment number - 1`).
-    slots: Vec<Option<Vec<u8>>>,
+    /// Segment payloads by index (`segment number - 1`); each is a shared
+    /// window into the datagram it arrived in.
+    slots: Vec<Option<Payload>>,
     /// Highest consecutive segment number received.
     ack_number: u8,
 }
@@ -122,19 +124,32 @@ impl MsgReceiver {
         Segment::ack(self.msg_type, self.call_number, self.total, self.ack_number)
     }
 
-    /// Consumes the receiver, yielding the assembled message bytes.
+    /// Consumes the receiver, yielding the assembled message bytes. A
+    /// single-segment message (the common case) is returned as the
+    /// received window itself — no copy; multi-segment messages
+    /// concatenate once.
     ///
     /// # Panics
     ///
     /// Panics if the message is not complete; callers must check
     /// [`MsgReceiver::complete`] first.
-    pub fn assemble(self) -> Vec<u8> {
+    pub fn assemble(mut self) -> Payload {
         assert!(self.complete(), "assembling an incomplete message");
-        let mut out = Vec::new();
+        if self.slots.len() == 1 {
+            return self.slots[0]
+                .take()
+                .expect("complete message has all slots");
+        }
+        let mut out = Vec::with_capacity(
+            self.slots
+                .iter()
+                .map(|s| s.as_ref().map_or(0, |p| p.len()))
+                .sum(),
+        );
         for slot in self.slots {
             out.extend_from_slice(&slot.expect("complete message has all slots"));
         }
-        out
+        Payload::from(out)
     }
 }
 

@@ -8,7 +8,7 @@
 
 use crate::config::{Config, ProtocolMode};
 use crate::segment::{MsgType, Segment, MAX_SEGMENTS};
-use simnet::{Duration, Time};
+use simnet::{Duration, Payload, Time};
 
 /// Why a message could not be sent.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -41,8 +41,9 @@ pub struct MsgSender {
     call_number: u32,
     span: u64,
     /// Payloads of segments not yet acknowledged, paired with their
-    /// segment numbers (1-based). Ordered ascending.
-    unacked: Vec<(u8, Vec<u8>)>,
+    /// segment numbers (1-based). Ordered ascending. Each payload is a
+    /// zero-copy window into the original message buffer.
+    unacked: Vec<(u8, Payload)>,
     total: u8,
     next_retransmit: Time,
     retransmit_interval: Duration,
@@ -81,8 +82,9 @@ impl MsgSender {
         msg_type: MsgType,
         call_number: u32,
         span: u64,
-        data: &[u8],
+        data: impl Into<Payload>,
     ) -> Result<MsgSender, SendError> {
+        let data = data.into();
         let chunk = config.max_segment_data.max(1);
         let n_segments = if data.is_empty() {
             1
@@ -97,10 +99,14 @@ impl MsgSender {
         }
         let mut unacked = Vec::with_capacity(n_segments);
         if data.is_empty() {
-            unacked.push((1u8, Vec::new()));
+            unacked.push((1u8, Payload::empty()));
         } else {
-            for (i, piece) in data.chunks(chunk).enumerate() {
-                unacked.push((i as u8 + 1, piece.to_vec()));
+            // Segmentation is zero-copy: each piece is a window into the
+            // one message buffer.
+            for i in 0..n_segments {
+                let start = i * chunk;
+                let end = (start + chunk).min(data.len());
+                unacked.push((i as u8 + 1, data.slice(start..end)));
             }
         }
         Ok(MsgSender {
@@ -123,7 +129,7 @@ impl MsgSender {
         })
     }
 
-    fn make_segment(&self, number: u8, data: &[u8], please_ack: bool) -> Segment {
+    fn make_segment(&self, number: u8, data: &Payload, please_ack: bool) -> Segment {
         Segment::data(
             self.msg_type,
             self.call_number,
@@ -131,7 +137,7 @@ impl MsgSender {
             self.total,
             number,
             please_ack,
-            data.to_vec(),
+            data.clone(),
         )
     }
 
@@ -296,7 +302,7 @@ impl MsgSender {
         self.next_retransmit = now + self.jittered_interval();
         // Only retransmit segments already sent (matters for PARC mode).
         let sent = self.sent_through;
-        let to_send: Vec<&(u8, Vec<u8>)> = if self.retransmit_all {
+        let to_send: Vec<&(u8, Payload)> = if self.retransmit_all {
             self.unacked.iter().filter(|(n, _)| *n <= sent).collect()
         } else {
             self.unacked

@@ -21,7 +21,7 @@
 use crate::config::{Config, ProtocolMode};
 use crate::segment::{MsgType, Segment};
 use crate::sender::{MsgSender, SendError};
-use simnet::Time;
+use simnet::{Payload, Time};
 
 /// One call message segmented for a single troupe-wide multicast.
 #[derive(Debug)]
@@ -40,7 +40,7 @@ impl TroupeSender {
         config: &Config,
         call_number: u32,
         span: u64,
-        data: &[u8],
+        data: impl Into<Payload>,
     ) -> Result<TroupeSender, SendError> {
         let eager = Config {
             mode: ProtocolMode::Circus,

@@ -82,7 +82,7 @@ fn expect_message(e: &mut Endpoint, ty: MsgType, cn: u32) -> Vec<u8> {
         }) => {
             assert_eq!(msg_type, ty);
             assert_eq!(call_number, cn);
-            data
+            data.to_vec()
         }
         other => panic!("expected message, got {other:?}"),
     }

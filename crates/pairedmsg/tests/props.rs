@@ -34,7 +34,7 @@ fn transfer_with_loss(payload: &[u8], seg_size: usize, loss_seed: u64, loss_pct:
             }
         }
         if let Some(Event::Message { data, .. }) = rx.poll_event() {
-            return data;
+            return data.to_vec();
         }
         if !moved {
             // Advance to the next retransmission deadline.
@@ -71,7 +71,8 @@ proptest! {
     /// Decoding arbitrary bytes never panics.
     #[test]
     fn segment_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
-        let _ = Segment::decode(&bytes);
+        let _ = Segment::decode_bytes(&bytes);
+        let _ = Segment::decode(&simnet::Payload::from(bytes));
     }
 
     /// encode ∘ decode is the identity on valid data segments.
@@ -96,7 +97,7 @@ proptest! {
     ) {
         let mut e = Endpoint::new(Config::default());
         for d in &datagrams {
-            let _ = e.on_datagram(Time::ZERO, d);
+            let _ = e.on_datagram(Time::ZERO, &simnet::Payload::from(d));
         }
         while let Some(ev) = e.poll_event() {
             // Garbage can complete a (garbage) message only if it parsed

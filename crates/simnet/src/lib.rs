@@ -25,11 +25,11 @@
 //! # Examples
 //!
 //! ```
-//! use simnet::{HostId, Process, SockAddr, World, Ctx};
+//! use simnet::{HostId, Payload, Process, SockAddr, World, Ctx};
 //!
 //! struct Echo;
 //! impl Process for Echo {
-//!     fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: SockAddr, data: Vec<u8>) {
+//!     fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: SockAddr, data: Payload) {
 //!         ctx.send(from, data);
 //!     }
 //! }
@@ -39,7 +39,7 @@
 //!     fn on_poke(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
 //!         ctx.send(SockAddr::new(HostId(1), 7), b"ping".to_vec());
 //!     }
-//!     fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _from: SockAddr, _data: Vec<u8>) {
+//!     fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _from: SockAddr, _data: Payload) {
 //!         self.replies += 1;
 //!     }
 //! }
@@ -58,6 +58,7 @@
 
 pub mod cpu;
 pub mod net;
+pub mod payload;
 pub mod process;
 pub mod rng;
 pub mod time;
@@ -67,8 +68,9 @@ pub mod world;
 pub use cpu::{Syscall, SyscallCosts, ALL_SYSCALLS};
 pub use net::{NetConfig, Partition};
 pub use obs::{CpuView, NetView, Registry, SpanId};
+pub use payload::Payload;
 pub use process::{HostId, Process, SockAddr, TimerId};
 pub use rng::SimRng;
 pub use time::{Duration, Time};
-pub use trace::{DropReason, TraceEvent, TraceHash, TraceLog, TraceSink};
+pub use trace::{DropReason, TraceEvent, TraceHash, TraceLog, TraceRing, TraceSink};
 pub use world::{Ctx, World};

@@ -1,0 +1,215 @@
+//! Cheaply-cloneable datagram payloads.
+//!
+//! Every datagram the simulator carries is a [`Payload`]: a reference-
+//! counted byte buffer plus a window into it. Cloning one — for a
+//! duplicated delivery, a multicast fan-out, or a retransmission queue —
+//! is a refcount bump, never a byte copy. Slicing one (protocol headers,
+//! message segmentation) shares the same allocation.
+//!
+//! The simulator is single-threaded per [`World`](crate::World) (the
+//! chaos harness parallelizes across *worlds*, one per seed), so the
+//! refcount is a plain `Rc`: no atomics on the hot path, and the type is
+//! deliberately `!Send` — a payload can never leak across seed workers.
+
+use std::fmt;
+use std::ops::{Deref, Range};
+use std::rc::Rc;
+
+/// An immutable, cheaply-cloneable byte buffer (a window into an
+/// `Rc<[u8]>`).
+///
+/// Dereferences to `&[u8]`, so existing slice-based code reads it
+/// directly; `clone()` is a refcount bump; [`Payload::slice`] shares the
+/// underlying allocation.
+#[derive(Clone)]
+pub struct Payload {
+    bytes: Rc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Payload {
+    /// An empty payload.
+    pub fn empty() -> Payload {
+        Payload {
+            bytes: Rc::from(&[][..]),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Copies `bytes` into a fresh payload (the one unavoidable copy at
+    /// the boundary between borrowed data and the zero-copy plane).
+    pub fn copy_from(bytes: &[u8]) -> Payload {
+        Payload {
+            bytes: Rc::from(bytes),
+            start: 0,
+            end: bytes.len(),
+        }
+    }
+
+    /// Length of the visible window in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` if the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-window sharing the same allocation (zero-copy). `range` is
+    /// relative to this payload's window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: Range<usize>) -> Payload {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice {range:?} out of bounds for payload of {} bytes",
+            self.len()
+        );
+        Payload {
+            bytes: Rc::clone(&self.bytes),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// The visible bytes as a plain slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes[self.start..self.end]
+    }
+
+    /// Copies the visible bytes out into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Payload {
+        let end = v.len();
+        Payload {
+            bytes: Rc::from(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(b: &[u8]) -> Payload {
+        Payload::copy_from(b)
+    }
+}
+
+impl From<&Vec<u8>> for Payload {
+    fn from(b: &Vec<u8>) -> Payload {
+        Payload::copy_from(b)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Payload {
+    fn from(b: &[u8; N]) -> Payload {
+        Payload::copy_from(b)
+    }
+}
+
+impl Default for Payload {
+    fn default() -> Payload {
+        Payload::empty()
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Payload) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Payload {}
+
+impl PartialEq<[u8]> for Payload {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Payload {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Payload {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_slice() == &other[..]
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Payload({} bytes: {:?})", self.len(), self.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_the_allocation() {
+        let p = Payload::from(vec![1u8, 2, 3]);
+        let q = p.clone();
+        assert!(Rc::ptr_eq(&p.bytes, &q.bytes));
+        assert_eq!(&*q, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn slice_is_a_window_not_a_copy() {
+        let p = Payload::from(vec![0u8, 1, 2, 3, 4, 5]);
+        let s = p.slice(2..5);
+        assert!(Rc::ptr_eq(&p.bytes, &s.bytes));
+        assert_eq!(&*s, &[2, 3, 4]);
+        let ss = s.slice(1..2);
+        assert_eq!(&*ss, &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_slice_panics() {
+        Payload::from(vec![1u8]).slice(0..2);
+    }
+
+    #[test]
+    fn equality_is_by_contents() {
+        let a = Payload::from(vec![1u8, 2, 3]);
+        let b = Payload::from(vec![0u8, 1, 2, 3, 4]).slice(1..4);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![1u8, 2, 3]);
+        assert_eq!(a, &[1u8, 2, 3]);
+    }
+
+    #[test]
+    fn empty_payload() {
+        let e = Payload::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.to_vec(), Vec::<u8>::new());
+    }
+}

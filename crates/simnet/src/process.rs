@@ -72,8 +72,15 @@ pub trait Process: Any {
     /// Called once when the process is spawned.
     fn on_start(&mut self, _ctx: &mut crate::world::Ctx<'_>) {}
 
-    /// Called when a datagram addressed to this process arrives.
-    fn on_datagram(&mut self, ctx: &mut crate::world::Ctx<'_>, from: SockAddr, data: Vec<u8>);
+    /// Called when a datagram addressed to this process arrives. The
+    /// [`Payload`](crate::Payload) is a shared handle on the transmitted
+    /// bytes — cloning or slicing it never copies.
+    fn on_datagram(
+        &mut self,
+        ctx: &mut crate::world::Ctx<'_>,
+        from: SockAddr,
+        data: crate::payload::Payload,
+    );
 
     /// Called when a timer set via `Ctx::set_timer` expires.
     fn on_timer(&mut self, _ctx: &mut crate::world::Ctx<'_>, _timer: TimerId, _tag: u64) {}

@@ -336,6 +336,67 @@ impl TraceSink for TraceLog {
     }
 }
 
+/// A bounded ring sink: keeps the *last* `capacity` events plus the
+/// running hash and total count over everything it ever saw.
+///
+/// This is the sweep-scale sink: memory stays fixed no matter how long
+/// the run, the hash still certifies the full stream, and the retained
+/// tail is exactly what a failure post-mortem wants (the events leading
+/// up to the quiesce), where [`TraceLog`] keeps the uninteresting prefix.
+#[derive(Clone, Debug)]
+pub struct TraceRing {
+    hash: TraceHash,
+    ring: Vec<TraceEvent>,
+    capacity: usize,
+    head: usize,
+}
+
+impl TraceRing {
+    /// A ring keeping at most `capacity` events (must be nonzero).
+    pub fn new(capacity: usize) -> TraceRing {
+        assert!(capacity > 0, "TraceRing capacity must be nonzero");
+        TraceRing {
+            hash: TraceHash::new(),
+            ring: Vec::with_capacity(capacity.min(1024)),
+            capacity,
+            head: 0,
+        }
+    }
+
+    /// The hash over *all* events ever recorded.
+    pub fn hash(&self) -> u64 {
+        self.hash.value()
+    }
+
+    /// Total number of events ever recorded (retained or evicted).
+    pub fn seen(&self) -> u64 {
+        self.hash.events()
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.ring.len());
+        out.extend_from_slice(&self.ring[self.head..]);
+        out.extend_from_slice(&self.ring[..self.head]);
+        out
+    }
+}
+
+impl TraceSink for TraceRing {
+    fn record(&mut self, ev: &TraceEvent) {
+        self.hash.record(ev);
+        if self.ring.len() < self.capacity {
+            self.ring.push(ev.clone());
+        } else {
+            self.ring[self.head] = ev.clone();
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -422,6 +483,41 @@ mod tests {
             h.record(v);
             assert_ne!(h.value(), h0.value(), "{v:?} collided with {base:?}");
         }
+    }
+
+    #[test]
+    fn ring_keeps_the_tail_and_hashes_everything() {
+        let mut ring = TraceRing::new(2);
+        let evs: Vec<TraceEvent> = (0..5)
+            .map(|i| TraceEvent::Kill {
+                at: Time::from_micros(i),
+                addr: addr(1, 1),
+            })
+            .collect();
+        let mut h = TraceHash::new();
+        for e in &evs {
+            ring.record(e);
+            h.record(e);
+        }
+        assert_eq!(ring.seen(), 5);
+        assert_eq!(ring.hash(), h.value());
+        assert_eq!(ring.events(), evs[3..].to_vec(), "last two retained");
+    }
+
+    #[test]
+    fn ring_below_capacity_keeps_everything_in_order() {
+        let mut ring = TraceRing::new(10);
+        let evs: Vec<TraceEvent> = (0..3)
+            .map(|i| TraceEvent::Spawn {
+                at: Time::from_micros(i),
+                addr: addr(2, 7),
+            })
+            .collect();
+        for e in &evs {
+            ring.record(e);
+        }
+        assert_eq!(ring.events(), evs);
+        assert_eq!(ring.seen(), 3);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use obs::{Counter, CpuView, NetView, Registry};
 
 use crate::cpu::{CpuAccount, Syscall, SyscallCosts, ALL_SYSCALLS};
 use crate::net::{NetConfig, Partition};
+use crate::payload::Payload;
 use crate::process::{HostId, Process, SockAddr, TimerId};
 use crate::rng::SimRng;
 use crate::time::{Duration, Time};
@@ -143,7 +144,7 @@ enum EventKind {
     Datagram {
         from: SockAddr,
         to: SockAddr,
-        data: Vec<u8>,
+        data: Payload,
         span: u64,
     },
     Timer {
@@ -240,6 +241,17 @@ impl Core {
         }
     }
 
+    /// Pay-for-what-you-use tracing: the event is only *constructed* when
+    /// a sink is installed. Hot-path call sites (every send, delivery,
+    /// drop, timer fire) use this so steady-state runs with no sink skip
+    /// the `TraceEvent` build entirely.
+    #[inline]
+    fn trace_with(&mut self, ev: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.record(&ev());
+        }
+    }
+
     fn host_up(&self, h: HostId) -> bool {
         self.hosts.get(&h).map(|s| !s.down).unwrap_or(true)
     }
@@ -257,10 +269,12 @@ impl Core {
 
     /// Schedules the delivery (with loss/duplication/jitter) of one
     /// datagram departing `from` at time `depart`, attributed to causal
-    /// span `span` (0 = none).
-    fn transmit(&mut self, from: SockAddr, to: SockAddr, data: Vec<u8>, span: u64, depart: Time) {
+    /// span `span` (0 = none). The payload is never copied: each
+    /// scheduled copy (duplication, multicast fan-out) shares the same
+    /// buffer.
+    fn transmit(&mut self, from: SockAddr, to: SockAddr, data: Payload, span: u64, depart: Time) {
         self.net_ctr.sent.inc();
-        self.trace(TraceEvent::Send {
+        self.trace_with(|| TraceEvent::Send {
             at: depart,
             from,
             to,
@@ -269,7 +283,7 @@ impl Core {
         });
         if data.len() > self.net.mtu {
             self.net_ctr.oversize.inc();
-            self.trace(TraceEvent::Drop {
+            self.trace_with(|| TraceEvent::Drop {
                 at: depart,
                 from,
                 to,
@@ -281,7 +295,7 @@ impl Core {
         }
         if self.rng.chance(self.net.loss) {
             self.net_ctr.lost.inc();
-            self.trace(TraceEvent::Drop {
+            self.trace_with(|| TraceEvent::Drop {
                 at: depart,
                 from,
                 to,
@@ -293,7 +307,7 @@ impl Core {
         }
         let copies = if self.rng.chance(self.net.duplicate) {
             self.net_ctr.duplicated.inc();
-            self.trace(TraceEvent::Duplicate {
+            self.trace_with(|| TraceEvent::Duplicate {
                 at: depart,
                 from,
                 to,
@@ -345,38 +359,42 @@ impl<'a> Ctx<'a> {
     }
 
     /// Sends a datagram, charging one `sendmsg`.
-    pub fn send(&mut self, to: SockAddr, data: Vec<u8>) {
+    pub fn send(&mut self, to: SockAddr, data: impl Into<Payload>) {
         self.send_as(Syscall::SendMsg, to, data);
     }
 
     /// Sends a datagram attributed to causal span `span` (0 = none),
     /// charging one `sendmsg`. Trace events for the datagram's journey
     /// carry the span id.
-    pub fn send_spanned(&mut self, to: SockAddr, data: Vec<u8>, span: u64) {
+    pub fn send_spanned(&mut self, to: SockAddr, data: impl Into<Payload>, span: u64) {
         self.charge(Syscall::SendMsg);
-        self.core.transmit(self.me, to, data, span, self.vnow);
+        self.core
+            .transmit(self.me, to, data.into(), span, self.vnow);
     }
 
     /// Sends a datagram, charging the given syscall (e.g. `write` for the
     /// stream-socket comparison rig).
-    pub fn send_as(&mut self, sys: Syscall, to: SockAddr, data: Vec<u8>) {
+    pub fn send_as(&mut self, sys: Syscall, to: SockAddr, data: impl Into<Payload>) {
         self.charge(sys);
-        self.core.transmit(self.me, to, data, 0, self.vnow);
+        self.core.transmit(self.me, to, data.into(), 0, self.vnow);
     }
 
     /// Sends the same datagram to every destination with a *single*
     /// `sendmsg` charge, modelling Ethernet multicast (§4.3.3: "a
     /// multicast implementation requires only m+n messages").
-    pub fn multicast(&mut self, tos: &[SockAddr], data: Vec<u8>) {
+    pub fn multicast(&mut self, tos: &[SockAddr], data: impl Into<Payload>) {
         self.multicast_spanned(tos, data, 0);
     }
 
     /// Like [`Ctx::multicast`], but attributes every copy of the datagram
     /// to causal span `span` (0 = none), so a multicast call segment's
     /// journeys are stitched into the same trace tree as unicast ones.
-    pub fn multicast_spanned(&mut self, tos: &[SockAddr], data: Vec<u8>, span: u64) {
+    /// The payload is converted once; every destination shares the same
+    /// buffer (`Payload::clone` is a refcount bump, not a byte copy).
+    pub fn multicast_spanned(&mut self, tos: &[SockAddr], data: impl Into<Payload>, span: u64) {
         self.charge(Syscall::SendMsg);
         self.core.net_ctr.multicasts.inc();
+        let data = data.into();
         for &to in tos {
             self.core
                 .transmit(self.me, to, data.clone(), span, self.vnow);
@@ -477,6 +495,7 @@ pub struct World {
     core: Core,
     procs: BTreeMap<SockAddr, Slot>,
     epoch_counter: u64,
+    events: u64,
 }
 
 impl World {
@@ -492,6 +511,7 @@ impl World {
             core: Core::new(seed, net, costs),
             procs: BTreeMap::new(),
             epoch_counter: 1,
+            events: 0,
         }
     }
 
@@ -698,6 +718,12 @@ impl World {
         self.core.queue.is_empty()
     }
 
+    /// Total number of events processed by [`World::step`] so far (plain
+    /// counter, not a registry metric; used for events/sec measurements).
+    pub fn events_processed(&self) -> u64 {
+        self.events
+    }
+
     /// Processes the next event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         let Reverse(ev) = match self.core.queue.pop() {
@@ -705,6 +731,7 @@ impl World {
             None => return false,
         };
         self.core.now = ev.at;
+        self.events += 1;
         match ev.kind {
             EventKind::Datagram {
                 from,
@@ -721,7 +748,7 @@ impl World {
                 if self.core.cancelled.remove(&id) {
                     return true;
                 }
-                self.core.trace(TraceEvent::TimerFire {
+                self.core.trace_with(|| TraceEvent::TimerFire {
                     at: ev.at,
                     owner,
                     id,
@@ -739,11 +766,11 @@ impl World {
         true
     }
 
-    fn deliver(&mut self, from: SockAddr, to: SockAddr, data: Vec<u8>, span: u64) {
+    fn deliver(&mut self, from: SockAddr, to: SockAddr, data: Payload, span: u64) {
         let at = self.core.now;
         if !self.core.host_up(to.host) || !self.procs.contains_key(&to) {
             self.core.net_ctr.undeliverable.inc();
-            self.core.trace(TraceEvent::Drop {
+            self.core.trace_with(|| TraceEvent::Drop {
                 at,
                 from,
                 to,
@@ -755,7 +782,7 @@ impl World {
         }
         if !self.core.partition.connected(from.host, to.host) {
             self.core.net_ctr.partitioned.inc();
-            self.core.trace(TraceEvent::Drop {
+            self.core.trace_with(|| TraceEvent::Drop {
                 at,
                 from,
                 to,
@@ -766,7 +793,7 @@ impl World {
             return;
         }
         self.core.net_ctr.delivered.inc();
-        self.core.trace(TraceEvent::Deliver {
+        self.core.trace_with(|| TraceEvent::Deliver {
             at,
             from,
             to,

@@ -3,14 +3,14 @@
 
 use simnet::{
     trace::{DropReason, TraceEvent, TraceHash, TraceLog},
-    Ctx, Duration, HostId, NetConfig, Partition, Process, SockAddr, Syscall, SyscallCosts, Time,
-    World,
+    Ctx, Duration, HostId, NetConfig, Partition, Payload, Process, SockAddr, Syscall, SyscallCosts,
+    Time, World,
 };
 
 /// Replies to every datagram with the same payload.
 struct Echo;
 impl Process for Echo {
-    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: SockAddr, data: Vec<u8>) {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: SockAddr, data: Payload) {
         ctx.send(from, data);
     }
 }
@@ -38,7 +38,7 @@ impl Process for Pinger {
             ctx.send(self.server, b"ping".to_vec());
         }
     }
-    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, _from: SockAddr, _data: Vec<u8>) {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, _from: SockAddr, _data: Payload) {
         self.reply_times.push(ctx.now());
     }
 }
@@ -160,13 +160,13 @@ fn multicast_charges_once_delivers_to_all() {
             let members = self.members.clone();
             ctx.multicast(&members, b"hello".to_vec());
         }
-        fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _from: SockAddr, _data: Vec<u8>) {}
+        fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _from: SockAddr, _data: Payload) {}
     }
     struct Sink {
         got: usize,
     }
     impl Process for Sink {
-        fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _from: SockAddr, _data: Vec<u8>) {
+        fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _from: SockAddr, _data: Payload) {
             self.got += 1;
         }
     }
@@ -190,6 +190,87 @@ fn multicast_charges_once_delivers_to_all() {
     assert_eq!(world.net_stats().multicasts, 1);
     for &m in &members {
         assert_eq!(world.with_proc(m, |s: &Sink| s.got), Some(1));
+    }
+}
+
+/// Counter semantics under duplication + multicast: `net.sent` counts
+/// one accepted datagram per destination (never per duplicated copy),
+/// the trace carries one `Send` per destination plus one `Duplicate`
+/// per extra copy, and the per-destination delivery counts agree with
+/// `Send + Duplicate = Deliver` when nothing is lost.
+#[test]
+fn duplicated_multicast_counters_and_trace_agree() {
+    struct Caster {
+        members: Vec<SockAddr>,
+    }
+    impl Process for Caster {
+        fn on_poke(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
+            let members = self.members.clone();
+            ctx.multicast(&members, b"blast".to_vec());
+        }
+        fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _from: SockAddr, _data: Payload) {}
+    }
+    struct Sink {
+        got: usize,
+    }
+    impl Process for Sink {
+        fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _from: SockAddr, _data: Payload) {
+            self.got += 1;
+        }
+    }
+
+    let config = NetConfig {
+        duplicate: 1.0, // every accepted datagram is delivered twice
+        ..NetConfig::lan_1985()
+    };
+    let mut world = World::with_config(7, config, SyscallCosts::default());
+    world.set_trace_sink(Box::new(TraceLog::new()));
+    let members: Vec<SockAddr> = (1..=5).map(|h| addr(h, 7)).collect();
+    for &m in &members {
+        world.spawn(m, Box::new(Sink { got: 0 }));
+    }
+    let caster = addr(0, 100);
+    world.spawn(
+        caster,
+        Box::new(Caster {
+            members: members.clone(),
+        }),
+    );
+    world.poke(caster, 0);
+    world.run_for(Duration::from_secs(1));
+
+    // One accepted datagram per destination; duplicates are counted
+    // separately and never inflate `sent`.
+    let stats = world.net_stats();
+    assert_eq!(stats.sent, 5, "sent counts one datagram per destination");
+    assert_eq!(stats.duplicated, 5, "every accepted datagram duplicated");
+    assert_eq!(stats.delivered, 10, "each member gets original + copy");
+    assert_eq!(stats.lost, 0);
+    assert_eq!(stats.multicasts, 1);
+
+    // The trace tells the same story, event by event.
+    let log = world.trace_sink_as::<TraceLog>().unwrap();
+    let mut sends = 0;
+    let mut dups = 0;
+    let mut delivers = 0;
+    for ev in log.events() {
+        match ev {
+            TraceEvent::Send { len, .. } => {
+                assert_eq!(*len, 5, "payload length survives the fan-out");
+                sends += 1;
+            }
+            TraceEvent::Duplicate { .. } => dups += 1,
+            TraceEvent::Deliver { .. } => delivers += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(sends, 5);
+    assert_eq!(dups, 5);
+    assert_eq!(delivers, 10);
+
+    // And every member saw exactly original + duplicate.
+    for &m in &members {
+        assert_eq!(world.with_proc(m, |s: &Sink| s.got), Some(2));
     }
 }
 
@@ -222,7 +303,7 @@ fn killed_process_timers_do_not_fire_for_replacement() {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
             ctx.set_timer(Duration::from_millis(100), 1);
         }
-        fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _from: SockAddr, _data: Vec<u8>) {}
+        fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _from: SockAddr, _data: Payload) {}
         fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _id: simnet::TimerId, _tag: u64) {
             self.fired = true;
         }
@@ -270,7 +351,7 @@ fn spawn_from_handler_takes_effect() {
         fn on_poke(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
             ctx.spawn(SockAddr::new(HostId(2), 9), Box::new(Echo));
         }
-        fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _from: SockAddr, _data: Vec<u8>) {}
+        fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _from: SockAddr, _data: Payload) {}
     }
     let mut world = World::new(7);
     let spawner = addr(0, 1);
@@ -292,7 +373,7 @@ fn oversize_datagrams_dropped() {
         fn on_poke(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
             ctx.send(self.server, vec![0u8; 100_000]);
         }
-        fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _from: SockAddr, _data: Vec<u8>) {}
+        fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _from: SockAddr, _data: Payload) {}
     }
     world.spawn(server, Box::new(Echo));
     world.spawn(client, Box::new(Big { server }));
@@ -307,7 +388,7 @@ struct Counter {
     seen: u64,
 }
 impl Process for Counter {
-    fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _from: SockAddr, _data: Vec<u8>) {
+    fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _from: SockAddr, _data: Payload) {
         self.seen += 1;
     }
 }
@@ -411,7 +492,7 @@ fn oversize_send_counted_and_traced() {
         fn on_poke(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
             ctx.send(self.to, vec![0; 4000]);
         }
-        fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _from: SockAddr, _data: Vec<u8>) {}
+        fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _from: SockAddr, _data: Payload) {}
     }
     let mut world = World::new(7); // default net: mtu 1500
     let server = addr(1, 7);
@@ -470,7 +551,7 @@ fn spanned_sends_attribute_trace_events() {
             let span = ctx.metrics().span_root("call", ctx.now().as_micros());
             ctx.send_spanned(self.to, b"hi".to_vec(), span.raw());
         }
-        fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _from: SockAddr, _data: Vec<u8>) {}
+        fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _from: SockAddr, _data: Payload) {}
     }
     let mut world = World::new(7);
     let server = addr(1, 7);

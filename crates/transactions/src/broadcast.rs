@@ -103,7 +103,9 @@ enum QStatus {
 
 #[derive(Clone, Debug)]
 struct QEntry {
-    payload: Vec<u8>,
+    /// Shared handle on the proposed message bytes: requeuing on accept
+    /// and the pre-apply clone in `drain` are refcount bumps.
+    payload: simnet::Payload,
     status: QStatus,
 }
 
@@ -174,7 +176,7 @@ impl<A: OrderedApply> Service for OrderedBroadcastService<A> {
                 self.queue.insert(
                     (time, p.msg_id),
                     QEntry {
-                        payload: p.payload,
+                        payload: p.payload.into(),
                         status: QStatus::Proposed,
                     },
                 );

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Full pre-merge gate: formatting, lints, the whole test suite, and the
-# chaos sweep. Run from the repository root:
+# Full pre-merge gate: formatting, lints, the whole test suite, the
+# chaos sweep (parallel, in release), and the benchmark gates. Run from
+# the repository root:
 #
 #     scripts/check.sh
 #
+# CHAOS_JOBS=<n> caps the sweep's worker threads (default: all cores).
 # Any failing chaos seed prints a CHAOS_SEED=... repro line; replay it
 # with:
 #
@@ -11,45 +13,50 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
+# Each phase is timed so a slow gate is visible, not just a slow total.
+phase_started=0
+phase() {
+  local now
+  now=$(date +%s)
+  if [ "$phase_started" -ne 0 ]; then
+    echo "    [${phase_name}: $((now - phase_started))s]"
+  fi
+  phase_name="$1"
+  phase_started=$now
+  echo "==> $1"
+}
+
+phase "cargo fmt --check"
 cargo fmt --all --check
 
-echo "==> cargo clippy --workspace (deny warnings)"
+phase "cargo clippy --workspace (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo clippy -p obs (deny warnings)"
+phase "cargo clippy -p obs (deny warnings)"
 cargo clippy -p obs --all-targets -- -D warnings
 
-echo "==> cargo clippy -p ringmaster (deny warnings)"
+phase "cargo clippy -p ringmaster (deny warnings)"
 cargo clippy -p ringmaster --all-targets -- -D warnings
 
-echo "==> cargo test --workspace"
+phase "cargo test --workspace"
 cargo test --workspace -q
 
-echo "==> metrics golden snapshot (fixed seed, fixed bytes)"
+phase "metrics golden snapshot (fixed seed, fixed bytes)"
 cargo test --test metrics_golden -q
 
-echo "==> chaos sweep (10 seeds, all oracles)"
-cargo test -p chaos --test sweep -- --nocapture
+phase "chaos sweep (10 seeds, all oracles, release, CHAOS_JOBS=${CHAOS_JOBS:-auto})"
+cargo test -p chaos --release --test sweep -- --nocapture
 
-echo "==> self-heal gate (two crashes => two ringmaster repairs)"
+phase "self-heal gate (two crashes => two ringmaster repairs)"
 cargo test -p chaos --release --test sweep self_heal_gate -- --nocapture
 
-echo "==> BENCH_4 gate (multicast call plane beats unicast on client sendmsg)"
-cargo run -q -p bench --bin repro -- --quick bench4 >/dev/null
-# One JSON record per line; pull the 5-replica client_sendmsgs for each mode.
-uni=$(grep '"mode":"unicast","replicas":5' BENCH_4.json \
-  | sed 's/.*"client_sendmsgs":\([0-9]*\).*/\1/')
-mc=$(grep '"mode":"multicast","replicas":5' BENCH_4.json \
-  | sed 's/.*"client_sendmsgs":\([0-9]*\).*/\1/')
-if [ -z "$uni" ] || [ -z "$mc" ]; then
-  echo "BENCH_4.json is missing the 5-replica records" >&2
-  exit 1
-fi
-if [ "$mc" -ge "$uni" ]; then
-  echo "multicast sendmsg count ($mc) not below unicast ($uni) for 5-member calls" >&2
-  exit 1
-fi
-echo "    5-member call: $mc sendmsg (multicast) < $uni (unicast)"
+phase "BENCH_4 gate (multicast call plane beats unicast on client sendmsg)"
+cargo run -q --release -p bench --bin repro -- --quick bench4 >/dev/null
+cargo run -q --release -p bench --bin repro -- --gate bench4
 
+phase "BENCH_5 gate (parallel sweep beats serial wall clock)"
+cargo run -q --release -p bench --bin repro -- --quick bench5 >/dev/null
+cargo run -q --release -p bench --bin repro -- --gate bench5
+
+phase "done"
 echo "All checks passed."
