@@ -1,0 +1,76 @@
+//! Adversarial fuzz sweeps: full chaos scenarios with a live hostile
+//! injector, checked against the five chaos oracles plus the three
+//! adversary oracles on every seed.
+//!
+//! `CHAOS_SEED=n` replays one seed; `ADV_FULL=1` widens the unicast
+//! sweep to 100 seeds (CI runs this in release); `CHAOS_JOBS=n` caps
+//! the worker threads.
+
+use adversary::{check_adversary, counter, install_adversary};
+use chaos::{chaos_jobs, run_seed_with, run_sweep_parallel, sweep_seeds, ScenarioOptions};
+
+fn adversarial_options(multicast: bool) -> ScenarioOptions {
+    ScenarioOptions {
+        multicast_calls: multicast,
+        injector: Some(install_adversary),
+        ..ScenarioOptions::default()
+    }
+}
+
+fn sweep(seeds: &[u64], opts: &ScenarioOptions) {
+    let reports = run_sweep_parallel(seeds, opts, chaos_jobs());
+    let mut failures = Vec::new();
+    let mut injected_total = 0u64;
+    for r in &reports {
+        injected_total += counter(&r.metrics_json, "adv.injected");
+        if !r.passed() {
+            failures.push(r.failure_summary());
+        }
+        for v in check_adversary(r) {
+            failures.push(format!("seed {}: {v}", r.seed));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {} adversarial seeds failed:\n{}",
+        failures.len(),
+        seeds.len(),
+        failures.join("\n")
+    );
+    assert!(injected_total > 0, "injector never fired across the sweep");
+}
+
+#[test]
+fn adversarial_sweep_unicast() {
+    let range = if std::env::var("ADV_FULL").is_ok() {
+        1..101
+    } else {
+        1..11
+    };
+    let seeds = sweep_seeds(range);
+    sweep(&seeds, &adversarial_options(false));
+}
+
+#[test]
+fn adversarial_sweep_multicast() {
+    let seeds = sweep_seeds(1..11);
+    sweep(&seeds, &adversarial_options(true));
+}
+
+/// Injection is part of the deterministic event order: two runs of the
+/// same seed must agree bit-for-bit on the trace hash, the full metrics
+/// dump, and the span tree hash.
+#[test]
+fn same_seed_injection_is_bit_deterministic() {
+    let opts = adversarial_options(false);
+    let a = run_seed_with(7, &opts);
+    let b = run_seed_with(7, &opts);
+    assert_eq!(a.trace_hash, b.trace_hash, "trace hash diverged");
+    assert_eq!(a.trace_events, b.trace_events, "event count diverged");
+    assert_eq!(a.metrics_json, b.metrics_json, "metrics dump diverged");
+    assert_eq!(a.span_hash, b.span_hash, "span hash diverged");
+    assert!(
+        counter(&a.metrics_json, "adv.injected") > 0,
+        "determinism check must exercise the injector"
+    );
+}

@@ -59,6 +59,12 @@ pub struct ScenarioOptions {
     /// Carry one-to-many call data as troupe-wide multicasts (§4.3.3)
     /// instead of the paper-faithful per-member unicast.
     pub multicast_calls: bool,
+    /// Adversary factory: called with the scenario seed once the full
+    /// stack is spawned (before the fault plan runs), typically to
+    /// install a [`simnet::TrafficInjector`] on the world. A plain `fn`
+    /// pointer keeps the options `Clone` and the scenario a pure
+    /// function of `(seed, options)`.
+    pub injector: Option<fn(u64, &mut World)>,
 }
 
 impl Default for ScenarioOptions {
@@ -67,6 +73,7 @@ impl Default for ScenarioOptions {
             txns_per_client: 40,
             plan: PlanOptions::default(),
             multicast_calls: false,
+            injector: None,
         }
     }
 }
@@ -433,6 +440,13 @@ pub fn run_scenario(seed: u64, opts: &ScenarioOptions) -> Quiesced {
             .expect("valid node");
         w.spawn(c, Box::new(p));
         w.poke(c, 0);
+    }
+
+    // The adversary arms itself only after the honest stack is fully
+    // spawned, so its injection clock starts from a deterministic point
+    // in every run of the same seed.
+    if let Some(install) = opts.injector {
+        install(seed, &mut w);
     }
 
     let mut d = Driver {

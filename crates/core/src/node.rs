@@ -557,6 +557,13 @@ impl Node {
         self.events.pop_front()
     }
 
+    /// Number of per-peer connections this node holds. The adversarial
+    /// replay suite asserts that re-delivered segments of a completed
+    /// call create no new endpoint state.
+    pub fn conn_count(&self) -> usize {
+        self.conns.len()
+    }
+
     // -----------------------------------------------------------------
     // One-to-many calls (§4.3.1).
     // -----------------------------------------------------------------
@@ -947,7 +954,11 @@ impl Node {
         self.dead_peers.remove(&from);
         let conn = self.conn_mut(from);
         if conn.endpoint.on_datagram(now, &bytes).is_err() {
-            return; // Garbled segment: treated as lost (§2.2).
+            // Garbled segment: treated as lost (§2.2). Counted so the
+            // adversarial harness can assert hostile traffic was seen
+            // and refused rather than silently swallowed.
+            io.metrics().add("adv.rejected", 1);
+            return;
         }
         let mut events = Vec::new();
         while let Some(ev) = conn.endpoint.poll_event() {
@@ -1057,6 +1068,7 @@ impl Node {
             }
             Ok(_) => {}
             Err(_) => {
+                io.metrics().add("adv.rejected", 1);
                 self.fail_call(io, handle, CallError::Garbled);
                 return;
             }
@@ -1170,13 +1182,16 @@ impl Node {
     ) {
         io.charge_compute(self.config.compute_per_msg); // Internalize.
         let Ok(msg) = from_bytes::<CallMessage>(data) else {
-            return; // Garbled call; the client will time out and retry.
+            // Garbled call; the client will time out and retry.
+            io.metrics().add("adv.rejected", 1);
+            return;
         };
         self.purge_done(io.now());
 
         // Incarnation check (§6.2): a call bearing the wrong server
         // troupe ID must be rejected so stale client caches are detected.
         if msg.server_troupe != self.my_troupe && msg.server_troupe != TroupeId::UNREGISTERED {
+            io.metrics().add("adv.rejected", 1);
             let reply = to_bytes(&ReturnMessage::WrongTroupe(self.my_troupe));
             self.send_return(io, from, pm_cn, span, reply);
             return;

@@ -1,8 +1,12 @@
-//! Property-based tests on the Chapter 3 model and the collators.
+//! Property-based tests on the Chapter 3 model, the collators, and the
+//! call/return message wire formats.
 
 use circus::model::{is_balanced, Event, History};
-use circus::{Collation, CollationPolicy, Decision};
+use circus::{
+    CallMessage, Collation, CollationPolicy, Decision, ReturnMessage, ThreadId, TroupeId,
+};
 use proptest::prelude::*;
+use simnet::{HostId, SockAddr};
 
 /// Builds a random *valid* history by simulating a call stack: at each
 /// step, either call (always legal) or return (legal when the stack is
@@ -151,5 +155,59 @@ proptest! {
             Decision::Ready(out) => prop_assert!(votes.contains(&out)),
             other => prop_assert!(false, "unexpected {other:?}"),
         }
+    }
+
+    /// Call messages round-trip through the wire format for arbitrary
+    /// field values.
+    #[test]
+    fn call_message_round_trips(
+        host: u32,
+        port: u16,
+        serial: u32,
+        call_seq: u32,
+        client: u64,
+        server: u64,
+        module: u16,
+        proc: u16,
+        args in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let msg = CallMessage {
+            thread: ThreadId { origin: SockAddr::new(HostId(host), port), serial },
+            call_seq,
+            client_troupe: TroupeId(client),
+            server_troupe: TroupeId(server),
+            module,
+            proc,
+            args,
+        };
+        let got = wire::from_bytes::<CallMessage>(&wire::to_bytes(&msg)).unwrap();
+        prop_assert_eq!(got, msg);
+    }
+
+    /// Return messages round-trip for every variant.
+    #[test]
+    fn return_message_round_trips(
+        data in proptest::collection::vec(any::<u8>(), 0..200),
+        err: String,
+        id: u64,
+    ) {
+        for msg in [
+            ReturnMessage::Normal(data.clone()),
+            ReturnMessage::Error(err.clone()),
+            ReturnMessage::WrongTroupe(TroupeId(id)),
+            ReturnMessage::NoSuchProcedure,
+        ] {
+            let got = wire::from_bytes::<ReturnMessage>(&wire::to_bytes(&msg)).unwrap();
+            prop_assert_eq!(got, msg);
+        }
+    }
+
+    /// Internalizing arbitrary bytes as a call or return message fails
+    /// cleanly — the node-level decode path a hostile datagram reaches
+    /// once its segment header passes the structural check.
+    #[test]
+    fn message_internalize_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+        let _ = wire::from_bytes::<CallMessage>(&bytes);
+        let _ = wire::from_bytes::<ReturnMessage>(&bytes);
     }
 }

@@ -405,6 +405,59 @@ mod tests {
     }
 
     #[test]
+    fn zero_number_data_rejected() {
+        // A valid total with number == 0: the 1-based position invariant
+        // that, unchecked, underflowed reassembly indexing (PR 4).
+        let bytes = [0, 0, 4, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0];
+        assert_eq!(
+            Segment::decode_bytes(&bytes),
+            Err(SegmentError::BadPosition {
+                total: 4,
+                number: 0
+            })
+        );
+    }
+
+    #[test]
+    fn ack_number_beyond_total_rejected() {
+        let mut bytes = Segment::ack(MsgType::Call, 1, 3, 3).encode().to_vec();
+        bytes[3] = 4; // ack_number > total
+        assert_eq!(
+            Segment::decode_bytes(&bytes),
+            Err(SegmentError::BadPosition {
+                total: 3,
+                number: 4
+            })
+        );
+    }
+
+    #[test]
+    fn probe_ignores_position_fields() {
+        // Probes carry no segment position; arbitrary total/number bytes
+        // must not be mistaken for a data-position violation.
+        let mut bytes = Segment::probe(1).encode().to_vec();
+        bytes[2] = 0;
+        bytes[3] = 200;
+        let s = Segment::decode_bytes(&bytes).unwrap();
+        assert!(s.header.probe);
+        assert!(!s.is_data());
+    }
+
+    #[test]
+    fn every_truncation_length_rejected_cleanly() {
+        let wire = Segment::data(MsgType::Call, 7, 1, 2, 1, true, vec![5; 10]).encode();
+        for len in 0..HEADER_LEN {
+            assert_eq!(
+                Segment::decode_bytes(&wire[..len]),
+                Err(SegmentError::Truncated),
+                "length {len}"
+            );
+        }
+        // At exactly HEADER_LEN the header parses and data is empty.
+        assert!(Segment::decode_bytes(&wire[..HEADER_LEN]).is_ok());
+    }
+
+    #[test]
     fn decode_shares_the_datagram_allocation() {
         let s = Segment::data(MsgType::Call, 1, 0, 1, 1, false, vec![7u8; 32]);
         let wire = s.encode();

@@ -23,7 +23,7 @@ pub mod test_runner;
 /// Everything a `use proptest::prelude::*;` caller expects to find.
 pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
-    pub use crate::strategy::{Just, Strategy};
+    pub use crate::strategy::{Just, Strategy, Union};
     pub use crate::test_runner::Config as ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
 }

@@ -94,6 +94,29 @@ tuple_strategy! {
     (A/0, B/1, C/2, D/3, E/4);
 }
 
+/// Chooses uniformly among several strategies of the same value type —
+/// the shim's answer to `prop_oneof!`. Arms are boxed so heterogeneous
+/// combinator types can share one list.
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given arms (at least one).
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+        assert!(!arms.is_empty(), "Union needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
 /// String-pattern strategies: `"[A-Za-z][a-z0-9]{0,20}"` and friends.
 impl Strategy for &str {
     type Value = String;

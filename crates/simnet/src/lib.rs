@@ -73,4 +73,4 @@ pub use process::{HostId, Process, SockAddr, TimerId};
 pub use rng::SimRng;
 pub use time::{Duration, Time};
 pub use trace::{DropReason, TraceEvent, TraceHash, TraceLog, TraceRing, TraceSink};
-pub use world::{Ctx, World};
+pub use world::{Ctx, ForgedDatagram, TrafficInjector, World};

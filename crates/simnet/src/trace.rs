@@ -123,6 +123,20 @@ pub enum TraceEvent {
         /// Which host.
         host: HostId,
     },
+    /// An adversarial datagram was injected into the network by a
+    /// [`TrafficInjector`](crate::TrafficInjector). The forged source
+    /// address is recorded so a trace post-mortem can separate hostile
+    /// traffic from the workload's own.
+    Inject {
+        /// Injection time.
+        at: Time,
+        /// Forged source address.
+        from: SockAddr,
+        /// Destination.
+        to: SockAddr,
+        /// Payload length in bytes.
+        len: usize,
+    },
 }
 
 impl TraceEvent {
@@ -217,6 +231,13 @@ impl TraceEvent {
                 mix(h, 9);
                 mix(h, at.as_micros());
                 mix(h, host.0 as u64);
+            }
+            TraceEvent::Inject { at, from, to, len } => {
+                mix(h, 10);
+                mix(h, at.as_micros());
+                mix_addr(h, from);
+                mix_addr(h, to);
+                mix(h, len as u64);
             }
         }
     }

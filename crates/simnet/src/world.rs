@@ -161,6 +161,39 @@ enum EventKind {
         at: SockAddr,
         tag: u64,
     },
+    /// An armed [`TrafficInjector`] tick: the injector runs and may queue
+    /// forged datagrams and/or re-arm itself.
+    Inject,
+}
+
+/// A hostile datagram produced by a [`TrafficInjector`].
+#[derive(Clone, Debug)]
+pub struct ForgedDatagram {
+    /// Forged source address (need not correspond to any live process).
+    pub from: SockAddr,
+    /// Destination.
+    pub to: SockAddr,
+    /// Raw datagram bytes.
+    pub data: Vec<u8>,
+}
+
+/// An adversary wired into the world: it watches live traffic and, at
+/// seeded ticks, forges datagrams of its own (replays, corruptions,
+/// fabrications). Installed with [`World::set_injector`].
+///
+/// The injector must source all randomness from its own seeded generator
+/// — it never touches the world's [`SimRng`] — so an injection run stays
+/// a pure function of `(world seed, injector seed)`.
+pub trait TrafficInjector: Any {
+    /// Observes a datagram about to be delivered (it has already passed
+    /// the host-up and partition checks), letting the injector capture
+    /// live traffic to corrupt or replay later.
+    fn observe(&mut self, now: Time, from: SockAddr, to: SockAddr, data: &Payload);
+    /// Runs one injection tick. Returns the datagrams to inject now and
+    /// the delay until the next tick (`None` disarms the injector).
+    fn inject(&mut self, now: Time) -> (Vec<ForgedDatagram>, Option<Duration>);
+    /// Downcast support for [`World::injector_as`].
+    fn as_any(&self) -> &dyn Any;
 }
 
 impl PartialEq for QueuedEvent {
@@ -496,6 +529,7 @@ pub struct World {
     procs: BTreeMap<SockAddr, Slot>,
     epoch_counter: u64,
     events: u64,
+    injector: Option<Box<dyn TrafficInjector>>,
 }
 
 impl World {
@@ -512,6 +546,7 @@ impl World {
             procs: BTreeMap::new(),
             epoch_counter: 1,
             events: 0,
+            injector: None,
         }
     }
 
@@ -540,6 +575,44 @@ impl World {
     /// The installed trace sink, downcast to its concrete type.
     pub fn trace_sink_as<T: TraceSink>(&self) -> Option<&T> {
         self.core.sink.as_deref()?.as_any().downcast_ref::<T>()
+    }
+
+    /// Installs a traffic injector and arms its first tick `first` from
+    /// now. From then on the injector observes every delivered datagram
+    /// and, at each tick, may queue forged datagrams and re-arm itself.
+    pub fn set_injector(&mut self, inj: Box<dyn TrafficInjector>, first: Duration) {
+        self.injector = Some(inj);
+        self.core.push(self.core.now + first, EventKind::Inject);
+    }
+
+    /// The installed traffic injector, downcast to its concrete type.
+    pub fn injector_as<T: TrafficInjector>(&self) -> Option<&T> {
+        self.injector.as_deref()?.as_any().downcast_ref::<T>()
+    }
+
+    /// Queues a raw datagram for delivery *now* with a forged source
+    /// address, bypassing the sender-side network model (an adversary on
+    /// the wire pays no loss or jitter of its own). Delivery still runs
+    /// the host-up and partition checks, so a forged datagram cannot
+    /// reach a host the adversary's position in the network could not.
+    pub fn inject_datagram(&mut self, from: SockAddr, to: SockAddr, data: impl Into<Payload>) {
+        let data = data.into();
+        let at = self.core.now;
+        self.core.trace_with(|| TraceEvent::Inject {
+            at,
+            from,
+            to,
+            len: data.len(),
+        });
+        self.core.push(
+            at,
+            EventKind::Datagram {
+                from,
+                to,
+                data,
+                span: 0,
+            },
+        );
     }
 
     /// Replaces the syscall cost table.
@@ -762,6 +835,19 @@ impl World {
             EventKind::Poke { at, tag } => {
                 self.dispatch(at, None, |p, ctx| p.on_poke(ctx, tag), None);
             }
+            EventKind::Inject => {
+                let Some(mut inj) = self.injector.take() else {
+                    return true;
+                };
+                let (forged, next) = inj.inject(ev.at);
+                self.injector = Some(inj);
+                for f in forged {
+                    self.inject_datagram(f.from, f.to, f.data);
+                }
+                if let Some(d) = next {
+                    self.core.push(ev.at + d, EventKind::Inject);
+                }
+            }
         }
         true
     }
@@ -800,6 +886,10 @@ impl World {
             len: data.len(),
             span,
         });
+        if let Some(mut inj) = self.injector.take() {
+            inj.observe(at, from, to, &data);
+            self.injector = Some(inj);
+        }
         self.dispatch(
             to,
             None,

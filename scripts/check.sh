@@ -10,6 +10,10 @@
 # with:
 #
 #     CHAOS_SEED=<seed> cargo test -p chaos --test sweep -- --nocapture
+#
+# The adversarial sweep works the same way; replay one hostile seed with:
+#
+#     CHAOS_SEED=<seed> cargo test -p adversary --test fuzz -- --nocapture
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -38,6 +42,9 @@ cargo clippy -p obs --all-targets -- -D warnings
 phase "cargo clippy -p ringmaster (deny warnings)"
 cargo clippy -p ringmaster --all-targets -- -D warnings
 
+phase "cargo clippy -p adversary (deny warnings)"
+cargo clippy -p adversary --all-targets -- -D warnings
+
 phase "cargo test --workspace"
 cargo test --workspace -q
 
@@ -49,6 +56,12 @@ cargo test -p chaos --release --test sweep -- --nocapture
 
 phase "self-heal gate (two crashes => two ringmaster repairs)"
 cargo test -p chaos --release --test sweep self_heal_gate -- --nocapture
+
+phase "adversary corpus replay (tests/corpus/adversary.seeds)"
+cargo test -p adversary --release --test corpus -- --nocapture
+
+phase "adversary fuzz sweep (100 seeds, hostile injector, release, CHAOS_JOBS=${CHAOS_JOBS:-auto})"
+ADV_FULL=1 cargo test -p adversary --release --test fuzz -- --nocapture
 
 phase "BENCH_4 gate (multicast call plane beats unicast on client sendmsg)"
 cargo run -q --release -p bench --bin repro -- --quick bench4 >/dev/null
