@@ -83,7 +83,8 @@ fn replay_and_assert(
     for (_, from, to, data) in captures {
         q.world.inject_datagram(*from, *to, data.clone());
     }
-    q.world.run_for(Duration::from_micros(10_000_000));
+    q.world
+        .run(simnet::Until::Elapsed(Duration::from_micros(10_000_000)));
 
     let after: Vec<Snap> = members.iter().map(|&m| snapshot(&q.world, m)).collect();
     for (b, a) in before.iter().zip(&after) {
@@ -159,7 +160,8 @@ fn replay_across_purge_watermark_is_suppressed() {
         // Idle past the endpoint replay TTL (60 s) so the completed-call
         // records age out: the replays then cross the purge watermark
         // instead of being re-acked from the completed map.
-        q.world.run_for(Duration::from_micros(90_000_000));
+        q.world
+            .run(simnet::Until::Elapsed(Duration::from_micros(90_000_000)));
 
         let (before, after) = replay_and_assert(seed, &mut q, &captures);
         let suppressed = |snaps: &[Snap]| snaps.iter().map(|s| s.replays_suppressed).sum::<u64>();

@@ -48,7 +48,8 @@ fn stale_incarnation_call_is_rejected_without_suspicion() {
     };
     let seg = Segment::data(MsgType::Call, 1, 0, 1, 1, true, wire::to_bytes(&msg)).encode();
     q.world.inject_datagram(attacker, member, seg);
-    q.world.run_for(Duration::from_micros(2_000_000));
+    q.world
+        .run(simnet::Until::Elapsed(Duration::from_micros(2_000_000)));
 
     assert!(
         reg.get("adv.rejected") > rejected_before,

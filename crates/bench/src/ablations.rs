@@ -140,12 +140,12 @@ pub fn run_waiting_policy(policy: CollationPolicy, calls: u32) -> f64 {
         .expect("valid node");
     w.spawn(client, Box::new(p));
     w.poke(client, 0);
-    w.run_until_pred(Time::from_secs(36_000), |w| {
+    w.run(simnet::Until::pred(Time::from_secs(36_000), |w| {
         w.with_proc(client, |p: &CircusProcess| {
             p.agent_as::<PolicyClient>().unwrap().remaining == 0
         })
         .unwrap_or(false)
-    });
+    }));
     let durations = w
         .with_proc(client, |p: &CircusProcess| {
             p.agent_as::<PolicyClient>().unwrap().durations.clone()
@@ -215,14 +215,14 @@ pub fn run_commit_protocol(clients: u32) -> SyncOutcome {
         w.poke(a, 0);
     }
     let deadline = Time::from_secs(3600);
-    w.run_until_pred(deadline, |w| {
+    w.run(simnet::Until::pred(deadline, |w| {
         client_addrs.iter().all(|&a| {
             w.with_proc(a, |p: &CircusProcess| {
                 p.agent_as::<TxnClient>().unwrap().finished()
             })
             .unwrap_or(true)
         })
-    });
+    }));
     let elapsed_s = w.now().as_secs_f64();
     let mut committed = 0u32;
     let mut aborts = 0u32;
@@ -299,14 +299,14 @@ pub fn run_ordered_broadcast(clients: u32) -> SyncOutcome {
         w.poke(a, 0);
     }
     let deadline = Time::from_secs(3600);
-    w.run_until_pred(deadline, |w| {
+    w.run(simnet::Until::pred(deadline, |w| {
         client_addrs.iter().all(|&a| {
             w.with_proc(a, |p: &CircusProcess| {
                 p.agent_as::<Broadcaster>().unwrap().finished()
             })
             .unwrap_or(true)
         })
-    });
+    }));
     let elapsed_s = w.now().as_secs_f64();
     let done: usize = client_addrs
         .iter()

@@ -2,10 +2,10 @@
 //!
 //! ```text
 //! repro [--quick] [EXPERIMENT...]
-//! repro --gate (bench4|bench5)
+//! repro --gate (bench4|bench5|bench6)
 //! ```
 //!
-//! Experiments: `table4.1 table4.2 table4.3 fig4.8 bench4 bench5 multicast
+//! Experiments: `table4.1 table4.2 table4.3 fig4.8 bench4 bench5 bench6 multicast
 //! eq5.1 fig6.3 table7.1 ablation.waiting ablation.sync ablation.protocol`
 //! (default: all). `--quick` uses fewer calls/trials.
 //!
@@ -13,7 +13,9 @@
 //! the current directory: per-replica-count call latency and client
 //! `sendmsg` counts for the unicast and multicast call data planes.
 //! `bench5` writes `BENCH_5.json`: simulator events/sec at growing
-//! payloads, and serial-vs-parallel chaos-sweep wall clock.
+//! payloads, and serial-vs-parallel chaos-sweep wall clock. `bench6`
+//! writes `BENCH_6.json`: events/sec under timer churn (the wheel's
+//! home turf), an echo reference, and a raw wheel-vs-heap micro.
 //!
 //! `--gate NAME` checks the invariant a benchmark must uphold, reading
 //! the `BENCH_*.json` the benchmark wrote (run the benchmark first):
@@ -23,7 +25,10 @@
 //! - `bench5` — the parallel sweep beats the serial one by a
 //!   core-count-aware factor (2x with 4+ workers, 1.2x with 2-3, and
 //!   no regression on a single core, where the sweep degenerates to
-//!   serial).
+//!   serial);
+//! - `bench6` — the timer-churn workload processes events at least as
+//!   fast as the BENCH_5 64 B echo baseline (small noise allowance on
+//!   a single core).
 
 use std::process::ExitCode;
 
@@ -78,6 +83,41 @@ fn gate_bench4() -> Result<String, String> {
     ))
 }
 
+/// Gate: the timer-churn workload must process events at least as fast
+/// as the BENCH_5 message-workload baseline — the timer wheel was built
+/// for exactly this shape, so falling below the echo rig's events/sec
+/// would mean the scheduler rewrite lost its reason to exist. Reads
+/// `BENCH_6.json` for the churn number and `BENCH_5.json` for the
+/// baseline (run `repro bench5 bench6` first). Core-count-aware: the
+/// simulator is single-threaded, so a loaded single-core box gets a
+/// small noise allowance; with 2+ cores the floor is the baseline
+/// itself.
+fn gate_bench6() -> Result<String, String> {
+    let churn = record("BENCH_6.json", &["\"section\":\"timer_churn\""])?;
+    let eps = field(&churn, "events_per_sec").ok_or("timer_churn record lacks events_per_sec")?;
+    let base = record(
+        "BENCH_5.json",
+        &["\"section\":\"throughput\"", "\"payload\":64"],
+    )?;
+    let base_eps = field(&base, "events_per_sec").ok_or("baseline record lacks events_per_sec")?;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let floor_ratio = if cores >= 2 { 1.0 } else { 0.9 };
+    let floor = base_eps * floor_ratio;
+    if eps < floor {
+        return Err(format!(
+            "timer-churn {eps:.0} events/sec below the floor {floor:.0} \
+             ({floor_ratio:.1}x of the BENCH_5 64 B baseline {base_eps:.0}, {cores} core(s))"
+        ));
+    }
+    Ok(format!(
+        "timer churn: {eps:.0} events/sec ≥ {floor:.0} floor \
+         ({:.2}x the BENCH_5 64 B baseline, {cores} core(s))",
+        eps / base_eps.max(1e-9),
+    ))
+}
+
 /// Gate: the parallel sweep must beat the serial one by a factor scaled
 /// to how many workers actually ran. Reads `BENCH_5.json`.
 fn gate_bench5() -> Result<String, String> {
@@ -112,15 +152,16 @@ fn gate_bench5() -> Result<String, String> {
 
 fn run_gates(wanted: &[&str]) -> ExitCode {
     if wanted.is_empty() {
-        eprintln!("--gate needs a benchmark name: bench4 bench5");
+        eprintln!("--gate needs a benchmark name: bench4 bench5 bench6");
         return ExitCode::from(2);
     }
     for name in wanted {
         let verdict = match *name {
             "bench4" => gate_bench4(),
             "bench5" => gate_bench5(),
+            "bench6" => gate_bench6(),
             other => {
-                eprintln!("no gate named {other}; known: bench4 bench5");
+                eprintln!("no gate named {other}; known: bench4 bench5 bench6");
                 return ExitCode::from(2);
             }
         };
@@ -198,6 +239,20 @@ fn main() -> ExitCode {
             }
         }
     }
+    if want("bench6") {
+        known = true;
+        let json = bench::bench6::bench_6_json(quick);
+        emit(format!(
+            "BENCH_6: timer-heavy scheduler throughput (timer-wheel gate)\n{json}"
+        ));
+        match std::fs::write("BENCH_6.json", &json) {
+            Ok(()) => emit("wrote BENCH_6.json".to_string()),
+            Err(e) => {
+                eprintln!("cannot write BENCH_6.json: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
     if want("multicast") || want("fig4.9-theory") {
         known = true;
         emit(bench::tables::fig_multicast_theory(mc_calls));
@@ -229,7 +284,7 @@ fn main() -> ExitCode {
     if !known {
         eprintln!(
             "unknown experiment(s) {wanted:?}; known: table4.1 table4.2 table4.3 \
-             fig4.8 bench4 bench5 multicast eq5.1 fig6.3 table7.1 ablation.waiting \
+             fig4.8 bench4 bench5 bench6 multicast eq5.1 fig6.3 table7.1 ablation.waiting \
              ablation.sync ablation.protocol"
         );
         return ExitCode::from(2);

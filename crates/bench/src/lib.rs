@@ -9,6 +9,7 @@
 
 pub mod ablations;
 pub mod bench5;
+pub mod bench6;
 pub mod tables;
 pub mod testbed;
 

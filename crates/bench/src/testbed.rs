@@ -122,10 +122,10 @@ pub fn run_udp_echo(calls: u32) -> EchoResult {
         }),
     );
     w.poke(client, 0);
-    w.run_until_pred(Time::from_secs(3600), |w| {
+    w.run(simnet::Until::pred(Time::from_secs(3600), |w| {
         w.with_proc(client, |c: &UdpClient| c.finished.is_some())
             .unwrap_or(false)
-    });
+    }));
     let (started, finished) = w
         .with_proc(client, |c: &UdpClient| (c.started, c.finished.unwrap()))
         .unwrap();
@@ -195,10 +195,10 @@ pub fn run_tcp_echo(calls: u32) -> EchoResult {
         }),
     );
     w.poke(client, 0);
-    w.run_until_pred(Time::from_secs(3600), |w| {
+    w.run(simnet::Until::pred(Time::from_secs(3600), |w| {
         w.with_proc(client, |c: &TcpClient| c.finished.is_some())
             .unwrap_or(false)
-    });
+    }));
     let (started, finished) = w
         .with_proc(client, |c: &TcpClient| (c.started, c.finished.unwrap()))
         .unwrap();
@@ -342,12 +342,12 @@ pub fn run_circus_echo_rig(
         .expect("valid node");
     w.spawn(client, Box::new(p));
     w.poke(client, 0);
-    w.run_until_pred(Time::from_secs(36_000), |w| {
+    w.run(simnet::Until::pred(Time::from_secs(36_000), |w| {
         w.with_proc(client, |p: &CircusProcess| {
             p.agent_as::<RpcClient>().unwrap().finished.is_some()
         })
         .unwrap_or(false)
-    });
+    }));
     let (started, finished, failures) = w
         .with_proc(client, |p: &CircusProcess| {
             let c = p.agent_as::<RpcClient>().unwrap();
@@ -454,10 +454,10 @@ pub fn run_multicast_call(n: usize, calls: u32, mean_rt_ms: f64, seed: u64) -> f
         }),
     );
     w.poke(client, 0);
-    w.run_until_pred(Time::from_secs(864_000), |w| {
+    w.run(simnet::Until::pred(Time::from_secs(864_000), |w| {
         w.with_proc(client, |c: &McClient| c.calls_left == 0)
             .unwrap_or(false)
-    });
+    }));
     let durations = w
         .with_proc(client, |c: &McClient| c.durations.clone())
         .unwrap();

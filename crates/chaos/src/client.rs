@@ -17,7 +17,7 @@
 
 use circus::binding::BINDING_MODULE;
 use circus::{
-    Agent, CallError, CallHandle, CollationPolicy, ModuleAddr, NodeCtx, ThreadId, Troupe,
+    Agent, CallError, CallHandle, CollationPolicy, ModuleAddr, NodeCtx, ThreadId, TimerKey, Troupe,
 };
 use ringmaster::{ImportCache, RemoveTroupeMember};
 use simnet::Duration;
@@ -26,8 +26,8 @@ use wire::{from_bytes, to_bytes};
 
 use circus::binding::binding_procs;
 
-const RETRY_TAG: u64 = 0x6368; // "ch"
-const PAUSE_TAG: u64 = 0x7061; // "pa"
+const RETRY_KEY: TimerKey = TimerKey::new(0x6368); // "ch"
+const PAUSE_KEY: TimerKey = TimerKey::new(0x7061); // "pa"
 
 /// Mean think time between transactions. Pacing spreads the script
 /// across the fault window, so faults land on a *live* workload rather
@@ -148,7 +148,7 @@ impl RebindingClient {
             return;
         }
         if self.paused {
-            nc.set_app_timer(Duration::from_micros(400_000), PAUSE_TAG);
+            nc.set_app_timer(Duration::from_micros(400_000), PAUSE_KEY);
             return;
         }
         let Some(troupe) = self.cache.get(&self.name).cloned() else {
@@ -182,7 +182,7 @@ impl RebindingClient {
         }
         self.retries_left -= 1;
         let delay = self.backoff.next_delay(nc.sim().rng());
-        nc.set_app_timer(delay, RETRY_TAG);
+        nc.set_app_timer(delay, RETRY_KEY);
     }
 }
 
@@ -225,7 +225,7 @@ impl Agent for RebindingClient {
                         self.backoff.reset();
                         self.retries_left = 200;
                         let think = 200_000 + nc.sim().rng().below(2 * THINK_MEAN_US);
-                        nc.set_app_timer(Duration::from_micros(think), RETRY_TAG);
+                        nc.set_app_timer(Duration::from_micros(think), RETRY_KEY);
                     }
                     Ok(TxnOutcome::Aborted(_)) => {
                         self.aborted_keys.push((thread, nonce));
@@ -252,8 +252,8 @@ impl Agent for RebindingClient {
         }
     }
 
-    fn on_app_timer(&mut self, nc: &mut NodeCtx<'_, '_, '_>, tag: u64) {
-        if tag == RETRY_TAG || tag == PAUSE_TAG {
+    fn on_app_timer(&mut self, nc: &mut NodeCtx<'_, '_, '_>, key: TimerKey) {
+        if key == RETRY_KEY || key == PAUSE_KEY {
             self.submit(nc);
         }
     }

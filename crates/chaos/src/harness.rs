@@ -118,6 +118,16 @@ pub fn run_seed_with(seed: u64, opts: &ScenarioOptions) -> RunReport {
     report(&q, violations)
 }
 
+/// [`run_seed_with`] on the reference heap scheduler (test-only,
+/// `heap_sched` feature): the scheduler-equivalence suite asserts its
+/// reports are bit-identical to [`run_seed_with`]'s.
+#[cfg(feature = "heap_sched")]
+pub fn run_seed_with_heap(seed: u64, opts: &ScenarioOptions) -> RunReport {
+    let q = crate::scenario::run_scenario_heap(seed, opts);
+    let violations = check_all(&q);
+    report(&q, violations)
+}
+
 fn report(q: &Quiesced, violations: Vec<Violation>) -> RunReport {
     use crate::client::RebindingClient;
     use circus::CircusProcess;

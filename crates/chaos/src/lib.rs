@@ -36,9 +36,13 @@ pub mod plan;
 pub mod scenario;
 
 pub use client::{RebindingClient, RemoveAgent};
+#[cfg(feature = "heap_sched")]
+pub use harness::run_seed_with_heap;
 pub use harness::{
     chaos_jobs, run_seed, run_seed_with, run_sweep, run_sweep_parallel, sweep_seeds, RunReport,
 };
 pub use oracle::{check_all, Violation};
 pub use plan::{Fault, FaultPlan, PlanOptions, PlannedFault};
+#[cfg(feature = "heap_sched")]
+pub use scenario::run_scenario_heap;
 pub use scenario::{run_scenario, Quiesced, ScenarioOptions};

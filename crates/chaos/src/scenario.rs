@@ -194,7 +194,7 @@ impl Driver {
     fn await_self_heal(&mut self, dead: ModuleAddr, strength: usize) {
         let deadline = self.w.now() + Duration::from_micros(60_000_000);
         let healer = self.healer_addr();
-        let healed = self.w.run_until_pred(deadline, |w| {
+        let healed = self.w.run(simnet::Until::pred(deadline, |w| {
             w.with_proc(healer, |p: &CircusProcess| {
                 p.node()
                     .service_as::<RingmasterService>(BINDING_MODULE)
@@ -205,7 +205,7 @@ impl Driver {
                     })
             })
             .unwrap_or(false)
-        });
+        }));
         if !healed {
             let post = self
                 .w
@@ -238,7 +238,7 @@ impl Driver {
     }
 
     fn apply(&mut self, pf: &PlannedFault) {
-        self.w.run_until(pf.at);
+        self.w.run(simnet::Until::Time(pf.at));
         match pf.fault {
             Fault::Partition {
                 victim_idx,
@@ -246,7 +246,7 @@ impl Driver {
             } => {
                 let victim = self.members[victim_idx % self.members.len()].addr.host;
                 self.w.set_partition(Partition::isolate(vec![victim]));
-                self.w.run_for(heal_after);
+                self.w.run(simnet::Until::Elapsed(heal_after));
                 self.w.set_partition(Partition::none());
             }
             Fault::LossBurst {
@@ -259,7 +259,7 @@ impl Driver {
                     duplicate,
                     ..self.baseline.clone()
                 });
-                self.w.run_for(duration);
+                self.w.run(simnet::Until::Elapsed(duration));
                 self.w.set_net(self.baseline.clone());
             }
             Fault::Degrade { factor, duration } => {
@@ -268,7 +268,7 @@ impl Driver {
                     jitter_mean: self.baseline.jitter_mean.saturating_mul(factor as u64),
                     ..self.baseline.clone()
                 });
-                self.w.run_for(duration);
+                self.w.run(simnet::Until::Elapsed(duration));
                 self.w.set_net(self.baseline.clone());
             }
             Fault::CrashHost { victim_idx } => {
@@ -320,9 +320,24 @@ impl Driver {
 /// Builds the world, runs the fault plan for `seed` against the live
 /// workload, quiesces, and returns everything the oracles need.
 pub fn run_scenario(seed: u64, opts: &ScenarioOptions) -> Quiesced {
+    let w = World::with_config(seed, NetConfig::lan_1985(), SyscallCosts::default());
+    run_scenario_in(w, seed, opts)
+}
+
+/// [`run_scenario`] on a world scheduled by the reference binary heap
+/// instead of the timer wheel — the other half of the
+/// scheduler-equivalence oracle. Test-only (`heap_sched` feature).
+#[cfg(feature = "heap_sched")]
+pub fn run_scenario_heap(seed: u64, opts: &ScenarioOptions) -> Quiesced {
+    let w = World::with_config_heap(seed, NetConfig::lan_1985(), SyscallCosts::default());
+    run_scenario_in(w, seed, opts)
+}
+
+/// Runs the standard chaos scenario inside a caller-built world (the
+/// world must be fresh: nothing spawned, clock at zero).
+fn run_scenario_in(mut w: World, seed: u64, opts: &ScenarioOptions) -> Quiesced {
     let plan = FaultPlan::generate(seed, &opts.plan);
-    let baseline = NetConfig::lan_1985();
-    let mut w = World::with_config(seed, baseline.clone(), SyscallCosts::default());
+    let baseline = w.net().clone();
     // The sink must be installed before the first spawn so the whole run,
     // setup included, is covered by the trace hash. A bounded ring keeps
     // memory flat no matter how long the run is: the hash still covers
@@ -392,12 +407,12 @@ pub fn run_scenario(seed: u64, opts: &ScenarioOptions) -> Quiesced {
     w.spawn(registrar, Box::new(p));
     w.poke(registrar, 0);
     let deadline = w.now() + Duration::from_micros(30_000_000);
-    let registered = w.run_until_pred(deadline, |w| {
+    let registered = w.run(simnet::Until::pred(deadline, |w| {
         w.with_proc(registrar, |p: &CircusProcess| {
             p.agent_as::<Registrar>().is_some_and(|r| r.id.is_some())
         })
         .unwrap_or(false)
-    });
+    }));
     if !registered {
         warnings.push("store troupe never registered".into());
     }
@@ -471,7 +486,7 @@ pub fn run_scenario(seed: u64, opts: &ScenarioOptions) -> Quiesced {
     d.w.set_net(baseline);
     let healer = d.healer_addr();
     let deadline = d.w.now() + Duration::from_micros(60_000_000);
-    let drained = d.w.run_until_pred(deadline, |w| {
+    let drained = d.w.run(simnet::Until::pred(deadline, |w| {
         w.with_proc(healer, |p: &CircusProcess| {
             let no_suspects = p
                 .node()
@@ -480,14 +495,15 @@ pub fn run_scenario(seed: u64, opts: &ScenarioOptions) -> Quiesced {
             no_suspects && p.agent_as::<SelfHealAgent>().is_some_and(|h| h.idle())
         })
         .unwrap_or(false)
-    });
+    }));
     if !drained {
         d.warnings
             .push("healer did not drain its suspect queue at quiesce".into());
     }
     let deadline = d.w.now() + Duration::from_micros(180_000_000);
-    let finished =
-        d.w.run_until_pred(deadline, |w| Driver::clients_finished(w, &client_addrs));
+    let finished = d.w.run(simnet::Until::pred(deadline, |w| {
+        Driver::clients_finished(w, &client_addrs)
+    }));
     if !finished {
         d.warnings
             .push("clients did not finish before quiesce".into());
@@ -506,13 +522,14 @@ pub fn run_scenario(seed: u64, opts: &ScenarioOptions) -> Quiesced {
         d.w.poke(c, 0);
     }
     let deadline = d.w.now() + Duration::from_micros(120_000_000);
-    let probed =
-        d.w.run_until_pred(deadline, |w| Driver::clients_finished(w, &client_addrs));
+    let probed = d.w.run(simnet::Until::pred(deadline, |w| {
+        Driver::clients_finished(w, &client_addrs)
+    }));
     if !probed {
         d.warnings.push("probe transactions did not finish".into());
     }
     // Let retransmissions and deferred acks settle.
-    d.w.run_for(Duration::from_micros(5_000_000));
+    d.w.run(simnet::Until::Elapsed(Duration::from_micros(5_000_000)));
 
     let store_members = d
         .registry_binding()

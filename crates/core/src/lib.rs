@@ -46,7 +46,7 @@ pub use collate::{
     Decision, GatherAll, VoteSlot,
 };
 pub use message::{unwrap_reply_vote, wrap_reply_vote, CallMessage, ReturnMessage};
-pub use node::{AppEvent, CallHandle, NetIo, Node, NodeConfig};
+pub use node::{AppEvent, CallHandle, NetIo, Node, NodeConfig, TimerHandle, TimerKey};
 pub use runtime::{Agent, BuildError, CircusProcess, NodeBuilder, NodeCtx};
 pub use service::{CallError, NodeEffect, OutCall, Service, ServiceCtx, Step, TroupeTarget};
 pub use thread::{ThreadId, ThreadIdGen};

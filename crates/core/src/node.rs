@@ -31,7 +31,7 @@ use crate::service::{CallError, NodeEffect, OutCall, Service, ServiceCtx, Step, 
 use crate::thread::{ThreadId, ThreadIdGen};
 use obs::SpanId;
 use pairedmsg::{Endpoint, Event as PmEvent, MsgType};
-use simnet::{Duration, Payload, SockAddr, Syscall, Time};
+use simnet::{Duration, Payload, SockAddr, Syscall, Time, TimerId};
 use wire::{from_bytes, to_bytes};
 
 /// Abstraction over the I/O facilities a node needs; implemented for the
@@ -60,8 +60,14 @@ pub trait NetIo {
             self.send_spanned(to, bytes.clone(), span);
         }
     }
-    /// Arms a timer.
-    fn set_timer(&mut self, delay: Duration, tag: u64);
+    /// Arms a timer, returning its cancelable id.
+    fn set_timer(&mut self, delay: Duration, tag: u64) -> TimerId;
+    /// Cancels a pending timer. Returns `true` iff the timer was live.
+    /// The default is for logic-test mocks without a scheduler — it
+    /// reports every cancel as a miss; the simulator overrides it.
+    fn cancel_timer(&mut self, _id: TimerId) -> bool {
+        false
+    }
     /// Charges a syscall to this process's CPU account.
     fn charge(&mut self, sys: Syscall);
     /// Charges user-mode computation.
@@ -90,8 +96,11 @@ impl NetIo for simnet::Ctx<'_> {
     fn multicast_spanned(&mut self, tos: &[SockAddr], bytes: Payload, span: u64) {
         simnet::Ctx::multicast_spanned(self, tos, bytes, span);
     }
-    fn set_timer(&mut self, delay: Duration, tag: u64) {
-        simnet::Ctx::set_timer(self, delay, tag);
+    fn set_timer(&mut self, delay: Duration, tag: u64) -> TimerId {
+        simnet::Ctx::set_timer(self, delay, tag)
+    }
+    fn cancel_timer(&mut self, id: TimerId) -> bool {
+        simnet::Ctx::cancel_timer(self, id)
     }
     fn charge(&mut self, sys: Syscall) {
         simnet::Ctx::charge(self, sys);
@@ -121,6 +130,43 @@ fn make_tag(kind: u64, low: u64) -> u64 {
 pub fn split_tag(tag: u64) -> (u64, u64) {
     (tag >> TAG_KIND_SHIFT, tag & ((1 << TAG_KIND_SHIFT) - 1))
 }
+
+/// An application timer tag, guaranteed to fit the node's 56-bit tag
+/// space.
+///
+/// The node multiplexes one `u64` timer tag space between its own
+/// protocol timers and the application's (the top byte is the kind), so
+/// application tags must fit in the low 56 bits. With raw `u64` tags an
+/// oversize tag came back truncated and the application silently never
+/// recognized its own timer — a real bug class (the PR-3 self-heal tick
+/// died exactly this way). `TimerKey::new` is `const` and asserts the
+/// bound, so a `const KEY: TimerKey = TimerKey::new(...)` with an
+/// oversize value is a *compile* error, not a silent truncation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TimerKey(u64);
+
+impl TimerKey {
+    /// Wraps a raw tag value. Panics (at compile time in `const`
+    /// contexts) if it exceeds the 56-bit tag space.
+    pub const fn new(raw: u64) -> TimerKey {
+        assert!(
+            raw < (1 << TAG_KIND_SHIFT),
+            "application timer tag exceeds the 56-bit tag space"
+        );
+        TimerKey(raw)
+    }
+
+    /// The raw tag value (always `< 2^56`).
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// A cancelable handle for an armed application timer, returned by
+/// [`Node::set_app_timer`] / `NodeCtx::set_app_timer` and redeemed with
+/// [`Node::cancel_app_timer`] / `NodeCtx::cancel_app_timer`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TimerHandle(TimerId);
 
 /// Handle identifying an in-progress replicated call made by this node.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -971,8 +1017,8 @@ impl Node {
     }
 
     /// Feeds a timer expiry (call this from `Process::on_timer`). Returns
-    /// the application tag if the timer belonged to the application.
-    pub fn on_timer(&mut self, io: &mut dyn NetIo, tag: u64) -> Option<u64> {
+    /// the application's key if the timer belonged to the application.
+    pub fn on_timer(&mut self, io: &mut dyn NetIo, tag: u64) -> Option<TimerKey> {
         let (kind, low) = split_tag(tag);
         match kind {
             TAG_CONN => {
@@ -1011,21 +1057,31 @@ impl Node {
                 }
                 None
             }
-            TAG_APP => Some(low),
+            TAG_APP => Some(TimerKey::new(low)),
             _ => None,
         }
     }
 
     /// Arms an application-level timer; it comes back from
-    /// [`Node::on_timer`] with the given tag. Tags share the node's timer
-    /// tag space and must fit in its 56 low bits — an oversize tag would
-    /// come back truncated and the application would not recognize it.
-    pub fn set_app_timer(&mut self, io: &mut dyn NetIo, delay: Duration, tag: u64) {
-        debug_assert!(
-            tag < (1 << TAG_KIND_SHIFT),
-            "application timer tag {tag:#x} exceeds the 56-bit tag space"
-        );
-        io.set_timer(delay, make_tag(TAG_APP, tag));
+    /// [`Node::on_timer`] with the given key. The [`TimerKey`] newtype
+    /// proves the tag fits the node's 56-bit tag space, so the old
+    /// truncation hazard is unrepresentable here. The returned handle
+    /// cancels it ([`Node::cancel_app_timer`]).
+    pub fn set_app_timer(
+        &mut self,
+        io: &mut dyn NetIo,
+        delay: Duration,
+        key: TimerKey,
+    ) -> TimerHandle {
+        TimerHandle(io.set_timer(delay, make_tag(TAG_APP, key.raw())))
+    }
+
+    /// Cancels an application timer armed with [`Node::set_app_timer`].
+    /// Returns `true` iff the timer was still pending; cancelling an
+    /// already-fired or already-cancelled timer is a recorded miss
+    /// (`sim.timer.cancel_miss`) and returns `false`.
+    pub fn cancel_app_timer(&mut self, io: &mut dyn NetIo, handle: TimerHandle) -> bool {
+        io.cancel_timer(handle.0)
     }
 
     fn on_pm_event(&mut self, io: &mut dyn NetIo, from: SockAddr, ev: PmEvent) {
@@ -1302,7 +1358,7 @@ impl Node {
                 if self.config.charge_overhead {
                     io.charge(Syscall::SetITimer);
                 }
-                io.set_timer(self.config.assembly_timeout, make_tag(TAG_PENDING, serial));
+                let _ = io.set_timer(self.config.assembly_timeout, make_tag(TAG_PENDING, serial));
             }
         }
         let p = self.pending.get_mut(&key).expect("just inserted");
@@ -1833,7 +1889,7 @@ impl Node {
                         io.charge(Syscall::SigBlock);
                         io.charge(Syscall::SetITimer);
                     }
-                    io.set_timer(delay, tag);
+                    let _ = io.set_timer(delay, tag);
                 }
             }
         }
@@ -1875,8 +1931,9 @@ mod tests {
         fn send(&mut self, to: SockAddr, bytes: Payload) {
             self.sent.push((to, bytes));
         }
-        fn set_timer(&mut self, delay: Duration, tag: u64) {
+        fn set_timer(&mut self, delay: Duration, tag: u64) -> TimerId {
             self.timers.push((delay, tag));
+            TimerId(self.timers.len() as u64 - 1)
         }
         fn charge(&mut self, _sys: Syscall) {}
         fn charge_compute(&mut self, _d: Duration) {}
@@ -2069,8 +2126,9 @@ mod tests {
         fn multicast_spanned(&mut self, tos: &[SockAddr], bytes: Payload, _span: u64) {
             self.mcasts.push((tos.to_vec(), bytes));
         }
-        fn set_timer(&mut self, delay: Duration, tag: u64) {
+        fn set_timer(&mut self, delay: Duration, tag: u64) -> TimerId {
             self.inner.timers.push((delay, tag));
+            TimerId(self.inner.timers.len() as u64 - 1)
         }
         fn charge(&mut self, _sys: Syscall) {}
         fn charge_compute(&mut self, _d: Duration) {}
@@ -2245,7 +2303,10 @@ mod tests {
         assert_eq!(n.on_timer(&mut io, make_tag(TAG_PENDING, 999)), None);
         assert_eq!(n.on_timer(&mut io, make_tag(7, 1)), None);
         // App tags come back verbatim.
-        assert_eq!(n.on_timer(&mut io, make_tag(TAG_APP, 42)), Some(42));
+        assert_eq!(
+            n.on_timer(&mut io, make_tag(TAG_APP, 42)),
+            Some(TimerKey::new(42))
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! harness...). Server-only processes need no agent: exported services
 //! are dispatched by the node itself.
 
-use crate::node::{AppEvent, CallHandle, Node, NodeConfig};
+use crate::node::{AppEvent, CallHandle, Node, NodeConfig, TimerHandle, TimerKey};
 use crate::service::{CallError, Service};
 use crate::{CollationPolicy, ThreadId, Troupe, TroupeId};
 use simnet::{Ctx, Duration, Process, SockAddr, TimerId};
@@ -68,9 +68,17 @@ impl<'a, 'b, 'w> NodeCtx<'a, 'b, 'w> {
             .begin_call_solo(self.io, thread, troupe, module, proc, args, collation)
     }
 
-    /// Arms an application timer; it arrives at [`Agent::on_app_timer`].
-    pub fn set_app_timer(&mut self, delay: Duration, tag: u64) {
-        self.node.set_app_timer(self.io, delay, tag);
+    /// Arms an application timer; it arrives at [`Agent::on_app_timer`]
+    /// carrying `key`. The returned [`TimerHandle`] cancels it.
+    pub fn set_app_timer(&mut self, delay: Duration, key: TimerKey) -> TimerHandle {
+        self.node.set_app_timer(self.io, delay, key)
+    }
+
+    /// Cancels an application timer armed with
+    /// [`NodeCtx::set_app_timer`]. Returns `true` iff it was still
+    /// pending (a miss ticks `sim.timer.cancel_miss` instead).
+    pub fn cancel_app_timer(&mut self, handle: TimerHandle) -> bool {
+        self.node.cancel_app_timer(self.io, handle)
     }
 
     /// Direct access to the simulator context (spawning processes during
@@ -115,7 +123,7 @@ pub trait Agent: std::any::Any {
     fn on_determinism_violation(&mut self, _node: &mut NodeCtx<'_, '_, '_>, _handle: CallHandle) {}
 
     /// An application timer armed with [`NodeCtx::set_app_timer`] fired.
-    fn on_app_timer(&mut self, _node: &mut NodeCtx<'_, '_, '_>, _tag: u64) {}
+    fn on_app_timer(&mut self, _node: &mut NodeCtx<'_, '_, '_>, _key: TimerKey) {}
 
     /// A service on this node queued
     /// [`NodeEffect::NotifyAgent`](crate::service::NodeEffect::NotifyAgent):
@@ -373,8 +381,8 @@ impl Process for CircusProcess {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, _timer: TimerId, tag: u64) {
-        if let Some(app_tag) = self.node.on_timer(ctx, tag) {
-            self.with_agent_ctx(ctx, |agent, nc| agent.on_app_timer(nc, app_tag));
+        if let Some(key) = self.node.on_timer(ctx, tag) {
+            self.with_agent_ctx(ctx, |agent, nc| agent.on_app_timer(nc, key));
         } else {
             self.pump(ctx);
         }

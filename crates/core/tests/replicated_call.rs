@@ -13,7 +13,7 @@ use simnet::{Duration, HostId, World};
 use wire::{from_bytes, to_bytes};
 
 fn run(world: &mut World, d: u64) {
-    world.run_for(Duration::from_secs(d));
+    world.run(simnet::Until::Elapsed(Duration::from_secs(d)));
 }
 
 #[test]

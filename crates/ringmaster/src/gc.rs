@@ -13,14 +13,16 @@
 use std::collections::HashMap;
 
 use circus::binding::{binding_procs, reserved_procs, BINDING_MODULE};
-use circus::{Agent, CallError, CallHandle, CollationPolicy, ModuleAddr, NodeCtx, Troupe};
+use circus::{
+    Agent, CallError, CallHandle, CollationPolicy, ModuleAddr, NodeCtx, TimerKey, Troupe,
+};
 use simnet::Duration;
 use wire::to_bytes;
 
 use crate::agent::RingmasterService;
 use crate::api::RemoveTroupeMember;
 
-const SWEEP_TAG: u64 = 0x6C;
+const SWEEP_KEY: TimerKey = TimerKey::new(0x6C);
 
 /// The garbage collector agent.
 pub struct GcAgent {
@@ -85,15 +87,15 @@ impl GcAgent {
 impl Agent for GcAgent {
     fn on_start(&mut self, nc: &mut NodeCtx<'_, '_, '_>) {
         self.running = true;
-        nc.set_app_timer(self.interval, SWEEP_TAG);
+        nc.set_app_timer(self.interval, SWEEP_KEY);
     }
 
-    fn on_app_timer(&mut self, nc: &mut NodeCtx<'_, '_, '_>, tag: u64) {
-        if tag != SWEEP_TAG {
+    fn on_app_timer(&mut self, nc: &mut NodeCtx<'_, '_, '_>, key: TimerKey) {
+        if key != SWEEP_KEY {
             return;
         }
         self.sweep(nc);
-        nc.set_app_timer(self.interval, SWEEP_TAG);
+        nc.set_app_timer(self.interval, SWEEP_KEY);
     }
 
     fn on_call_done(

@@ -31,7 +31,7 @@
 
 use circus::binding::{binding_procs, reserved_procs, BINDING_MODULE};
 use circus::{
-    Agent, CallError, CallHandle, CollationPolicy, ModuleAddr, NodeCtx, Troupe, TroupeId,
+    Agent, CallError, CallHandle, CollationPolicy, ModuleAddr, NodeCtx, TimerKey, Troupe, TroupeId,
 };
 use simnet::{Duration, Time};
 use wire::to_bytes;
@@ -56,7 +56,7 @@ const OP_TIMEOUT: Duration = Duration::from_micros(30_000_000);
 const TICK: Duration = Duration::from_micros(2_000_000);
 
 // App timer tags must fit in the node's 56-bit tag space.
-const TICK_TAG: u64 = 0x48_4541_4C54_4943; // "HEALTIC"
+const TICK_KEY: TimerKey = TimerKey::new(0x48_4541_4C54_4943); // "HEALTIC"
 
 #[derive(Debug)]
 enum HealState {
@@ -275,15 +275,15 @@ impl SelfHealAgent {
 
 impl Agent for SelfHealAgent {
     fn on_start(&mut self, nc: &mut NodeCtx<'_, '_, '_>) {
-        nc.set_app_timer(TICK, TICK_TAG);
+        nc.set_app_timer(TICK, TICK_KEY);
     }
 
     fn on_notify(&mut self, nc: &mut NodeCtx<'_, '_, '_>, _tag: u64) {
         self.kick(nc);
     }
 
-    fn on_app_timer(&mut self, nc: &mut NodeCtx<'_, '_, '_>, tag: u64) {
-        if tag != TICK_TAG {
+    fn on_app_timer(&mut self, nc: &mut NodeCtx<'_, '_, '_>, key: TimerKey) {
+        if key != TICK_KEY {
             return;
         }
         if !matches!(self.state, HealState::Idle) && nc.now() >= self.deadline {
@@ -304,7 +304,7 @@ impl Agent for SelfHealAgent {
         if matches!(self.state, HealState::Idle) {
             self.start_sweep(nc);
         }
-        nc.set_app_timer(TICK, TICK_TAG);
+        nc.set_app_timer(TICK, TICK_KEY);
     }
 
     fn on_call_done(

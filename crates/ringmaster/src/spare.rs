@@ -24,7 +24,7 @@
 use circus::binding::{binding_procs, reserved_procs, BINDING_MODULE};
 use circus::{
     Agent, CallError, CallHandle, CollationPolicy, ModuleAddr, NodeCtx, NodeEffect, OutCall,
-    Service, ServiceCtx, Step, Troupe, TroupeId, TroupeTarget,
+    Service, ServiceCtx, Step, TimerKey, Troupe, TroupeId, TroupeTarget,
 };
 use simnet::Duration;
 use wire::{from_bytes, to_bytes};
@@ -46,7 +46,7 @@ pub const PROC_ACTIVATE: u16 = 0;
 const REGISTER_RETRY: Duration = Duration::from_micros(2_000_000);
 
 // App timer tags must fit in the node's 56-bit tag space.
-const REGISTER_TAG: u64 = 0x53_5041_5245_5247; // "SPARERG"
+const REGISTER_KEY: TimerKey = TimerKey::new(0x53_5041_5245_5247); // "SPARERG"
 
 /// Progress of one activation, keyed implicitly: the control module
 /// accepts a single activation at a time.
@@ -289,12 +289,14 @@ impl Agent for SpareAgent {
         match result {
             Ok(_) => self.registered = true,
             // The Ringmaster may still be forming; retry shortly.
-            Err(_) => nc.set_app_timer(REGISTER_RETRY, REGISTER_TAG),
+            Err(_) => {
+                nc.set_app_timer(REGISTER_RETRY, REGISTER_KEY);
+            }
         }
     }
 
-    fn on_app_timer(&mut self, nc: &mut NodeCtx<'_, '_, '_>, tag: u64) {
-        if tag == REGISTER_TAG && !self.registered && self.waiting.is_none() {
+    fn on_app_timer(&mut self, nc: &mut NodeCtx<'_, '_, '_>, key: TimerKey) {
+        if key == REGISTER_KEY && !self.registered && self.waiting.is_none() {
             self.register(nc);
         }
     }

@@ -135,7 +135,7 @@ fn register_counter_troupe_from(
         .expect("valid node");
     w.spawn(registrar, Box::new(p));
     w.poke(registrar, 0);
-    w.run_for(Duration::from_secs(10));
+    w.run(simnet::Until::Elapsed(Duration::from_secs(10)));
     let id = w
         .with_proc(registrar, |p: &CircusProcess| {
             p.agent_as::<Registrar>().unwrap().id
@@ -219,7 +219,7 @@ fn register_and_lookup_by_name() {
         .expect("valid node");
     w.spawn(client, Box::new(p));
     w.poke(client, 0);
-    w.run_for(Duration::from_secs(10));
+    w.run(simnet::Until::Elapsed(Duration::from_secs(10)));
 
     let result = w
         .with_proc(client, |p: &CircusProcess| {
@@ -272,7 +272,7 @@ fn join_agent_transfers_state_and_reincarnates() {
         .expect("valid node");
     w.spawn(driver, Box::new(p));
     w.poke(driver, 0);
-    w.run_for(Duration::from_secs(10));
+    w.run(simnet::Until::Elapsed(Duration::from_secs(10)));
 
     // A new member joins via the JoinAgent (§6.4.1).
     let newbie = SockAddr::new(HostId(6), 70);
@@ -284,7 +284,7 @@ fn join_agent_transfers_state_and_reincarnates() {
         .expect("valid node");
     w.spawn(newbie, Box::new(p));
     w.poke(newbie, 0);
-    w.run_for(Duration::from_secs(20));
+    w.run(simnet::Until::Elapsed(Duration::from_secs(20)));
 
     let joined = w
         .with_proc(newbie, |p: &CircusProcess| {
@@ -326,7 +326,7 @@ fn join_agent_transfers_state_and_reincarnates() {
 
     // A client still holding the OLD binding is rejected and can rebind.
     w.poke(driver, 0); // Caller re-uses the old troupe representation.
-    w.run_for(Duration::from_secs(10));
+    w.run(simnet::Until::Elapsed(Duration::from_secs(10)));
     let results = w
         .with_proc(driver, |p: &CircusProcess| {
             p.agent_as::<Caller>().unwrap().results.clone()
@@ -379,7 +379,7 @@ fn gc_removes_crashed_member() {
 
     // Crash one member.
     w.crash_host(HostId(6));
-    w.run_for(Duration::from_secs(120));
+    w.run(simnet::Until::Elapsed(Duration::from_secs(120)));
 
     let collected = w
         .with_proc(gc_addr, |p: &CircusProcess| {
@@ -512,13 +512,13 @@ fn server_resolves_client_troupe_via_binder() {
         .expect("valid node");
     w.spawn(registrar, Box::new(p));
     w.poke(registrar, 0);
-    w.run_for(Duration::from_secs(10));
+    w.run(simnet::Until::Elapsed(Duration::from_secs(10)));
 
     // Fire the replicated call from both client members.
     for m in &client_members {
         w.poke(m.addr, 0);
     }
-    w.run_for(Duration::from_secs(20));
+    w.run(simnet::Until::Elapsed(Duration::from_secs(20)));
 
     // The server executed exactly once.
     let value = w
@@ -636,7 +636,7 @@ fn rebind_after_stale_binding() {
         .expect("valid node");
     w.spawn(client, Box::new(p));
     w.poke(client, 0);
-    w.run_for(Duration::from_secs(20));
+    w.run(simnet::Until::Elapsed(Duration::from_secs(20)));
 
     let outcome = w
         .with_proc(client, |p: &CircusProcess| {
@@ -698,7 +698,7 @@ fn binding_survives_ringmaster_member_crash() {
         .expect("valid node");
     w.spawn(client, Box::new(p));
     w.poke(client, 0);
-    w.run_for(Duration::from_secs(60));
+    w.run(simnet::Until::Elapsed(Duration::from_secs(60)));
 
     let found = w
         .with_proc(client, |p: &CircusProcess| {
@@ -729,7 +729,7 @@ fn registration_survives_ringmaster_member_crash() {
         .expect("valid node");
     w.spawn(newbie, Box::new(p));
     w.poke(newbie, 0);
-    w.run_for(Duration::from_secs(60));
+    w.run(simnet::Until::Elapsed(Duration::from_secs(60)));
 
     let joined = w
         .with_proc(newbie, |p: &CircusProcess| {

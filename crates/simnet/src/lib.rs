@@ -50,7 +50,7 @@
 //! world.spawn(server, Box::new(Echo));
 //! world.spawn(client, Box::new(Client { replies: 0 }));
 //! world.poke(client, 0);
-//! world.run_for(simnet::Duration::from_secs(1));
+//! world.run(simnet::Until::Elapsed(simnet::Duration::from_secs(1)));
 //! assert_eq!(world.with_proc(client, |c: &Client| c.replies), Some(1));
 //! ```
 
@@ -61,6 +61,7 @@ pub mod net;
 pub mod payload;
 pub mod process;
 pub mod rng;
+pub mod sched;
 pub mod time;
 pub mod trace;
 pub mod world;
@@ -71,6 +72,7 @@ pub use obs::{CpuView, NetView, Registry, SpanId};
 pub use payload::Payload;
 pub use process::{HostId, Process, SockAddr, TimerId};
 pub use rng::SimRng;
+pub use sched::TimerWheel;
 pub use time::{Duration, Time};
 pub use trace::{DropReason, TraceEvent, TraceHash, TraceLog, TraceRing, TraceSink};
-pub use world::{Ctx, ForgedDatagram, TrafficInjector, World};
+pub use world::{Ctx, ForgedDatagram, TrafficInjector, Until, World};

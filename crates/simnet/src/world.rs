@@ -9,8 +9,11 @@
 //! on the paper's uniprocessor VAXen.
 
 use std::any::Any;
+#[cfg(feature = "heap_sched")]
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashSet};
+#[cfg(feature = "heap_sched")]
+use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, HashSet};
 
 use obs::{Counter, CpuView, NetView, Registry};
 
@@ -19,6 +22,7 @@ use crate::net::{NetConfig, Partition};
 use crate::payload::Payload;
 use crate::process::{HostId, Process, SockAddr, TimerId};
 use crate::rng::SimRng;
+use crate::sched::TimerWheel;
 use crate::time::{Duration, Time};
 use crate::trace::{DropReason, TraceEvent, TraceSink};
 
@@ -133,7 +137,8 @@ impl CpuCounters {
     }
 }
 
-/// An event waiting in the queue.
+/// An event waiting in the reference heap scheduler.
+#[cfg(feature = "heap_sched")]
 struct QueuedEvent {
     at: Time,
     seq: u64,
@@ -196,20 +201,75 @@ pub trait TrafficInjector: Any {
     fn as_any(&self) -> &dyn Any;
 }
 
+#[cfg(feature = "heap_sched")]
 impl PartialEq for QueuedEvent {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
+#[cfg(feature = "heap_sched")]
 impl Eq for QueuedEvent {}
+#[cfg(feature = "heap_sched")]
 impl PartialOrd for QueuedEvent {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
+#[cfg(feature = "heap_sched")]
 impl Ord for QueuedEvent {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The event queue: the hierarchical [`TimerWheel`] by default, or — kept
+/// behind the test-only `heap_sched` feature — the original
+/// `BinaryHeap<(at, seq)>`, which the scheduler-equivalence suite replays
+/// as the reference implementation. Both pop in exactly `(at, seq)`
+/// order, so they are interchangeable bit for bit.
+enum Queue {
+    Wheel(TimerWheel<EventKind>),
+    #[cfg(feature = "heap_sched")]
+    Heap(BinaryHeap<Reverse<QueuedEvent>>),
+}
+
+impl Queue {
+    fn insert(&mut self, at: Time, seq: u64, kind: EventKind) {
+        match self {
+            Queue::Wheel(w) => w.insert(at.as_micros(), seq, kind),
+            #[cfg(feature = "heap_sched")]
+            Queue::Heap(h) => h.push(Reverse(QueuedEvent { at, seq, kind })),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(Time, EventKind)> {
+        match self {
+            Queue::Wheel(w) => w.pop().map(|(at, _, kind)| (Time::from_micros(at), kind)),
+            #[cfg(feature = "heap_sched")]
+            Queue::Heap(h) => h.pop().map(|Reverse(ev)| (ev.at, ev.kind)),
+        }
+    }
+
+    /// Timestamp of the next event (the run loop's peek). `&mut` because
+    /// the wheel advances its internal horizon to answer.
+    fn next_at(&mut self) -> Option<Time> {
+        match self {
+            Queue::Wheel(w) => w.next_at().map(Time::from_micros),
+            #[cfg(feature = "heap_sched")]
+            Queue::Heap(h) => h.peek().map(|Reverse(ev)| ev.at),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Queue::Wheel(w) => w.len(),
+            #[cfg(feature = "heap_sched")]
+            Queue::Heap(h) => h.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -242,7 +302,7 @@ pub struct Ctx<'a> {
 struct Core {
     now: Time,
     seq: u64,
-    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    queue: Queue,
     rng: SimRng,
     net: NetConfig,
     costs: SyscallCosts,
@@ -251,6 +311,16 @@ struct Core {
     net_ctr: NetCounters,
     hosts: BTreeMap<HostId, HostState>,
     next_timer: u64,
+    /// Timers armed but neither fired nor cancelled. Membership is what
+    /// makes [`World::cancel_timer`]'s `bool` truthful: a hit moves the
+    /// id to `cancelled`, a miss (already fired, already cancelled, or
+    /// never ours) ticks `sim.timer.cancel_miss`.
+    live: HashSet<TimerId>,
+    /// Cancelled timers whose queue entries have not yet popped. A
+    /// cancelled timer still occupies its slot and still advances the
+    /// clock when it comes due — it just fires into the void. (The
+    /// scheduler-equivalence oracle depends on this: both schedulers pop
+    /// the tombstone identically.)
     cancelled: HashSet<TimerId>,
     pending: Vec<Pending>,
     /// Epoch of the process whose handler is currently running; set by the
@@ -265,7 +335,23 @@ impl Core {
     fn push(&mut self, at: Time, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(QueuedEvent { at, seq, kind }));
+        self.queue.insert(at, seq, kind);
+    }
+
+    /// Cancels a live timer; see [`World::cancel_timer`].
+    fn cancel_timer(&mut self, id: TimerId) -> bool {
+        if self.live.remove(&id) {
+            self.cancelled.insert(id);
+            true
+        } else {
+            // Cold path by construction (a miss is a caller bug or a
+            // benign race with the fire), so the lazy name lookup is
+            // fine — and the counter only appears in dumps once a miss
+            // actually happens, keeping miss-free golden snapshots
+            // byte-stable.
+            self.registry.add("sim.timer.cancel_miss", 1);
+            false
+        }
     }
 
     fn trace(&mut self, ev: TraceEvent) {
@@ -445,6 +531,7 @@ impl<'a> Ctx<'a> {
     pub fn set_timer(&mut self, delay: Duration, tag: u64) -> TimerId {
         let id = TimerId(self.core.next_timer);
         self.core.next_timer += 1;
+        self.core.live.insert(id);
         let epoch = self.core.epoch_hint;
         self.core.push(
             self.vnow + delay,
@@ -458,10 +545,12 @@ impl<'a> Ctx<'a> {
         id
     }
 
-    /// Cancels a pending timer. Cancelling an already-fired timer is a
-    /// harmless no-op.
-    pub fn cancel_timer(&mut self, id: TimerId) {
-        self.core.cancelled.insert(id);
+    /// Cancels a pending timer. Returns `true` if the timer was live
+    /// (armed, not yet fired, not yet cancelled); a miss — already
+    /// fired, already cancelled, or a foreign id — returns `false` and
+    /// ticks the `sim.timer.cancel_miss` counter.
+    pub fn cancel_timer(&mut self, id: TimerId) -> bool {
+        self.core.cancel_timer(id)
     }
 
     /// Access to the world's random number generator.
@@ -494,13 +583,13 @@ impl<'a> Ctx<'a> {
 }
 
 impl Core {
-    fn new(seed: u64, net: NetConfig, costs: SyscallCosts) -> Core {
+    fn new(seed: u64, net: NetConfig, costs: SyscallCosts, queue: Queue) -> Core {
         let registry = Registry::new();
         let net_ctr = NetCounters::new(&registry);
         Core {
             now: Time::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue,
             rng: SimRng::new(seed),
             net,
             costs,
@@ -509,6 +598,7 @@ impl Core {
             net_ctr,
             hosts: BTreeMap::new(),
             next_timer: 0,
+            live: HashSet::new(),
             cancelled: HashSet::new(),
             pending: Vec::new(),
             epoch_hint: 0,
@@ -541,8 +631,21 @@ impl World {
 
     /// Creates a world with explicit network and cost models.
     pub fn with_config(seed: u64, net: NetConfig, costs: SyscallCosts) -> World {
+        World::with_queue(seed, net, costs, Queue::Wheel(TimerWheel::new()))
+    }
+
+    /// Creates a world scheduled by the original binary heap instead of
+    /// the timer wheel. Test-only (`heap_sched` feature): the
+    /// scheduler-equivalence suite replays identical workloads on both
+    /// and asserts bit-identical traces.
+    #[cfg(feature = "heap_sched")]
+    pub fn with_config_heap(seed: u64, net: NetConfig, costs: SyscallCosts) -> World {
+        World::with_queue(seed, net, costs, Queue::Heap(BinaryHeap::new()))
+    }
+
+    fn with_queue(seed: u64, net: NetConfig, costs: SyscallCosts, queue: Queue) -> World {
         World {
-            core: Core::new(seed, net, costs),
+            core: Core::new(seed, net, costs, queue),
             procs: BTreeMap::new(),
             epoch_counter: 1,
             events: 0,
@@ -798,14 +901,18 @@ impl World {
     }
 
     /// Processes the next event. Returns `false` when the queue is empty.
+    ///
+    /// This is the single-event primitive every [`World::run`] mode is
+    /// built from; external drivers may call it directly to interleave
+    /// simulation with their own bookkeeping.
     pub fn step(&mut self) -> bool {
-        let Reverse(ev) = match self.core.queue.pop() {
+        let (at, kind) = match self.core.queue.pop() {
             Some(e) => e,
             None => return false,
         };
-        self.core.now = ev.at;
+        self.core.now = at;
         self.events += 1;
-        match ev.kind {
+        match kind {
             EventKind::Datagram {
                 from,
                 to,
@@ -819,14 +926,14 @@ impl World {
                 epoch,
             } => {
                 if self.core.cancelled.remove(&id) {
+                    // A cancelled timer's slot still pops (and the pop
+                    // advanced the clock and the event counter above) —
+                    // it just no longer reaches its owner.
                     return true;
                 }
-                self.core.trace_with(|| TraceEvent::TimerFire {
-                    at: ev.at,
-                    owner,
-                    id,
-                    tag,
-                });
+                self.core.live.remove(&id);
+                self.core
+                    .trace_with(|| TraceEvent::TimerFire { at, owner, id, tag });
                 self.dispatch(owner, Some(epoch), |p, ctx| p.on_timer(ctx, id, tag), None);
             }
             EventKind::Start { at, epoch } => {
@@ -839,13 +946,13 @@ impl World {
                 let Some(mut inj) = self.injector.take() else {
                     return true;
                 };
-                let (forged, next) = inj.inject(ev.at);
+                let (forged, next) = inj.inject(at);
                 self.injector = Some(inj);
                 for f in forged {
                     self.inject_datagram(f.from, f.to, f.data);
                 }
                 if let Some(d) = next {
-                    self.core.push(ev.at + d, EventKind::Inject);
+                    self.core.push(at + d, EventKind::Inject);
                 }
             }
         }
@@ -962,10 +1069,62 @@ impl World {
         }
     }
 
-    /// Runs until the queue is empty or the next event is after `t`.
-    pub fn run_until(&mut self, t: Time) {
-        while let Some(Reverse(ev)) = self.core.queue.peek() {
-            if ev.at > t {
+    /// Cancels a pending timer from outside any process handler (test
+    /// drivers, scenario scripts). Same semantics as
+    /// [`Ctx::cancel_timer`]: `true` iff the timer was live; a miss
+    /// ticks `sim.timer.cancel_miss` and returns `false`.
+    pub fn cancel_timer(&mut self, id: TimerId) -> bool {
+        self.core.cancel_timer(id)
+    }
+
+    /// The timestamp of the next queued event, if any. Peeking may
+    /// advance the scheduler's internal horizon (never the clock).
+    pub fn next_event_at(&mut self) -> Option<Time> {
+        self.core.queue.next_at()
+    }
+
+    /// Runs the event loop until `until` is satisfied. Returns `true`
+    /// if the stopping condition was met — always, except for
+    /// [`Until::Pred`], which reports whether the predicate held before
+    /// its deadline.
+    pub fn run(&mut self, until: Until<'_>) -> bool {
+        match until {
+            Until::Time(t) => {
+                self.drive_to(t);
+                true
+            }
+            Until::Elapsed(d) => {
+                let t = self.core.now + d;
+                self.drive_to(t);
+                true
+            }
+            Until::Idle => {
+                while self.step() {}
+                true
+            }
+            Until::Pred { deadline, mut pred } => {
+                if pred(self) {
+                    return true;
+                }
+                while let Some(at) = self.core.queue.next_at() {
+                    if at > deadline {
+                        break;
+                    }
+                    self.step();
+                    if pred(self) {
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// Processes every event with `at ≤ t`, then advances the clock to
+    /// `t` (the queue may retain later events).
+    fn drive_to(&mut self, t: Time) {
+        while let Some(at) = self.core.queue.next_at() {
+            if at > t {
                 break;
             }
             self.step();
@@ -975,34 +1134,62 @@ impl World {
         }
     }
 
+    /// Runs until the queue is empty or the next event is after `t`.
+    #[deprecated(note = "use `run(Until::Time(t))`")]
+    pub fn run_until(&mut self, t: Time) {
+        self.run(Until::Time(t));
+    }
+
     /// Runs for `d` of simulated time from now.
+    #[deprecated(note = "use `run(Until::Elapsed(d))`")]
     pub fn run_for(&mut self, d: Duration) {
-        let t = self.core.now + d;
-        self.run_until(t);
+        self.run(Until::Elapsed(d));
     }
 
     /// Runs until `pred` holds (checked after every event) or `deadline`
     /// passes. Returns `true` if the predicate became true.
-    pub fn run_until_pred(&mut self, deadline: Time, mut pred: impl FnMut(&World) -> bool) -> bool {
-        if pred(self) {
-            return true;
-        }
-        while let Some(Reverse(ev)) = self.core.queue.peek() {
-            if ev.at > deadline {
-                break;
-            }
-            self.step();
-            if pred(self) {
-                return true;
-            }
-        }
-        false
+    #[deprecated(note = "use `run(Until::pred(deadline, pred))`")]
+    pub fn run_until_pred(&mut self, deadline: Time, pred: impl FnMut(&World) -> bool) -> bool {
+        self.run(Until::pred(deadline, pred))
     }
 
     /// Drains every remaining event (use only when the system quiesces,
     /// i.e. no periodic timers are armed).
+    #[deprecated(note = "use `run(Until::Idle)`")]
     pub fn run_to_completion(&mut self) {
-        while self.step() {}
+        self.run(Until::Idle);
+    }
+}
+
+/// A stopping condition for [`World::run`] — the one run-loop driver
+/// behind what used to be four separate `run_*` entry points.
+pub enum Until<'a> {
+    /// Process every event with `at ≤ t`, then advance the clock to `t`.
+    Time(Time),
+    /// Like [`Until::Time`], `d` of simulated time from now.
+    Elapsed(Duration),
+    /// Drain every remaining event (only sensible when the system
+    /// quiesces — no periodic timers armed).
+    Idle,
+    /// Run until the predicate holds (checked before the first event and
+    /// after each one) or the next event lies past `deadline`. On
+    /// failure the clock is *not* advanced to the deadline, so callers
+    /// can resume precisely. Build with [`Until::pred`].
+    Pred {
+        /// Last event timestamp still processed.
+        deadline: Time,
+        /// Stopping predicate, checked against the whole world.
+        pred: Box<dyn FnMut(&World) -> bool + 'a>,
+    },
+}
+
+impl<'a> Until<'a> {
+    /// Convenience constructor for [`Until::Pred`].
+    pub fn pred(deadline: Time, pred: impl FnMut(&World) -> bool + 'a) -> Until<'a> {
+        Until::Pred {
+            deadline,
+            pred: Box::new(pred),
+        }
     }
 }
 

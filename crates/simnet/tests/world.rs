@@ -55,7 +55,7 @@ fn echo_round_trip_costs_match_cost_model() {
     world.spawn(server, Box::new(Echo));
     world.spawn(client, Box::new(Pinger::new(server, 1)));
     world.poke(client, 0);
-    world.run_for(Duration::from_secs(1));
+    world.run(simnet::Until::Elapsed(Duration::from_secs(1)));
 
     let c = world.cpu(client);
     let s = world.cpu(server);
@@ -80,7 +80,7 @@ fn host_cpu_serializes_concurrent_work() {
     world.spawn(c2, Box::new(Pinger::new(server, 1)));
     world.poke(c1, 0);
     world.poke(c2, 0);
-    world.run_for(Duration::from_secs(1));
+    world.run(simnet::Until::Elapsed(Duration::from_secs(1)));
 
     let t1 = world.with_proc(c1, |p: &Pinger| p.reply_times[0]).unwrap();
     let t2 = world.with_proc(c2, |p: &Pinger| p.reply_times[0]).unwrap();
@@ -102,7 +102,7 @@ fn crashed_host_receives_nothing() {
     world.spawn(client, Box::new(Pinger::new(server, 1)));
     world.crash_host(HostId(1));
     world.poke(client, 0);
-    world.run_for(Duration::from_secs(1));
+    world.run(simnet::Until::Elapsed(Duration::from_secs(1)));
     assert_eq!(
         world.with_proc(client, |p: &Pinger| p.reply_times.len()),
         Some(0)
@@ -120,7 +120,7 @@ fn partition_blocks_cross_group_traffic() {
     world.spawn(client, Box::new(Pinger::new(server, 1)));
     world.set_partition(Partition::isolate(vec![HostId(1)]));
     world.poke(client, 0);
-    world.run_for(Duration::from_secs(1));
+    world.run(simnet::Until::Elapsed(Duration::from_secs(1)));
     assert_eq!(
         world.with_proc(client, |p: &Pinger| p.reply_times.len()),
         Some(0)
@@ -130,7 +130,7 @@ fn partition_blocks_cross_group_traffic() {
     // Healing the partition restores connectivity for new traffic.
     world.set_partition(Partition::none());
     world.poke(client, 0);
-    world.run_for(Duration::from_secs(1));
+    world.run(simnet::Until::Elapsed(Duration::from_secs(1)));
     assert_eq!(
         world.with_proc(client, |p: &Pinger| p.reply_times.len()),
         Some(1)
@@ -145,7 +145,7 @@ fn loss_drops_datagrams() {
     world.spawn(server, Box::new(Echo));
     world.spawn(client, Box::new(Pinger::new(server, 10)));
     world.poke(client, 0);
-    world.run_for(Duration::from_secs(1));
+    world.run(simnet::Until::Elapsed(Duration::from_secs(1)));
     assert_eq!(world.net_stats().lost, 10);
     assert_eq!(world.net_stats().delivered, 0);
 }
@@ -184,7 +184,7 @@ fn multicast_charges_once_delivers_to_all() {
         }),
     );
     world.poke(caster, 0);
-    world.run_for(Duration::from_secs(1));
+    world.run(simnet::Until::Elapsed(Duration::from_secs(1)));
 
     assert_eq!(world.cpu(caster).count_of(Syscall::SendMsg.index()), 1);
     assert_eq!(world.net_stats().multicasts, 1);
@@ -237,7 +237,7 @@ fn duplicated_multicast_counters_and_trace_agree() {
         }),
     );
     world.poke(caster, 0);
-    world.run_for(Duration::from_secs(1));
+    world.run(simnet::Until::Elapsed(Duration::from_secs(1)));
 
     // One accepted datagram per destination; duplicates are counted
     // separately and never inflate `sent`.
@@ -283,7 +283,7 @@ fn identical_seeds_give_identical_traces() {
         world.spawn(server, Box::new(Echo));
         world.spawn(client, Box::new(Pinger::new(server, 50)));
         world.poke(client, 0);
-        world.run_for(Duration::from_secs(5));
+        world.run(simnet::Until::Elapsed(Duration::from_secs(5)));
         world
             .with_proc(client, |p: &Pinger| {
                 p.reply_times.iter().map(|t| t.as_micros()).collect()
@@ -312,16 +312,16 @@ fn killed_process_timers_do_not_fire_for_replacement() {
     let mut world = World::new(7);
     let a = addr(0, 50);
     world.spawn(a, Box::new(TimerBomb { fired: false }));
-    world.run_for(Duration::from_millis(10));
+    world.run(simnet::Until::Elapsed(Duration::from_millis(10)));
     // Replace the process before its timer fires.
     world.spawn(a, Box::new(TimerBomb { fired: false }));
-    world.run_for(Duration::from_millis(50));
+    world.run(simnet::Until::Elapsed(Duration::from_millis(50)));
     // Cancel the replacement's own timer tracking by checking: the OLD
     // timer (epoch 1) must not fire on the NEW process before the new
     // process's own timer at +110ms.
-    world.run_until(Time::from_millis(105));
+    world.run(simnet::Until::Time(Time::from_millis(105)));
     assert_eq!(world.with_proc(a, |p: &TimerBomb| p.fired), Some(false));
-    world.run_until(Time::from_millis(200));
+    world.run(simnet::Until::Time(Time::from_millis(200)));
     assert_eq!(world.with_proc(a, |p: &TimerBomb| p.fired), Some(true));
 }
 
@@ -333,10 +333,10 @@ fn run_until_pred_stops_early() {
     world.spawn(server, Box::new(Echo));
     world.spawn(client, Box::new(Pinger::new(server, 3)));
     world.poke(client, 0);
-    let ok = world.run_until_pred(Time::from_secs(10), |w| {
+    let ok = world.run(simnet::Until::pred(Time::from_secs(10), |w| {
         w.with_proc(client, |p: &Pinger| p.reply_times.len() >= 2)
             .unwrap_or(false)
-    });
+    }));
     assert!(ok);
     let n = world
         .with_proc(client, |p: &Pinger| p.reply_times.len())
@@ -357,7 +357,7 @@ fn spawn_from_handler_takes_effect() {
     let spawner = addr(0, 1);
     world.spawn(spawner, Box::new(Spawner));
     world.poke(spawner, 0);
-    world.run_for(Duration::from_millis(1));
+    world.run(simnet::Until::Elapsed(Duration::from_millis(1)));
     assert!(world.is_alive(addr(2, 9)));
 }
 
@@ -378,7 +378,7 @@ fn oversize_datagrams_dropped() {
     world.spawn(server, Box::new(Echo));
     world.spawn(client, Box::new(Big { server }));
     world.poke(client, 0);
-    world.run_for(Duration::from_secs(1));
+    world.run(simnet::Until::Elapsed(Duration::from_secs(1)));
     assert_eq!(world.net_stats().oversize, 1);
     assert_eq!(world.net_stats().delivered, 0);
 }
@@ -402,7 +402,7 @@ fn killed_process_receives_no_further_datagrams() {
     world.spawn(server, Box::new(Echo));
     world.spawn(client, Box::new(Pinger::new(server, 1)));
     world.poke(client, 0);
-    world.run_for(Duration::from_secs(1));
+    world.run(simnet::Until::Elapsed(Duration::from_secs(1)));
     assert_eq!(
         world.with_proc(client, |p: &Pinger| p.reply_times.len()),
         Some(1)
@@ -413,7 +413,7 @@ fn killed_process_receives_no_further_datagrams() {
     assert!(!world.is_alive(server));
     assert!(world.host_up(HostId(1)), "kill must not take the host down");
     world.poke(client, 1);
-    world.run_for(Duration::from_secs(1));
+    world.run(simnet::Until::Elapsed(Duration::from_secs(1)));
 
     // No further replies, and the ping is accounted as undeliverable.
     assert_eq!(
@@ -440,7 +440,7 @@ fn restart_host_yields_fresh_process_state() {
     world.spawn(counter, Box::new(Counter { seen: 0 }));
     world.spawn(client, Box::new(Pinger::new(counter, 3)));
     world.poke(client, 0);
-    world.run_for(Duration::from_secs(1));
+    world.run(simnet::Until::Elapsed(Duration::from_secs(1)));
     assert_eq!(world.with_proc(counter, |c: &Counter| c.seen), Some(3));
 
     world.crash_host(HostId(1));
@@ -453,7 +453,7 @@ fn restart_host_yields_fresh_process_state() {
     // A replacement process starts from its initial state.
     world.spawn(counter, Box::new(Counter { seen: 0 }));
     world.poke(client, 1);
-    world.run_for(Duration::from_secs(1));
+    world.run(simnet::Until::Elapsed(Duration::from_secs(1)));
     assert_eq!(world.with_proc(counter, |c: &Counter| c.seen), Some(3));
 }
 
@@ -469,7 +469,7 @@ fn partition_preserves_intra_partition_delivery() {
     world.set_partition(Partition::groups(vec![vec![HostId(1), HostId(2)]]));
     world.poke(near, 0);
     world.poke(far, 0);
-    world.run_for(Duration::from_secs(1));
+    world.run(simnet::Until::Elapsed(Duration::from_secs(1)));
 
     // Intra-partition traffic flows; cross-partition traffic is dropped.
     assert_eq!(
@@ -501,7 +501,7 @@ fn oversize_send_counted_and_traced() {
     world.spawn(server, Box::new(Echo));
     world.spawn(client, Box::new(BigSender { to: server }));
     world.poke(client, 0);
-    world.run_for(Duration::from_secs(1));
+    world.run(simnet::Until::Elapsed(Duration::from_secs(1)));
 
     let stats = world.net_stats();
     assert_eq!(stats.oversize, 1);
@@ -525,7 +525,7 @@ fn registry_is_the_single_source_of_cpu_and_net_counters() {
     world.spawn(server, Box::new(Echo));
     world.spawn(client, Box::new(Pinger::new(server, 2)));
     world.poke(client, 0);
-    world.run_for(Duration::from_secs(1));
+    world.run(simnet::Until::Elapsed(Duration::from_secs(1)));
 
     let reg = world.metrics();
     // The NetView and CpuView are snapshots of the same registry keys.
@@ -560,7 +560,7 @@ fn spanned_sends_attribute_trace_events() {
     world.spawn(server, Box::new(Echo));
     world.spawn(client, Box::new(Spanner { to: server }));
     world.poke(client, 0);
-    world.run_for(Duration::from_secs(1));
+    world.run(simnet::Until::Elapsed(Duration::from_secs(1)));
 
     let log = world.trace_sink_as::<TraceLog>().unwrap();
     assert!(log
@@ -583,7 +583,7 @@ fn metrics_json_is_seed_deterministic() {
         world.spawn(server, Box::new(Echo));
         world.spawn(client, Box::new(Pinger::new(server, 20)));
         world.poke(client, 0);
-        world.run_for(Duration::from_secs(5));
+        world.run(simnet::Until::Elapsed(Duration::from_secs(5)));
         world.metrics_json()
     }
     assert_eq!(run(42), run(42));
@@ -602,7 +602,7 @@ fn trace_hash_is_seed_deterministic() {
         world.poke(client, 0);
         world.crash_host(HostId(1));
         world.restart_host(HostId(1));
-        world.run_for(Duration::from_secs(5));
+        world.run(simnet::Until::Elapsed(Duration::from_secs(5)));
         let h = world.trace_sink_as::<TraceHash>().unwrap();
         (h.value(), h.events())
     }

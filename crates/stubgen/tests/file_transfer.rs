@@ -175,7 +175,7 @@ fn third_party_file_transfer_with_two_bindings() {
         .expect("valid node");
     w.spawn(client_addr, Box::new(p));
     w.poke(client_addr, 0);
-    w.run_for(Duration::from_secs(60));
+    w.run(simnet::Until::Elapsed(Duration::from_secs(60)));
 
     let (done, copied) = w
         .with_proc(client_addr, |p: &CircusProcess| {
@@ -252,7 +252,7 @@ fn typed_errors_cross_the_wire() {
         .expect("valid node");
     w.spawn(a, Box::new(p));
     w.poke(a, 0);
-    w.run_for(Duration::from_secs(10));
+    w.run(simnet::Until::Elapsed(Duration::from_secs(10)));
     let outcome = w
         .with_proc(a, |p: &CircusProcess| {
             p.agent_as::<ErrClient>().unwrap().outcome.clone()

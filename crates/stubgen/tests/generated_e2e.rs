@@ -188,7 +188,7 @@ fn generated_stubs_work_against_replicated_server() {
         .expect("valid node");
     w.spawn(client_addr, Box::new(p));
     w.poke(client_addr, 0);
-    w.run_for(Duration::from_secs(30));
+    w.run(simnet::Until::Elapsed(Duration::from_secs(30)));
 
     let outcomes = w
         .with_proc(client_addr, |p: &CircusProcess| {

@@ -7,10 +7,10 @@ use crate::broadcast::{
 };
 use crate::commit::{ExecuteRequest, TxnOutcome, PROC_EXECUTE};
 use crate::txn::Op;
-use circus::{Agent, CallError, CallHandle, CollationPolicy, NodeCtx, ThreadId, Troupe};
+use circus::{Agent, CallError, CallHandle, CollationPolicy, NodeCtx, ThreadId, TimerKey, Troupe};
 use wire::{from_bytes, to_bytes, Bytes};
 
-const RETRY_TAG: u64 = 0x7472; // "tr"
+const RETRY_KEY: TimerKey = TimerKey::new(0x7472); // "tr"
 
 /// An agent that executes a scripted sequence of transactions against a
 /// transactional store troupe, retrying aborts with binary exponential
@@ -107,7 +107,7 @@ impl Agent for TxnClient {
                 }
                 self.retries_left -= 1;
                 let delay = self.backoff.next_delay(nc.sim().rng());
-                nc.set_app_timer(delay, RETRY_TAG);
+                nc.set_app_timer(delay, RETRY_KEY);
                 return;
             }
         };
@@ -127,14 +127,14 @@ impl Agent for TxnClient {
                 }
                 self.retries_left -= 1;
                 let delay = self.backoff.next_delay(nc.sim().rng());
-                nc.set_app_timer(delay, RETRY_TAG);
+                nc.set_app_timer(delay, RETRY_KEY);
             }
             Err(e) => self.errors.push(format!("garbled outcome: {e}")),
         }
     }
 
-    fn on_app_timer(&mut self, nc: &mut NodeCtx<'_, '_, '_>, tag: u64) {
-        if tag == RETRY_TAG {
+    fn on_app_timer(&mut self, nc: &mut NodeCtx<'_, '_, '_>, key: TimerKey) {
+        if key == RETRY_KEY {
             self.submit(nc);
         }
     }

@@ -101,7 +101,7 @@ fn single_client_transactions_commit_everywhere() {
         ],
     );
     w.poke(client, 0);
-    w.run_for(Duration::from_secs(30));
+    w.run(simnet::Until::Elapsed(Duration::from_secs(30)));
 
     let (finished, committed, _aborts, errors) = client_state(&w, client);
     assert!(finished, "script incomplete: {committed:?} {errors:?}");
@@ -123,7 +123,7 @@ fn non_conflicting_clients_commit_in_parallel() {
     spawn_txn_client(&mut w, c2, troupe.clone(), vec![vec![Op::Add(B, 1)]; 3]);
     w.poke(c1, 0);
     w.poke(c2, 0);
-    w.run_for(Duration::from_secs(60));
+    w.run(simnet::Until::Elapsed(Duration::from_secs(60)));
 
     for c in [c1, c2] {
         let (finished, _, _, errors) = client_state(&w, c);
@@ -151,7 +151,7 @@ fn conflicting_clients_serialize_identically_at_all_members() {
     for &c in &clients {
         w.poke(c, 0);
     }
-    w.run_for(Duration::from_secs(600));
+    w.run(simnet::Until::Elapsed(Duration::from_secs(600)));
 
     let mut total_aborts = 0;
     for &c in &clients {
@@ -199,7 +199,7 @@ fn aborted_transactions_leave_no_trace() {
     );
     w.poke(c1, 0);
     w.poke(c2, 0);
-    w.run_for(Duration::from_secs(600));
+    w.run(simnet::Until::Elapsed(Duration::from_secs(600)));
 
     for c in [c1, c2] {
         let (finished, _, _, errors) = client_state(&w, c);
@@ -297,7 +297,7 @@ fn ordered_broadcast_identical_order_at_all_members() {
     for &s in &senders {
         w.poke(s, 0);
     }
-    w.run_for(Duration::from_secs(120));
+    w.run(simnet::Until::Elapsed(Duration::from_secs(120)));
 
     for &s in &senders {
         let finished = w
@@ -344,7 +344,7 @@ fn ordered_broadcast_no_starvation_under_contention() {
     for &s in &senders {
         w.poke(s, 0);
     }
-    w.run_for(Duration::from_secs(300));
+    w.run(simnet::Until::Elapsed(Duration::from_secs(300)));
 
     for &s in &senders {
         let (finished, errors) = w

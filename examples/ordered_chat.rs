@@ -73,7 +73,7 @@ fn main() {
     for &a in &user_addrs {
         world.poke(a, 0);
     }
-    world.run_for(Duration::from_secs(60));
+    world.run(simnet::Until::Elapsed(Duration::from_secs(60)));
 
     // Every replica shows the identical transcript.
     let logs: Vec<Vec<String>> = members

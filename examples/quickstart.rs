@@ -100,7 +100,7 @@ fn main() {
         }
         world.poke(client, round);
         // Crash detection needs probe timeouts, so give it time.
-        world.run_for(Duration::from_secs(60));
+        world.run(simnet::Until::Elapsed(Duration::from_secs(60)));
         let (n, last) = world
             .with_proc(client, |p: &CircusProcess| {
                 let c = p.agent_as::<Client>().unwrap();

@@ -237,7 +237,7 @@ fn main() {
         .expect("valid node");
     world.spawn(registrar, Box::new(p));
     world.poke(registrar, 0);
-    world.run_for(Duration::from_secs(10));
+    world.run(simnet::Until::Elapsed(Duration::from_secs(10)));
     let first_id = world
         .with_proc(registrar, |p: &CircusProcess| {
             p.agent_as::<Registrar>().unwrap().id
@@ -261,7 +261,7 @@ fn main() {
     world.spawn(client, Box::new(p));
     for _ in 0..3 {
         world.poke(client, 0);
-        world.run_for(Duration::from_secs(10));
+        world.run(simnet::Until::Elapsed(Duration::from_secs(10)));
     }
 
     // Crash one member's machine.
@@ -287,13 +287,13 @@ fn main() {
             world.poke(addr, 0);
         }
     }
-    world.run_for(Duration::from_secs(60));
+    world.run(simnet::Until::Elapsed(Duration::from_secs(60)));
 
     // More increments: the first fails with a stale binding (the troupe
     // re-incarnated), the client rebinds, and counting continues.
     for _ in 0..3 {
         world.poke(client, 0);
-        world.run_for(Duration::from_secs(30));
+        world.run(simnet::Until::Elapsed(Duration::from_secs(30)));
     }
 
     let log = world

@@ -59,7 +59,7 @@ fn main() {
         .expect("valid node");
     world.spawn(setup, Box::new(p));
     world.poke(setup, 0);
-    world.run_for(Duration::from_secs(10));
+    world.run(simnet::Until::Elapsed(Duration::from_secs(10)));
     println!("opened accounts: alice = 1000, bob = 1000\n");
 
     // Two tellers, conflicting lock orders: teller 1 moves alice->bob,
@@ -82,7 +82,7 @@ fn main() {
     }
     world.poke(teller1, 0);
     world.poke(teller2, 0);
-    world.run_for(Duration::from_secs(600));
+    world.run(simnet::Until::Elapsed(Duration::from_secs(600)));
 
     for (name, addr) in [("teller 1", teller1), ("teller 2", teller2)] {
         let (done, committed, aborts) = world

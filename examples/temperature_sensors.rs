@@ -218,7 +218,7 @@ fn main() {
     for &a in &sensor_addrs {
         world.poke(a, 0);
     }
-    world.run_for(Duration::from_secs(10));
+    world.run(simnet::Until::Elapsed(Duration::from_secs(10)));
 
     let set_point = world
         .with_proc(controller_addr, |p: &CircusProcess| {
@@ -254,7 +254,7 @@ fn main() {
         .expect("valid node");
     world.spawn(monitor_addr, Box::new(p));
     world.poke(monitor_addr, 0);
-    world.run_for(Duration::from_secs(10));
+    world.run(simnet::Until::Elapsed(Duration::from_secs(10)));
 
     let per_member = world
         .with_proc(monitor_addr, |p: &CircusProcess| {

@@ -71,5 +71,12 @@ phase "BENCH_5 gate (parallel sweep beats serial wall clock)"
 cargo run -q --release -p bench --bin repro -- --quick bench5 >/dev/null
 cargo run -q --release -p bench --bin repro -- --gate bench5
 
+phase "scheduler equivalence (timer wheel vs reference heap, bit-for-bit)"
+cargo test --release --test sched_equivalence -- --nocapture
+
+phase "BENCH_6 gate (timer churn at least matches the BENCH_5 baseline)"
+cargo run -q --release -p bench --bin repro -- --quick bench6 >/dev/null
+cargo run -q --release -p bench --bin repro -- --gate bench6
+
 phase "done"
 echo "All checks passed."

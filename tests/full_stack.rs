@@ -105,7 +105,7 @@ fn configured_replicated_transactional_store_survives_crash_and_heals() {
         .expect("valid node");
     w.spawn(registrar, Box::new(p));
     w.poke(registrar, 0);
-    w.run_for(Duration::from_secs(10));
+    w.run(simnet::Until::Elapsed(Duration::from_secs(10)));
     let id = w
         .with_proc(registrar, |p: &CircusProcess| {
             p.agent_as::<Registrar>().unwrap().id
@@ -136,7 +136,7 @@ fn configured_replicated_transactional_store_survives_crash_and_heals() {
     }
     w.poke(c1, 0);
     w.poke(c2, 0);
-    w.run_for(Duration::from_secs(600));
+    w.run(simnet::Until::Elapsed(Duration::from_secs(600)));
     for c in [c1, c2] {
         let (done, errors) = w
             .with_proc(c, |p: &CircusProcess| {
@@ -163,7 +163,7 @@ fn configured_replicated_transactional_store_survives_crash_and_heals() {
         .expect("valid node");
     w.spawn(newbie, Box::new(p));
     w.poke(newbie, 0);
-    w.run_for(Duration::from_secs(30));
+    w.run(simnet::Until::Elapsed(Duration::from_secs(30)));
     w.with_proc(newbie, |p: &CircusProcess| {
         let j = p.agent_as::<JoinAgent>().unwrap();
         assert!(j.failed.is_none(), "{:?}", j.failed);
@@ -188,10 +188,10 @@ fn configured_replicated_transactional_store_survives_crash_and_heals() {
         .unwrap()
     };
     let deadline = w.now() + Duration::from_secs(120);
-    let converged = w.run_until_pred(deadline, |w| {
+    let converged = w.run(simnet::Until::pred(deadline, |w| {
         registry_store(w)
             .is_some_and(|t| t.members.len() == 3 && !t.members.iter().any(|m| m.addr == victim))
-    });
+    }));
     assert!(converged, "registry: {:?}", registry_store(&w));
     let current = registry_store(&w).expect("store bound");
     assert!(current.members.iter().any(|m| m.addr == newbie));
@@ -225,7 +225,7 @@ fn configured_replicated_transactional_store_survives_crash_and_heals() {
         .expect("valid node");
     w.spawn(c3, Box::new(p));
     w.poke(c3, 0);
-    w.run_for(Duration::from_secs(60));
+    w.run(simnet::Until::Elapsed(Duration::from_secs(60)));
 
     for m in [members[0].addr, members[1].addr, newbie] {
         assert_eq!(read(&w, m, A), 108, "member {m} diverged");
@@ -271,7 +271,7 @@ fn full_stack_outcome_is_seed_independent() {
             .expect("valid node");
         w.spawn(client, Box::new(p));
         w.poke(client, 0);
-        w.run_for(Duration::from_secs(120));
+        w.run(simnet::Until::Elapsed(Duration::from_secs(120)));
         members
             .iter()
             .map(|m| {

@@ -6,7 +6,7 @@
 
 use rdp::circus::{
     Agent, CallError, CallHandle, CollationPolicy, ModuleAddr, NodeBuilder, NodeConfig, NodeCtx,
-    Service, ServiceCtx, Step, Troupe, TroupeId,
+    Service, ServiceCtx, Step, TimerKey, Troupe, TroupeId,
 };
 use rdp::simnet::{Duration, HostId, SockAddr, World};
 use rdp::wire::{from_bytes, to_bytes};
@@ -61,7 +61,7 @@ impl Agent for Scripted {
         _result: Result<Vec<u8>, CallError>,
     ) {
         // Chain the next call so the workload is strictly sequential.
-        nc.set_app_timer(Duration::from_millis(1), 0);
+        nc.set_app_timer(Duration::from_millis(1), TimerKey::new(0));
     }
 }
 
@@ -91,7 +91,7 @@ fn fixed_seed_metrics_dump_matches_golden() {
         .expect("valid node");
     w.spawn(client, Box::new(p));
     w.poke(client, 0);
-    w.run_for(Duration::from_secs(30));
+    w.run(simnet::Until::Elapsed(Duration::from_secs(30)));
 
     let json = w.metrics_json();
     let path = concat!(

@@ -95,7 +95,7 @@ fn measure(multicast: bool, calls: u64, payload: Vec<u8>) -> (u64, u64, usize) {
     // Warmup call: lets connections, directories, and the previous
     // return's ack traffic settle outside the measured window.
     w.poke(client, 0);
-    w.run_for(Duration::from_millis(200));
+    w.run(simnet::Until::Elapsed(Duration::from_millis(200)));
     w.reset_cpu(client);
     let mcasts_before = w.net_stats().multicasts;
 
@@ -105,7 +105,7 @@ fn measure(multicast: bool, calls: u64, payload: Vec<u8>) -> (u64, u64, usize) {
     // are implicitly acknowledged by the next call.
     for _ in 0..calls {
         w.poke(client, 0);
-        w.run_for(Duration::from_millis(200));
+        w.run(simnet::Until::Elapsed(Duration::from_millis(200)));
     }
 
     let sendmsgs = w.cpu(client).count_of(Syscall::SendMsg.index());

@@ -86,7 +86,7 @@ fn survives_all_but_one_member() {
         .expect("valid node");
     w.spawn(client, Box::new(p));
     w.poke(client, 0);
-    w.run_for(Duration::from_secs(120));
+    w.run(simnet::Until::Elapsed(Duration::from_secs(120)));
     let result = w
         .with_proc(client, |p: &CircusProcess| {
             p.agent_as::<OneShot>().unwrap().result.clone()
@@ -111,7 +111,7 @@ fn exactly_once_at_all_replicas() {
         .expect("valid node");
     w.spawn(client, Box::new(p));
     w.poke(client, 0);
-    w.run_for(Duration::from_secs(30));
+    w.run(simnet::Until::Elapsed(Duration::from_secs(30)));
     for m in &troupe.members {
         let execs = w
             .with_proc(m.addr, |p: &CircusProcess| {
@@ -141,7 +141,7 @@ fn degree_of_replication_is_a_runtime_choice() {
             .expect("valid node");
         w.spawn(client, Box::new(p));
         w.poke(client, 0);
-        w.run_for(Duration::from_secs(30));
+        w.run(simnet::Until::Elapsed(Duration::from_secs(30)));
         let result = w
             .with_proc(client, |p: &CircusProcess| {
                 p.agent_as::<OneShot>().unwrap().result.clone()
@@ -196,7 +196,7 @@ fn exactly_once_under_loss_and_duplication() {
         .expect("valid node");
     w.spawn(client, Box::new(p));
     w.poke(client, 0);
-    w.run_for(Duration::from_secs(60));
+    w.run(simnet::Until::Elapsed(Duration::from_secs(60)));
     let result = w
         .with_proc(client, |p: &CircusProcess| {
             p.agent_as::<OneShot>().unwrap().result.clone()

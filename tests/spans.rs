@@ -92,7 +92,7 @@ fn crashed_replica_spans(seed: u64, multicast: bool) {
     // One replica is down for the whole run.
     w.crash_host(members[2].addr.host);
     w.poke(client, 0);
-    w.run_for(Duration::from_secs(30));
+    w.run(simnet::Until::Elapsed(Duration::from_secs(30)));
 
     let done = w
         .with_proc(client, |p: &CircusProcess| {
