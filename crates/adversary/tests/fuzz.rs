@@ -5,6 +5,13 @@
 //! `CHAOS_SEED=n` replays one seed; `ADV_FULL=1` widens the unicast
 //! sweep to 100 seeds (CI runs this in release); `CHAOS_JOBS=n` caps
 //! the worker threads.
+//!
+//! `ADV_SEED_BASE=n` offsets the full sweep's seed range to
+//! `n+1..n+101`. `scripts/check.sh` derives it from the committed
+//! epoch counter in `tests/corpus/seed_epoch`, so the CI fuzz sweep
+//! rotates into fresh seed territory whenever the epoch is bumped
+//! instead of replaying the same 100 seeds forever — seeds that found
+//! bugs are pinned in `tests/corpus/adversary.seeds` regardless.
 
 use adversary::{check_adversary, counter, install_adversary};
 use chaos::{chaos_jobs, run_seed_with, run_sweep_parallel, sweep_seeds, ScenarioOptions};
@@ -40,10 +47,22 @@ fn sweep(seeds: &[u64], opts: &ScenarioOptions) {
     assert!(injected_total > 0, "injector never fired across the sweep");
 }
 
+/// Where the full sweep's seed range starts: `ADV_SEED_BASE`, or 0.
+fn seed_base() -> u64 {
+    match std::env::var("ADV_SEED_BASE") {
+        Ok(s) => s
+            .trim()
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("ADV_SEED_BASE must be a u64, got {s:?}")),
+        Err(_) => 0,
+    }
+}
+
 #[test]
 fn adversarial_sweep_unicast() {
     let range = if std::env::var("ADV_FULL").is_ok() {
-        1..101
+        let base = seed_base();
+        base + 1..base + 101
     } else {
         1..11
     };

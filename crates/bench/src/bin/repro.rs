@@ -2,12 +2,12 @@
 //!
 //! ```text
 //! repro [--quick] [EXPERIMENT...]
-//! repro --gate (bench4|bench5|bench6)
+//! repro --gate (bench4|bench5|bench6|bench7)
 //! ```
 //!
-//! Experiments: `table4.1 table4.2 table4.3 fig4.8 bench4 bench5 bench6 multicast
-//! eq5.1 fig6.3 table7.1 ablation.waiting ablation.sync ablation.protocol`
-//! (default: all). `--quick` uses fewer calls/trials.
+//! Experiments: `table4.1 table4.2 table4.3 fig4.8 bench4 bench5 bench6 bench7
+//! multicast eq5.1 fig6.3 table7.1 ablation.waiting ablation.sync
+//! ablation.protocol` (default: all). `--quick` uses fewer calls/trials.
 //!
 //! `bench4` additionally writes `BENCH_4.json` (one record per line) to
 //! the current directory: per-replica-count call latency and client
@@ -16,6 +16,9 @@
 //! payloads, and serial-vs-parallel chaos-sweep wall clock. `bench6`
 //! writes `BENCH_6.json`: events/sec under timer churn (the wheel's
 //! home turf), an echo reference, and a raw wheel-vs-heap micro.
+//! `bench7` writes `BENCH_7.json`: simulated MTTR and state-transfer
+//! bytes for the durable store's crash recovery, over a grid of
+//! workload length × snapshot interval in both rejoin modes.
 //!
 //! `--gate NAME` checks the invariant a benchmark must uphold, reading
 //! the `BENCH_*.json` the benchmark wrote (run the benchmark first):
@@ -28,7 +31,10 @@
 //!   serial);
 //! - `bench6` — the timer-churn workload processes events at least as
 //!   fast as the BENCH_5 64 B echo baseline (small noise allowance on
-//!   a single core).
+//!   a single core);
+//! - `bench7` — for a non-empty commit log, the delta rejoin
+//!   (`get_state_since`) moves strictly fewer bytes over the network
+//!   than the full state transfer, and every grid cell ran clean.
 
 use std::process::ExitCode;
 
@@ -150,9 +156,54 @@ fn gate_bench5() -> Result<String, String> {
     ))
 }
 
+/// Gate: the delta rejoin must move strictly fewer bytes than the full
+/// state transfer for the same crash with a non-empty log, and no grid
+/// cell may have failed its oracles. Reads `BENCH_7.json` (run `repro
+/// bench7` first). The `snapshot_every:0` cells keep the whole history
+/// in the log, so the log is guaranteed non-empty at the crash.
+fn gate_bench7() -> Result<String, String> {
+    let body = std::fs::read_to_string("BENCH_7.json")
+        .map_err(|e| format!("cannot read BENCH_7.json: {e}; run the benchmark first"))?;
+    for line in body.lines() {
+        if line.contains("\"passed\":false") {
+            return Err(format!("a recovery cell failed its oracles: {line}"));
+        }
+    }
+    let delta = record(
+        "BENCH_7.json",
+        &[
+            "\"mode\":\"delta\"",
+            "\"txns_per_client\":16",
+            "\"snapshot_every\":0",
+        ],
+    )?;
+    let full = record(
+        "BENCH_7.json",
+        &[
+            "\"mode\":\"full\"",
+            "\"txns_per_client\":16",
+            "\"snapshot_every\":0",
+        ],
+    )?;
+    let log_bytes = field(&delta, "log_bytes").ok_or("delta record lacks log_bytes")?;
+    if log_bytes <= 0.0 {
+        return Err("the delta cell recovered from an empty log — nothing was measured".into());
+    }
+    let d = field(&delta, "recovery_bytes").ok_or("delta record lacks recovery_bytes")?;
+    let f = field(&full, "recovery_bytes").ok_or("full record lacks recovery_bytes")?;
+    if d >= f {
+        return Err(format!(
+            "delta rejoin moved {d} bytes, not strictly below the full transfer's {f}"
+        ));
+    }
+    Ok(format!(
+        "rejoin after replaying a {log_bytes}-byte log: {d} bytes (delta) < {f} bytes (full)"
+    ))
+}
+
 fn run_gates(wanted: &[&str]) -> ExitCode {
     if wanted.is_empty() {
-        eprintln!("--gate needs a benchmark name: bench4 bench5 bench6");
+        eprintln!("--gate needs a benchmark name: bench4 bench5 bench6 bench7");
         return ExitCode::from(2);
     }
     for name in wanted {
@@ -160,8 +211,9 @@ fn run_gates(wanted: &[&str]) -> ExitCode {
             "bench4" => gate_bench4(),
             "bench5" => gate_bench5(),
             "bench6" => gate_bench6(),
+            "bench7" => gate_bench7(),
             other => {
-                eprintln!("no gate named {other}; known: bench4 bench5 bench6");
+                eprintln!("no gate named {other}; known: bench4 bench5 bench6 bench7");
                 return ExitCode::from(2);
             }
         };
@@ -249,6 +301,20 @@ fn main() -> ExitCode {
             Ok(()) => emit("wrote BENCH_6.json".to_string()),
             Err(e) => {
                 eprintln!("cannot write BENCH_6.json: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    if want("bench7") {
+        known = true;
+        let json = bench::bench7::bench_7_json(quick);
+        emit(format!(
+            "BENCH_7: crash recovery — MTTR and state-transfer bytes (log replay + delta rejoin)\n{json}"
+        ));
+        match std::fs::write("BENCH_7.json", &json) {
+            Ok(()) => emit("wrote BENCH_7.json".to_string()),
+            Err(e) => {
+                eprintln!("cannot write BENCH_7.json: {e}");
                 return ExitCode::from(1);
             }
         }

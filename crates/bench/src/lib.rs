@@ -10,6 +10,7 @@
 pub mod ablations;
 pub mod bench5;
 pub mod bench6;
+pub mod bench7;
 pub mod tables;
 pub mod testbed;
 

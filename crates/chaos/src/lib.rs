@@ -33,6 +33,7 @@ pub mod client;
 pub mod harness;
 pub mod oracle;
 pub mod plan;
+pub mod recovery;
 pub mod scenario;
 
 pub use client::{RebindingClient, RemoveAgent};
@@ -43,6 +44,7 @@ pub use harness::{
 };
 pub use oracle::{check_all, Violation};
 pub use plan::{Fault, FaultPlan, PlanOptions, PlannedFault};
+pub use recovery::{run_recovery, RecoveryOptions, RecoveryReport};
 #[cfg(feature = "heap_sched")]
 pub use scenario::run_scenario_heap;
 pub use scenario::{run_scenario, Quiesced, ScenarioOptions};

@@ -1,0 +1,104 @@
+//! The recovery chaos sweep: durable members on hostile disks, one
+//! crash mid-commit per run, log-replay rejoin with delta catch-up —
+//! the full durability story under oracle enforcement.
+//!
+//! `CHAOS_SEED=<n>` replays a single seed; the default sweep covers ten.
+
+use chaos::{run_recovery, sweep_seeds, RecoveryOptions};
+
+#[test]
+fn recovery_sweep_with_hostile_disks() {
+    // Disk faults armed (transient write errors, torn tails and bit
+    // flips at crash) on every seed: recovery must come out clean no
+    // matter what the disk did to the log.
+    let seeds = sweep_seeds(1..11);
+    for &seed in &seeds {
+        let r = run_recovery(seed, &RecoveryOptions::default());
+        assert!(r.passed(), "{}", r.failure_summary());
+        assert!(
+            r.recovery.is_some(),
+            "seed {seed}: the recovered member never ran disk recovery"
+        );
+        assert!(
+            r.mttr.is_some(),
+            "seed {seed}: the recovered member never rejoined"
+        );
+    }
+}
+
+#[test]
+fn recovery_replays_the_local_log() {
+    // The crash lands halfway through the workload, so the recovered
+    // member must find real history on its disk — a snapshot, replayed
+    // records, or both — rather than booting empty.
+    let r = run_recovery(2, &RecoveryOptions::default());
+    assert!(r.passed(), "{}", r.failure_summary());
+    let info = r.recovery.expect("recovery ran");
+    assert!(
+        info.snapshot_version > 0 || info.replayed > 0,
+        "nothing recovered from disk: {info:?}"
+    );
+}
+
+#[test]
+fn faultless_disks_lose_nothing() {
+    // Every commit record is fsynced before the member acknowledges, so
+    // with fault injection off the crash can tear nothing.
+    let opts = RecoveryOptions {
+        disk_faults: false,
+        ..RecoveryOptions::default()
+    };
+    let r = run_recovery(3, &opts);
+    assert!(r.passed(), "{}", r.failure_summary());
+    let info = r.recovery.expect("recovery ran");
+    assert_eq!(info.torn_bytes, 0, "faultless disk tore the log: {info:?}");
+}
+
+#[test]
+fn delta_catchup_moves_fewer_bytes_than_full_state() {
+    // Same seed, same crash, same log on disk — the only difference is
+    // whether the rejoin asks for the delta past its replayed log head
+    // or the survivors' whole state. The delta must be strictly
+    // smaller: that saving is the point of keeping the log.
+    let delta = run_recovery(
+        5,
+        &RecoveryOptions {
+            use_delta: true,
+            ..RecoveryOptions::default()
+        },
+    );
+    let full = run_recovery(
+        5,
+        &RecoveryOptions {
+            use_delta: false,
+            ..RecoveryOptions::default()
+        },
+    );
+    assert!(delta.passed(), "{}", delta.failure_summary());
+    assert!(full.passed(), "{}", full.failure_summary());
+    assert_eq!(
+        delta.delta_fetches, 1,
+        "delta rejoin did not use the delta path"
+    );
+    assert!(full.recovery_bytes > 0, "full rejoin moved no state");
+    assert!(
+        delta.recovery_bytes < full.recovery_bytes,
+        "delta rejoin moved {} bytes, full moved {}",
+        delta.recovery_bytes,
+        full.recovery_bytes
+    );
+}
+
+#[test]
+fn same_seed_same_recovery_run() {
+    // Durability is inside the determinism contract: disk costs, fault
+    // draws, replay, and catch-up must all replay bit-identically.
+    let a = run_recovery(7, &RecoveryOptions::default());
+    let b = run_recovery(7, &RecoveryOptions::default());
+    assert_eq!(a.trace_hash, b.trace_hash, "trace hashes diverged");
+    assert_eq!(a.span_hash, b.span_hash, "span trees diverged");
+    assert_eq!(a.metrics_json, b.metrics_json, "metrics dumps diverged");
+    assert_eq!(a.mttr, b.mttr);
+    assert_eq!(a.recovery_bytes, b.recovery_bytes);
+    assert_eq!(a.commits, b.commits);
+}

@@ -71,6 +71,13 @@ pub mod reserved_procs {
     pub const WEDGE: u16 = 0xFF03;
     /// `unwedge()`: resume normal service after a membership change.
     pub const UNWEDGE: u16 = 0xFF04;
+    /// `get_state_since(token) -> StateSince`: externalize only the
+    /// state *past* the caller's recovery token (log-replay recovery's
+    /// delta catch-up), falling back to the full state when no delta can
+    /// be served. Empty-token calls degenerate to `get_state`. The node
+    /// stamps an empty-args outgoing call with the local module's own
+    /// [`Service::recovery_token`](crate::service::Service::recovery_token).
+    pub const GET_STATE_SINCE: u16 = 0xFF05;
 }
 
 /// Encodes the argument of `report_suspect` (a process address).
@@ -137,6 +144,7 @@ mod tests {
         assert!(reserved_procs::NULL >= reserved_procs::RESERVED_BASE);
         assert!(reserved_procs::WEDGE >= reserved_procs::RESERVED_BASE);
         assert!(reserved_procs::UNWEDGE >= reserved_procs::RESERVED_BASE);
+        assert!(reserved_procs::GET_STATE_SINCE >= reserved_procs::RESERVED_BASE);
     }
 
     #[test]

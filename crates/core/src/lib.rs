@@ -48,5 +48,7 @@ pub use collate::{
 pub use message::{unwrap_reply_vote, wrap_reply_vote, CallMessage, ReturnMessage};
 pub use node::{AppEvent, CallHandle, NetIo, Node, NodeConfig, TimerHandle, TimerKey};
 pub use runtime::{Agent, BuildError, CircusProcess, NodeBuilder, NodeCtx};
-pub use service::{CallError, NodeEffect, OutCall, Service, ServiceCtx, Step, TroupeTarget};
+pub use service::{
+    CallError, NodeEffect, OutCall, Service, ServiceCtx, StateSince, Step, TroupeTarget,
+};
 pub use thread::{ThreadId, ThreadIdGen};

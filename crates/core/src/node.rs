@@ -27,7 +27,9 @@ use crate::addr::{ModuleAddr, Troupe, TroupeId};
 use crate::binding::{self, reserved_procs};
 use crate::collate::{Collation, CollationPolicy, Decision};
 use crate::message::{CallMessage, ReturnMessage};
-use crate::service::{CallError, NodeEffect, OutCall, Service, ServiceCtx, Step, TroupeTarget};
+use crate::service::{
+    CallError, NodeEffect, OutCall, Service, ServiceCtx, StateSince, Step, TroupeTarget,
+};
 use crate::thread::{ThreadId, ThreadIdGen};
 use obs::SpanId;
 use pairedmsg::{Endpoint, Event as PmEvent, MsgType};
@@ -526,6 +528,25 @@ impl Node {
     pub fn set_service_state(&mut self, module: u16, state: &[u8]) {
         if let Some(svc) = self.services.get_mut(&module) {
             svc.set_state(state);
+        }
+    }
+
+    /// Applies a recovery delta to an exported service (the joining
+    /// member's half of delta catch-up; see
+    /// [`Service::get_state_since`]).
+    pub fn apply_service_delta(&mut self, module: u16, delta: &[u8]) {
+        if let Some(svc) = self.services.get_mut(&module) {
+            svc.apply_delta(delta);
+        }
+    }
+
+    /// Runs every exported service's [`Service::on_start`] hook. Called
+    /// once by the process wrapper when it starts, *before* the agent —
+    /// a durable service recovers its state from the local disk here.
+    pub fn start_services(&mut self, io: &mut dyn NetIo) {
+        let metrics = io.metrics();
+        for svc in self.services.values_mut() {
+            svc.on_start(&metrics);
         }
     }
 
@@ -1470,6 +1491,20 @@ impl Node {
                 Some(s) => Step::Reply(s.get_state()),
                 None => Step::Error("no such module".into()),
             },
+            reserved_procs::GET_STATE_SINCE => match self.services.get(&module) {
+                // An empty token (the caller has no durable state, or its
+                // module does not implement recovery) degenerates to a
+                // full copy, so mixed troupes stay compatible.
+                Some(s) => {
+                    let since = if args.is_empty() {
+                        StateSince::Full(s.get_state())
+                    } else {
+                        s.get_state_since(args)
+                    };
+                    Step::Reply(since.encode())
+                }
+                None => Step::Error("no such module".into()),
+            },
             reserved_procs::SET_TROUPE_ID => match from_bytes::<TroupeId>(args) {
                 Ok(id) => {
                     self.my_troupe = id;
@@ -1510,7 +1545,21 @@ impl Node {
                     p.state = PendState::Suspended;
                 }
             }
-            Step::Call(out) => {
+            Step::Call(mut out) => {
+                // A `get_state_since` call with empty args asks the node
+                // to stamp in the *local* module's recovery token (how
+                // much state the joiner already replayed from its log).
+                // The module may legitimately have no token — the callee
+                // then serves a full copy.
+                if out.proc == reserved_procs::GET_STATE_SINCE && out.args.is_empty() {
+                    if let Some(tok) = self
+                        .services
+                        .get(&out.module)
+                        .and_then(|s| s.recovery_token())
+                    {
+                        out.args = tok;
+                    }
+                }
                 let troupe = match self.resolve_target(&key, &out) {
                     Ok(t) => t,
                     Err(e) => {
@@ -1587,6 +1636,9 @@ impl Node {
                 }
                 NodeEffect::SetServiceState { module, state } => {
                     self.set_service_state(module, &state);
+                }
+                NodeEffect::ApplyServiceDelta { module, delta } => {
+                    self.apply_service_delta(module, &delta);
                 }
                 NodeEffect::NotifyAgent { tag } => {
                     self.events.push_back(AppEvent::Notify { tag });

@@ -372,6 +372,9 @@ impl CircusProcess {
 
 impl Process for CircusProcess {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // Services first: a durable service recovers its state from the
+        // local disk before the agent (or any peer) can observe it.
+        self.node.start_services(ctx);
         self.with_agent_ctx(ctx, |agent, nc| agent.on_start(nc));
     }
 

@@ -161,6 +161,54 @@ pub enum NodeEffect {
         /// Opaque tag passed through to the agent.
         tag: u64,
     },
+    /// Apply a *delta* of state (commits past the receiver's recovery
+    /// token) to another exported module of this node — the catch-up
+    /// half of log-replay recovery, cheaper than
+    /// [`NodeEffect::SetServiceState`] when the joiner already replayed
+    /// most of the state from its local log.
+    ApplyServiceDelta {
+        /// The module receiving the delta.
+        module: u16,
+        /// The externalized delta ([`Service::get_state_since`]'s
+        /// `Delta` payload).
+        delta: Vec<u8>,
+    },
+}
+
+/// Reply of the reserved `get_state_since` procedure: either the full
+/// state (the peer could not serve a delta for the given token) or just
+/// the commits past the token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StateSince {
+    /// The complete module state, as [`Service::get_state`] returns it.
+    Full(Vec<u8>),
+    /// Only the changes past the requester's recovery token, to be
+    /// applied with [`Service::apply_delta`].
+    Delta(Vec<u8>),
+}
+
+impl StateSince {
+    /// Externalizes the reply (1 tag byte + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let (tag, payload) = match self {
+            StateSince::Full(p) => (0u8, p),
+            StateSince::Delta(p) => (1u8, p),
+        };
+        let mut out = Vec::with_capacity(1 + payload.len());
+        out.push(tag);
+        out.extend_from_slice(payload);
+        out
+    }
+
+    /// Internalizes a reply produced by [`StateSince::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<StateSince, String> {
+        match bytes.split_first() {
+            Some((0, p)) => Ok(StateSince::Full(p.to_vec())),
+            Some((1, p)) => Ok(StateSince::Delta(p.to_vec())),
+            Some((t, _)) => Err(format!("unknown state_since tag {t}")),
+            None => Err("empty state_since reply".into()),
+        }
+    }
 }
 
 /// Per-invocation context handed to service handlers.
@@ -245,6 +293,31 @@ pub trait Service: std::any::Any {
 
     /// Handles the reserved `unwedge` procedure: resume normal service.
     fn unwedge(&mut self) {}
+
+    /// Called once when the process exporting this service starts,
+    /// before any dispatch. The durability hook: a service backed by a
+    /// local disk recovers its state here (snapshot load + log replay)
+    /// so the subsequent peer catch-up only needs a delta.
+    fn on_start(&mut self, _metrics: &obs::Registry) {}
+
+    /// A compact token describing how much state this member already
+    /// holds (e.g. per-origin commit watermarks after log replay).
+    /// `None` — the default — means the service keeps no durable state
+    /// and a joiner must fetch the full state.
+    fn recovery_token(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Externalizes the state *past* `token` for a recovering peer, or
+    /// the full state if the delta cannot be served (unknown token,
+    /// pruned history). The default falls back to a full copy.
+    fn get_state_since(&self, _token: &[u8]) -> StateSince {
+        StateSince::Full(self.get_state())
+    }
+
+    /// Applies a delta produced by a peer's [`Service::get_state_since`].
+    /// Only meaningful for services that override `get_state_since`.
+    fn apply_delta(&mut self, _delta: &[u8]) {}
 }
 
 #[cfg(test)]

@@ -24,7 +24,7 @@
 use circus::binding::{binding_procs, reserved_procs, BINDING_MODULE};
 use circus::{
     Agent, CallError, CallHandle, CollationPolicy, ModuleAddr, NodeCtx, NodeEffect, OutCall,
-    Service, ServiceCtx, Step, TimerKey, Troupe, TroupeId, TroupeTarget,
+    Service, ServiceCtx, StateSince, Step, TimerKey, Troupe, TroupeId, TroupeTarget,
 };
 use simnet::Duration;
 use wire::{from_bytes, to_bytes};
@@ -64,6 +64,25 @@ enum Stage {
     Unwedging,
 }
 
+impl Stage {
+    fn name(self) -> &'static str {
+        match self {
+            Stage::Lookup => "lookup",
+            Stage::Wedging => "wedging",
+            Stage::Fetching => "fetching",
+            Stage::Adding => "adding",
+            Stage::Unwedging => "unwedging",
+        }
+    }
+
+    /// Whether the survivors hold a wedge when this stage fails. The
+    /// wedge lands during `Wedging`, so any abort from `Fetching`
+    /// onward leaves the troupe wedged until the survivors' TTL lapses.
+    fn survivors_wedged(self) -> bool {
+        matches!(self, Stage::Fetching | Stage::Adding | Stage::Unwedging)
+    }
+}
+
 /// The control module of a warm spare (see the module docs).
 pub struct SpareService {
     binder: Troupe,
@@ -78,6 +97,10 @@ pub struct SpareService {
     /// Set once an activation has completed; the process is then an
     /// ordinary troupe member and the control module refuses re-use.
     pub activated: bool,
+    /// Fetch only the commits past the local module's recovery token
+    /// (`get_state_since`) instead of the full state. A durable member
+    /// that replayed its commit log before joining needs only the delta.
+    use_delta: bool,
 }
 
 impl SpareService {
@@ -91,7 +114,18 @@ impl SpareService {
             stage: None,
             survivors: Vec::new(),
             activated: false,
+            use_delta: false,
         }
+    }
+
+    /// Like [`SpareService::new`], but the state fetch asks the
+    /// survivors for the *delta* past the local module's recovery token
+    /// (the node stamps the token into the call). Survivors that cannot
+    /// cover the delta fall back to a full state transfer on their own.
+    pub fn with_delta(binder: Troupe, name: impl Into<String>, module: u16) -> SpareService {
+        let mut s = SpareService::new(binder, name, module);
+        s.use_delta = true;
+        s
     }
 
     fn survivors_troupe(&self) -> Troupe {
@@ -101,12 +135,29 @@ impl SpareService {
         Troupe::new(TroupeId::UNREGISTERED, self.survivors.clone())
     }
 
-    fn abort(&mut self, why: String) -> Step {
+    fn abort(&mut self, ctx: &mut ServiceCtx, stage: Stage, why: String) -> Step {
         // Leave any partial wedge to the survivors' TTL: replying with
-        // the error immediately lets the healer try the next spare.
+        // the error immediately lets the healer try the next spare. The
+        // error carries everything the healer's log needs to place the
+        // failure: which member was joining, at which stage, and
+        // whether the survivors were left wedged.
+        ctx.metrics.add("spare.join_failures", 1);
+        let member = ModuleAddr::new(ctx.me, self.module);
+        let wedge = if stage.survivors_wedged() {
+            format!(
+                "survivors {:?} left wedged, lease TTL will release them",
+                self.survivors
+            )
+        } else {
+            "survivors not wedged".to_string()
+        };
         self.stage = None;
         self.survivors.clear();
-        Step::Error(why)
+        Step::Error(format!(
+            "spare join of {member:?} to {:?} aborted at {}: {why} ({wedge})",
+            self.name,
+            stage.name(),
+        ))
     }
 }
 
@@ -151,10 +202,14 @@ impl Service for SpareService {
                 let troupe = match reply {
                     Ok(bytes) => match from_bytes::<Option<Troupe>>(&bytes) {
                         Ok(Some(t)) if !t.members.is_empty() => t,
-                        Ok(_) => return self.abort("troupe has no surviving members".into()),
-                        Err(e) => return self.abort(format!("garbled lookup reply: {e}")),
+                        Ok(_) => {
+                            return self.abort(ctx, stage, "troupe has no surviving members".into())
+                        }
+                        Err(e) => {
+                            return self.abort(ctx, stage, format!("garbled lookup reply: {e}"))
+                        }
                     },
-                    Err(e) => return self.abort(format!("lookup failed: {e}")),
+                    Err(e) => return self.abort(ctx, stage, format!("lookup failed: {e}")),
                 };
                 self.survivors = troupe.members;
                 self.stage = Some(Stage::Wedging);
@@ -169,15 +224,23 @@ impl Service for SpareService {
             }
             Stage::Wedging => {
                 if let Err(e) = reply {
-                    return self.abort(format!("wedge failed: {e}"));
+                    return self.abort(ctx, stage, format!("wedge failed: {e}"));
                 }
                 // Every survivor is quiescent: the snapshot below cannot
-                // race a commit (§6.4.1's consistency requirement).
+                // race a commit (§6.4.1's consistency requirement). A
+                // delta-capable spare sends GET_STATE_SINCE with empty
+                // args; the node stamps the local module's recovery
+                // token in before the call leaves the process.
                 self.stage = Some(Stage::Fetching);
+                let proc = if self.use_delta {
+                    reserved_procs::GET_STATE_SINCE
+                } else {
+                    reserved_procs::GET_STATE
+                };
                 Step::Call(OutCall {
                     target: TroupeTarget::Troupe(self.survivors_troupe()),
                     module: self.module,
-                    proc: reserved_procs::GET_STATE,
+                    proc,
                     args: Vec::new(),
                     collation: CollationPolicy::FirstCome,
                     solo: true,
@@ -186,12 +249,39 @@ impl Service for SpareService {
             Stage::Fetching => {
                 let state = match reply {
                     Ok(s) => s,
-                    Err(e) => return self.abort(format!("get_state failed: {e}")),
+                    Err(e) => return self.abort(ctx, stage, format!("get_state failed: {e}")),
                 };
-                ctx.push_effect(NodeEffect::SetServiceState {
-                    module: self.module,
-                    state,
-                });
+                ctx.metrics.add("spare.state_bytes", state.len() as u64);
+                if self.use_delta {
+                    match StateSince::decode(&state) {
+                        Ok(StateSince::Delta(delta)) => {
+                            ctx.metrics.add("spare.delta_fetches", 1);
+                            ctx.push_effect(NodeEffect::ApplyServiceDelta {
+                                module: self.module,
+                                delta,
+                            });
+                        }
+                        Ok(StateSince::Full(full)) => {
+                            ctx.metrics.add("spare.full_fetches", 1);
+                            ctx.push_effect(NodeEffect::SetServiceState {
+                                module: self.module,
+                                state: full,
+                            });
+                        }
+                        Err(e) => {
+                            return self.abort(
+                                ctx,
+                                stage,
+                                format!("garbled get_state_since reply: {e}"),
+                            )
+                        }
+                    }
+                } else {
+                    ctx.push_effect(NodeEffect::SetServiceState {
+                        module: self.module,
+                        state,
+                    });
+                }
                 self.stage = Some(Stage::Adding);
                 let req = crate::api::AddTroupeMember {
                     name: self.name.clone(),
@@ -208,7 +298,7 @@ impl Service for SpareService {
             }
             Stage::Adding => {
                 if let Err(e) = reply {
-                    return self.abort(format!("add_troupe_member failed: {e}"));
+                    return self.abort(ctx, stage, format!("add_troupe_member failed: {e}"));
                 }
                 self.stage = Some(Stage::Unwedging);
                 Step::Call(OutCall {

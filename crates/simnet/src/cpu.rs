@@ -37,10 +37,14 @@ pub enum Syscall {
     Write,
     /// User-mode computation (stubs, copying, protocol logic).
     Compute,
+    /// Disk I/O (append/read/fsync on the simulated per-host disk). The
+    /// cost tables keep this at zero: the disk charges explicit durations
+    /// from its own seeded cost model rather than a flat per-call price.
+    DiskIo,
 }
 
 /// All syscall kinds, for iteration in accounting reports.
-pub const ALL_SYSCALLS: [Syscall; 9] = [
+pub const ALL_SYSCALLS: [Syscall; 10] = [
     Syscall::SendMsg,
     Syscall::RecvMsg,
     Syscall::Select,
@@ -50,6 +54,7 @@ pub const ALL_SYSCALLS: [Syscall; 9] = [
     Syscall::Read,
     Syscall::Write,
     Syscall::Compute,
+    Syscall::DiskIo,
 ];
 
 impl Syscall {
@@ -67,6 +72,7 @@ impl Syscall {
             Syscall::Read => 6,
             Syscall::Write => 7,
             Syscall::Compute => 8,
+            Syscall::DiskIo => 9,
         }
     }
 
@@ -82,6 +88,7 @@ impl Syscall {
             Syscall::Read => "read",
             Syscall::Write => "write",
             Syscall::Compute => "compute",
+            Syscall::DiskIo => "diskio",
         }
     }
 
@@ -101,7 +108,7 @@ impl fmt::Display for Syscall {
 /// Per-syscall CPU cost table.
 #[derive(Clone, Debug)]
 pub struct SyscallCosts {
-    costs: [Duration; 9],
+    costs: [Duration; 10],
 }
 
 impl SyscallCosts {
@@ -113,7 +120,7 @@ impl SyscallCosts {
     /// (Table 4.1).
     pub fn vax_4_2bsd() -> SyscallCosts {
         let mut c = SyscallCosts {
-            costs: [Duration::ZERO; 9],
+            costs: [Duration::ZERO; 10],
         };
         c.set(Syscall::SendMsg, Duration::from_millis_f64(8.1));
         c.set(Syscall::RecvMsg, Duration::from_millis_f64(2.8));
@@ -132,7 +139,7 @@ impl SyscallCosts {
     /// multicast latency analysis (§4.4.2) where network delay dominates.
     pub fn free() -> SyscallCosts {
         SyscallCosts {
-            costs: [Duration::ZERO; 9],
+            costs: [Duration::ZERO; 10],
         }
     }
 
@@ -165,8 +172,8 @@ impl Default for SyscallCosts {
 pub struct CpuAccount {
     user: Duration,
     kernel: Duration,
-    per_syscall: [Duration; 9],
-    counts: [u64; 9],
+    per_syscall: [Duration; 10],
+    counts: [u64; 10],
 }
 
 impl CpuAccount {
@@ -231,7 +238,7 @@ impl CpuAccount {
     pub fn merge(&mut self, other: &CpuAccount) {
         self.user += other.user;
         self.kernel += other.kernel;
-        for i in 0..9 {
+        for i in 0..10 {
             self.per_syscall[i] += other.per_syscall[i];
             self.counts[i] += other.counts[i];
         }

@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod cpu;
+pub mod disk;
 pub mod net;
 pub mod payload;
 pub mod process;
@@ -67,6 +68,7 @@ pub mod trace;
 pub mod world;
 
 pub use cpu::{Syscall, SyscallCosts, ALL_SYSCALLS};
+pub use disk::{Disk, DiskConfig, DiskError};
 pub use net::{NetConfig, Partition};
 pub use obs::{CpuView, NetView, Registry, SpanId};
 pub use payload::Payload;

@@ -18,6 +18,7 @@ use std::collections::{BTreeMap, HashSet};
 use obs::{Counter, CpuView, NetView, Registry};
 
 use crate::cpu::{CpuAccount, Syscall, SyscallCosts, ALL_SYSCALLS};
+use crate::disk::{Disk, DiskConfig};
 use crate::net::{NetConfig, Partition};
 use crate::payload::Payload;
 use crate::process::{HostId, Process, SockAddr, TimerId};
@@ -329,6 +330,13 @@ struct Core {
     epoch_hint: u64,
     /// Optional structured event-trace recorder.
     sink: Option<Box<dyn TraceSink>>,
+    /// The world seed, kept so per-host disk fault streams can be derived
+    /// from it without touching the world RNG.
+    seed: u64,
+    /// Simulated disks, one per host that opted in via
+    /// [`World::install_disk`]. Disks survive host crashes (minus the
+    /// unsynced tail) — that is the point.
+    disks: BTreeMap<HostId, Disk>,
 }
 
 impl Core {
@@ -558,6 +566,13 @@ impl<'a> Ctx<'a> {
         &mut self.core.rng
     }
 
+    /// The disk installed on this process's host, if any. I/O time
+    /// accrued on it during this handler is charged to the process as
+    /// [`Syscall::DiskIo`] when the handler returns.
+    pub fn disk(&self) -> Option<Disk> {
+        self.core.disks.get(&self.me.host).cloned()
+    }
+
     /// Requests that a new process be spawned at `addr` once this handler
     /// returns. If a process already exists there it is replaced (this is
     /// how a crashed troupe member's machine is reused).
@@ -603,6 +618,8 @@ impl Core {
             pending: Vec::new(),
             epoch_hint: 0,
             sink: None,
+            seed,
+            disks: BTreeMap::new(),
         }
     }
 }
@@ -776,7 +793,9 @@ impl World {
     }
 
     /// Crashes a host: the host goes down and every process on it is
-    /// destroyed (fail-stop; volatile state is lost, §3.5.1).
+    /// destroyed (fail-stop; volatile state is lost, §3.5.1). The host's
+    /// disk, if installed, keeps its synced bytes and applies crash
+    /// semantics to the rest ([`Disk::crash`]).
     pub fn crash_host(&mut self, h: HostId) {
         self.core.trace(TraceEvent::CrashHost {
             at: self.core.now,
@@ -787,6 +806,29 @@ impl World {
         for a in dead {
             self.procs.remove(&a);
         }
+        if let Some(disk) = self.core.disks.get(&h) {
+            disk.crash();
+        }
+    }
+
+    /// Installs a simulated disk on host `h` (replacing any existing
+    /// one), returning its handle. Processes on the host reach it via
+    /// [`Ctx::disk`]; its fault stream is seeded from the world seed and
+    /// the host id, independent of the world RNG.
+    pub fn install_disk(&mut self, h: HostId, cfg: DiskConfig) -> Disk {
+        // splitmix64-style mix so adjacent host ids get unrelated seeds.
+        let mix = (h.0 as u64)
+            .wrapping_add(1)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let seed = self.core.seed ^ mix;
+        let disk = Disk::new(h, cfg, seed, self.core.registry.clone());
+        self.core.disks.insert(h, disk.clone());
+        disk
+    }
+
+    /// The disk installed on host `h`, if any.
+    pub fn disk(&self, h: HostId) -> Option<Disk> {
+        self.core.disks.get(&h).cloned()
     }
 
     /// Brings a crashed host back up, empty of processes.
@@ -1044,6 +1086,15 @@ impl World {
             }
         }
         f(proc.as_mut(), &mut ctx);
+        // Charge any disk I/O time the handler accrued before reading the
+        // virtual clock, so disk costs serialize on the host CPU exactly
+        // like syscall costs.
+        if let Some(disk) = ctx.core.disks.get(&addr.host).cloned() {
+            let d = disk.take_pending();
+            if !d.is_zero() {
+                ctx.charge_dur(Syscall::DiskIo, d);
+            }
+        }
         let end = ctx.vnow;
         let delta = std::mem::take(&mut ctx.delta);
         let _ = ctx;
@@ -1132,32 +1183,6 @@ impl World {
         if self.core.now < t {
             self.core.now = t;
         }
-    }
-
-    /// Runs until the queue is empty or the next event is after `t`.
-    #[deprecated(note = "use `run(Until::Time(t))`")]
-    pub fn run_until(&mut self, t: Time) {
-        self.run(Until::Time(t));
-    }
-
-    /// Runs for `d` of simulated time from now.
-    #[deprecated(note = "use `run(Until::Elapsed(d))`")]
-    pub fn run_for(&mut self, d: Duration) {
-        self.run(Until::Elapsed(d));
-    }
-
-    /// Runs until `pred` holds (checked after every event) or `deadline`
-    /// passes. Returns `true` if the predicate became true.
-    #[deprecated(note = "use `run(Until::pred(deadline, pred))`")]
-    pub fn run_until_pred(&mut self, deadline: Time, pred: impl FnMut(&World) -> bool) -> bool {
-        self.run(Until::pred(deadline, pred))
-    }
-
-    /// Drains every remaining event (use only when the system quiesces,
-    /// i.e. no periodic timers are armed).
-    #[deprecated(note = "use `run(Until::Idle)`")]
-    pub fn run_to_completion(&mut self) {
-        self.run(Until::Idle);
     }
 }
 

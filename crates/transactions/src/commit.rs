@@ -15,16 +15,17 @@
 //! The protocol is *generic* (any local concurrency control) and
 //! *optimistic* (assumes conflicts are rare).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::rc::Rc;
 
 use crate::store::TxnId;
 use crate::txn::{ExecOutcome, LocalTm, Op};
+use crate::wal::{CommitRecord, Wal};
 use circus::{
-    CallError, Collate, CollationPolicy, Decision, NodeEffect, OutCall, Service, ServiceCtx, Step,
-    ThreadId, TroupeTarget, VoteSlot,
+    CallError, Collate, CollationPolicy, Decision, NodeEffect, OutCall, Service, ServiceCtx,
+    StateSince, Step, ThreadId, TroupeTarget, VoteSlot,
 };
-use simnet::{Duration, Time};
+use simnet::{Disk, Duration, SockAddr, Time};
 use wire::{from_bytes, to_bytes, Externalize, Internalize, Reader, WireError, Writer};
 
 /// How long a wedge (§6.4.1's quiescence for state transfer) holds
@@ -102,6 +103,32 @@ impl Internalize for TxnOutcome {
     }
 }
 
+/// Commit records kept in memory for serving recovery deltas. Far above
+/// anything a scenario produces; if exceeded, the oldest records are
+/// dropped and the coverage check in `get_state_since` falls back to a
+/// full copy.
+const RETAIN_CAP: usize = 1024;
+
+/// What log-replay recovery found and did, kept for oracles and benches.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RecoveryInfo {
+    /// Ledger length of the snapshot that was restored (0 = none).
+    pub snapshot_version: u64,
+    /// Log records replayed into the store.
+    pub replayed: usize,
+    /// Log records skipped because the snapshot already covered them.
+    pub deduped: usize,
+    /// Torn/truncated log bytes discarded at the checksum boundary.
+    pub torn_bytes: usize,
+    /// Total log bytes read.
+    pub log_bytes: usize,
+}
+
+/// Packs a thread origin into the u64 key used by recovery tokens.
+fn pack_origin(a: SockAddr) -> u64 {
+    ((a.host.0 as u64) << 16) | a.port as u64
+}
+
 /// Per-invocation transaction bookkeeping at a store member.
 struct TxnRec {
     txn: TxnId,
@@ -136,6 +163,14 @@ pub struct TroupeStoreService {
     wedged_at: Option<Time>,
     /// Suspended `wedge` invocations awaiting the drain.
     wedge_waiters: Vec<u64>,
+    /// The durable commit log, when this member has a local disk.
+    wal: Option<Wal>,
+    /// Recent commit records kept to serve recovery *deltas* to peers
+    /// (the volatile store merges writes away; the delta needs them
+    /// per-commit). Capped at [`RETAIN_CAP`].
+    retained: Vec<CommitRecord>,
+    /// What the last `on_start` recovery found (durable members only).
+    pub recovery: Option<RecoveryInfo>,
 }
 
 impl TroupeStoreService {
@@ -151,7 +186,25 @@ impl TroupeStoreService {
             committed: Vec::new(),
             wedged_at: None,
             wedge_waiters: Vec::new(),
+            wal: None,
+            retained: Vec::new(),
+            recovery: None,
         }
+    }
+
+    /// Creates a *durable* store member: every commit is appended to a
+    /// checksummed log on `disk` (fsync'd), a snapshot is written every
+    /// `snapshot_every` commits (truncating the log), and `on_start`
+    /// recovers snapshot + log before the member serves anything.
+    pub fn with_durability(commit_module: u16, disk: Disk, snapshot_every: usize) -> Self {
+        let mut s = TroupeStoreService::new(commit_module);
+        s.wal = Some(Wal::new(disk, snapshot_every));
+        s
+    }
+
+    /// Whether this member writes a durable commit log.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
     }
 
     /// `true` while the member is wedged for a membership change (the
@@ -265,6 +318,65 @@ impl TroupeStoreService {
             }
         }
     }
+
+    /// Keeps a commit record for delta serving, bounded by [`RETAIN_CAP`].
+    fn retain(&mut self, rec: CommitRecord) {
+        if self.retained.len() >= RETAIN_CAP {
+            self.retained.remove(0);
+        }
+        self.retained.push(rec);
+    }
+
+    /// Snapshots the current state to disk (version = ledger length),
+    /// truncating the log. No-op without durability.
+    fn force_snapshot(&mut self) {
+        if self.wal.is_none() {
+            return;
+        }
+        let state = self.get_state();
+        let version = self.committed.len() as u64;
+        self.wal
+            .as_mut()
+            .expect("checked above")
+            .write_snapshot(version, &state);
+    }
+
+    /// Appends one commit to the log; heals a transiently failed append
+    /// (which may leave a partial frame) by re-snapshotting, and applies
+    /// the periodic snapshot cadence.
+    fn log_commit(&mut self, rec: &CommitRecord, ctx: &mut ServiceCtx) {
+        let Some(wal) = self.wal.as_mut() else {
+            return;
+        };
+        match wal.append_commit(rec) {
+            Ok(()) => ctx.metrics.add("wal.appends", 1),
+            Err(_) => {
+                // The log may now hold a partial frame; the snapshot
+                // below captures this commit anyway and truncates it.
+                ctx.metrics.add("wal.append_errors", 1);
+                ctx.metrics.add("wal.snapshots", 1);
+                self.force_snapshot();
+                return;
+            }
+        }
+        if wal.snapshot_due() {
+            ctx.metrics.add("wal.snapshots", 1);
+            self.force_snapshot();
+        }
+    }
+
+    /// Per-origin commit watermarks: the highest nonce committed from
+    /// each thread origin. Clients are strictly sequential per origin,
+    /// so a replayed log prefix is a nonce-prefix per origin and one
+    /// watermark per origin describes it exactly.
+    fn watermarks(&self) -> Vec<(u64, u64)> {
+        let mut marks: BTreeMap<u64, u64> = BTreeMap::new();
+        for &(t, nonce) in &self.committed {
+            let m = marks.entry(pack_origin(t.origin)).or_insert(0);
+            *m = (*m).max(nonce);
+        }
+        marks.into_iter().collect()
+    }
 }
 
 impl Service for TroupeStoreService {
@@ -320,9 +432,21 @@ impl Service for TroupeStoreService {
         };
         let (outcome, unblocked) = match rec.results {
             Some(results) if go => {
+                // Capture the workspace before the commit folds it away:
+                // the log record needs per-commit writes, not the merged
+                // image.
+                let writes = self.tm.store().workspace(rec.txn);
                 self.committed.push((rec.thread, rec.nonce));
                 ctx.metrics.add("txn.commits", 1);
-                (TxnOutcome::Committed(results), self.tm.commit(rec.txn))
+                let unblocked = self.tm.commit(rec.txn);
+                let crec = CommitRecord {
+                    thread: rec.thread,
+                    nonce: rec.nonce,
+                    writes,
+                };
+                self.retain(crec.clone());
+                self.log_commit(&crec, ctx);
+                (TxnOutcome::Committed(results), unblocked)
             }
             _ => {
                 ctx.metrics.add("txn.aborts", 1);
@@ -375,7 +499,116 @@ impl Service for TroupeStoreService {
         if let Ok((snap, ledger)) = from_bytes::<(Vec<(u64, i64)>, Vec<(ThreadId, u64)>)>(state) {
             self.tm.store_mut().restore(&snap);
             self.committed = ledger;
+            // The installed ledger may contain commits this member never
+            // saw individually, so its retained records no longer cover
+            // the ledger (it will serve full copies until they do), and
+            // any stale log on disk must not replay over the new state.
+            self.retained.clear();
+            self.force_snapshot();
         }
+    }
+
+    /// Log-replay recovery (durable members): restore the best valid
+    /// snapshot, replay intact log records past it, discard the torn
+    /// tail, and re-snapshot so the log is clean before the member
+    /// serves anything. The peer catch-up that follows (via
+    /// `get_state_since`) only needs the commits missing from here.
+    fn on_start(&mut self, metrics: &obs::Registry) {
+        if self.wal.is_none() {
+            return;
+        }
+        let found = self.wal.as_mut().expect("checked above").recover();
+        let mut info = RecoveryInfo {
+            torn_bytes: found.torn_bytes,
+            log_bytes: found.log_bytes,
+            ..RecoveryInfo::default()
+        };
+        if let Some((version, payload)) = &found.snapshot {
+            if let Ok((snap, ledger)) =
+                from_bytes::<(Vec<(u64, i64)>, Vec<(ThreadId, u64)>)>(payload)
+            {
+                info.snapshot_version = *version;
+                self.tm.store_mut().restore(&snap);
+                self.committed = ledger;
+            }
+        }
+        let have: HashSet<(ThreadId, u64)> = self.committed.iter().copied().collect();
+        for rec in found.records {
+            // Idempotent replay: a crash between snapshot and log
+            // truncation leaves records the snapshot already covers.
+            if have.contains(&rec.key()) {
+                info.deduped += 1;
+                continue;
+            }
+            self.tm.store_mut().apply_committed(&rec.writes);
+            self.committed.push(rec.key());
+            info.replayed += 1;
+        }
+        if info.log_bytes > 0 || found.snapshot.is_some() {
+            metrics.add("wal.recoveries", 1);
+            metrics.add("wal.replayed", info.replayed as u64);
+            if info.torn_bytes > 0 {
+                metrics.add("wal.torn_tails_dropped", 1);
+            }
+        }
+        self.recovery = Some(info);
+        self.force_snapshot();
+    }
+
+    fn recovery_token(&self) -> Option<Vec<u8>> {
+        self.wal.as_ref()?;
+        Some(to_bytes(&self.watermarks()))
+    }
+
+    fn get_state_since(&self, token: &[u8]) -> StateSince {
+        let Ok(marks) = from_bytes::<Vec<(u64, u64)>>(token) else {
+            return StateSince::Full(self.get_state());
+        };
+        let marks: BTreeMap<u64, u64> = marks.into_iter().collect();
+        let covered = |t: &ThreadId, nonce: u64| {
+            marks
+                .get(&pack_origin(t.origin))
+                .is_some_and(|w| nonce <= *w)
+        };
+        // The delta is only sound if this member's retained records hold
+        // *every* ledger entry past the requester's watermarks; if any
+        // were dropped (RETAIN_CAP) or never seen individually
+        // (set_state install), fall back to the full copy.
+        let held: HashSet<(ThreadId, u64)> = self.retained.iter().map(CommitRecord::key).collect();
+        for &(t, nonce) in &self.committed {
+            if !covered(&t, nonce) && !held.contains(&(t, nonce)) {
+                return StateSince::Full(self.get_state());
+            }
+        }
+        let delta: Vec<CommitRecord> = self
+            .retained
+            .iter()
+            .filter(|r| !covered(&r.thread, r.nonce))
+            .cloned()
+            .collect();
+        StateSince::Delta(to_bytes(&delta))
+    }
+
+    /// Applies a peer's delta: every record not already in the ledger is
+    /// applied in the peer's commit order. Two-phase locking orders
+    /// conflicting commits identically at every member (Theorem 5.1), so
+    /// per-object last-writer order is preserved.
+    fn apply_delta(&mut self, delta: &[u8]) {
+        let Ok(records) = from_bytes::<Vec<CommitRecord>>(delta) else {
+            return;
+        };
+        let have: HashSet<(ThreadId, u64)> = self.committed.iter().copied().collect();
+        for rec in records {
+            if have.contains(&rec.key()) {
+                continue;
+            }
+            self.tm.store_mut().apply_committed(&rec.writes);
+            self.committed.push(rec.key());
+            self.retain(rec);
+        }
+        // Close the stale-log window: the state now includes commits the
+        // log never saw, so snapshot it before logging anything new.
+        self.force_snapshot();
     }
 }
 

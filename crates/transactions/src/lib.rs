@@ -38,6 +38,7 @@ pub mod lock;
 pub mod nested;
 pub mod store;
 pub mod txn;
+pub mod wal;
 
 pub use backoff::Backoff;
 pub use broadcast::{
@@ -46,11 +47,12 @@ pub use broadcast::{
 };
 pub use client::{Broadcaster, TxnClient};
 pub use commit::{
-    CommitVoterService, ExecuteRequest, TroupeStoreService, TxnOutcome, PROC_EXECUTE, PROC_PEEK,
-    PROC_READY_TO_COMMIT,
+    CommitVoterService, ExecuteRequest, RecoveryInfo, TroupeStoreService, TxnOutcome, PROC_EXECUTE,
+    PROC_PEEK, PROC_READY_TO_COMMIT,
 };
 pub use deadlock::WaitsFor;
 pub use lock::{Acquire, LockManager, Mode};
 pub use nested::{NestedError, NestedTm};
 pub use store::{ObjId, Store, TxnId};
 pub use txn::{ExecOutcome, LocalTm, Op};
+pub use wal::{CommitRecord, Recovered, Wal};

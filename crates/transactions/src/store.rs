@@ -72,6 +72,25 @@ impl Store {
         self.committed.iter().map(|(o, v)| (o.0, *v)).collect()
     }
 
+    /// Externalizes `txn`'s tentative writes, in object order — the
+    /// payload of a commit-log record, captured just before the commit
+    /// folds the workspace away.
+    pub fn workspace(&self, txn: TxnId) -> Vec<(u64, i64)> {
+        self.workspaces
+            .get(&txn)
+            .map(|ws| ws.iter().map(|(o, v)| (o.0, *v)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Applies the writes of an already-committed transaction directly
+    /// to the committed image (log replay and delta catch-up; no
+    /// workspace involved).
+    pub fn apply_committed(&mut self, writes: &[(u64, i64)]) {
+        for &(o, v) in writes {
+            self.committed.insert(ObjId(o), v);
+        }
+    }
+
     /// Replaces the committed image from a snapshot.
     pub fn restore(&mut self, snap: &[(u64, i64)]) {
         self.committed = snap.iter().map(|&(o, v)| (ObjId(o), v)).collect();
@@ -132,6 +151,61 @@ mod tests {
         let mut t = Store::new();
         t.restore(&snap);
         assert_eq!(t.read_committed(A), 5);
+    }
+
+    #[test]
+    fn restore_drops_tentative_workspaces() {
+        // A restore replaces the member's whole state (recovery or state
+        // transfer); any transaction tentatively in flight belongs to the
+        // *old* state and must not leak its writes across.
+        let mut s = Store::new();
+        s.write(T1, A, 5);
+        s.commit(T1);
+        s.write(T2, A, 99); // tentative at restore time
+        let snap = s.snapshot();
+        s.restore(&snap);
+        assert_eq!(s.read_committed(A), 5);
+        assert_eq!(
+            s.read(T2, A),
+            5,
+            "T2's pre-restore tentative write survived the restore"
+        );
+        // A commit of the stale transaction after restore is a no-op:
+        // its workspace is gone.
+        s.commit(T2);
+        assert_eq!(s.read_committed(A), 5);
+        assert!(s.workspace(T2).is_empty());
+    }
+
+    #[test]
+    fn restore_into_dirty_store_replaces_everything() {
+        let mut s = Store::new();
+        s.write(T1, A, 1);
+        s.write(T1, B, 2);
+        s.commit(T1);
+        let snap = s.snapshot();
+        let mut t = Store::new();
+        t.write(T1, A, 77);
+        t.commit(T1);
+        t.write(T2, B, 88); // tentative
+        t.restore(&snap);
+        assert_eq!(t.read_committed(A), 1);
+        assert_eq!(t.read_committed(B), 2);
+        assert_eq!(t.read(T2, B), 2, "stale workspace visible after restore");
+    }
+
+    #[test]
+    fn apply_committed_bypasses_workspaces() {
+        let mut s = Store::new();
+        s.write(T1, A, 3); // tentative, unrelated
+        s.apply_committed(&[(A.0, 10), (B.0, 20)]);
+        assert_eq!(s.read_committed(A), 10);
+        assert_eq!(s.read_committed(B), 20);
+        // The open workspace still shadows for its own transaction...
+        assert_eq!(s.read(T1, A), 3);
+        // ...and committing it folds over the applied value.
+        s.commit(T1);
+        assert_eq!(s.read_committed(A), 3);
     }
 
     #[test]

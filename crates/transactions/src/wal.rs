@@ -1,0 +1,359 @@
+//! A checksummed commit log + snapshots on the simulated disk.
+//!
+//! Chapter 5's transactions are deliberately *lightweight* — volatile,
+//! with permanence from replication — but §6.4's recovery story gets
+//! much cheaper when a restarted member can rebuild most of its state
+//! locally: replay a snapshot plus a commit log from its own disk, then
+//! fetch only the *delta* of commits it missed from a surviving peer.
+//! This module is that local half. It must survive a hostile disk
+//! ([`DiskConfig`](simnet::DiskConfig)'s fault hooks): every record and
+//! snapshot carries an FNV-1a checksum, a torn or truncated tail is
+//! detected and discarded at the checksum boundary, and a transiently
+//! failed append (which may leave a *partial* frame on the platter)
+//! is healed by re-snapshotting, which truncates the log.
+//!
+//! ## Log format
+//!
+//! The log (`wal.log`) is a sequence of frames:
+//!
+//! ```text
+//! [u32 len (LE)] [u64 fnv1a(payload) (LE)] [payload: CommitRecord]
+//! ```
+//!
+//! Replay stops at the first frame whose header is short, whose payload
+//! is short, or whose checksum mismatches — everything before that
+//! boundary is intact by induction (appends are framed and fsync'd in
+//! frame units), everything after is the crash's torn tail.
+//!
+//! ## Snapshots
+//!
+//! Snapshots alternate between two slots (`snap.0`, `snap.1`), each
+//! `[u64 version][u64 fnv1a(payload)][payload]`, so a crash mid-write
+//! ruins at most the slot being replaced; recovery picks the valid slot
+//! with the higher version. The version is the commit-ledger length, a
+//! monotone measure of progress. Writing a snapshot truncates the log.
+
+use circus::ThreadId;
+use simnet::{Disk, DiskError};
+use wire::{from_bytes, to_bytes, Externalize, Internalize, Reader, WireError, Writer};
+
+/// The log file name on the member's disk.
+pub const LOG_FILE: &str = "wal.log";
+/// The two alternating snapshot slots.
+pub const SNAP_SLOTS: [&str; 2] = ["snap.0", "snap.1"];
+
+/// One committed transaction, as logged: enough to replay the commit
+/// (identity for exactly-once dedup, writes for the store image).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CommitRecord {
+    /// The distributed thread that ran the transaction.
+    pub thread: ThreadId,
+    /// The client's retry-distinguishing nonce.
+    pub nonce: u64,
+    /// The committed writes, in object order.
+    pub writes: Vec<(u64, i64)>,
+}
+
+impl CommitRecord {
+    /// The ledger key identifying this transaction.
+    pub fn key(&self) -> (ThreadId, u64) {
+        (self.thread, self.nonce)
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        to_bytes(self)
+    }
+
+    fn decode(bytes: &[u8]) -> Option<CommitRecord> {
+        from_bytes::<CommitRecord>(bytes).ok()
+    }
+}
+
+impl Externalize for CommitRecord {
+    fn externalize(&self, w: &mut Writer) {
+        self.thread.externalize(w);
+        w.put_u64(self.nonce);
+        self.writes.externalize(w);
+    }
+}
+
+impl Internalize for CommitRecord {
+    fn internalize(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(CommitRecord {
+            thread: ThreadId::internalize(r)?,
+            nonce: r.get_u64()?,
+            writes: Vec::internalize(r)?,
+        })
+    }
+}
+
+/// FNV-1a over a byte slice (the same digest the trace ring and
+/// `state_digest` use; no new dependency).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// What recovery found on the disk.
+#[derive(Clone, Debug, Default)]
+pub struct Recovered {
+    /// The best valid snapshot, if any: `(version, payload)`.
+    pub snapshot: Option<(u64, Vec<u8>)>,
+    /// Intact log records, in append order.
+    pub records: Vec<CommitRecord>,
+    /// Bytes past the last intact frame (torn/truncated tail), discarded.
+    pub torn_bytes: usize,
+    /// Total log bytes read.
+    pub log_bytes: usize,
+}
+
+/// The write-ahead commit log of one troupe member.
+pub struct Wal {
+    disk: Disk,
+    /// Slot the *next* snapshot goes to (alternates).
+    next_slot: usize,
+    /// Snapshot after this many commits since the last one.
+    snapshot_every: usize,
+    /// Commits appended since the last snapshot.
+    since_snapshot: usize,
+}
+
+impl Wal {
+    /// A log on `disk` snapshotting every `snapshot_every` commits
+    /// (0 = only on demand).
+    pub fn new(disk: Disk, snapshot_every: usize) -> Wal {
+        Wal {
+            disk,
+            next_slot: 0,
+            snapshot_every,
+            since_snapshot: 0,
+        }
+    }
+
+    /// The underlying disk handle.
+    pub fn disk(&self) -> &Disk {
+        &self.disk
+    }
+
+    /// Appends one commit record and fsyncs (commit durability). On a
+    /// transient disk error the log may hold a *partial* frame; the
+    /// caller must re-snapshot (see [`Wal::write_snapshot`]) to realign.
+    pub fn append_commit(&mut self, rec: &CommitRecord) -> Result<(), DiskError> {
+        let payload = rec.encode();
+        let mut frame = Vec::with_capacity(12 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.disk.append(LOG_FILE, &frame)?;
+        self.disk.fsync(LOG_FILE);
+        self.since_snapshot += 1;
+        Ok(())
+    }
+
+    /// Whether the periodic snapshot cadence is due.
+    pub fn snapshot_due(&self) -> bool {
+        self.snapshot_every > 0 && self.since_snapshot >= self.snapshot_every
+    }
+
+    /// Writes `state` as the snapshot at `version` (the ledger length)
+    /// into the alternate slot and truncates the log. Also the recovery
+    /// path's realignment: any torn tail or partial frame in the log is
+    /// discarded with it.
+    pub fn write_snapshot(&mut self, version: u64, state: &[u8]) {
+        let slot = SNAP_SLOTS[self.next_slot];
+        let mut content = Vec::with_capacity(16 + state.len());
+        content.extend_from_slice(&version.to_le_bytes());
+        content.extend_from_slice(&fnv1a(state).to_le_bytes());
+        content.extend_from_slice(state);
+        self.disk.set_contents(slot, &content);
+        self.disk.fsync(slot);
+        self.next_slot ^= 1;
+        // Truncate only after the snapshot is durable: a crash between
+        // the two leaves a stale log whose records the snapshot already
+        // covers — replay skips them by ledger key (idempotent).
+        self.disk.remove(LOG_FILE);
+        self.since_snapshot = 0;
+    }
+
+    /// Reads the snapshot slots and the log back, validating checksums
+    /// and stopping replay at the first torn frame.
+    pub fn recover(&mut self) -> Recovered {
+        let mut out = Recovered::default();
+        let mut best_slot = None;
+        for (i, slot) in SNAP_SLOTS.iter().enumerate() {
+            let Some(bytes) = self.disk.read(slot) else {
+                continue;
+            };
+            if bytes.len() < 16 {
+                continue;
+            }
+            let version = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes"));
+            let crc = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+            let payload = &bytes[16..];
+            if fnv1a(payload) != crc {
+                continue;
+            }
+            if out.snapshot.as_ref().is_none_or(|(v, _)| version > *v) {
+                out.snapshot = Some((version, payload.to_vec()));
+                best_slot = Some(i);
+            }
+        }
+        // Keep alternating away from the surviving snapshot.
+        if let Some(i) = best_slot {
+            self.next_slot = i ^ 1;
+        }
+        let log = self.disk.read(LOG_FILE).unwrap_or_default();
+        out.log_bytes = log.len();
+        let mut off = 0usize;
+        while off < log.len() {
+            let Some(header) = log.get(off..off + 12) else {
+                break;
+            };
+            let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+            let crc = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
+            let Some(payload) = log.get(off + 12..off + 12 + len) else {
+                break;
+            };
+            if fnv1a(payload) != crc {
+                break;
+            }
+            let Some(rec) = CommitRecord::decode(payload) else {
+                break;
+            };
+            out.records.push(rec);
+            off += 12 + len;
+        }
+        out.torn_bytes = log.len() - off;
+        self.since_snapshot = out.records.len();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::Registry;
+    use simnet::{DiskConfig, HostId, SockAddr};
+
+    fn rec(serial: u32, nonce: u64, writes: Vec<(u64, i64)>) -> CommitRecord {
+        CommitRecord {
+            thread: ThreadId {
+                origin: SockAddr::new(HostId(20), 10),
+                serial,
+            },
+            nonce,
+            writes,
+        }
+    }
+
+    fn disk(cfg: DiskConfig) -> Disk {
+        Disk::new(HostId(10), cfg, 7, Registry::new())
+    }
+
+    #[test]
+    fn log_round_trips() {
+        let d = disk(DiskConfig::faultless());
+        let mut w = Wal::new(d.clone(), 0);
+        let records = vec![rec(1, 1, vec![(5, 50)]), rec(2, 2, vec![(6, 60), (7, 70)])];
+        for r in &records {
+            w.append_commit(r).unwrap();
+        }
+        let mut w2 = Wal::new(d, 0);
+        let got = w2.recover();
+        assert_eq!(got.records, records);
+        assert_eq!(got.torn_bytes, 0);
+        assert!(got.snapshot.is_none());
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_at_checksum_boundary() {
+        let d = disk(DiskConfig::faultless());
+        let mut w = Wal::new(d.clone(), 0);
+        w.append_commit(&rec(1, 1, vec![(5, 50)])).unwrap();
+        // A torn second frame: manually append half a frame.
+        d.append(LOG_FILE, &[9, 0, 0, 0, 1, 2, 3]).unwrap();
+        let got = Wal::new(d, 0).recover();
+        assert_eq!(got.records.len(), 1);
+        assert_eq!(got.torn_bytes, 7);
+    }
+
+    #[test]
+    fn corrupt_payload_stops_replay() {
+        let d = disk(DiskConfig::faultless());
+        let mut w = Wal::new(d.clone(), 0);
+        w.append_commit(&rec(1, 1, vec![(5, 50)])).unwrap();
+        w.append_commit(&rec(2, 2, vec![(6, 60)])).unwrap();
+        // Flip a bit in the second frame's payload.
+        let mut log = d.read(LOG_FILE).unwrap();
+        let n = log.len();
+        log[n - 1] ^= 0x80;
+        d.set_contents(LOG_FILE, &log);
+        let got = Wal::new(d, 0).recover();
+        assert_eq!(got.records.len(), 1, "replay must stop at the bad frame");
+        assert!(got.torn_bytes > 0);
+    }
+
+    #[test]
+    fn snapshot_truncates_and_alternates() {
+        let d = disk(DiskConfig::faultless());
+        let mut w = Wal::new(d.clone(), 2);
+        w.append_commit(&rec(1, 1, vec![(5, 50)])).unwrap();
+        w.append_commit(&rec(2, 2, vec![(6, 60)])).unwrap();
+        assert!(w.snapshot_due());
+        w.write_snapshot(2, b"state-v2");
+        assert!(d.is_empty(LOG_FILE));
+        assert!(!w.snapshot_due());
+        w.write_snapshot(3, b"state-v3");
+        let got = Wal::new(d, 2).recover();
+        assert_eq!(got.snapshot, Some((3, b"state-v3".to_vec())));
+        assert!(got.records.is_empty());
+    }
+
+    #[test]
+    fn recovery_picks_highest_valid_snapshot() {
+        let d = disk(DiskConfig::faultless());
+        let mut w = Wal::new(d.clone(), 0);
+        w.write_snapshot(1, b"old");
+        w.write_snapshot(2, b"new");
+        // Corrupt the newer slot: recovery must fall back to the older.
+        let slot = SNAP_SLOTS[1];
+        let mut bytes = d.read(slot).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 1;
+        d.set_contents(slot, &bytes);
+        let got = Wal::new(d, 0).recover();
+        assert_eq!(got.snapshot, Some((1, b"old".to_vec())));
+    }
+
+    #[test]
+    fn unsynced_appends_do_not_survive_a_crash() {
+        let d = disk(DiskConfig::faultless());
+        let mut w = Wal::new(d.clone(), 0);
+        w.append_commit(&rec(1, 1, vec![(5, 50)])).unwrap();
+        // Bypass the Wal (no fsync) to model a commit caught mid-append.
+        d.append(LOG_FILE, &[1, 2, 3]).unwrap();
+        d.crash();
+        let got = Wal::new(d, 0).recover();
+        assert_eq!(got.records.len(), 1);
+        assert_eq!(got.torn_bytes, 0);
+    }
+
+    #[test]
+    fn partial_frame_from_transient_error_is_contained() {
+        let mut cfg = DiskConfig::faultless();
+        cfg.write_error = 1.0;
+        let d = disk(cfg);
+        let mut w = Wal::new(d.clone(), 0);
+        let err = w.append_commit(&rec(1, 1, vec![(5, 50)])).unwrap_err();
+        assert_eq!(err, DiskError::Transient);
+        // Whatever prefix landed, replay yields no record and flags the
+        // garbage as torn.
+        let got = Wal::new(d.clone(), 0).recover();
+        assert!(got.records.is_empty());
+        assert_eq!(got.torn_bytes, d.len(LOG_FILE));
+    }
+}

@@ -181,4 +181,95 @@ proptest! {
         }
         prop_assert_eq!(tm.read_committed(ObjId(0)), deltas.iter().sum::<i64>());
     }
+
+    /// Snapshot/restore round-trips interleaved with commits and aborts:
+    /// the store tracks a model of the committed image exactly, restores
+    /// rewind to the snapshotted committed state, and tentative
+    /// workspaces never survive a restore (a recovered member must not
+    /// resurrect in-flight transactions from before the crash).
+    #[test]
+    fn snapshot_restore_round_trips_under_commit_abort(
+        script in proptest::collection::vec((0u8..5, 0u64..3, -5i64..5), 1..80),
+    ) {
+        use std::collections::BTreeMap;
+        use transactions::Store;
+
+        let mut s = Store::new();
+        // The model: committed image, open workspaces, and the last
+        // snapshot (of both store and model).
+        let mut model: BTreeMap<u64, i64> = BTreeMap::new();
+        let mut open: Vec<TxnId> = Vec::new();
+        let mut next_txn = 1u64;
+        type Snapshot = (Vec<(u64, i64)>, BTreeMap<u64, i64>);
+        let mut saved: Option<Snapshot> = None;
+
+        for (action, obj, val) in script {
+            match action {
+                // Write into a (possibly fresh) workspace.
+                0 => {
+                    let t = if open.is_empty() || val < 0 {
+                        let t = TxnId(next_txn);
+                        next_txn += 1;
+                        open.push(t);
+                        t
+                    } else {
+                        open[obj as usize % open.len()]
+                    };
+                    s.write(t, ObjId(obj), val);
+                }
+                // Commit the oldest open transaction.
+                1 => {
+                    if let Some(t) = open.first().copied() {
+                        open.remove(0);
+                        for (o, v) in s.workspace(t) {
+                            model.insert(o, v);
+                        }
+                        s.commit(t);
+                    }
+                }
+                // Abort the newest open transaction.
+                2 => {
+                    if let Some(t) = open.pop() {
+                        s.abort(t);
+                    }
+                }
+                // Snapshot the committed image.
+                3 => {
+                    saved = Some((s.snapshot(), model.clone()));
+                }
+                // Restore the last snapshot (no-op if none was taken).
+                _ => {
+                    if let Some((snap, m)) = &saved {
+                        s.restore(snap);
+                        model = m.clone();
+                        // Every workspace is gone: commits of formerly
+                        // open transactions must change nothing.
+                        for t in open.drain(..) {
+                            prop_assert!(s.workspace(t).is_empty());
+                            s.commit(t);
+                        }
+                        let now: Vec<(u64, i64)> = s.snapshot();
+                        let want: Vec<(u64, i64)> =
+                            m.iter().map(|(&o, &v)| (o, v)).collect();
+                        prop_assert_eq!(now, want);
+                    }
+                }
+            }
+            // The committed image always matches the model (workspaces
+            // are invisible until committed).
+            for o in 0..3u64 {
+                prop_assert_eq!(
+                    s.read_committed(ObjId(o)),
+                    model.get(&o).copied().unwrap_or(0)
+                );
+            }
+        }
+        // Final snapshot → fresh store restore reproduces the image.
+        let snap = s.snapshot();
+        let mut fresh = Store::new();
+        fresh.restore(&snap);
+        for o in 0..3u64 {
+            prop_assert_eq!(fresh.read_committed(ObjId(o)), s.read_committed(ObjId(o)));
+        }
+    }
 }
