@@ -1,0 +1,106 @@
+//! BENCH_8: the price of synchronization under conflict.
+//!
+//! Chapter 5 offers three ways to keep a troupe's members in step, and
+//! §5.5 says to choose "on a module-by-module basis". This benchmark
+//! prices that choice: `k` clients all hammering the *same* object
+//! through each scheme —
+//!
+//! - `scheme: "commit"` — the optimistic troupe commit protocol (2PL +
+//!   deadlock-driven abort and retry): conflicts become aborts, and
+//!   throughput collapses as `k` grows;
+//! - `scheme: "broadcast"` — the ordered broadcast protocol (two-phase
+//!   propose/accept): starvation-free, zero aborts, but every operation
+//!   pays two rounds to every member;
+//! - `scheme: "commutative"` — commutative operations (counter
+//!   increments): no locks, no order, no commit — one round per
+//!   operation no matter how many clients contend.
+//!
+//! One JSON record per `(scheme, k)` cell, the BENCH_4..7
+//! one-record-per-line convention: throughput (ops per simulated
+//! second), aborts, and simulated elapsed time. Every field except
+//! `wall_ms` is a pure function of the cell (each rig seeds its world
+//! from `42 + k`), so records are byte-stable across reruns.
+//!
+//! `repro --gate bench8` checks the ordering the chapter predicts:
+//! commutative ops strictly out-throughput the commit protocol at every
+//! contended cell (`k >= 2`), and the commit protocol is the only
+//! scheme that ever aborts.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use crate::ablations::{run_commit_protocol, run_commutative, run_ordered_broadcast, SyncOutcome};
+
+/// Runs one `(scheme, clients)` cell and appends its record.
+fn cell(out: &mut String, scheme: &str, clients: u32) {
+    let t0 = Instant::now();
+    let o: SyncOutcome = match scheme {
+        "commit" => run_commit_protocol(clients),
+        "broadcast" => run_ordered_broadcast(clients),
+        "commutative" => run_commutative(clients),
+        other => unreachable!("unknown scheme {other}"),
+    };
+    let wall = t0.elapsed();
+    let _ = writeln!(
+        out,
+        "{{\"experiment\":\"bench8\",\"section\":\"conflict\",\"scheme\":\"{scheme}\",\
+         \"clients\":{clients},\"throughput\":{:.4},\"aborts\":{},\"elapsed_s\":{:.6},\
+         \"wall_ms\":{:.2}}}",
+        o.throughput,
+        o.aborts,
+        o.elapsed_s,
+        wall.as_secs_f64() * 1e3,
+    );
+}
+
+/// Builds the full BENCH_8 report. `quick` shrinks the client grid;
+/// each cell is identical to its full-grid counterpart.
+pub fn bench_8_json(quick: bool) -> String {
+    let mut out = String::new();
+    let grid: &[u32] = if quick { &[1, 2] } else { &[1, 2, 4] };
+    for &k in grid {
+        for scheme in ["commit", "broadcast", "commutative"] {
+            cell(&mut out, scheme, k);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field(record: &str, name: &str) -> f64 {
+        let tag = format!("\"{name}\":");
+        let i = record.find(&tag).expect("field present") + tag.len();
+        let rest = &record[i..];
+        let end = rest.find([',', '}']).expect("delimiter");
+        rest[..end].parse().expect("number")
+    }
+
+    #[test]
+    fn cells_are_deterministic() {
+        let mut a = String::new();
+        let mut b = String::new();
+        cell(&mut a, "commutative", 2);
+        cell(&mut b, "commutative", 2);
+        // Everything but the wall clock must be byte-identical.
+        let strip = |s: &str| s[..s.find(",\"wall_ms\"").expect("record has wall_ms")].to_string();
+        assert_eq!(strip(&a), strip(&b));
+    }
+
+    #[test]
+    fn commutative_beats_commit_under_conflict() {
+        let mut commit = String::new();
+        let mut cm = String::new();
+        cell(&mut commit, "commit", 2);
+        cell(&mut cm, "commutative", 2);
+        assert!(
+            field(&cm, "throughput") > field(&commit, "throughput"),
+            "commutative {} !> commit {}",
+            field(&cm, "throughput"),
+            field(&commit, "throughput")
+        );
+        assert_eq!(field(&cm, "aborts"), 0.0, "commutative ops never abort");
+    }
+}

@@ -2,11 +2,11 @@
 //!
 //! ```text
 //! repro [--quick] [EXPERIMENT...]
-//! repro --gate (bench4|bench5|bench6|bench7)
+//! repro --gate (bench4|bench5|bench6|bench7|bench8)
 //! ```
 //!
 //! Experiments: `table4.1 table4.2 table4.3 fig4.8 bench4 bench5 bench6 bench7
-//! multicast eq5.1 fig6.3 table7.1 ablation.waiting ablation.sync
+//! bench8 multicast eq5.1 fig6.3 table7.1 ablation.waiting ablation.sync
 //! ablation.protocol` (default: all). `--quick` uses fewer calls/trials.
 //!
 //! `bench4` additionally writes `BENCH_4.json` (one record per line) to
@@ -19,6 +19,9 @@
 //! `bench7` writes `BENCH_7.json`: simulated MTTR and state-transfer
 //! bytes for the durable store's crash recovery, over a grid of
 //! workload length × snapshot interval in both rejoin modes.
+//! `bench8` writes `BENCH_8.json`: throughput and abort rate for `k`
+//! conflicting clients through each synchronization scheme — troupe
+//! commit, ordered broadcast, and commutative operations (§5.5).
 //!
 //! `--gate NAME` checks the invariant a benchmark must uphold, reading
 //! the `BENCH_*.json` the benchmark wrote (run the benchmark first):
@@ -34,7 +37,10 @@
 //!   a single core);
 //! - `bench7` — for a non-empty commit log, the delta rejoin
 //!   (`get_state_since`) moves strictly fewer bytes over the network
-//!   than the full state transfer, and every grid cell ran clean.
+//!   than the full state transfer, and every grid cell ran clean;
+//! - `bench8` — commutative operations strictly out-throughput the
+//!   commit protocol at every contended cell (`k >= 2`), and only the
+//!   commit protocol ever aborts.
 
 use std::process::ExitCode;
 
@@ -201,9 +207,56 @@ fn gate_bench7() -> Result<String, String> {
     ))
 }
 
+/// Gate: under contention, commutative operations must strictly beat
+/// the optimistic commit protocol on throughput — the whole reason the
+/// workload-diversity layer exists — and the starvation-free schemes
+/// must report zero aborts. Reads `BENCH_8.json` (run `repro bench8`
+/// first). Checks every contended client count present in the file.
+fn gate_bench8() -> Result<String, String> {
+    let body = std::fs::read_to_string("BENCH_8.json")
+        .map_err(|e| format!("cannot read BENCH_8.json: {e}; run the benchmark first"))?;
+    let mut checked = Vec::new();
+    for k in [2u32, 4, 8, 16] {
+        let commit = body.lines().find(|l| {
+            l.contains("\"scheme\":\"commit\"") && l.contains(&format!("\"clients\":{k},"))
+        });
+        let cm = body.lines().find(|l| {
+            l.contains("\"scheme\":\"commutative\"") && l.contains(&format!("\"clients\":{k},"))
+        });
+        let (Some(commit), Some(cm)) = (commit, cm) else {
+            continue;
+        };
+        let ct = field(commit, "throughput").ok_or("commit record lacks throughput")?;
+        let mt = field(cm, "throughput").ok_or("commutative record lacks throughput")?;
+        if mt <= ct {
+            return Err(format!(
+                "at {k} conflicting clients, commutative throughput {mt:.2} not strictly \
+                 above commit's {ct:.2}"
+            ));
+        }
+        checked.push(format!("k={k}: {mt:.1} > {ct:.1} ops/s"));
+    }
+    if checked.is_empty() {
+        return Err("BENCH_8.json has no contended (k >= 2) cells".into());
+    }
+    for line in body.lines() {
+        let contended = !line.contains("\"clients\":1,");
+        let starvation_free = line.contains("\"scheme\":\"broadcast\"")
+            || line.contains("\"scheme\":\"commutative\"");
+        if starvation_free && field(line, "aborts").is_some_and(|a| a != 0.0) {
+            return Err(format!("a starvation-free scheme reported aborts: {line}"));
+        }
+        let _ = contended;
+    }
+    Ok(format!(
+        "commutative strictly out-throughputs commit under contention ({})",
+        checked.join(", ")
+    ))
+}
+
 fn run_gates(wanted: &[&str]) -> ExitCode {
     if wanted.is_empty() {
-        eprintln!("--gate needs a benchmark name: bench4 bench5 bench6 bench7");
+        eprintln!("--gate needs a benchmark name: bench4 bench5 bench6 bench7 bench8");
         return ExitCode::from(2);
     }
     for name in wanted {
@@ -212,8 +265,9 @@ fn run_gates(wanted: &[&str]) -> ExitCode {
             "bench5" => gate_bench5(),
             "bench6" => gate_bench6(),
             "bench7" => gate_bench7(),
+            "bench8" => gate_bench8(),
             other => {
-                eprintln!("no gate named {other}; known: bench4 bench5 bench6 bench7");
+                eprintln!("no gate named {other}; known: bench4 bench5 bench6 bench7 bench8");
                 return ExitCode::from(2);
             }
         };
@@ -319,6 +373,20 @@ fn main() -> ExitCode {
             }
         }
     }
+    if want("bench8") {
+        known = true;
+        let json = bench::bench8::bench_8_json(quick);
+        emit(format!(
+            "BENCH_8: synchronization under conflict — commit vs broadcast vs commutative (§5.5)\n{json}"
+        ));
+        match std::fs::write("BENCH_8.json", &json) {
+            Ok(()) => emit("wrote BENCH_8.json".to_string()),
+            Err(e) => {
+                eprintln!("cannot write BENCH_8.json: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
     if want("multicast") || want("fig4.9-theory") {
         known = true;
         emit(bench::tables::fig_multicast_theory(mc_calls));
@@ -350,8 +418,8 @@ fn main() -> ExitCode {
     if !known {
         eprintln!(
             "unknown experiment(s) {wanted:?}; known: table4.1 table4.2 table4.3 \
-             fig4.8 bench4 bench5 bench6 multicast eq5.1 fig6.3 table7.1 ablation.waiting \
-             ablation.sync ablation.protocol"
+             fig4.8 bench4 bench5 bench6 bench7 bench8 multicast eq5.1 fig6.3 table7.1 \
+             ablation.waiting ablation.sync ablation.protocol"
         );
         return ExitCode::from(2);
     }

@@ -11,11 +11,12 @@ pub mod ablations;
 pub mod bench5;
 pub mod bench6;
 pub mod bench7;
+pub mod bench8;
 pub mod tables;
 pub mod testbed;
 
 pub use ablations::{
-    ablation_protocol, ablation_sync, ablation_waiting, run_commit_protocol, run_ordered_broadcast,
-    run_waiting_policy, SyncOutcome,
+    ablation_protocol, ablation_sync, ablation_waiting, run_commit_protocol, run_commutative,
+    run_ordered_broadcast, run_waiting_policy, SyncOutcome,
 };
 pub use testbed::{run_circus_echo, run_multicast_call, run_tcp_echo, run_udp_echo, EchoResult};

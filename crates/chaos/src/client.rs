@@ -9,6 +9,22 @@
 //! audit exactly-once execution against the store members' commit
 //! ledgers.
 //!
+//! [`ChaosBroadcaster`] drives the ordered broadcast protocol (§5.4)
+//! through the same binding story, with the retry discipline the
+//! protocol's safety depends on: proposals go to *every* member
+//! ([`strict_max_time_collation`]) so each member holds a queue
+//! placeholder that blocks later messages, accepts must be acknowledged
+//! by *every* member ([`all_ack_collation`]) so no member's applied
+//! order silently falls behind, and once an accept has been sent the
+//! broadcast never re-proposes — every retry carries the same accepted
+//! time and payload, so a partially delivered accept can only be
+//! completed, never contradicted.
+//!
+//! [`ChaosCmClient`] submits commutative operations (counter increments,
+//! set inserts): no phases, no locks — a failed call is retried under
+//! the *same* idempotence id until every member has acknowledged it,
+//! which is all that convergence needs.
+//!
 //! [`RemoveAgent`] issues one replicated `remove_troupe_member` call —
 //! the manual configuration-manager eviction of §6.4.2. The scenario no
 //! longer uses it (the Ringmaster's self-healing agent evicts confirmed
@@ -21,7 +37,11 @@ use circus::{
 };
 use ringmaster::{ImportCache, RemoveTroupeMember};
 use simnet::Duration;
-use transactions::{Backoff, ExecuteRequest, Op, TxnOutcome, PROC_EXECUTE};
+use transactions::{
+    all_ack_collation, strict_max_time_collation, Accept, Backoff, CmOp, CmRequest, ExecuteRequest,
+    Op, Propose, TxnOutcome, PROC_ACCEPT_TIME, PROC_CM_EXECUTE, PROC_EXECUTE,
+    PROC_GET_PROPOSED_TIME,
+};
 use wire::{from_bytes, to_bytes};
 
 use circus::binding::binding_procs;
@@ -315,6 +335,458 @@ impl Agent for RemoveAgent {
         self.done = true;
         if let Err(e) = result {
             self.failed = Some(format!("remove_troupe_member failed: {e}"));
+        }
+    }
+}
+
+/// Phase of one chaos broadcast in flight. Once an accept has been
+/// sent, the broadcast never falls back to proposing: a re-propose
+/// after a partially delivered accept could mint a second accepted time
+/// and split the troupe's applied order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum BcPhase {
+    Proposing,
+    Accepting,
+}
+
+/// One broadcast in flight. The payload rides along because the accept
+/// carries it (a member that missed the proposal installs the message
+/// from the accept), and `accepted_time` is fixed forever at the
+/// Proposing→Accepting transition.
+#[derive(Clone, Debug)]
+struct BcInFlight {
+    phase: BcPhase,
+    msg_id: u64,
+    payload: Vec<u8>,
+    accepted_time: u64,
+}
+
+/// What a chaos workload client's one in-flight call is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum WorkPending {
+    /// A name lookup or rebind at the binding agent.
+    Binding,
+    /// The workload call itself.
+    Work,
+}
+
+/// An ordered-broadcast client that binds by name, rebinds when stale,
+/// and retries through faults without ever violating the protocol's
+/// retry discipline (propose to all, accept to all, accept retries
+/// reuse the agreed time).
+pub struct ChaosBroadcaster {
+    binder: Troupe,
+    name: String,
+    module: u16,
+    cache: ImportCache,
+    script: Vec<Vec<u8>>,
+    next: usize,
+    next_msg_id: u64,
+    inflight: Option<BcInFlight>,
+    pending: Option<WorkPending>,
+    backoff: Backoff,
+    retries_left: u32,
+    /// Message ids whose accept every member acknowledged — each must
+    /// appear in every member's applied order at quiesce.
+    pub confirmed: Vec<u64>,
+    /// How many times a stale binding forced a rebind.
+    pub rebinds: u32,
+    /// Unrecoverable failures.
+    pub errors: Vec<String>,
+}
+
+impl ChaosBroadcaster {
+    /// A broadcaster importing `name` from `binder`; `id_base` must be
+    /// unique per broadcaster (message ids are `id_base`, `id_base+1`…).
+    pub fn new(
+        binder: Troupe,
+        name: impl Into<String>,
+        module: u16,
+        id_base: u64,
+        script: Vec<Vec<u8>>,
+    ) -> ChaosBroadcaster {
+        ChaosBroadcaster {
+            binder,
+            name: name.into(),
+            module,
+            cache: ImportCache::new(),
+            script,
+            next: 0,
+            next_msg_id: id_base,
+            inflight: None,
+            pending: None,
+            backoff: Backoff::default_1985(),
+            retries_left: 300,
+            confirmed: Vec::new(),
+            rebinds: 0,
+            errors: Vec::new(),
+        }
+    }
+
+    /// `true` once every scripted message has been confirmed (or the
+    /// client failed hard).
+    pub fn finished(&self) -> bool {
+        (self.next >= self.script.len() && self.inflight.is_none()) || !self.errors.is_empty()
+    }
+
+    /// Appends one more message to the script (quiesce probes). Poke
+    /// the client afterwards if it had finished.
+    pub fn enqueue(&mut self, payload: Vec<u8>) {
+        self.script.push(payload);
+    }
+
+    fn lookup(&mut self, nc: &mut NodeCtx<'_, '_, '_>, rebind: bool) {
+        let (proc, args) = if rebind {
+            self.cache.rebind_request(&self.name)
+        } else {
+            ImportCache::lookup_request(&self.name)
+        };
+        self.pending = Some(WorkPending::Binding);
+        let thread = nc.fresh_thread();
+        let binder = self.binder.clone();
+        nc.call(
+            thread,
+            &binder,
+            BINDING_MODULE,
+            proc,
+            args,
+            CollationPolicy::Majority,
+        );
+    }
+
+    /// Sends (or resends) the current phase of the in-flight broadcast,
+    /// or starts the next scripted one.
+    fn drive(&mut self, nc: &mut NodeCtx<'_, '_, '_>) {
+        if self.pending.is_some() || !self.errors.is_empty() {
+            return;
+        }
+        if self.inflight.is_none() {
+            if self.next >= self.script.len() {
+                return;
+            }
+            let payload = self.script[self.next].clone();
+            self.next += 1;
+            let msg_id = self.next_msg_id;
+            self.next_msg_id += 1;
+            self.inflight = Some(BcInFlight {
+                phase: BcPhase::Proposing,
+                msg_id,
+                payload,
+                accepted_time: 0,
+            });
+        }
+        let Some(troupe) = self.cache.get(&self.name).cloned() else {
+            self.lookup(nc, false);
+            return;
+        };
+        let inflight = self.inflight.clone().expect("broadcast in flight");
+        self.pending = Some(WorkPending::Work);
+        let thread = nc.fresh_thread();
+        let _ = match inflight.phase {
+            // A proposal (or proposal retry: the members' idempotence
+            // cache answers duplicates with the stored time) must reach
+            // every member, so each holds a queue placeholder that
+            // blocks later messages until this one resolves.
+            BcPhase::Proposing => nc.call(
+                thread,
+                &troupe,
+                self.module,
+                PROC_GET_PROPOSED_TIME,
+                to_bytes(&Propose {
+                    msg_id: inflight.msg_id,
+                    payload: inflight.payload,
+                }),
+                strict_max_time_collation(),
+            ),
+            // The accept must be acknowledged by every member — a
+            // member that never hears it would silently diverge — and
+            // every retry carries the same agreed time and payload.
+            BcPhase::Accepting => nc.call(
+                thread,
+                &troupe,
+                self.module,
+                PROC_ACCEPT_TIME,
+                to_bytes(&Accept {
+                    msg_id: inflight.msg_id,
+                    accepted_time: inflight.accepted_time,
+                    payload: inflight.payload,
+                }),
+                all_ack_collation(),
+            ),
+        };
+    }
+
+    fn retry_later(&mut self, nc: &mut NodeCtx<'_, '_, '_>, why: &str) {
+        if self.retries_left == 0 {
+            self.errors.push(format!("gave up after retries: {why}"));
+            return;
+        }
+        self.retries_left -= 1;
+        let delay = self.backoff.next_delay(nc.sim().rng());
+        nc.set_app_timer(delay, RETRY_KEY);
+    }
+}
+
+impl Agent for ChaosBroadcaster {
+    fn on_poke(&mut self, nc: &mut NodeCtx<'_, '_, '_>, _tag: u64) {
+        self.drive(nc);
+    }
+
+    fn on_call_done(
+        &mut self,
+        nc: &mut NodeCtx<'_, '_, '_>,
+        _handle: CallHandle,
+        result: Result<Vec<u8>, CallError>,
+    ) {
+        let Some(pending) = self.pending.take() else {
+            return;
+        };
+        if pending == WorkPending::Binding {
+            match result {
+                Ok(bytes) => {
+                    if self.cache.store_reply(&self.name, &bytes).is_none() {
+                        self.retry_later(nc, "name not bound");
+                        return;
+                    }
+                }
+                Err(e) => {
+                    self.retry_later(nc, &format!("lookup failed: {e}"));
+                    return;
+                }
+            }
+            self.drive(nc);
+            return;
+        }
+        let Some(inflight) = self.inflight.clone() else {
+            return;
+        };
+        match result {
+            Ok(bytes) => match inflight.phase {
+                BcPhase::Proposing => {
+                    let Ok(max) = from_bytes::<u64>(&bytes) else {
+                        self.errors.push("garbled max proposal".into());
+                        return;
+                    };
+                    self.inflight = Some(BcInFlight {
+                        phase: BcPhase::Accepting,
+                        accepted_time: max,
+                        ..inflight
+                    });
+                    self.drive(nc);
+                }
+                BcPhase::Accepting => {
+                    self.confirmed.push(inflight.msg_id);
+                    self.inflight = None;
+                    self.backoff.reset();
+                    self.retries_left = 300;
+                    if self.next < self.script.len() {
+                        let think = 200_000 + nc.sim().rng().below(2 * THINK_MEAN_US);
+                        nc.set_app_timer(Duration::from_micros(think), RETRY_KEY);
+                    }
+                }
+            },
+            Err(e) if ImportCache::should_rebind(&e) => {
+                self.cache.invalidate(&self.name);
+                self.rebinds += 1;
+                self.lookup(nc, true);
+            }
+            Err(e) => self.retry_later(nc, &format!("broadcast call failed: {e}")),
+        }
+    }
+
+    fn on_app_timer(&mut self, nc: &mut NodeCtx<'_, '_, '_>, key: TimerKey) {
+        if key == RETRY_KEY {
+            self.drive(nc);
+        }
+    }
+}
+
+/// A commutative-operations client that binds by name, rebinds when
+/// stale, and retries each failed batch under the *same* idempotence id
+/// until every member has acknowledged it.
+pub struct ChaosCmClient {
+    binder: Troupe,
+    name: String,
+    module: u16,
+    cache: ImportCache,
+    script: Vec<Vec<CmOp>>,
+    next: usize,
+    next_op_id: u64,
+    inflight: Option<(u64, Vec<CmOp>)>,
+    pending: Option<WorkPending>,
+    backoff: Backoff,
+    retries_left: u32,
+    /// Idempotence ids every member acknowledged — each must be in
+    /// every member's seen ledger at quiesce.
+    pub confirmed: Vec<u64>,
+    /// How many times a stale binding forced a rebind.
+    pub rebinds: u32,
+    /// Unrecoverable failures.
+    pub errors: Vec<String>,
+}
+
+impl ChaosCmClient {
+    /// A client importing `name` from `binder`; `id_base` must be
+    /// unique per client.
+    pub fn new(
+        binder: Troupe,
+        name: impl Into<String>,
+        module: u16,
+        id_base: u64,
+        script: Vec<Vec<CmOp>>,
+    ) -> ChaosCmClient {
+        ChaosCmClient {
+            binder,
+            name: name.into(),
+            module,
+            cache: ImportCache::new(),
+            script,
+            next: 0,
+            next_op_id: id_base,
+            inflight: None,
+            pending: None,
+            backoff: Backoff::default_1985(),
+            retries_left: 300,
+            confirmed: Vec::new(),
+            rebinds: 0,
+            errors: Vec::new(),
+        }
+    }
+
+    /// `true` once every scripted batch has been confirmed (or the
+    /// client failed hard).
+    pub fn finished(&self) -> bool {
+        (self.next >= self.script.len() && self.inflight.is_none()) || !self.errors.is_empty()
+    }
+
+    /// Appends one more batch to the script (quiesce probes). Poke the
+    /// client afterwards if it had finished.
+    pub fn enqueue(&mut self, ops: Vec<CmOp>) {
+        self.script.push(ops);
+    }
+
+    fn lookup(&mut self, nc: &mut NodeCtx<'_, '_, '_>, rebind: bool) {
+        let (proc, args) = if rebind {
+            self.cache.rebind_request(&self.name)
+        } else {
+            ImportCache::lookup_request(&self.name)
+        };
+        self.pending = Some(WorkPending::Binding);
+        let thread = nc.fresh_thread();
+        let binder = self.binder.clone();
+        nc.call(
+            thread,
+            &binder,
+            BINDING_MODULE,
+            proc,
+            args,
+            CollationPolicy::Majority,
+        );
+    }
+
+    /// Sends (or resends, under the same `op_id`) the current batch, or
+    /// starts the next scripted one.
+    fn drive(&mut self, nc: &mut NodeCtx<'_, '_, '_>) {
+        if self.pending.is_some() || !self.errors.is_empty() {
+            return;
+        }
+        if self.inflight.is_none() {
+            if self.next >= self.script.len() {
+                return;
+            }
+            let ops = self.script[self.next].clone();
+            self.next += 1;
+            let op_id = self.next_op_id;
+            self.next_op_id += 1;
+            self.inflight = Some((op_id, ops));
+        }
+        let Some(troupe) = self.cache.get(&self.name).cloned() else {
+            self.lookup(nc, false);
+            return;
+        };
+        let (op_id, ops) = self.inflight.clone().expect("batch in flight");
+        self.pending = Some(WorkPending::Work);
+        let thread = nc.fresh_thread();
+        // Every member must acknowledge (the ops commute, but a member
+        // that never *receives* one diverges); members that already
+        // executed this op_id answer from their seen ledger.
+        nc.call(
+            thread,
+            &troupe,
+            self.module,
+            PROC_CM_EXECUTE,
+            to_bytes(&CmRequest { op_id, ops }),
+            all_ack_collation(),
+        );
+    }
+
+    fn retry_later(&mut self, nc: &mut NodeCtx<'_, '_, '_>, why: &str) {
+        if self.retries_left == 0 {
+            self.errors.push(format!("gave up after retries: {why}"));
+            return;
+        }
+        self.retries_left -= 1;
+        let delay = self.backoff.next_delay(nc.sim().rng());
+        nc.set_app_timer(delay, RETRY_KEY);
+    }
+}
+
+impl Agent for ChaosCmClient {
+    fn on_poke(&mut self, nc: &mut NodeCtx<'_, '_, '_>, _tag: u64) {
+        self.drive(nc);
+    }
+
+    fn on_call_done(
+        &mut self,
+        nc: &mut NodeCtx<'_, '_, '_>,
+        _handle: CallHandle,
+        result: Result<Vec<u8>, CallError>,
+    ) {
+        let Some(pending) = self.pending.take() else {
+            return;
+        };
+        if pending == WorkPending::Binding {
+            match result {
+                Ok(bytes) => {
+                    if self.cache.store_reply(&self.name, &bytes).is_none() {
+                        self.retry_later(nc, "name not bound");
+                        return;
+                    }
+                }
+                Err(e) => {
+                    self.retry_later(nc, &format!("lookup failed: {e}"));
+                    return;
+                }
+            }
+            self.drive(nc);
+            return;
+        }
+        let Some((op_id, _)) = self.inflight.clone() else {
+            return;
+        };
+        match result {
+            Ok(_) => {
+                self.confirmed.push(op_id);
+                self.inflight = None;
+                self.backoff.reset();
+                self.retries_left = 300;
+                if self.next < self.script.len() {
+                    let think = 200_000 + nc.sim().rng().below(2 * THINK_MEAN_US);
+                    nc.set_app_timer(Duration::from_micros(think), RETRY_KEY);
+                }
+            }
+            Err(e) if ImportCache::should_rebind(&e) => {
+                self.cache.invalidate(&self.name);
+                self.rebinds += 1;
+                self.lookup(nc, true);
+            }
+            Err(e) => self.retry_later(nc, &format!("commutative call failed: {e}")),
+        }
+    }
+
+    fn on_app_timer(&mut self, nc: &mut NodeCtx<'_, '_, '_>, key: TimerKey) {
+        if key == RETRY_KEY {
+            self.drive(nc);
         }
     }
 }

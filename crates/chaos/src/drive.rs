@@ -1,0 +1,247 @@
+//! The shared fault driver for the workload-diversity scenarios.
+//!
+//! [`WorkloadDriver`] is the part of the broadcast and commutative chaos
+//! scenarios that is identical between them: injecting the planned
+//! faults into the world, watching the Ringmaster registry for the
+//! self-healing pipeline to restore full strength, and keeping the
+//! configlang [`ConfigManager`] — the administrative plane of §7.5.3 —
+//! in the loop on every membership change. The manager's machine
+//! database loses a machine when the driver crashes it, its
+//! `reconfigure` recomputes a satisfying placement, and after each heal
+//! the driver checks that the placement the *runtime* chose (the healer
+//! activates whatever warm spare registered first, which may differ from
+//! the solver's pick) still satisfies the troupe's specification —
+//! [`extend_troupe`] over the observed membership must be a fixed point.
+//! A heal that leaves the troupe outside its spec is a driver warning,
+//! and the sweeps treat warnings as failures.
+
+use circus::binding::{BINDING_MODULE, RINGMASTER_PORT};
+use circus::{CircusProcess, ModuleAddr, Troupe};
+use configlang::{extend_troupe, ConfigManager};
+use ringmaster::{RingmasterService, SelfHealAgent};
+use simnet::{Duration, HostId, NetConfig, Partition, SockAddr, World};
+
+use crate::plan::{Fault, PlannedFault};
+
+pub(crate) struct WorkloadDriver {
+    pub w: World,
+    pub rm_hosts: Vec<HostId>,
+    /// The name the workload troupe is registered under — both in the
+    /// Ringmaster registry and in the configuration manager.
+    pub name: &'static str,
+    pub members: Vec<ModuleAddr>,
+    /// Crashes the driver may still inject — bounded by the number of
+    /// spares spawned into the world, so the healer can always restore
+    /// full strength.
+    pub spare_budget: usize,
+    pub crashed: Vec<HostId>,
+    pub baseline: NetConfig,
+    pub warnings: Vec<String>,
+    /// The administrative plane: machine database plus troupe spec.
+    pub cm: ConfigManager,
+}
+
+impl WorkloadDriver {
+    pub fn healer_addr(&self) -> SockAddr {
+        SockAddr::new(self.rm_hosts[0], RINGMASTER_PORT)
+    }
+
+    pub fn registry_binding(&self) -> Option<Troupe> {
+        let name = self.name;
+        self.w
+            .with_proc(self.healer_addr(), |p: &CircusProcess| {
+                p.node()
+                    .service_as::<RingmasterService>(BINDING_MODULE)
+                    .and_then(|s| {
+                        s.bindings()
+                            .into_iter()
+                            .find(|(n, _)| n == name)
+                            .map(|(_, t)| t)
+                    })
+            })
+            .flatten()
+    }
+
+    pub fn refresh_members(&mut self) {
+        if let Some(t) = self.registry_binding() {
+            self.members = t.members;
+        }
+    }
+
+    /// Repairs completed by the in-world [`SelfHealAgent`].
+    pub fn healed_repairs(&self) -> usize {
+        self.w
+            .with_proc(self.healer_addr(), |p: &CircusProcess| {
+                p.agent_as::<SelfHealAgent>()
+                    .map_or(0, |h| h.repairs as usize)
+            })
+            .unwrap_or(0)
+    }
+
+    /// Waits (in simulated time) for the self-healing pipeline to evict
+    /// `dead` and restore the troupe to `strength` members. The driver
+    /// performs no repair step itself — it only observes the registry.
+    fn await_self_heal(&mut self, dead: ModuleAddr, strength: usize) {
+        let deadline = self.w.now() + Duration::from_micros(60_000_000);
+        let healer = self.healer_addr();
+        let name = self.name;
+        let healed = self.w.run(simnet::Until::pred(deadline, |w| {
+            w.with_proc(healer, |p: &CircusProcess| {
+                p.node()
+                    .service_as::<RingmasterService>(BINDING_MODULE)
+                    .and_then(|s| s.lookup(name))
+                    .is_some_and(|t| {
+                        t.members.len() == strength
+                            && !t.members.iter().any(|m| m.addr == dead.addr)
+                    })
+            })
+            .unwrap_or(false)
+        }));
+        if !healed {
+            let post = self
+                .w
+                .with_proc(healer, |p: &CircusProcess| {
+                    let h = p
+                        .agent_as::<SelfHealAgent>()
+                        .map_or_else(|| "no healer".into(), |h| h.debug_state());
+                    let s = p
+                        .node()
+                        .service_as::<RingmasterService>(BINDING_MODULE)
+                        .map_or_else(
+                            || "no service".into(),
+                            |s| {
+                                format!(
+                                    "suspects={} spares={:?} binding={:?}",
+                                    s.suspect_count(),
+                                    s.spare_pools(),
+                                    s.lookup(name)
+                                )
+                            },
+                        );
+                    format!("{h}; {s}")
+                })
+                .unwrap_or_else(|| "healer process gone".into());
+            self.warnings.push(format!(
+                "self-heal after loss of {dead:?} did not complete [{post}]"
+            ));
+        }
+        self.refresh_members();
+    }
+
+    /// Crash-path bookkeeping shared by `CrashHost` and `KillProc`: tell
+    /// the administrative plane, wait for the runtime's own repair, then
+    /// check the two agree that the troupe still satisfies its spec.
+    fn lose_member(&mut self, victim: ModuleAddr, strength: usize) {
+        // The machine leaves the administrative database either way: a
+        // killed process's address is never reused for a member (its
+        // peers still remember its paired-message call numbers), so for
+        // placement purposes the machine is as gone as a crashed host.
+        self.cm.machine_down(victim.addr.host.0);
+        if let Err(e) = self.cm.reconfigure(self.name) {
+            self.warnings
+                .push(format!("configuration manager could not reconfigure: {e}"));
+        }
+        self.await_self_heal(victim, strength);
+        // The healer's spare pick is FIFO over registration order and may
+        // differ from the solver's; what matters is that the observed
+        // membership still satisfies the specification — extending the
+        // troupe from it must change nothing.
+        let actual: Vec<u32> = self.members.iter().map(|m| m.addr.host.0).collect();
+        let Some(spec) = self.cm.troupe(self.name).map(|t| t.spec.clone()) else {
+            self.warnings
+                .push(format!("troupe {:?} missing from the manager", self.name));
+            return;
+        };
+        let mut want = actual.clone();
+        want.sort_unstable();
+        match extend_troupe(&spec, self.cm.universe(), &actual) {
+            Some(mut p) => {
+                p.sort_unstable();
+                if p == want {
+                    // Reality satisfies the spec: anchor the manager to it.
+                    let _ = self.cm.note_placement(self.name, actual);
+                } else {
+                    self.warnings.push(format!(
+                        "healed placement {actual:?} is not a fixed point of the spec \
+                         (solver would use {p:?})"
+                    ));
+                }
+            }
+            None => self.warnings.push(format!(
+                "healed placement {actual:?} does not satisfy the troupe spec"
+            )),
+        }
+    }
+
+    pub fn apply(&mut self, pf: &PlannedFault) {
+        self.w.run(simnet::Until::Time(pf.at));
+        match pf.fault {
+            Fault::Partition {
+                victim_idx,
+                heal_after,
+            } => {
+                let victim = self.members[victim_idx % self.members.len()].addr.host;
+                self.w.set_partition(Partition::isolate(vec![victim]));
+                self.w.run(simnet::Until::Elapsed(heal_after));
+                self.w.set_partition(Partition::none());
+            }
+            Fault::LossBurst {
+                loss,
+                duplicate,
+                duration,
+            } => {
+                self.w.set_net(NetConfig {
+                    loss,
+                    duplicate,
+                    ..self.baseline.clone()
+                });
+                self.w.run(simnet::Until::Elapsed(duration));
+                self.w.set_net(self.baseline.clone());
+            }
+            Fault::Degrade { factor, duration } => {
+                self.w.set_net(NetConfig {
+                    base_latency: self.baseline.base_latency.saturating_mul(factor as u64),
+                    jitter_mean: self.baseline.jitter_mean.saturating_mul(factor as u64),
+                    ..self.baseline.clone()
+                });
+                self.w.run(simnet::Until::Elapsed(duration));
+                self.w.set_net(self.baseline.clone());
+            }
+            Fault::CrashHost { victim_idx } => {
+                if self.spare_budget == 0 {
+                    return;
+                }
+                self.spare_budget -= 1;
+                self.refresh_members();
+                let strength = self.members.len();
+                let victim = self.members[victim_idx % self.members.len()];
+                self.crashed.push(victim.addr.host);
+                self.w.crash_host(victim.addr.host);
+                self.lose_member(victim, strength);
+            }
+            Fault::KillProc { victim_idx } => {
+                if self.spare_budget == 0 {
+                    return;
+                }
+                self.spare_budget -= 1;
+                self.refresh_members();
+                let strength = self.members.len();
+                let victim = self.members[victim_idx % self.members.len()];
+                self.w.kill(victim.addr);
+                self.lose_member(victim, strength);
+            }
+            Fault::RestartOldest => {
+                // The host comes back up empty; its old address is never
+                // reused for a member (its peers still remember the dead
+                // process's serial numbers). It does not rejoin the
+                // machine database either: a restarted machine must be
+                // re-vetted before the administrative plane will place
+                // members on it.
+                if !self.crashed.is_empty() {
+                    let h = self.crashed.remove(0);
+                    self.w.restart_host(h);
+                }
+            }
+        }
+    }
+}

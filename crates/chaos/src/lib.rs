@@ -18,7 +18,14 @@
 //!   name-importing clients running replicated transactions concurrently
 //!   with the faults, including full crash repair (remove the dead
 //!   member, join a spare with state transfer, §6.4);
-//! - [`oracle`] — five invariants checked at quiesce: exactly-once
+//! - [`bcast`] and [`commute`] — the workload-diversity scenarios: the
+//!   same stack with the store swapped for the *ordered broadcast*
+//!   service of §5.4 (oracles: identical applied order at every member,
+//!   no starvation) and for the lock-free *commutative operations*
+//!   service (oracle: convergence without commit). Their initial
+//!   placement is solved from a configlang troupe specification, and
+//!   every crash is replayed through the configuration manager;
+//! - [`oracle`] — the invariants checked at quiesce: exactly-once
 //!   execution, replica-state convergence, transaction atomicity, no
 //!   surviving stale binding, and paired-message serial-number
 //!   monotonicity;
@@ -29,14 +36,19 @@
 
 #![warn(missing_docs)]
 
+pub mod bcast;
 pub mod client;
+pub mod commute;
+mod drive;
 pub mod harness;
 pub mod oracle;
 pub mod plan;
 pub mod recovery;
 pub mod scenario;
 
-pub use client::{RebindingClient, RemoveAgent};
+pub use bcast::{run_bcast, run_bcast_sweep, BcastOptions, BcastReport, ChaosApp};
+pub use client::{ChaosBroadcaster, ChaosCmClient, RebindingClient, RemoveAgent};
+pub use commute::{run_commute, run_commute_sweep, CommuteOptions, CommuteReport};
 #[cfg(feature = "heap_sched")]
 pub use harness::run_seed_with_heap;
 pub use harness::{

@@ -323,14 +323,17 @@ fn check_stale_bindings(q: &Quiesced, clients: &[ClientView], out: &mut Vec<Viol
     }
 }
 
-fn check_monotonicity(q: &Quiesced, out: &mut Vec<Violation>) {
+/// The serial-number-monotonicity oracle over any quiesced world: no
+/// endpoint ever sent a call number out of order or delivered a call
+/// twice (§4.2.4). Every node publishes its endpoint totals into the
+/// registry; the oracle reads them back from there rather than reaching
+/// into the protocol structs. Shared with the broadcast and commutative
+/// workload scenarios, which quiesce worlds of their own.
+pub fn check_net_monotonicity(world: &simnet::World, out: &mut Vec<Violation>) {
     const ORACLE: &str = "serial-monotonicity";
-    // Every node publishes its endpoint totals into the registry; the
-    // oracle reads them back from there rather than reaching into the
-    // protocol structs.
-    q.world.refresh_metrics();
-    let reg = q.world.metrics();
-    for addr in q.world.proc_addrs() {
+    world.refresh_metrics();
+    let reg = world.metrics();
+    for addr in world.proc_addrs() {
         let regressions = reg.get(&format!("rpc.{addr}.send_call_regressions"));
         if regressions != 0 {
             out.push(Violation {
@@ -346,6 +349,10 @@ fn check_monotonicity(q: &Quiesced, out: &mut Vec<Violation>) {
             });
         }
     }
+}
+
+fn check_monotonicity(q: &Quiesced, out: &mut Vec<Violation>) {
+    check_net_monotonicity(&q.world, out);
 }
 
 fn check_replication(q: &Quiesced, out: &mut Vec<Violation>) {

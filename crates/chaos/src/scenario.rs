@@ -106,11 +106,12 @@ pub struct Quiesced {
 
 /// Registers the store troupe with the Ringmaster from a third-party
 /// administrative process (§6.3: clients need only the binding agent's
-/// well-known address).
-struct Registrar {
-    binder: Troupe,
-    req: RegisterTroupe,
-    id: Option<TroupeId>,
+/// well-known address). Shared with the broadcast and commutative
+/// workload scenarios.
+pub(crate) struct Registrar {
+    pub(crate) binder: Troupe,
+    pub(crate) req: RegisterTroupe,
+    pub(crate) id: Option<TroupeId>,
 }
 
 impl Agent for Registrar {

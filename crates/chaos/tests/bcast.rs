@@ -1,0 +1,97 @@
+//! The ordered-broadcast chaos sweep: ten seeds, full fault schedules,
+//! identical-applied-order and no-starvation oracles, plus a forced
+//! kill-mid-broadcast regression for spare rejoin with broadcast state.
+
+use chaos::{
+    chaos_jobs, run_bcast, run_bcast_sweep, sweep_seeds, BcastOptions, Fault, PlannedFault,
+};
+use simnet::{Duration, Time};
+
+#[test]
+fn bcast_sweep_holds_the_oracles() {
+    let seeds = sweep_seeds(1..11);
+    let replaying = std::env::var("CHAOS_SEED").is_ok();
+    let opts = BcastOptions::default();
+    let reports = run_bcast_sweep(&seeds, &opts, chaos_jobs());
+    let mut failures = Vec::new();
+    let mut repairs = 0usize;
+    let mut broadcasts = 0usize;
+    for r in &reports {
+        println!(
+            "seed {:>3}: {} faults, {} repairs, {} broadcasts, {} rebinds, trace {:#018x} \
+             over {} events{}",
+            r.seed,
+            r.faults,
+            r.repairs,
+            r.broadcasts,
+            r.rebinds,
+            r.trace_hash,
+            r.trace_events,
+            if r.passed() { "" } else { "  FAILED" },
+        );
+        repairs += r.repairs;
+        broadcasts += r.broadcasts;
+        if !r.passed() {
+            failures.push(r.failure_summary());
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {} broadcast chaos runs failed:\n{}",
+        failures.len(),
+        reports.len(),
+        failures.join("\n")
+    );
+    if !replaying {
+        // Across ten full fault schedules the sweep must actually have
+        // exercised the repair pipeline and the workload.
+        assert!(repairs > 0, "no crash was ever repaired across the sweep");
+        assert!(
+            broadcasts >= seeds.len() * 2 * 30,
+            "fewer broadcasts than scripts imply: {broadcasts}"
+        );
+    }
+}
+
+#[test]
+fn bcast_same_seed_is_bit_identical() {
+    let opts = BcastOptions::default();
+    let a = run_bcast(3, &opts);
+    let b = run_bcast(3, &opts);
+    assert_eq!(a.trace_hash, b.trace_hash, "trace hashes diverge");
+    assert_eq!(a.trace_events, b.trace_events);
+    assert_eq!(a.cpu_total, b.cpu_total);
+    assert_eq!(a.net, b.net);
+    assert_eq!(a.metrics_json, b.metrics_json, "metrics dumps diverge");
+    assert_eq!(a.span_hash, b.span_hash, "span hashes diverge");
+}
+
+/// The spare-rejoin regression: kill a member in the middle of the
+/// broadcast storm, let the healer join a spare via state transfer, and
+/// require the rejoined member to agree byte-for-byte on the applied
+/// order — exactly what `get_state`/`set_state` dropping the queue,
+/// position, or applied history would break.
+#[test]
+fn killed_member_mid_broadcast_rejoins_with_identical_order() {
+    let opts = BcastOptions {
+        override_faults: Some(vec![
+            PlannedFault {
+                at: Time::from_micros(20_000_000),
+                fault: Fault::KillProc { victim_idx: 1 },
+            },
+            PlannedFault {
+                at: Time::from_micros(45_000_000),
+                fault: Fault::Partition {
+                    victim_idx: 0,
+                    heal_after: Duration::from_micros(1_500_000),
+                },
+            },
+        ]),
+        ..BcastOptions::default()
+    };
+    for seed in [7, 8] {
+        let r = run_bcast(seed, &opts);
+        assert_eq!(r.repairs, 1, "seed {seed}: the kill was not repaired");
+        assert!(r.passed(), "{}", r.failure_summary());
+    }
+}

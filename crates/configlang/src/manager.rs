@@ -168,6 +168,22 @@ impl ConfigManager {
     pub fn machine_down(&mut self, id: u32) {
         self.universe.machines.retain(|m| m.id != id);
     }
+
+    /// Reconciles the manager's view with an externally observed
+    /// placement. A runtime with its own repair pipeline (the
+    /// Ringmaster's self-healing agent activates whatever warm spare
+    /// registered first) may legitimately pick a different satisfying
+    /// member than the solver would; recording what actually happened
+    /// keeps later [`reconfigure`](ConfigManager::reconfigure) deltas
+    /// anchored to reality instead of to a stale plan.
+    pub fn note_placement(&mut self, name: &str, placement: Vec<u32>) -> Result<(), ConfigError> {
+        let entry = self
+            .troupes
+            .get_mut(name)
+            .ok_or_else(|| ConfigError::Unknown(name.to_string()))?;
+        entry.placement = placement;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -239,6 +255,27 @@ mod tests {
             .unwrap();
         let actions = cm.reconfigure("fs").unwrap();
         assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn note_placement_anchors_later_deltas() {
+        let mut cm = ConfigManager::new(universe());
+        cm.instantiate("fs", "troupe(x, y) where x.memory >= 9 and y.memory >= 9")
+            .unwrap();
+        // The runtime's own repair pipeline put the troupe on 4 and 5.
+        cm.note_placement("fs", vec![4, 5]).unwrap();
+        assert_eq!(cm.troupe("fs").unwrap().placement, vec![4, 5]);
+        // A later reconfiguration keeps those survivors.
+        cm.machine_down(4);
+        cm.reconfigure("fs").unwrap();
+        let after = cm.troupe("fs").unwrap().placement.clone();
+        assert!(after.contains(&5), "observed survivor kept");
+        assert!(!after.contains(&4));
+        assert_eq!(after.len(), 2);
+        assert!(matches!(
+            cm.note_placement("nope", vec![1]),
+            Err(ConfigError::Unknown(_))
+        ));
     }
 
     #[test]

@@ -15,11 +15,20 @@
 //!   (which re-incarnates the troupe), and unwedge.
 //!
 //! Wedging before the state fetch closes the window [`JoinAgent`]
-//! (crate::reconfigure::JoinAgent) merely shrinks: a commit cannot land
-//! between the snapshot and the membership change because the survivors
-//! abort new work and drain in-flight transactions first. The wedge is
-//! leased — survivors lapse it on a TTL — so a spare that crashes
-//! mid-activation cannot wedge the troupe forever.
+//! (crate::reconfigure::JoinAgent) merely shrinks: no state change can
+//! land between the snapshot and the membership change because the
+//! survivors refuse new work and drain what is in flight first. The
+//! contract is the generic wedge/`get_state`/`set_state` trio of the
+//! reserved procedure space, not anything store-specific: the
+//! transactional store drains its commits, the ordered-broadcast module
+//! carries its whole protocol state across (applied order, logical-clock
+//! position, the queue with in-flight placeholders, and the idempotence
+//! cache, so a client retrying an accept against the rejoined member
+//! gets the same answer the dead one would have given), and the
+//! commutative-operations module ships its counters, sets, and dedup
+//! ledger. Any module implementing the trio rejoins through this one
+//! path. The wedge is leased — survivors lapse it on a TTL — so a spare
+//! that crashes mid-activation cannot wedge the troupe forever.
 
 use circus::binding::{binding_procs, reserved_procs, BINDING_MODULE};
 use circus::{

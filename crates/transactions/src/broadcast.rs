@@ -14,17 +14,51 @@
 //! `accept_time(message, max)`. A member processes a queued message only
 //! once it is accepted, its time has arrived, and no earlier-proposed
 //! message remains unaccepted.
+//!
+//! Fault coverage forced three hardenings beyond Figure 5.1:
+//!
+//! * **Orphan GC.** A broadcaster that dies between the two phases
+//!   leaves a `Proposed` entry that would head the queue forever and
+//!   stall every later message. A proposal older than the TTL is
+//!   discarded when it blocks the drain. GC is safe against a *slow*
+//!   (not dead) broadcaster because `accept_time` carries the payload
+//!   and reinstalls a collected entry at the agreed time.
+//! * **Idempotence.** Applied messages are remembered with their
+//!   accepted time and result: a duplicated or retried `accept_time`
+//!   replies the cached result instead of re-applying, and a duplicated
+//!   `get_proposed_time` replies the *stored* accepted time instead of
+//!   re-queuing, so retries and network duplicates cannot reorder
+//!   members. (The cache grows with the run; a real system would prune
+//!   it against a client-acknowledged watermark.)
+//! * **Full state transfer.** `get_state`/`set_state` externalize the
+//!   queue, the applied order, and the idempotence cache along with the
+//!   application snapshot, so a spare that rejoins mid-broadcast
+//!   continues the protocol instead of replying "unknown message" and
+//!   diverging.
 
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use circus::{Collate, CollationPolicy, Decision, Service, ServiceCtx, Step, VoteSlot};
+use simnet::{Duration, Time};
 use wire::{from_bytes, to_bytes, Bytes, Externalize, Internalize, Reader, WireError, Writer};
 
 /// Procedure number of `get_proposed_time`.
 pub const PROC_GET_PROPOSED_TIME: u16 = 0;
 /// Procedure number of `accept_time`.
 pub const PROC_ACCEPT_TIME: u16 = 1;
+
+/// Default GC horizon for orphaned proposals, in simulated microseconds.
+/// It must comfortably exceed the longest partition plus the slowest
+/// client's accept-retry backoff, so a proposal is only ever collected
+/// when its broadcaster is genuinely gone — a reinstalling accept after
+/// GC is *correct* (see the module docs) but costs an extra queue pass.
+pub const DEFAULT_PROPOSAL_TTL_US: u64 = 30_000_000;
+
+/// How long a wedge (§6.4.1's quiescence for state transfer) holds
+/// without being released, mirroring the store's lease: an abandoned
+/// reconfiguration must not refuse broadcasts forever.
+const WEDGE_TTL: Duration = Duration::from_micros(12_000_000);
 
 /// Argument of `get_proposed_time`.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -52,19 +86,51 @@ impl Internalize for Propose {
     }
 }
 
-/// Argument of `accept_time`.
+/// Zero-copy view of a [`Propose`], borrowing the payload from the
+/// datagram buffer. `Internalize` cannot express the borrow (it returns
+/// `Self` for an anonymous reader lifetime), so the borrowed decode is
+/// an inherent parser; the service copies the payload exactly once, into
+/// the refcounted queue entry.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ProposeRef<'a> {
+    /// Client-unique message identifier.
+    pub msg_id: u64,
+    /// The message payload, borrowed from the call arguments.
+    pub payload: &'a [u8],
+}
+
+impl<'a> ProposeRef<'a> {
+    /// Decodes the `get_proposed_time` arguments without allocating.
+    pub fn parse(args: &'a [u8]) -> Result<ProposeRef<'a>, WireError> {
+        let mut r = Reader::new(args);
+        let msg_id = r.get_u64()?;
+        let payload = r.get_bytes_borrowed()?;
+        r.expect_end()?;
+        Ok(ProposeRef { msg_id, payload })
+    }
+}
+
+/// Argument of `accept_time`.
+///
+/// Carrying the payload makes the accept *self-contained*: a member that
+/// never saw the proposal — a rejoined spare, or one whose orphan GC
+/// already collected the entry — installs the message directly at the
+/// agreed time instead of failing the broadcast.
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Accept {
     /// The message being accepted.
     pub msg_id: u64,
     /// The maximum proposed time, now its acceptance time.
     pub accepted_time: u64,
+    /// The message payload (see above).
+    pub payload: Vec<u8>,
 }
 
 impl Externalize for Accept {
     fn externalize(&self, w: &mut Writer) {
         w.put_u64(self.msg_id);
         w.put_u64(self.accepted_time);
+        w.put_bytes(&self.payload);
     }
 }
 
@@ -73,6 +139,34 @@ impl Internalize for Accept {
         Ok(Accept {
             msg_id: r.get_u64()?,
             accepted_time: r.get_u64()?,
+            payload: r.get_bytes()?,
+        })
+    }
+}
+
+/// Zero-copy view of an [`Accept`] (see [`ProposeRef`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AcceptRef<'a> {
+    /// The message being accepted.
+    pub msg_id: u64,
+    /// The maximum proposed time, now its acceptance time.
+    pub accepted_time: u64,
+    /// The message payload, borrowed from the call arguments.
+    pub payload: &'a [u8],
+}
+
+impl<'a> AcceptRef<'a> {
+    /// Decodes the `accept_time` arguments without allocating.
+    pub fn parse(args: &'a [u8]) -> Result<AcceptRef<'a>, WireError> {
+        let mut r = Reader::new(args);
+        let msg_id = r.get_u64()?;
+        let accepted_time = r.get_u64()?;
+        let payload = r.get_bytes_borrowed()?;
+        r.expect_end()?;
+        Ok(AcceptRef {
+            msg_id,
+            accepted_time,
+            payload,
         })
     }
 }
@@ -101,6 +195,23 @@ enum QStatus {
     Accepted,
 }
 
+impl QStatus {
+    fn to_wire(self) -> u16 {
+        match self {
+            QStatus::Proposed => 0,
+            QStatus::Accepted => 1,
+        }
+    }
+
+    fn from_wire(w: u16) -> Option<QStatus> {
+        match w {
+            0 => Some(QStatus::Proposed),
+            1 => Some(QStatus::Accepted),
+            _ => None,
+        }
+    }
+}
+
 #[derive(Clone, Debug)]
 struct QEntry {
     /// Shared handle on the proposed message bytes: requeuing on accept
@@ -121,6 +232,12 @@ pub struct OrderedBroadcastService<A: OrderedApply> {
     /// The order in which messages were accepted for processing
     /// (observable by tests: must be identical at every member).
     pub applied_order: Vec<u64>,
+    /// Idempotence cache: applied message → (accepted time, result).
+    applied: BTreeMap<u64, (u64, Vec<u8>)>,
+    /// GC horizon for orphaned proposals (simulated µs).
+    proposal_ttl_us: u64,
+    /// Wedged for a membership change; lapses after [`WEDGE_TTL`].
+    wedged_at: Option<Time>,
 }
 
 impl<A: OrderedApply> OrderedBroadcastService<A> {
@@ -131,7 +248,16 @@ impl<A: OrderedApply> OrderedBroadcastService<A> {
             queue: BTreeMap::new(),
             position: BTreeMap::new(),
             applied_order: Vec::new(),
+            applied: BTreeMap::new(),
+            proposal_ttl_us: DEFAULT_PROPOSAL_TTL_US,
+            wedged_at: None,
         }
+    }
+
+    /// Overrides the orphan-GC horizon (tests use short horizons).
+    pub fn with_proposal_ttl(mut self, ttl_us: u64) -> OrderedBroadcastService<A> {
+        self.proposal_ttl_us = ttl_us;
+        self
     }
 
     /// Read access to the application.
@@ -139,13 +265,51 @@ impl<A: OrderedApply> OrderedBroadcastService<A> {
         &self.app
     }
 
+    /// Messages still queued (proposed or accepted-but-undrained). A
+    /// quiesced, starvation-free member has an empty queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Order-sensitive digest of the replicated state: the application
+    /// snapshot plus the applied order. Equal at every member iff the
+    /// members applied the same messages in the same order.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = fnv(FNV_OFFSET, &self.app.snapshot());
+        for id in &self.applied_order {
+            h = fnv(h, &id.to_be_bytes());
+        }
+        h
+    }
+
+    fn lapse_wedge(&mut self, now: Time) {
+        if let Some(at) = self.wedged_at {
+            if now.since(at) > WEDGE_TTL {
+                self.wedged_at = None;
+            }
+        }
+    }
+
     /// Processes the queue head while it is accepted and due (Figure
-    /// 5.1's loop). Returns the result of processing `for_msg` if that
+    /// 5.1's loop), collecting orphaned proposals past the TTL out of
+    /// the way. Returns the result of processing `for_msg` if that
     /// message was among those applied.
-    fn drain(&mut self, now: u64, for_msg: u64) -> Option<Vec<u8>> {
+    fn drain(&mut self, now: u64, for_msg: u64, metrics: &obs::Registry) -> Option<Vec<u8>> {
         let mut wanted = None;
         while let Some((&(time, msg_id), entry)) = self.queue.iter().next() {
-            if entry.status == QStatus::Proposed || time > now {
+            if entry.status == QStatus::Proposed {
+                if now.saturating_sub(time) >= self.proposal_ttl_us {
+                    // The broadcaster died between the phases (or is so
+                    // slow its accept will reinstall the entry anyway):
+                    // stop it stalling everything behind it.
+                    self.queue.remove(&(time, msg_id));
+                    self.position.remove(&msg_id);
+                    metrics.add("bcast.gc_orphans", 1);
+                    continue;
+                }
+                break;
+            }
+            if time > now {
                 break;
             }
             let payload = entry.payload.clone();
@@ -153,6 +317,7 @@ impl<A: OrderedApply> OrderedBroadcastService<A> {
             self.position.remove(&msg_id);
             let result = self.app.apply(&payload);
             self.applied_order.push(msg_id);
+            self.applied.insert(msg_id, (time, result.clone()));
             if msg_id == for_msg {
                 wanted = Some(result);
             }
@@ -161,22 +326,54 @@ impl<A: OrderedApply> OrderedBroadcastService<A> {
     }
 }
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 impl<A: OrderedApply> Service for OrderedBroadcastService<A> {
     fn dispatch(&mut self, ctx: &mut ServiceCtx, proc: u16, args: &[u8]) -> Step {
+        self.lapse_wedge(ctx.now);
+        if self.wedged_at.is_some() {
+            // Refuse work while quiescing for a membership change; the
+            // client retries with backoff and lands on the re-incarnated
+            // troupe (or back here once the wedge lapses).
+            return Step::Error("ordered broadcast: wedged for membership change".into());
+        }
         match proc {
             PROC_GET_PROPOSED_TIME => {
-                let Ok(p) = from_bytes::<Propose>(args) else {
+                let Ok(p) = ProposeRef::parse(args) else {
                     return Step::Error("bad get_proposed_time arguments".into());
                 };
+                if let Some(&(time, _)) = self.applied.get(&p.msg_id) {
+                    // Duplicate of a message already applied: replying
+                    // the *stored* accepted time keeps any late collation
+                    // from moving the message.
+                    ctx.metrics.add("bcast.dup_proposes", 1);
+                    return Step::Reply(to_bytes(&time));
+                }
+                if let Some(&(time, _)) = self.position.get(&p.msg_id) {
+                    let entry = &self.queue[&(time, p.msg_id)];
+                    if entry.status == QStatus::Accepted {
+                        // Already accepted here: the agreed time stands.
+                        ctx.metrics.add("bcast.dup_proposes", 1);
+                        return Step::Reply(to_bytes(&time));
+                    }
+                    // A retried proposal round replaces the stale entry.
+                    self.queue.remove(&(time, p.msg_id));
+                    self.position.remove(&p.msg_id);
+                }
                 // Propose the current (synchronized) clock reading.
                 let time = ctx.now.as_micros();
-                if let Some(old) = self.position.remove(&p.msg_id) {
-                    self.queue.remove(&old);
-                }
                 self.queue.insert(
                     (time, p.msg_id),
                     QEntry {
-                        payload: p.payload.into(),
+                        payload: simnet::Payload::copy_from(p.payload),
                         status: QStatus::Proposed,
                     },
                 );
@@ -184,23 +381,40 @@ impl<A: OrderedApply> Service for OrderedBroadcastService<A> {
                 Step::Reply(to_bytes(&time))
             }
             PROC_ACCEPT_TIME => {
-                let Ok(a) = from_bytes::<Accept>(args) else {
+                let Ok(a) = AcceptRef::parse(args) else {
                     return Step::Error("bad accept_time arguments".into());
                 };
-                let Some(old) = self.position.remove(&a.msg_id) else {
-                    return Step::Error("accept_time for unknown message".into());
+                if let Some((_, result)) = self.applied.get(&a.msg_id) {
+                    // Duplicate or retried accept for an applied message:
+                    // reply the cached result, never re-apply.
+                    ctx.metrics.add("bcast.dup_accepts", 1);
+                    return Step::Reply(to_bytes(&Bytes(result.clone())));
+                }
+                let payload = match self.position.remove(&a.msg_id) {
+                    Some(old) => {
+                        self.queue
+                            .remove(&old)
+                            .expect("positioned entry exists")
+                            .payload
+                    }
+                    None => {
+                        // This member never saw the proposal (rejoined
+                        // spare, or the orphan GC collected it): the
+                        // accept is self-contained, install it.
+                        ctx.metrics.add("bcast.accept_installs", 1);
+                        simnet::Payload::copy_from(a.payload)
+                    }
                 };
-                let entry = self.queue.remove(&old).expect("positioned entry exists");
                 self.queue.insert(
                     (a.accepted_time, a.msg_id),
                     QEntry {
-                        payload: entry.payload,
+                        payload,
                         status: QStatus::Accepted,
                     },
                 );
                 self.position.insert(a.msg_id, (a.accepted_time, a.msg_id));
                 ctx.metrics.add("bcast.accepted", 1);
-                let result = self.drain(ctx.now.as_micros(), a.msg_id);
+                let result = self.drain(ctx.now.as_micros(), a.msg_id, &ctx.metrics);
                 // The reply carries the application's result once the
                 // message has actually been processed; a message stalled
                 // behind an unaccepted earlier proposal replies empty
@@ -214,12 +428,75 @@ impl<A: OrderedApply> Service for OrderedBroadcastService<A> {
         }
     }
 
+    fn wedge(&mut self, ctx: &mut ServiceCtx) -> Step {
+        // Every dispatch completes synchronously — there is nothing in
+        // flight to drain — so the wedge lands immediately; dispatch
+        // refuses new work until the unwedge (or the TTL lapse).
+        self.lapse_wedge(ctx.now);
+        if self.wedged_at.is_none() {
+            self.wedged_at = Some(ctx.now);
+        }
+        Step::Reply(Vec::new())
+    }
+
+    fn unwedge(&mut self) {
+        self.wedged_at = None;
+    }
+
     fn get_state(&self) -> Vec<u8> {
-        self.app.snapshot()
+        // The full protocol state, not just the app snapshot: a rejoined
+        // member must know the queue (to keep accepting in-flight
+        // broadcasts), the applied order (the oracle's object of proof),
+        // and the idempotence cache (so retried accepts stay no-ops).
+        let applied: Vec<(u64, u64, Bytes)> = self
+            .applied
+            .iter()
+            .map(|(&id, &(time, ref result))| (id, time, Bytes(result.clone())))
+            .collect();
+        let queue: Vec<(u64, u64, u16, Bytes)> = self
+            .queue
+            .iter()
+            .map(|(&(time, id), e)| (time, id, e.status.to_wire(), Bytes(e.payload.to_vec())))
+            .collect();
+        to_bytes(&(
+            Bytes(self.app.snapshot()),
+            self.applied_order.clone(),
+            applied,
+            queue,
+        ))
     }
 
     fn set_state(&mut self, state: &[u8]) {
-        self.app.restore(state);
+        type Wire = (
+            Bytes,
+            Vec<u64>,
+            Vec<(u64, u64, Bytes)>,
+            Vec<(u64, u64, u16, Bytes)>,
+        );
+        let Ok((Bytes(snapshot), order, applied, queue)) = from_bytes::<Wire>(state) else {
+            return; // Garbled transfer: keep the blank state, the donor retries.
+        };
+        self.app.restore(&snapshot);
+        self.applied_order = order;
+        self.applied = applied
+            .into_iter()
+            .map(|(id, time, Bytes(result))| (id, (time, result)))
+            .collect();
+        self.queue.clear();
+        self.position.clear();
+        for (time, id, status, Bytes(payload)) in queue {
+            let Some(status) = QStatus::from_wire(status) else {
+                continue;
+            };
+            self.queue.insert(
+                (time, id),
+                QEntry {
+                    payload: simnet::Payload::copy_from(&payload),
+                    status,
+                },
+            );
+            self.position.insert(id, (time, id));
+        }
     }
 }
 
@@ -267,6 +544,86 @@ pub fn max_time_collation() -> CollationPolicy {
     CollationPolicy::Custom(Rc::new(MaxTime))
 }
 
+/// Like [`MaxTime`], but Dead-intolerant: the propose round fails unless
+/// **every** member of the current incarnation voted.
+///
+/// Skipping dead slots is how the identical-order guarantee breaks under
+/// partitions: a member that misses a proposal has nothing queued to
+/// block later broadcasts, so it can apply a concurrent message first
+/// and diverge. A fault-tolerant client retries the propose round (a
+/// fresh round is always safe before any accept is sent) until the
+/// partition heals or the unreachable member is evicted and the retry
+/// lands on the re-incarnated troupe.
+pub struct StrictMaxTime;
+
+impl Collate for StrictMaxTime {
+    fn decide(&self, slots: &[VoteSlot]) -> Decision {
+        for s in slots {
+            if matches!(s, VoteSlot::Dead) {
+                return Decision::Fail(circus::CollateError::Rejected(
+                    "member unreachable during propose".into(),
+                ));
+            }
+        }
+        MaxTime.decide(slots)
+    }
+}
+
+/// The collation policy for `get_proposed_time` calls that must reach
+/// every member (chaos clients; see [`StrictMaxTime`]).
+pub fn strict_max_time_collation() -> CollationPolicy {
+    CollationPolicy::Custom(Rc::new(StrictMaxTime))
+}
+
+/// Reply collator for `accept_time` under faults: succeed only when
+/// **every** member of the current incarnation acknowledged the accept.
+///
+/// [`CollationPolicy::Unanimous`] proceeds past `Dead` slots, which
+/// would let an accept "succeed" while a partitioned member never hears
+/// it — that member's applied order then silently diverges. `AllAck`
+/// fails instead; the client retries the *same* accepted time until the
+/// partition heals or the dead member is evicted (the retry then lands
+/// on the re-incarnated troupe, whose spare carries the full protocol
+/// state). The replies' contents are ignored — members legitimately
+/// reply different bytes while a message is pending behind an earlier
+/// proposal — so the collation yields a canonical empty result.
+pub struct AllAck;
+
+impl Collate for AllAck {
+    fn decide(&self, slots: &[VoteSlot]) -> Decision {
+        let mut any = false;
+        for s in slots {
+            match s {
+                VoteSlot::Pending => return Decision::Wait,
+                VoteSlot::Dead => {
+                    return Decision::Fail(circus::CollateError::Rejected(
+                        "member unreachable during accept".into(),
+                    ))
+                }
+                VoteSlot::Vote(v) => {
+                    if circus::unwrap_reply_vote(v).is_none() {
+                        return Decision::Fail(circus::CollateError::Rejected(
+                            "member rejected accept".into(),
+                        ));
+                    }
+                    any = true;
+                }
+            }
+        }
+        if any {
+            Decision::Ready(circus::wrap_reply_vote(to_bytes(&Bytes(Vec::new()))))
+        } else {
+            Decision::Fail(circus::CollateError::AllDead)
+        }
+    }
+}
+
+/// The collation policy for `accept_time` calls that must reach every
+/// member (chaos clients; see [`AllAck`]).
+pub fn all_ack_collation() -> CollationPolicy {
+    CollationPolicy::Custom(Rc::new(AllAck))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,8 +638,35 @@ mod tests {
         let a = Accept {
             msg_id: 7,
             accepted_time: 99,
+            payload: vec![1, 2],
         };
         assert_eq!(from_bytes::<Accept>(&to_bytes(&a)).unwrap(), a);
+    }
+
+    #[test]
+    fn borrowed_views_parse_without_copying() {
+        let p = to_bytes(&Propose {
+            msg_id: 7,
+            payload: vec![1, 2, 3],
+        });
+        let a = to_bytes(&Accept {
+            msg_id: 7,
+            accepted_time: 99,
+            payload: vec![1, 2, 3],
+        });
+        let before = wire::byte_copies();
+        let pr = ProposeRef::parse(&p).unwrap();
+        let ar = AcceptRef::parse(&a).unwrap();
+        assert_eq!(
+            wire::byte_copies(),
+            before,
+            "borrowed decode must not allocate payload copies"
+        );
+        assert_eq!((pr.msg_id, pr.payload), (7, &[1u8, 2, 3][..]));
+        assert_eq!(
+            (ar.msg_id, ar.accepted_time, ar.payload),
+            (7, 99, &[1u8, 2, 3][..])
+        );
     }
 
     fn vote(t: u64) -> VoteSlot {
@@ -316,6 +700,35 @@ mod tests {
         );
     }
 
+    #[test]
+    fn strict_max_time_fails_on_dead_members() {
+        let c = StrictMaxTime;
+        assert!(matches!(
+            c.decide(&[vote(10), VoteSlot::Dead]),
+            Decision::Fail(circus::CollateError::Rejected(_))
+        ));
+        assert_eq!(c.decide(&[vote(10), VoteSlot::Pending]), Decision::Wait);
+        assert_eq!(
+            c.decide(&[vote(10), vote(30)]),
+            Decision::Ready(circus::wrap_reply_vote(to_bytes(&30u64)))
+        );
+    }
+
+    #[test]
+    fn all_ack_needs_every_member() {
+        let c = AllAck;
+        assert_eq!(c.decide(&[vote(1), VoteSlot::Pending]), Decision::Wait);
+        assert!(matches!(
+            c.decide(&[vote(1), VoteSlot::Dead]),
+            Decision::Fail(circus::CollateError::Rejected(_))
+        ));
+        // Differing reply bytes are fine: only the ack matters.
+        assert_eq!(
+            c.decide(&[vote(1), vote(2)]),
+            Decision::Ready(circus::wrap_reply_vote(to_bytes(&Bytes(Vec::new()))))
+        );
+    }
+
     /// A tiny deterministic app: appends message bytes to a log.
     struct Log {
         entries: Vec<Vec<u8>>,
@@ -325,6 +738,26 @@ mod tests {
             self.entries.push(payload.to_vec());
             to_bytes(&(self.entries.len() as u32))
         }
+        fn snapshot(&self) -> Vec<u8> {
+            to_bytes(
+                &self
+                    .entries
+                    .iter()
+                    .map(|e| Bytes(e.clone()))
+                    .collect::<Vec<_>>(),
+            )
+        }
+        fn restore(&mut self, state: &[u8]) {
+            self.entries = from_bytes::<Vec<Bytes>>(state)
+                .map(|v| v.into_iter().map(|Bytes(b)| b).collect())
+                .unwrap_or_default();
+        }
+    }
+
+    fn log_service() -> OrderedBroadcastService<Log> {
+        OrderedBroadcastService::new(Log {
+            entries: Vec::new(),
+        })
     }
 
     fn ctx(now_us: u64) -> ServiceCtx {
@@ -343,83 +776,221 @@ mod tests {
         }
     }
 
+    fn propose(s: &mut OrderedBroadcastService<Log>, now: u64, id: u64, payload: &[u8]) -> Step {
+        let mut c = ctx(now);
+        s.dispatch(
+            &mut c,
+            PROC_GET_PROPOSED_TIME,
+            &to_bytes(&Propose {
+                msg_id: id,
+                payload: payload.to_vec(),
+            }),
+        )
+    }
+
+    fn accept(s: &mut OrderedBroadcastService<Log>, now: u64, id: u64, t: u64, p: &[u8]) -> Step {
+        let mut c = ctx(now);
+        s.dispatch(
+            &mut c,
+            PROC_ACCEPT_TIME,
+            &to_bytes(&Accept {
+                msg_id: id,
+                accepted_time: t,
+                payload: p.to_vec(),
+            }),
+        )
+    }
+
+    fn reply_bytes(step: Step) -> Vec<u8> {
+        match step {
+            Step::Reply(b) => b,
+            other => panic!("expected reply, got {other:?}"),
+        }
+    }
+
     #[test]
     fn queue_orders_by_accepted_time_with_tiebreak() {
-        let mut s = OrderedBroadcastService::new(Log {
-            entries: Vec::new(),
-        });
+        let mut s = log_service();
         // Two proposals, then acceptance in reverse arrival order.
-        let mut c = ctx(100);
-        s.dispatch(
-            &mut c,
-            PROC_GET_PROPOSED_TIME,
-            &to_bytes(&Propose {
-                msg_id: 1,
-                payload: b"first".to_vec(),
-            }),
-        );
-        let mut c = ctx(200);
-        s.dispatch(
-            &mut c,
-            PROC_GET_PROPOSED_TIME,
-            &to_bytes(&Propose {
-                msg_id: 2,
-                payload: b"second".to_vec(),
-            }),
-        );
+        propose(&mut s, 100, 1, b"first");
+        propose(&mut s, 200, 2, b"second");
         // Accept msg 2 at time 250: it cannot run while msg 1 is still
         // only proposed.
-        let mut c = ctx(300);
-        s.dispatch(
-            &mut c,
-            PROC_ACCEPT_TIME,
-            &to_bytes(&Accept {
-                msg_id: 2,
-                accepted_time: 250,
-            }),
-        );
+        accept(&mut s, 300, 2, 250, b"second");
         assert!(s.applied_order.is_empty(), "msg 2 must wait behind msg 1");
         // Accept msg 1 at time 240 (< 250): both drain, 1 before 2.
-        let mut c = ctx(400);
-        s.dispatch(
-            &mut c,
-            PROC_ACCEPT_TIME,
-            &to_bytes(&Accept {
-                msg_id: 1,
-                accepted_time: 240,
-            }),
-        );
+        accept(&mut s, 400, 1, 240, b"first");
         assert_eq!(s.applied_order, vec![1, 2]);
         assert_eq!(s.app().entries, vec![b"first".to_vec(), b"second".to_vec()]);
     }
 
     #[test]
     fn equal_times_tie_broken_by_id() {
-        let mut s = OrderedBroadcastService::new(Log {
-            entries: Vec::new(),
-        });
+        let mut s = log_service();
         for id in [2u64, 1] {
-            let mut c = ctx(100);
-            s.dispatch(
-                &mut c,
-                PROC_GET_PROPOSED_TIME,
-                &to_bytes(&Propose {
-                    msg_id: id,
-                    payload: id.to_be_bytes().to_vec(),
-                }),
-            );
+            propose(&mut s, 100, id, &id.to_be_bytes());
         }
         for id in [2u64, 1] {
-            let mut c = ctx(500);
-            s.dispatch(
-                &mut c,
-                PROC_ACCEPT_TIME,
-                &to_bytes(&Accept {
-                    msg_id: id,
-                    accepted_time: 300,
-                }),
-            );
+            accept(&mut s, 500, id, 300, &id.to_be_bytes());
         }
         assert_eq!(s.applied_order, vec![1, 2], "ties break by message id");
+    }
+
+    #[test]
+    fn accepted_message_drains_ahead_of_later_proposed_head() {
+        let mut s = log_service();
+        // msg 2 proposed first (time 100), msg 1 proposed later (time
+        // 300): the queue head is msg 2. Accepting msg 2 at 150 keeps it
+        // at the head; the drain must apply it even though a *proposed*
+        // entry (msg 1) still sits in the queue behind it.
+        propose(&mut s, 100, 2, b"early");
+        propose(&mut s, 300, 1, b"late");
+        accept(&mut s, 400, 2, 150, b"early");
+        assert_eq!(
+            s.applied_order,
+            vec![2],
+            "accepted head must not wait on a later proposal"
+        );
+        // And the inverse: accepted *behind* a proposed head stays put.
+        accept(&mut s, 500, 3, 450, b"blocked");
+        assert_eq!(
+            s.applied_order,
+            vec![2],
+            "accepted behind a proposed head must wait"
+        );
+        accept(&mut s, 600, 1, 320, b"late");
+        assert_eq!(s.applied_order, vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn orphaned_proposal_is_collected_after_ttl() {
+        let mut s = log_service().with_proposal_ttl(1_000);
+        // The broadcaster of msg 9 "crashes" after the propose.
+        propose(&mut s, 100, 9, b"orphan");
+        // A later broadcast completes both phases before the TTL: it
+        // stays stuck behind the orphan.
+        propose(&mut s, 200, 10, b"live");
+        accept(&mut s, 300, 10, 250, b"live");
+        assert!(s.applied_order.is_empty(), "TTL not yet reached");
+        // Past the TTL the orphan is collected and the queue flows.
+        accept(&mut s, 2_000, 11, 1_500, b"after");
+        assert_eq!(s.applied_order, vec![10, 11]);
+        assert_eq!(s.queue_len(), 0);
+        assert_eq!(
+            s.app().entries,
+            vec![b"live".to_vec(), b"after".to_vec()],
+            "the orphan must never reach the app"
+        );
+    }
+
+    #[test]
+    fn accept_after_gc_reinstalls_the_message() {
+        let mut s = log_service().with_proposal_ttl(1_000);
+        propose(&mut s, 100, 9, b"slow");
+        // Another broadcast's drain collects the orphan...
+        accept(&mut s, 2_000, 10, 1_900, b"other");
+        assert_eq!(s.applied_order, vec![10]);
+        // ...but the slow broadcaster was alive after all: its accept
+        // carries the payload and the message still applies.
+        let r = reply_bytes(accept(&mut s, 2_100, 9, 2_050, b"slow"));
+        assert_eq!(s.applied_order, vec![10, 9]);
+        assert!(!from_bytes::<Bytes>(&r).unwrap().0.is_empty());
+    }
+
+    #[test]
+    fn duplicate_accept_replies_cached_result_without_reapplying() {
+        let mut s = log_service();
+        propose(&mut s, 100, 1, b"m");
+        let first = reply_bytes(accept(&mut s, 200, 1, 150, b"m"));
+        let dup = reply_bytes(accept(&mut s, 300, 1, 150, b"m"));
+        assert_eq!(first, dup, "retried accept must reply the cached result");
+        assert_eq!(s.applied_order, vec![1], "never applied twice");
+        assert_eq!(s.app().entries.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_propose_after_apply_replies_stored_time() {
+        let mut s = log_service();
+        propose(&mut s, 100, 1, b"m");
+        accept(&mut s, 200, 1, 150, b"m");
+        // A duplicated propose datagram arrives late: the reply must be
+        // the *accepted* time, not a fresh clock reading, and the
+        // message must not re-enter the queue.
+        let r = reply_bytes(propose(&mut s, 900, 1, b"m"));
+        assert_eq!(from_bytes::<u64>(&r).unwrap(), 150);
+        assert_eq!(s.queue_len(), 0);
+        assert_eq!(s.applied_order, vec![1]);
+    }
+
+    #[test]
+    fn accept_for_unknown_message_installs_it() {
+        // A rejoined spare that missed the propose phase entirely.
+        let mut s = log_service();
+        let r = reply_bytes(accept(&mut s, 200, 5, 150, b"installed"));
+        assert_eq!(s.applied_order, vec![5]);
+        assert_eq!(s.app().entries, vec![b"installed".to_vec()]);
+        assert!(!from_bytes::<Bytes>(&r).unwrap().0.is_empty());
+    }
+
+    #[test]
+    fn state_transfer_carries_the_whole_protocol() {
+        let mut donor = log_service();
+        propose(&mut donor, 100, 1, b"done");
+        accept(&mut donor, 200, 1, 150, b"done");
+        // An in-flight broadcast: proposed and accepted but not yet
+        // drained (blocked behind an in-flight proposal), plus a bare
+        // proposal.
+        propose(&mut donor, 300, 2, b"pending");
+        propose(&mut donor, 400, 3, b"blocked");
+        accept(&mut donor, 500, 3, 450, b"blocked");
+        assert_eq!(donor.applied_order, vec![1]);
+
+        let mut spare = log_service();
+        spare.set_state(&donor.get_state());
+        assert_eq!(spare.applied_order, donor.applied_order);
+        assert_eq!(spare.queue_len(), donor.queue_len());
+        assert_eq!(spare.state_digest(), donor.state_digest());
+
+        // The spare continues the in-flight broadcasts exactly as the
+        // donor would: accept msg 2, both drain, identical orders.
+        for s in [&mut donor, &mut spare] {
+            accept(s, 600, 2, 420, b"pending");
+            assert_eq!(s.applied_order, vec![1, 2, 3]);
+        }
+        assert_eq!(donor.state_digest(), spare.state_digest());
+        // And the idempotence cache traveled too: a duplicate accept of
+        // msg 1 at the spare replies the cached result, not a re-apply.
+        let dup = reply_bytes(accept(&mut spare, 700, 1, 150, b"done"));
+        assert_eq!(
+            from_bytes::<Bytes>(&dup).unwrap().0,
+            from_bytes::<Bytes>(&reply_bytes(accept(&mut donor, 700, 1, 150, b"done")))
+                .unwrap()
+                .0
+        );
+        assert_eq!(spare.applied_order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn wedge_refuses_work_then_lapses() {
+        let mut s = log_service();
+        let mut c = ctx(1_000_000);
+        assert!(matches!(s.wedge(&mut c), Step::Reply(_)));
+        assert!(
+            matches!(propose(&mut s, 1_100_000, 1, b"m"), Step::Error(_)),
+            "wedged member must refuse proposals"
+        );
+        // Past the wedge TTL the lease lapses and service resumes.
+        assert!(matches!(
+            propose(&mut s, 1_000_000 + 13_000_000, 1, b"m"),
+            Step::Reply(_)
+        ));
+        // An explicit unwedge also resumes service.
+        let mut c = ctx(20_000_000);
+        assert!(matches!(s.wedge(&mut c), Step::Reply(_)));
+        s.unwedge();
+        assert!(matches!(
+            propose(&mut s, 20_100_000, 2, b"n"),
+            Step::Reply(_)
+        ));
     }
 }

@@ -6,6 +6,7 @@ use crate::broadcast::{
     max_time_collation, Accept, Propose, PROC_ACCEPT_TIME, PROC_GET_PROPOSED_TIME,
 };
 use crate::commit::{ExecuteRequest, TxnOutcome, PROC_EXECUTE};
+use crate::commute::{CmOp, CmRequest, PROC_CM_EXECUTE};
 use crate::txn::Op;
 use circus::{Agent, CallError, CallHandle, CollationPolicy, NodeCtx, ThreadId, TimerKey, Troupe};
 use wire::{from_bytes, to_bytes, Bytes};
@@ -147,6 +148,16 @@ enum Phase {
     Accepting,
 }
 
+/// One broadcast in flight. The payload rides along because
+/// `accept_time` carries it (a member that missed the proposal installs
+/// the message from the accept).
+#[derive(Clone, Debug)]
+struct InFlight {
+    phase: Phase,
+    msg_id: u64,
+    payload: Vec<u8>,
+}
+
 /// An agent that performs ordered broadcasts (Figure 5.1's
 /// `atomic_broadcast`): `get_proposed_time` at the troupe, take the
 /// maximum, `accept_time`. Poke it once per queued message.
@@ -161,7 +172,7 @@ pub struct Broadcaster {
     /// Globally unique message-id seed (callers give each broadcaster a
     /// distinct one).
     next_msg_id: u64,
-    phase: Option<(Phase, u64)>,
+    inflight: Option<InFlight>,
     /// Application results of completed broadcasts.
     pub results: Vec<Vec<u8>>,
     /// Failures.
@@ -178,7 +189,7 @@ impl Broadcaster {
             script,
             next: 0,
             next_msg_id: id_base,
-            phase: None,
+            inflight: None,
             results: Vec::new(),
             errors: Vec::new(),
         }
@@ -186,7 +197,7 @@ impl Broadcaster {
 
     /// `true` once every scripted message has been broadcast.
     pub fn finished(&self) -> bool {
-        self.next >= self.script.len() && self.phase.is_none()
+        self.next >= self.script.len() && self.inflight.is_none()
     }
 
     fn propose_next(&mut self, nc: &mut NodeCtx<'_, '_, '_>) {
@@ -197,7 +208,11 @@ impl Broadcaster {
         self.next += 1;
         let msg_id = self.next_msg_id;
         self.next_msg_id += 1;
-        self.phase = Some((Phase::Proposing, msg_id));
+        self.inflight = Some(InFlight {
+            phase: Phase::Proposing,
+            msg_id,
+            payload: payload.clone(),
+        });
         let thread = nc.fresh_thread();
         let troupe = self.troupe.clone();
         nc.call(
@@ -213,7 +228,7 @@ impl Broadcaster {
 
 impl Agent for Broadcaster {
     fn on_poke(&mut self, nc: &mut NodeCtx<'_, '_, '_>, _tag: u64) {
-        if self.phase.is_none() {
+        if self.inflight.is_none() {
             self.propose_next(nc);
         }
     }
@@ -224,25 +239,28 @@ impl Agent for Broadcaster {
         _handle: CallHandle,
         result: Result<Vec<u8>, CallError>,
     ) {
-        let Some((phase, msg_id)) = self.phase else {
+        let Some(inflight) = self.inflight.clone() else {
             return;
         };
         let bytes = match result {
             Ok(b) => b,
             Err(e) => {
                 self.errors.push(format!("broadcast failed: {e}"));
-                self.phase = None;
+                self.inflight = None;
                 return;
             }
         };
-        match phase {
+        match inflight.phase {
             Phase::Proposing => {
                 let Ok(max) = from_bytes::<u64>(&bytes) else {
                     self.errors.push("garbled max proposal".into());
-                    self.phase = None;
+                    self.inflight = None;
                     return;
                 };
-                self.phase = Some((Phase::Accepting, msg_id));
+                self.inflight = Some(InFlight {
+                    phase: Phase::Accepting,
+                    ..inflight.clone()
+                });
                 let thread = nc.fresh_thread();
                 let troupe = self.troupe.clone();
                 nc.call(
@@ -251,8 +269,9 @@ impl Agent for Broadcaster {
                     self.module,
                     PROC_ACCEPT_TIME,
                     to_bytes(&Accept {
-                        msg_id,
+                        msg_id: inflight.msg_id,
                         accepted_time: max,
+                        payload: inflight.payload,
                     }),
                     // Members may drain different amounts of queue at
                     // accept time depending on concurrent broadcasts, so
@@ -266,9 +285,96 @@ impl Agent for Broadcaster {
                 if let Ok(Bytes(result)) = from_bytes::<Bytes>(&bytes) {
                     self.results.push(result);
                 }
-                self.phase = None;
+                self.inflight = None;
                 self.propose_next(nc);
             }
+        }
+    }
+}
+
+/// An agent that submits scripted batches of commutative operations
+/// (crate::commute) — one replicated call each, no locks, no phases.
+/// Poke it once to start; it runs the whole script.
+pub struct CmClient {
+    /// The commutative troupe.
+    pub troupe: Troupe,
+    /// Module number of the commutative service at the troupe.
+    pub module: u16,
+    script: Vec<Vec<CmOp>>,
+    next: usize,
+    /// Globally unique idempotence-id seed (callers give each client a
+    /// distinct one).
+    next_op_id: u64,
+    waiting: bool,
+    /// Number of confirmed requests.
+    pub completed: u32,
+    /// Unrecoverable errors.
+    pub errors: Vec<String>,
+}
+
+impl CmClient {
+    /// Creates a client running `script` against `troupe`/`module`;
+    /// `id_base` must be unique per client.
+    pub fn new(troupe: Troupe, module: u16, id_base: u64, script: Vec<Vec<CmOp>>) -> CmClient {
+        CmClient {
+            troupe,
+            module,
+            script,
+            next: 0,
+            next_op_id: id_base,
+            waiting: false,
+            completed: 0,
+            errors: Vec::new(),
+        }
+    }
+
+    /// `true` once the whole script has been confirmed (or failed hard).
+    pub fn finished(&self) -> bool {
+        (self.next >= self.script.len() && !self.waiting) || !self.errors.is_empty()
+    }
+
+    fn submit(&mut self, nc: &mut NodeCtx<'_, '_, '_>) {
+        if self.next >= self.script.len() {
+            return;
+        }
+        let ops = self.script[self.next].clone();
+        self.next += 1;
+        let op_id = self.next_op_id;
+        self.next_op_id += 1;
+        self.waiting = true;
+        let thread = nc.fresh_thread();
+        let troupe = self.troupe.clone();
+        nc.call(
+            thread,
+            &troupe,
+            self.module,
+            PROC_CM_EXECUTE,
+            to_bytes(&CmRequest { op_id, ops }),
+            CollationPolicy::Unanimous,
+        );
+    }
+}
+
+impl Agent for CmClient {
+    fn on_poke(&mut self, nc: &mut NodeCtx<'_, '_, '_>, _tag: u64) {
+        if !self.waiting {
+            self.submit(nc);
+        }
+    }
+
+    fn on_call_done(
+        &mut self,
+        nc: &mut NodeCtx<'_, '_, '_>,
+        _handle: CallHandle,
+        result: Result<Vec<u8>, CallError>,
+    ) {
+        self.waiting = false;
+        match result {
+            Ok(_) => {
+                self.completed += 1;
+                self.submit(nc);
+            }
+            Err(e) => self.errors.push(format!("commutative call failed: {e}")),
         }
     }
 }

@@ -21,6 +21,13 @@
 //!   under serial (chronological) execution — the trivially
 //!   deterministic local concurrency control of §5.4.
 //!
+//! A third workload sidesteps both: **commutative operations**
+//! ([`CommutativeService`]) — counter increments and grow-only-set
+//! inserts — need no locks and no agreed order at all. Members apply
+//! them as they arrive and converge through client retry plus per-request
+//! idempotence (Shapiro's commutative replicated data types), trading
+//! expressiveness for abort-free, starvation-free throughput.
+//!
 //! Transactions are *lightweight* (§5.2): entirely volatile, because
 //! troupes mask partial failures, so no stable storage or crash-recovery
 //! log is needed; permanence comes from replication. Transactions "can
@@ -33,6 +40,7 @@ pub mod backoff;
 pub mod broadcast;
 pub mod client;
 pub mod commit;
+pub mod commute;
 pub mod deadlock;
 pub mod lock;
 pub mod nested;
@@ -42,14 +50,16 @@ pub mod wal;
 
 pub use backoff::Backoff;
 pub use broadcast::{
-    max_time_collation, Accept, OrderedApply, OrderedBroadcastService, Propose, PROC_ACCEPT_TIME,
-    PROC_GET_PROPOSED_TIME,
+    all_ack_collation, max_time_collation, strict_max_time_collation, Accept, AcceptRef,
+    OrderedApply, OrderedBroadcastService, Propose, ProposeRef, DEFAULT_PROPOSAL_TTL_US,
+    PROC_ACCEPT_TIME, PROC_GET_PROPOSED_TIME,
 };
-pub use client::{Broadcaster, TxnClient};
+pub use client::{Broadcaster, CmClient, TxnClient};
 pub use commit::{
     CommitVoterService, ExecuteRequest, RecoveryInfo, TroupeStoreService, TxnOutcome, PROC_EXECUTE,
     PROC_PEEK, PROC_READY_TO_COMMIT,
 };
+pub use commute::{CmOp, CmRequest, CommutativeService, PROC_CM_EXECUTE};
 pub use deadlock::WaitsFor;
 pub use lock::{Acquire, LockManager, Mode};
 pub use nested::{NestedError, NestedTm};

@@ -30,6 +30,6 @@ pub mod types;
 pub mod writer;
 
 pub use error::WireError;
-pub use reader::Reader;
+pub use reader::{byte_copies, Reader};
 pub use types::{from_bytes, to_bytes, Bytes, Externalize, Internalize};
 pub use writer::Writer;

@@ -3,6 +3,39 @@
 
 use crate::error::WireError;
 
+#[cfg(debug_assertions)]
+thread_local! {
+    /// Copies made by the *allocating* byte readers ([`Reader::get_bytes`]
+    /// and everything built on it). Decode paths that claim to be
+    /// zero-copy pin themselves by asserting this counter does not move —
+    /// the internalization mirror of pairedmsg's `encodes()` counter.
+    static BYTE_COPIES: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Total byte-block copies made by allocating reads on this thread.
+///
+/// Debug builds only; always 0 in release builds. Tests snapshot it
+/// before and after a decode to assert a path borrows from the datagram
+/// instead of allocating.
+pub fn byte_copies() -> u64 {
+    #[cfg(debug_assertions)]
+    {
+        BYTE_COPIES.with(|c| c.get())
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        0
+    }
+}
+
+#[cfg(debug_assertions)]
+fn count_byte_copy() {
+    BYTE_COPIES.with(|c| c.set(c.get() + 1));
+}
+
+#[cfg(not(debug_assertions))]
+fn count_byte_copy() {}
+
 /// A cursor over a buffer of external representation.
 #[derive(Clone, Debug)]
 pub struct Reader<'a> {
@@ -85,11 +118,24 @@ impl<'a> Reader<'a> {
 
     /// Reads a length-prefixed, word-padded opaque byte block.
     pub fn get_bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        count_byte_copy();
+        Ok(self.get_bytes_borrowed()?.to_vec())
+    }
+
+    /// Reads a length-prefixed, word-padded opaque byte block as a
+    /// borrow of the underlying buffer — no allocation, no copy.
+    ///
+    /// This extends the one-copy rule into internalization: a decoder
+    /// that only inspects the block (or hands it to a refcounted
+    /// payload-style sink) can skip the fresh `Vec` that
+    /// [`Reader::get_bytes`] makes. The borrow lives as long as the
+    /// datagram buffer, not the reader.
+    pub fn get_bytes_borrowed(&mut self) -> Result<&'a [u8], WireError> {
         let n = self.get_u32()? as usize;
         if n > self.remaining() {
             return Err(WireError::Truncated);
         }
-        let data = self.take(n)?.to_vec();
+        let data = self.take(n)?;
         if n % 2 == 1 {
             self.take(1)?; // Discard the pad byte.
         }
@@ -188,6 +234,49 @@ mod tests {
     fn huge_length_rejected() {
         let mut r = Reader::new(&[0xFF, 0xFF, 0xFF, 0xFF]);
         assert!(r.get_bytes().is_err());
+    }
+
+    #[test]
+    fn borrowed_bytes_match_owned_and_do_not_copy() {
+        let mut w = Writer::new();
+        w.put_bytes(&[9, 8, 7]); // Odd length: exercises the pad byte.
+        w.put_u16(42);
+        let bytes = w.finish();
+
+        let mut owned = Reader::new(&bytes);
+        let mut borrowed = Reader::new(&bytes);
+        let before = byte_copies();
+        let b = borrowed.get_bytes_borrowed().unwrap();
+        assert_eq!(
+            byte_copies(),
+            before,
+            "borrowed read must not copy the block"
+        );
+        let o = owned.get_bytes().unwrap();
+        assert!(byte_copies() > before, "owned read counts its copy");
+        assert_eq!(b, o.as_slice());
+        // Both readers consumed the pad byte and line up on the word.
+        assert_eq!(borrowed.get_u16().unwrap(), 42);
+        assert_eq!(owned.get_u16().unwrap(), 42);
+    }
+
+    #[test]
+    fn borrowed_bytes_outlive_the_reader() {
+        let mut w = Writer::new();
+        w.put_bytes(&[1, 2, 3, 4]);
+        let bytes = w.finish();
+        let b = {
+            let mut r = Reader::new(&bytes);
+            r.get_bytes_borrowed().unwrap()
+        };
+        // The borrow is tied to `bytes`, not the dropped reader.
+        assert_eq!(b, &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn borrowed_huge_length_rejected() {
+        let mut r = Reader::new(&[0xFF, 0xFF, 0xFF, 0xFF]);
+        assert!(r.get_bytes_borrowed().is_err());
     }
 
     #[test]

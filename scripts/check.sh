@@ -48,6 +48,9 @@ cargo clippy -p ringmaster --all-targets -- -D warnings
 phase "cargo clippy -p adversary (deny warnings)"
 cargo clippy -p adversary --all-targets -- -D warnings
 
+phase "cargo clippy -p chaos -p bench -p configlang (deny warnings; workload diversity)"
+cargo clippy -p chaos -p bench -p configlang --all-targets -- -D warnings
+
 phase "cargo test --workspace"
 cargo test --workspace -q
 
@@ -62,6 +65,12 @@ cargo test -p chaos --release --test sweep self_heal_gate -- --nocapture
 
 phase "recovery chaos sweep (durable members, hostile disks, log-replay rejoin)"
 cargo test -p chaos --release --test recovery -- --nocapture
+
+phase "broadcast chaos sweep (10 seeds, identical-applied-order + no-starvation oracles)"
+cargo test -p chaos --release --test bcast -- --nocapture
+
+phase "commutative chaos sweep (10 seeds, convergence-without-commit oracle)"
+cargo test -p chaos --release --test commute -- --nocapture
 
 phase "adversary corpus replay (tests/corpus/adversary.seeds)"
 cargo test -p adversary --release --test corpus -- --nocapture
@@ -91,6 +100,10 @@ cargo run -q --release -p bench --bin repro -- --gate bench6
 phase "BENCH_7 gate (delta rejoin moves fewer bytes than full state transfer)"
 cargo run -q --release -p bench --bin repro -- --quick bench7 >/dev/null
 cargo run -q --release -p bench --bin repro -- --gate bench7
+
+phase "BENCH_8 gate (commutative ops out-throughput commit under conflict)"
+cargo run -q --release -p bench --bin repro -- bench8 >/dev/null
+cargo run -q --release -p bench --bin repro -- --gate bench8
 
 phase "done"
 echo "All checks passed."
